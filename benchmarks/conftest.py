@@ -1,0 +1,52 @@
+"""Shared fixtures of the benchmark harness (one file per paper table/figure)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import RetrievalEngine, paper_case_base, paper_request
+from repro.tools import CaseBaseGenerator, GeneratorSpec, table3_spec
+
+
+@pytest.fixture(scope="session")
+def paper_cb():
+    """The Fig. 3 case base."""
+    return paper_case_base()
+
+
+@pytest.fixture(scope="session")
+def paper_req():
+    """The Fig. 3 request."""
+    return paper_request()
+
+
+@pytest.fixture(scope="session")
+def paper_engine(paper_cb):
+    """Reference engine over the paper's case base."""
+    return RetrievalEngine(paper_cb)
+
+
+@pytest.fixture(scope="session")
+def table3_generator():
+    """Generator producing the Table 3 sizing (15 types x 10 impls x 10 attrs)."""
+    return CaseBaseGenerator(table3_spec(), seed=2004)
+
+
+@pytest.fixture(scope="session")
+def table3_case_base(table3_generator):
+    """A case base with the Table 3 dimensions."""
+    return table3_generator.case_base()
+
+
+@pytest.fixture(scope="session")
+def medium_generator():
+    """A mid-sized case base for the speedup and metric sweeps."""
+    return CaseBaseGenerator(
+        GeneratorSpec(
+            type_count=6,
+            implementations_per_type=8,
+            attributes_per_implementation=8,
+            attribute_type_count=10,
+        ),
+        seed=7,
+    )

@@ -1,0 +1,91 @@
+"""Ablation benchmarks for the design choices the paper argues for (section 4.1).
+
+Two claims of the paper are justified only qualitatively:
+
+* storing the pre-computed reciprocal ``1/(1+dmax)`` avoids "an expensive
+  hardware divider" and lets the datapath multiply instead of divide;
+* pre-sorting all lists by ID and resuming the search "from the current
+  position instead of doing a repeated search from the top" keeps the search
+  effort linear.
+
+These benchmarks quantify both: the divider variant's cycle and area penalty,
+and the restart-search variant's probe/cycle penalty, at the paper's Table 3
+case-base sizing.
+"""
+
+import pytest
+
+from repro.analysis import geometric_mean
+from repro.hardware import HardwareConfig, HardwareRetrievalUnit, ResourceEstimator
+
+
+def _cycles(case_base, generator, config, requests=4):
+    unit = HardwareRetrievalUnit(case_base, config=config)
+    return [
+        unit.run(generator.request(salt=salt, attribute_count=10)).cycles
+        for salt in range(requests)
+    ]
+
+
+def test_ablation_reciprocal_multiply_vs_divider_cycles(benchmark, table3_case_base,
+                                                        table3_generator):
+    """The divider variant roughly doubles the retrieval latency."""
+
+    def sweep():
+        baseline = _cycles(table3_case_base, table3_generator, HardwareConfig())
+        divider = _cycles(table3_case_base, table3_generator, HardwareConfig(use_divider=True))
+        return baseline, divider
+
+    baseline, divider = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    ratios = [d / b for b, d in zip(baseline, divider)]
+    assert geometric_mean(ratios) > 1.6
+    assert all(ratio > 1.3 for ratio in ratios)
+
+
+def test_ablation_divider_area_and_multiplier_tradeoff(benchmark):
+    """Area view of the same trade-off: one MULT18X18 saved, ~150 slices spent."""
+    estimator = ResourceEstimator()
+
+    def sweep():
+        return (
+            estimator.estimate(config=HardwareConfig()),
+            estimator.estimate(config=HardwareConfig(use_divider=True)),
+        )
+
+    baseline, divider = benchmark(sweep)
+    assert divider.multipliers == baseline.multipliers - 1
+    assert divider.slices - baseline.slices > 100
+    assert divider.fits() and baseline.fits()
+
+
+def test_ablation_resume_search_vs_restart(benchmark, table3_case_base, table3_generator):
+    """Restarting every attribute lookup from the list head costs extra probes."""
+
+    def sweep():
+        baseline = _cycles(table3_case_base, table3_generator, HardwareConfig())
+        restart = _cycles(
+            table3_case_base, table3_generator, HardwareConfig(restart_attribute_search=True)
+        )
+        return baseline, restart
+
+    baseline, restart = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    ratios = [r / b for b, r in zip(baseline, restart)]
+    assert all(ratio >= 1.0 for ratio in ratios)
+    assert geometric_mean(ratios) > 1.1
+
+
+def test_ablation_combined_worst_case(benchmark, table3_case_base, table3_generator):
+    """Divider plus restart search: the design the paper avoided, quantified."""
+
+    def sweep():
+        baseline = _cycles(table3_case_base, table3_generator, HardwareConfig())
+        worst = _cycles(
+            table3_case_base,
+            table3_generator,
+            HardwareConfig(use_divider=True, restart_attribute_search=True),
+        )
+        return baseline, worst
+
+    baseline, worst = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    ratios = [w / b for b, w in zip(baseline, worst)]
+    assert geometric_mean(ratios) > 1.8

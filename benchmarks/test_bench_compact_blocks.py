@@ -1,0 +1,66 @@
+"""E7 -- section 5 outlook: compacted attribute-block loading.
+
+"Furthermore a rather compacted attribute block representation could be used
+for loading IDs and values as blocks within one step speeding everything up at
+least by factor 2."  The benchmark compares the baseline retrieval unit with
+the compacted configuration (wide pair fetch + pipelined datapath + reciprocal
+caching) on realistic case-base sizes and checks the >= 2x cycle reduction, as
+well as the footprint effect of the shared-directory compact encoding.
+"""
+
+import pytest
+
+from repro.analysis import geometric_mean
+from repro.hardware import HardwareConfig, HardwareRetrievalUnit
+from repro.memmap import CaseBaseImage
+
+COMPACT_CONFIG = HardwareConfig(
+    wide_attribute_fetch=True, pipelined_datapath=True, cache_reciprocals=True
+)
+
+
+def _gains(generator, requests=5):
+    case_base = generator.case_base()
+    baseline = HardwareRetrievalUnit(case_base)
+    compact = HardwareRetrievalUnit(case_base, config=COMPACT_CONFIG)
+    gains = []
+    for salt in range(requests):
+        request = generator.request(
+            salt=salt, attribute_count=generator.spec.attributes_per_implementation
+        )
+        base = baseline.run(request)
+        fast = compact.run(request)
+        assert base.best_id == fast.best_id  # the optimisation must not change results
+        gains.append(base.cycles / fast.cycles)
+    return gains
+
+
+def test_compact_blocks_reach_factor_two_on_table3_sizing(benchmark, table3_generator):
+    """At the paper's case-base sizing the compacted unit is >= 2x faster."""
+    gains = benchmark.pedantic(lambda: _gains(table3_generator, requests=4),
+                               rounds=1, iterations=1)
+    assert geometric_mean(gains) >= 2.0
+    assert min(gains) >= 1.8
+
+
+def test_compact_blocks_gain_on_medium_case_base(benchmark, medium_generator):
+    """The gain also holds for a mid-sized case base (smaller but still ~2x)."""
+    gains = benchmark.pedantic(lambda: _gains(medium_generator, requests=5),
+                               rounds=1, iterations=1)
+    assert geometric_mean(gains) >= 1.8
+
+
+def test_compact_single_retrieval_latency(benchmark, table3_case_base, table3_generator):
+    """Latency of one compacted retrieval (the quantity the speed-up refers to)."""
+    unit = HardwareRetrievalUnit(table3_case_base, config=COMPACT_CONFIG)
+    request = table3_generator.request(salt=2, attribute_count=10)
+    result = benchmark(lambda: unit.run(request))
+    assert result.cycles > 0
+
+
+def test_compact_encoding_footprint_tradeoff(benchmark, table3_case_base):
+    """The shared-directory encoding buys ~45 % footprint on top of the speed-up."""
+    image = benchmark(lambda: CaseBaseImage(table3_case_base))
+    footprint = image.footprint()
+    ratio = footprint.compact_tree_bytes / footprint.tree_bytes
+    assert 0.45 < ratio < 0.65

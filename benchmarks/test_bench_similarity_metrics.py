@@ -1,0 +1,170 @@
+"""E9 -- section 2.2 metric discussion: Manhattan vs Mahalanobis (and amalgamations).
+
+The paper selects the Manhattan-distance local similarity because the
+Mahalanobis approach, while "very effective concerning the results", has
+computational efforts that "would be too large".  The benchmark quantifies both
+halves of that argument: retrieval quality (ranking agreement between the two
+metrics on correlated attribute data) and computational cost (per-retrieval
+operation counts / wall-clock), plus an amalgamation-function comparison.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import ranking_distance
+from repro.core import (
+    CaseBase,
+    ExecutionTarget,
+    FunctionRequest,
+    Implementation,
+    MahalanobisSimilarity,
+    ManhattanDistance,
+    MinimumAmalgamation,
+    RetrievalEngine,
+    WeightedSum,
+)
+
+
+def _correlated_case_base(seed: int = 3, implementations: int = 12) -> CaseBase:
+    """A case base whose attributes are strongly correlated (bitwidth ~ rate ~ power).
+
+    Correlation is the regime where the Mahalanobis metric is genuinely better
+    informed than per-attribute Manhattan similarities.
+    """
+    rng = random.Random(seed)
+    case_base = CaseBase()
+    function_type = case_base.add_type(1, name="correlated")
+    for index in range(1, implementations + 1):
+        quality = rng.uniform(0.0, 1.0)
+        attributes = {
+            1: int(8 + 24 * quality + rng.uniform(-2, 2)),          # bitwidth
+            2: int(100 + 900 * quality + rng.uniform(-50, 50)),     # rate
+            3: int(50 + 600 * quality + rng.uniform(-30, 30)),      # power class
+        }
+        attributes = {k: max(0, v) for k, v in attributes.items()}
+        function_type.add(Implementation(index, ExecutionTarget.FPGA, attributes))
+    return case_base
+
+
+def _requests(count: int, seed: int = 11):
+    rng = random.Random(seed)
+    requests = []
+    for _ in range(count):
+        quality = rng.uniform(0.0, 1.0)
+        requests.append(
+            FunctionRequest(
+                1,
+                [
+                    (1, int(8 + 24 * quality)),
+                    (2, int(100 + 900 * quality)),
+                    (3, int(50 + 600 * quality)),
+                ],
+            )
+        )
+    return requests
+
+
+def test_metric_quality_manhattan_choice_is_acceptable_under_mahalanobis(benchmark):
+    """Quality half of the paper's argument.
+
+    The two metrics weight deviations differently (Mahalanobis whitens the
+    correlated quality axis, so it emphasises off-axis noise), so their full
+    rankings differ noticeably.  What matters for the allocation decision is
+    that the variant selected by the cheap Manhattan retrieval is still a good
+    variant when judged by the expensive metric -- i.e. choosing Manhattan
+    costs little quality, which is exactly how the paper justifies it.
+    """
+    case_base = _correlated_case_base()
+    engine = RetrievalEngine(case_base)
+    vectors = [impl.attributes for _, impl in case_base.all_implementations()]
+    mahalanobis = MahalanobisSimilarity([1, 2, 3], vectors)
+
+    def sweep():
+        regrets = []
+        distances = []
+        for request in _requests(10):
+            manhattan_ranking = engine.retrieve_n_best(request, 12).ids()
+            scored = sorted(
+                (
+                    (mahalanobis.similarity(request.values(), impl.attributes), impl.implementation_id)
+                    for _, impl in case_base.all_implementations()
+                ),
+                key=lambda pair: (-pair[0], pair[1]),
+            )
+            mahalanobis_ranking = [implementation_id for _, implementation_id in scored]
+            by_id = {implementation_id: value for value, implementation_id in scored}
+            # Regret: how much Mahalanobis similarity is lost by taking the
+            # Manhattan winner instead of the Mahalanobis winner.
+            regrets.append(scored[0][0] - by_id[manhattan_ranking[0]])
+            distances.append(ranking_distance(manhattan_ranking, mahalanobis_ranking))
+        return regrets, distances
+
+    regrets, distances = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    regrets_sorted = sorted(regrets)
+    assert sum(regrets) / len(regrets) < 0.2          # small average quality loss
+    assert regrets_sorted[len(regrets) // 2] < 0.1    # negligible loss in the median case
+    assert max(regrets) < 0.6                         # never a catastrophic pick
+    # The full rankings do differ (this is why the paper bothers to discuss the
+    # choice at all), but they are far from anti-correlated.
+    assert sum(distances) / len(distances) < 0.5
+
+
+def test_metric_cost_mahalanobis_is_much_more_expensive(benchmark):
+    """Operation-count argument: the covariance product dwarfs the |a-b| path."""
+    case_base = _correlated_case_base()
+    vectors = [impl.attributes for _, impl in case_base.all_implementations()]
+
+    def costs():
+        mahalanobis = MahalanobisSimilarity([1, 2, 3], vectors)
+        manhattan_cost_per_attribute = ManhattanDistance.operation_cost + 2  # + multiply, accumulate
+        manhattan_cost = 3 * manhattan_cost_per_attribute
+        return manhattan_cost, mahalanobis.operation_cost
+
+    manhattan_cost, mahalanobis_cost = benchmark(costs)
+    assert mahalanobis_cost > 1.5 * manhattan_cost
+
+
+def test_metric_wall_clock_comparison(benchmark):
+    """Wall-clock per retrieval: weighted-sum Manhattan vs full Mahalanobis scan."""
+    case_base = _correlated_case_base(implementations=30)
+    engine = RetrievalEngine(case_base)
+    vectors = [impl.attributes for _, impl in case_base.all_implementations()]
+    mahalanobis = MahalanobisSimilarity([1, 2, 3], vectors)
+    requests = _requests(5)
+
+    def manhattan_then_mahalanobis():
+        for request in requests:
+            engine.retrieve_best(request)
+        for request in requests:
+            values = request.values()
+            max(
+                mahalanobis.similarity(values, impl.attributes)
+                for _, impl in case_base.all_implementations()
+            )
+
+    benchmark(manhattan_then_mahalanobis)
+
+
+def test_amalgamation_choice_changes_conservatism_not_winners(benchmark):
+    """Weighted sum vs minimum: the worst-constraint amalgamation is uniformly
+    more conservative but rarely changes the winning variant."""
+    case_base = _correlated_case_base()
+    weighted = RetrievalEngine(case_base, amalgamation=WeightedSum())
+    minimum = RetrievalEngine(case_base, amalgamation=MinimumAmalgamation())
+
+    def sweep():
+        same_winner = 0
+        conservative = 0
+        total = 0
+        for request in _requests(10, seed=4):
+            a = weighted.retrieve_best(request)
+            b = minimum.retrieve_best(request)
+            total += 1
+            same_winner += int(a.best_id == b.best_id)
+            conservative += int(b.best_similarity <= a.best_similarity + 1e-9)
+        return same_winner, conservative, total
+
+    same_winner, conservative, total = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert conservative == total
+    assert same_winner >= int(0.7 * total)

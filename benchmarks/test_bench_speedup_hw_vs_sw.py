@@ -1,0 +1,94 @@
+"""E4 -- section 4.2 speedup claim: hardware retrieval vs MicroBlaze software.
+
+"As result we have found that our hardware version is at 66 MHz about 8.5
+times faster than the software solution."  The benchmark runs both
+cycle-accurate models on identical memory images at the same 66 MHz clock and
+checks that the measured cycle ratio lands in the published ballpark, that the
+ratio is stable across case-base sizes, and how the inlined-software and
+soft-multiplier ablations move it.
+"""
+
+import pytest
+
+from repro.analysis import SpeedupResult, geometric_mean
+from repro.hardware import HardwareRetrievalUnit
+from repro.software import SoftwareRetrievalUnit, microblaze_soft_multiply_model
+from repro.tools import CaseBaseGenerator, GeneratorSpec
+
+PAPER_SPEEDUP = 8.5
+
+
+def _speedups(generator, requests=6, **sw_kwargs):
+    case_base = generator.case_base()
+    hardware = HardwareRetrievalUnit(case_base)
+    software = SoftwareRetrievalUnit(case_base, **sw_kwargs)
+    ratios = []
+    for salt in range(requests):
+        request = generator.request(
+            salt=salt, attribute_count=generator.spec.attributes_per_implementation
+        )
+        hw = hardware.run(request)
+        sw = software.run(request)
+        assert hw.best_id == sw.best_id  # identical retrieval results (paper claim)
+        ratios.append(SpeedupResult(sw.cycles, hw.cycles).cycle_speedup)
+    return ratios
+
+
+def test_speedup_paper_example(benchmark, paper_cb, paper_req):
+    """Speedup on the worked example itself."""
+    hardware = HardwareRetrievalUnit(paper_cb)
+    software = SoftwareRetrievalUnit(paper_cb)
+
+    def run_both():
+        return software.run(paper_req).cycles / hardware.run(paper_req).cycles
+
+    speedup = benchmark(run_both)
+    assert speedup == pytest.approx(PAPER_SPEEDUP, rel=0.35)
+    assert speedup > 6.0
+
+
+def test_speedup_across_case_base_sizes(benchmark, medium_generator, table3_generator):
+    """The ratio holds from small to Table 3-sized case bases."""
+
+    def sweep():
+        return {
+            "medium": geometric_mean(_speedups(medium_generator, requests=4)),
+            "table3": geometric_mean(_speedups(table3_generator, requests=3)),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for name, speedup in results.items():
+        assert 6.0 <= speedup <= 12.0, f"{name}: speedup {speedup} outside the expected band"
+    # The ratio is roughly size independent (both sides walk the same lists).
+    assert abs(results["medium"] - results["table3"]) < 3.0
+
+
+def test_speedup_ablation_inlined_software(benchmark, medium_generator):
+    """Aggressively inlined C narrows the gap but hardware stays well ahead."""
+
+    def sweep():
+        return geometric_mean(_speedups(medium_generator, requests=4, inline_helpers=True))
+
+    speedup = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert 3.0 <= speedup < PAPER_SPEEDUP
+
+
+def test_speedup_ablation_software_multiplier(benchmark, medium_generator):
+    """Without the MicroBlaze hardware multiplier the gap widens well beyond 8.5x."""
+
+    def sweep():
+        return geometric_mean(
+            _speedups(medium_generator, requests=4, cost_model=microblaze_soft_multiply_model())
+        )
+
+    speedup = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert speedup > PAPER_SPEEDUP
+
+
+def test_hardware_retrieval_latency_is_microseconds_at_66mhz(benchmark, table3_case_base,
+                                                             table3_generator):
+    """Absolute latency sanity: a Table 3-sized retrieval takes tens of us at 66 MHz."""
+    unit = HardwareRetrievalUnit(table3_case_base)
+    request = table3_generator.request(salt=1, attribute_count=10)
+    result = benchmark(lambda: unit.run(request))
+    assert 5.0 < result.time_us < 100.0

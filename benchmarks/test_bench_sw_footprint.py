@@ -1,0 +1,65 @@
+"""E6 -- section 4.2 software footprint: 1984 bytes of opcode, 1208 bytes of data.
+
+The routine/data inventory of :mod:`repro.software.program` reconstructs the
+published MicroBlaze footprints; the benchmark also relates the static code
+size to the dynamic instruction counts of the software cost model (every
+routine in the inventory is exercised by a retrieval run).
+"""
+
+import pytest
+
+from repro.software import (
+    PAPER_CODE_BYTES,
+    PAPER_DATA_BYTES,
+    ROUTINES,
+    SoftwareRetrievalUnit,
+    code_size_bytes,
+    data_size_bytes,
+    footprint_report,
+)
+
+
+def test_sw_footprint_matches_paper(benchmark):
+    """Static footprint model reproduces the published byte counts exactly."""
+    report = benchmark(footprint_report)
+    assert report["code_bytes"] == PAPER_CODE_BYTES == code_size_bytes()
+    assert report["data_bytes"] == PAPER_DATA_BYTES == data_size_bytes()
+    assert report["total_bytes"] == PAPER_CODE_BYTES + PAPER_DATA_BYTES
+
+
+def test_sw_footprint_is_dominated_by_retrieval_routines(benchmark):
+    """The retrieval loops account for the bulk of the opcode footprint."""
+
+    def breakdown():
+        retrieval = sum(
+            routine.bytes
+            for routine in ROUTINES
+            if routine.name
+            in {
+                "retrieve_most_similar",
+                "score_implementation",
+                "fetch_supplemental",
+                "search_attribute",
+                "local_similarity_fixed",
+                "weighted_accumulate",
+            }
+        )
+        return retrieval, code_size_bytes()
+
+    retrieval_bytes, total_bytes = benchmark(breakdown)
+    assert retrieval_bytes / total_bytes > 0.6
+
+
+def test_dynamic_instruction_count_fits_the_static_program(benchmark, paper_cb, paper_req):
+    """A retrieval executes each static instruction a plausible number of times.
+
+    The worked example touches three implementations with three request
+    attributes each, so the dynamic count must exceed the static instruction
+    count of the inner routines but stay within a small multiple of the whole
+    program (no unbounded code paths).
+    """
+    unit = SoftwareRetrievalUnit(paper_cb)
+    result = benchmark(lambda: unit.run(paper_req))
+    static_instructions = footprint_report()["instruction_count"]
+    assert result.statistics.instructions > 100
+    assert result.statistics.instructions < 10 * static_instructions

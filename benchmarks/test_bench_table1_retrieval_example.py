@@ -1,0 +1,71 @@
+"""E1 -- Table 1: similarity retrieval on the paper's FIR-equalizer example.
+
+Regenerates the rows of Table 1 (global similarity per implementation variant)
+with the floating-point reference engine, the fixed-point hardware model and
+the software model, asserts the published values (0.85 / 0.96 / 0.43, DSP
+best) and benchmarks the retrieval latency of each execution model.
+"""
+
+import pytest
+
+from repro.core import (
+    RetrievalEngine,
+    TABLE1_BEST_IMPLEMENTATION_ID,
+    TABLE1_EXPECTED_SIMILARITIES,
+)
+from repro.hardware import HardwareRetrievalUnit
+from repro.software import SoftwareRetrievalUnit
+
+
+def test_table1_reference_engine(benchmark, paper_cb, paper_req):
+    """Reference (floating point) retrieval reproduces Table 1 exactly."""
+    engine = RetrievalEngine(paper_cb)
+    result = benchmark(lambda: engine.retrieve_n_best(paper_req, 3))
+    measured = {entry.implementation_id: entry.similarity for entry in result}
+    for implementation_id, expected in TABLE1_EXPECTED_SIMILARITIES.items():
+        assert measured[implementation_id] == pytest.approx(expected, abs=0.005)
+    assert result.best_id == TABLE1_BEST_IMPLEMENTATION_ID
+    assert result.ids() == [2, 1, 3]
+
+
+def test_table1_hardware_fixed_point(benchmark, paper_cb, paper_req):
+    """The 16-bit hardware model delivers the same Table 1 ranking and values."""
+    unit = HardwareRetrievalUnit(paper_cb)
+    result = benchmark(lambda: unit.run(paper_req))
+    assert result.best_id == TABLE1_BEST_IMPLEMENTATION_ID
+    assert result.best_similarity == pytest.approx(
+        TABLE1_EXPECTED_SIMILARITIES[TABLE1_BEST_IMPLEMENTATION_ID], abs=0.005
+    )
+
+
+def test_table1_software_model(benchmark, paper_cb, paper_req):
+    """The MicroBlaze-style software model agrees with the hardware decision."""
+    unit = SoftwareRetrievalUnit(paper_cb)
+    result = benchmark(lambda: unit.run(paper_req))
+    assert result.best_id == TABLE1_BEST_IMPLEMENTATION_ID
+    assert result.best_similarity == pytest.approx(
+        TABLE1_EXPECTED_SIMILARITIES[TABLE1_BEST_IMPLEMENTATION_ID], abs=0.005
+    )
+
+
+def test_table1_per_attribute_breakdown(benchmark, paper_engine, paper_cb, paper_req):
+    """The per-attribute local similarities of Table 1 (d, dmax, s_i columns)."""
+
+    def breakdown():
+        return {
+            implementation.implementation_id: paper_engine.score(paper_req, implementation)
+            for implementation in paper_cb.get_type(1)
+        }
+
+    scored = benchmark(breakdown)
+    fpga = {v.attribute_id: v for v in scored[1].local_similarities}
+    gpp = {v.attribute_id: v for v in scored[3].local_similarities}
+    # Distances of Table 1: FPGA row (0, 1, 4), GP-processor row (8, 1, 18).
+    assert [fpga[i].distance for i in (1, 3, 4)] == [0, 1, 4]
+    assert [gpp[i].distance for i in (1, 3, 4)] == [8, 1, 18]
+    # dmax column: 8, 2, 36.
+    assert [fpga[i].dmax for i in (1, 3, 4)] == [8, 2, 36]
+    # Local similarities of the FPGA row: 1.0, 0.66, 0.89.
+    assert fpga[1].similarity == pytest.approx(1.0)
+    assert fpga[3].similarity == pytest.approx(0.66, abs=0.01)
+    assert fpga[4].similarity == pytest.approx(0.89, abs=0.01)

@@ -1,0 +1,68 @@
+"""E3 -- Table 3: case-base memory consumption.
+
+The paper's sizing: a case base of 15 function types with 10 implementations
+of 10 attributes each stored in 16-bit words (pointers included) takes about
+4.5 kB, and the worst-case request takes 64 bytes.  The benchmark measures the
+encoder; the assertions check the request footprint exactly and that the
+encoded case base lands in the published few-kilobyte range (the plain
+pairwise layout of Fig. 5 is ~7 kB, the compacted shared-directory layout is
+~3.7 kB; the paper's 4.5 kB sits between the two -- see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.core import FunctionRequest
+from repro.memmap import (
+    CaseBaseImage,
+    compact_size_bytes,
+    encode_request,
+    request_size_bytes,
+    tree_size_bytes,
+)
+
+#: Published Table 3 values.
+PAPER_CASE_BASE_BYTES = 4608  # "4.5 kB"
+PAPER_REQUEST_BYTES = 64
+
+
+def test_table3_request_footprint(benchmark):
+    """A worst-case 10-attribute request occupies exactly 64 bytes."""
+    request = FunctionRequest(1, [(i, i * 3) for i in range(1, 11)])
+    encoded = benchmark(lambda: encode_request(request))
+    assert encoded.size_bytes == PAPER_REQUEST_BYTES
+    assert request_size_bytes(10) == PAPER_REQUEST_BYTES
+
+
+def test_table3_case_base_footprint(benchmark, table3_case_base):
+    """Encoding the 15x10x10 case base lands in the published few-kB range."""
+    image = benchmark(lambda: CaseBaseImage(table3_case_base))
+    footprint = image.footprint()
+    assert footprint.request_bytes == PAPER_REQUEST_BYTES
+    # Plain and compact encodings bracket the paper's 4.5 kB figure.
+    assert footprint.compact_tree_bytes < PAPER_CASE_BASE_BYTES < footprint.tree_bytes
+    assert footprint.tree_bytes / PAPER_CASE_BASE_BYTES < 1.6
+    assert PAPER_CASE_BASE_BYTES / footprint.compact_tree_bytes < 1.3
+    # The analytic formulas agree with the encoders for the uniform sizing.
+    assert footprint.tree_bytes == tree_size_bytes(15, 10, 10)
+    assert footprint.compact_tree_bytes == compact_size_bytes(15, 10, 10)
+
+
+def test_table3_scaling_sweep(benchmark):
+    """Footprint scaling across case-base sizes (the figure Table 3 implies)."""
+    sweep = [(5, 5, 5), (10, 8, 8), (15, 10, 10), (15, 10, 15)]
+
+    def run_sweep():
+        return {
+            dims: (tree_size_bytes(*dims), compact_size_bytes(*dims)) for dims in sweep
+        }
+
+    sizes = benchmark(run_sweep)
+    plain = [sizes[dims][0] for dims in sweep]
+    compact = [sizes[dims][1] for dims in sweep]
+    # Monotone growth with every dimension, compact always below plain.
+    assert plain == sorted(plain)
+    assert compact == sorted(compact)
+    assert all(c < p for c, p in zip(compact, plain))
+    # At the paper's design point the saving of the compact layout is ~45 %.
+    plain_15, compact_15 = sizes[(15, 10, 10)]
+    assert 0.45 < compact_15 / plain_15 < 0.65

@@ -1,0 +1,15 @@
+"""Repository-level pytest configuration.
+
+Ensures the ``src`` layout is importable even when the package has not been
+installed into the active environment (the offline environment used for
+development lacks the ``wheel`` package needed for PEP 660 editable installs,
+so ``python setup.py develop`` or this path fallback are the supported ways to
+run the suite).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Hardware design exploration of the retrieval unit.
+
+Reproduces the synthesis-results view of the paper (Table 2 / Fig. 6 resource
+box) with the component-level resource estimator and then explores the design
+variants the paper's outlook proposes: the n-most-similar register file and the
+compacted attribute-block loading.  Also prints an FSM execution trace of one
+retrieval (the behaviour Fig. 6 describes) and the memory footprint of a
+Table 3-sized case base.
+
+Run with ``python examples/hardware_design_exploration.py``.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.analysis import format_table
+from repro.core import paper_case_base, paper_request
+from repro.hardware import HardwareConfig, HardwareRetrievalUnit, ResourceEstimator
+from repro.memmap import CaseBaseImage
+from repro.software import SoftwareRetrievalUnit
+from repro.tools import CaseBaseGenerator, format_trace, table3_spec
+
+
+def print_resource_table() -> None:
+    estimator = ResourceEstimator()
+    variants = {
+        "baseline (Table 2)": HardwareConfig(),
+        "n-best, n=4": HardwareConfig(n_best=4),
+        "compacted blocks": HardwareConfig(wide_attribute_fetch=True,
+                                           pipelined_datapath=True,
+                                           cache_reciprocals=True),
+    }
+    rows = []
+    for name, config in variants.items():
+        estimate = estimator.estimate(config=config)
+        rows.append([
+            name,
+            estimate.slices,
+            estimate.multipliers,
+            estimate.bram_blocks,
+            f"{estimate.max_clock_mhz:.0f} MHz",
+            f"{estimate.slice_utilization:.1%}",
+        ])
+    print(format_table(
+        ["variant", "slices", "MULT18x18", "BRAM", "clock", "slice util."],
+        rows,
+        title="Table 2 -- retrieval unit resources on XC2V3000 (estimated)",
+    ))
+    print("paper reports: 441 slices (3 %), 2 multipliers, 2 BRAMs, 75-77 MHz")
+    print()
+
+
+def print_retrieval_trace() -> None:
+    case_base = paper_case_base()
+    unit = HardwareRetrievalUnit(case_base, config=HardwareConfig(trace=True))
+    result = unit.run(paper_request())
+    print("FSM trace of the Table 1 retrieval (first 20 state visits):")
+    print(format_trace(result.trace, limit=20))
+    print()
+
+
+def print_cycle_comparison() -> None:
+    generator = CaseBaseGenerator(table3_spec(), seed=2004)
+    case_base = generator.case_base()
+    request = generator.request(salt=1, attribute_count=10)
+    configurations = {
+        "hardware baseline": HardwareRetrievalUnit(case_base),
+        "hardware compacted": HardwareRetrievalUnit(
+            case_base,
+            config=HardwareConfig(wide_attribute_fetch=True, pipelined_datapath=True,
+                                  cache_reciprocals=True),
+        ),
+    }
+    rows = []
+    baseline_cycles = None
+    for name, unit in configurations.items():
+        result = unit.run(request)
+        if baseline_cycles is None:
+            baseline_cycles = result.cycles
+        rows.append([name, result.cycles, f"{result.time_us:.1f} us",
+                     f"{baseline_cycles / result.cycles:.2f}x"])
+    software = SoftwareRetrievalUnit(case_base).run(request)
+    rows.append(["MicroBlaze software model", software.cycles,
+                 f"{software.time_us:.1f} us",
+                 f"{baseline_cycles / software.cycles:.2f}x"])
+    print(format_table(["execution", "cycles", "time @66 MHz", "vs baseline"], rows,
+                       title="retrieval latency on a Table 3-sized case base"))
+    print()
+
+
+def print_memory_footprint() -> None:
+    case_base = CaseBaseGenerator(table3_spec(), seed=2004).case_base()
+    footprint = CaseBaseImage(case_base).footprint()
+    rows = [
+        ["implementation tree (plain, Fig. 5)", footprint.tree_bytes],
+        ["implementation tree (compact directory)", footprint.compact_tree_bytes],
+        ["attribute supplemental list", footprint.supplemental_bytes],
+        ["request (worst case, 10 attributes)", footprint.request_bytes],
+    ]
+    print(format_table(["structure", "bytes"], rows,
+                       title="Table 3 -- memory consumption (15 types x 10 impls x 10 attrs)"))
+    print("paper reports: case base ~4.5 kB, request 64 bytes")
+
+
+def main() -> None:
+    print_resource_table()
+    print_retrieval_trace()
+    print_cycle_comparison()
+    print_memory_footprint()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Quickstart: QoS-based retrieval of a function implementation variant.
+
+Rebuilds the paper's worked example (Fig. 3 / Table 1) with the public API:
+
+1. describe the QoS attributes the platform knows about,
+2. register a function type with three implementation variants,
+3. issue a QoS-constrained request, and
+4. retrieve the best-matching variants (floating-point reference engine and
+   the cycle-accurate model of the paper's FPGA retrieval unit).
+
+Run with ``python examples/quickstart.py``.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.analysis import format_table
+from repro.core import (
+    AttributeSchema,
+    BoundsTable,
+    CaseBase,
+    DeploymentInfo,
+    ExecutionTarget,
+    Implementation,
+    RequestBuilder,
+    RetrievalEngine,
+)
+from repro.hardware import HardwareRetrievalUnit
+
+
+def build_case_base() -> CaseBase:
+    """The FIR-equalizer case base of the paper's Fig. 3."""
+    schema = AttributeSchema()
+    schema.define(1, "bitwidth", unit="bit")
+    schema.define(2, "processing_mode", symbols=("integer", "fixed", "float"))
+    schema.define(3, "output_mode", symbols=("mono", "stereo", "surround"))
+    schema.define(4, "sampling_rate", unit="kSamples/s")
+
+    bounds = BoundsTable()
+    bounds.define(1, 8, 16)    # dmax = 8
+    bounds.define(2, 0, 2)
+    bounds.define(3, 0, 2)     # dmax = 2
+    bounds.define(4, 8, 44)    # dmax = 36
+
+    case_base = CaseBase(schema=schema, bounds=bounds)
+    equalizer = case_base.add_type(1, name="FIR Equalizer")
+    equalizer.add(Implementation(
+        1, ExecutionTarget.FPGA, name="FPGA equalizer",
+        attributes={1: 16, 2: 0, 3: 2, 4: 44},
+        deployment=DeploymentInfo(configuration_size_bytes=96_000, area_slices=1200,
+                                  power_mw=450.0),
+    ))
+    equalizer.add(Implementation(
+        2, ExecutionTarget.DSP, name="DSP equalizer",
+        attributes={1: 16, 2: 0, 3: 1, 4: 44},
+        deployment=DeploymentInfo(configuration_size_bytes=12_000, power_mw=300.0,
+                                  load_fraction=0.35),
+    ))
+    equalizer.add(Implementation(
+        3, ExecutionTarget.GPP, name="Software equalizer",
+        attributes={1: 8, 2: 0, 3: 0, 4: 22},
+        deployment=DeploymentInfo(configuration_size_bytes=4_000, power_mw=180.0,
+                                  load_fraction=0.55),
+    ))
+    return case_base
+
+
+def main() -> None:
+    case_base = build_case_base()
+
+    # The request of Fig. 3: 16 bit, stereo output, 40 kSamples/s, equal weights.
+    request = (
+        RequestBuilder(case_base.schema, type_id=1, requester="audio-app")
+        .constrain("bitwidth", 16)
+        .constrain("output_mode", "stereo")
+        .constrain("sampling_rate", 40)
+        .build()
+    )
+
+    # Floating-point reference retrieval (Table 1).
+    engine = RetrievalEngine(case_base)
+    ranking = engine.retrieve_n_best(request, 3)
+    rows = []
+    for entry in ranking:
+        implementation = entry.implementation
+        rows.append([
+            implementation.implementation_id,
+            implementation.name,
+            implementation.target.value,
+            round(entry.similarity, 3),
+        ])
+    print(format_table(["impl", "name", "target", "S_global"], rows,
+                       title="Table 1 -- retrieval similarity example"))
+    print()
+
+    # The same retrieval on the cycle-accurate hardware retrieval-unit model.
+    unit = HardwareRetrievalUnit(case_base)
+    result = unit.run(request)
+    print(f"hardware retrieval unit: best implementation ID {result.best_id} "
+          f"(S = {result.best_similarity:.3f}) in {result.cycles} cycles "
+          f"= {result.time_us:.2f} us at {result.clock_mhz:.0f} MHz")
+    print(f"memory reads: {result.statistics.memory_reads} "
+          f"({result.statistics.case_base_reads} case base, "
+          f"{result.statistics.request_reads} request)")
+
+
+if __name__ == "__main__":
+    main()

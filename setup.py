@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The pyproject.toml carries all metadata; this file exists so that legacy
+installs (``python setup.py develop``) work on environments whose setuptools
+lacks PEP 660 editable-wheel support (no ``wheel`` package available offline).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,20 @@
+"""Function-allocation management layer (retrieval + feasibility + negotiation)."""
+
+from .feasibility import FeasibilityChecker, FeasibilityReport, FeasibilityVerdict
+from .manager import AllocationManager
+from .negotiation import ApplicationPolicy, NegotiationOutcome, Offer, QoSNegotiator
+from .records import AllocationDecision, AllocationStatistics, AllocationStatus
+
+__all__ = [
+    "AllocationDecision",
+    "AllocationManager",
+    "AllocationStatistics",
+    "AllocationStatus",
+    "ApplicationPolicy",
+    "FeasibilityChecker",
+    "FeasibilityReport",
+    "FeasibilityVerdict",
+    "NegotiationOutcome",
+    "Offer",
+    "QoSNegotiator",
+]

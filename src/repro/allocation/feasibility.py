@@ -1,0 +1,146 @@
+"""Feasibility checking of retrieved implementation variants (paper section 3).
+
+"The found set of implementation variants can be used for checking the current
+system load and resource consumption state concerning the feasibility of a
+best matching implementation out of it."  The checker below answers exactly
+that question for one candidate: can it be placed on some device right now,
+can it be placed after preempting lower-priority tasks, or not at all -- and
+does placing it keep the platform inside its power budget.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..core.case_base import Implementation
+from ..platform.resource_state import SystemResourceState
+from ..platform.runtime_controller import LocalRuntimeController
+
+
+class FeasibilityVerdict(enum.Enum):
+    """Outcome of checking one candidate implementation."""
+
+    FEASIBLE = "feasible"
+    FEASIBLE_WITH_PREEMPTION = "feasible_with_preemption"
+    INFEASIBLE_CAPACITY = "infeasible_capacity"
+    INFEASIBLE_POWER = "infeasible_power"
+    INFEASIBLE_NO_DEVICE = "infeasible_no_device"
+
+    @property
+    def is_feasible(self) -> bool:
+        """Whether the candidate can be placed (possibly after preemption)."""
+        return self in (
+            FeasibilityVerdict.FEASIBLE,
+            FeasibilityVerdict.FEASIBLE_WITH_PREEMPTION,
+        )
+
+
+@dataclass
+class FeasibilityReport:
+    """Result of a feasibility check for one candidate implementation."""
+
+    verdict: FeasibilityVerdict
+    implementation: Implementation
+    controller: Optional[LocalRuntimeController] = None
+    reason: str = ""
+    #: Number of tasks that would need to be preempted (0 when immediately feasible).
+    preemption_count: int = 0
+
+    @property
+    def is_feasible(self) -> bool:
+        """Whether the candidate can be placed."""
+        return self.verdict.is_feasible
+
+
+class FeasibilityChecker:
+    """Checks candidates against device capacity and the platform power budget.
+
+    Parameters
+    ----------
+    system:
+        The platform resource state (controllers plus optional power budget).
+    allow_preemption:
+        Whether "feasible after preempting other tasks" counts as feasible.
+        The paper's flow offers such candidates back to the application, which
+        "has to decide on it"; the negotiation layer handles that decision.
+    """
+
+    def __init__(self, system: SystemResourceState, *, allow_preemption: bool = True) -> None:
+        self.system = system
+        self.allow_preemption = allow_preemption
+
+    def _power_ok(self, implementation: Implementation) -> bool:
+        headroom = self.system.headroom_mw()
+        if headroom is None:
+            return True
+        return implementation.deployment.power_mw <= headroom + 1e-9
+
+    def check(self, implementation: Implementation) -> FeasibilityReport:
+        """Feasibility of one candidate on the best-suited device."""
+        hosting = [
+            controller
+            for controller in self.system.controllers()
+            if controller.device.can_host(implementation)
+        ]
+        if not hosting:
+            return FeasibilityReport(
+                verdict=FeasibilityVerdict.INFEASIBLE_NO_DEVICE,
+                implementation=implementation,
+                reason=f"no device can host target {implementation.target.value}",
+            )
+        if not self._power_ok(implementation):
+            return FeasibilityReport(
+                verdict=FeasibilityVerdict.INFEASIBLE_POWER,
+                implementation=implementation,
+                reason="platform power budget would be exceeded",
+            )
+        # Prefer the least utilised device that has free capacity right now.
+        immediate = [c for c in hosting if c.can_place(implementation)]
+        if immediate:
+            best = min(immediate, key=lambda controller: controller.utilization())
+            return FeasibilityReport(
+                verdict=FeasibilityVerdict.FEASIBLE,
+                implementation=implementation,
+                controller=best,
+            )
+        if self.allow_preemption:
+            for controller in sorted(hosting, key=lambda c: c.utilization()):
+                victims = self._preemption_victims(controller, implementation)
+                if victims:
+                    return FeasibilityReport(
+                        verdict=FeasibilityVerdict.FEASIBLE_WITH_PREEMPTION,
+                        implementation=implementation,
+                        controller=controller,
+                        preemption_count=len(victims),
+                        reason=f"requires preempting {len(victims)} task(s) on {controller.name}",
+                    )
+        return FeasibilityReport(
+            verdict=FeasibilityVerdict.INFEASIBLE_CAPACITY,
+            implementation=implementation,
+            reason="no device has enough free capacity",
+        )
+
+    @staticmethod
+    def _preemption_victims(
+        controller: LocalRuntimeController, implementation: Implementation
+    ) -> List[int]:
+        """How many preemptions would free enough capacity (dry run, no removal)."""
+        device = controller.device
+        victims: List[int] = []
+        removed = []
+        try:
+            for candidate in device.preemption_candidates():
+                removed.append(device.remove(candidate.handle))
+                victims.append(candidate.handle)
+                if device.has_capacity_for(implementation):
+                    return victims
+            return []
+        finally:
+            for task in removed:
+                device.place(task)
+
+    def rank(self, implementations: List[Implementation]) -> List[FeasibilityReport]:
+        """Check several candidates, keeping their input (similarity) order."""
+        return [self.check(implementation) for implementation in implementations]

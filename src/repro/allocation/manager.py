@@ -1,0 +1,350 @@
+"""The function-allocation management layer (paper Fig. 1, middle layer).
+
+The allocation manager receives QoS-constrained function requests through the
+Application-API, retrieves matching implementation variants from the case base
+(using the reference engine or the hardware retrieval-unit model), checks
+their feasibility against the current system load and power state, negotiates
+with the calling application, deploys the agreed variant through the HW-Layer
+controllers and finally hands back an allocation handle.  Repeated calls with
+an unchanged request are short-circuited with bypass tokens (section 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.bypass import BypassCache
+from ..core.case_base import CaseBase, Implementation
+from ..core.exceptions import AllocationError, UnknownFunctionTypeError
+from ..core.request import FunctionRequest
+from ..core.retrieval import RetrievalEngine, ScoredImplementation
+from ..hardware.retrieval_unit import HardwareConfig, HardwareRetrievalUnit
+from ..platform.resource_state import SystemResourceState
+from ..platform.repository import ConfigurationRepository
+from ..platform.runtime_controller import LocalRuntimeController
+from .feasibility import FeasibilityChecker, FeasibilityVerdict
+from .negotiation import ApplicationPolicy, Offer, QoSNegotiator
+from .records import AllocationDecision, AllocationStatistics, AllocationStatus
+
+
+class AllocationManager:
+    """QoS-aware function allocation over a reconfigurable multi-device platform.
+
+    Parameters
+    ----------
+    case_base:
+        The function-implementation tree.
+    system:
+        Platform resource state (run-time controllers plus power budget).
+    repository:
+        Optional configuration repository; when omitted, one is derived from
+        the case base's deployment metadata.
+    negotiator:
+        QoS negotiator holding the application policies.
+    n_candidates:
+        How many most-similar variants are retrieved per request (the paper's
+        "n most similar solutions" extension; 1 reproduces the baseline).
+    similarity_threshold:
+        Candidates below this global similarity are rejected before the
+        feasibility check ("reject all results below a given threshold").
+    retrieval_backend:
+        ``"reference"`` uses the floating-point engine; ``"hardware"`` ranks
+        with the cycle-accurate retrieval-unit model (and records its cycle
+        counts in every decision).
+    hardware_config:
+        Configuration for the hardware retrieval unit when that backend is used.
+    max_negotiation_rounds:
+        Upper bound on relaxation rounds per request.
+    """
+
+    def __init__(
+        self,
+        case_base: CaseBase,
+        system: SystemResourceState,
+        *,
+        repository: Optional[ConfigurationRepository] = None,
+        negotiator: Optional[QoSNegotiator] = None,
+        n_candidates: int = 3,
+        similarity_threshold: float = 0.0,
+        retrieval_backend: str = "reference",
+        hardware_config: Optional[HardwareConfig] = None,
+        max_negotiation_rounds: int = 2,
+        bypass_capacity: Optional[int] = 64,
+    ) -> None:
+        if n_candidates <= 0:
+            raise AllocationError("n_candidates must be positive")
+        if not 0.0 <= similarity_threshold <= 1.0:
+            raise AllocationError("similarity threshold must lie within [0, 1]")
+        if retrieval_backend not in ("reference", "hardware"):
+            raise AllocationError(
+                f"unknown retrieval backend {retrieval_backend!r}; "
+                f"expected 'reference' or 'hardware'"
+            )
+        if max_negotiation_rounds < 1:
+            raise AllocationError("max_negotiation_rounds must be at least 1")
+        self.case_base = case_base
+        self.system = system
+        self.repository = (
+            repository
+            if repository is not None
+            else ConfigurationRepository.from_case_base(case_base)
+        )
+        for controller in self.system.controllers():
+            if controller.repository is None:
+                controller.repository = self.repository
+        self.negotiator = negotiator if negotiator is not None else QoSNegotiator()
+        self.n_candidates = n_candidates
+        self.similarity_threshold = similarity_threshold
+        self.retrieval_backend = retrieval_backend
+        self.hardware_config = hardware_config
+        self.max_negotiation_rounds = max_negotiation_rounds
+        self.engine = RetrievalEngine(case_base)
+        self.feasibility = FeasibilityChecker(system)
+        self.bypass = BypassCache(capacity=bypass_capacity)
+        self.statistics = AllocationStatistics()
+        self._hardware_unit: Optional[HardwareRetrievalUnit] = None
+        self._hardware_revision = -1
+        #: handle -> (requester, type_id, implementation_id, controller)
+        self._active: Dict[int, Tuple[str, int, int, LocalRuntimeController]] = {}
+
+    # -- retrieval ------------------------------------------------------------------
+
+    def _hardware_unit_current(self) -> HardwareRetrievalUnit:
+        """(Re)build the hardware unit when the case base changed."""
+        if self._hardware_unit is None or self._hardware_revision != self.case_base.revision:
+            config = self.hardware_config
+            if config is None:
+                config = HardwareConfig(n_best=self.n_candidates)
+            elif config.n_best < self.n_candidates:
+                config = HardwareConfig(
+                    clock_mhz=config.clock_mhz,
+                    wide_attribute_fetch=config.wide_attribute_fetch,
+                    pipelined_datapath=config.pipelined_datapath,
+                    cache_reciprocals=config.cache_reciprocals,
+                    n_best=self.n_candidates,
+                    trace=config.trace,
+                )
+            self._hardware_unit = HardwareRetrievalUnit(self.case_base, config=config)
+            self._hardware_revision = self.case_base.revision
+        return self._hardware_unit
+
+    def _retrieve(
+        self, request: FunctionRequest
+    ) -> Tuple[List[ScoredImplementation], Optional[int]]:
+        """Retrieve the candidate list; returns ``(candidates, hardware_cycles)``."""
+        if self.retrieval_backend == "hardware":
+            unit = self._hardware_unit_current()
+            result = unit.run(request)
+            function_type = self.case_base.get_type(request.type_id)
+            candidates = [
+                ScoredImplementation(
+                    type_id=request.type_id,
+                    implementation=function_type.get(implementation_id),
+                    similarity=similarity,
+                )
+                for implementation_id, similarity in zip(
+                    result.ranked_ids(), result.ranked_similarities()
+                )
+            ]
+            candidates = [
+                candidate
+                for candidate in candidates
+                if candidate.similarity >= self.similarity_threshold
+            ][: self.n_candidates]
+            return candidates, result.cycles
+        result = self.engine.retrieve(
+            request,
+            n=self.n_candidates,
+            threshold=self.similarity_threshold if self.similarity_threshold > 0 else None,
+        )
+        return list(result.ranked), None
+
+    # -- bypass ---------------------------------------------------------------------
+
+    def _try_bypass(self, request: FunctionRequest) -> Optional[AllocationDecision]:
+        """Serve a repeated request from its bypass token if still valid."""
+        token = self.bypass.lookup(request, self.case_base)
+        if token is None:
+            return None
+        for handle, (requester, type_id, implementation_id, controller) in self._active.items():
+            if (
+                requester == request.requester
+                and type_id == token.type_id
+                and implementation_id == token.implementation_id
+            ):
+                decision = AllocationDecision(
+                    status=AllocationStatus.ALLOCATED_VIA_BYPASS,
+                    requester=request.requester,
+                    type_id=type_id,
+                    implementation=self.case_base.get_implementation(type_id, implementation_id),
+                    device_name=controller.name,
+                    similarity=token.similarity,
+                    used_bypass=True,
+                    reason="served from bypass token (availability check only)",
+                )
+                self.statistics.record(decision)
+                return decision
+        # Token exists but the allocation is gone: drop it and fall back to retrieval.
+        self.bypass.invalidate_request(request)
+        return None
+
+    # -- public API -------------------------------------------------------------------
+
+    def allocate(self, request: FunctionRequest, *, now_us: float = 0.0) -> AllocationDecision:
+        """Serve one function request end to end."""
+        bypass_decision = self._try_bypass(request)
+        if bypass_decision is not None:
+            return bypass_decision
+
+        current_request = request
+        last_failure = AllocationStatus.REJECTED_NO_MATCH
+        failure_reason = ""
+        candidates: List[ScoredImplementation] = []
+
+        for round_index in range(self.max_negotiation_rounds):
+            try:
+                candidates, hardware_cycles = self._retrieve(current_request)
+            except UnknownFunctionTypeError:
+                decision = AllocationDecision(
+                    status=AllocationStatus.REJECTED_UNKNOWN_TYPE,
+                    requester=request.requester,
+                    type_id=request.type_id,
+                    reason=f"function type {request.type_id} is not in the case base",
+                )
+                self.statistics.record(decision)
+                return decision
+
+            if not candidates:
+                last_failure = (
+                    AllocationStatus.REJECTED_BELOW_THRESHOLD
+                    if self.similarity_threshold > 0
+                    else AllocationStatus.REJECTED_NO_MATCH
+                )
+                failure_reason = "no implementation variant reached the similarity threshold"
+            else:
+                reports = self.feasibility.rank(
+                    [candidate.implementation for candidate in candidates]
+                )
+                offers = [
+                    Offer(
+                        candidate=candidate,
+                        feasibility=report,
+                        requires_preemption=(
+                            report.verdict is FeasibilityVerdict.FEASIBLE_WITH_PREEMPTION
+                        ),
+                    )
+                    for candidate, report in zip(candidates, reports)
+                    if report.is_feasible
+                ]
+                if not offers:
+                    last_failure = AllocationStatus.REJECTED_INFEASIBLE
+                    failure_reason = "no retrieved variant is feasible on the current system load"
+                else:
+                    outcome = self.negotiator.negotiate(request.requester, offers)
+                    if outcome.agreed and outcome.accepted is not None:
+                        return self._deploy(
+                            request,
+                            current_request,
+                            outcome.accepted,
+                            candidates,
+                            hardware_cycles,
+                            now_us=now_us,
+                        )
+                    last_failure = AllocationStatus.REJECTED_BY_APPLICATION
+                    failure_reason = outcome.reason
+
+            relaxed = self.negotiator.propose_relaxation(
+                request.requester, current_request, round_index
+            )
+            if relaxed is None:
+                break
+            current_request = relaxed
+
+        decision = AllocationDecision(
+            status=last_failure,
+            requester=request.requester,
+            type_id=request.type_id,
+            candidates=candidates,
+            reason=failure_reason,
+        )
+        self.statistics.record(decision)
+        return decision
+
+    def _deploy(
+        self,
+        original_request: FunctionRequest,
+        served_request: FunctionRequest,
+        offer: Offer,
+        candidates: List[ScoredImplementation],
+        hardware_cycles: Optional[int],
+        *,
+        now_us: float,
+    ) -> AllocationDecision:
+        """Place the accepted candidate and book-keep the decision."""
+        controller = offer.feasibility.controller
+        if controller is None:
+            raise AllocationError("accepted offer has no target controller")
+        implementation = offer.candidate.implementation
+        preempted: List[int] = []
+        if offer.requires_preemption:
+            victims = controller.preempt_for(implementation)
+            preempted = [victim.handle for victim in victims]
+            for victim in victims:
+                self._active.pop(victim.handle, None)
+                self.bypass.invalidate_implementation(victim.type_id,
+                                                      victim.implementation.implementation_id)
+        placement = controller.place(
+            offer.candidate.type_id,
+            implementation,
+            requester=original_request.requester,
+            now_us=now_us,
+        )
+        self._active[placement.handle] = (
+            original_request.requester,
+            offer.candidate.type_id,
+            implementation.implementation_id,
+            controller,
+        )
+        self.bypass.store(
+            original_request,
+            self.case_base,
+            implementation.implementation_id,
+            offer.candidate.similarity,
+        )
+        if preempted:
+            status = AllocationStatus.ALLOCATED_AFTER_PREEMPTION
+        elif candidates and implementation.implementation_id == candidates[0].implementation_id:
+            status = AllocationStatus.ALLOCATED
+        else:
+            status = AllocationStatus.ALLOCATED_ALTERNATIVE
+        decision = AllocationDecision(
+            status=status,
+            requester=original_request.requester,
+            type_id=offer.candidate.type_id,
+            implementation=implementation,
+            device_name=controller.name,
+            similarity=offer.candidate.similarity,
+            placement=placement,
+            candidates=candidates,
+            preempted_handles=preempted,
+            retrieval_cycles=hardware_cycles,
+        )
+        self.statistics.record(decision)
+        return decision
+
+    def release(self, handle: int) -> None:
+        """Release one allocation and revoke its bypass tokens."""
+        try:
+            requester, type_id, implementation_id, controller = self._active.pop(handle)
+        except KeyError as exc:
+            raise AllocationError(f"no active allocation with handle {handle}") from exc
+        controller.remove(handle)
+        self.bypass.invalidate_implementation(type_id, implementation_id)
+        self.statistics.releases += 1
+
+    def active_allocations(self) -> Dict[int, Tuple[str, int, int, str]]:
+        """Snapshot of active allocations: handle -> (requester, type, impl, device)."""
+        return {
+            handle: (requester, type_id, implementation_id, controller.name)
+            for handle, (requester, type_id, implementation_id, controller) in self._active.items()
+        }

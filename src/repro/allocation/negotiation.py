@@ -1,0 +1,157 @@
+"""QoS negotiation between the allocation manager and applications.
+
+The paper sketches the protocol: the manager retrieves the best-matching
+variants, checks their feasibility and "would suggest the remaining
+implementation-variants to the calling application", which "has to decide on
+it"; if nothing acceptable remains "the application has to repeat its request
+with rather relaxed constraints".  This module provides that loop:
+
+* :class:`ApplicationPolicy` -- the application-side decision logic (accept an
+  alternative? how to relax constraints?), implemented as a small strategy
+  object so example applications can customise it.
+* :class:`QoSNegotiator` -- runs the offer/decision/relaxation rounds and
+  reports the agreed candidate (or the failure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.exceptions import NegotiationError
+from ..core.request import FunctionRequest
+from ..core.retrieval import ScoredImplementation
+from .feasibility import FeasibilityReport
+
+
+@dataclass(frozen=True)
+class Offer:
+    """One candidate offered to the application during negotiation."""
+
+    candidate: ScoredImplementation
+    feasibility: FeasibilityReport
+    requires_preemption: bool
+
+    @property
+    def similarity(self) -> float:
+        """Global similarity of the offered candidate."""
+        return self.candidate.similarity
+
+
+@dataclass
+class NegotiationOutcome:
+    """Result of one negotiation."""
+
+    accepted: Optional[Offer]
+    rounds: int
+    offers_made: int
+    relaxed_request: Optional[FunctionRequest] = None
+    reason: str = ""
+
+    @property
+    def agreed(self) -> bool:
+        """Whether the negotiation ended with an accepted offer."""
+        return self.accepted is not None
+
+
+class ApplicationPolicy:
+    """Application-side negotiation policy.
+
+    Parameters
+    ----------
+    minimum_similarity:
+        Offers below this global similarity are refused outright.
+    accept_preemption:
+        Whether offers that require preempting other tasks are acceptable.
+    relaxation_factors:
+        Per-attribute multiplicative factors applied when the manager asks the
+        application to relax its constraints (e.g. ``{4: 0.5}`` halves the
+        required sample rate).  An empty mapping means the application cannot
+        relax and the negotiation fails after the first round.
+    max_relaxations:
+        How many relaxation rounds the application tolerates.
+    """
+
+    def __init__(
+        self,
+        *,
+        minimum_similarity: float = 0.5,
+        accept_preemption: bool = True,
+        relaxation_factors: Optional[Dict[int, float]] = None,
+        max_relaxations: int = 1,
+    ) -> None:
+        if not 0.0 <= minimum_similarity <= 1.0:
+            raise NegotiationError("minimum similarity must lie within [0, 1]")
+        if max_relaxations < 0:
+            raise NegotiationError("max_relaxations must be non-negative")
+        self.minimum_similarity = minimum_similarity
+        self.accept_preemption = accept_preemption
+        self.relaxation_factors = dict(relaxation_factors or {})
+        self.max_relaxations = max_relaxations
+
+    def decide(self, offer: Offer) -> bool:
+        """Whether the application accepts one offer."""
+        if offer.similarity < self.minimum_similarity:
+            return False
+        if offer.requires_preemption and not self.accept_preemption:
+            return False
+        return True
+
+    def relax(self, request: FunctionRequest, round_index: int) -> Optional[FunctionRequest]:
+        """Produce a relaxed request for the next round, or ``None`` to give up."""
+        if round_index >= self.max_relaxations or not self.relaxation_factors:
+            return None
+        # Relaxations compound: round k applies the factors k+1 times.
+        compounded = {
+            attribute_id: factor ** (round_index + 1)
+            for attribute_id, factor in self.relaxation_factors.items()
+        }
+        return request.relaxed(compounded)
+
+
+class QoSNegotiator:
+    """Runs the offer/decision loop between manager and application."""
+
+    def __init__(self, default_policy: Optional[ApplicationPolicy] = None) -> None:
+        self.default_policy = default_policy if default_policy is not None else ApplicationPolicy()
+        self._policies: Dict[str, ApplicationPolicy] = {}
+
+    def register_policy(self, requester: str, policy: ApplicationPolicy) -> None:
+        """Attach a per-application policy (keyed by requester name)."""
+        self._policies[requester] = policy
+
+    def policy_for(self, requester: str) -> ApplicationPolicy:
+        """The policy of one application (falls back to the default policy)."""
+        return self._policies.get(requester, self.default_policy)
+
+    def negotiate(
+        self,
+        requester: str,
+        offers: Sequence[Offer],
+    ) -> NegotiationOutcome:
+        """Offer feasible candidates (best first) until one is accepted.
+
+        The caller is responsible for re-running retrieval with a relaxed
+        request if this round fails; :meth:`propose_relaxation` yields the
+        relaxed request the application would tolerate.
+        """
+        policy = self.policy_for(requester)
+        offers_made = 0
+        for offer in offers:
+            offers_made += 1
+            if policy.decide(offer):
+                return NegotiationOutcome(
+                    accepted=offer, rounds=1, offers_made=offers_made
+                )
+        return NegotiationOutcome(
+            accepted=None,
+            rounds=1,
+            offers_made=offers_made,
+            reason="application refused all feasible offers",
+        )
+
+    def propose_relaxation(
+        self, requester: str, request: FunctionRequest, round_index: int
+    ) -> Optional[FunctionRequest]:
+        """The relaxed request for the next round, or ``None`` if the app gives up."""
+        return self.policy_for(requester).relax(request, round_index)

@@ -1,0 +1,129 @@
+"""Result records and statistics of the function-allocation management layer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.case_base import Implementation
+from ..core.retrieval import ScoredImplementation
+from ..platform.runtime_controller import PlacementReport
+
+
+class AllocationStatus(enum.Enum):
+    """Outcome classes of one allocation attempt."""
+
+    ALLOCATED = "allocated"
+    ALLOCATED_ALTERNATIVE = "allocated_alternative"
+    ALLOCATED_AFTER_PREEMPTION = "allocated_after_preemption"
+    ALLOCATED_VIA_BYPASS = "allocated_via_bypass"
+    REJECTED_NO_MATCH = "rejected_no_match"
+    REJECTED_BELOW_THRESHOLD = "rejected_below_threshold"
+    REJECTED_INFEASIBLE = "rejected_infeasible"
+    REJECTED_BY_APPLICATION = "rejected_by_application"
+    REJECTED_UNKNOWN_TYPE = "rejected_unknown_type"
+
+    @property
+    def is_success(self) -> bool:
+        """Whether the request ended with a usable allocation."""
+        return self in (
+            AllocationStatus.ALLOCATED,
+            AllocationStatus.ALLOCATED_ALTERNATIVE,
+            AllocationStatus.ALLOCATED_AFTER_PREEMPTION,
+            AllocationStatus.ALLOCATED_VIA_BYPASS,
+        )
+
+
+@dataclass
+class AllocationDecision:
+    """Everything the allocation manager decided for one request."""
+
+    status: AllocationStatus
+    requester: str
+    type_id: int
+    implementation: Optional[Implementation] = None
+    device_name: Optional[str] = None
+    similarity: Optional[float] = None
+    placement: Optional[PlacementReport] = None
+    candidates: List[ScoredImplementation] = field(default_factory=list)
+    preempted_handles: List[int] = field(default_factory=list)
+    retrieval_cycles: Optional[int] = None
+    used_bypass: bool = False
+    reason: str = ""
+
+    @property
+    def handle(self) -> Optional[int]:
+        """Platform handle of the placed task (``None`` when not allocated)."""
+        return self.placement.handle if self.placement is not None else None
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether the request was served."""
+        return self.status.is_success
+
+
+@dataclass
+class AllocationStatistics:
+    """Aggregate statistics over an allocation manager's lifetime."""
+
+    requests: int = 0
+    allocated: int = 0
+    allocated_alternative: int = 0
+    allocated_after_preemption: int = 0
+    bypass_hits: int = 0
+    rejected_no_match: int = 0
+    rejected_below_threshold: int = 0
+    rejected_infeasible: int = 0
+    rejected_by_application: int = 0
+    rejected_unknown_type: int = 0
+    retrievals: int = 0
+    total_retrieval_cycles: int = 0
+    preemptions: int = 0
+    releases: int = 0
+
+    def record(self, decision: AllocationDecision) -> None:
+        """Fold one decision into the counters."""
+        self.requests += 1
+        if decision.used_bypass:
+            self.bypass_hits += 1
+        if decision.retrieval_cycles is not None:
+            self.retrievals += 1
+            self.total_retrieval_cycles += decision.retrieval_cycles
+        self.preemptions += len(decision.preempted_handles)
+        status = decision.status
+        if status is AllocationStatus.ALLOCATED or status is AllocationStatus.ALLOCATED_VIA_BYPASS:
+            self.allocated += 1
+        elif status is AllocationStatus.ALLOCATED_ALTERNATIVE:
+            self.allocated_alternative += 1
+        elif status is AllocationStatus.ALLOCATED_AFTER_PREEMPTION:
+            self.allocated_after_preemption += 1
+        elif status is AllocationStatus.REJECTED_NO_MATCH:
+            self.rejected_no_match += 1
+        elif status is AllocationStatus.REJECTED_BELOW_THRESHOLD:
+            self.rejected_below_threshold += 1
+        elif status is AllocationStatus.REJECTED_INFEASIBLE:
+            self.rejected_infeasible += 1
+        elif status is AllocationStatus.REJECTED_BY_APPLICATION:
+            self.rejected_by_application += 1
+        elif status is AllocationStatus.REJECTED_UNKNOWN_TYPE:
+            self.rejected_unknown_type += 1
+
+    @property
+    def successes(self) -> int:
+        """Total successfully served requests."""
+        return self.allocated + self.allocated_alternative + self.allocated_after_preemption
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of requests served (0 when no requests were seen)."""
+        if self.requests == 0:
+            return 0.0
+        return self.successes / self.requests
+
+    @property
+    def average_retrieval_cycles(self) -> float:
+        """Mean retrieval-unit cycles per retrieval (0 when none ran)."""
+        if self.retrievals == 0:
+            return 0.0
+        return self.total_retrieval_cycles / self.retrievals

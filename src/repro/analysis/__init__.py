@@ -1,0 +1,24 @@
+"""Analysis helpers: agreement metrics, speedups and plain-text reporting."""
+
+from .metrics import (
+    SpeedupResult,
+    decision_agreement,
+    geometric_mean,
+    max_absolute_error,
+    mean_absolute_error,
+    ranking_distance,
+    summarize,
+)
+from .report import format_comparison, format_table
+
+__all__ = [
+    "SpeedupResult",
+    "decision_agreement",
+    "format_comparison",
+    "format_table",
+    "geometric_mean",
+    "max_absolute_error",
+    "mean_absolute_error",
+    "ranking_distance",
+    "summarize",
+]

@@ -1,0 +1,116 @@
+"""Comparison metrics used by the experiment harnesses.
+
+The experiments compare three executions of the same retrieval algorithm
+(floating-point reference, fixed-point hardware model, software cost model) and
+different design variants of the hardware unit.  The helpers below quantify
+agreement (decision agreement, ranking distance, similarity error) and speed
+(cycle and wall-clock speedups).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class SpeedupResult:
+    """Speedup of one design point over another."""
+
+    baseline_cycles: int
+    improved_cycles: int
+    baseline_clock_mhz: float = 66.0
+    improved_clock_mhz: float = 66.0
+
+    @property
+    def cycle_speedup(self) -> float:
+        """Cycle-count ratio (independent of the clocks)."""
+        if self.improved_cycles == 0:
+            return float("inf")
+        return self.baseline_cycles / self.improved_cycles
+
+    @property
+    def time_speedup(self) -> float:
+        """Wall-clock ratio, accounting for the two clock frequencies."""
+        baseline_time = self.baseline_cycles / self.baseline_clock_mhz
+        improved_time = self.improved_cycles / self.improved_clock_mhz
+        if improved_time == 0:
+            return float("inf")
+        return baseline_time / improved_time
+
+
+def decision_agreement(reference_ids: Sequence[int], candidate_ids: Sequence[int]) -> float:
+    """Fraction of runs in which both sides selected the same implementation."""
+    if len(reference_ids) != len(candidate_ids):
+        raise ValueError("sequences must have equal length")
+    if not reference_ids:
+        return 1.0
+    matches = sum(1 for a, b in zip(reference_ids, candidate_ids) if a == b)
+    return matches / len(reference_ids)
+
+
+def max_absolute_error(
+    reference: Sequence[float], candidate: Sequence[float]
+) -> float:
+    """Largest absolute deviation between two similarity sequences."""
+    if len(reference) != len(candidate):
+        raise ValueError("sequences must have equal length")
+    if not reference:
+        return 0.0
+    return max(abs(a - b) for a, b in zip(reference, candidate))
+
+
+def mean_absolute_error(reference: Sequence[float], candidate: Sequence[float]) -> float:
+    """Mean absolute deviation between two similarity sequences."""
+    if len(reference) != len(candidate):
+        raise ValueError("sequences must have equal length")
+    if not reference:
+        return 0.0
+    return sum(abs(a - b) for a, b in zip(reference, candidate)) / len(reference)
+
+
+def ranking_distance(reference: Sequence[int], candidate: Sequence[int]) -> float:
+    """Normalised Kendall-tau distance between two rankings of the same items.
+
+    0 means identical order, 1 means completely reversed.  Items missing from
+    either ranking are ignored (both rankings are restricted to the common
+    set first).
+    """
+    common = [item for item in reference if item in set(candidate)]
+    restricted_candidate = [item for item in candidate if item in set(common)]
+    n = len(common)
+    if n < 2:
+        return 0.0
+    position = {item: index for index, item in enumerate(restricted_candidate)}
+    discordant = 0
+    pairs = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            pairs += 1
+            if position[common[i]] > position[common[j]]:
+                discordant += 1
+    return discordant / pairs
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Minimum / mean / maximum summary of a value sequence."""
+    if not values:
+        return {"min": 0.0, "mean": 0.0, "max": 0.0, "count": 0}
+    return {
+        "min": min(values),
+        "mean": sum(values) / len(values),
+        "max": max(values),
+        "count": float(len(values)),
+    }
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (used for aggregating speedups across workloads)."""
+    if not values:
+        return 0.0
+    if any(value <= 0 for value in values):
+        raise ValueError("geometric mean requires strictly positive values")
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))

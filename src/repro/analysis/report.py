@@ -1,0 +1,55 @@
+"""Plain-text table formatting for the benchmark harnesses.
+
+The benchmark scripts print the rows each paper table/figure reports; these
+helpers keep that output aligned and consistent without pulling in a plotting
+or tabulation dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _format_cell(cell: Cell, float_digits: int = 3) -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        return f"{cell:.{float_digits}f}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    *,
+    title: Optional[str] = None,
+    float_digits: int = 3,
+) -> str:
+    """Render rows as an aligned plain-text table."""
+    rendered_rows: List[List[str]] = [
+        [_format_cell(cell, float_digits) for cell in row] for row in rows
+    ]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[index]) for index, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[index] for index in range(len(headers))))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_comparison(
+    label: str, paper_value: Cell, measured_value: Cell, *, float_digits: int = 3
+) -> str:
+    """One "paper vs measured" comparison line for EXPERIMENTS.md-style output."""
+    return (
+        f"{label}: paper={_format_cell(paper_value, float_digits)} "
+        f"measured={_format_cell(measured_value, float_digits)}"
+    )

@@ -1,0 +1,6 @@
+"""Application-API and HW-Layer API facades (paper Fig. 1)."""
+
+from .application_api import ApplicationAPI, FunctionHandle
+from .hw_layer_api import HwLayerAPI, TransferRecord
+
+__all__ = ["ApplicationAPI", "FunctionHandle", "HwLayerAPI", "TransferRecord"]

@@ -1,0 +1,157 @@
+"""Application-API: the interface applications use (paper Fig. 1, top layer).
+
+"The application level is separated from the lower system levels by an
+Application-API which offers services for communication, sub-function calls
+and quality of service (QoS) negotiation."  The facade below wraps the
+allocation manager into exactly those three services: registering an
+application (with its negotiation policy), calling a function under QoS
+constraints, releasing it again and exchanging data with a placed function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..allocation.manager import AllocationManager
+from ..allocation.negotiation import ApplicationPolicy
+from ..allocation.records import AllocationDecision
+from ..core.attributes import AttributeSchema, Number
+from ..core.exceptions import AllocationError, RequestError
+from ..core.request import FunctionRequest, RequestBuilder
+
+
+@dataclass
+class FunctionHandle:
+    """Handle an application holds for one allocated function."""
+
+    requester: str
+    type_id: int
+    decision: AllocationDecision
+    released: bool = False
+    #: Total payload bytes exchanged through :meth:`ApplicationAPI.transfer`.
+    bytes_transferred: int = 0
+
+    @property
+    def platform_handle(self) -> Optional[int]:
+        """The platform-level task handle (``None`` for bypass-served calls)."""
+        return self.decision.handle
+
+    @property
+    def device_name(self) -> Optional[str]:
+        """Device the function runs on."""
+        return self.decision.device_name
+
+
+class ApplicationAPI:
+    """Facade through which applications request, use and release functions."""
+
+    def __init__(self, manager: AllocationManager, schema: Optional[AttributeSchema] = None) -> None:
+        self.manager = manager
+        self.schema = schema if schema is not None else manager.case_base.schema
+        self._applications: Dict[str, ApplicationPolicy] = {}
+        self._handles: List[FunctionHandle] = []
+
+    # -- registration ------------------------------------------------------------
+
+    def register_application(
+        self, name: str, policy: Optional[ApplicationPolicy] = None
+    ) -> None:
+        """Register an application and (optionally) its negotiation policy."""
+        if not name:
+            raise AllocationError("application name must not be empty")
+        policy = policy if policy is not None else ApplicationPolicy()
+        self._applications[name] = policy
+        self.manager.negotiator.register_policy(name, policy)
+
+    def applications(self) -> List[str]:
+        """Names of all registered applications."""
+        return sorted(self._applications)
+
+    # -- request construction -----------------------------------------------------
+
+    def build_request(
+        self,
+        application: str,
+        type_id: int,
+        constraints: Union[
+            Dict[str, Union[Number, str]], Sequence[Tuple[int, Number]], None
+        ] = None,
+        weights: Optional[Dict[str, float]] = None,
+    ) -> FunctionRequest:
+        """Build a :class:`FunctionRequest` from named or ID-keyed constraints.
+
+        ``constraints`` may be a mapping of attribute *names* (resolved through
+        the schema, symbols allowed) or a sequence of ``(attribute_id, value)``
+        pairs.  ``weights`` optionally assigns per-name weights (defaults to
+        equal weighting).
+        """
+        if application not in self._applications:
+            raise AllocationError(f"application {application!r} is not registered")
+        if constraints is None:
+            raise RequestError("a QoS function call needs at least one constraint")
+        if isinstance(constraints, dict):
+            builder = RequestBuilder(self.schema, type_id, requester=application)
+            for name, value in constraints.items():
+                weight = (weights or {}).get(name, 1.0)
+                builder.constrain(name, value, weight)
+            return builder.build()
+        return FunctionRequest(type_id, list(constraints), requester=application)
+
+    # -- the three Application-API services -----------------------------------------
+
+    def call_function(
+        self,
+        application: str,
+        type_id: int,
+        constraints: Union[
+            Dict[str, Union[Number, str]], Sequence[Tuple[int, Number]], None
+        ] = None,
+        *,
+        weights: Optional[Dict[str, float]] = None,
+        now_us: float = 0.0,
+    ) -> FunctionHandle:
+        """Sub-function call with QoS negotiation; always returns a handle.
+
+        The handle's ``decision`` records whether the call was served (and
+        how) or rejected; applications inspect ``decision.succeeded``.
+        """
+        request = self.build_request(application, type_id, constraints, weights)
+        decision = self.manager.allocate(request, now_us=now_us)
+        handle = FunctionHandle(requester=application, type_id=type_id, decision=decision)
+        self._handles.append(handle)
+        return handle
+
+    def release(self, handle: FunctionHandle) -> None:
+        """Release an allocated function.
+
+        Releasing a handle whose placement was preempted in the meantime is a
+        no-op: the platform resources are already gone and the application is
+        simply acknowledging that.
+        """
+        if handle.released:
+            raise AllocationError("function handle was already released")
+        if handle.decision.succeeded and handle.platform_handle is not None:
+            still_active = handle.platform_handle in self.manager.active_allocations()
+            if not handle.decision.used_bypass and still_active:
+                self.manager.release(handle.platform_handle)
+        handle.released = True
+
+    def transfer(self, handle: FunctionHandle, payload_bytes: int) -> int:
+        """Exchange data with a placed function (communication service)."""
+        if handle.released:
+            raise AllocationError("cannot transfer data through a released handle")
+        if not handle.decision.succeeded:
+            raise AllocationError("cannot transfer data: the function was not allocated")
+        if payload_bytes < 0:
+            raise AllocationError("payload size must be non-negative")
+        handle.bytes_transferred += payload_bytes
+        return handle.bytes_transferred
+
+    # -- introspection ----------------------------------------------------------------
+
+    def handles(self, application: Optional[str] = None) -> List[FunctionHandle]:
+        """All handles issued so far (optionally filtered by application)."""
+        if application is None:
+            return list(self._handles)
+        return [handle for handle in self._handles if handle.requester == application]

@@ -1,0 +1,119 @@
+"""HW-Layer API: the hardware abstraction layer of paper Fig. 1.
+
+"The HW-Layer API is the interface for all hardware relevant aspects like
+resource consumption, low-level communication and reconfiguration of system
+parts.  It connects the high level components with the local system
+controllers."  The facade below exposes those services -- resource queries,
+explicit reconfiguration/placement and raw data transfer -- on top of the
+run-time controllers, and is what the allocation layer and diagnostics tools
+use instead of touching devices directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.case_base import Implementation
+from ..core.exceptions import PlatformError
+from ..platform.repository import ConfigurationRepository
+from ..platform.resource_state import SystemResourceState, SystemSnapshot
+from ..platform.runtime_controller import LocalRuntimeController, PlacementReport
+
+
+@dataclass
+class TransferRecord:
+    """One low-level data transfer between system parts."""
+
+    source: str
+    destination: str
+    payload_bytes: int
+    duration_us: float
+
+
+class HwLayerAPI:
+    """Facade over the run-time controllers, repository and interconnect."""
+
+    def __init__(
+        self,
+        system: SystemResourceState,
+        repository: Optional[ConfigurationRepository] = None,
+        *,
+        interconnect_bandwidth_mb_s: float = 100.0,
+    ) -> None:
+        if interconnect_bandwidth_mb_s <= 0:
+            raise PlatformError("interconnect bandwidth must be positive")
+        self.system = system
+        self.repository = repository
+        self.interconnect_bandwidth_mb_s = interconnect_bandwidth_mb_s
+        self.transfers: List[TransferRecord] = []
+
+    # -- resource consumption -----------------------------------------------------
+
+    def snapshot(self) -> SystemSnapshot:
+        """Current platform-wide load and power snapshot."""
+        return self.system.snapshot()
+
+    def device_names(self) -> List[str]:
+        """Names of all devices reachable through the API."""
+        return sorted(controller.name for controller in self.system.controllers())
+
+    def utilization(self, device_name: str) -> float:
+        """Utilisation of one device."""
+        return self.system.controller(device_name).utilization()
+
+    def power_mw(self) -> float:
+        """Total platform power draw."""
+        return self.system.total_power_mw()
+
+    # -- reconfiguration / placement -------------------------------------------------
+
+    def controller(self, device_name: str) -> LocalRuntimeController:
+        """The local run-time controller of one device."""
+        return self.system.controller(device_name)
+
+    def reconfigure(
+        self,
+        device_name: str,
+        type_id: int,
+        implementation: Implementation,
+        *,
+        requester: str = "",
+        now_us: float = 0.0,
+    ) -> PlacementReport:
+        """Explicitly place one implementation on a named device.
+
+        The allocation manager normally decides the device itself; this entry
+        point exists for system software (e.g. pre-loading a static function at
+        boot) and for tests.
+        """
+        return self.system.controller(device_name).place(
+            type_id, implementation, requester=requester, now_us=now_us
+        )
+
+    def remove(self, device_name: str, handle: int) -> None:
+        """Remove a placed task from a named device."""
+        self.system.controller(device_name).remove(handle)
+
+    # -- low-level communication -------------------------------------------------------
+
+    def transfer(self, source: str, destination: str, payload_bytes: int) -> TransferRecord:
+        """Move a payload across the on-platform interconnect."""
+        if payload_bytes < 0:
+            raise PlatformError("payload size must be non-negative")
+        known = set(self.device_names()) | {"host", "flash"}
+        for endpoint in (source, destination):
+            if endpoint not in known:
+                raise PlatformError(f"unknown transfer endpoint {endpoint!r}")
+        record = TransferRecord(
+            source=source,
+            destination=destination,
+            payload_bytes=payload_bytes,
+            duration_us=payload_bytes / self.interconnect_bandwidth_mb_s,
+        )
+        self.transfers.append(record)
+        return record
+
+    def total_transfer_bytes(self) -> int:
+        """Total payload moved through the API so far."""
+        return sum(record.payload_bytes for record in self.transfers)

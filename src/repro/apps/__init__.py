@@ -1,0 +1,79 @@
+"""Example application workload models and the multi-application scenario."""
+
+from .automotive_ecu import AutomotiveEcuWorkload
+from .cruise_control import CruiseControlWorkload
+from .mp3_player import Mp3PlayerWorkload
+from .schema import (
+    ATTR_BITRATE_KBPS,
+    ATTR_BITWIDTH,
+    ATTR_CHANNEL_COUNT,
+    ATTR_CONTROL_PERIOD_MS,
+    ATTR_FRAME_RATE,
+    ATTR_OUTPUT_MODE,
+    ATTR_PROCESSING_MODE,
+    ATTR_RESOLUTION_LINES,
+    ATTR_RESPONSE_DEADLINE_MS,
+    ATTR_SAMPLING_RATE,
+    TYPE_CAN_FILTER,
+    TYPE_FFT_1D,
+    TYPE_FIR_EQUALIZER,
+    TYPE_MP3_DECODER,
+    TYPE_PID_CONTROLLER,
+    TYPE_SENSOR_FUSION,
+    TYPE_VIDEO_DECODER,
+    TYPE_VIDEO_SCALER,
+    platform_bounds,
+    platform_schema,
+)
+from .scenario import (
+    Scenario,
+    ScenarioRunner,
+    build_case_base,
+    build_platform,
+    build_scenario,
+    default_workloads,
+)
+from .video import VideoPlayerWorkload
+from .workloads import (
+    ApplicationWorkload,
+    ScenarioEvent,
+    ScenarioResult,
+    WorkloadRequest,
+)
+
+__all__ = [
+    "ATTR_BITRATE_KBPS",
+    "ATTR_BITWIDTH",
+    "ATTR_CHANNEL_COUNT",
+    "ATTR_CONTROL_PERIOD_MS",
+    "ATTR_FRAME_RATE",
+    "ATTR_OUTPUT_MODE",
+    "ATTR_PROCESSING_MODE",
+    "ATTR_RESOLUTION_LINES",
+    "ATTR_RESPONSE_DEADLINE_MS",
+    "ATTR_SAMPLING_RATE",
+    "ApplicationWorkload",
+    "AutomotiveEcuWorkload",
+    "CruiseControlWorkload",
+    "Mp3PlayerWorkload",
+    "Scenario",
+    "ScenarioEvent",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "TYPE_CAN_FILTER",
+    "TYPE_FFT_1D",
+    "TYPE_FIR_EQUALIZER",
+    "TYPE_MP3_DECODER",
+    "TYPE_PID_CONTROLLER",
+    "TYPE_SENSOR_FUSION",
+    "TYPE_VIDEO_DECODER",
+    "TYPE_VIDEO_SCALER",
+    "VideoPlayerWorkload",
+    "WorkloadRequest",
+    "build_case_base",
+    "build_platform",
+    "build_scenario",
+    "default_workloads",
+    "platform_bounds",
+    "platform_schema",
+]

@@ -1,0 +1,118 @@
+"""Automotive-ECU application workload (Application 3 of paper Fig. 1).
+
+The paper's own prior work targets "automotive control applications with soft
+time and security constraints".  The ECU workload issues frequent, short
+control-oriented requests (CAN message filtering, sensor fusion) whose QoS
+attributes emphasise response deadlines rather than media quality, and whose
+negotiation policy refuses to be preempted.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..allocation.negotiation import ApplicationPolicy
+from ..core.case_base import CaseBase, DeploymentInfo, ExecutionTarget, Implementation
+from .schema import (
+    ATTR_BITWIDTH,
+    ATTR_CHANNEL_COUNT,
+    ATTR_CONTROL_PERIOD_MS,
+    ATTR_PROCESSING_MODE,
+    ATTR_RESPONSE_DEADLINE_MS,
+    TYPE_CAN_FILTER,
+    TYPE_SENSOR_FUSION,
+)
+from .workloads import ApplicationWorkload, WorkloadRequest
+
+
+class AutomotiveEcuWorkload(ApplicationWorkload):
+    """Body/engine control: CAN filtering and sensor fusion with tight deadlines."""
+
+    name = "automotive-ecu"
+
+    def policy(self) -> ApplicationPolicy:
+        """Control functions insist on deadlines and never accept preemption."""
+        return ApplicationPolicy(
+            minimum_similarity=0.7,
+            accept_preemption=False,
+            relaxation_factors={ATTR_CHANNEL_COUNT: 0.5},
+            max_relaxations=1,
+        )
+
+    def contribute(self, case_base: CaseBase) -> None:
+        can_filter = case_base.add_type(TYPE_CAN_FILTER, name="CAN Message Filter")
+        can_filter.add(Implementation(
+            1, ExecutionTarget.FPGA, name="FPGA CAN filter",
+            attributes={ATTR_BITWIDTH: 16, ATTR_PROCESSING_MODE: 0,
+                        ATTR_RESPONSE_DEADLINE_MS: 2, ATTR_CHANNEL_COUNT: 8},
+            deployment=DeploymentInfo(configuration_size_bytes=42_000, area_slices=600,
+                                      power_mw=180.0, setup_time_us=1500.0),
+        ))
+        can_filter.add(Implementation(
+            2, ExecutionTarget.GPP, name="Software CAN filter",
+            attributes={ATTR_BITWIDTH: 16, ATTR_PROCESSING_MODE: 0,
+                        ATTR_RESPONSE_DEADLINE_MS: 10, ATTR_CHANNEL_COUNT: 4},
+            deployment=DeploymentInfo(configuration_size_bytes=3_000, power_mw=90.0,
+                                      load_fraction=0.2, setup_time_us=80.0),
+        ))
+
+        fusion = case_base.add_type(TYPE_SENSOR_FUSION, name="Sensor Fusion")
+        fusion.add(Implementation(
+            1, ExecutionTarget.FPGA, name="FPGA sensor fusion",
+            attributes={ATTR_BITWIDTH: 24, ATTR_PROCESSING_MODE: 1,
+                        ATTR_RESPONSE_DEADLINE_MS: 5, ATTR_CONTROL_PERIOD_MS: 5,
+                        ATTR_CHANNEL_COUNT: 6},
+            deployment=DeploymentInfo(configuration_size_bytes=64_000, area_slices=900,
+                                      power_mw=260.0, setup_time_us=1900.0),
+        ))
+        fusion.add(Implementation(
+            2, ExecutionTarget.DSP, name="DSP sensor fusion",
+            attributes={ATTR_BITWIDTH: 16, ATTR_PROCESSING_MODE: 1,
+                        ATTR_RESPONSE_DEADLINE_MS: 8, ATTR_CONTROL_PERIOD_MS: 10,
+                        ATTR_CHANNEL_COUNT: 4},
+            deployment=DeploymentInfo(configuration_size_bytes=11_000, power_mw=170.0,
+                                      load_fraction=0.3, setup_time_us=300.0),
+        ))
+        fusion.add(Implementation(
+            3, ExecutionTarget.GPP, name="Software sensor fusion",
+            attributes={ATTR_BITWIDTH: 16, ATTR_PROCESSING_MODE: 0,
+                        ATTR_RESPONSE_DEADLINE_MS: 20, ATTR_CONTROL_PERIOD_MS: 20,
+                        ATTR_CHANNEL_COUNT: 2},
+            deployment=DeploymentInfo(configuration_size_bytes=5_000, power_mw=110.0,
+                                      load_fraction=0.3, setup_time_us=90.0),
+        ))
+
+    def requests(self, rng: random.Random, duration_us: float) -> List[WorkloadRequest]:
+        requests: List[WorkloadRequest] = []
+        # CAN filtering is (re)configured every ~250 ms when the bus profile changes.
+        for time in self._periodic_times(rng, duration_us, 250_000.0, 20_000.0):
+            requests.append(WorkloadRequest(
+                issue_time_us=time,
+                type_id=TYPE_CAN_FILTER,
+                constraints={
+                    "bitwidth": 16,
+                    "response_deadline_ms": rng.choice([2, 5]),
+                    "channel_count": rng.choice([4, 6, 8]),
+                },
+                weights={"response_deadline_ms": 2.0, "channel_count": 1.0, "bitwidth": 0.5},
+                hold_time_us=200_000.0,
+                note="bus profile switch",
+            ))
+        # Sensor fusion restarts every ~600 ms (drive mode changes).
+        for time in self._periodic_times(rng, duration_us, 600_000.0, 50_000.0):
+            requests.append(WorkloadRequest(
+                issue_time_us=time,
+                type_id=TYPE_SENSOR_FUSION,
+                constraints={
+                    "bitwidth": 16,
+                    "response_deadline_ms": 8,
+                    "control_period_ms": rng.choice([5, 10]),
+                    "channel_count": 4,
+                },
+                weights={"response_deadline_ms": 2.0, "control_period_ms": 2.0,
+                         "bitwidth": 1.0, "channel_count": 1.0},
+                hold_time_us=450_000.0,
+                note="drive mode change",
+            ))
+        return sorted(requests, key=lambda request: request.issue_time_us)

@@ -1,0 +1,86 @@
+"""Cruise-control application workload (Application 4 of paper Fig. 1).
+
+Cruise control uses the shared PID-controller and sensor-fusion function types.
+Its requests are sparse (engage/disengage events) but strict: the controller
+must meet its control period, so the policy sets a high minimum similarity and
+does not relax.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..allocation.negotiation import ApplicationPolicy
+from ..core.case_base import CaseBase, DeploymentInfo, ExecutionTarget, Implementation
+from .schema import (
+    ATTR_BITWIDTH,
+    ATTR_CONTROL_PERIOD_MS,
+    ATTR_PROCESSING_MODE,
+    ATTR_RESPONSE_DEADLINE_MS,
+    TYPE_PID_CONTROLLER,
+    TYPE_SENSOR_FUSION,
+)
+from .workloads import ApplicationWorkload, WorkloadRequest
+
+
+class CruiseControlWorkload(ApplicationWorkload):
+    """Speed regulation: PID controller requests at drive events."""
+
+    name = "cruise-control"
+
+    def policy(self) -> ApplicationPolicy:
+        """The control loop cannot be degraded: high threshold, no relaxation."""
+        return ApplicationPolicy(
+            minimum_similarity=0.8,
+            accept_preemption=True,
+            relaxation_factors={},
+            max_relaxations=0,
+        )
+
+    def contribute(self, case_base: CaseBase) -> None:
+        controller = case_base.add_type(TYPE_PID_CONTROLLER, name="PID Controller")
+        controller.add(Implementation(
+            1, ExecutionTarget.FPGA, name="FPGA PID controller",
+            attributes={ATTR_BITWIDTH: 24, ATTR_PROCESSING_MODE: 1,
+                        ATTR_CONTROL_PERIOD_MS: 1, ATTR_RESPONSE_DEADLINE_MS: 1},
+            deployment=DeploymentInfo(configuration_size_bytes=30_000, area_slices=450,
+                                      power_mw=140.0, setup_time_us=1200.0),
+        ))
+        controller.add(Implementation(
+            2, ExecutionTarget.GPP, name="Software PID controller",
+            attributes={ATTR_BITWIDTH: 16, ATTR_PROCESSING_MODE: 0,
+                        ATTR_CONTROL_PERIOD_MS: 10, ATTR_RESPONSE_DEADLINE_MS: 10},
+            deployment=DeploymentInfo(configuration_size_bytes=2_000, power_mw=70.0,
+                                      load_fraction=0.15, setup_time_us=60.0),
+        ))
+
+    def requests(self, rng: random.Random, duration_us: float) -> List[WorkloadRequest]:
+        requests: List[WorkloadRequest] = []
+        # Cruise control engages every ~2 s of scenario time and stays engaged ~1.5 s.
+        for time in self._periodic_times(rng, duration_us, 2_000_000.0, 300_000.0):
+            requests.append(WorkloadRequest(
+                issue_time_us=time,
+                type_id=TYPE_PID_CONTROLLER,
+                constraints={
+                    "bitwidth": 16,
+                    "control_period_ms": rng.choice([1, 5]),
+                    "response_deadline_ms": 5,
+                },
+                weights={"control_period_ms": 2.0, "response_deadline_ms": 2.0, "bitwidth": 1.0},
+                hold_time_us=1_500_000.0,
+                note="cruise engaged",
+            ))
+            # Engaging cruise control also refreshes the shared sensor-fusion function.
+            requests.append(WorkloadRequest(
+                issue_time_us=time + 10_000.0,
+                type_id=TYPE_SENSOR_FUSION,
+                constraints={
+                    "bitwidth": 16,
+                    "response_deadline_ms": 10,
+                    "control_period_ms": 10,
+                },
+                hold_time_us=1_400_000.0,
+                note="fusion refresh",
+            ))
+        return sorted(requests, key=lambda request: request.issue_time_us)

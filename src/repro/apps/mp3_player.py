@@ -1,0 +1,118 @@
+"""MP3-player application workload (Application 1 of paper Fig. 1).
+
+The player needs an MP3 decoder and the paper's FIR-equalizer function.  Both
+exist as FPGA, DSP and plain-software variants with different achievable
+quality (sampling rate, output mode, bitrate), so the allocation manager can
+trade quality against platform load at run time.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..allocation.negotiation import ApplicationPolicy
+from ..core.case_base import CaseBase, DeploymentInfo, ExecutionTarget, Implementation
+from .schema import (
+    ATTR_BITRATE_KBPS,
+    ATTR_BITWIDTH,
+    ATTR_OUTPUT_MODE,
+    ATTR_PROCESSING_MODE,
+    ATTR_SAMPLING_RATE,
+    TYPE_FIR_EQUALIZER,
+    TYPE_MP3_DECODER,
+)
+from .workloads import ApplicationWorkload, WorkloadRequest
+
+
+class Mp3PlayerWorkload(ApplicationWorkload):
+    """Audio playback: periodic decoder and equalizer requests."""
+
+    name = "mp3-player"
+
+    def policy(self) -> ApplicationPolicy:
+        """Audio quality matters, but playback may fall back to stereo/lower rates."""
+        return ApplicationPolicy(
+            minimum_similarity=0.6,
+            accept_preemption=False,
+            relaxation_factors={ATTR_SAMPLING_RATE: 0.5, ATTR_BITRATE_KBPS: 0.5},
+            max_relaxations=1,
+        )
+
+    def contribute(self, case_base: CaseBase) -> None:
+        equalizer = case_base.add_type(TYPE_FIR_EQUALIZER, name="FIR Equalizer")
+        equalizer.add(Implementation(
+            1, ExecutionTarget.FPGA, name="FPGA FIR equalizer",
+            attributes={ATTR_BITWIDTH: 16, ATTR_PROCESSING_MODE: 0, ATTR_OUTPUT_MODE: 2,
+                        ATTR_SAMPLING_RATE: 44},
+            deployment=DeploymentInfo(configuration_size_bytes=96_000, area_slices=1200,
+                                      power_mw=450.0, setup_time_us=2800.0),
+        ))
+        equalizer.add(Implementation(
+            2, ExecutionTarget.DSP, name="DSP FIR equalizer",
+            attributes={ATTR_BITWIDTH: 16, ATTR_PROCESSING_MODE: 0, ATTR_OUTPUT_MODE: 1,
+                        ATTR_SAMPLING_RATE: 44},
+            deployment=DeploymentInfo(configuration_size_bytes=12_000, power_mw=300.0,
+                                      load_fraction=0.35, setup_time_us=400.0),
+        ))
+        equalizer.add(Implementation(
+            3, ExecutionTarget.GPP, name="Software FIR equalizer",
+            attributes={ATTR_BITWIDTH: 8, ATTR_PROCESSING_MODE: 0, ATTR_OUTPUT_MODE: 0,
+                        ATTR_SAMPLING_RATE: 22},
+            deployment=DeploymentInfo(configuration_size_bytes=4_000, power_mw=180.0,
+                                      load_fraction=0.55, setup_time_us=120.0),
+        ))
+
+        decoder = case_base.add_type(TYPE_MP3_DECODER, name="MP3 Decoder")
+        decoder.add(Implementation(
+            1, ExecutionTarget.FPGA, name="FPGA MP3 decoder",
+            attributes={ATTR_BITWIDTH: 24, ATTR_PROCESSING_MODE: 1, ATTR_OUTPUT_MODE: 1,
+                        ATTR_SAMPLING_RATE: 48, ATTR_BITRATE_KBPS: 320},
+            deployment=DeploymentInfo(configuration_size_bytes=140_000, area_slices=1700,
+                                      power_mw=520.0, setup_time_us=3200.0),
+        ))
+        decoder.add(Implementation(
+            2, ExecutionTarget.DSP, name="DSP MP3 decoder",
+            attributes={ATTR_BITWIDTH: 16, ATTR_PROCESSING_MODE: 1, ATTR_OUTPUT_MODE: 1,
+                        ATTR_SAMPLING_RATE: 44, ATTR_BITRATE_KBPS: 256},
+            deployment=DeploymentInfo(configuration_size_bytes=18_000, power_mw=280.0,
+                                      load_fraction=0.4, setup_time_us=500.0),
+        ))
+        decoder.add(Implementation(
+            3, ExecutionTarget.GPP, name="Software MP3 decoder",
+            attributes={ATTR_BITWIDTH: 16, ATTR_PROCESSING_MODE: 0, ATTR_OUTPUT_MODE: 1,
+                        ATTR_SAMPLING_RATE: 32, ATTR_BITRATE_KBPS: 128},
+            deployment=DeploymentInfo(configuration_size_bytes=9_000, power_mw=200.0,
+                                      load_fraction=0.45, setup_time_us=150.0),
+        ))
+
+    def requests(self, rng: random.Random, duration_us: float) -> List[WorkloadRequest]:
+        requests: List[WorkloadRequest] = []
+        # A decode session starts every ~400 ms and runs for ~300 ms.
+        for time in self._periodic_times(rng, duration_us, 400_000.0, 40_000.0):
+            requests.append(WorkloadRequest(
+                issue_time_us=time,
+                type_id=TYPE_MP3_DECODER,
+                constraints={
+                    "bitwidth": 16,
+                    "sampling_rate": rng.choice([44, 48]),
+                    "bitrate_kbps": rng.choice([128, 192, 256]),
+                    "output_mode": "stereo",
+                },
+                hold_time_us=300_000.0,
+                note="decode session",
+            ))
+        # The equalizer is engaged roughly half as often and held shorter.
+        for time in self._periodic_times(rng, duration_us, 800_000.0, 60_000.0):
+            requests.append(WorkloadRequest(
+                issue_time_us=time,
+                type_id=TYPE_FIR_EQUALIZER,
+                constraints={
+                    "bitwidth": 16,
+                    "output_mode": rng.choice(["stereo", "surround"]),
+                    "sampling_rate": 40,
+                },
+                hold_time_us=250_000.0,
+                note="equalizer stage",
+            ))
+        return sorted(requests, key=lambda request: request.issue_time_us)

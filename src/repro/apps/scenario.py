@@ -1,0 +1,180 @@
+"""Multi-application allocation scenario (the system of paper Fig. 1 end to end).
+
+:func:`build_scenario` assembles the whole stack -- platform devices, run-time
+controllers, configuration repository, allocation manager, Application-API and
+the four example applications -- and :class:`ScenarioRunner` replays the
+applications' timed request traces against it, releasing functions when their
+hold time expires.  The allocation-flow experiment (E10) and the
+``multi_app_platform`` example are thin wrappers around this module.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..allocation.manager import AllocationManager
+from ..allocation.negotiation import QoSNegotiator
+from ..api.application_api import ApplicationAPI, FunctionHandle
+from ..api.hw_layer_api import HwLayerAPI
+from ..core.case_base import CaseBase
+from ..hardware.retrieval_unit import HardwareConfig
+from ..platform.fpga import virtex2_3000_fpga
+from ..platform.processor import audio_dsp, host_cpu
+from ..platform.repository import ConfigurationRepository
+from ..platform.resource_state import SystemResourceState
+from ..platform.runtime_controller import LocalRuntimeController
+from .automotive_ecu import AutomotiveEcuWorkload
+from .cruise_control import CruiseControlWorkload
+from .mp3_player import Mp3PlayerWorkload
+from .schema import platform_bounds, platform_schema
+from .video import VideoPlayerWorkload
+from .workloads import ApplicationWorkload, ScenarioEvent, ScenarioResult
+
+
+def default_workloads() -> List[ApplicationWorkload]:
+    """The four applications of Fig. 1."""
+    return [
+        Mp3PlayerWorkload(),
+        VideoPlayerWorkload(),
+        AutomotiveEcuWorkload(),
+        CruiseControlWorkload(),
+    ]
+
+
+def build_case_base(workloads: Optional[Sequence[ApplicationWorkload]] = None) -> CaseBase:
+    """Platform-wide case base contributed by the given workloads."""
+    workloads = list(workloads) if workloads is not None else default_workloads()
+    case_base = CaseBase(schema=platform_schema(), bounds=platform_bounds())
+    for workload in workloads:
+        workload.contribute(case_base)
+    case_base.validate()
+    return case_base
+
+
+def build_platform(
+    *, fpga_count: int = 2, power_budget_mw: Optional[float] = 3500.0
+) -> SystemResourceState:
+    """The multi-device platform: FPGAs, a host CPU and an audio/video DSP."""
+    controllers = [
+        LocalRuntimeController(virtex2_3000_fpga(f"fpga{index}"))
+        for index in range(fpga_count)
+    ]
+    controllers.append(LocalRuntimeController(host_cpu("cpu0")))
+    controllers.append(LocalRuntimeController(audio_dsp("dsp0")))
+    return SystemResourceState(controllers, power_budget_mw=power_budget_mw)
+
+
+@dataclass
+class Scenario:
+    """Everything needed to run the multi-application scenario."""
+
+    case_base: CaseBase
+    system: SystemResourceState
+    repository: ConfigurationRepository
+    manager: AllocationManager
+    application_api: ApplicationAPI
+    hw_layer_api: HwLayerAPI
+    workloads: List[ApplicationWorkload]
+
+
+def build_scenario(
+    *,
+    fpga_count: int = 2,
+    n_candidates: int = 3,
+    similarity_threshold: float = 0.3,
+    retrieval_backend: str = "reference",
+    hardware_config: Optional[HardwareConfig] = None,
+    power_budget_mw: Optional[float] = 3500.0,
+    workloads: Optional[Sequence[ApplicationWorkload]] = None,
+) -> Scenario:
+    """Assemble the full Fig.-1 stack with the example applications registered."""
+    workload_list = list(workloads) if workloads is not None else default_workloads()
+    case_base = build_case_base(workload_list)
+    system = build_platform(fpga_count=fpga_count, power_budget_mw=power_budget_mw)
+    repository = ConfigurationRepository.from_case_base(case_base)
+    manager = AllocationManager(
+        case_base,
+        system,
+        repository=repository,
+        negotiator=QoSNegotiator(),
+        n_candidates=n_candidates,
+        similarity_threshold=similarity_threshold,
+        retrieval_backend=retrieval_backend,
+        hardware_config=hardware_config,
+    )
+    application_api = ApplicationAPI(manager)
+    hw_layer_api = HwLayerAPI(system, repository)
+    for workload in workload_list:
+        application_api.register_application(workload.name, workload.policy())
+    return Scenario(
+        case_base=case_base,
+        system=system,
+        repository=repository,
+        manager=manager,
+        application_api=application_api,
+        hw_layer_api=hw_layer_api,
+        workloads=workload_list,
+    )
+
+
+class ScenarioRunner:
+    """Replays the applications' request traces against an assembled scenario."""
+
+    def __init__(self, scenario: Scenario, *, seed: int = 2004) -> None:
+        self.scenario = scenario
+        self.seed = seed
+
+    def run(self, duration_us: float = 4_000_000.0) -> ScenarioResult:
+        """Run the scenario for ``duration_us`` of simulated time."""
+        rng = random.Random(self.seed)
+        api = self.scenario.application_api
+        result = ScenarioResult()
+        # Gather all requests of all applications into one time-ordered stream.
+        stream: List[Tuple[float, int, ApplicationWorkload, object]] = []
+        for workload in self.scenario.workloads:
+            for index, request in enumerate(workload.requests(rng, duration_us)):
+                stream.append((request.issue_time_us, len(stream), workload, request))
+        stream.sort(key=lambda item: (item[0], item[1]))
+        # Min-heap of (release_time, sequence, handle) for automatic releases.
+        releases: List[Tuple[float, int, FunctionHandle]] = []
+        sequence = 0
+        for issue_time, _, workload, request in stream:
+            # Release everything whose hold time expired before this request.
+            while releases and releases[0][0] <= issue_time:
+                _, _, expired = heapq.heappop(releases)
+                if not expired.released:
+                    api.release(expired)
+            handle = api.call_function(
+                workload.name,
+                request.type_id,
+                request.constraints,
+                weights=request.weights or None,
+                now_us=issue_time,
+            )
+            decision = handle.decision
+            result.events.append(
+                ScenarioEvent(
+                    time_us=issue_time,
+                    application=workload.name,
+                    request=request,
+                    succeeded=decision.succeeded,
+                    status=decision.status.value,
+                    device=decision.device_name,
+                    similarity=decision.similarity,
+                    used_bypass=decision.used_bypass,
+                )
+            )
+            if decision.succeeded and not decision.used_bypass:
+                sequence += 1
+                heapq.heappush(
+                    releases, (issue_time + request.hold_time_us, sequence, handle)
+                )
+        # Drain the remaining releases so the platform ends the run empty.
+        while releases:
+            _, _, expired = heapq.heappop(releases)
+            if not expired.released:
+                api.release(expired)
+        return result

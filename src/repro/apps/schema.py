@@ -1,0 +1,84 @@
+"""Shared QoS attribute schema of the example applications.
+
+The paper's example (Fig. 3) uses four audio-centric attributes; the example
+applications of Fig. 1 (MP3 player, video decoder, automotive ECU, cruise
+control) need a few more.  This module defines one platform-wide schema so all
+applications, the case base and the memory encoders agree on the attribute IDs.
+
+Attribute values must be 16-bit unsigned integers in the memory-mapped
+encoding, so real-valued quantities are expressed in integer units (frames per
+second, milliseconds, kilobits per second, ...).
+"""
+
+from __future__ import annotations
+
+from ..core.attributes import AttributeSchema, BoundsTable
+
+#: Attribute IDs of the platform schema (IDs 1-4 match the paper's example).
+ATTR_BITWIDTH = 1
+ATTR_PROCESSING_MODE = 2
+ATTR_OUTPUT_MODE = 3
+ATTR_SAMPLING_RATE = 4
+ATTR_FRAME_RATE = 5
+ATTR_RESOLUTION_LINES = 6
+ATTR_RESPONSE_DEADLINE_MS = 7
+ATTR_BITRATE_KBPS = 8
+ATTR_CONTROL_PERIOD_MS = 9
+ATTR_CHANNEL_COUNT = 10
+
+
+def platform_schema() -> AttributeSchema:
+    """The shared attribute schema of the multi-application platform."""
+    schema = AttributeSchema()
+    schema.define(ATTR_BITWIDTH, "bitwidth", unit="bit",
+                  description="processing bitwidth of the implementation")
+    schema.define(ATTR_PROCESSING_MODE, "processing_mode",
+                  symbols=("integer", "fixed", "float"),
+                  description="arithmetic processing mode")
+    schema.define(ATTR_OUTPUT_MODE, "output_mode",
+                  symbols=("mono", "stereo", "surround"),
+                  description="audio output mode")
+    schema.define(ATTR_SAMPLING_RATE, "sampling_rate", unit="kSamples/s",
+                  description="audio sampling rate")
+    schema.define(ATTR_FRAME_RATE, "frame_rate", unit="frames/s",
+                  description="video frame rate")
+    schema.define(ATTR_RESOLUTION_LINES, "resolution_lines", unit="lines",
+                  description="vertical video resolution")
+    schema.define(ATTR_RESPONSE_DEADLINE_MS, "response_deadline_ms", unit="ms",
+                  higher_is_better=False,
+                  description="worst-case response deadline of the function")
+    schema.define(ATTR_BITRATE_KBPS, "bitrate_kbps", unit="kbit/s",
+                  description="stream bitrate the function sustains")
+    schema.define(ATTR_CONTROL_PERIOD_MS, "control_period_ms", unit="ms",
+                  higher_is_better=False,
+                  description="control-loop period of control-oriented functions")
+    schema.define(ATTR_CHANNEL_COUNT, "channel_count", unit="channels",
+                  description="number of parallel channels processed")
+    return schema
+
+
+def platform_bounds() -> BoundsTable:
+    """Design-global bounds of the platform schema (supplemental-list contents)."""
+    bounds = BoundsTable()
+    bounds.define(ATTR_BITWIDTH, 8, 32)
+    bounds.define(ATTR_PROCESSING_MODE, 0, 2)
+    bounds.define(ATTR_OUTPUT_MODE, 0, 2)
+    bounds.define(ATTR_SAMPLING_RATE, 8, 96)
+    bounds.define(ATTR_FRAME_RATE, 5, 60)
+    bounds.define(ATTR_RESOLUTION_LINES, 120, 1080)
+    bounds.define(ATTR_RESPONSE_DEADLINE_MS, 1, 500)
+    bounds.define(ATTR_BITRATE_KBPS, 32, 8000)
+    bounds.define(ATTR_CONTROL_PERIOD_MS, 1, 100)
+    bounds.define(ATTR_CHANNEL_COUNT, 1, 8)
+    return bounds
+
+
+#: Function type IDs used by the example applications.
+TYPE_FIR_EQUALIZER = 1
+TYPE_FFT_1D = 2
+TYPE_MP3_DECODER = 3
+TYPE_VIDEO_DECODER = 4
+TYPE_VIDEO_SCALER = 5
+TYPE_CAN_FILTER = 6
+TYPE_PID_CONTROLLER = 7
+TYPE_SENSOR_FUSION = 8

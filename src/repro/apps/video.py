@@ -1,0 +1,108 @@
+"""Video-playback application workload (Application 2 of paper Fig. 1).
+
+Video decoding and scaling are the area- and bandwidth-hungry functions of the
+scenario: the FPGA variants deliver full frame rate and resolution but occupy
+several reconfigurable slots, so they compete with the other applications for
+FPGA area and force the allocation manager into alternative or preemption
+decisions under load.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..allocation.negotiation import ApplicationPolicy
+from ..core.case_base import CaseBase, DeploymentInfo, ExecutionTarget, Implementation
+from .schema import (
+    ATTR_BITWIDTH,
+    ATTR_FRAME_RATE,
+    ATTR_PROCESSING_MODE,
+    ATTR_RESOLUTION_LINES,
+    ATTR_RESPONSE_DEADLINE_MS,
+    TYPE_VIDEO_DECODER,
+    TYPE_VIDEO_SCALER,
+)
+from .workloads import ApplicationWorkload, WorkloadRequest
+
+
+class VideoPlayerWorkload(ApplicationWorkload):
+    """Video playback: decoder plus scaler requests with high area demand."""
+
+    name = "video-player"
+
+    def policy(self) -> ApplicationPolicy:
+        """Video accepts frame-rate/resolution degradation rather than failing."""
+        return ApplicationPolicy(
+            minimum_similarity=0.55,
+            accept_preemption=True,
+            relaxation_factors={ATTR_FRAME_RATE: 0.5, ATTR_RESOLUTION_LINES: 0.5},
+            max_relaxations=2,
+        )
+
+    def contribute(self, case_base: CaseBase) -> None:
+        decoder = case_base.add_type(TYPE_VIDEO_DECODER, name="Video Decoder")
+        decoder.add(Implementation(
+            1, ExecutionTarget.FPGA, name="FPGA video decoder",
+            attributes={ATTR_BITWIDTH: 16, ATTR_PROCESSING_MODE: 0, ATTR_FRAME_RATE: 30,
+                        ATTR_RESOLUTION_LINES: 576, ATTR_RESPONSE_DEADLINE_MS: 33},
+            deployment=DeploymentInfo(configuration_size_bytes=210_000, area_slices=3100,
+                                      power_mw=700.0, setup_time_us=4200.0),
+        ))
+        decoder.add(Implementation(
+            2, ExecutionTarget.DSP, name="DSP video decoder",
+            attributes={ATTR_BITWIDTH: 16, ATTR_PROCESSING_MODE: 1, ATTR_FRAME_RATE: 25,
+                        ATTR_RESOLUTION_LINES: 480, ATTR_RESPONSE_DEADLINE_MS: 40},
+            deployment=DeploymentInfo(configuration_size_bytes=26_000, power_mw=380.0,
+                                      load_fraction=0.6, setup_time_us=600.0),
+        ))
+        decoder.add(Implementation(
+            3, ExecutionTarget.GPP, name="Software video decoder",
+            attributes={ATTR_BITWIDTH: 8, ATTR_PROCESSING_MODE: 0, ATTR_FRAME_RATE: 15,
+                        ATTR_RESOLUTION_LINES: 288, ATTR_RESPONSE_DEADLINE_MS: 66},
+            deployment=DeploymentInfo(configuration_size_bytes=14_000, power_mw=240.0,
+                                      load_fraction=0.7, setup_time_us=200.0),
+        ))
+
+        scaler = case_base.add_type(TYPE_VIDEO_SCALER, name="Video Scaler")
+        scaler.add(Implementation(
+            1, ExecutionTarget.FPGA, name="FPGA video scaler",
+            attributes={ATTR_BITWIDTH: 16, ATTR_FRAME_RATE: 30, ATTR_RESOLUTION_LINES: 576},
+            deployment=DeploymentInfo(configuration_size_bytes=88_000, area_slices=1400,
+                                      power_mw=320.0, setup_time_us=2600.0),
+        ))
+        scaler.add(Implementation(
+            2, ExecutionTarget.GPP, name="Software video scaler",
+            attributes={ATTR_BITWIDTH: 8, ATTR_FRAME_RATE: 12, ATTR_RESOLUTION_LINES: 288},
+            deployment=DeploymentInfo(configuration_size_bytes=6_000, power_mw=160.0,
+                                      load_fraction=0.35, setup_time_us=100.0),
+        ))
+
+    def requests(self, rng: random.Random, duration_us: float) -> List[WorkloadRequest]:
+        requests: List[WorkloadRequest] = []
+        # A playback session starts every ~1.2 s and holds its decoder ~900 ms.
+        for time in self._periodic_times(rng, duration_us, 1_200_000.0, 150_000.0):
+            resolution = rng.choice([480, 576])
+            requests.append(WorkloadRequest(
+                issue_time_us=time,
+                type_id=TYPE_VIDEO_DECODER,
+                constraints={
+                    "bitwidth": 16,
+                    "frame_rate": rng.choice([25, 30]),
+                    "resolution_lines": resolution,
+                    "response_deadline_ms": 40,
+                },
+                weights={"frame_rate": 2.0, "resolution_lines": 2.0,
+                         "bitwidth": 1.0, "response_deadline_ms": 1.0},
+                hold_time_us=900_000.0,
+                note="playback session",
+            ))
+            # The scaler is requested shortly after the decoder of each session.
+            requests.append(WorkloadRequest(
+                issue_time_us=time + 20_000.0,
+                type_id=TYPE_VIDEO_SCALER,
+                constraints={"frame_rate": 25, "resolution_lines": resolution},
+                hold_time_us=850_000.0,
+                note="display scaling",
+            ))
+        return sorted(requests, key=lambda request: request.issue_time_us)

@@ -1,0 +1,135 @@
+"""Workload framework for the example applications (paper Fig. 1, top layer).
+
+An :class:`ApplicationWorkload` bundles three things:
+
+* the function types and implementation variants the application brings to the
+  platform-wide case base (:meth:`ApplicationWorkload.contribute`);
+* the application's negotiation policy (minimum acceptable similarity,
+  tolerance for preemption, relaxation behaviour);
+* a generator of timed, QoS-constrained function requests
+  (:meth:`ApplicationWorkload.requests`), used by the allocation-scenario
+  experiment (E10) and the multi-application example.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..allocation.negotiation import ApplicationPolicy
+from ..core.attributes import Number
+from ..core.case_base import CaseBase
+
+
+@dataclass(frozen=True)
+class WorkloadRequest:
+    """One timed function request issued by an application."""
+
+    issue_time_us: float
+    type_id: int
+    constraints: Dict[str, Union[Number, str]]
+    weights: Dict[str, float] = field(default_factory=dict)
+    hold_time_us: float = 50_000.0
+    note: str = ""
+
+
+class ApplicationWorkload:
+    """Base class of the example application workload models."""
+
+    #: Application name used as the requester identity.
+    name: str = "application"
+
+    def policy(self) -> ApplicationPolicy:
+        """The application's QoS negotiation policy (overridden by subclasses)."""
+        return ApplicationPolicy()
+
+    def contribute(self, case_base: CaseBase) -> None:
+        """Add this application's function types and variants to the case base.
+
+        Implementations must be idempotent-safe only in the sense that they are
+        called exactly once per scenario build; duplicate type IDs across
+        applications are allowed as long as only one application contributes
+        them (the scenario builder enforces this).
+        """
+        raise NotImplementedError
+
+    def requests(self, rng: random.Random, duration_us: float) -> List[WorkloadRequest]:
+        """Generate the timed request sequence for one scenario run."""
+        raise NotImplementedError
+
+    # -- helpers shared by the concrete workloads -----------------------------------
+
+    @staticmethod
+    def _periodic_times(
+        rng: random.Random, duration_us: float, period_us: float, jitter_us: float
+    ) -> List[float]:
+        """Periodic issue times with bounded uniform jitter."""
+        times: List[float] = []
+        time = rng.uniform(0.0, period_us * 0.25)
+        while time < duration_us:
+            times.append(time + rng.uniform(-jitter_us, jitter_us))
+            time += period_us
+        return [max(0.0, t) for t in times]
+
+
+@dataclass
+class ScenarioEvent:
+    """One event of a scenario run (request issued and its outcome)."""
+
+    time_us: float
+    application: str
+    request: WorkloadRequest
+    succeeded: bool
+    status: str
+    device: Optional[str]
+    similarity: Optional[float]
+    used_bypass: bool
+
+
+@dataclass
+class ScenarioResult:
+    """Aggregated outcome of one scenario run."""
+
+    events: List[ScenarioEvent] = field(default_factory=list)
+
+    @property
+    def request_count(self) -> int:
+        """Total number of requests issued."""
+        return len(self.events)
+
+    @property
+    def success_count(self) -> int:
+        """Requests that ended with a usable allocation."""
+        return sum(1 for event in self.events if event.succeeded)
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of requests served."""
+        if not self.events:
+            return 0.0
+        return self.success_count / self.request_count
+
+    @property
+    def bypass_count(self) -> int:
+        """Requests served directly from bypass tokens."""
+        return sum(1 for event in self.events if event.used_bypass)
+
+    def per_application(self) -> Dict[str, Tuple[int, int]]:
+        """``{application: (requests, successes)}``."""
+        summary: Dict[str, Tuple[int, int]] = {}
+        for event in self.events:
+            requests, successes = summary.get(event.application, (0, 0))
+            summary[event.application] = (
+                requests + 1,
+                successes + (1 if event.succeeded else 0),
+            )
+        return summary
+
+    def per_device(self) -> Dict[str, int]:
+        """Number of successful placements per device."""
+        summary: Dict[str, int] = {}
+        for event in self.events:
+            if event.succeeded and event.device is not None:
+                summary[event.device] = summary.get(event.device, 0) + 1
+        return summary

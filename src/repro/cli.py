@@ -1,0 +1,250 @@
+"""Command-line interface for the QoS function-allocation library.
+
+Provides the day-to-day developer workflows as sub-commands:
+
+* ``repro-qos paper-example`` -- reproduce Table 1 (reference, hardware and
+  software executions) and print the comparison;
+* ``repro-qos generate`` -- generate a random case base (the paper's Matlab
+  tooling) and write it to JSON;
+* ``repro-qos retrieve`` -- run a retrieval against a case-base JSON file with
+  constraints given on the command line;
+* ``repro-qos estimate`` -- print the Table 2-style resource estimate for a
+  retrieval-unit configuration;
+* ``repro-qos export`` -- export CB-MEM/Req-MEM images as ``.memh`` / C headers;
+* ``repro-qos scenario`` -- run the multi-application allocation scenario.
+
+The CLI is intentionally a thin veneer over the library so that everything it
+prints is also reachable programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis import format_table
+from .core import (
+    FunctionRequest,
+    RetrievalEngine,
+    paper_case_base,
+    paper_request,
+)
+from .hardware import HardwareConfig, HardwareRetrievalUnit, ResourceEstimator
+from .software import SoftwareRetrievalUnit
+from .tools import (
+    CaseBaseGenerator,
+    GeneratorSpec,
+    export_memory_images,
+    load_case_base,
+    save_case_base,
+)
+
+
+def _parse_constraint(text: str) -> tuple:
+    """Parse ``ID=VALUE[:WEIGHT]`` command-line constraints."""
+    try:
+        id_part, value_part = text.split("=", 1)
+        if ":" in value_part:
+            value_text, weight_text = value_part.split(":", 1)
+            weight = float(weight_text)
+        else:
+            value_text, weight = value_part, 1.0
+        return int(id_part), int(value_text), weight
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"constraint {text!r} is not of the form ID=VALUE or ID=VALUE:WEIGHT"
+        ) from exc
+
+
+def _hardware_config(args: argparse.Namespace) -> HardwareConfig:
+    return HardwareConfig(
+        clock_mhz=args.clock_mhz,
+        wide_attribute_fetch=args.compact,
+        pipelined_datapath=args.compact,
+        cache_reciprocals=args.compact,
+        n_best=args.n_best,
+    )
+
+
+def cmd_paper_example(args: argparse.Namespace) -> int:
+    """Reproduce Table 1 with all three execution models."""
+    case_base = paper_case_base()
+    request = paper_request()
+    engine = RetrievalEngine(case_base)
+    ranking = engine.retrieve_n_best(request, 3)
+    hardware = HardwareRetrievalUnit(case_base).run(request)
+    software = SoftwareRetrievalUnit(case_base).run(request)
+    rows = [
+        [entry.implementation_id, entry.implementation.name, round(entry.similarity, 3)]
+        for entry in ranking
+    ]
+    print(format_table(["impl", "name", "S_global"], rows, title="Table 1 reproduction"))
+    print()
+    print(f"hardware unit : best={hardware.best_id} S={hardware.best_similarity:.3f} "
+          f"cycles={hardware.cycles}")
+    print(f"software model: best={software.best_id} S={software.best_similarity:.3f} "
+          f"cycles={software.cycles}")
+    print(f"speedup at equal clock: {software.cycles / hardware.cycles:.1f}x "
+          f"(paper: ~8.5x)")
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    """Generate a random case base and write it to JSON."""
+    spec = GeneratorSpec(
+        type_count=args.types,
+        implementations_per_type=args.implementations,
+        attributes_per_implementation=args.attributes,
+        attribute_type_count=max(args.attributes, args.attribute_types),
+    )
+    generator = CaseBaseGenerator(spec, seed=args.seed)
+    path = save_case_base(generator.case_base(), args.output)
+    print(f"wrote case base with {spec.type_count} types x {spec.implementations_per_type} "
+          f"implementations to {path}")
+    return 0
+
+
+def cmd_retrieve(args: argparse.Namespace) -> int:
+    """Run retrieval against a case-base JSON file."""
+    case_base = load_case_base(args.case_base) if args.case_base else paper_case_base()
+    request = FunctionRequest(args.type_id, list(args.constraint), requester="cli")
+    if args.backend == "reference":
+        result = RetrievalEngine(case_base).retrieve(request, n=args.n_best)
+        rows = [
+            [entry.implementation_id, entry.implementation.target.value, round(entry.similarity, 4)]
+            for entry in result
+        ]
+        print(format_table(["impl", "target", "S_global"], rows, title="retrieval result"))
+    else:
+        unit = HardwareRetrievalUnit(case_base, config=_hardware_config(args))
+        result = unit.run(request)
+        rows = [
+            [implementation_id, round(similarity, 4)]
+            for implementation_id, similarity in zip(
+                result.ranked_ids(), result.ranked_similarities()
+            )
+        ]
+        print(format_table(["impl", "S_global"], rows, title="hardware retrieval result"))
+        print(f"cycles={result.cycles} time={result.time_us:.2f} us at {result.clock_mhz:.0f} MHz")
+    return 0
+
+
+def cmd_estimate(args: argparse.Namespace) -> int:
+    """Print the Table 2-style resource estimate."""
+    estimate = ResourceEstimator().estimate(config=_hardware_config(args))
+    print(format_table(["resource", "usage"], estimate.as_table_rows(),
+                       title=f"resource estimate ({estimate.device.name})"))
+    if args.components:
+        rows = [[c.name, c.slices, c.multipliers, f"{c.delay_ns:.1f}"] for c in estimate.components]
+        print()
+        print(format_table(["component", "slices", "mult", "delay ns"], rows,
+                           title="component inventory"))
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    """Export memory images for RTL / firmware testbenches."""
+    case_base = load_case_base(args.case_base) if args.case_base else paper_case_base()
+    request = paper_request() if args.with_request else None
+    outputs = export_memory_images(
+        case_base, request, args.output_dir, prefix=args.prefix, formats=args.formats
+    )
+    for name, path in sorted(outputs.items()):
+        print(f"{name:18s} -> {path}")
+    return 0
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    """Run the multi-application allocation scenario."""
+    from .apps import ScenarioRunner, build_scenario
+
+    scenario = build_scenario(
+        fpga_count=args.fpgas,
+        power_budget_mw=args.power_budget,
+        retrieval_backend=args.backend if args.backend != "reference" else "reference",
+    )
+    result = ScenarioRunner(scenario, seed=args.seed).run(args.duration_ms * 1000.0)
+    print(f"requests={result.request_count} served={result.success_count} "
+          f"({result.success_rate:.0%}) bypass={result.bypass_count}")
+    rows = [
+        [application, requests, successes]
+        for application, (requests, successes) in sorted(result.per_application().items())
+    ]
+    print(format_table(["application", "requests", "served"], rows))
+    statistics = scenario.manager.statistics
+    print(f"alternatives={statistics.allocated_alternative} "
+          f"preemptions={statistics.preemptions} "
+          f"infeasible={statistics.rejected_infeasible} "
+          f"app-rejected={statistics.rejected_by_application}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-qos",
+        description="QoS-based function allocation for reconfigurable systems",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sub = subparsers.add_parser("paper-example", help="reproduce Table 1 of the paper")
+    sub.set_defaults(handler=cmd_paper_example)
+
+    sub = subparsers.add_parser("generate", help="generate a random case base as JSON")
+    sub.add_argument("output", help="output JSON path")
+    sub.add_argument("--types", type=int, default=15)
+    sub.add_argument("--implementations", type=int, default=10)
+    sub.add_argument("--attributes", type=int, default=10)
+    sub.add_argument("--attribute-types", type=int, default=10)
+    sub.add_argument("--seed", type=int, default=0)
+    sub.set_defaults(handler=cmd_generate)
+
+    sub = subparsers.add_parser("retrieve", help="run one retrieval")
+    sub.add_argument("--case-base", help="case-base JSON (defaults to the paper example)")
+    sub.add_argument("--type-id", type=int, default=1)
+    sub.add_argument("--constraint", action="append", type=_parse_constraint, default=[],
+                     help="constraint as ID=VALUE or ID=VALUE:WEIGHT (repeatable)")
+    sub.add_argument("--backend", choices=["reference", "hardware"], default="reference")
+    sub.add_argument("--n-best", type=int, default=3)
+    sub.add_argument("--clock-mhz", type=float, default=66.0)
+    sub.add_argument("--compact", action="store_true",
+                     help="enable the compacted-block hardware configuration")
+    sub.set_defaults(handler=cmd_retrieve)
+
+    sub = subparsers.add_parser("estimate", help="Table 2-style resource estimate")
+    sub.add_argument("--n-best", type=int, default=1)
+    sub.add_argument("--clock-mhz", type=float, default=66.0)
+    sub.add_argument("--compact", action="store_true")
+    sub.add_argument("--components", action="store_true", help="print the component inventory")
+    sub.set_defaults(handler=cmd_estimate)
+
+    sub = subparsers.add_parser("export", help="export CB-MEM / Req-MEM images")
+    sub.add_argument("output_dir")
+    sub.add_argument("--case-base", help="case-base JSON (defaults to the paper example)")
+    sub.add_argument("--prefix", default="retrieval")
+    sub.add_argument("--formats", nargs="+", choices=["memh", "c"], default=["memh", "c"])
+    sub.add_argument("--with-request", action="store_true",
+                     help="also export the paper's example request image")
+    sub.set_defaults(handler=cmd_export)
+
+    sub = subparsers.add_parser("scenario", help="run the multi-application scenario")
+    sub.add_argument("--fpgas", type=int, default=2)
+    sub.add_argument("--power-budget", type=float, default=3500.0)
+    sub.add_argument("--duration-ms", type=float, default=3000.0)
+    sub.add_argument("--seed", type=int, default=11)
+    sub.add_argument("--backend", choices=["reference", "hardware"], default="reference")
+    sub.set_defaults(handler=cmd_scenario)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

@@ -1,0 +1,170 @@
+"""Core CBR-based QoS function-allocation library (the paper's contribution).
+
+The :mod:`repro.core` package contains the substrate-independent reference
+implementation of the retrieval and similarity machinery described in the
+paper, plus the full CBR-cycle extensions the paper lists as future work.
+
+Typical usage::
+
+    from repro.core import (
+        CaseBase, Implementation, ExecutionTarget, FunctionRequest,
+        RetrievalEngine,
+    )
+
+    case_base = CaseBase()
+    fir = case_base.add_type(1, name="FIR Equalizer")
+    fir.add(Implementation(1, ExecutionTarget.FPGA, {1: 16, 3: 2, 4: 44}))
+    request = FunctionRequest(1, [(1, 16), (3, 1), (4, 40)])
+    result = RetrievalEngine(case_base).retrieve_best(request)
+"""
+
+from .amalgamation import (
+    AMALGAMATIONS,
+    AmalgamationFunction,
+    MaximumAmalgamation,
+    MinimumAmalgamation,
+    WeightedGeometricMean,
+    WeightedSum,
+    get_amalgamation,
+    verify_amalgamation_properties,
+)
+from .attributes import (
+    AttributeBounds,
+    AttributeSchema,
+    AttributeType,
+    BoundsTable,
+    PAPER_ATTRIBUTE_IDS,
+    paper_bounds,
+    paper_schema,
+)
+from .bypass import BypassCache, BypassStatistics, BypassToken
+from .case_base import (
+    CaseBase,
+    DeploymentInfo,
+    ExecutionTarget,
+    FunctionType,
+    Implementation,
+)
+from .exceptions import (
+    AllocationError,
+    CaseBaseError,
+    DuplicateEntryError,
+    EncodingError,
+    FeasibilityError,
+    FixedPointError,
+    HardwareModelError,
+    MemoryMapError,
+    NegotiationError,
+    PlatformError,
+    ReproError,
+    RequestError,
+    RetrievalError,
+    SchemaError,
+    SoftwareModelError,
+    UnknownFunctionTypeError,
+)
+from .learning import (
+    CaseRetainer,
+    CaseReviser,
+    CBRCycle,
+    CycleReport,
+    OutcomeRecord,
+    RevisionReport,
+)
+from .paper_example import (
+    FIR_EQUALIZER_TYPE_ID,
+    FFT_TYPE_ID,
+    TABLE1_BEST_IMPLEMENTATION_ID,
+    TABLE1_DMAX,
+    TABLE1_EXPECTED_SIMILARITIES,
+    paper_case_base,
+    paper_example,
+)
+from .request import FunctionRequest, RequestAttribute, RequestBuilder, paper_request
+from .retrieval import (
+    RetrievalEngine,
+    RetrievalResult,
+    RetrievalStatistics,
+    ScoredImplementation,
+)
+from .similarity import (
+    AsymmetricLocalSimilarity,
+    DistanceMetric,
+    EuclideanDistance,
+    LocalSimilarity,
+    LocalSimilarityValue,
+    MahalanobisSimilarity,
+    ManhattanDistance,
+    ThresholdLocalSimilarity,
+)
+
+__all__ = [
+    "AMALGAMATIONS",
+    "AllocationError",
+    "AmalgamationFunction",
+    "AsymmetricLocalSimilarity",
+    "AttributeBounds",
+    "AttributeSchema",
+    "AttributeType",
+    "BoundsTable",
+    "BypassCache",
+    "BypassStatistics",
+    "BypassToken",
+    "CBRCycle",
+    "CaseBase",
+    "CaseBaseError",
+    "CaseRetainer",
+    "CaseReviser",
+    "CycleReport",
+    "DeploymentInfo",
+    "DistanceMetric",
+    "DuplicateEntryError",
+    "EncodingError",
+    "EuclideanDistance",
+    "ExecutionTarget",
+    "FFT_TYPE_ID",
+    "FIR_EQUALIZER_TYPE_ID",
+    "FeasibilityError",
+    "FixedPointError",
+    "FunctionRequest",
+    "FunctionType",
+    "HardwareModelError",
+    "Implementation",
+    "LocalSimilarity",
+    "LocalSimilarityValue",
+    "MahalanobisSimilarity",
+    "ManhattanDistance",
+    "MaximumAmalgamation",
+    "MemoryMapError",
+    "MinimumAmalgamation",
+    "NegotiationError",
+    "OutcomeRecord",
+    "PAPER_ATTRIBUTE_IDS",
+    "PlatformError",
+    "ReproError",
+    "RequestAttribute",
+    "RequestBuilder",
+    "RequestError",
+    "RetrievalEngine",
+    "RetrievalError",
+    "RetrievalResult",
+    "RetrievalStatistics",
+    "RevisionReport",
+    "SchemaError",
+    "ScoredImplementation",
+    "SoftwareModelError",
+    "TABLE1_BEST_IMPLEMENTATION_ID",
+    "TABLE1_DMAX",
+    "TABLE1_EXPECTED_SIMILARITIES",
+    "ThresholdLocalSimilarity",
+    "UnknownFunctionTypeError",
+    "WeightedGeometricMean",
+    "WeightedSum",
+    "get_amalgamation",
+    "paper_bounds",
+    "paper_case_base",
+    "paper_example",
+    "paper_request",
+    "paper_schema",
+    "verify_amalgamation_properties",
+]

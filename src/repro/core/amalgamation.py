@@ -1,0 +1,168 @@
+"""Amalgamation functions combining local similarities (paper section 2.2, eq. 2).
+
+An amalgamation function maps the vector of local similarities -- a point in
+the n-dimensional unit cube ``[0, 1]^n`` -- back onto a scalar global
+similarity in ``[0, 1]``.  The paper requires monotonicity in every argument
+and the boundary conditions ``S(0, ..., 0) = 0`` and ``S(1, ..., 1) = 1``, and
+chooses the weighted sum
+
+    S_global(s_1, ..., s_n) = sum_i  w_i * s_i,   with  sum_i w_i = 1    (eq. 2)
+
+Alternative amalgamations (minimum, maximum, weighted geometric mean) are
+provided for the metric-comparison experiment (E9) and for applications that
+want "worst constraint dominates" semantics.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .exceptions import RetrievalError
+
+
+class AmalgamationFunction:
+    """Interface: combine weighted local similarities into a global similarity."""
+
+    name = "abstract"
+
+    def combine(self, similarities: Sequence[float], weights: Sequence[float]) -> float:
+        """Combine local similarities (each in ``[0, 1]``) using the given weights.
+
+        ``weights`` are expected to be non-negative; implementations that need
+        normalised weights normalise internally so callers may pass raw
+        weights.
+        """
+        raise NotImplementedError
+
+    @staticmethod
+    def _validate(similarities: Sequence[float], weights: Sequence[float]) -> None:
+        if len(similarities) != len(weights):
+            raise RetrievalError(
+                f"similarity/weight length mismatch: {len(similarities)} vs {len(weights)}"
+            )
+        if not similarities:
+            raise RetrievalError("cannot amalgamate an empty similarity vector")
+        if any(weight < 0 for weight in weights):
+            raise RetrievalError("weights must be non-negative")
+
+    @staticmethod
+    def _normalised_weights(weights: Sequence[float]) -> List[float]:
+        total = sum(weights)
+        if total <= 0:
+            raise RetrievalError("weights must not all be zero")
+        return [weight / total for weight in weights]
+
+
+class WeightedSum(AmalgamationFunction):
+    """The weighted sum of eq. 2 -- the paper's choice."""
+
+    name = "weighted_sum"
+
+    def combine(self, similarities: Sequence[float], weights: Sequence[float]) -> float:
+        self._validate(similarities, weights)
+        normalised = self._normalised_weights(weights)
+        return float(sum(w * s for w, s in zip(normalised, similarities)))
+
+
+class MinimumAmalgamation(AmalgamationFunction):
+    """Global similarity is the worst local similarity (hard-constraint style).
+
+    Weights only matter in that zero-weight attributes are ignored.
+    """
+
+    name = "minimum"
+
+    def combine(self, similarities: Sequence[float], weights: Sequence[float]) -> float:
+        self._validate(similarities, weights)
+        considered = [s for s, w in zip(similarities, weights) if w > 0]
+        if not considered:
+            raise RetrievalError("all weights are zero")
+        return float(min(considered))
+
+
+class MaximumAmalgamation(AmalgamationFunction):
+    """Global similarity is the best local similarity (any-match semantics)."""
+
+    name = "maximum"
+
+    def combine(self, similarities: Sequence[float], weights: Sequence[float]) -> float:
+        self._validate(similarities, weights)
+        considered = [s for s, w in zip(similarities, weights) if w > 0]
+        if not considered:
+            raise RetrievalError("all weights are zero")
+        return float(max(considered))
+
+
+class WeightedGeometricMean(AmalgamationFunction):
+    """Weighted geometric mean; punishes single very poor matches more than eq. 2."""
+
+    name = "geometric_mean"
+
+    def combine(self, similarities: Sequence[float], weights: Sequence[float]) -> float:
+        self._validate(similarities, weights)
+        normalised = self._normalised_weights(weights)
+        product = 0.0
+        for similarity, weight in zip(similarities, normalised):
+            if similarity <= 0.0:
+                if weight > 0.0:
+                    return 0.0
+                continue
+            product += weight * math.log(similarity)
+        return float(math.exp(product))
+
+
+#: Registry used by configuration files and the benchmark sweeps.
+AMALGAMATIONS: Dict[str, AmalgamationFunction] = {
+    function.name: function
+    for function in (
+        WeightedSum(),
+        MinimumAmalgamation(),
+        MaximumAmalgamation(),
+        WeightedGeometricMean(),
+    )
+}
+
+
+def get_amalgamation(name: str) -> AmalgamationFunction:
+    """Look up a registered amalgamation function by name."""
+    try:
+        return AMALGAMATIONS[name]
+    except KeyError as exc:
+        raise RetrievalError(
+            f"unknown amalgamation function {name!r}; known: {sorted(AMALGAMATIONS)}"
+        ) from exc
+
+
+def verify_amalgamation_properties(
+    function: AmalgamationFunction,
+    dimension: int = 3,
+    samples: int = 64,
+    seed: int = 0,
+) -> bool:
+    """Check the paper's required properties on random samples.
+
+    Verifies (a) range containment in ``[0, 1]``, (b) the boundary conditions
+    ``S(0,...,0) = 0`` and ``S(1,...,1) = 1`` and (c) monotonicity in every
+    argument, on a deterministic pseudo-random sample set.  Used by tests and
+    by the property-based suite as a convenient oracle.
+    """
+    import random
+
+    rng = random.Random(seed)
+    weights = [1.0 / dimension] * dimension
+    zero = function.combine([0.0] * dimension, weights)
+    one = function.combine([1.0] * dimension, weights)
+    if abs(zero) > 1e-9 or abs(one - 1.0) > 1e-9:
+        return False
+    for _ in range(samples):
+        vector = [rng.random() for _ in range(dimension)]
+        value = function.combine(vector, weights)
+        if not -1e-9 <= value <= 1.0 + 1e-9:
+            return False
+        index = rng.randrange(dimension)
+        bumped = list(vector)
+        bumped[index] = min(1.0, bumped[index] + rng.random() * (1.0 - bumped[index]))
+        if function.combine(bumped, weights) < value - 1e-9:
+            return False
+    return True

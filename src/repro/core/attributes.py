@@ -1,0 +1,376 @@
+"""QoS attribute types, schemas and design-time bounds.
+
+The paper (section 2.2) describes each function implementation by a set of
+``(attribute-ID, value)`` pairs.  Attribute values are integers or reals, and
+discrete ordered symbol sets (for example ``mono < stereo < surround``) are
+mapped onto integers.  For every attribute type a *design-global* value range
+is known at design time; the derived maximum distance ``dmax`` feeds the local
+similarity measure (paper eq. 1) and is stored, as ``1 / (1 + dmax)``, in the
+attribute supplemental list of the hardware implementation (Fig. 4 right).
+
+This module provides:
+
+* :class:`AttributeType` -- the static description of one attribute kind
+  (bitwidth, sampling rate, output mode, ...), including optional symbolic
+  level names.
+* :class:`AttributeSchema` -- a registry of attribute types keyed by their
+  integer ID, shared between requests, case bases and the memory encoders.
+* :class:`AttributeBounds` / :class:`BoundsTable` -- the design-global
+  lower/upper bounds and the derived ``dmax`` per attribute type
+  (the "extra table ... generated at design time" the paper mentions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .exceptions import SchemaError
+
+Number = Union[int, float]
+
+#: Attribute IDs used by the worked example in the paper (Fig. 3 / Table 1).
+PAPER_ATTRIBUTE_IDS = {
+    "bitwidth": 1,
+    "processing_mode": 2,
+    "output_mode": 3,
+    "sampling_rate": 4,
+}
+
+
+@dataclass(frozen=True)
+class AttributeType:
+    """Static description of one QoS attribute kind.
+
+    Parameters
+    ----------
+    attribute_id:
+        The unique integer type ID.  The hardware encoding stores this ID in a
+        16-bit word, so it must be positive and fit into 16 bits.
+    name:
+        Human readable name, e.g. ``"bitwidth"``.
+    unit:
+        Optional physical unit (``"kSamples/s"``, ``"mW"``, ...).
+    symbols:
+        Optional ordered symbol names for discrete attributes.  Symbol *i* is
+        encoded as the integer ``i``; the order encodes the quality ordering
+        (e.g. ``("mono", "stereo", "surround")``).
+    higher_is_better:
+        Documentation hint used by negotiation heuristics when relaxing
+        constraints; it does not influence the similarity measure itself.
+    description:
+        Free-form documentation string.
+    """
+
+    attribute_id: int
+    name: str
+    unit: str = ""
+    symbols: Tuple[str, ...] = ()
+    higher_is_better: bool = True
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.attribute_id, int) or self.attribute_id <= 0:
+            raise SchemaError(
+                f"attribute ID must be a positive integer, got {self.attribute_id!r}"
+            )
+        if self.attribute_id >= 1 << 16:
+            raise SchemaError(
+                f"attribute ID {self.attribute_id} does not fit into a 16-bit word"
+            )
+        if not self.name:
+            raise SchemaError("attribute type needs a non-empty name")
+
+    @property
+    def is_symbolic(self) -> bool:
+        """Whether the attribute takes values from an ordered symbol set."""
+        return bool(self.symbols)
+
+    def encode_symbol(self, symbol: str) -> int:
+        """Map a symbol name to its integer encoding."""
+        try:
+            return self.symbols.index(symbol)
+        except ValueError as exc:
+            raise SchemaError(
+                f"attribute {self.name!r} has no symbol {symbol!r}; "
+                f"known symbols: {list(self.symbols)}"
+            ) from exc
+
+    def decode_symbol(self, value: int) -> str:
+        """Map an integer encoding back to its symbol name."""
+        if not self.is_symbolic:
+            raise SchemaError(f"attribute {self.name!r} is not symbolic")
+        if not 0 <= int(value) < len(self.symbols):
+            raise SchemaError(
+                f"value {value} is outside the symbol range of attribute {self.name!r}"
+            )
+        return self.symbols[int(value)]
+
+    def coerce(self, value: Union[Number, str]) -> Number:
+        """Turn a user-supplied value (number or symbol name) into a number."""
+        if isinstance(value, str):
+            return self.encode_symbol(value)
+        return value
+
+
+@dataclass(frozen=True)
+class AttributeBounds:
+    """Design-global lower/upper bound of one attribute type.
+
+    ``dmax`` -- the maximum possible distance between two values of this
+    attribute -- is ``upper - lower``.  The hardware supplemental list stores
+    the pre-computed reciprocal ``1 / (1 + dmax)`` so that the local
+    similarity of eq. 1 becomes a multiplication instead of a division.
+    """
+
+    attribute_id: int
+    lower: Number
+    upper: Number
+
+    def __post_init__(self) -> None:
+        if self.upper < self.lower:
+            raise SchemaError(
+                f"attribute {self.attribute_id}: upper bound {self.upper} is below "
+                f"lower bound {self.lower}"
+            )
+
+    @property
+    def dmax(self) -> Number:
+        """Maximum possible distance between two in-range values."""
+        return self.upper - self.lower
+
+    @property
+    def reciprocal(self) -> float:
+        """The pre-computed constant ``1 / (1 + dmax)`` used by the hardware."""
+        return 1.0 / (1.0 + float(self.dmax))
+
+    def contains(self, value: Number) -> bool:
+        """Whether ``value`` lies inside the design-global range."""
+        return self.lower <= value <= self.upper
+
+    def clamp(self, value: Number) -> Number:
+        """Clamp ``value`` into the design-global range."""
+        return min(max(value, self.lower), self.upper)
+
+
+class AttributeSchema:
+    """Registry of :class:`AttributeType` objects keyed by attribute ID.
+
+    The schema is shared by requests, the case base and the memory-mapped
+    encoders; it is the Python counterpart of the designer-provided metric
+    definitions the paper assumes ("such metrics ... have to be pre-defined by
+    the designer").
+    """
+
+    def __init__(self, types: Iterable[AttributeType] = ()) -> None:
+        self._types: Dict[int, AttributeType] = {}
+        self._by_name: Dict[str, AttributeType] = {}
+        for attribute_type in types:
+            self.add(attribute_type)
+
+    def add(self, attribute_type: AttributeType) -> AttributeType:
+        """Register a new attribute type; duplicate IDs or names are rejected."""
+        if attribute_type.attribute_id in self._types:
+            raise SchemaError(
+                f"attribute ID {attribute_type.attribute_id} is already registered"
+            )
+        if attribute_type.name in self._by_name:
+            raise SchemaError(
+                f"attribute name {attribute_type.name!r} is already registered"
+            )
+        self._types[attribute_type.attribute_id] = attribute_type
+        self._by_name[attribute_type.name] = attribute_type
+        return attribute_type
+
+    def define(
+        self,
+        attribute_id: int,
+        name: str,
+        *,
+        unit: str = "",
+        symbols: Sequence[str] = (),
+        higher_is_better: bool = True,
+        description: str = "",
+    ) -> AttributeType:
+        """Convenience wrapper combining construction and registration."""
+        return self.add(
+            AttributeType(
+                attribute_id=attribute_id,
+                name=name,
+                unit=unit,
+                symbols=tuple(symbols),
+                higher_is_better=higher_is_better,
+                description=description,
+            )
+        )
+
+    def __contains__(self, attribute_id: int) -> bool:
+        return attribute_id in self._types
+
+    def __len__(self) -> int:
+        return len(self._types)
+
+    def __iter__(self) -> Iterator[AttributeType]:
+        return iter(sorted(self._types.values(), key=lambda t: t.attribute_id))
+
+    def get(self, attribute_id: int) -> AttributeType:
+        """Look up an attribute type by ID."""
+        try:
+            return self._types[attribute_id]
+        except KeyError as exc:
+            raise SchemaError(f"unknown attribute ID {attribute_id}") from exc
+
+    def by_name(self, name: str) -> AttributeType:
+        """Look up an attribute type by name."""
+        try:
+            return self._by_name[name]
+        except KeyError as exc:
+            raise SchemaError(f"unknown attribute name {name!r}") from exc
+
+    def ids(self) -> List[int]:
+        """All registered attribute IDs in ascending order."""
+        return sorted(self._types)
+
+    def coerce(self, attribute_id: int, value: Union[Number, str]) -> Number:
+        """Coerce a value for the given attribute ID (symbol names to integers)."""
+        return self.get(attribute_id).coerce(value)
+
+
+class BoundsTable:
+    """Design-global value bounds per attribute type.
+
+    This is the Python counterpart of the paper's "extra table ... generated at
+    design time containing supplemental data on the attributes' design-global
+    upper/lower value bounds".  The table provides ``dmax`` and its reciprocal
+    for the similarity computation and the memory-mapped supplemental list.
+    """
+
+    def __init__(self, bounds: Iterable[AttributeBounds] = ()) -> None:
+        self._bounds: Dict[int, AttributeBounds] = {}
+        for bound in bounds:
+            self.add(bound)
+
+    def add(self, bounds: AttributeBounds) -> AttributeBounds:
+        """Register bounds for one attribute type (one entry per ID)."""
+        if bounds.attribute_id in self._bounds:
+            raise SchemaError(
+                f"bounds for attribute {bounds.attribute_id} already registered"
+            )
+        self._bounds[bounds.attribute_id] = bounds
+        return bounds
+
+    def define(self, attribute_id: int, lower: Number, upper: Number) -> AttributeBounds:
+        """Convenience wrapper combining construction and registration."""
+        return self.add(AttributeBounds(attribute_id, lower, upper))
+
+    def __contains__(self, attribute_id: int) -> bool:
+        return attribute_id in self._bounds
+
+    def __len__(self) -> int:
+        return len(self._bounds)
+
+    def __iter__(self) -> Iterator[AttributeBounds]:
+        return iter(sorted(self._bounds.values(), key=lambda b: b.attribute_id))
+
+    def get(self, attribute_id: int) -> AttributeBounds:
+        """Bounds for one attribute ID."""
+        try:
+            return self._bounds[attribute_id]
+        except KeyError as exc:
+            raise SchemaError(f"no bounds registered for attribute {attribute_id}") from exc
+
+    def dmax(self, attribute_id: int) -> Number:
+        """Maximum possible distance for the given attribute type."""
+        return self.get(attribute_id).dmax
+
+    def reciprocal(self, attribute_id: int) -> float:
+        """Pre-computed ``1 / (1 + dmax)`` for the given attribute type."""
+        return self.get(attribute_id).reciprocal
+
+    def ids(self) -> List[int]:
+        """All attribute IDs with registered bounds, ascending."""
+        return sorted(self._bounds)
+
+    @classmethod
+    def from_observations(
+        cls, observations: Mapping[int, Sequence[Number]]
+    ) -> "BoundsTable":
+        """Derive bounds from observed attribute values.
+
+        The paper derives the design-global bounds "from all attributes of same
+        type given by the implementation library"; this helper does the same
+        from a mapping of attribute ID to the observed values (typically all
+        values appearing in the case base plus the expected request ranges).
+        """
+        table = cls()
+        for attribute_id, values in sorted(observations.items()):
+            values = list(values)
+            if not values:
+                raise SchemaError(
+                    f"cannot derive bounds for attribute {attribute_id}: no observations"
+                )
+            table.define(attribute_id, min(values), max(values))
+        return table
+
+    def merged_with(self, other: "BoundsTable") -> "BoundsTable":
+        """Return a new table whose ranges cover both operands."""
+        merged = BoundsTable()
+        ids = set(self._bounds) | set(other._bounds)
+        for attribute_id in sorted(ids):
+            candidates = []
+            if attribute_id in self:
+                candidates.append(self.get(attribute_id))
+            if attribute_id in other:
+                candidates.append(other.get(attribute_id))
+            merged.define(
+                attribute_id,
+                min(c.lower for c in candidates),
+                max(c.upper for c in candidates),
+            )
+        return merged
+
+
+def paper_schema() -> AttributeSchema:
+    """The attribute schema used by the paper's FIR-equalizer example (Fig. 3)."""
+    schema = AttributeSchema()
+    schema.define(
+        PAPER_ATTRIBUTE_IDS["bitwidth"],
+        "bitwidth",
+        unit="bit",
+        description="processing bitwidth of the implementation",
+    )
+    schema.define(
+        PAPER_ATTRIBUTE_IDS["processing_mode"],
+        "processing_mode",
+        symbols=("integer", "fixed", "float"),
+        description="arithmetic processing mode",
+    )
+    schema.define(
+        PAPER_ATTRIBUTE_IDS["output_mode"],
+        "output_mode",
+        symbols=("mono", "stereo", "surround"),
+        description="audio output mode",
+    )
+    schema.define(
+        PAPER_ATTRIBUTE_IDS["sampling_rate"],
+        "sampling_rate",
+        unit="kSamples/s",
+        description="audio sampling rate",
+    )
+    return schema
+
+
+def paper_bounds() -> BoundsTable:
+    """The design-global bounds used in Table 1 of the paper.
+
+    ``dmax`` values in the table are 8 (bitwidth, 8..16), 2 (output mode,
+    mono..surround) and 36 (sampling rate, 8..44 kSamples/s).  The processing
+    mode attribute is present in the case base but not constrained by the
+    example request; its range spans the defined symbols.
+    """
+    bounds = BoundsTable()
+    bounds.define(PAPER_ATTRIBUTE_IDS["bitwidth"], 8, 16)
+    bounds.define(PAPER_ATTRIBUTE_IDS["processing_mode"], 0, 2)
+    bounds.define(PAPER_ATTRIBUTE_IDS["output_mode"], 0, 2)
+    bounds.define(PAPER_ATTRIBUTE_IDS["sampling_rate"], 8, 44)
+    return bounds

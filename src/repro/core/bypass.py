@@ -1,0 +1,182 @@
+"""Bypass tokens for repeated function calls (paper section 3).
+
+"If a function was allocated and instantiated on hardware it is not necessary
+to repeat the retrieval procedure at repeated function calls.  The allocation
+manager could create a kind of bypass-token containing data on the previous
+selection which can be reused at repeated function calls so that only an
+availability check on the function and its allocated resources has to be
+done."
+
+:class:`BypassCache` implements exactly that: it maps request signatures to
+:class:`BypassToken` records of the previous selection, invalidated when the
+case base changes (revision counter) or when the token is explicitly revoked
+(for example because the allocated resources were released or preempted).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .case_base import CaseBase
+from .request import FunctionRequest
+
+
+@dataclass
+class BypassToken:
+    """Record of a previous allocation decision for one request signature."""
+
+    token_id: int
+    requester: str
+    type_id: int
+    implementation_id: int
+    similarity: float
+    case_base_revision: int
+    signature: Tuple
+    #: Number of times the token short-circuited a retrieval.
+    hits: int = 0
+    #: Tokens are revoked when the underlying allocation is released/preempted.
+    revoked: bool = False
+
+    def revoke(self) -> None:
+        """Mark the token as unusable (resources were released or preempted)."""
+        self.revoked = True
+
+    def is_valid_for(self, case_base: CaseBase) -> bool:
+        """Whether the token may still bypass retrieval against this case base."""
+        return not self.revoked and self.case_base_revision == case_base.revision
+
+
+@dataclass
+class BypassStatistics:
+    """Hit/miss counters of a bypass cache."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of lookups performed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0 when never used)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class BypassCache:
+    """Cache of bypass tokens keyed by (requester, request signature).
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of live tokens; the least recently used token is
+        evicted when the capacity is exceeded.  ``None`` means unbounded.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive or None")
+        self.capacity = capacity
+        self._tokens: Dict[Tuple[str, Tuple], BypassToken] = {}
+        self._order: List[Tuple[str, Tuple]] = []
+        self._ids = itertools.count(1)
+        self.statistics = BypassStatistics()
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def _key(self, request: FunctionRequest) -> Tuple[str, Tuple]:
+        return (request.requester, request.signature())
+
+    def _touch(self, key: Tuple[str, Tuple]) -> None:
+        if key in self._order:
+            self._order.remove(key)
+        self._order.append(key)
+
+    def lookup(self, request: FunctionRequest, case_base: CaseBase) -> Optional[BypassToken]:
+        """Return a valid token for this request, or ``None`` (and count a miss).
+
+        Stale tokens (revoked or created against an older case-base revision)
+        are dropped from the cache on lookup.
+        """
+        key = self._key(request)
+        token = self._tokens.get(key)
+        if token is None:
+            self.statistics.misses += 1
+            return None
+        if not token.is_valid_for(case_base):
+            self.invalidate_request(request)
+            self.statistics.misses += 1
+            self.statistics.invalidations += 1
+            return None
+        token.hits += 1
+        self.statistics.hits += 1
+        self._touch(key)
+        return token
+
+    def store(
+        self,
+        request: FunctionRequest,
+        case_base: CaseBase,
+        implementation_id: int,
+        similarity: float,
+    ) -> BypassToken:
+        """Create (or replace) the token for this request signature."""
+        key = self._key(request)
+        token = BypassToken(
+            token_id=next(self._ids),
+            requester=request.requester,
+            type_id=request.type_id,
+            implementation_id=implementation_id,
+            similarity=similarity,
+            case_base_revision=case_base.revision,
+            signature=request.signature(),
+        )
+        self._tokens[key] = token
+        self._touch(key)
+        if self.capacity is not None and len(self._tokens) > self.capacity:
+            oldest = self._order.pop(0)
+            del self._tokens[oldest]
+        return token
+
+    def invalidate_request(self, request: FunctionRequest) -> bool:
+        """Drop the token of one request signature; returns whether one existed."""
+        key = self._key(request)
+        if key in self._tokens:
+            del self._tokens[key]
+            if key in self._order:
+                self._order.remove(key)
+            return True
+        return False
+
+    def invalidate_implementation(self, type_id: int, implementation_id: int) -> int:
+        """Revoke every token pointing at one implementation variant.
+
+        Called when the variant's resources are released or it is preempted;
+        returns the number of tokens revoked.
+        """
+        revoked = 0
+        for token in self._tokens.values():
+            if (
+                not token.revoked
+                and token.type_id == type_id
+                and token.implementation_id == implementation_id
+            ):
+                token.revoke()
+                revoked += 1
+        return revoked
+
+    def clear(self) -> None:
+        """Drop all tokens (for example after a bulk case-base update)."""
+        self._tokens.clear()
+        self._order.clear()
+
+    def tokens(self) -> List[BypassToken]:
+        """All live tokens (including revoked ones not yet cleaned up)."""
+        return list(self._tokens.values())

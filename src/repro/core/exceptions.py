@@ -1,0 +1,81 @@
+"""Exception hierarchy for the QoS function-allocation library.
+
+All library-specific errors derive from :class:`ReproError` so that callers can
+catch everything raised by this package with a single ``except`` clause while
+still being able to distinguish specific failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SchemaError(ReproError):
+    """An attribute schema is inconsistent or an attribute type is unknown."""
+
+
+class CaseBaseError(ReproError):
+    """The case base (function-implementation tree) is malformed or a lookup failed."""
+
+
+class UnknownFunctionTypeError(CaseBaseError):
+    """A request named a function type that is not present in the case base.
+
+    The paper notes that this "should not happen since the application's
+    functional requirements should already be known at design time"; we raise a
+    dedicated error so the allocation manager can reject the request cleanly.
+    """
+
+    def __init__(self, type_id: int) -> None:
+        super().__init__(f"function type {type_id} is not present in the case base")
+        self.type_id = type_id
+
+
+class DuplicateEntryError(CaseBaseError):
+    """A function type, implementation or attribute ID was registered twice."""
+
+
+class RequestError(ReproError):
+    """A function request is malformed (bad weights, duplicate attributes, ...)."""
+
+
+class RetrievalError(ReproError):
+    """Retrieval could not be performed (empty case base, no implementations, ...)."""
+
+
+class EncodingError(ReproError):
+    """A value cannot be represented in the memory-mapped 16-bit word format."""
+
+
+class FixedPointError(ReproError):
+    """A value cannot be represented in the requested fixed-point format."""
+
+
+class MemoryMapError(ReproError):
+    """A memory image is malformed or an address is out of range."""
+
+
+class HardwareModelError(ReproError):
+    """The hardware retrieval-unit model reached an inconsistent state."""
+
+
+class SoftwareModelError(ReproError):
+    """The software (soft-core) retrieval model reached an inconsistent state."""
+
+
+class PlatformError(ReproError):
+    """A platform-level operation failed (device, repository, reconfiguration)."""
+
+
+class AllocationError(ReproError):
+    """The allocation manager could not complete an allocation."""
+
+
+class NegotiationError(AllocationError):
+    """A QoS negotiation ended without agreement."""
+
+
+class FeasibilityError(AllocationError):
+    """No feasible placement exists for a selected implementation variant."""

@@ -1,0 +1,215 @@
+"""The full CBR cycle: reuse, revise and retain (paper Fig. 2 and section 5).
+
+The paper implements only the *retrieve* step in hardware and explicitly
+defers "dynamic update mechanisms of Case-Base data structures and function
+repositories at run-time enabling for a self-learning system" to future work.
+This module provides that future-work extension in the reference library:
+
+* :class:`OutcomeRecord` -- the measured QoS attributes observed after actually
+  running an allocated implementation (the "tested/repaired case").
+* :class:`CaseReviser` -- the *revise* step: adjust the stored attribute values
+  of an implementation towards measured reality (exponential smoothing).
+* :class:`CaseRetainer` -- the *retain* step: insert a new implementation
+  variant (a learned case) when the observed behaviour differs enough from all
+  stored cases, subject to a capacity limit per function type.
+* :class:`CBRCycle` -- a convenience orchestrator tying retrieval, reuse,
+  revision and retention together.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .attributes import Number
+from .case_base import CaseBase, ExecutionTarget, Implementation
+from .exceptions import CaseBaseError, RetrievalError
+from .request import FunctionRequest
+from .retrieval import RetrievalEngine, RetrievalResult, ScoredImplementation
+
+
+@dataclass(frozen=True)
+class OutcomeRecord:
+    """Measured outcome of running one allocated implementation variant.
+
+    ``measured_attributes`` holds the QoS attribute values actually observed
+    (for example the sustained sample rate), which may deviate from the
+    design-time values stored in the case base.  ``success`` records whether
+    the application accepted the delivered quality.
+    """
+
+    type_id: int
+    implementation_id: int
+    measured_attributes: Mapping[int, Number]
+    success: bool = True
+    note: str = ""
+
+
+@dataclass
+class RevisionReport:
+    """Summary of one revise step."""
+
+    type_id: int
+    implementation_id: int
+    updated_attributes: Dict[int, Tuple[Number, Number]] = field(default_factory=dict)
+
+    @property
+    def changed(self) -> bool:
+        """Whether any attribute value was actually adjusted."""
+        return bool(self.updated_attributes)
+
+
+class CaseReviser:
+    """Revise step: blend measured attribute values into the stored case.
+
+    ``learning_rate`` is the exponential-smoothing factor: 0 keeps the stored
+    values, 1 overwrites them with the measurement.  Only attributes already
+    described by the implementation are revised; unknown measured attributes
+    are ignored here (they may instead trigger retention of a new case).
+    """
+
+    def __init__(self, learning_rate: float = 0.5) -> None:
+        if not 0.0 <= learning_rate <= 1.0:
+            raise CaseBaseError("learning rate must lie within [0, 1]")
+        self.learning_rate = learning_rate
+
+    def revise(self, case_base: CaseBase, outcome: OutcomeRecord) -> RevisionReport:
+        """Apply the revise step for one outcome record."""
+        implementation = case_base.get_implementation(
+            outcome.type_id, outcome.implementation_id
+        )
+        report = RevisionReport(outcome.type_id, outcome.implementation_id)
+        updates: Dict[int, Number] = {}
+        for attribute_id, measured in outcome.measured_attributes.items():
+            stored = implementation.get(attribute_id)
+            if stored is None:
+                continue
+            blended = stored + self.learning_rate * (measured - stored)
+            if isinstance(stored, int) and isinstance(measured, int):
+                blended = round(blended)
+            if blended != stored:
+                updates[attribute_id] = blended
+                report.updated_attributes[attribute_id] = (stored, blended)
+        if updates:
+            case_base.replace_implementation(
+                outcome.type_id, implementation.with_attributes(updates)
+            )
+        return report
+
+
+class CaseRetainer:
+    """Retain step: add genuinely new cases to the case base.
+
+    A new case is retained when the measured attribute vector is less similar
+    than ``novelty_threshold`` to every stored implementation of the same
+    function type (otherwise revision of the nearest case is preferred), and
+    the per-type capacity has not been exhausted.
+    """
+
+    def __init__(
+        self,
+        engine: RetrievalEngine,
+        *,
+        novelty_threshold: float = 0.95,
+        max_implementations_per_type: int = 10,
+    ) -> None:
+        if not 0.0 <= novelty_threshold <= 1.0:
+            raise CaseBaseError("novelty threshold must lie within [0, 1]")
+        if max_implementations_per_type <= 0:
+            raise CaseBaseError("per-type capacity must be positive")
+        self.engine = engine
+        self.novelty_threshold = novelty_threshold
+        self.max_implementations_per_type = max_implementations_per_type
+
+    def _next_implementation_id(self, type_id: int) -> int:
+        existing = self.engine.case_base.get_type(type_id).implementations
+        return (max(existing) + 1) if existing else 1
+
+    def should_retain(self, outcome: OutcomeRecord) -> bool:
+        """Whether the measured behaviour is novel enough to become a new case."""
+        case_base = self.engine.case_base
+        function_type = case_base.get_type(outcome.type_id)
+        if len(function_type) >= self.max_implementations_per_type:
+            return False
+        if len(function_type) == 0:
+            return True
+        probe = FunctionRequest(
+            outcome.type_id,
+            [(attribute_id, value) for attribute_id, value in sorted(outcome.measured_attributes.items())],
+            normalize_weights=True,
+        )
+        if len(probe) == 0:
+            return False
+        best = self.engine.retrieve_best(probe).best_similarity or 0.0
+        return best < self.novelty_threshold
+
+    def retain(
+        self,
+        outcome: OutcomeRecord,
+        target: ExecutionTarget,
+        name: str = "",
+    ) -> Optional[Implementation]:
+        """Insert a learned case; returns it, or ``None`` when not novel enough."""
+        if not self.should_retain(outcome):
+            return None
+        case_base = self.engine.case_base
+        implementation = Implementation(
+            implementation_id=self._next_implementation_id(outcome.type_id),
+            target=target,
+            attributes=dict(outcome.measured_attributes),
+            name=name or f"learned-{outcome.type_id}",
+        )
+        case_base.add_implementation(outcome.type_id, implementation)
+        return implementation
+
+
+@dataclass
+class CycleReport:
+    """Everything that happened during one pass of the CBR cycle."""
+
+    retrieval: RetrievalResult
+    reused: Optional[ScoredImplementation]
+    revision: Optional[RevisionReport] = None
+    retained: Optional[Implementation] = None
+
+
+class CBRCycle:
+    """Orchestrates retrieve -> reuse -> revise -> retain (paper Fig. 2).
+
+    The *reuse* step in this system simply selects the retrieved best variant
+    (the paper notes that "many practical CBR-implementations restrict to the
+    retrieval step only"); revise and retain run once a measured outcome is
+    reported back by the platform.
+    """
+
+    def __init__(
+        self,
+        engine: RetrievalEngine,
+        reviser: Optional[CaseReviser] = None,
+        retainer: Optional[CaseRetainer] = None,
+    ) -> None:
+        self.engine = engine
+        self.reviser = reviser if reviser is not None else CaseReviser()
+        self.retainer = retainer if retainer is not None else CaseRetainer(engine)
+        self.history: List[CycleReport] = []
+
+    def solve(self, request: FunctionRequest, n: int = 1) -> CycleReport:
+        """Retrieve and reuse: propose a solution for the request."""
+        retrieval = self.engine.retrieve(request, n=n)
+        report = CycleReport(retrieval=retrieval, reused=retrieval.best)
+        self.history.append(report)
+        return report
+
+    def feedback(
+        self,
+        report: CycleReport,
+        outcome: OutcomeRecord,
+        *,
+        retain_target: Optional[ExecutionTarget] = None,
+    ) -> CycleReport:
+        """Revise (and possibly retain) based on a measured outcome."""
+        report.revision = self.reviser.revise(self.engine.case_base, outcome)
+        if retain_target is not None:
+            report.retained = self.retainer.retain(outcome, retain_target)
+        return report

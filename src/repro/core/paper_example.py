@@ -1,0 +1,141 @@
+"""The worked example of the paper (Fig. 3 and Table 1) as ready-made objects.
+
+The example case base contains two basic function types:
+
+* type 1, "FIR equalizer", with three implementation variants:
+
+  ============== ======== ==================== ============ ==============
+  implementation bitwidth processing mode      output mode  sampling rate
+  ============== ======== ==================== ============ ==============
+  1 (FPGA)        16       integer (0)          surround (2) 44 kSamples/s
+  2 (DSP)         16       integer (0)          stereo (1)   44 kSamples/s
+  3 (GP proc.)    8        integer (0)          mono (0)     22 kSamples/s
+  ============== ======== ==================== ============ ==============
+
+* type 2, "1D-FFT", present in Fig. 3 but not detailed; this module gives it a
+  pair of plausible variants so that multi-type retrieval and the memory
+  encoders have a second branch to traverse.
+
+The request (Fig. 3, right) asks for type 1 with bitwidth 16, stereo output
+and 40 kSamples/s, with equal weights.  The expected global similarities of
+Table 1 are 0.85 (FPGA), 0.96 (DSP) and 0.43 (GP processor) with the DSP
+variant winning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .attributes import AttributeSchema, BoundsTable, paper_bounds, paper_schema
+from .case_base import CaseBase, DeploymentInfo, ExecutionTarget, Implementation
+from .request import FunctionRequest, paper_request
+
+#: Global similarities reported in Table 1 of the paper, keyed by implementation ID.
+TABLE1_EXPECTED_SIMILARITIES: Dict[int, float] = {1: 0.85, 2: 0.96, 3: 0.43}
+
+#: The implementation the paper identifies as the best match (DSP variant).
+TABLE1_BEST_IMPLEMENTATION_ID = 2
+
+#: dmax values used in Table 1, keyed by attribute ID.
+TABLE1_DMAX: Dict[int, int] = {1: 8, 3: 2, 4: 36}
+
+FIR_EQUALIZER_TYPE_ID = 1
+FFT_TYPE_ID = 2
+
+
+def paper_case_base(include_fft: bool = True) -> CaseBase:
+    """Build the Fig. 3 case base.
+
+    Parameters
+    ----------
+    include_fft:
+        Also populate the second ("1D-FFT") function type shown in Fig. 3.
+        The FFT variants are not described in the paper; they only exist so a
+        second tree branch can be traversed and do not affect Table 1.
+    """
+    schema = paper_schema()
+    bounds = paper_bounds()
+    case_base = CaseBase(schema=schema, bounds=bounds)
+
+    fir = case_base.add_type(FIR_EQUALIZER_TYPE_ID, name="FIR Equalizer")
+    fir.add(
+        Implementation(
+            implementation_id=1,
+            target=ExecutionTarget.FPGA,
+            name="FPGA FIR equalizer",
+            attributes={1: 16, 2: 0, 3: 2, 4: 44},
+            deployment=DeploymentInfo(
+                configuration_size_bytes=96_000,
+                area_slices=1200,
+                power_mw=450.0,
+                setup_time_us=2800.0,
+            ),
+        )
+    )
+    fir.add(
+        Implementation(
+            implementation_id=2,
+            target=ExecutionTarget.DSP,
+            name="DSP FIR equalizer",
+            attributes={1: 16, 2: 0, 3: 1, 4: 44},
+            deployment=DeploymentInfo(
+                configuration_size_bytes=12_000,
+                power_mw=300.0,
+                load_fraction=0.35,
+                setup_time_us=400.0,
+            ),
+        )
+    )
+    fir.add(
+        Implementation(
+            implementation_id=3,
+            target=ExecutionTarget.GPP,
+            name="Software FIR equalizer",
+            attributes={1: 8, 2: 0, 3: 0, 4: 22},
+            deployment=DeploymentInfo(
+                configuration_size_bytes=4_000,
+                power_mw=180.0,
+                load_fraction=0.55,
+                setup_time_us=120.0,
+            ),
+        )
+    )
+
+    if include_fft:
+        fft = case_base.add_type(FFT_TYPE_ID, name="1D-FFT")
+        fft.add(
+            Implementation(
+                implementation_id=1,
+                target=ExecutionTarget.FPGA,
+                name="FPGA 1D-FFT",
+                attributes={1: 16, 2: 0, 4: 44},
+                deployment=DeploymentInfo(
+                    configuration_size_bytes=110_000,
+                    area_slices=1500,
+                    power_mw=520.0,
+                    setup_time_us=3100.0,
+                ),
+            )
+        )
+        fft.add(
+            Implementation(
+                implementation_id=2,
+                target=ExecutionTarget.GPP,
+                name="Software 1D-FFT",
+                attributes={1: 16, 2: 0, 4: 22},
+                deployment=DeploymentInfo(
+                    configuration_size_bytes=6_000,
+                    power_mw=200.0,
+                    load_fraction=0.6,
+                    setup_time_us=150.0,
+                ),
+            )
+        )
+
+    return case_base
+
+
+def paper_example() -> Tuple[CaseBase, FunctionRequest, BoundsTable, AttributeSchema]:
+    """Return ``(case_base, request, bounds, schema)`` for the worked example."""
+    case_base = paper_case_base()
+    return case_base, paper_request(), case_base.bounds, case_base.schema

@@ -1,0 +1,273 @@
+"""CBR retrieval over the case base (paper section 3 and Fig. 6).
+
+The retrieval engine implements the reference ("golden") algorithm in floating
+point; the cycle-accurate hardware model (:mod:`repro.hardware`) and the
+software cost model (:mod:`repro.software`) execute the same algorithm on the
+memory-mapped encoding and are validated against this engine.
+
+Supported retrieval modes:
+
+* :meth:`RetrievalEngine.retrieve_best` -- the most-similar implementation, as
+  implemented in the paper's hardware unit;
+* :meth:`RetrievalEngine.retrieve_n_best` -- the "n most similar solutions"
+  extension announced in the paper's outlook (section 5);
+* :meth:`RetrievalEngine.retrieve_above_threshold` -- all variants whose global
+  similarity reaches a threshold ("it's conceivable to reject all results below
+  a given threshold similarity", section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .amalgamation import AmalgamationFunction, WeightedSum
+from .attributes import BoundsTable, Number
+from .case_base import CaseBase, Implementation
+from .exceptions import RetrievalError, UnknownFunctionTypeError
+from .request import FunctionRequest
+from .similarity import LocalSimilarity, LocalSimilarityValue
+
+
+@dataclass
+class RetrievalStatistics:
+    """Operation counts of one retrieval run.
+
+    These counters describe the *algorithmic* effort (independent of the
+    execution substrate) and are used by tests to check the linear-search
+    argument of section 4.1 and by the cost models as a cross-check.
+    """
+
+    implementations_visited: int = 0
+    attributes_requested: int = 0
+    attribute_lookups: int = 0
+    attribute_compares: int = 0
+    missing_attributes: int = 0
+    multiplications: int = 0
+    best_updates: int = 0
+
+    def merge(self, other: "RetrievalStatistics") -> None:
+        """Accumulate another statistics record into this one."""
+        self.implementations_visited += other.implementations_visited
+        self.attributes_requested += other.attributes_requested
+        self.attribute_lookups += other.attribute_lookups
+        self.attribute_compares += other.attribute_compares
+        self.missing_attributes += other.missing_attributes
+        self.multiplications += other.multiplications
+        self.best_updates += other.best_updates
+
+
+@dataclass(frozen=True)
+class ScoredImplementation:
+    """One implementation variant together with its global similarity."""
+
+    type_id: int
+    implementation: Implementation
+    similarity: float
+    local_similarities: Tuple[LocalSimilarityValue, ...] = ()
+
+    @property
+    def implementation_id(self) -> int:
+        """Shortcut to the variant's implementation ID."""
+        return self.implementation.implementation_id
+
+
+@dataclass
+class RetrievalResult:
+    """Result of one retrieval run."""
+
+    request_type_id: int
+    ranked: List[ScoredImplementation]
+    statistics: RetrievalStatistics = field(default_factory=RetrievalStatistics)
+    threshold: Optional[float] = None
+
+    @property
+    def best(self) -> Optional[ScoredImplementation]:
+        """The most similar implementation, or ``None`` if nothing qualified."""
+        return self.ranked[0] if self.ranked else None
+
+    @property
+    def best_id(self) -> Optional[int]:
+        """Implementation ID of the best match (``None`` if nothing qualified)."""
+        return self.ranked[0].implementation_id if self.ranked else None
+
+    @property
+    def best_similarity(self) -> Optional[float]:
+        """Global similarity of the best match (``None`` if nothing qualified)."""
+        return self.ranked[0].similarity if self.ranked else None
+
+    def ids(self) -> List[int]:
+        """Implementation IDs in ranked order."""
+        return [entry.implementation_id for entry in self.ranked]
+
+    def __len__(self) -> int:
+        return len(self.ranked)
+
+    def __iter__(self):
+        return iter(self.ranked)
+
+
+class RetrievalEngine:
+    """Reference retrieval engine operating directly on :class:`CaseBase` objects.
+
+    Parameters
+    ----------
+    case_base:
+        The function-implementation tree to query.
+    bounds:
+        Design-global bounds table; defaults to the case base's own table.
+    amalgamation:
+        The global-similarity amalgamation function; defaults to the weighted
+        sum of eq. 2.
+    local_similarity:
+        Local similarity measure; defaults to the eq. 1 measure with Manhattan
+        distance over ``bounds``.
+    """
+
+    def __init__(
+        self,
+        case_base: CaseBase,
+        *,
+        bounds: Optional[BoundsTable] = None,
+        amalgamation: Optional[AmalgamationFunction] = None,
+        local_similarity: Optional[LocalSimilarity] = None,
+    ) -> None:
+        self.case_base = case_base
+        self.bounds = bounds if bounds is not None else case_base.bounds
+        self.amalgamation = amalgamation if amalgamation is not None else WeightedSum()
+        self.local_similarity = (
+            local_similarity
+            if local_similarity is not None
+            else LocalSimilarity(self.bounds)
+        )
+
+    # -- scoring -----------------------------------------------------------------
+
+    def score(
+        self,
+        request: FunctionRequest,
+        implementation: Implementation,
+        statistics: Optional[RetrievalStatistics] = None,
+    ) -> ScoredImplementation:
+        """Global similarity of one implementation against the request."""
+        if len(request) == 0:
+            raise RetrievalError("cannot score a request without constraining attributes")
+        statistics = statistics if statistics is not None else RetrievalStatistics()
+        statistics.implementations_visited += 1
+        local_values: List[LocalSimilarityValue] = []
+        similarities: List[float] = []
+        weights: List[float] = []
+        for attribute in request.sorted_attributes():
+            statistics.attributes_requested += 1
+            case_value = implementation.get(attribute.attribute_id)
+            statistics.attribute_lookups += 1
+            if case_value is None:
+                statistics.missing_attributes += 1
+            else:
+                statistics.attribute_compares += 1
+                statistics.multiplications += 1
+            local = self.local_similarity.similarity(
+                attribute.attribute_id, attribute.value, case_value
+            )
+            local_values.append(local)
+            similarities.append(local.similarity)
+            weights.append(attribute.weight)
+        global_similarity = self.amalgamation.combine(similarities, weights)
+        return ScoredImplementation(
+            type_id=request.type_id,
+            implementation=implementation,
+            similarity=global_similarity,
+            local_similarities=tuple(local_values),
+        )
+
+    def score_all(
+        self, request: FunctionRequest, statistics: Optional[RetrievalStatistics] = None
+    ) -> List[ScoredImplementation]:
+        """Score every implementation variant of the requested function type."""
+        function_type = self.case_base.get_type(request.type_id)
+        if len(function_type) == 0:
+            raise RetrievalError(
+                f"function type {request.type_id} has no implementation variants"
+            )
+        statistics = statistics if statistics is not None else RetrievalStatistics()
+        return [
+            self.score(request, implementation, statistics)
+            for implementation in function_type.sorted_implementations()
+        ]
+
+    # -- retrieval modes ----------------------------------------------------------
+
+    def retrieve_best(self, request: FunctionRequest) -> RetrievalResult:
+        """Return the single most similar implementation (paper Fig. 6).
+
+        Ties are broken in favour of the implementation visited first (lowest
+        implementation ID), matching the strict ``S > S_best`` update rule of
+        the hardware algorithm.
+        """
+        statistics = RetrievalStatistics()
+        scored = self.score_all(request, statistics)
+        best: Optional[ScoredImplementation] = None
+        for entry in scored:
+            if best is None or entry.similarity > best.similarity:
+                best = entry
+                statistics.best_updates += 1
+        ranked = [best] if best is not None else []
+        return RetrievalResult(request.type_id, ranked, statistics)
+
+    def retrieve_n_best(self, request: FunctionRequest, n: int) -> RetrievalResult:
+        """Return the ``n`` most similar implementations (section 5 extension).
+
+        The ranking is stable: equal similarities keep ascending implementation
+        ID order.
+        """
+        if n <= 0:
+            raise RetrievalError(f"n must be positive, got {n}")
+        statistics = RetrievalStatistics()
+        scored = self.score_all(request, statistics)
+        ranked = sorted(
+            scored,
+            key=lambda entry: (-entry.similarity, entry.implementation_id),
+        )[:n]
+        statistics.best_updates += len(ranked)
+        return RetrievalResult(request.type_id, ranked, statistics)
+
+    def retrieve_above_threshold(
+        self, request: FunctionRequest, threshold: float
+    ) -> RetrievalResult:
+        """Return all implementations whose similarity reaches ``threshold``."""
+        if not 0.0 <= threshold <= 1.0:
+            raise RetrievalError(f"threshold must lie within [0, 1], got {threshold}")
+        statistics = RetrievalStatistics()
+        scored = self.score_all(request, statistics)
+        ranked = sorted(
+            (entry for entry in scored if entry.similarity >= threshold),
+            key=lambda entry: (-entry.similarity, entry.implementation_id),
+        )
+        statistics.best_updates += len(ranked)
+        return RetrievalResult(request.type_id, ranked, statistics, threshold=threshold)
+
+    def retrieve(
+        self,
+        request: FunctionRequest,
+        *,
+        n: Optional[int] = None,
+        threshold: Optional[float] = None,
+    ) -> RetrievalResult:
+        """Combined entry point: optional n-best cut and threshold rejection."""
+        if n is None and threshold is None:
+            return self.retrieve_best(request)
+        statistics = RetrievalStatistics()
+        scored = self.score_all(request, statistics)
+        ranked = sorted(
+            scored, key=lambda entry: (-entry.similarity, entry.implementation_id)
+        )
+        if threshold is not None:
+            if not 0.0 <= threshold <= 1.0:
+                raise RetrievalError(f"threshold must lie within [0, 1], got {threshold}")
+            ranked = [entry for entry in ranked if entry.similarity >= threshold]
+        if n is not None:
+            if n <= 0:
+                raise RetrievalError(f"n must be positive, got {n}")
+            ranked = ranked[:n]
+        statistics.best_updates += len(ranked)
+        return RetrievalResult(request.type_id, ranked, statistics, threshold=threshold)

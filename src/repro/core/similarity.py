@@ -1,0 +1,346 @@
+"""Local similarity measures and distance metrics (paper section 2.2, eq. 1).
+
+A *local similarity* compares one request attribute against the corresponding
+implementation attribute and yields a value in ``[0, 1]`` where 1 means the
+values are identical and 0 means they are maximally distant.  The paper uses a
+Manhattan (absolute-difference) distance normalised by the design-global
+maximum distance:
+
+    s_i(x_A, x_B) = 1 - d(x_A, x_B) / (1 + max d)                       (eq. 1)
+
+The ``1 +`` in the denominator lets the hardware store the pre-computed
+reciprocal ``1 / (1 + dmax)`` and replace the division with a multiplication.
+
+The paper also discusses -- and rejects, on computational-cost grounds -- a
+Mahalanobis-distance approach from statistical decision theory.  This module
+provides it as a baseline (:class:`MahalanobisSimilarity`) so the trade-off can
+be reproduced (experiment E9).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .attributes import BoundsTable, Number
+from .exceptions import RetrievalError
+
+
+# ---------------------------------------------------------------------------
+# Distance metrics
+# ---------------------------------------------------------------------------
+
+class DistanceMetric:
+    """Scalar distance between two attribute values of the same type."""
+
+    name = "abstract"
+
+    def distance(self, a: Number, b: Number) -> float:
+        """Non-negative distance between two values."""
+        raise NotImplementedError
+
+    #: Rough operation count per evaluation, used by the cost models when the
+    #: metric is executed in software (E9).
+    operation_cost = 1
+
+
+class ManhattanDistance(DistanceMetric):
+    """Absolute difference -- the metric the paper selects (eq. 1)."""
+
+    name = "manhattan"
+    operation_cost = 2  # subtract + absolute value
+
+    def distance(self, a: Number, b: Number) -> float:
+        return abs(float(a) - float(b))
+
+
+class EuclideanDistance(DistanceMetric):
+    """Squared-then-rooted difference; identical to Manhattan for scalars.
+
+    It is provided for completeness (the paper mentions "Euclidian or
+    Manhattan distance"); for one-dimensional local similarities both coincide,
+    but the operation cost differs once implemented in hardware or software.
+    """
+
+    name = "euclidean"
+    operation_cost = 4  # subtract + square + root (scalar case)
+
+    def distance(self, a: Number, b: Number) -> float:
+        return math.sqrt((float(a) - float(b)) ** 2)
+
+
+# ---------------------------------------------------------------------------
+# Local similarity
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LocalSimilarityValue:
+    """Result of one local similarity evaluation (kept for reporting)."""
+
+    attribute_id: int
+    request_value: Optional[Number]
+    case_value: Optional[Number]
+    distance: Optional[float]
+    dmax: Optional[Number]
+    similarity: float
+    missing: bool = False
+
+
+class LocalSimilarity:
+    """The normalised-distance local similarity of paper eq. 1.
+
+    Parameters
+    ----------
+    bounds:
+        The design-global bounds table providing ``dmax`` per attribute type.
+    metric:
+        Distance metric; defaults to Manhattan distance as in the paper.
+    missing_similarity:
+        Similarity assigned when the implementation does not describe a
+        requested attribute.  The paper sets it to 0 ("a missing attribute can
+        be seen as unsatisfiable requirement").
+    clamp:
+        When true (default), similarities are clamped into ``[0, 1]`` even if a
+        distance exceeds the design-time ``dmax`` (which can happen when the
+        bounds table was derived from a subset of the data).
+    """
+
+    def __init__(
+        self,
+        bounds: BoundsTable,
+        metric: Optional[DistanceMetric] = None,
+        *,
+        missing_similarity: float = 0.0,
+        clamp: bool = True,
+    ) -> None:
+        if not 0.0 <= missing_similarity <= 1.0:
+            raise RetrievalError("missing_similarity must lie within [0, 1]")
+        self.bounds = bounds
+        self.metric = metric if metric is not None else ManhattanDistance()
+        self.missing_similarity = missing_similarity
+        self.clamp = clamp
+
+    def similarity(
+        self, attribute_id: int, request_value: Number, case_value: Optional[Number]
+    ) -> LocalSimilarityValue:
+        """Evaluate eq. 1 for one attribute pair.
+
+        ``case_value`` may be ``None`` to represent a missing implementation
+        attribute, which yields ``missing_similarity``.
+        """
+        if case_value is None:
+            return LocalSimilarityValue(
+                attribute_id=attribute_id,
+                request_value=request_value,
+                case_value=None,
+                distance=None,
+                dmax=None,
+                similarity=self.missing_similarity,
+                missing=True,
+            )
+        bound = self.bounds.get(attribute_id)
+        distance = self.metric.distance(request_value, case_value)
+        similarity = 1.0 - distance / (1.0 + float(bound.dmax))
+        if self.clamp:
+            similarity = min(1.0, max(0.0, similarity))
+        return LocalSimilarityValue(
+            attribute_id=attribute_id,
+            request_value=request_value,
+            case_value=case_value,
+            distance=distance,
+            dmax=bound.dmax,
+            similarity=similarity,
+        )
+
+    def value(self, attribute_id: int, request_value: Number, case_value: Optional[Number]) -> float:
+        """Scalar convenience wrapper around :meth:`similarity`."""
+        return self.similarity(attribute_id, request_value, case_value).similarity
+
+
+class ThresholdLocalSimilarity(LocalSimilarity):
+    """A step-function variant: similar (1) within a tolerance, else 0.
+
+    Useful for hard constraints ("must support at least stereo"); not used by
+    the paper's example but a natural extension point the attribute-pair
+    framework supports.
+    """
+
+    def __init__(
+        self,
+        bounds: BoundsTable,
+        tolerance: float,
+        metric: Optional[DistanceMetric] = None,
+        **kwargs: object,
+    ) -> None:
+        super().__init__(bounds, metric, **kwargs)  # type: ignore[arg-type]
+        if tolerance < 0:
+            raise RetrievalError("tolerance must be non-negative")
+        self.tolerance = tolerance
+
+    def similarity(
+        self, attribute_id: int, request_value: Number, case_value: Optional[Number]
+    ) -> LocalSimilarityValue:
+        base = super().similarity(attribute_id, request_value, case_value)
+        if base.missing:
+            return base
+        similarity = 1.0 if (base.distance or 0.0) <= self.tolerance else 0.0
+        return LocalSimilarityValue(
+            attribute_id=base.attribute_id,
+            request_value=base.request_value,
+            case_value=base.case_value,
+            distance=base.distance,
+            dmax=base.dmax,
+            similarity=similarity,
+        )
+
+
+class AsymmetricLocalSimilarity(LocalSimilarity):
+    """Direction-aware local similarity for "at least / at most" QoS semantics.
+
+    The paper's eq. 1 penalises any deviation between the requested and the
+    offered value symmetrically.  For many QoS attributes the semantics are
+    one-sided: an implementation that *exceeds* the requested sampling rate
+    fully satisfies the request, and one whose response deadline is *shorter*
+    than required is at least as good.  This extension treats deviations in
+    the "good" direction as a perfect match and only penalises deviations in
+    the "bad" direction with eq. 1.
+
+    Directions come from an :class:`~repro.core.attributes.AttributeSchema`
+    (the ``higher_is_better`` flag of each attribute type) and can be
+    overridden per attribute ID via ``directions``; attributes unknown to both
+    fall back to the symmetric behaviour.
+    """
+
+    def __init__(
+        self,
+        bounds: BoundsTable,
+        metric: Optional[DistanceMetric] = None,
+        *,
+        schema: Optional["AttributeSchema"] = None,
+        directions: Optional[Mapping[int, bool]] = None,
+        missing_similarity: float = 0.0,
+        clamp: bool = True,
+    ) -> None:
+        super().__init__(
+            bounds, metric, missing_similarity=missing_similarity, clamp=clamp
+        )
+        self._schema = schema
+        self._directions: Dict[int, bool] = dict(directions or {})
+
+    def _higher_is_better(self, attribute_id: int) -> Optional[bool]:
+        if attribute_id in self._directions:
+            return self._directions[attribute_id]
+        if self._schema is not None and attribute_id in self._schema:
+            return self._schema.get(attribute_id).higher_is_better
+        return None
+
+    def similarity(
+        self, attribute_id: int, request_value: Number, case_value: Optional[Number]
+    ) -> LocalSimilarityValue:
+        base = super().similarity(attribute_id, request_value, case_value)
+        if base.missing or case_value is None:
+            return base
+        higher_is_better = self._higher_is_better(attribute_id)
+        if higher_is_better is None:
+            return base
+        satisfied = case_value >= request_value if higher_is_better else case_value <= request_value
+        if not satisfied:
+            return base
+        return LocalSimilarityValue(
+            attribute_id=base.attribute_id,
+            request_value=base.request_value,
+            case_value=base.case_value,
+            distance=base.distance,
+            dmax=base.dmax,
+            similarity=1.0,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Mahalanobis baseline (vector similarity over the whole attribute set)
+# ---------------------------------------------------------------------------
+
+class MahalanobisSimilarity:
+    """Mahalanobis-distance similarity over complete attribute vectors.
+
+    The paper mentions this statistical-decision-theory approach as "very
+    effective concerning the results but the computational efforts would be
+    too large".  It operates on whole attribute vectors at once: the covariance
+    matrix of the implementation library's attribute vectors is estimated and
+    the similarity of a request to a case is derived from the Mahalanobis
+    distance between their vectors.
+
+    Missing attributes (on either side) are imputed with the library mean so
+    that partial requests remain comparable.
+    """
+
+    def __init__(
+        self,
+        attribute_ids: Sequence[int],
+        vectors: Sequence[Mapping[int, Number]],
+        regularization: float = 1e-6,
+    ) -> None:
+        if not attribute_ids:
+            raise RetrievalError("MahalanobisSimilarity needs at least one attribute ID")
+        if not vectors:
+            raise RetrievalError("MahalanobisSimilarity needs at least one library vector")
+        self.attribute_ids = list(attribute_ids)
+        matrix = np.array(
+            [
+                [float(vector.get(attribute_id, np.nan)) for attribute_id in self.attribute_ids]
+                for vector in vectors
+            ],
+            dtype=float,
+        )
+        # Impute missing entries column-wise with the column mean.
+        self._means = np.zeros(len(self.attribute_ids))
+        for column in range(matrix.shape[1]):
+            values = matrix[:, column]
+            finite = values[~np.isnan(values)]
+            mean = float(finite.mean()) if finite.size else 0.0
+            self._means[column] = mean
+            values[np.isnan(values)] = mean
+        covariance = np.cov(matrix, rowvar=False)
+        covariance = np.atleast_2d(covariance)
+        covariance += regularization * np.eye(len(self.attribute_ids))
+        self._inverse_covariance = np.linalg.inv(covariance)
+        # Scale factor so the similarity reaches ~0 at the library's largest
+        # observed self-distance; keeps results inside [0, 1].
+        self._max_distance = max(
+            (self._distance_vector(row) for row in matrix), default=1.0
+        )
+        if self._max_distance <= 0:
+            self._max_distance = 1.0
+
+    #: Rough operation count per evaluation: a full n x n matrix-vector product.
+    @property
+    def operation_cost(self) -> int:
+        n = len(self.attribute_ids)
+        return 2 * n * n + n
+
+    def _vectorise(self, values: Mapping[int, Number]) -> np.ndarray:
+        vector = np.array(
+            [
+                float(values[attribute_id]) if attribute_id in values else self._means[index]
+                for index, attribute_id in enumerate(self.attribute_ids)
+            ],
+            dtype=float,
+        )
+        return vector
+
+    def _distance_vector(self, vector: np.ndarray) -> float:
+        delta = vector - self._means
+        return float(np.sqrt(delta @ self._inverse_covariance @ delta))
+
+    def distance(self, request: Mapping[int, Number], case: Mapping[int, Number]) -> float:
+        """Mahalanobis distance between a request vector and a case vector."""
+        delta = self._vectorise(request) - self._vectorise(case)
+        return float(np.sqrt(delta @ self._inverse_covariance @ delta))
+
+    def similarity(self, request: Mapping[int, Number], case: Mapping[int, Number]) -> float:
+        """Similarity in ``[0, 1]`` derived from the Mahalanobis distance."""
+        distance = self.distance(request, case)
+        return max(0.0, 1.0 - distance / (1.0 + 2.0 * self._max_distance))

@@ -1,0 +1,37 @@
+"""16-bit fixed-point arithmetic substrate for the hardware retrieval unit."""
+
+from .arithmetic import (
+    local_similarity,
+    local_similarity_raw,
+    max_error_weighted_sum,
+    quantize_weights,
+    weighted_sum,
+    weighted_sum_raw,
+)
+from .qformat import (
+    FixedPointValue,
+    OverflowBehavior,
+    QFormat,
+    UQ0_16,
+    UQ16_0,
+    UQ16_16,
+    quantization_error_bound,
+    reciprocal_raw,
+)
+
+__all__ = [
+    "FixedPointValue",
+    "OverflowBehavior",
+    "QFormat",
+    "UQ0_16",
+    "UQ16_0",
+    "UQ16_16",
+    "local_similarity",
+    "local_similarity_raw",
+    "max_error_weighted_sum",
+    "quantization_error_bound",
+    "quantize_weights",
+    "reciprocal_raw",
+    "weighted_sum",
+    "weighted_sum_raw",
+]

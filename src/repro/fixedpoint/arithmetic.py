@@ -1,0 +1,128 @@
+"""Fixed-point evaluation of the similarity equations (eq. 1 and eq. 2).
+
+These helpers mirror, bit for bit, the arithmetic the hardware datapath of
+Fig. 7 performs, but are usable standalone: given integer attribute values and
+the pre-computed reciprocal constants they return the quantised local and
+global similarities.  The cycle-accurate model in :mod:`repro.hardware` calls
+into these functions so that the numerical behaviour of the hardware model and
+the standalone fixed-point reference cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from ..core.exceptions import FixedPointError
+from .qformat import (
+    FixedPointValue,
+    OverflowBehavior,
+    QFormat,
+    UQ0_16,
+    UQ16_0,
+    reciprocal_raw,
+)
+
+
+def local_similarity_raw(
+    request_value: int,
+    case_value: int,
+    reciprocal: int,
+    *,
+    value_fmt: QFormat = UQ16_0,
+    fraction_fmt: QFormat = UQ0_16,
+) -> int:
+    """Fixed-point local similarity (eq. 1) returned as a raw fraction.
+
+    Implements ``s = 1 - |a - b| * recip`` where ``recip`` is the raw
+    fixed-point encoding of ``1 / (1 + dmax)``.  The multiplication result is
+    truncated into the fraction format exactly as the 18x18 hardware
+    multiplier followed by the datapath shift would, and the subtraction
+    saturates at zero.
+    """
+    a = FixedPointValue(value_fmt.clamp_raw(int(request_value), OverflowBehavior.RAISE), value_fmt)
+    b = FixedPointValue(value_fmt.clamp_raw(int(case_value), OverflowBehavior.RAISE), value_fmt)
+    difference = a.absolute_difference(b)
+    recip = FixedPointValue(fraction_fmt.clamp_raw(int(reciprocal), OverflowBehavior.RAISE), fraction_fmt)
+    penalty = difference.multiply(recip, fraction_fmt)
+    one = fraction_fmt.max_raw  # 0.99998... is the closest representable 1.0
+    raw = one - penalty.raw
+    if raw < 0:
+        raw = 0
+    return raw
+
+
+def local_similarity(
+    request_value: int,
+    case_value: int,
+    dmax: float,
+    *,
+    fraction_fmt: QFormat = UQ0_16,
+) -> float:
+    """Fixed-point local similarity as a float (convenience wrapper)."""
+    reciprocal = reciprocal_raw(dmax, fraction_fmt)
+    raw = local_similarity_raw(request_value, case_value, reciprocal, fraction_fmt=fraction_fmt)
+    return fraction_fmt.to_float(raw)
+
+
+def weighted_sum_raw(
+    similarities: Sequence[int],
+    weights: Sequence[int],
+    *,
+    fraction_fmt: QFormat = UQ0_16,
+) -> int:
+    """Fixed-point weighted sum (eq. 2) over raw fractional similarities/weights.
+
+    Both inputs are raw values in ``fraction_fmt``; the accumulator saturates
+    at the format maximum exactly like the hardware adder.
+    """
+    if len(similarities) != len(weights):
+        raise FixedPointError(
+            f"similarity/weight length mismatch: {len(similarities)} vs {len(weights)}"
+        )
+    if not similarities:
+        raise FixedPointError("cannot amalgamate an empty similarity vector")
+    accumulator = FixedPointValue(0, fraction_fmt)
+    for similarity_raw, weight_raw in zip(similarities, weights):
+        s = FixedPointValue(fraction_fmt.clamp_raw(int(similarity_raw), OverflowBehavior.RAISE), fraction_fmt)
+        w = FixedPointValue(fraction_fmt.clamp_raw(int(weight_raw), OverflowBehavior.RAISE), fraction_fmt)
+        accumulator = accumulator.add(s.multiply(w, fraction_fmt))
+    return accumulator.raw
+
+
+def weighted_sum(
+    similarities: Sequence[float],
+    weights: Sequence[float],
+    *,
+    fraction_fmt: QFormat = UQ0_16,
+) -> float:
+    """Fixed-point weighted sum of float similarities/weights (quantised)."""
+    raw = weighted_sum_raw(
+        [fraction_fmt.from_float(s) for s in similarities],
+        [fraction_fmt.from_float(w) for w in weights],
+        fraction_fmt=fraction_fmt,
+    )
+    return fraction_fmt.to_float(raw)
+
+
+def quantize_weights(weights: Sequence[float], fraction_fmt: QFormat = UQ0_16) -> List[int]:
+    """Quantise normalised weights into raw fractions.
+
+    The quantised weights may no longer sum exactly to 1.0; the residual error
+    is bounded by ``len(weights)`` half-LSBs and is part of what the
+    fixed-point fidelity experiment (E5) measures.
+    """
+    return [fraction_fmt.from_float(w) for w in weights]
+
+
+def max_error_weighted_sum(n_attributes: int, fraction_fmt: QFormat = UQ0_16) -> float:
+    """Analytic worst-case absolute error of the fixed-point eq. 1 + eq. 2 chain.
+
+    Per attribute, the reciprocal quantisation contributes at most
+    ``dmax_max * 0.5 LSB`` (bounded here by one LSB of the product), the
+    similarity subtraction contributes one LSB and the weight quantisation a
+    further LSB; the weighted sum of ``n`` attributes therefore deviates by at
+    most ``3 n`` LSBs plus the accumulator truncation.  This bound is loose
+    but convenient for property tests that assert the fixed-point result never
+    drifts far from the floating-point reference.
+    """
+    return (3 * n_attributes + 1) * fraction_fmt.resolution * (1 << 4)

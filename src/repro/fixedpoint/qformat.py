@@ -1,0 +1,233 @@
+"""Q-format fixed-point number formats.
+
+The hardware retrieval unit of the paper operates on 16-bit words: attribute
+values and IDs are 16-bit integers, similarities live in ``[0, 1]`` and are
+represented as unsigned fractions, and the pre-computed ``1 / (1 + dmax)``
+reciprocals of the attribute-supplemental list are stored as 16-bit fractions
+so that the expensive hardware divider can be replaced by a multiplier
+(section 4.1).  The paper reports that this 16-bit processing width "is
+sufficient even for fixed point calculations without seriously losing
+accuracy" -- experiment E5 reproduces that claim.
+
+:class:`QFormat` describes a fixed-point format with a configurable number of
+integer and fractional bits plus signedness; :class:`FixedPointValue` wraps a
+raw integer together with its format and supports the arithmetic the datapath
+of Fig. 7 needs (difference, multiply, accumulate, compare).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..core.exceptions import FixedPointError
+
+Number = Union[int, float]
+
+
+class OverflowBehavior:
+    """How out-of-range results are handled."""
+
+    SATURATE = "saturate"
+    WRAP = "wrap"
+    RAISE = "raise"
+
+    _ALL = (SATURATE, WRAP, RAISE)
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """A fixed-point format with ``integer_bits`` + ``fraction_bits`` (+ sign).
+
+    ``total_bits`` includes the sign bit for signed formats.  The format
+    ``UQ0.16`` (unsigned, 16 fraction bits) is used for similarities and
+    reciprocals; ``UQ16.0`` is the plain 16-bit unsigned integer format used
+    for attribute values and IDs.
+    """
+
+    integer_bits: int
+    fraction_bits: int
+    signed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.integer_bits < 0 or self.fraction_bits < 0:
+            raise FixedPointError("bit counts must be non-negative")
+        if self.integer_bits + self.fraction_bits <= 0:
+            raise FixedPointError("a format needs at least one magnitude bit")
+
+    @property
+    def total_bits(self) -> int:
+        """Total storage width in bits, including the sign bit if signed."""
+        return self.integer_bits + self.fraction_bits + (1 if self.signed else 0)
+
+    @property
+    def scale(self) -> int:
+        """The scaling factor ``2 ** fraction_bits``."""
+        return 1 << self.fraction_bits
+
+    @property
+    def max_raw(self) -> int:
+        """Largest representable raw integer."""
+        magnitude_bits = self.integer_bits + self.fraction_bits
+        return (1 << magnitude_bits) - 1
+
+    @property
+    def min_raw(self) -> int:
+        """Smallest representable raw integer (0 for unsigned formats)."""
+        if not self.signed:
+            return 0
+        return -(1 << (self.integer_bits + self.fraction_bits))
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return self.max_raw / self.scale
+
+    @property
+    def min_value(self) -> float:
+        """Smallest representable real value."""
+        return self.min_raw / self.scale
+
+    @property
+    def resolution(self) -> float:
+        """Value of one least-significant bit."""
+        return 1.0 / self.scale
+
+    def name(self) -> str:
+        """Conventional name, e.g. ``"UQ0.16"`` or ``"Q15.16"``."""
+        prefix = "Q" if self.signed else "UQ"
+        return f"{prefix}{self.integer_bits}.{self.fraction_bits}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name()
+
+    # -- conversions -------------------------------------------------------------
+
+    def clamp_raw(self, raw: int, overflow: str = OverflowBehavior.SATURATE) -> int:
+        """Bring a raw integer into range according to the overflow behaviour."""
+        if self.min_raw <= raw <= self.max_raw:
+            return raw
+        if overflow == OverflowBehavior.SATURATE:
+            return min(max(raw, self.min_raw), self.max_raw)
+        if overflow == OverflowBehavior.WRAP:
+            span = self.max_raw - self.min_raw + 1
+            return (raw - self.min_raw) % span + self.min_raw
+        raise FixedPointError(
+            f"value raw={raw} does not fit into {self.name()} "
+            f"[{self.min_raw}, {self.max_raw}]"
+        )
+
+    def from_float(self, value: Number, overflow: str = OverflowBehavior.SATURATE) -> int:
+        """Quantise a real value to the nearest representable raw integer."""
+        raw = int(round(float(value) * self.scale))
+        return self.clamp_raw(raw, overflow)
+
+    def to_float(self, raw: int) -> float:
+        """Real value of a raw integer in this format."""
+        return raw / self.scale
+
+    def quantize(self, value: Number, overflow: str = OverflowBehavior.SATURATE) -> float:
+        """Round-trip a real value through the format (quantisation error study)."""
+        return self.to_float(self.from_float(value, overflow))
+
+
+#: Unsigned 16-bit integer format used for attribute values, IDs and pointers.
+UQ16_0 = QFormat(integer_bits=16, fraction_bits=0, signed=False)
+
+#: Unsigned pure-fraction format used for similarities, weights and reciprocals.
+UQ0_16 = QFormat(integer_bits=0, fraction_bits=16, signed=False)
+
+#: Wider accumulator format used inside the datapath (multiplier output).
+UQ16_16 = QFormat(integer_bits=16, fraction_bits=16, signed=False)
+
+
+@dataclass(frozen=True)
+class FixedPointValue:
+    """A raw integer tagged with its :class:`QFormat`.
+
+    Arithmetic helpers model the datapath operations of Fig. 7; each returns a
+    new :class:`FixedPointValue` and never silently changes format, keeping
+    the model close to what the synthesised RTL does.
+    """
+
+    raw: int
+    fmt: QFormat
+
+    def __post_init__(self) -> None:
+        if not self.fmt.min_raw <= self.raw <= self.fmt.max_raw:
+            raise FixedPointError(
+                f"raw value {self.raw} outside range of {self.fmt.name()}"
+            )
+
+    @classmethod
+    def from_float(
+        cls, value: Number, fmt: QFormat, overflow: str = OverflowBehavior.SATURATE
+    ) -> "FixedPointValue":
+        """Quantise a real value into the given format."""
+        return cls(fmt.from_float(value, overflow), fmt)
+
+    @property
+    def value(self) -> float:
+        """The real value represented."""
+        return self.fmt.to_float(self.raw)
+
+    def absolute_difference(self, other: "FixedPointValue") -> "FixedPointValue":
+        """``|a - b|`` in the common format (the ABS(X) block of Fig. 7)."""
+        if other.fmt != self.fmt:
+            raise FixedPointError(
+                f"format mismatch: {self.fmt.name()} vs {other.fmt.name()}"
+            )
+        return FixedPointValue(abs(self.raw - other.raw), self.fmt)
+
+    def multiply(self, other: "FixedPointValue", result_fmt: QFormat) -> "FixedPointValue":
+        """Full-precision multiply, then rescale into ``result_fmt`` (MULT18X18)."""
+        product = self.raw * other.raw
+        product_fraction_bits = self.fmt.fraction_bits + other.fmt.fraction_bits
+        shift = product_fraction_bits - result_fmt.fraction_bits
+        if shift >= 0:
+            raw = product >> shift
+        else:
+            raw = product << (-shift)
+        raw = result_fmt.clamp_raw(raw, OverflowBehavior.SATURATE)
+        return FixedPointValue(raw, result_fmt)
+
+    def add(self, other: "FixedPointValue") -> "FixedPointValue":
+        """Saturating addition in the common format (the accumulator of Fig. 7)."""
+        if other.fmt != self.fmt:
+            raise FixedPointError(
+                f"format mismatch: {self.fmt.name()} vs {other.fmt.name()}"
+            )
+        raw = self.fmt.clamp_raw(self.raw + other.raw, OverflowBehavior.SATURATE)
+        return FixedPointValue(raw, self.fmt)
+
+    def compare(self, other: "FixedPointValue") -> int:
+        """Three-way compare (-1, 0, 1); formats must match."""
+        if other.fmt != self.fmt:
+            raise FixedPointError(
+                f"format mismatch: {self.fmt.name()} vs {other.fmt.name()}"
+            )
+        if self.raw < other.raw:
+            return -1
+        if self.raw > other.raw:
+            return 1
+        return 0
+
+    def __float__(self) -> float:  # pragma: no cover - convenience
+        return self.value
+
+
+def reciprocal_raw(dmax: Number, fmt: QFormat = UQ0_16) -> int:
+    """Raw fixed-point encoding of ``1 / (1 + dmax)`` (supplemental list entry).
+
+    This is the pre-computed constant the paper stores in the attribute
+    supplemental list (Fig. 4 right, "maxrange-1") so the hardware can
+    multiply instead of divide.
+    """
+    if dmax < 0:
+        raise FixedPointError(f"dmax must be non-negative, got {dmax}")
+    return fmt.from_float(1.0 / (1.0 + float(dmax)))
+
+
+def quantization_error_bound(fmt: QFormat) -> float:
+    """Worst-case absolute quantisation error of one rounding step (half an LSB)."""
+    return 0.5 * fmt.resolution

@@ -1,0 +1,57 @@
+"""Behavioural model of the FPGA retrieval unit (Fig. 6 / Fig. 7, Table 2)."""
+
+from .datapath import (
+    CONTROL_COMPONENTS,
+    AbsoluteDifferenceUnit,
+    AccumulatorUnit,
+    BestComparatorUnit,
+    ComponentCost,
+    DatapathComponent,
+    DividerUnit,
+    MultiplierUnit,
+    NBestRegisterFile,
+    SubtractorUnit,
+    standard_datapath_components,
+)
+from .fsm import FsmTrace, RetrievalState, StateVisit
+from .resources import (
+    PAPER_TABLE2,
+    DevicePart,
+    ResourceEstimate,
+    ResourceEstimator,
+    XC2V1000,
+    XC2V3000,
+)
+from .retrieval_unit import (
+    HardwareConfig,
+    HardwareRetrievalResult,
+    HardwareRetrievalUnit,
+    HardwareStatistics,
+)
+
+__all__ = [
+    "AbsoluteDifferenceUnit",
+    "AccumulatorUnit",
+    "BestComparatorUnit",
+    "CONTROL_COMPONENTS",
+    "ComponentCost",
+    "DatapathComponent",
+    "DevicePart",
+    "DividerUnit",
+    "FsmTrace",
+    "HardwareConfig",
+    "HardwareRetrievalResult",
+    "HardwareRetrievalUnit",
+    "HardwareStatistics",
+    "MultiplierUnit",
+    "NBestRegisterFile",
+    "PAPER_TABLE2",
+    "ResourceEstimate",
+    "ResourceEstimator",
+    "RetrievalState",
+    "StateVisit",
+    "SubtractorUnit",
+    "XC2V1000",
+    "XC2V3000",
+    "standard_datapath_components",
+]

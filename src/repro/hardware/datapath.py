@@ -1,0 +1,312 @@
+"""Datapath components of the retrieval unit (paper Fig. 7).
+
+Each component models one hardware block with
+
+* its *behaviour* (operating on raw 16-bit fixed-point values, so the numeric
+  results are bit-identical with :mod:`repro.fixedpoint`),
+* its *area cost* in Virtex-II CLB slices / dedicated multipliers, and
+* its *combinational delay* in nanoseconds, used by the resource estimator to
+  derive the achievable clock frequency (Table 2 reports 75-77 MHz).
+
+The area and delay figures are component-level estimates for a Virtex-II
+speed-grade -4 device.  They cannot replace vendor synthesis, but they are
+assembled from the same inventory the paper's schematic shows, so relative
+comparisons (adding a second accumulator, widening the fetch path, adding
+n-best registers) remain meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.exceptions import HardwareModelError
+from ..fixedpoint.qformat import QFormat, UQ0_16, UQ16_0
+
+
+@dataclass(frozen=True)
+class ComponentCost:
+    """Area and timing cost of one datapath or control component."""
+
+    name: str
+    slices: int
+    multipliers: int = 0
+    delay_ns: float = 0.0
+    description: str = ""
+
+
+class DatapathComponent:
+    """Base class keeping operation counters for every datapath block."""
+
+    #: Subclasses override with their cost record.
+    cost = ComponentCost(name="abstract", slices=0)
+
+    def __init__(self) -> None:
+        self.operations = 0
+
+    def reset(self) -> None:
+        """Zero the operation counter (between retrieval runs)."""
+        self.operations = 0
+
+
+class AbsoluteDifferenceUnit(DatapathComponent):
+    """The ``ABS(X)`` block: 16-bit subtract plus conditional negate."""
+
+    cost = ComponentCost(
+        name="absolute-difference",
+        slices=18,
+        delay_ns=3.4,
+        description="16-bit subtractor with sign-based operand swap (ABS block of Fig. 7)",
+    )
+
+    def compute(self, a: int, b: int) -> int:
+        """``|a - b|`` on raw 16-bit integers."""
+        if not 0 <= a <= 0xFFFF or not 0 <= b <= 0xFFFF:
+            raise HardwareModelError(f"operands {a}, {b} exceed 16 bits")
+        self.operations += 1
+        return abs(a - b)
+
+
+class MultiplierUnit(DatapathComponent):
+    """One MULT18X18 block multiplier (Table 2 reports two of them)."""
+
+    cost = ComponentCost(
+        name="mult18x18",
+        slices=4,
+        multipliers=1,
+        delay_ns=6.1,
+        description="dedicated 18x18 block multiplier plus result register glue",
+    )
+
+    def multiply_fraction(self, value: int, fraction_raw: int, fraction_fmt: QFormat = UQ0_16) -> int:
+        """Multiply a 16-bit magnitude by a UQ0.16 fraction, truncating to UQ0.16.
+
+        Mirrors :meth:`repro.fixedpoint.FixedPointValue.multiply` for the
+        specific operand formats used in the datapath.
+        """
+        if not 0 <= value <= 0xFFFF or not 0 <= fraction_raw <= 0xFFFF:
+            raise HardwareModelError(f"operands {value}, {fraction_raw} exceed 16 bits")
+        self.operations += 1
+        # The integer operand carries no fraction bits, so the 32-bit product
+        # already has exactly the fraction format's precision; only saturation
+        # towards 1.0 is needed (distances larger than dmax cannot occur for
+        # in-range values, but saturating keeps the unit safe against them).
+        product = value * fraction_raw
+        return min(product, fraction_fmt.max_raw)
+
+    def multiply_fractions(self, a_raw: int, b_raw: int, fraction_fmt: QFormat = UQ0_16) -> int:
+        """Multiply two UQ0.16 fractions, truncating back to UQ0.16."""
+        if not 0 <= a_raw <= 0xFFFF or not 0 <= b_raw <= 0xFFFF:
+            raise HardwareModelError(f"operands {a_raw}, {b_raw} exceed 16 bits")
+        self.operations += 1
+        product = a_raw * b_raw
+        raw = product >> fraction_fmt.fraction_bits
+        return min(raw, fraction_fmt.max_raw)
+
+
+class DividerUnit(DatapathComponent):
+    """Iterative 16-bit divider (the alternative the paper avoids).
+
+    "Since it is a constant we do not need to implement an expensive hardware
+    divider saving resources."  The divider exists in the model so the
+    resource and cycle cost of that rejected alternative can be quantified:
+    one quotient bit per cycle (16 cycles per local similarity) and a
+    non-trivial slice count.
+    """
+
+    cost = ComponentCost(
+        name="iterative-divider",
+        slices=148,
+        delay_ns=4.9,
+        description="16-bit restoring divider: subtract/shift datapath plus control",
+    )
+
+    def divide_fraction(self, numerator: int, divisor: int, fraction_fmt: QFormat = UQ0_16) -> int:
+        """``(numerator << 16) / divisor`` truncated into the fraction format.
+
+        ``numerator`` is the absolute attribute difference (UQ16.0) and
+        ``divisor`` is ``1 + dmax``; the quotient is the UQ0.16 penalty term of
+        eq. 1.
+        """
+        if divisor <= 0:
+            raise HardwareModelError("divider needs a positive divisor")
+        if not 0 <= numerator <= 0xFFFF:
+            raise HardwareModelError(f"numerator {numerator} exceeds 16 bits")
+        self.operations += 1
+        quotient = (numerator << fraction_fmt.fraction_bits) // divisor
+        return min(quotient, fraction_fmt.max_raw)
+
+
+class SubtractorUnit(DatapathComponent):
+    """The ``1 - x`` stage producing the local similarity from the penalty term."""
+
+    cost = ComponentCost(
+        name="one-minus-subtractor",
+        slices=9,
+        delay_ns=2.6,
+        description="16-bit subtractor computing s_i = 1 - d*recip with zero saturation",
+    )
+
+    def one_minus(self, penalty_raw: int, fraction_fmt: QFormat = UQ0_16) -> int:
+        """``max(0, 1 - penalty)`` on raw UQ0.16 fractions."""
+        self.operations += 1
+        raw = fraction_fmt.max_raw - penalty_raw
+        return max(raw, 0)
+
+
+class AccumulatorUnit(DatapathComponent):
+    """The ``S = sum(S_i * w_i)`` accumulator register and adder."""
+
+    cost = ComponentCost(
+        name="similarity-accumulator",
+        slices=14,
+        delay_ns=2.8,
+        description="16-bit saturating adder plus the S accumulator register",
+    )
+
+    def __init__(self, fraction_fmt: QFormat = UQ0_16) -> None:
+        super().__init__()
+        self.fraction_fmt = fraction_fmt
+        self.value = 0
+
+    def clear(self) -> None:
+        """Reset the accumulator for the next implementation."""
+        self.value = 0
+
+    def accumulate(self, contribution_raw: int) -> int:
+        """Add one weighted local similarity (saturating)."""
+        self.operations += 1
+        self.value = min(self.value + contribution_raw, self.fraction_fmt.max_raw)
+        return self.value
+
+
+class BestComparatorUnit(DatapathComponent):
+    """The ``S > S_max`` comparator plus best-ID/best-S registers."""
+
+    cost = ComponentCost(
+        name="best-comparator",
+        slices=16,
+        delay_ns=2.4,
+        description="16-bit comparator with S_max and Realis_ID_max holding registers",
+    )
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.best_similarity_raw = -1
+        self.best_id = 0
+
+    def clear(self) -> None:
+        """Reset the best-so-far registers for a new retrieval run."""
+        self.best_similarity_raw = -1
+        self.best_id = 0
+
+    def consider(self, similarity_raw: int, implementation_id: int) -> bool:
+        """Strict ``>`` update rule of Fig. 6; returns whether the best changed."""
+        self.operations += 1
+        if similarity_raw > self.best_similarity_raw:
+            self.best_similarity_raw = similarity_raw
+            self.best_id = implementation_id
+            return True
+        return False
+
+
+class NBestRegisterFile(DatapathComponent):
+    """Sorted register file for the n-most-similar extension (paper section 5).
+
+    Keeps the ``n`` best (similarity, ID) pairs in descending order.  Hardware
+    cost grows linearly with ``n``: each slot needs a comparator, two 16-bit
+    registers and shift multiplexers.
+    """
+
+    SLOT_SLICES = 21
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__()
+        if capacity <= 0:
+            raise HardwareModelError("n-best capacity must be positive")
+        self.capacity = capacity
+        self.entries: List[Tuple[int, int]] = []
+
+    @property
+    def cost(self) -> ComponentCost:  # type: ignore[override]
+        return ComponentCost(
+            name=f"n-best-register-file(n={self.capacity})",
+            slices=self.SLOT_SLICES * self.capacity,
+            delay_ns=2.9,
+            description="sorted insertion register file for the n-most-similar extension",
+        )
+
+    def clear(self) -> None:
+        """Empty the register file for a new retrieval run."""
+        self.entries = []
+
+    def consider(self, similarity_raw: int, implementation_id: int) -> int:
+        """Insert into the sorted file; returns the number of compare steps used."""
+        compares = 0
+        position = len(self.entries)
+        for index, (existing, _) in enumerate(self.entries):
+            compares += 1
+            if similarity_raw > existing:
+                position = index
+                break
+        self.operations += max(compares, 1)
+        if position < self.capacity:
+            self.entries.insert(position, (similarity_raw, implementation_id))
+            del self.entries[self.capacity:]
+        return max(compares, 1)
+
+
+#: Control/addressing components that exist once per retrieval unit.  These do
+#: not transform data but dominate the slice count of a control-oriented design
+#: like this one (the paper calls case-based retrieval "a rather control
+#: oriented algorithm").
+CONTROL_COMPONENTS: Tuple[ComponentCost, ...] = (
+    ComponentCost(
+        name="fsm-control",
+        slices=132,
+        delay_ns=4.3,
+        description="retrieval FSM: state register, next-state and output decode logic",
+    ),
+    ComponentCost(
+        name="cb-mem-address-generator",
+        slices=58,
+        delay_ns=3.1,
+        description="CB-MEM pointer registers, increment/load muxes (incl. Mem_ptr of Fig. 7)",
+    ),
+    ComponentCost(
+        name="req-mem-address-generator",
+        slices=34,
+        delay_ns=3.1,
+        description="Req-MEM address counter and reload logic",
+    ),
+    ComponentCost(
+        name="operand-registers",
+        slices=72,
+        delay_ns=1.8,
+        description="A_i, A_i_CB, w_i, (1+Dmax)^-1, TEMP and Realis_ID holding registers",
+    ),
+    ComponentCost(
+        name="result-interface",
+        slices=30,
+        delay_ns=2.2,
+        description="New_Req handshake, result output register and status flags",
+    ),
+    ComponentCost(
+        name="misc-glue",
+        slices=50,
+        delay_ns=1.5,
+        description="operand multiplexers, zero/end-of-list detectors, byte steering",
+    ),
+)
+
+
+def standard_datapath_components() -> Dict[str, DatapathComponent]:
+    """Instantiate the Fig.-7 datapath blocks of the baseline (most-similar) unit."""
+    return {
+        "absolute_difference": AbsoluteDifferenceUnit(),
+        "reciprocal_multiplier": MultiplierUnit(),
+        "weight_multiplier": MultiplierUnit(),
+        "one_minus": SubtractorUnit(),
+        "accumulator": AccumulatorUnit(),
+        "best_comparator": BestComparatorUnit(),
+    }

@@ -1,0 +1,79 @@
+"""Finite-state machine of the hardware retrieval unit (paper Fig. 6).
+
+The paper derives the retrieval unit from a Matlab Stateflow model; the states
+below mirror the boxes of Fig. 6.  The cycle-accurate model in
+:mod:`repro.hardware.retrieval_unit` charges one clock cycle per state visit
+(plus one per memory word read), which is the granularity at which the
+Stateflow-to-VHDL conversion of the paper operates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class RetrievalState(enum.Enum):
+    """States of the retrieval FSM (names follow Fig. 6 top to bottom)."""
+
+    IDLE = "idle"
+    FETCH_REQUEST_TYPE = "fetch_request_type"
+    SEARCH_FUNCTION_TYPE = "search_function_type"
+    SELECT_IMPLEMENTATION = "select_implementation"
+    FETCH_REQUEST_ATTRIBUTE = "fetch_request_attribute"
+    FETCH_SUPPLEMENTAL = "fetch_supplemental"
+    SEARCH_ATTRIBUTE = "search_attribute"
+    COMPUTE_LOCAL_SIMILARITY = "compute_local_similarity"
+    ACCUMULATE = "accumulate"
+    FINALIZE_IMPLEMENTATION = "finalize_implementation"
+    DELIVER_RESULT = "deliver_result"
+    ERROR = "error"
+
+
+@dataclass
+class StateVisit:
+    """One entry of the FSM trace: a state, its cycle cost and a short note."""
+
+    state: RetrievalState
+    cycles: int
+    note: str = ""
+
+
+@dataclass
+class FsmTrace:
+    """Recorded execution trace of one retrieval run.
+
+    The trace doubles as the ground truth for the cycle accounting: the total
+    cycle count reported by the retrieval unit equals the sum of the per-visit
+    cycle costs, which the tests verify.
+    """
+
+    visits: List[StateVisit] = field(default_factory=list)
+    enabled: bool = True
+
+    def record(self, state: RetrievalState, cycles: int, note: str = "") -> None:
+        """Append one state visit (no-op when tracing is disabled)."""
+        if self.enabled:
+            self.visits.append(StateVisit(state, cycles, note))
+
+    def total_cycles(self) -> int:
+        """Sum of all recorded per-visit cycle costs."""
+        return sum(visit.cycles for visit in self.visits)
+
+    def state_histogram(self) -> Dict[RetrievalState, int]:
+        """Cycles spent per state."""
+        histogram: Dict[RetrievalState, int] = {}
+        for visit in self.visits:
+            histogram[visit.state] = histogram.get(visit.state, 0) + visit.cycles
+        return histogram
+
+    def state_visit_counts(self) -> Dict[RetrievalState, int]:
+        """Number of visits per state."""
+        counts: Dict[RetrievalState, int] = {}
+        for visit in self.visits:
+            counts[visit.state] = counts.get(visit.state, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.visits)

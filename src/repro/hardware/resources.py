@@ -1,0 +1,252 @@
+"""FPGA resource and timing estimation for the retrieval unit (Table 2).
+
+The paper reports synthesis results on a Xilinx Virtex-II 3000 (XC2V3000):
+441 CLB slices (3 %), two MULT18X18 multipliers (2 %), two 18-kbit block RAMs
+(2 %) and a maximum clock of 75 MHz (77 MHz in the Fig. 6 resource box).
+
+Vendor synthesis is not available offline, so this module estimates the same
+quantities from a component inventory: every datapath block of Fig. 7 and
+every control structure carries a slice/multiplier cost and a combinational
+delay (see :mod:`repro.hardware.datapath`), block RAM usage follows from the
+memory footprint of the encoded case base and request, and the achievable
+clock is derived from the longest register-to-register path (memory read ->
+multiplier -> subtract/accumulate) plus clock-to-out and routing margins.
+
+The estimator is deliberately *relative*: its value lies in comparing design
+variants (n-best register files, wide fetch ports, a divider instead of the
+reciprocal multiplier), which is also how Table 2 functions in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.exceptions import HardwareModelError
+from ..memmap.image import MemoryFootprint
+from ..memmap.ram import BramBank
+from .datapath import (
+    CONTROL_COMPONENTS,
+    ComponentCost,
+    DividerUnit,
+    NBestRegisterFile,
+    standard_datapath_components,
+)
+from .retrieval_unit import HardwareConfig
+
+
+@dataclass(frozen=True)
+class DevicePart:
+    """Capacity of one FPGA part (for utilisation percentages)."""
+
+    name: str
+    clb_slices: int
+    multipliers: int
+    bram_blocks: int
+
+
+#: The part the paper targets.
+XC2V3000 = DevicePart(name="XC2V3000", clb_slices=14336, multipliers=96, bram_blocks=96)
+
+#: A smaller part, used by examples that check whether the unit still fits.
+XC2V1000 = DevicePart(name="XC2V1000", clb_slices=5120, multipliers=40, bram_blocks=40)
+
+#: Clock-to-out, setup and routing margin added to the combinational path (ns).
+_TIMING_OVERHEAD_NS = 1.9
+
+#: Block-RAM synchronous read access time contributing to the critical path (ns).
+_BRAM_ACCESS_NS = 2.5
+
+#: Operand multiplexer delay in front of the shared multipliers (ns).
+_OPERAND_MUX_NS = 1.1
+
+
+@dataclass
+class ResourceEstimate:
+    """Estimated resource usage of one retrieval-unit configuration."""
+
+    slices: int
+    multipliers: int
+    bram_blocks: int
+    max_clock_mhz: float
+    critical_path_ns: float
+    device: DevicePart
+    components: List[ComponentCost] = field(default_factory=list)
+
+    @property
+    def slice_utilization(self) -> float:
+        """Fraction of the device's CLB slices used."""
+        return self.slices / self.device.clb_slices
+
+    @property
+    def multiplier_utilization(self) -> float:
+        """Fraction of the device's MULT18X18 blocks used."""
+        return self.multipliers / self.device.multipliers
+
+    @property
+    def bram_utilization(self) -> float:
+        """Fraction of the device's block RAMs used."""
+        return self.bram_blocks / self.device.bram_blocks
+
+    def fits(self) -> bool:
+        """Whether the configuration fits the device."""
+        return (
+            self.slices <= self.device.clb_slices
+            and self.multipliers <= self.device.multipliers
+            and self.bram_blocks <= self.device.bram_blocks
+        )
+
+    def as_table_rows(self) -> List[Tuple[str, str]]:
+        """Rows in the format of Table 2 (resource, "used of total | percent")."""
+        return [
+            (
+                "CLB-Slices",
+                f"{self.slices} of {self.device.clb_slices} | "
+                f"{round(100 * self.slice_utilization)} %",
+            ),
+            (
+                "MULT18X18s",
+                f"{self.multipliers} of {self.device.multipliers} | "
+                f"{round(100 * self.multiplier_utilization)} %",
+            ),
+            (
+                "BRAMS(18Kbit)",
+                f"{self.bram_blocks} of {self.device.bram_blocks} | "
+                f"{round(100 * self.bram_utilization)} %",
+            ),
+            ("Max. Clock", f"{self.max_clock_mhz:.0f} MHz"),
+        ]
+
+
+class ResourceEstimator:
+    """Component-inventory resource estimator for retrieval-unit configurations."""
+
+    def __init__(self, device: DevicePart = XC2V3000) -> None:
+        self.device = device
+
+    def component_inventory(self, config: Optional[HardwareConfig] = None) -> List[ComponentCost]:
+        """The full component cost inventory for one configuration."""
+        config = config if config is not None else HardwareConfig()
+        components = standard_datapath_components()
+        if config.use_divider:
+            # The divider variant replaces the reciprocal multiplier.
+            del components["reciprocal_multiplier"]
+        inventory: List[ComponentCost] = [component.cost for component in components.values()]
+        if config.use_divider:
+            inventory.append(DividerUnit.cost)
+        inventory.extend(CONTROL_COMPONENTS)
+        if config.n_best > 1:
+            inventory.append(NBestRegisterFile(config.n_best).cost)
+        if config.wide_attribute_fetch:
+            inventory.append(
+                ComponentCost(
+                    name="wide-fetch-port",
+                    slices=26,
+                    delay_ns=1.2,
+                    description="32-bit data port steering for compacted block loads",
+                )
+            )
+        if config.pipelined_datapath:
+            inventory.append(
+                ComponentCost(
+                    name="pipeline-registers",
+                    slices=38,
+                    delay_ns=0.0,
+                    description="pipeline registers decoupling fetch and arithmetic stages",
+                )
+            )
+        if config.cache_reciprocals:
+            inventory.append(
+                ComponentCost(
+                    name="reciprocal-cache",
+                    slices=44,
+                    delay_ns=1.0,
+                    description="per-request-attribute reciprocal holding registers and hit logic",
+                )
+            )
+        return inventory
+
+    def critical_path_ns(self, config: Optional[HardwareConfig] = None) -> float:
+        """Longest register-to-register path of the configuration in nanoseconds.
+
+        Every FSM step of the cycle-accurate model is one clock cycle, so the
+        critical path is the slowest *single* stage, not the sum of all stages.
+        The candidate stages are: (a) address generation plus the synchronous
+        BRAM read, (b) the absolute-difference stage, (c) a multiplier stage
+        (operand mux, MULT18X18) and (d) the subtract/accumulate stage; each
+        additionally pays the FSM output-decode delay and the fixed
+        clock-to-out/routing margin.  The multiplier stage dominates, which is
+        what places the estimate in the published 75-77 MHz range.
+        """
+        config = config if config is not None else HardwareConfig()
+        components = standard_datapath_components()
+        control = next(c.delay_ns for c in CONTROL_COMPONENTS if c.name == "fsm-control")
+        addressing = next(
+            c.delay_ns for c in CONTROL_COMPONENTS if c.name == "cb-mem-address-generator"
+        )
+        wide_penalty = 0.6 if config.wide_attribute_fetch else 0.0
+        fetch_stage = control + addressing + _BRAM_ACCESS_NS + wide_penalty
+        absdiff_stage = control + components["absolute_difference"].cost.delay_ns
+        multiplier_delay = (
+            DividerUnit.cost.delay_ns if config.use_divider
+            else components["reciprocal_multiplier"].cost.delay_ns
+        )
+        multiply_stage = control + _OPERAND_MUX_NS + multiplier_delay
+        accumulate_stage = (
+            control
+            + components["one_minus"].cost.delay_ns
+            + components["accumulator"].cost.delay_ns
+        )
+        stages = [fetch_stage, absdiff_stage, multiply_stage, accumulate_stage]
+        if config.n_best > 1:
+            stages.append(control + NBestRegisterFile(config.n_best).cost.delay_ns)
+        return max(stages) + _TIMING_OVERHEAD_NS
+
+    def estimate(
+        self,
+        footprint: Optional[MemoryFootprint] = None,
+        config: Optional[HardwareConfig] = None,
+    ) -> ResourceEstimate:
+        """Estimate resources for one configuration and memory footprint.
+
+        Without an explicit footprint the Table 3 sizing (15 types x 10
+        implementations x 10 attributes plus a 10-attribute request) is
+        assumed, which needs two block RAMs.
+        """
+        config = config if config is not None else HardwareConfig()
+        inventory = self.component_inventory(config)
+        slices = sum(component.slices for component in inventory)
+        multipliers = sum(component.multipliers for component in inventory)
+        if footprint is not None:
+            bram_blocks = footprint.bram_blocks()
+        else:
+            bram_blocks = 2
+        if bram_blocks > self.device.bram_blocks:
+            raise HardwareModelError(
+                f"case base needs {bram_blocks} BRAMs but {self.device.name} has "
+                f"{self.device.bram_blocks}"
+            )
+        critical_path = self.critical_path_ns(config)
+        max_clock_mhz = 1000.0 / critical_path
+        return ResourceEstimate(
+            slices=slices,
+            multipliers=multipliers,
+            bram_blocks=bram_blocks,
+            max_clock_mhz=max_clock_mhz,
+            critical_path_ns=critical_path,
+            device=self.device,
+            components=inventory,
+        )
+
+
+#: Published synthesis numbers of Table 2, used by tests and EXPERIMENTS.md.
+PAPER_TABLE2 = {
+    "slices": 441,
+    "multipliers": 2,
+    "bram_blocks": 2,
+    "max_clock_mhz": 75.0,
+    "slice_percent": 3,
+    "multiplier_percent": 2,
+    "bram_percent": 2,
+}

@@ -1,0 +1,204 @@
+"""Compacted case-base representations (paper section 5, outlook).
+
+The paper's outlook proposes "a rather compacted attribute block representation
+... for loading IDs and values as blocks within one step speeding everything up
+at least by factor 2".  Two complementary compactions are modelled:
+
+* **Wide fetch** -- the layout of :mod:`repro.memmap.implementation_tree` is
+  kept, but the retrieval unit reads the ``(attribute ID, value)`` pair of a
+  block in a single memory access through a doubled data port.  This is a pure
+  speed optimisation; :class:`repro.hardware.HardwareRetrievalUnit` enables it
+  with ``wide_attribute_fetch=True`` and the E7 benchmark measures the cycle
+  reduction.
+
+* **Shared attribute directory** (:func:`encode_compact_tree`) -- implementations
+  of the same function type usually describe the same attribute kinds, so the
+  attribute IDs are hoisted into one per-type directory and every
+  implementation stores only its value row (with an explicit *missing* marker
+  for attributes it does not provide).  This trades a little decode complexity
+  for a substantially smaller footprint, and is the representation whose size
+  comes closest to the 4.5 kB the paper quotes in Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.case_base import CaseBase
+from ..core.exceptions import EncodingError
+from .words import END_OF_LIST, WORD_BYTES, WORD_MAX, check_id, check_word, encode_value
+
+#: Reserved word marking "this implementation does not provide this attribute".
+MISSING_VALUE = WORD_MAX
+
+
+@dataclass(frozen=True)
+class CompactAddressMap:
+    """Word addresses of the compact encoding's sub-structures."""
+
+    type_list: int
+    directories: Dict[int, int]
+    value_rows: Dict[Tuple[int, int], int]
+
+
+@dataclass(frozen=True)
+class EncodedCompactTree:
+    """Compact (shared-directory) encoding of a case base."""
+
+    words: Tuple[int, ...]
+    address_map: CompactAddressMap
+    type_count: int
+    implementation_count: int
+
+    @property
+    def size_words(self) -> int:
+        """Image size in 16-bit words."""
+        return len(self.words)
+
+    @property
+    def size_bytes(self) -> int:
+        """Image size in bytes."""
+        return len(self.words) * WORD_BYTES
+
+
+def encode_compact_tree(case_base: CaseBase) -> EncodedCompactTree:
+    """Encode a case base using per-type attribute directories.
+
+    Layout per function type: the level-0 list points at a block that starts
+    with the attribute-ID directory (terminated by NULL), followed by one
+    implementation row per variant: ``[implementation ID, value_0, ...,
+    value_{n-1}]`` where ``n`` is the directory length and missing attributes
+    are stored as :data:`MISSING_VALUE`; the row list is terminated by NULL.
+    """
+    types = case_base.sorted_types()
+    if not types:
+        raise EncodingError("cannot encode an empty case base")
+
+    words: List[int] = []
+    type_pointer_slots: Dict[int, int] = {}
+    for function_type in types:
+        words.append(check_id(function_type.type_id, "function type ID"))
+        type_pointer_slots[function_type.type_id] = len(words)
+        words.append(0)
+    words.append(END_OF_LIST)
+
+    directories: Dict[int, int] = {}
+    value_rows: Dict[Tuple[int, int], int] = {}
+    implementation_count = 0
+
+    for function_type in types:
+        block_address = len(words)
+        words[type_pointer_slots[function_type.type_id]] = check_word(
+            block_address, "type block pointer"
+        )
+        directories[function_type.type_id] = block_address
+        directory: List[int] = sorted(
+            {
+                attribute_id
+                for implementation in function_type
+                for attribute_id in implementation.attributes
+            }
+        )
+        for attribute_id in directory:
+            words.append(check_id(attribute_id, "attribute ID"))
+        words.append(END_OF_LIST)
+        for implementation in function_type.sorted_implementations():
+            value_rows[(function_type.type_id, implementation.implementation_id)] = len(words)
+            words.append(check_id(implementation.implementation_id, "implementation ID"))
+            for attribute_id in directory:
+                value = implementation.get(attribute_id)
+                if value is None:
+                    words.append(MISSING_VALUE)
+                else:
+                    encoded = encode_value(value)
+                    if encoded == MISSING_VALUE:
+                        raise EncodingError(
+                            f"attribute value {value} collides with the reserved "
+                            f"missing-value marker in the compact encoding"
+                        )
+                    words.append(encoded)
+            implementation_count += 1
+        words.append(END_OF_LIST)
+
+    return EncodedCompactTree(
+        words=tuple(words),
+        address_map=CompactAddressMap(
+            type_list=0, directories=directories, value_rows=value_rows
+        ),
+        type_count=len(types),
+        implementation_count=implementation_count,
+    )
+
+
+def decode_compact_tree(words: Sequence[int]) -> Dict[int, Dict[int, Dict[int, int]]]:
+    """Decode a compact image into ``{type_id: {impl_id: {attr_id: value}}}``."""
+    if not words:
+        raise EncodingError("compact image is empty")
+    result: Dict[int, Dict[int, Dict[int, int]]] = {}
+    index = 0
+    type_pointers: List[Tuple[int, int]] = []
+    while True:
+        if index >= len(words):
+            raise EncodingError("type list is not terminated by an end-of-list word")
+        type_id = words[index]
+        if type_id == END_OF_LIST:
+            index += 1
+            break
+        type_pointers.append((type_id, words[index + 1]))
+        index += 2
+    for type_id, pointer in type_pointers:
+        directory: List[int] = []
+        cursor = pointer
+        while True:
+            if cursor >= len(words):
+                raise EncodingError("attribute directory is not terminated")
+            attribute_id = words[cursor]
+            cursor += 1
+            if attribute_id == END_OF_LIST:
+                break
+            directory.append(attribute_id)
+        implementations: Dict[int, Dict[int, int]] = {}
+        while True:
+            if cursor >= len(words):
+                raise EncodingError("implementation rows are not terminated")
+            implementation_id = words[cursor]
+            if implementation_id == END_OF_LIST:
+                break
+            cursor += 1
+            row: Dict[int, int] = {}
+            for attribute_id in directory:
+                if cursor >= len(words):
+                    raise EncodingError("truncated implementation value row")
+                value = words[cursor]
+                cursor += 1
+                if value != MISSING_VALUE:
+                    row[attribute_id] = value
+            implementations[implementation_id] = row
+        result[type_id] = implementations
+    return result
+
+
+def compact_size_words(
+    type_count: int, implementations_per_type: int, attributes_per_implementation: int
+) -> int:
+    """Analytic size of the compact encoding for a uniformly filled case base."""
+    if min(type_count, implementations_per_type, attributes_per_implementation) < 0:
+        raise EncodingError("tree dimensions must be non-negative")
+    level0 = 2 * type_count + 1
+    per_type = (
+        attributes_per_implementation
+        + 1
+        + implementations_per_type * (1 + attributes_per_implementation)
+        + 1
+    )
+    return level0 + type_count * per_type
+
+
+def compact_size_bytes(
+    type_count: int, implementations_per_type: int, attributes_per_implementation: int
+) -> int:
+    """Analytic compact footprint in bytes."""
+    return compact_size_words(
+        type_count, implementations_per_type, attributes_per_implementation
+    ) * WORD_BYTES

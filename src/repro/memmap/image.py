@@ -1,0 +1,150 @@
+"""Complete memory images for the hardware retrieval unit.
+
+The retrieval unit of Fig. 7 talks to two memories: the case-base memory
+(``CB-MEM``) holding the implementation tree and the attribute-supplemental
+list, and the request memory (``Req-MEM``) holding the encoded request.
+:class:`CaseBaseImage` builds both images from high-level objects and reports
+their footprints (Table 3); :func:`build_memories` instantiates the
+:class:`~repro.memmap.ram.RamBlock` objects the cycle-accurate model reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..core.attributes import BoundsTable
+from ..core.case_base import CaseBase
+from ..core.exceptions import EncodingError
+from ..core.request import FunctionRequest
+from ..fixedpoint.qformat import QFormat, UQ0_16
+from .compact import EncodedCompactTree, encode_compact_tree
+from .implementation_tree import EncodedImplementationTree, encode_tree
+from .ram import BramBank, RamBlock
+from .request_list import EncodedRequest, encode_request
+from .supplemental_list import EncodedSupplementalList, encode_supplemental
+from .words import WORD_BYTES
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    """Byte footprints of all encoded structures (the Table 3 quantities)."""
+
+    tree_bytes: int
+    supplemental_bytes: int
+    request_bytes: int
+    compact_tree_bytes: int
+
+    @property
+    def case_base_bytes(self) -> int:
+        """Case-base memory footprint: implementation tree + supplemental list."""
+        return self.tree_bytes + self.supplemental_bytes
+
+    @property
+    def compact_case_base_bytes(self) -> int:
+        """Case-base footprint with the compact (shared-directory) tree encoding."""
+        return self.compact_tree_bytes + self.supplemental_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        """Total footprint of case base plus request."""
+        return self.case_base_bytes + self.request_bytes
+
+    def bram_blocks(self) -> int:
+        """Number of 18-kbit block RAMs needed for case base + request."""
+        return (
+            BramBank(self.case_base_bytes).block_count
+            + BramBank(self.request_bytes).block_count
+        )
+
+
+class CaseBaseImage:
+    """All memory images needed to run one hardware retrieval.
+
+    Parameters
+    ----------
+    case_base:
+        The case base to encode.
+    bounds:
+        Optional bounds table; defaults to the case base's own table.
+    fraction_format:
+        Fixed-point format used for weights and reciprocals (UQ0.16 by default).
+    """
+
+    def __init__(
+        self,
+        case_base: CaseBase,
+        bounds: Optional[BoundsTable] = None,
+        fraction_format: QFormat = UQ0_16,
+    ) -> None:
+        self.case_base = case_base
+        self.bounds = bounds if bounds is not None else case_base.bounds
+        self.fraction_format = fraction_format
+        self.tree: EncodedImplementationTree = encode_tree(case_base)
+        self.supplemental: EncodedSupplementalList = encode_supplemental(
+            self.bounds, fraction_format
+        )
+        self.compact_tree: EncodedCompactTree = encode_compact_tree(case_base)
+
+    def encode_request(self, request: FunctionRequest) -> EncodedRequest:
+        """Encode one request against this image's fraction format."""
+        return encode_request(request, self.fraction_format)
+
+    def footprint(self, request: Optional[FunctionRequest] = None) -> MemoryFootprint:
+        """Byte footprints; the request defaults to the worst case of Table 3.
+
+        Without an explicit request the request footprint is computed for the
+        10-attribute worst case the paper states (64 bytes).
+        """
+        if request is not None:
+            request_bytes = self.encode_request(request).size_bytes
+        else:
+            from .request_list import request_size_bytes
+
+            request_bytes = request_size_bytes(10)
+        return MemoryFootprint(
+            tree_bytes=self.tree.size_bytes,
+            supplemental_bytes=self.supplemental.size_bytes,
+            request_bytes=request_bytes,
+            compact_tree_bytes=self.compact_tree.size_bytes,
+        )
+
+    def build_case_base_ram(self, name: str = "CB-MEM") -> Tuple[RamBlock, int]:
+        """Build the case-base RAM: implementation tree followed by supplemental list.
+
+        Returns the RAM block and the word address at which the supplemental
+        list starts (the tree always starts at address 0).
+        """
+        words = list(self.tree.words) + list(self.supplemental.words)
+        ram = RamBlock.from_words(words, name=name)
+        return ram, self.tree.size_words
+
+    def build_request_ram(
+        self, request: FunctionRequest, name: str = "Req-MEM"
+    ) -> Tuple[RamBlock, EncodedRequest]:
+        """Build the request RAM for one encoded request.
+
+        The RAM is padded by one extra word so that a wide (pair) fetch of the
+        terminating end-of-list entry stays within bounds.
+        """
+        encoded = self.encode_request(request)
+        ram = RamBlock.from_words(
+            list(encoded.words), name=name, capacity=len(encoded.words) + 1
+        )
+        return ram, encoded
+
+
+def build_memories(
+    case_base: CaseBase,
+    request: FunctionRequest,
+    bounds: Optional[BoundsTable] = None,
+    fraction_format: QFormat = UQ0_16,
+) -> Tuple[RamBlock, int, RamBlock, CaseBaseImage]:
+    """Convenience helper building both memories for one retrieval run.
+
+    Returns ``(case_base_ram, supplemental_base_address, request_ram, image)``.
+    """
+    image = CaseBaseImage(case_base, bounds=bounds, fraction_format=fraction_format)
+    case_base_ram, supplemental_base = image.build_case_base_ram()
+    request_ram, _ = image.build_request_ram(request)
+    return case_base_ram, supplemental_base, request_ram, image

@@ -1,0 +1,226 @@
+"""Encoding of the implementation tree / case base (paper Fig. 5).
+
+The tree is a hierarchy of three list levels, all "generated at design time
+creating one big block of linear concatenated lists":
+
+* **Level 0** -- the function-type list: ``[type ID, pointer]`` blocks, one per
+  basic function type, terminated by the NULL word.  The pointer is the word
+  address of the type's implementation list.
+* **Level 1** -- one implementation list per type: ``[implementation ID,
+  pointer]`` blocks terminated by NULL; the pointer addresses the
+  implementation's attribute list.
+* **Level 2** -- one attribute list per implementation: ``[attribute ID,
+  value]`` pairs, pre-sorted by attribute ID, terminated by NULL.
+
+All entries are 16-bit words; pointers are absolute word addresses inside the
+case-base memory.  Because level 0 starts at address 0, a pointer can never
+legitimately be 0, so the NULL word doubles as an "invalid pointer" marker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.case_base import CaseBase, ExecutionTarget, Implementation
+from ..core.exceptions import EncodingError
+from .words import END_OF_LIST, WORD_BYTES, check_id, check_word, encode_value
+
+#: Words per level-0 block (type ID, pointer).
+TYPE_BLOCK_WORDS = 2
+#: Words per level-1 block (implementation ID, pointer).
+IMPLEMENTATION_BLOCK_WORDS = 2
+#: Words per level-2 block (attribute ID, value).
+ATTRIBUTE_BLOCK_WORDS = 2
+
+
+@dataclass(frozen=True)
+class TreeAddressMap:
+    """Word addresses of the encoded sub-lists (useful for tests and traces)."""
+
+    type_list: int
+    implementation_lists: Dict[int, int]
+    attribute_lists: Dict[Tuple[int, int], int]
+
+
+@dataclass(frozen=True)
+class EncodedImplementationTree:
+    """Encoded implementation tree plus its address map and statistics."""
+
+    words: Tuple[int, ...]
+    address_map: TreeAddressMap
+    type_count: int
+    implementation_count: int
+    attribute_entry_count: int
+
+    @property
+    def size_words(self) -> int:
+        """Image size in 16-bit words."""
+        return len(self.words)
+
+    @property
+    def size_bytes(self) -> int:
+        """Image size in bytes (feeds the Table 3 comparison)."""
+        return len(self.words) * WORD_BYTES
+
+
+def encode_tree(case_base: CaseBase) -> EncodedImplementationTree:
+    """Encode a :class:`CaseBase` into the three-level Fig.-5 word image.
+
+    The layout is: the level-0 type list first, then for every type its
+    level-1 implementation list immediately followed by the level-2 attribute
+    lists of its implementations.  Pointers are patched after the layout of
+    the lower levels is known.
+    """
+    types = case_base.sorted_types()
+    if not types:
+        raise EncodingError("cannot encode an empty case base")
+
+    words: List[int] = []
+    # Level 0: reserve the type list, pointers patched later.
+    type_pointer_slots: Dict[int, int] = {}
+    for function_type in types:
+        words.append(check_id(function_type.type_id, "function type ID"))
+        type_pointer_slots[function_type.type_id] = len(words)
+        words.append(0)  # placeholder pointer
+    words.append(END_OF_LIST)
+
+    implementation_lists: Dict[int, int] = {}
+    attribute_lists: Dict[Tuple[int, int], int] = {}
+    implementation_count = 0
+    attribute_entry_count = 0
+
+    for function_type in types:
+        implementations = function_type.sorted_implementations()
+        # Level 1 list for this type.
+        implementation_list_address = len(words)
+        implementation_lists[function_type.type_id] = implementation_list_address
+        words[type_pointer_slots[function_type.type_id]] = check_word(
+            implementation_list_address, "implementation-list pointer"
+        )
+        implementation_pointer_slots: Dict[int, int] = {}
+        for implementation in implementations:
+            words.append(check_id(implementation.implementation_id, "implementation ID"))
+            implementation_pointer_slots[implementation.implementation_id] = len(words)
+            words.append(0)  # placeholder pointer
+        words.append(END_OF_LIST)
+        # Level 2 attribute lists of this type's implementations.
+        for implementation in implementations:
+            attribute_list_address = len(words)
+            attribute_lists[(function_type.type_id, implementation.implementation_id)] = (
+                attribute_list_address
+            )
+            words[implementation_pointer_slots[implementation.implementation_id]] = check_word(
+                attribute_list_address, "attribute-list pointer"
+            )
+            for attribute_id, value in implementation.sorted_attributes():
+                words.append(check_id(attribute_id, "attribute ID"))
+                words.append(encode_value(value))
+                attribute_entry_count += 1
+            words.append(END_OF_LIST)
+            implementation_count += 1
+
+    return EncodedImplementationTree(
+        words=tuple(words),
+        address_map=TreeAddressMap(
+            type_list=0,
+            implementation_lists=implementation_lists,
+            attribute_lists=attribute_lists,
+        ),
+        type_count=len(types),
+        implementation_count=implementation_count,
+        attribute_entry_count=attribute_entry_count,
+    )
+
+
+def decode_tree(words: Sequence[int]) -> Dict[int, Dict[int, Dict[int, int]]]:
+    """Decode an encoded tree into ``{type_id: {impl_id: {attr_id: value}}}``.
+
+    Execution targets and deployment metadata are not part of the memory image
+    (they live in the repository / allocation layer), so the decoded structure
+    is a plain nested dictionary rather than a full :class:`CaseBase`.
+    """
+    if not words:
+        raise EncodingError("implementation-tree image is empty")
+    result: Dict[int, Dict[int, Dict[int, int]]] = {}
+    index = 0
+    while True:
+        if index >= len(words):
+            raise EncodingError("type list is not terminated by an end-of-list word")
+        type_id = words[index]
+        if type_id == END_OF_LIST:
+            break
+        if index + 1 >= len(words):
+            raise EncodingError("truncated type block in implementation tree")
+        pointer = words[index + 1]
+        result[type_id] = _decode_implementation_list(words, pointer)
+        index += TYPE_BLOCK_WORDS
+    return result
+
+
+def _decode_implementation_list(words: Sequence[int], address: int) -> Dict[int, Dict[int, int]]:
+    implementations: Dict[int, Dict[int, int]] = {}
+    index = address
+    while True:
+        if index >= len(words):
+            raise EncodingError("implementation list is not terminated")
+        implementation_id = words[index]
+        if implementation_id == END_OF_LIST:
+            break
+        if index + 1 >= len(words):
+            raise EncodingError("truncated implementation block in implementation tree")
+        pointer = words[index + 1]
+        implementations[implementation_id] = _decode_attribute_list(words, pointer)
+        index += IMPLEMENTATION_BLOCK_WORDS
+    return implementations
+
+
+def _decode_attribute_list(words: Sequence[int], address: int) -> Dict[int, int]:
+    attributes: Dict[int, int] = {}
+    index = address
+    previous_id = 0
+    while True:
+        if index >= len(words):
+            raise EncodingError("attribute list is not terminated")
+        attribute_id = words[index]
+        if attribute_id == END_OF_LIST:
+            break
+        if attribute_id <= previous_id:
+            raise EncodingError(
+                f"attribute IDs are not strictly ascending at word {index}"
+            )
+        previous_id = attribute_id
+        if index + 1 >= len(words):
+            raise EncodingError("truncated attribute block in implementation tree")
+        attributes[attribute_id] = words[index + 1]
+        index += ATTRIBUTE_BLOCK_WORDS
+    return attributes
+
+
+def tree_size_words(
+    type_count: int, implementations_per_type: int, attributes_per_implementation: int
+) -> int:
+    """Analytic size of the encoded tree for a uniformly filled case base.
+
+    Used for the Table 3 sizing sweep: ``15`` types with ``10`` implementations
+    of ``10`` attributes each.
+    """
+    if min(type_count, implementations_per_type, attributes_per_implementation) < 0:
+        raise EncodingError("tree dimensions must be non-negative")
+    level0 = TYPE_BLOCK_WORDS * type_count + 1
+    level1 = type_count * (IMPLEMENTATION_BLOCK_WORDS * implementations_per_type + 1)
+    level2 = (
+        type_count
+        * implementations_per_type
+        * (ATTRIBUTE_BLOCK_WORDS * attributes_per_implementation + 1)
+    )
+    return level0 + level1 + level2
+
+
+def tree_size_bytes(
+    type_count: int, implementations_per_type: int, attributes_per_implementation: int
+) -> int:
+    """Analytic tree footprint in bytes."""
+    return tree_size_words(
+        type_count, implementations_per_type, attributes_per_implementation
+    ) * WORD_BYTES

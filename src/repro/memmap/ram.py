@@ -1,0 +1,162 @@
+"""RAM-block model: the BRAM storage behind the memory-mapped lists.
+
+The retrieval unit of the paper keeps the request description and the case
+base in on-chip block RAM (two 18-kbit BRAMs on the Virtex-II 3000, see
+Table 2).  :class:`RamBlock` models one linear word-addressed memory with
+access counting -- the cycle-accurate hardware model charges one cycle per
+word read, so the read counters double as a cross-check of the cycle counts --
+and :class:`BramBank` maps a byte footprint onto discrete 18-kbit block RAMs
+for the resource estimate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from ..core.exceptions import MemoryMapError
+from .words import END_OF_LIST, WORD_BYTES, WORD_MAX, check_word
+
+#: Capacity of one Virtex-II block RAM in bits (without parity bits).
+BRAM_BITS = 18 * 1024
+
+#: Usable 16-bit words per block RAM (the 2 parity bits per byte are unused here).
+BRAM_WORDS = 1024
+
+
+@dataclass
+class AccessCounters:
+    """Read/write counters of one RAM block."""
+
+    reads: int = 0
+    writes: int = 0
+
+    def reset(self) -> None:
+        """Zero both counters."""
+        self.reads = 0
+        self.writes = 0
+
+    @property
+    def total(self) -> int:
+        """Total number of accesses."""
+        return self.reads + self.writes
+
+
+class RamBlock:
+    """A linear, word-addressed RAM with access counting.
+
+    Parameters
+    ----------
+    size_words:
+        Capacity of the memory in 16-bit words.
+    name:
+        Label used in error messages and traces (``"CB-MEM"``, ``"Req-MEM"``).
+    """
+
+    def __init__(self, size_words: int, name: str = "ram") -> None:
+        if size_words <= 0:
+            raise MemoryMapError("RAM size must be positive")
+        self.name = name
+        self._words: List[int] = [END_OF_LIST] * size_words
+        self.counters = AccessCounters()
+
+    @classmethod
+    def from_words(cls, words: Sequence[int], name: str = "ram", capacity: Optional[int] = None) -> "RamBlock":
+        """Build a RAM preloaded with an encoded word image."""
+        size = capacity if capacity is not None else max(len(words), 1)
+        if size < len(words):
+            raise MemoryMapError(
+                f"capacity {size} words is smaller than the image ({len(words)} words)"
+            )
+        ram = cls(size, name=name)
+        for address, word in enumerate(words):
+            ram._words[address] = check_word(word, f"{name}[{address}]")
+        return ram
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    @property
+    def size_bytes(self) -> int:
+        """Capacity in bytes."""
+        return len(self._words) * WORD_BYTES
+
+    def _check_address(self, address: int) -> int:
+        if not 0 <= address < len(self._words):
+            raise MemoryMapError(
+                f"{self.name}: address {address} outside [0, {len(self._words)})"
+            )
+        return address
+
+    def read(self, address: int) -> int:
+        """Read one word (counted access)."""
+        self._check_address(address)
+        self.counters.reads += 1
+        return self._words[address]
+
+    def read_pair(self, address: int) -> tuple:
+        """Read two consecutive words in one counted access.
+
+        Models the "compacted attribute block representation ... loading IDs
+        and values as blocks within one step" the paper proposes in section 5
+        (a doubled data-port width).
+        """
+        self._check_address(address)
+        self._check_address(address + 1)
+        self.counters.reads += 1
+        return self._words[address], self._words[address + 1]
+
+    def write(self, address: int, value: int) -> None:
+        """Write one word (counted access)."""
+        self._check_address(address)
+        self.counters.writes += 1
+        self._words[address] = check_word(value, f"{self.name}[{address}]")
+
+    def peek(self, address: int) -> int:
+        """Read one word without counting (test/debug use)."""
+        self._check_address(address)
+        return self._words[address]
+
+    def load(self, words: Sequence[int], offset: int = 0) -> None:
+        """Bulk-load an encoded image without counting accesses."""
+        if offset < 0 or offset + len(words) > len(self._words):
+            raise MemoryMapError(
+                f"{self.name}: image of {len(words)} words does not fit at offset {offset}"
+            )
+        for index, word in enumerate(words):
+            self._words[offset + index] = check_word(word, f"{self.name}[{offset + index}]")
+
+    def dump(self) -> List[int]:
+        """Copy of the full word contents."""
+        return list(self._words)
+
+    def reset_counters(self) -> None:
+        """Zero the access counters (between retrieval runs)."""
+        self.counters.reset()
+
+
+@dataclass(frozen=True)
+class BramBank:
+    """Mapping of a byte footprint onto discrete 18-kbit block RAMs."""
+
+    payload_bytes: int
+
+    @property
+    def payload_words(self) -> int:
+        """Number of 16-bit words needed."""
+        return math.ceil(self.payload_bytes / WORD_BYTES)
+
+    @property
+    def block_count(self) -> int:
+        """Number of 18-kbit BRAMs needed to hold the payload."""
+        if self.payload_bytes == 0:
+            return 0
+        return math.ceil(self.payload_words / BRAM_WORDS)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the allocated BRAM capacity actually used."""
+        if self.block_count == 0:
+            return 0.0
+        return self.payload_words / (self.block_count * BRAM_WORDS)

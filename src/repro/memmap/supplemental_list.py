@@ -1,0 +1,107 @@
+"""Encoding of the attribute-supplemental list (paper Fig. 4, right).
+
+For every attribute type the supplemental list stores a four-word block,
+pre-sorted by attribute ID:
+
+====================== ===========================================================
+word                    meaning
+====================== ===========================================================
+``0 + 4k``              attribute ID
+``1 + 4k``              design-global lower bound
+``2 + 4k``              design-global upper bound
+``3 + 4k``              ``maxrange-1``: the pre-computed reciprocal ``1/(1+dmax)``
+                        as a UQ0.16 fraction
+last                    end-of-list NULL word
+====================== ===========================================================
+
+Storing the reciprocal lets the datapath multiply instead of divide ("since it
+is a constant we do not need to implement an expensive hardware divider").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.attributes import AttributeBounds, BoundsTable
+from ..core.exceptions import EncodingError
+from ..fixedpoint.qformat import QFormat, UQ0_16, reciprocal_raw
+from .words import END_OF_LIST, WORD_BYTES, check_id, encode_value
+
+#: Words per attribute block (ID, lower, upper, reciprocal).
+SUPPLEMENTAL_BLOCK_WORDS = 4
+
+
+@dataclass(frozen=True)
+class EncodedSupplementalList:
+    """Encoded supplemental list plus a direct ID-to-reciprocal map."""
+
+    words: Tuple[int, ...]
+    reciprocals: Dict[int, int]
+    fraction_format: QFormat = UQ0_16
+
+    @property
+    def size_words(self) -> int:
+        """Image size in 16-bit words."""
+        return len(self.words)
+
+    @property
+    def size_bytes(self) -> int:
+        """Image size in bytes."""
+        return len(self.words) * WORD_BYTES
+
+
+def encode_supplemental(
+    bounds: BoundsTable, fraction_format: QFormat = UQ0_16
+) -> EncodedSupplementalList:
+    """Encode a :class:`BoundsTable` into the supplemental-list word image."""
+    words: List[int] = []
+    reciprocals: Dict[int, int] = {}
+    for bound in bounds:
+        raw_reciprocal = reciprocal_raw(bound.dmax, fraction_format)
+        words.append(check_id(bound.attribute_id, "attribute ID"))
+        words.append(encode_value(bound.lower, "lower bound"))
+        words.append(encode_value(bound.upper, "upper bound"))
+        words.append(raw_reciprocal)
+        reciprocals[bound.attribute_id] = raw_reciprocal
+    words.append(END_OF_LIST)
+    return EncodedSupplementalList(
+        words=tuple(words), reciprocals=reciprocals, fraction_format=fraction_format
+    )
+
+
+def decode_supplemental(
+    words: Sequence[int], fraction_format: QFormat = UQ0_16
+) -> BoundsTable:
+    """Rebuild the bounds table from an encoded supplemental list."""
+    table = BoundsTable()
+    index = 0
+    previous_id = 0
+    while True:
+        if index >= len(words):
+            raise EncodingError("supplemental list is not terminated by an end-of-list word")
+        attribute_id = words[index]
+        if attribute_id == END_OF_LIST:
+            break
+        if index + 3 >= len(words):
+            raise EncodingError("truncated block in supplemental list")
+        if attribute_id <= previous_id:
+            raise EncodingError(
+                f"supplemental attribute IDs are not strictly ascending at word {index}"
+            )
+        previous_id = attribute_id
+        table.add(AttributeBounds(attribute_id, words[index + 1], words[index + 2]))
+        index += SUPPLEMENTAL_BLOCK_WORDS
+    return table
+
+
+def supplemental_size_words(attribute_type_count: int) -> int:
+    """Analytic size: four words per attribute type plus the terminator."""
+    if attribute_type_count < 0:
+        raise EncodingError("attribute type count must be non-negative")
+    return SUPPLEMENTAL_BLOCK_WORDS * attribute_type_count + 1
+
+
+def supplemental_size_bytes(attribute_type_count: int) -> int:
+    """Analytic supplemental-list footprint in bytes."""
+    return supplemental_size_words(attribute_type_count) * WORD_BYTES

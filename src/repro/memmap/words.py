@@ -1,0 +1,81 @@
+"""16-bit word primitives for the memory-mapped list structures (section 4.1).
+
+The paper maps all list structures onto "linear organized RAM-blocks" whose
+entries all use the same word length (16 bits in the reported design).  Lists
+are terminated by "a dedicated NULL-entry"; because all IDs used by the
+library are strictly positive, the all-zero word serves as that terminator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..core.exceptions import EncodingError
+
+#: Word width of the memory-mapped structures (the paper's design point).
+WORD_BITS = 16
+
+#: Number of bytes per word.
+WORD_BYTES = WORD_BITS // 8
+
+#: Largest unsigned value representable in one word.
+WORD_MAX = (1 << WORD_BITS) - 1
+
+#: The dedicated NULL entry terminating every list.
+END_OF_LIST = 0
+
+
+def check_word(value: int, what: str = "value") -> int:
+    """Validate that ``value`` fits into one unsigned word and return it."""
+    if not isinstance(value, int):
+        raise EncodingError(f"{what} must be an integer, got {value!r}")
+    if not 0 <= value <= WORD_MAX:
+        raise EncodingError(f"{what} {value} does not fit into {WORD_BITS} unsigned bits")
+    return value
+
+
+def check_id(value: int, what: str = "ID") -> int:
+    """Validate an ID word: must fit into a word and must not collide with NULL."""
+    check_word(value, what)
+    if value == END_OF_LIST:
+        raise EncodingError(f"{what} must not be {END_OF_LIST} (reserved as end-of-list)")
+    return value
+
+
+def encode_value(value: float, what: str = "attribute value") -> int:
+    """Encode an attribute value into one word.
+
+    Attribute values in the hardware design are plain 16-bit unsigned
+    integers; real-valued attributes must be scaled by the designer before
+    encoding (e.g. sample rates in kSamples/s).  Values are required to be
+    integral to make that contract explicit.
+    """
+    if isinstance(value, bool):
+        value = int(value)
+    if isinstance(value, float):
+        if not value.is_integer():
+            raise EncodingError(
+                f"{what} {value} is not integral; scale real-valued attributes to "
+                f"integers before encoding"
+            )
+        value = int(value)
+    return check_word(value, what)
+
+
+def words_to_bytes(word_count: int) -> int:
+    """Size in bytes of ``word_count`` 16-bit words."""
+    if word_count < 0:
+        raise EncodingError("word count must be non-negative")
+    return word_count * WORD_BYTES
+
+
+def bytes_to_words(byte_count: int) -> int:
+    """Number of whole words in ``byte_count`` bytes (must be word aligned)."""
+    if byte_count < 0 or byte_count % WORD_BYTES:
+        raise EncodingError(f"byte count {byte_count} is not a multiple of {WORD_BYTES}")
+    return byte_count // WORD_BYTES
+
+
+def validate_words(words: Iterable[int]) -> List[int]:
+    """Validate a whole word sequence and return it as a list."""
+    return [check_word(word, f"word[{index}]") for index, word in enumerate(words)]

@@ -1,0 +1,42 @@
+"""Reconfigurable multi-device platform substrate (paper Fig. 1, lower layers)."""
+
+from .device import Device, DeviceKind, PlacedTask
+from .fpga import FpgaDevice, SlotSpec, virtex2_3000_fpga
+from .processor import ProcessorDevice, audio_dsp, host_cpu
+from .reconfiguration import (
+    DEFAULT_ICAP_BANDWIDTH_MB_S,
+    ReconfigurationController,
+    ReconfigurationEvent,
+)
+from .repository import (
+    ConfigurationEntry,
+    ConfigurationKind,
+    ConfigurationRepository,
+    RepositoryStatistics,
+)
+from .resource_state import DeviceSnapshot, SystemResourceState, SystemSnapshot
+from .runtime_controller import LocalRuntimeController, PlacementReport
+
+__all__ = [
+    "ConfigurationEntry",
+    "ConfigurationKind",
+    "ConfigurationRepository",
+    "DEFAULT_ICAP_BANDWIDTH_MB_S",
+    "Device",
+    "DeviceKind",
+    "DeviceSnapshot",
+    "FpgaDevice",
+    "LocalRuntimeController",
+    "PlacedTask",
+    "PlacementReport",
+    "ProcessorDevice",
+    "ReconfigurationController",
+    "ReconfigurationEvent",
+    "RepositoryStatistics",
+    "SlotSpec",
+    "SystemResourceState",
+    "SystemSnapshot",
+    "audio_dsp",
+    "host_cpu",
+    "virtex2_3000_fpga",
+]

@@ -1,0 +1,132 @@
+"""Execution devices of the reconfigurable platform (paper Fig. 1).
+
+The platform of Fig. 1 consists of one or more run-time reconfigurable FPGAs,
+optional dedicated hardware (DSPs, ASICs) and a general-purpose CPU, each with
+its own local run-time controller.  This module defines the common device
+interface; the concrete FPGA and processor models live in
+:mod:`repro.platform.fpga` and :mod:`repro.platform.processor`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.case_base import ExecutionTarget, Implementation
+from ..core.exceptions import PlatformError
+
+
+class DeviceKind(enum.Enum):
+    """Kinds of execution devices on the platform."""
+
+    FPGA = "fpga"
+    DSP = "dsp"
+    CPU = "cpu"
+    ASIC = "asic"
+
+    def supports(self, target: ExecutionTarget) -> bool:
+        """Whether an implementation targeting ``target`` can run on this device."""
+        mapping = {
+            DeviceKind.FPGA: {ExecutionTarget.FPGA},
+            DeviceKind.DSP: {ExecutionTarget.DSP},
+            DeviceKind.CPU: {ExecutionTarget.GPP},
+            DeviceKind.ASIC: {ExecutionTarget.ASIC},
+        }
+        return target in mapping[self]
+
+
+@dataclass
+class PlacedTask:
+    """One function implementation currently instantiated on a device."""
+
+    handle: int
+    type_id: int
+    implementation: Implementation
+    requester: str = ""
+    #: Area actually occupied (slices for FPGAs, 0 for processors).
+    area_slices: int = 0
+    #: Processor load fraction consumed (0 for FPGA placements).
+    load_fraction: float = 0.0
+    #: Power drawn by the task in milliwatts.
+    power_mw: float = 0.0
+    #: Simulation time at which the task was placed (microseconds).
+    placed_at_us: float = 0.0
+    #: Whether the task may be preempted to make room for others.
+    preemptible: bool = True
+
+
+class Device:
+    """Base class of all execution devices."""
+
+    kind: DeviceKind = DeviceKind.CPU
+
+    def __init__(self, name: str, *, idle_power_mw: float = 0.0) -> None:
+        if not name:
+            raise PlatformError("device needs a non-empty name")
+        self.name = name
+        self.idle_power_mw = idle_power_mw
+        self._tasks: Dict[int, PlacedTask] = {}
+
+    # -- capacity interface (overridden by subclasses) ------------------------------
+
+    def can_host(self, implementation: Implementation) -> bool:
+        """Whether the implementation could ever run here (target compatibility)."""
+        return self.kind.supports(implementation.target)
+
+    def has_capacity_for(self, implementation: Implementation) -> bool:
+        """Whether the implementation fits *right now* (no preemption)."""
+        raise NotImplementedError
+
+    def utilization(self) -> float:
+        """Current utilisation in ``[0, 1]`` of the device's dominant resource."""
+        raise NotImplementedError
+
+    # -- task management -------------------------------------------------------------
+
+    def tasks(self) -> List[PlacedTask]:
+        """Currently placed tasks."""
+        return list(self._tasks.values())
+
+    def task(self, handle: int) -> PlacedTask:
+        """Look up one placed task by its handle."""
+        try:
+            return self._tasks[handle]
+        except KeyError as exc:
+            raise PlatformError(f"device {self.name} has no task with handle {handle}") from exc
+
+    def __contains__(self, handle: int) -> bool:
+        return handle in self._tasks
+
+    def place(self, task: PlacedTask) -> PlacedTask:
+        """Place a task (capacity must have been checked by the caller)."""
+        if task.handle in self._tasks:
+            raise PlatformError(f"handle {task.handle} already placed on {self.name}")
+        if not self.can_host(task.implementation):
+            raise PlatformError(
+                f"device {self.name} ({self.kind.value}) cannot host a "
+                f"{task.implementation.target.value} implementation"
+            )
+        self._tasks[task.handle] = task
+        return task
+
+    def remove(self, handle: int) -> PlacedTask:
+        """Remove a task and free its resources."""
+        try:
+            return self._tasks.pop(handle)
+        except KeyError as exc:
+            raise PlatformError(f"device {self.name} has no task with handle {handle}") from exc
+
+    def power_mw(self) -> float:
+        """Current power draw: idle power plus the placed tasks' power."""
+        return self.idle_power_mw + sum(task.power_mw for task in self._tasks.values())
+
+    def preemption_candidates(self) -> List[PlacedTask]:
+        """Placed tasks that may be preempted, least recently placed first."""
+        return sorted(
+            (task for task in self._tasks.values() if task.preemptible),
+            key=lambda task: task.placed_at_us,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(name={self.name!r}, tasks={len(self._tasks)})"

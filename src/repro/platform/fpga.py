@@ -1,0 +1,144 @@
+"""Run-time reconfigurable FPGA devices with a slot-based area model.
+
+The paper's earlier work ([7] in its reference list) organises the FPGA into
+fixed module slots that are swapped by partial run-time reconfiguration.  The
+model here follows that scheme: an :class:`FpgaDevice` exposes a number of
+equally sized slots; a hardware implementation occupies one or more contiguous
+slots depending on its ``area_slices`` deployment figure, and becomes usable
+only after the reconfiguration port has streamed its bitstream (timing handled
+by :mod:`repro.platform.reconfiguration`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.case_base import Implementation
+from ..core.exceptions import PlatformError
+from .device import Device, DeviceKind, PlacedTask
+
+
+@dataclass(frozen=True)
+class SlotSpec:
+    """Geometry of one FPGA's partial-reconfiguration slots."""
+
+    slot_count: int
+    slices_per_slot: int
+
+    def __post_init__(self) -> None:
+        if self.slot_count <= 0 or self.slices_per_slot <= 0:
+            raise PlatformError("slot geometry must be positive")
+
+    @property
+    def total_slices(self) -> int:
+        """Total reconfigurable slices across all slots."""
+        return self.slot_count * self.slices_per_slot
+
+    def slots_needed(self, area_slices: int) -> int:
+        """Number of contiguous slots an implementation of that area occupies."""
+        if area_slices <= 0:
+            return 1
+        return math.ceil(area_slices / self.slices_per_slot)
+
+
+class FpgaDevice(Device):
+    """A partially reconfigurable FPGA with fixed module slots."""
+
+    kind = DeviceKind.FPGA
+
+    def __init__(
+        self,
+        name: str,
+        slots: SlotSpec,
+        *,
+        idle_power_mw: float = 150.0,
+        static_region_slices: int = 0,
+    ) -> None:
+        super().__init__(name, idle_power_mw=idle_power_mw)
+        self.slots = slots
+        #: Slices of the static region (run-time system, bus macros, retrieval unit).
+        self.static_region_slices = static_region_slices
+        #: slot index -> handle of the task occupying it (None = free).
+        self._slot_owner: List[Optional[int]] = [None] * slots.slot_count
+        #: handle -> (first slot, slot count)
+        self._placements: Dict[int, Tuple[int, int]] = {}
+
+    # -- capacity -------------------------------------------------------------------
+
+    def free_slots(self) -> int:
+        """Number of currently unoccupied slots."""
+        return sum(1 for owner in self._slot_owner if owner is None)
+
+    def _find_contiguous(self, count: int) -> Optional[int]:
+        """First index of a run of ``count`` free slots, or ``None``."""
+        run = 0
+        for index, owner in enumerate(self._slot_owner):
+            run = run + 1 if owner is None else 0
+            if run >= count:
+                return index - count + 1
+        return None
+
+    def has_capacity_for(self, implementation: Implementation) -> bool:
+        """Whether enough contiguous slots are free for this implementation."""
+        if not self.can_host(implementation):
+            return False
+        needed = self.slots.slots_needed(implementation.deployment.area_slices)
+        if needed > self.slots.slot_count:
+            return False
+        return self._find_contiguous(needed) is not None
+
+    def utilization(self) -> float:
+        """Fraction of slots currently occupied."""
+        return 1.0 - self.free_slots() / self.slots.slot_count
+
+    # -- placement ------------------------------------------------------------------
+
+    def place(self, task: PlacedTask) -> PlacedTask:
+        needed = self.slots.slots_needed(task.implementation.deployment.area_slices)
+        first = self._find_contiguous(needed)
+        if first is None:
+            raise PlatformError(
+                f"{self.name}: no {needed} contiguous free slots for handle {task.handle}"
+            )
+        super().place(task)
+        for slot in range(first, first + needed):
+            self._slot_owner[slot] = task.handle
+        self._placements[task.handle] = (first, needed)
+        task.area_slices = task.implementation.deployment.area_slices
+        return task
+
+    def remove(self, handle: int) -> PlacedTask:
+        task = super().remove(handle)
+        first, count = self._placements.pop(handle)
+        for slot in range(first, first + count):
+            self._slot_owner[slot] = None
+        return task
+
+    def placement(self, handle: int) -> Tuple[int, int]:
+        """``(first slot, slot count)`` of a placed task."""
+        try:
+            return self._placements[handle]
+        except KeyError as exc:
+            raise PlatformError(f"{self.name} has no placement for handle {handle}") from exc
+
+    def slot_map(self) -> List[Optional[int]]:
+        """Copy of the slot-occupancy map (handle or ``None`` per slot)."""
+        return list(self._slot_owner)
+
+
+def virtex2_3000_fpga(name: str = "fpga0", slot_count: int = 8) -> FpgaDevice:
+    """An XC2V3000-like device: 14336 slices, a static region and equal slots.
+
+    Roughly 2000 slices are reserved for the static run-time system (bus
+    macros, controllers and the 441-slice retrieval unit); the remainder is
+    split into ``slot_count`` partial-reconfiguration slots.
+    """
+    static_slices = 2000
+    reconfigurable = 14336 - static_slices
+    return FpgaDevice(
+        name,
+        SlotSpec(slot_count=slot_count, slices_per_slot=reconfigurable // slot_count),
+        static_region_slices=static_slices,
+    )

@@ -1,0 +1,77 @@
+"""Processor devices (general-purpose CPU and DSP) hosting software tasks.
+
+Software implementation variants consume a *load fraction* of their processor
+(the ``load_fraction`` field of :class:`repro.core.DeploymentInfo`); a
+processor can host tasks until its accumulated load reaches a configurable
+limit (1.0 by default, lower if headroom must be kept for the operating
+system).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.case_base import Implementation
+from ..core.exceptions import PlatformError
+from .device import Device, DeviceKind, PlacedTask
+
+
+class ProcessorDevice(Device):
+    """A processor (CPU or DSP) hosting sequential software tasks."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: DeviceKind,
+        *,
+        load_limit: float = 1.0,
+        clock_mhz: float = 300.0,
+        idle_power_mw: float = 80.0,
+    ) -> None:
+        if kind not in (DeviceKind.CPU, DeviceKind.DSP):
+            raise PlatformError("ProcessorDevice kind must be CPU or DSP")
+        if not 0.0 < load_limit <= 1.0:
+            raise PlatformError("load limit must lie within (0, 1]")
+        super().__init__(name, idle_power_mw=idle_power_mw)
+        self.kind = kind
+        self.load_limit = load_limit
+        self.clock_mhz = clock_mhz
+
+    def current_load(self) -> float:
+        """Accumulated load fraction of all placed tasks."""
+        return sum(task.load_fraction for task in self.tasks())
+
+    def has_capacity_for(self, implementation: Implementation) -> bool:
+        """Whether the implementation's load fraction still fits under the limit."""
+        if not self.can_host(implementation):
+            return False
+        return (
+            self.current_load() + implementation.deployment.load_fraction
+            <= self.load_limit + 1e-9
+        )
+
+    def utilization(self) -> float:
+        """Load relative to the configured limit."""
+        return min(1.0, self.current_load() / self.load_limit)
+
+    def place(self, task: PlacedTask) -> PlacedTask:
+        load = task.implementation.deployment.load_fraction
+        if self.current_load() + load > self.load_limit + 1e-9:
+            raise PlatformError(
+                f"{self.name}: load limit {self.load_limit:.2f} exceeded by handle {task.handle}"
+            )
+        super().place(task)
+        task.load_fraction = load
+        return task
+
+
+def host_cpu(name: str = "cpu0", load_limit: float = 0.85) -> ProcessorDevice:
+    """The platform's general-purpose host CPU (keeps OS headroom)."""
+    return ProcessorDevice(name, DeviceKind.CPU, load_limit=load_limit, clock_mhz=400.0)
+
+
+def audio_dsp(name: str = "dsp0", load_limit: float = 1.0) -> ProcessorDevice:
+    """A dedicated audio/video DSP co-processor."""
+    return ProcessorDevice(
+        name, DeviceKind.DSP, load_limit=load_limit, clock_mhz=250.0, idle_power_mw=60.0
+    )

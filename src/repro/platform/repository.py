@@ -1,0 +1,134 @@
+"""Opcode/bitstream repository (the FLASH block of paper Fig. 1).
+
+"Since every available function realization has a unique identifier it will be
+possible to retrieve the function's corresponding configuration data (CPU
+opcode / FPGA bitstream) from a global function repository for
+reconfiguration."  The repository stores one configuration artefact per
+``(function type, implementation)`` pair and models the read latency of the
+backing flash memory, which adds to the deployment time of an allocation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.case_base import CaseBase, ExecutionTarget, Implementation
+from ..core.exceptions import PlatformError
+
+
+class ConfigurationKind(enum.Enum):
+    """Kinds of configuration artefacts stored in the repository."""
+
+    BITSTREAM = "bitstream"
+    OPCODE = "opcode"
+
+    @classmethod
+    def for_target(cls, target: ExecutionTarget) -> "ConfigurationKind":
+        """The artefact kind an execution target needs."""
+        return cls.BITSTREAM if target is ExecutionTarget.FPGA else cls.OPCODE
+
+
+@dataclass(frozen=True)
+class ConfigurationEntry:
+    """One stored configuration artefact."""
+
+    type_id: int
+    implementation_id: int
+    kind: ConfigurationKind
+    size_bytes: int
+    version: int = 1
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise PlatformError("configuration size must be non-negative")
+
+
+@dataclass
+class RepositoryStatistics:
+    """Access counters of the repository."""
+
+    fetches: int = 0
+    bytes_read: int = 0
+    stores: int = 0
+
+
+class ConfigurationRepository:
+    """Flash-backed store of bitstreams and opcode images.
+
+    Parameters
+    ----------
+    read_bandwidth_mb_s:
+        Sustained flash read bandwidth used to derive fetch latencies.
+    """
+
+    def __init__(self, read_bandwidth_mb_s: float = 20.0) -> None:
+        if read_bandwidth_mb_s <= 0:
+            raise PlatformError("read bandwidth must be positive")
+        self.read_bandwidth_mb_s = read_bandwidth_mb_s
+        self._entries: Dict[Tuple[int, int], ConfigurationEntry] = {}
+        self.statistics = RepositoryStatistics()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Tuple[int, int]) -> bool:
+        return key in self._entries
+
+    def store(self, entry: ConfigurationEntry) -> ConfigurationEntry:
+        """Store (or replace) one configuration artefact."""
+        self._entries[(entry.type_id, entry.implementation_id)] = entry
+        self.statistics.stores += 1
+        return entry
+
+    def fetch(self, type_id: int, implementation_id: int) -> ConfigurationEntry:
+        """Fetch an artefact (counted access)."""
+        try:
+            entry = self._entries[(type_id, implementation_id)]
+        except KeyError as exc:
+            raise PlatformError(
+                f"repository has no configuration for type {type_id} "
+                f"implementation {implementation_id}"
+            ) from exc
+        self.statistics.fetches += 1
+        self.statistics.bytes_read += entry.size_bytes
+        return entry
+
+    def fetch_time_us(self, type_id: int, implementation_id: int) -> float:
+        """Flash read latency of one artefact in microseconds (no access counted)."""
+        try:
+            entry = self._entries[(type_id, implementation_id)]
+        except KeyError as exc:
+            raise PlatformError(
+                f"repository has no configuration for type {type_id} "
+                f"implementation {implementation_id}"
+            ) from exc
+        return entry.size_bytes / self.read_bandwidth_mb_s
+
+    def entries(self) -> List[ConfigurationEntry]:
+        """All stored artefacts."""
+        return list(self._entries.values())
+
+    def total_bytes(self) -> int:
+        """Total repository payload in bytes."""
+        return sum(entry.size_bytes for entry in self._entries.values())
+
+    @classmethod
+    def from_case_base(
+        cls, case_base: CaseBase, read_bandwidth_mb_s: float = 20.0
+    ) -> "ConfigurationRepository":
+        """Populate a repository from the deployment metadata of a case base."""
+        repository = cls(read_bandwidth_mb_s=read_bandwidth_mb_s)
+        for type_id, implementation in case_base.all_implementations():
+            repository.store(
+                ConfigurationEntry(
+                    type_id=type_id,
+                    implementation_id=implementation.implementation_id,
+                    kind=ConfigurationKind.for_target(implementation.target),
+                    size_bytes=implementation.deployment.configuration_size_bytes,
+                    label=implementation.name,
+                )
+            )
+        return repository

@@ -1,0 +1,115 @@
+"""Aggregated system load and power state (the information the allocation layer
+"will need ... about the current system load and power consumption status").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..core.exceptions import PlatformError
+from .device import Device, DeviceKind
+from .runtime_controller import LocalRuntimeController
+
+
+@dataclass(frozen=True)
+class DeviceSnapshot:
+    """Load/power snapshot of one device."""
+
+    name: str
+    kind: DeviceKind
+    utilization: float
+    power_mw: float
+    task_count: int
+
+
+@dataclass(frozen=True)
+class SystemSnapshot:
+    """Platform-wide load/power snapshot."""
+
+    devices: Dict[str, DeviceSnapshot]
+    total_power_mw: float
+    power_budget_mw: Optional[float]
+
+    @property
+    def within_power_budget(self) -> bool:
+        """Whether the current draw respects the configured budget."""
+        if self.power_budget_mw is None:
+            return True
+        return self.total_power_mw <= self.power_budget_mw + 1e-9
+
+    def utilization_of(self, name: str) -> float:
+        """Utilisation of one device by name."""
+        return self.devices[name].utilization
+
+    def average_utilization(self) -> float:
+        """Mean utilisation across all devices."""
+        if not self.devices:
+            return 0.0
+        return sum(snapshot.utilization for snapshot in self.devices.values()) / len(self.devices)
+
+
+class SystemResourceState:
+    """Tracks all run-time controllers and an optional platform power budget."""
+
+    def __init__(
+        self,
+        controllers: Iterable[LocalRuntimeController] = (),
+        *,
+        power_budget_mw: Optional[float] = None,
+    ) -> None:
+        self._controllers: Dict[str, LocalRuntimeController] = {}
+        for controller in controllers:
+            self.add_controller(controller)
+        if power_budget_mw is not None and power_budget_mw <= 0:
+            raise PlatformError("power budget must be positive")
+        self.power_budget_mw = power_budget_mw
+
+    def add_controller(self, controller: LocalRuntimeController) -> LocalRuntimeController:
+        """Register one run-time controller (device names must be unique)."""
+        if controller.name in self._controllers:
+            raise PlatformError(f"a controller for device {controller.name} already exists")
+        self._controllers[controller.name] = controller
+        return controller
+
+    def controllers(self) -> List[LocalRuntimeController]:
+        """All registered controllers."""
+        return list(self._controllers.values())
+
+    def controller(self, name: str) -> LocalRuntimeController:
+        """One controller by device name."""
+        try:
+            return self._controllers[name]
+        except KeyError as exc:
+            raise PlatformError(f"no controller registered for device {name}") from exc
+
+    def __len__(self) -> int:
+        return len(self._controllers)
+
+    def total_power_mw(self) -> float:
+        """Current platform power draw."""
+        return sum(controller.power_mw() for controller in self._controllers.values())
+
+    def headroom_mw(self) -> Optional[float]:
+        """Remaining power headroom, or ``None`` when no budget is configured."""
+        if self.power_budget_mw is None:
+            return None
+        return self.power_budget_mw - self.total_power_mw()
+
+    def snapshot(self) -> SystemSnapshot:
+        """Platform-wide load/power snapshot."""
+        devices = {
+            name: DeviceSnapshot(
+                name=name,
+                kind=controller.device.kind,
+                utilization=controller.utilization(),
+                power_mw=controller.power_mw(),
+                task_count=len(controller.tasks()),
+            )
+            for name, controller in self._controllers.items()
+        }
+        return SystemSnapshot(
+            devices=devices,
+            total_power_mw=self.total_power_mw(),
+            power_budget_mw=self.power_budget_mw,
+        )

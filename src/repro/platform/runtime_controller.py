@@ -1,0 +1,167 @@
+"""Local run-time controllers (the "Local Run-Time Control" boxes of Fig. 1).
+
+Every device has a local controller responsible for "control of local run-time
+reconfiguration and other sub-tasks like local task/resource management and
+communication issues".  The controller is the only component that touches its
+device directly; the HW-Layer API talks to controllers, never to devices,
+mirroring the layering of Fig. 1.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.case_base import Implementation
+from ..core.exceptions import PlatformError
+from .device import Device, DeviceKind, PlacedTask
+from .fpga import FpgaDevice
+from .reconfiguration import ReconfigurationController
+from .repository import ConfigurationRepository
+
+
+@dataclass(frozen=True)
+class PlacementReport:
+    """Result of placing one implementation on a device."""
+
+    handle: int
+    device_name: str
+    type_id: int
+    implementation_id: int
+    setup_time_us: float
+    reconfiguration_time_us: float = 0.0
+    repository_fetch_time_us: float = 0.0
+
+    @property
+    def total_deploy_time_us(self) -> float:
+        """Total time from placement decision to the function being usable."""
+        return self.setup_time_us + self.reconfiguration_time_us + self.repository_fetch_time_us
+
+
+class LocalRuntimeController:
+    """Task and reconfiguration management for one device."""
+
+    _handles = itertools.count(1)
+
+    def __init__(
+        self,
+        device: Device,
+        repository: Optional[ConfigurationRepository] = None,
+        *,
+        reconfiguration: Optional[ReconfigurationController] = None,
+    ) -> None:
+        self.device = device
+        self.repository = repository
+        if isinstance(device, FpgaDevice) and reconfiguration is None:
+            reconfiguration = ReconfigurationController(device.name)
+        self.reconfiguration = reconfiguration
+        self.placements: List[PlacementReport] = []
+
+    @property
+    def name(self) -> str:
+        """Name of the controlled device."""
+        return self.device.name
+
+    # -- queries -----------------------------------------------------------------
+
+    def can_place(self, implementation: Implementation) -> bool:
+        """Whether the implementation fits on the device right now."""
+        return self.device.has_capacity_for(implementation)
+
+    def utilization(self) -> float:
+        """Current utilisation of the controlled device."""
+        return self.device.utilization()
+
+    def power_mw(self) -> float:
+        """Current power draw of the controlled device."""
+        return self.device.power_mw()
+
+    def tasks(self) -> List[PlacedTask]:
+        """Tasks currently placed on the device."""
+        return self.device.tasks()
+
+    # -- placement ------------------------------------------------------------------
+
+    def place(
+        self,
+        type_id: int,
+        implementation: Implementation,
+        *,
+        requester: str = "",
+        now_us: float = 0.0,
+        preemptible: bool = True,
+    ) -> PlacementReport:
+        """Instantiate an implementation on the controlled device.
+
+        For FPGA targets the configuration data is fetched from the repository
+        (if one is attached) and streamed through the reconfiguration port; for
+        software targets only the repository fetch and task setup time apply.
+        """
+        if not self.device.can_host(implementation):
+            raise PlatformError(
+                f"device {self.device.name} cannot host target "
+                f"{implementation.target.value}"
+            )
+        if not self.device.has_capacity_for(implementation):
+            raise PlatformError(
+                f"device {self.device.name} has no free capacity for "
+                f"implementation {implementation.implementation_id} of type {type_id}"
+            )
+        handle = next(self._handles)
+        fetch_time = 0.0
+        if self.repository is not None and (type_id, implementation.implementation_id) in self.repository:
+            self.repository.fetch(type_id, implementation.implementation_id)
+            fetch_time = self.repository.fetch_time_us(type_id, implementation.implementation_id)
+        reconfiguration_time = 0.0
+        if implementation.target.is_reconfigurable and self.reconfiguration is not None:
+            event = self.reconfiguration.schedule(
+                handle, implementation.deployment.configuration_size_bytes, now_us + fetch_time
+            )
+            reconfiguration_time = event.end_us - (now_us + fetch_time)
+        task = PlacedTask(
+            handle=handle,
+            type_id=type_id,
+            implementation=implementation,
+            requester=requester,
+            power_mw=implementation.deployment.power_mw,
+            placed_at_us=now_us,
+            preemptible=preemptible,
+        )
+        self.device.place(task)
+        report = PlacementReport(
+            handle=handle,
+            device_name=self.device.name,
+            type_id=type_id,
+            implementation_id=implementation.implementation_id,
+            setup_time_us=implementation.deployment.setup_time_us,
+            reconfiguration_time_us=reconfiguration_time,
+            repository_fetch_time_us=fetch_time,
+        )
+        self.placements.append(report)
+        return report
+
+    def remove(self, handle: int) -> PlacedTask:
+        """Remove a placed task and free its resources."""
+        return self.device.remove(handle)
+
+    def preempt_for(self, implementation: Implementation) -> List[PlacedTask]:
+        """Preempt as few tasks as necessary to make room; returns the victims.
+
+        Victims are removed from the device.  If no combination of preemptible
+        tasks frees enough capacity, nothing is removed and an empty list is
+        returned.
+        """
+        if self.device.has_capacity_for(implementation):
+            return []
+        victims: List[PlacedTask] = []
+        removed: List[PlacedTask] = []
+        for candidate in self.device.preemption_candidates():
+            removed.append(self.device.remove(candidate.handle))
+            victims.append(candidate)
+            if self.device.has_capacity_for(implementation):
+                return victims
+        # Preempting everything still did not help: roll back.
+        for task in removed:
+            self.device.place(task)
+        return []

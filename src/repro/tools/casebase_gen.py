@@ -1,0 +1,160 @@
+"""Random case-base and request generators.
+
+The paper's authors "developed some tools in Matlab for creating and exporting
+all needed data structures (implementation-tree, request list etc.) so that
+they can be easily used for testing purposes in Stateflow, VHDL and C".  This
+module is the Python counterpart: seeded generators producing case bases,
+bounds tables and requests of configurable size, used by the test suite, the
+fidelity experiment (E5) and the hardware/software speedup sweep (E4).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.attributes import AttributeSchema, BoundsTable
+from ..core.case_base import CaseBase, DeploymentInfo, ExecutionTarget, Implementation
+from ..core.exceptions import ReproError
+from ..core.request import FunctionRequest
+
+
+@dataclass(frozen=True)
+class GeneratorSpec:
+    """Dimensions and value ranges of a generated case base.
+
+    The defaults correspond to the sizing of the paper's Table 3: 15 function
+    types, 10 implementations per type, 10 attributes per implementation, 10
+    different attribute types in total.
+    """
+
+    type_count: int = 15
+    implementations_per_type: int = 10
+    attributes_per_implementation: int = 10
+    attribute_type_count: int = 10
+    value_range: Tuple[int, int] = (0, 1000)
+    #: Probability that an implementation omits one of the selected attributes
+    #: (exercises the "missing attribute" path of the retrieval algorithm).
+    missing_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if min(self.type_count, self.implementations_per_type,
+               self.attributes_per_implementation, self.attribute_type_count) <= 0:
+            raise ReproError("generator dimensions must be positive")
+        if self.attributes_per_implementation > self.attribute_type_count:
+            raise ReproError(
+                "attributes per implementation cannot exceed the number of attribute types"
+            )
+        if not 0.0 <= self.missing_probability < 1.0:
+            raise ReproError("missing probability must lie within [0, 1)")
+        low, high = self.value_range
+        if not 0 <= low < high <= 0xFFFF:
+            raise ReproError("value range must be an increasing pair of 16-bit values")
+
+
+class CaseBaseGenerator:
+    """Seeded random generator of case bases, bounds and matching requests."""
+
+    def __init__(self, spec: Optional[GeneratorSpec] = None, seed: int = 0) -> None:
+        self.spec = spec if spec is not None else GeneratorSpec()
+        self.seed = seed
+
+    def _rng(self, salt: int = 0) -> random.Random:
+        return random.Random(self.seed * 1_000_003 + salt)
+
+    def schema(self) -> AttributeSchema:
+        """A schema with ``attribute_type_count`` generic numeric attributes."""
+        schema = AttributeSchema()
+        for attribute_id in range(1, self.spec.attribute_type_count + 1):
+            schema.define(attribute_id, f"attribute_{attribute_id}",
+                          description="synthetic QoS attribute")
+        return schema
+
+    def bounds(self) -> BoundsTable:
+        """Design-global bounds covering the generator's value range."""
+        low, high = self.spec.value_range
+        table = BoundsTable()
+        for attribute_id in range(1, self.spec.attribute_type_count + 1):
+            table.define(attribute_id, low, high)
+        return table
+
+    def case_base(self) -> CaseBase:
+        """Generate one case base according to the spec."""
+        spec = self.spec
+        rng = self._rng(1)
+        low, high = spec.value_range
+        case_base = CaseBase(schema=self.schema(), bounds=self.bounds())
+        targets = [ExecutionTarget.FPGA, ExecutionTarget.DSP, ExecutionTarget.GPP]
+        for type_index in range(spec.type_count):
+            function_type = case_base.add_type(
+                type_index + 1, name=f"function-{type_index + 1}"
+            )
+            for implementation_index in range(spec.implementations_per_type):
+                attribute_ids = sorted(
+                    rng.sample(
+                        range(1, spec.attribute_type_count + 1),
+                        spec.attributes_per_implementation,
+                    )
+                )
+                attributes = {}
+                for attribute_id in attribute_ids:
+                    if rng.random() < spec.missing_probability:
+                        continue
+                    attributes[attribute_id] = rng.randint(low, high)
+                target = targets[implementation_index % len(targets)]
+                function_type.add(
+                    Implementation(
+                        implementation_id=implementation_index + 1,
+                        target=target,
+                        name=f"impl-{type_index + 1}-{implementation_index + 1}",
+                        attributes=attributes,
+                        deployment=DeploymentInfo(
+                            configuration_size_bytes=rng.randint(2_000, 200_000),
+                            area_slices=rng.randint(200, 2500) if target is ExecutionTarget.FPGA else 0,
+                            power_mw=float(rng.randint(50, 700)),
+                            load_fraction=0.0 if target is ExecutionTarget.FPGA
+                            else round(rng.uniform(0.1, 0.6), 2),
+                            setup_time_us=float(rng.randint(50, 3000)),
+                        ),
+                    )
+                )
+        return case_base
+
+    def request(
+        self,
+        type_id: Optional[int] = None,
+        attribute_count: Optional[int] = None,
+        *,
+        salt: int = 2,
+        requester: str = "generated",
+    ) -> FunctionRequest:
+        """Generate one request against the generated case base's value ranges."""
+        spec = self.spec
+        rng = self._rng(salt)
+        low, high = spec.value_range
+        if type_id is None:
+            type_id = rng.randint(1, spec.type_count)
+        if attribute_count is None:
+            attribute_count = spec.attributes_per_implementation
+        attribute_count = min(attribute_count, spec.attribute_type_count)
+        attribute_ids = sorted(rng.sample(range(1, spec.attribute_type_count + 1), attribute_count))
+        attributes = [
+            (attribute_id, rng.randint(low, high), rng.choice([1.0, 1.0, 2.0]))
+            for attribute_id in attribute_ids
+        ]
+        return FunctionRequest(type_id, attributes, requester=requester)
+
+    def requests(self, count: int, **kwargs: object) -> List[FunctionRequest]:
+        """Generate several requests with distinct salts."""
+        return [self.request(salt=100 + index, **kwargs) for index in range(count)]  # type: ignore[arg-type]
+
+
+def table3_spec() -> GeneratorSpec:
+    """The exact sizing of the paper's Table 3 memory-consumption figures."""
+    return GeneratorSpec(
+        type_count=15,
+        implementations_per_type=10,
+        attributes_per_implementation=10,
+        attribute_type_count=10,
+    )

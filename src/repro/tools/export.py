@@ -1,0 +1,204 @@
+"""Export/import tooling for case bases, requests and memory images.
+
+The paper's authors "developed some tools in Matlab for creating and exporting
+all needed data structures (implementation-tree, request list etc.) so that
+they can be easily used for testing purposes in Stateflow, VHDL and C".  This
+module provides the equivalent interchange paths for this reproduction:
+
+* JSON round trips for case bases, bounds tables and requests (tool-friendly,
+  version-controlled test inputs);
+* memory-image exports of the encoded word lists as
+
+  - ``.memh`` hex files (one 16-bit word per line, the format consumed by
+    VHDL/Verilog ``readmemh`` testbenches), and
+  - C header files with ``uint16_t`` arrays (the format the MicroBlaze C
+    implementation would compile in).
+
+The exports contain exactly the words the cycle-accurate models read, so a
+downstream RTL or firmware implementation can be driven by identical stimuli.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..core.attributes import AttributeBounds, BoundsTable
+from ..core.case_base import CaseBase
+from ..core.exceptions import ReproError
+from ..core.request import FunctionRequest, RequestAttribute
+from ..memmap.image import CaseBaseImage
+
+PathLike = Union[str, Path]
+
+
+# ---------------------------------------------------------------------------
+# JSON round trips
+# ---------------------------------------------------------------------------
+
+def case_base_to_json(case_base: CaseBase, *, indent: int = 2) -> str:
+    """Serialise a case base (structure + deployment metadata) to JSON text."""
+    return json.dumps(case_base.to_dict(), indent=indent, sort_keys=True)
+
+
+def case_base_from_json(text: str) -> CaseBase:
+    """Rebuild a case base from :func:`case_base_to_json` output."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"invalid case-base JSON: {exc}") from exc
+    return CaseBase.from_dict(data)
+
+
+def save_case_base(case_base: CaseBase, path: PathLike) -> Path:
+    """Write a case base to a JSON file; returns the path written."""
+    path = Path(path)
+    path.write_text(case_base_to_json(case_base), encoding="utf-8")
+    return path
+
+
+def load_case_base(path: PathLike) -> CaseBase:
+    """Load a case base from a JSON file."""
+    return case_base_from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def bounds_to_json(bounds: BoundsTable, *, indent: int = 2) -> str:
+    """Serialise a bounds table to JSON text."""
+    payload = [
+        {"attribute_id": bound.attribute_id, "lower": bound.lower, "upper": bound.upper}
+        for bound in bounds
+    ]
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def bounds_from_json(text: str) -> BoundsTable:
+    """Rebuild a bounds table from :func:`bounds_to_json` output."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"invalid bounds JSON: {exc}") from exc
+    return BoundsTable(
+        AttributeBounds(int(entry["attribute_id"]), entry["lower"], entry["upper"])
+        for entry in payload
+    )
+
+
+def request_to_json(request: FunctionRequest, *, indent: int = 2) -> str:
+    """Serialise a request (type, constraints, weights, requester) to JSON."""
+    payload = {
+        "type_id": request.type_id,
+        "requester": request.requester,
+        "attributes": [
+            {"attribute_id": a.attribute_id, "value": a.value, "weight": a.weight}
+            for a in request.sorted_attributes()
+        ],
+    }
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def request_from_json(text: str) -> FunctionRequest:
+    """Rebuild a request from :func:`request_to_json` output."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"invalid request JSON: {exc}") from exc
+    return FunctionRequest(
+        int(payload["type_id"]),
+        [
+            RequestAttribute(int(a["attribute_id"]), a["value"], float(a["weight"]))
+            for a in payload.get("attributes", [])
+        ],
+        requester=str(payload.get("requester", "")),
+        normalize_weights=False,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Memory-image exports (VHDL / C test stimuli)
+# ---------------------------------------------------------------------------
+
+def words_to_memh(words: Sequence[int], *, comment: str = "") -> str:
+    """Render a word list as a ``readmemh`` hex file (one 16-bit word per line)."""
+    lines: List[str] = []
+    if comment:
+        lines.append(f"// {comment}")
+    lines.extend(f"{word:04x}" for word in words)
+    return "\n".join(lines) + "\n"
+
+
+def words_from_memh(text: str) -> List[int]:
+    """Parse a ``readmemh`` hex file back into a word list."""
+    words: List[int] = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("//")[0].strip()
+        if not line:
+            continue
+        try:
+            value = int(line, 16)
+        except ValueError as exc:
+            raise ReproError(f"invalid hex word on line {line_number}: {raw_line!r}") from exc
+        if not 0 <= value <= 0xFFFF:
+            raise ReproError(f"word on line {line_number} exceeds 16 bits: {raw_line!r}")
+        words.append(value)
+    return words
+
+
+def words_to_c_header(words: Sequence[int], symbol: str, *, comment: str = "") -> str:
+    """Render a word list as a C header with a ``uint16_t`` array."""
+    if not symbol.isidentifier():
+        raise ReproError(f"{symbol!r} is not a valid C identifier")
+    lines = ["#include <stdint.h>", ""]
+    if comment:
+        lines.insert(0, f"/* {comment} */")
+    lines.append(f"#define {symbol.upper()}_WORDS {len(words)}u")
+    lines.append(f"static const uint16_t {symbol}[{len(words)}] = {{")
+    for start in range(0, len(words), 8):
+        chunk = ", ".join(f"0x{word:04x}" for word in words[start:start + 8])
+        lines.append(f"    {chunk},")
+    lines.append("};")
+    return "\n".join(lines) + "\n"
+
+
+def export_memory_images(
+    case_base: CaseBase,
+    request: Optional[FunctionRequest],
+    directory: PathLike,
+    *,
+    prefix: str = "retrieval",
+    formats: Sequence[str] = ("memh", "c"),
+) -> Dict[str, Path]:
+    """Export CB-MEM (and optionally Req-MEM) images into ``directory``.
+
+    Returns a mapping from logical name (``"case_base_memh"``,
+    ``"request_c"``, ...) to the written file path.  The case-base image is the
+    concatenation of the implementation tree and the supplemental list, exactly
+    as the hardware model loads it.
+    """
+    for fmt in formats:
+        if fmt not in ("memh", "c"):
+            raise ReproError(f"unknown export format {fmt!r}; expected 'memh' or 'c'")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    image = CaseBaseImage(case_base)
+    case_base_ram, _ = image.build_case_base_ram()
+    outputs: Dict[str, Path] = {}
+
+    def write(name: str, words: Sequence[int], what: str) -> None:
+        if "memh" in formats:
+            path = directory / f"{prefix}_{name}.memh"
+            path.write_text(words_to_memh(words, comment=what), encoding="utf-8")
+            outputs[f"{name}_memh"] = path
+        if "c" in formats:
+            path = directory / f"{prefix}_{name}.h"
+            path.write_text(
+                words_to_c_header(words, f"{prefix}_{name}", comment=what), encoding="utf-8"
+            )
+            outputs[f"{name}_c"] = path
+
+    write("case_base", case_base_ram.dump(),
+          "CB-MEM image: implementation tree followed by the supplemental list")
+    if request is not None:
+        encoded = image.encode_request(request)
+        write("request", list(encoded.words), "Req-MEM image: encoded function request")
+    return outputs

@@ -1,0 +1,40 @@
+"""Trace export helpers for the hardware retrieval unit."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..hardware.fsm import FsmTrace, RetrievalState
+
+
+def format_trace(trace: FsmTrace, limit: Optional[int] = None) -> str:
+    """Render an FSM trace as a readable multi-line string.
+
+    ``limit`` truncates the listing to the first N visits (the histogram at the
+    end always covers the whole trace).
+    """
+    lines: List[str] = ["cycle  state                         note"]
+    cycle = 0
+    for index, visit in enumerate(trace.visits):
+        if limit is None or index < limit:
+            lines.append(f"{cycle:5d}  {visit.state.value:28s}  {visit.note}")
+        cycle += visit.cycles
+    if limit is not None and len(trace.visits) > limit:
+        lines.append(f"...    ({len(trace.visits) - limit} further visits omitted)")
+    lines.append("")
+    lines.append("cycles per state:")
+    for state, cycles in sorted(trace.state_histogram().items(), key=lambda item: -item[1]):
+        lines.append(f"  {state.value:28s} {cycles:6d}")
+    lines.append(f"  {'total':28s} {trace.total_cycles():6d}")
+    return "\n".join(lines)
+
+
+def state_summary(trace: FsmTrace) -> dict:
+    """Compact dictionary summary of a trace (used by tests and examples)."""
+    return {
+        "total_cycles": trace.total_cycles(),
+        "visits": len(trace),
+        "per_state_cycles": {
+            state.value: cycles for state, cycles in trace.state_histogram().items()
+        },
+    }

@@ -1,0 +1,98 @@
+"""Unit tests for the feasibility checker of the allocation layer."""
+
+import pytest
+
+from repro.allocation import FeasibilityChecker, FeasibilityVerdict
+from repro.core import DeploymentInfo, ExecutionTarget, Implementation
+from repro.platform import (
+    FpgaDevice,
+    LocalRuntimeController,
+    SlotSpec,
+    SystemResourceState,
+    host_cpu,
+)
+
+
+def fpga_impl(implementation_id=1, area_slices=900, power_mw=300.0):
+    return Implementation(
+        implementation_id, ExecutionTarget.FPGA, {1: 16},
+        DeploymentInfo(area_slices=area_slices, power_mw=power_mw,
+                       configuration_size_bytes=40_000),
+    )
+
+
+def cpu_impl(implementation_id=1, load=0.3, power_mw=100.0):
+    return Implementation(
+        implementation_id, ExecutionTarget.GPP, {1: 16},
+        DeploymentInfo(load_fraction=load, power_mw=power_mw),
+    )
+
+
+def dsp_impl(implementation_id=1):
+    return Implementation(implementation_id, ExecutionTarget.DSP, {1: 16},
+                          DeploymentInfo(load_fraction=0.4, power_mw=150.0))
+
+
+@pytest.fixture
+def system():
+    return SystemResourceState(
+        [
+            LocalRuntimeController(FpgaDevice("fpga0", SlotSpec(2, 1000), idle_power_mw=0.0)),
+            LocalRuntimeController(host_cpu("cpu0")),
+        ],
+        power_budget_mw=1500.0,
+    )
+
+
+class TestFeasibilityChecker:
+    def test_feasible_on_idle_platform(self, system):
+        report = FeasibilityChecker(system).check(fpga_impl())
+        assert report.verdict is FeasibilityVerdict.FEASIBLE
+        assert report.is_feasible
+        assert report.controller is not None and report.controller.name == "fpga0"
+
+    def test_no_hosting_device(self, system):
+        report = FeasibilityChecker(system).check(dsp_impl())
+        assert report.verdict is FeasibilityVerdict.INFEASIBLE_NO_DEVICE
+        assert not report.is_feasible
+
+    def test_power_budget_violation(self, system):
+        report = FeasibilityChecker(system).check(fpga_impl(power_mw=5000.0))
+        assert report.verdict is FeasibilityVerdict.INFEASIBLE_POWER
+
+    def test_preemption_path(self, system):
+        controller = system.controller("fpga0")
+        controller.place(1, fpga_impl(1, area_slices=900))
+        controller.place(1, fpga_impl(2, area_slices=900))
+        report = FeasibilityChecker(system).check(fpga_impl(3, area_slices=900))
+        assert report.verdict is FeasibilityVerdict.FEASIBLE_WITH_PREEMPTION
+        assert report.preemption_count == 1
+        # The dry run must not actually remove anything.
+        assert len(controller.tasks()) == 2
+
+    def test_preemption_disabled(self, system):
+        controller = system.controller("fpga0")
+        controller.place(1, fpga_impl(1, area_slices=900))
+        controller.place(1, fpga_impl(2, area_slices=900))
+        checker = FeasibilityChecker(system, allow_preemption=False)
+        report = checker.check(fpga_impl(3, area_slices=900))
+        assert report.verdict is FeasibilityVerdict.INFEASIBLE_CAPACITY
+
+    def test_capacity_exhausted_even_with_preemption(self, system):
+        report = FeasibilityChecker(system).check(fpga_impl(area_slices=10_000))
+        assert report.verdict is FeasibilityVerdict.INFEASIBLE_CAPACITY
+
+    def test_prefers_least_utilised_device(self):
+        fpga_a = LocalRuntimeController(FpgaDevice("fpga0", SlotSpec(2, 1000), idle_power_mw=0.0))
+        fpga_b = LocalRuntimeController(FpgaDevice("fpga1", SlotSpec(2, 1000), idle_power_mw=0.0))
+        system = SystemResourceState([fpga_a, fpga_b])
+        fpga_a.place(1, fpga_impl(1, area_slices=900))
+        report = FeasibilityChecker(system).check(fpga_impl(2, area_slices=900))
+        assert report.controller.name == "fpga1"
+
+    def test_rank_preserves_order(self, system):
+        checker = FeasibilityChecker(system)
+        reports = checker.rank([fpga_impl(1), cpu_impl(2), dsp_impl(3)])
+        assert [report.implementation.implementation_id for report in reports] == [1, 2, 3]
+        assert reports[0].is_feasible and reports[1].is_feasible
+        assert not reports[2].is_feasible

@@ -1,0 +1,239 @@
+"""Integration-level tests for the allocation manager (request -> placement)."""
+
+import pytest
+
+from repro.allocation import (
+    AllocationManager,
+    AllocationStatus,
+    ApplicationPolicy,
+    QoSNegotiator,
+)
+from repro.core import (
+    AllocationError,
+    DeploymentInfo,
+    ExecutionTarget,
+    FunctionRequest,
+    Implementation,
+    paper_case_base,
+    paper_request,
+)
+from repro.hardware import HardwareConfig
+from repro.platform import (
+    FpgaDevice,
+    LocalRuntimeController,
+    SlotSpec,
+    SystemResourceState,
+    audio_dsp,
+    host_cpu,
+)
+
+
+def build_system(*, with_dsp=True, fpga_slots=4, power_budget=None):
+    controllers = [
+        LocalRuntimeController(FpgaDevice("fpga0", SlotSpec(fpga_slots, 1000), idle_power_mw=0.0)),
+        LocalRuntimeController(host_cpu("cpu0")),
+    ]
+    if with_dsp:
+        controllers.append(LocalRuntimeController(audio_dsp("dsp0")))
+    return SystemResourceState(controllers, power_budget_mw=power_budget)
+
+
+def build_manager(system=None, case_base=None, **kwargs):
+    case_base = case_base if case_base is not None else paper_case_base()
+    system = system if system is not None else build_system()
+    return AllocationManager(case_base, system, **kwargs)
+
+
+class TestBasicAllocation:
+    def test_paper_request_lands_on_the_dsp(self):
+        manager = build_manager()
+        decision = manager.allocate(paper_request())
+        assert decision.status is AllocationStatus.ALLOCATED
+        assert decision.implementation.implementation_id == 2
+        assert decision.device_name == "dsp0"
+        assert decision.similarity == pytest.approx(0.96, abs=0.01)
+        assert decision.handle is not None
+        assert manager.statistics.successes == 1
+
+    def test_unknown_function_type_is_rejected(self):
+        manager = build_manager()
+        decision = manager.allocate(FunctionRequest(42, [(1, 16)], requester="x"))
+        assert decision.status is AllocationStatus.REJECTED_UNKNOWN_TYPE
+        assert not decision.succeeded
+
+    def test_threshold_rejects_everything(self):
+        manager = build_manager(similarity_threshold=0.99)
+        decision = manager.allocate(paper_request())
+        assert decision.status is AllocationStatus.REJECTED_BELOW_THRESHOLD
+
+    def test_alternative_when_best_target_is_missing(self):
+        """Without a DSP on the platform the FPGA variant (second best) is used."""
+        manager = build_manager(system=build_system(with_dsp=False))
+        decision = manager.allocate(paper_request())
+        assert decision.status is AllocationStatus.ALLOCATED_ALTERNATIVE
+        assert decision.implementation.implementation_id == 1
+        assert decision.device_name == "fpga0"
+
+    def test_release_frees_the_platform(self):
+        manager = build_manager()
+        decision = manager.allocate(paper_request())
+        manager.release(decision.handle)
+        assert manager.statistics.releases == 1
+        assert decision.handle not in manager.active_allocations()
+        with pytest.raises(AllocationError):
+            manager.release(decision.handle)
+
+    def test_statistics_track_every_request(self):
+        manager = build_manager()
+        manager.allocate(paper_request())
+        manager.allocate(FunctionRequest(42, [(1, 16)], requester="x"))
+        assert manager.statistics.requests == 2
+        assert manager.statistics.success_rate == pytest.approx(0.5)
+
+
+class TestBypassTokens:
+    def test_repeated_identical_call_uses_bypass(self):
+        manager = build_manager()
+        first = manager.allocate(paper_request())
+        second = manager.allocate(paper_request())
+        assert first.status is AllocationStatus.ALLOCATED
+        assert second.status is AllocationStatus.ALLOCATED_VIA_BYPASS
+        assert second.used_bypass
+        assert manager.statistics.bypass_hits == 1
+        # Only one platform placement exists.
+        assert len(manager.active_allocations()) == 1
+
+    def test_bypass_is_not_used_after_release(self):
+        manager = build_manager()
+        first = manager.allocate(paper_request())
+        manager.release(first.handle)
+        second = manager.allocate(paper_request())
+        assert second.status is AllocationStatus.ALLOCATED
+        assert not second.used_bypass
+
+    def test_case_base_update_invalidates_bypass(self):
+        manager = build_manager()
+        manager.allocate(paper_request())
+        manager.case_base.add_type(99)
+        decision = manager.allocate(paper_request())
+        assert not decision.used_bypass
+
+
+class TestNegotiationPaths:
+    def test_application_can_reject_all_offers(self):
+        negotiator = QoSNegotiator()
+        negotiator.register_policy(
+            "audio-app", ApplicationPolicy(minimum_similarity=0.99, max_relaxations=0)
+        )
+        manager = build_manager(negotiator=negotiator)
+        decision = manager.allocate(paper_request())
+        assert decision.status is AllocationStatus.REJECTED_BY_APPLICATION
+
+    def test_relaxation_round_can_rescue_a_request(self):
+        """A request that is too demanding succeeds after the policy relaxes it."""
+        negotiator = QoSNegotiator()
+        negotiator.register_policy(
+            "audio-app",
+            ApplicationPolicy(
+                minimum_similarity=0.95,
+                relaxation_factors={4: 0.5},
+                max_relaxations=1,
+            ),
+        )
+        manager = build_manager(negotiator=negotiator, max_negotiation_rounds=2)
+        # Requesting 80 kSamples/s makes even the DSP variant miss the 0.95 bar;
+        # halving the demand brings it above the bar.
+        request = FunctionRequest(1, [(1, 16), (3, 1), (4, 80)], requester="audio-app")
+        decision = manager.allocate(request)
+        assert decision.succeeded
+
+    def test_preemption_is_reported(self):
+        case_base = paper_case_base()
+        system = build_system(fpga_slots=2, with_dsp=False)
+        # Fill the FPGA with a non-requested function so the FPGA equalizer
+        # variant needs a preemption.
+        blocker = Implementation(
+            9, ExecutionTarget.FPGA, {1: 16},
+            DeploymentInfo(area_slices=1800, configuration_size_bytes=10_000),
+        )
+        case_base.add_implementation(2, blocker)
+        system.controller("fpga0").place(2, blocker, requester="other")
+        negotiator = QoSNegotiator(ApplicationPolicy(minimum_similarity=0.5, accept_preemption=True))
+        manager = AllocationManager(case_base, system, negotiator=negotiator, n_candidates=2,
+                                    similarity_threshold=0.5)
+        decision = manager.allocate(paper_request())
+        assert decision.status is AllocationStatus.ALLOCATED_AFTER_PREEMPTION
+        assert len(decision.preempted_handles) == 1
+        assert manager.statistics.preemptions == 1
+
+    def test_infeasible_when_nothing_fits_and_no_preemption_allowed(self):
+        case_base = paper_case_base()
+        system = build_system(fpga_slots=1, with_dsp=False)
+        # Occupy the CPU beyond the software variant's load requirement and the
+        # single FPGA slot, so no candidate fits.
+        cpu_blocker = Implementation(
+            9, ExecutionTarget.GPP, {1: 16}, DeploymentInfo(load_fraction=0.8)
+        )
+        fpga_blocker = Implementation(
+            8, ExecutionTarget.FPGA, {1: 16},
+            DeploymentInfo(area_slices=900, configuration_size_bytes=10_000),
+        )
+        case_base.add_implementation(2, cpu_blocker)
+        case_base.add_implementation(2, fpga_blocker)
+        system.controller("cpu0").place(
+            2, cpu_blocker, requester="other", preemptible=False
+        )
+        system.controller("fpga0").place(
+            2, fpga_blocker, requester="other", preemptible=False
+        )
+        negotiator = QoSNegotiator(ApplicationPolicy(minimum_similarity=0.0, accept_preemption=True))
+        manager = AllocationManager(case_base, system, negotiator=negotiator)
+        decision = manager.allocate(paper_request())
+        assert decision.status is AllocationStatus.REJECTED_INFEASIBLE
+
+
+class TestHardwareBackend:
+    def test_hardware_backend_reports_cycles_and_same_decision(self):
+        reference = build_manager(retrieval_backend="reference")
+        hardware = build_manager(retrieval_backend="hardware")
+        ref_decision = reference.allocate(paper_request())
+        hw_decision = hardware.allocate(paper_request())
+        assert hw_decision.retrieval_cycles is not None and hw_decision.retrieval_cycles > 0
+        assert hw_decision.implementation.implementation_id == ref_decision.implementation.implementation_id
+        assert hardware.statistics.average_retrieval_cycles > 0
+
+    def test_hardware_backend_follows_case_base_updates(self):
+        manager = build_manager(retrieval_backend="hardware")
+        manager.allocate(paper_request())
+        # Add a better DSP variant and re-request: the new unit image must see it.
+        manager.case_base.add_implementation(
+            1,
+            Implementation(
+                7, ExecutionTarget.DSP, {1: 16, 2: 0, 3: 1, 4: 40},
+                DeploymentInfo(load_fraction=0.1),
+            ),
+        )
+        decision = manager.allocate(paper_request())
+        assert decision.implementation.implementation_id == 7
+
+    def test_hardware_config_n_best_is_widened_to_candidates(self):
+        manager = build_manager(
+            retrieval_backend="hardware",
+            hardware_config=HardwareConfig(n_best=1),
+            n_candidates=3,
+        )
+        decision = manager.allocate(paper_request())
+        assert decision.succeeded
+        assert len(decision.candidates) >= 1
+
+
+class TestConstructorValidation:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(AllocationError):
+            build_manager(n_candidates=0)
+        with pytest.raises(AllocationError):
+            build_manager(similarity_threshold=1.5)
+        with pytest.raises(AllocationError):
+            build_manager(retrieval_backend="quantum")
+        with pytest.raises(AllocationError):
+            build_manager(max_negotiation_rounds=0)

@@ -1,0 +1,91 @@
+"""Unit tests for QoS negotiation policies and the negotiator."""
+
+import pytest
+
+from repro.allocation import ApplicationPolicy, Offer, QoSNegotiator
+from repro.allocation.feasibility import FeasibilityReport, FeasibilityVerdict
+from repro.core import ExecutionTarget, Implementation, NegotiationError, ScoredImplementation
+from repro.core import paper_request
+
+
+def make_offer(similarity: float, implementation_id: int = 1, preemption: bool = False) -> Offer:
+    implementation = Implementation(implementation_id, ExecutionTarget.DSP, {1: 16})
+    candidate = ScoredImplementation(1, implementation, similarity)
+    verdict = (
+        FeasibilityVerdict.FEASIBLE_WITH_PREEMPTION if preemption else FeasibilityVerdict.FEASIBLE
+    )
+    report = FeasibilityReport(verdict=verdict, implementation=implementation)
+    return Offer(candidate=candidate, feasibility=report, requires_preemption=preemption)
+
+
+class TestApplicationPolicy:
+    def test_rejects_below_minimum_similarity(self):
+        policy = ApplicationPolicy(minimum_similarity=0.7)
+        assert policy.decide(make_offer(0.9))
+        assert not policy.decide(make_offer(0.5))
+
+    def test_preemption_tolerance(self):
+        tolerant = ApplicationPolicy(accept_preemption=True)
+        strict = ApplicationPolicy(accept_preemption=False)
+        offer = make_offer(0.9, preemption=True)
+        assert tolerant.decide(offer)
+        assert not strict.decide(offer)
+
+    def test_relax_applies_compounding_factors(self):
+        policy = ApplicationPolicy(relaxation_factors={4: 0.5}, max_relaxations=2)
+        request = paper_request()
+        first = policy.relax(request, 0)
+        second = policy.relax(request, 1)
+        assert first.get(4).value == pytest.approx(20)
+        assert second.get(4).value == pytest.approx(10)
+        assert policy.relax(request, 2) is None
+
+    def test_relax_without_factors_gives_up(self):
+        policy = ApplicationPolicy(relaxation_factors={}, max_relaxations=3)
+        assert policy.relax(paper_request(), 0) is None
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(NegotiationError):
+            ApplicationPolicy(minimum_similarity=1.5)
+        with pytest.raises(NegotiationError):
+            ApplicationPolicy(max_relaxations=-1)
+
+
+class TestQoSNegotiator:
+    def test_accepts_best_acceptable_offer(self):
+        negotiator = QoSNegotiator(ApplicationPolicy(minimum_similarity=0.6))
+        outcome = negotiator.negotiate("app", [make_offer(0.9, 1), make_offer(0.7, 2)])
+        assert outcome.agreed
+        assert outcome.accepted.candidate.implementation_id == 1
+        assert outcome.offers_made == 1
+
+    def test_skips_unacceptable_offers(self):
+        negotiator = QoSNegotiator(ApplicationPolicy(minimum_similarity=0.6, accept_preemption=False))
+        outcome = negotiator.negotiate(
+            "app", [make_offer(0.9, 1, preemption=True), make_offer(0.7, 2)]
+        )
+        assert outcome.agreed
+        assert outcome.accepted.candidate.implementation_id == 2
+        assert outcome.offers_made == 2
+
+    def test_failure_when_all_offers_refused(self):
+        negotiator = QoSNegotiator(ApplicationPolicy(minimum_similarity=0.95))
+        outcome = negotiator.negotiate("app", [make_offer(0.9), make_offer(0.8)])
+        assert not outcome.agreed
+        assert outcome.offers_made == 2
+        assert "refused" in outcome.reason
+
+    def test_per_application_policies(self):
+        negotiator = QoSNegotiator(ApplicationPolicy(minimum_similarity=0.5))
+        negotiator.register_policy("picky", ApplicationPolicy(minimum_similarity=0.99))
+        assert negotiator.negotiate("easy", [make_offer(0.8)]).agreed
+        assert not negotiator.negotiate("picky", [make_offer(0.8)]).agreed
+
+    def test_propose_relaxation_delegates_to_policy(self):
+        negotiator = QoSNegotiator()
+        negotiator.register_policy(
+            "app", ApplicationPolicy(relaxation_factors={4: 0.5}, max_relaxations=1)
+        )
+        relaxed = negotiator.propose_relaxation("app", paper_request(), 0)
+        assert relaxed is not None and relaxed.get(4).value == pytest.approx(20)
+        assert negotiator.propose_relaxation("app", paper_request(), 1) is None

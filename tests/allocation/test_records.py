@@ -1,0 +1,78 @@
+"""Unit tests for allocation decision records and statistics."""
+
+import pytest
+
+from repro.allocation import AllocationDecision, AllocationStatistics, AllocationStatus
+
+
+def decision(status, *, bypass=False, cycles=None, preempted=()):
+    return AllocationDecision(
+        status=status,
+        requester="app",
+        type_id=1,
+        used_bypass=bypass,
+        retrieval_cycles=cycles,
+        preempted_handles=list(preempted),
+    )
+
+
+class TestAllocationStatus:
+    def test_success_classification(self):
+        successes = {
+            AllocationStatus.ALLOCATED,
+            AllocationStatus.ALLOCATED_ALTERNATIVE,
+            AllocationStatus.ALLOCATED_AFTER_PREEMPTION,
+            AllocationStatus.ALLOCATED_VIA_BYPASS,
+        }
+        for status in AllocationStatus:
+            assert status.is_success == (status in successes)
+
+
+class TestAllocationStatistics:
+    def test_every_status_is_counted_in_its_bucket(self):
+        statistics = AllocationStatistics()
+        for status in AllocationStatus:
+            statistics.record(decision(status))
+        assert statistics.requests == len(AllocationStatus)
+        assert statistics.allocated == 2  # ALLOCATED + ALLOCATED_VIA_BYPASS
+        assert statistics.allocated_alternative == 1
+        assert statistics.allocated_after_preemption == 1
+        assert statistics.rejected_no_match == 1
+        assert statistics.rejected_below_threshold == 1
+        assert statistics.rejected_infeasible == 1
+        assert statistics.rejected_by_application == 1
+        assert statistics.rejected_unknown_type == 1
+        assert statistics.successes == 4
+        assert statistics.success_rate == pytest.approx(4 / len(AllocationStatus))
+
+    def test_bypass_and_retrieval_counters(self):
+        statistics = AllocationStatistics()
+        statistics.record(decision(AllocationStatus.ALLOCATED, cycles=100))
+        statistics.record(decision(AllocationStatus.ALLOCATED_VIA_BYPASS, bypass=True))
+        statistics.record(decision(AllocationStatus.ALLOCATED, cycles=200))
+        assert statistics.bypass_hits == 1
+        assert statistics.retrievals == 2
+        assert statistics.average_retrieval_cycles == pytest.approx(150.0)
+
+    def test_preemption_counter(self):
+        statistics = AllocationStatistics()
+        statistics.record(
+            decision(AllocationStatus.ALLOCATED_AFTER_PREEMPTION, preempted=(3, 4))
+        )
+        assert statistics.preemptions == 2
+
+    def test_empty_statistics_edge_cases(self):
+        statistics = AllocationStatistics()
+        assert statistics.success_rate == 0.0
+        assert statistics.average_retrieval_cycles == 0.0
+
+
+class TestAllocationDecision:
+    def test_handle_is_none_without_placement(self):
+        record = decision(AllocationStatus.REJECTED_NO_MATCH)
+        assert record.handle is None
+        assert not record.succeeded
+
+    def test_succeeded_mirrors_status(self):
+        assert decision(AllocationStatus.ALLOCATED).succeeded
+        assert not decision(AllocationStatus.REJECTED_INFEASIBLE).succeeded

@@ -1,0 +1,83 @@
+"""Tests for the analysis metrics and reporting helpers."""
+
+import pytest
+
+from repro.analysis import (
+    SpeedupResult,
+    decision_agreement,
+    format_comparison,
+    format_table,
+    geometric_mean,
+    max_absolute_error,
+    mean_absolute_error,
+    ranking_distance,
+    summarize,
+)
+
+
+class TestSpeedupResult:
+    def test_cycle_and_time_speedups(self):
+        speedup = SpeedupResult(baseline_cycles=1000, improved_cycles=100,
+                                baseline_clock_mhz=66.0, improved_clock_mhz=66.0)
+        assert speedup.cycle_speedup == pytest.approx(10.0)
+        assert speedup.time_speedup == pytest.approx(10.0)
+
+    def test_different_clocks_affect_time_speedup_only(self):
+        speedup = SpeedupResult(baseline_cycles=1000, improved_cycles=1000,
+                                baseline_clock_mhz=66.0, improved_clock_mhz=132.0)
+        assert speedup.cycle_speedup == pytest.approx(1.0)
+        assert speedup.time_speedup == pytest.approx(2.0)
+
+    def test_zero_improved_cycles_is_infinite(self):
+        assert SpeedupResult(10, 0).cycle_speedup == float("inf")
+
+
+class TestAgreementMetrics:
+    def test_decision_agreement(self):
+        assert decision_agreement([1, 2, 3], [1, 2, 3]) == 1.0
+        assert decision_agreement([1, 2, 3], [1, 9, 3]) == pytest.approx(2 / 3)
+        assert decision_agreement([], []) == 1.0
+        with pytest.raises(ValueError):
+            decision_agreement([1], [1, 2])
+
+    def test_absolute_errors(self):
+        assert max_absolute_error([1.0, 0.5], [0.9, 0.5]) == pytest.approx(0.1)
+        assert mean_absolute_error([1.0, 0.5], [0.9, 0.4]) == pytest.approx(0.1)
+        assert max_absolute_error([], []) == 0.0
+
+    def test_ranking_distance(self):
+        assert ranking_distance([1, 2, 3], [1, 2, 3]) == 0.0
+        assert ranking_distance([1, 2, 3], [3, 2, 1]) == 1.0
+        assert ranking_distance([1, 2, 3], [1, 3, 2]) == pytest.approx(1 / 3)
+        assert ranking_distance([1], [1]) == 0.0
+        # Items absent from one ranking are ignored.
+        assert ranking_distance([1, 2, 3, 4], [2, 1]) == 1.0
+
+
+class TestSummaries:
+    def test_summarize(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary == {"min": 1.0, "mean": 2.0, "max": 3.0, "count": 3.0}
+        assert summarize([])["count"] == 0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([4.0, 9.0]) == pytest.approx(6.0)
+        assert geometric_mean([]) == 0.0
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestFormatting:
+    def test_format_table_aligns_columns(self):
+        text = format_table(
+            ["name", "value"], [["slices", 441], ["clock", 75.0]], title="Table 2"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Table 2"
+        assert "slices" in text and "441" in text and "75.000" in text
+        # Header separator present and as wide as the header line.
+        assert set(lines[2]) <= {"-", " "}
+
+    def test_format_comparison(self):
+        line = format_comparison("speedup", 8.5, 9.2)
+        assert "paper=8.500" in line and "measured=9.200" in line

@@ -1,0 +1,106 @@
+"""Tests for the Application-API facade."""
+
+import pytest
+
+from repro.allocation import AllocationManager, AllocationStatus, ApplicationPolicy
+from repro.api import ApplicationAPI
+from repro.core import AllocationError, RequestError, paper_case_base
+from repro.platform import (
+    LocalRuntimeController,
+    SystemResourceState,
+    audio_dsp,
+    host_cpu,
+    virtex2_3000_fpga,
+)
+
+
+@pytest.fixture
+def api() -> ApplicationAPI:
+    system = SystemResourceState(
+        [
+            LocalRuntimeController(virtex2_3000_fpga("fpga0")),
+            LocalRuntimeController(host_cpu("cpu0")),
+            LocalRuntimeController(audio_dsp("dsp0")),
+        ]
+    )
+    manager = AllocationManager(paper_case_base(), system)
+    application_api = ApplicationAPI(manager)
+    application_api.register_application("audio-app", ApplicationPolicy(minimum_similarity=0.5))
+    return application_api
+
+
+class TestRegistration:
+    def test_registered_applications_listed(self, api):
+        api.register_application("video-app")
+        assert api.applications() == ["audio-app", "video-app"]
+
+    def test_empty_name_rejected(self, api):
+        with pytest.raises(AllocationError):
+            api.register_application("")
+
+    def test_unregistered_application_cannot_call(self, api):
+        with pytest.raises(AllocationError):
+            api.call_function("ghost-app", 1, {"bitwidth": 16})
+
+
+class TestRequestBuilding:
+    def test_named_constraints_with_symbols(self, api):
+        request = api.build_request(
+            "audio-app", 1, {"bitwidth": 16, "output_mode": "stereo", "sampling_rate": 40}
+        )
+        assert request.values() == {1: 16, 3: 1, 4: 40}
+        assert request.requester == "audio-app"
+
+    def test_id_keyed_constraints(self, api):
+        request = api.build_request("audio-app", 1, [(1, 16), (4, 40)])
+        assert request.attribute_ids() == [1, 4]
+
+    def test_weights_apply_to_named_constraints(self, api):
+        request = api.build_request(
+            "audio-app", 1, {"bitwidth": 16, "sampling_rate": 40}, weights={"sampling_rate": 3.0}
+        )
+        assert request.get(4).weight == pytest.approx(0.75)
+
+    def test_missing_constraints_rejected(self, api):
+        with pytest.raises(RequestError):
+            api.build_request("audio-app", 1, None)
+
+
+class TestCallReleaseTransfer:
+    def test_successful_call_returns_usable_handle(self, api):
+        handle = api.call_function(
+            "audio-app", 1, {"bitwidth": 16, "output_mode": "stereo", "sampling_rate": 40}
+        )
+        assert handle.decision.succeeded
+        assert handle.device_name == "dsp0"
+        assert handle.platform_handle is not None
+        assert api.handles("audio-app") == [handle]
+
+    def test_transfer_accumulates_bytes(self, api):
+        handle = api.call_function("audio-app", 1, {"bitwidth": 16, "sampling_rate": 40})
+        api.transfer(handle, 1024)
+        api.transfer(handle, 512)
+        assert handle.bytes_transferred == 1536
+
+    def test_transfer_on_failed_call_rejected(self, api):
+        handle = api.call_function("audio-app", 99, [(1, 16)])
+        assert handle.decision.status is AllocationStatus.REJECTED_UNKNOWN_TYPE
+        with pytest.raises(AllocationError):
+            api.transfer(handle, 10)
+
+    def test_release_and_double_release(self, api):
+        handle = api.call_function("audio-app", 1, {"bitwidth": 16, "sampling_rate": 40})
+        api.release(handle)
+        assert handle.released
+        with pytest.raises(AllocationError):
+            api.release(handle)
+        with pytest.raises(AllocationError):
+            api.transfer(handle, 10)
+
+    def test_bypass_served_call_does_not_double_release(self, api):
+        first = api.call_function("audio-app", 1, {"bitwidth": 16, "sampling_rate": 40})
+        second = api.call_function("audio-app", 1, {"bitwidth": 16, "sampling_rate": 40})
+        assert second.decision.used_bypass
+        api.release(second)  # must not free the real placement
+        api.release(first)
+        assert api.manager.statistics.releases == 1

@@ -1,0 +1,69 @@
+"""Tests for the HW-Layer API facade."""
+
+import pytest
+
+from repro.api import HwLayerAPI
+from repro.core import PlatformError, paper_case_base
+from repro.platform import (
+    ConfigurationRepository,
+    LocalRuntimeController,
+    SystemResourceState,
+    host_cpu,
+    virtex2_3000_fpga,
+)
+
+
+@pytest.fixture
+def hw_api() -> HwLayerAPI:
+    system = SystemResourceState(
+        [
+            LocalRuntimeController(virtex2_3000_fpga("fpga0")),
+            LocalRuntimeController(host_cpu("cpu0")),
+        ],
+        power_budget_mw=4000.0,
+    )
+    repository = ConfigurationRepository.from_case_base(paper_case_base())
+    for controller in system.controllers():
+        controller.repository = repository
+    return HwLayerAPI(system, repository)
+
+
+class TestResourceQueries:
+    def test_device_names_and_snapshot(self, hw_api):
+        assert hw_api.device_names() == ["cpu0", "fpga0"]
+        snapshot = hw_api.snapshot()
+        assert set(snapshot.devices) == {"cpu0", "fpga0"}
+        assert hw_api.power_mw() == pytest.approx(snapshot.total_power_mw)
+
+    def test_utilization_changes_after_reconfigure(self, hw_api):
+        implementation = paper_case_base().get_implementation(1, 1)
+        before = hw_api.utilization("fpga0")
+        report = hw_api.reconfigure("fpga0", 1, implementation)
+        assert hw_api.utilization("fpga0") > before
+        assert report.reconfiguration_time_us > 0
+        hw_api.remove("fpga0", report.handle)
+        assert hw_api.utilization("fpga0") == before
+
+
+class TestTransfers:
+    def test_transfer_between_known_endpoints(self, hw_api):
+        record = hw_api.transfer("cpu0", "fpga0", 2048)
+        assert record.duration_us == pytest.approx(2048 / 100.0)
+        assert hw_api.total_transfer_bytes() == 2048
+
+    def test_flash_and_host_are_valid_endpoints(self, hw_api):
+        hw_api.transfer("flash", "fpga0", 100)
+        hw_api.transfer("host", "cpu0", 100)
+        assert hw_api.total_transfer_bytes() == 200
+
+    def test_unknown_endpoint_rejected(self, hw_api):
+        with pytest.raises(PlatformError):
+            hw_api.transfer("cpu0", "mars", 1)
+
+    def test_negative_payload_rejected(self, hw_api):
+        with pytest.raises(PlatformError):
+            hw_api.transfer("cpu0", "fpga0", -1)
+
+    def test_invalid_bandwidth_rejected(self, hw_api):
+        with pytest.raises(PlatformError):
+            HwLayerAPI(hw_api.system, interconnect_bandwidth_mb_s=0)

@@ -1,0 +1,68 @@
+"""Tests for the multi-application allocation scenario (experiment E10 substrate)."""
+
+import pytest
+
+from repro.apps import ScenarioRunner, build_platform, build_scenario
+from repro.core import ReproError
+
+
+class TestScenarioConstruction:
+    def test_build_scenario_wires_everything(self):
+        scenario = build_scenario()
+        assert len(scenario.system) == 4  # 2 FPGAs + CPU + DSP
+        assert scenario.manager.case_base is scenario.case_base
+        assert len(scenario.repository) == scenario.case_base.count_implementations()
+        assert set(scenario.application_api.applications()) == {
+            "mp3-player", "video-player", "automotive-ecu", "cruise-control",
+        }
+
+    def test_platform_fpga_count_is_configurable(self):
+        assert len(build_platform(fpga_count=1)) == 3
+        assert len(build_platform(fpga_count=3)) == 5
+
+
+class TestScenarioRun:
+    def test_run_serves_most_requests_on_ample_platform(self):
+        scenario = build_scenario(fpga_count=2)
+        result = ScenarioRunner(scenario, seed=11).run(2_000_000.0)
+        assert result.request_count > 10
+        assert result.success_rate > 0.9
+        summary = result.per_application()
+        assert set(summary) <= {
+            "mp3-player", "video-player", "automotive-ecu", "cruise-control",
+        }
+        assert sum(successes for _, successes in summary.values()) == result.success_count
+
+    def test_constrained_platform_produces_contention(self):
+        """With a single FPGA and a tight power budget some requests degrade or fail."""
+        ample = build_scenario(fpga_count=2, power_budget_mw=None)
+        tight = build_scenario(fpga_count=1, power_budget_mw=1800.0)
+        ample_result = ScenarioRunner(ample, seed=11).run(2_500_000.0)
+        tight_result = ScenarioRunner(tight, seed=11).run(2_500_000.0)
+        assert tight_result.success_rate <= ample_result.success_rate
+        tight_stats = tight.manager.statistics
+        assert (
+            tight_stats.allocated_alternative
+            + tight_stats.rejected_infeasible
+            + tight_stats.rejected_by_application
+            + tight_stats.allocated_after_preemption
+        ) > 0
+
+    def test_run_is_deterministic_per_seed(self):
+        a = ScenarioRunner(build_scenario(), seed=5).run(1_500_000.0)
+        b = ScenarioRunner(build_scenario(), seed=5).run(1_500_000.0)
+        assert a.request_count == b.request_count
+        assert a.success_count == b.success_count
+        assert [event.status for event in a.events] == [event.status for event in b.events]
+
+    def test_platform_is_empty_after_the_run(self):
+        scenario = build_scenario()
+        ScenarioRunner(scenario, seed=3).run(1_000_000.0)
+        snapshot = scenario.system.snapshot()
+        assert all(device.task_count == 0 for device in snapshot.devices.values())
+
+    def test_hardware_backend_scenario_records_cycles(self):
+        scenario = build_scenario(retrieval_backend="hardware")
+        result = ScenarioRunner(scenario, seed=2).run(1_000_000.0)
+        assert result.request_count > 0
+        assert scenario.manager.statistics.average_retrieval_cycles > 0

@@ -1,0 +1,110 @@
+"""Tests for the example application workload models."""
+
+import random
+
+import pytest
+
+from repro.apps import (
+    AutomotiveEcuWorkload,
+    CruiseControlWorkload,
+    Mp3PlayerWorkload,
+    VideoPlayerWorkload,
+    build_case_base,
+    default_workloads,
+    platform_bounds,
+    platform_schema,
+)
+from repro.core import CaseBase, RetrievalEngine
+
+
+class TestPlatformSchema:
+    def test_paper_attribute_ids_are_preserved(self):
+        schema = platform_schema()
+        assert schema.by_name("bitwidth").attribute_id == 1
+        assert schema.by_name("output_mode").attribute_id == 3
+        assert schema.by_name("sampling_rate").attribute_id == 4
+
+    def test_bounds_cover_all_schema_attributes(self):
+        schema = platform_schema()
+        bounds = platform_bounds()
+        for attribute in schema:
+            assert attribute.attribute_id in bounds
+
+
+class TestWorkloadContributions:
+    def test_combined_case_base_is_valid(self):
+        case_base = build_case_base()
+        case_base.validate()
+        assert len(case_base) == 7  # function types contributed by the four apps
+        assert case_base.count_implementations() >= 15
+
+    def test_each_workload_contributes_disjoint_types(self):
+        seen = set()
+        for workload in default_workloads():
+            case_base = CaseBase(schema=platform_schema(), bounds=platform_bounds())
+            workload.contribute(case_base)
+            types = set(case_base.type_ids())
+            assert types, f"{workload.name} contributes no function types"
+            assert not (types & seen), f"{workload.name} re-uses another app's type IDs"
+            seen |= types
+
+    def test_every_type_has_variants_on_multiple_targets(self):
+        case_base = build_case_base()
+        for function_type in case_base:
+            targets = {impl.target for impl in function_type}
+            assert len(targets) >= 2, f"type {function_type.type_id} has a single target"
+
+    def test_all_workload_attributes_stay_within_bounds(self):
+        case_base = build_case_base()
+        bounds = platform_bounds()
+        for _, implementation in case_base.all_implementations():
+            for attribute_id, value in implementation.attributes.items():
+                assert bounds.get(attribute_id).contains(value)
+
+
+class TestRequestGeneration:
+    @pytest.mark.parametrize("workload_cls", [
+        Mp3PlayerWorkload, VideoPlayerWorkload, AutomotiveEcuWorkload, CruiseControlWorkload,
+    ])
+    def test_requests_are_time_ordered_and_typed(self, workload_cls):
+        workload = workload_cls()
+        requests = workload.requests(random.Random(1), 2_000_000.0)
+        assert requests, f"{workload.name} generated no requests"
+        times = [request.issue_time_us for request in requests]
+        assert times == sorted(times)
+        case_base = build_case_base()
+        for request in requests:
+            assert request.type_id in case_base
+            assert request.constraints
+            assert request.hold_time_us > 0
+
+    def test_generation_is_deterministic_per_seed(self):
+        workload = Mp3PlayerWorkload()
+        a = workload.requests(random.Random(7), 1_000_000.0)
+        b = workload.requests(random.Random(7), 1_000_000.0)
+        assert [(r.issue_time_us, r.type_id, r.constraints) for r in a] == [
+            (r.issue_time_us, r.type_id, r.constraints) for r in b
+        ]
+
+    def test_workload_requests_are_satisfiable_by_the_case_base(self):
+        """Every generated request retrieves at least one variant above 0.3."""
+        case_base = build_case_base()
+        engine = RetrievalEngine(case_base)
+        schema = platform_schema()
+        for workload in default_workloads():
+            for request in workload.requests(random.Random(3), 1_500_000.0):
+                constraints = [
+                    (schema.by_name(name).attribute_id, schema.by_name(name).coerce(value))
+                    for name, value in request.constraints.items()
+                ]
+                from repro.core import FunctionRequest
+
+                result = engine.retrieve_best(FunctionRequest(request.type_id, constraints))
+                assert result.best_similarity is not None
+                assert result.best_similarity > 0.3
+
+    def test_policies_are_distinct(self):
+        policies = {workload.name: workload.policy() for workload in default_workloads()}
+        assert policies["automotive-ecu"].accept_preemption is False
+        assert policies["video-player"].accept_preemption is True
+        assert policies["cruise-control"].minimum_similarity >= 0.8

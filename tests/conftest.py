@@ -1,0 +1,53 @@
+"""Shared fixtures of the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    CaseBase,
+    FunctionRequest,
+    RetrievalEngine,
+    paper_case_base,
+    paper_request,
+)
+from repro.tools import CaseBaseGenerator, GeneratorSpec
+
+
+@pytest.fixture
+def paper_cb() -> CaseBase:
+    """The worked example case base of the paper (Fig. 3)."""
+    return paper_case_base()
+
+
+@pytest.fixture
+def paper_req() -> FunctionRequest:
+    """The FIR-equalizer request of the paper (Fig. 3)."""
+    return paper_request()
+
+
+@pytest.fixture
+def paper_engine(paper_cb: CaseBase) -> RetrievalEngine:
+    """Reference retrieval engine over the paper's case base."""
+    return RetrievalEngine(paper_cb)
+
+
+@pytest.fixture
+def small_generator() -> CaseBaseGenerator:
+    """A small random case-base generator for fast cross-model tests."""
+    return CaseBaseGenerator(
+        GeneratorSpec(
+            type_count=4,
+            implementations_per_type=5,
+            attributes_per_implementation=6,
+            attribute_type_count=8,
+            value_range=(0, 500),
+        ),
+        seed=42,
+    )
+
+
+@pytest.fixture
+def small_case_base(small_generator: CaseBaseGenerator) -> CaseBase:
+    """A generated case base matching :func:`small_generator`."""
+    return small_generator.case_base()

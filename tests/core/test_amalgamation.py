@@ -1,0 +1,94 @@
+"""Unit tests for the amalgamation (global similarity) functions."""
+
+import pytest
+
+from repro.core import (
+    AMALGAMATIONS,
+    MaximumAmalgamation,
+    MinimumAmalgamation,
+    RetrievalError,
+    WeightedGeometricMean,
+    WeightedSum,
+    get_amalgamation,
+    verify_amalgamation_properties,
+)
+
+
+class TestWeightedSum:
+    def test_equation_2_on_table1_rows(self):
+        """Recomputes the three S_global values of Table 1."""
+        weighted_sum = WeightedSum()
+        weights = [1 / 3] * 3
+        fpga = weighted_sum.combine([1.0, 1 - 1 / 3, 1 - 4 / 37], weights)
+        dsp = weighted_sum.combine([1.0, 1.0, 1 - 4 / 37], weights)
+        gpp = weighted_sum.combine([1 - 8 / 9, 1 - 1 / 3, 1 - 18 / 37], weights)
+        assert fpga == pytest.approx(0.85, abs=0.005)
+        assert dsp == pytest.approx(0.96, abs=0.005)
+        assert gpp == pytest.approx(0.43, abs=0.005)
+
+    def test_boundary_conditions(self):
+        weighted_sum = WeightedSum()
+        assert weighted_sum.combine([0, 0, 0], [1, 1, 1]) == 0.0
+        assert weighted_sum.combine([1, 1, 1], [1, 1, 1]) == pytest.approx(1.0)
+
+    def test_weights_are_normalised_internally(self):
+        weighted_sum = WeightedSum()
+        assert weighted_sum.combine([0.5, 1.0], [2, 2]) == pytest.approx(0.75)
+        assert weighted_sum.combine([0.5, 1.0], [0.5, 0.5]) == pytest.approx(0.75)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(RetrievalError):
+            WeightedSum().combine([1.0], [0.5, 0.5])
+
+    def test_empty_vector_rejected(self):
+        with pytest.raises(RetrievalError):
+            WeightedSum().combine([], [])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(RetrievalError):
+            WeightedSum().combine([1.0], [-1.0])
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(RetrievalError):
+            WeightedSum().combine([1.0, 0.5], [0.0, 0.0])
+
+
+class TestOtherAmalgamations:
+    def test_minimum_picks_worst(self):
+        assert MinimumAmalgamation().combine([0.9, 0.2, 0.7], [1, 1, 1]) == 0.2
+
+    def test_minimum_ignores_zero_weight_entries(self):
+        assert MinimumAmalgamation().combine([0.9, 0.2], [1, 0]) == 0.9
+
+    def test_maximum_picks_best(self):
+        assert MaximumAmalgamation().combine([0.1, 0.8, 0.3], [1, 1, 1]) == 0.8
+
+    def test_geometric_mean_penalises_poor_match_more_than_sum(self):
+        weights = [0.5, 0.5]
+        values = [1.0, 0.1]
+        geometric = WeightedGeometricMean().combine(values, weights)
+        weighted = WeightedSum().combine(values, weights)
+        assert geometric < weighted
+
+    def test_geometric_mean_zero_component_gives_zero(self):
+        assert WeightedGeometricMean().combine([1.0, 0.0], [0.5, 0.5]) == 0.0
+
+
+class TestRegistryAndProperties:
+    def test_registry_contains_all_functions(self):
+        assert set(AMALGAMATIONS) == {
+            "weighted_sum",
+            "minimum",
+            "maximum",
+            "geometric_mean",
+        }
+        assert isinstance(get_amalgamation("weighted_sum"), WeightedSum)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(RetrievalError):
+            get_amalgamation("does-not-exist")
+
+    @pytest.mark.parametrize("name", sorted(AMALGAMATIONS))
+    def test_paper_properties_hold_for_all(self, name):
+        """All amalgamations satisfy range, boundary and monotonicity requirements."""
+        assert verify_amalgamation_properties(AMALGAMATIONS[name], dimension=4, samples=48)

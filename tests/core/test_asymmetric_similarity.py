@@ -1,0 +1,84 @@
+"""Tests for the direction-aware (asymmetric) local similarity extension."""
+
+import pytest
+
+from repro.core import (
+    AsymmetricLocalSimilarity,
+    LocalSimilarity,
+    RetrievalEngine,
+    paper_bounds,
+    paper_case_base,
+    paper_request,
+    paper_schema,
+)
+
+
+@pytest.fixture
+def bounds():
+    return paper_bounds()
+
+
+@pytest.fixture
+def schema():
+    return paper_schema()
+
+
+class TestAsymmetricLocalSimilarity:
+    def test_exceeding_a_higher_is_better_request_is_a_perfect_match(self, bounds, schema):
+        measure = AsymmetricLocalSimilarity(bounds, schema=schema)
+        # 44 kSamples/s offered against 40 requested: fully satisfying.
+        assert measure.value(4, 40, 44) == 1.0
+        # Undershooting is penalised exactly like eq. 1.
+        symmetric = LocalSimilarity(bounds)
+        assert measure.value(4, 40, 22) == pytest.approx(symmetric.value(4, 40, 22))
+
+    def test_lower_is_better_direction(self, bounds):
+        # Attribute 4 treated as "lower is better" via an explicit override
+        # (think response deadline): offering 22 against a requested 40 is fine,
+        # offering 44 is too slow and gets the eq. 1 penalty.
+        measure = AsymmetricLocalSimilarity(bounds, directions={4: False})
+        assert measure.value(4, 40, 22) == 1.0
+        assert measure.value(4, 40, 44) == pytest.approx(1 - 4 / 37)
+
+    def test_unknown_direction_falls_back_to_symmetric(self, bounds):
+        measure = AsymmetricLocalSimilarity(bounds)
+        symmetric = LocalSimilarity(bounds)
+        assert measure.value(4, 40, 44) == pytest.approx(symmetric.value(4, 40, 44))
+
+    def test_missing_attribute_still_scores_zero(self, bounds, schema):
+        measure = AsymmetricLocalSimilarity(bounds, schema=schema)
+        result = measure.similarity(4, 40, None)
+        assert result.missing and result.similarity == 0.0
+
+    def test_exact_match_is_still_one(self, bounds, schema):
+        measure = AsymmetricLocalSimilarity(bounds, schema=schema)
+        assert measure.value(1, 16, 16) == 1.0
+
+    def test_explicit_override_beats_schema(self, bounds, schema):
+        measure = AsymmetricLocalSimilarity(bounds, schema=schema, directions={4: False})
+        assert measure.value(4, 40, 44) == pytest.approx(1 - 4 / 37)
+        assert measure.value(4, 40, 22) == 1.0
+
+
+class TestAsymmetricRetrieval:
+    def test_paper_example_under_at_least_semantics(self):
+        """With 'at least' semantics both the FPGA and the DSP variant fully
+        satisfy the request (they meet or exceed every constraint), while the
+        plain-software variant stays far behind.  Scores can only go up
+        compared with the symmetric eq. 1."""
+        case_base = paper_case_base()
+        engine = RetrievalEngine(
+            case_base,
+            local_similarity=AsymmetricLocalSimilarity(case_base.bounds, schema=case_base.schema),
+        )
+        symmetric = RetrievalEngine(case_base)
+        request = paper_request()
+        asymmetric_result = engine.retrieve_n_best(request, 3)
+        symmetric_result = symmetric.retrieve_n_best(request, 3)
+        scores = {entry.implementation_id: entry.similarity for entry in asymmetric_result}
+        assert scores[1] == pytest.approx(1.0)
+        assert scores[2] == pytest.approx(1.0)
+        assert scores[3] < 0.6
+        symmetric_scores = {entry.implementation_id: entry.similarity for entry in symmetric_result}
+        for implementation_id, value in scores.items():
+            assert value >= symmetric_scores[implementation_id] - 1e-9

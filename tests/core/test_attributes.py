@@ -1,0 +1,166 @@
+"""Unit tests for the attribute type system, schemas and bounds tables."""
+
+import pytest
+
+from repro.core import (
+    AttributeBounds,
+    AttributeSchema,
+    AttributeType,
+    BoundsTable,
+    SchemaError,
+    paper_bounds,
+    paper_schema,
+)
+
+
+class TestAttributeType:
+    def test_basic_construction(self):
+        attribute = AttributeType(1, "bitwidth", unit="bit")
+        assert attribute.attribute_id == 1
+        assert not attribute.is_symbolic
+
+    def test_rejects_non_positive_id(self):
+        with pytest.raises(SchemaError):
+            AttributeType(0, "zero")
+        with pytest.raises(SchemaError):
+            AttributeType(-3, "negative")
+
+    def test_rejects_id_wider_than_16_bits(self):
+        with pytest.raises(SchemaError):
+            AttributeType(1 << 16, "too-wide")
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            AttributeType(1, "")
+
+    def test_symbol_encoding_round_trip(self):
+        attribute = AttributeType(3, "output_mode", symbols=("mono", "stereo", "surround"))
+        assert attribute.is_symbolic
+        assert attribute.encode_symbol("stereo") == 1
+        assert attribute.decode_symbol(2) == "surround"
+
+    def test_unknown_symbol_raises(self):
+        attribute = AttributeType(3, "output_mode", symbols=("mono", "stereo"))
+        with pytest.raises(SchemaError):
+            attribute.encode_symbol("quadrophonic")
+
+    def test_decode_out_of_range_raises(self):
+        attribute = AttributeType(3, "output_mode", symbols=("mono", "stereo"))
+        with pytest.raises(SchemaError):
+            attribute.decode_symbol(5)
+
+    def test_decode_on_numeric_attribute_raises(self):
+        attribute = AttributeType(1, "bitwidth")
+        with pytest.raises(SchemaError):
+            attribute.decode_symbol(0)
+
+    def test_coerce_accepts_numbers_and_symbols(self):
+        attribute = AttributeType(3, "output_mode", symbols=("mono", "stereo"))
+        assert attribute.coerce("stereo") == 1
+        assert attribute.coerce(0) == 0
+
+
+class TestAttributeSchema:
+    def test_define_and_lookup(self):
+        schema = AttributeSchema()
+        schema.define(1, "bitwidth")
+        schema.define(4, "sampling_rate", unit="kSamples/s")
+        assert 1 in schema and 4 in schema
+        assert schema.get(4).unit == "kSamples/s"
+        assert schema.by_name("bitwidth").attribute_id == 1
+        assert schema.ids() == [1, 4]
+
+    def test_duplicate_id_rejected(self):
+        schema = AttributeSchema()
+        schema.define(1, "bitwidth")
+        with pytest.raises(SchemaError):
+            schema.define(1, "other")
+
+    def test_duplicate_name_rejected(self):
+        schema = AttributeSchema()
+        schema.define(1, "bitwidth")
+        with pytest.raises(SchemaError):
+            schema.define(2, "bitwidth")
+
+    def test_unknown_lookups_raise(self):
+        schema = AttributeSchema()
+        with pytest.raises(SchemaError):
+            schema.get(7)
+        with pytest.raises(SchemaError):
+            schema.by_name("missing")
+
+    def test_iteration_is_sorted_by_id(self):
+        schema = AttributeSchema()
+        schema.define(9, "late")
+        schema.define(2, "early")
+        assert [a.attribute_id for a in schema] == [2, 9]
+
+    def test_coerce_through_schema(self):
+        schema = paper_schema()
+        assert schema.coerce(3, "surround") == 2
+        assert schema.coerce(1, 16) == 16
+
+
+class TestAttributeBounds:
+    def test_dmax_and_reciprocal(self):
+        bounds = AttributeBounds(4, 8, 44)
+        assert bounds.dmax == 36
+        assert bounds.reciprocal == pytest.approx(1.0 / 37.0)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(SchemaError):
+            AttributeBounds(1, 10, 5)
+
+    def test_contains_and_clamp(self):
+        bounds = AttributeBounds(1, 8, 16)
+        assert bounds.contains(8) and bounds.contains(16)
+        assert not bounds.contains(17)
+        assert bounds.clamp(20) == 16
+        assert bounds.clamp(1) == 8
+        assert bounds.clamp(12) == 12
+
+    def test_zero_width_range(self):
+        bounds = AttributeBounds(2, 5, 5)
+        assert bounds.dmax == 0
+        assert bounds.reciprocal == 1.0
+
+
+class TestBoundsTable:
+    def test_define_and_query(self):
+        table = BoundsTable()
+        table.define(1, 8, 16)
+        assert table.dmax(1) == 8
+        assert 1 in table and 2 not in table
+        assert table.ids() == [1]
+
+    def test_duplicate_rejected(self):
+        table = BoundsTable()
+        table.define(1, 0, 1)
+        with pytest.raises(SchemaError):
+            table.define(1, 0, 2)
+
+    def test_missing_lookup_raises(self):
+        with pytest.raises(SchemaError):
+            BoundsTable().get(1)
+
+    def test_from_observations(self):
+        table = BoundsTable.from_observations({1: [8, 16, 12], 4: [22, 44]})
+        assert table.get(1).lower == 8 and table.get(1).upper == 16
+        assert table.dmax(4) == 22
+
+    def test_from_observations_rejects_empty(self):
+        with pytest.raises(SchemaError):
+            BoundsTable.from_observations({1: []})
+
+    def test_merged_with_takes_widest_range(self):
+        a = BoundsTable([AttributeBounds(1, 0, 10), AttributeBounds(2, 5, 6)])
+        b = BoundsTable([AttributeBounds(1, 5, 20), AttributeBounds(3, 0, 1)])
+        merged = a.merged_with(b)
+        assert merged.get(1).lower == 0 and merged.get(1).upper == 20
+        assert merged.ids() == [1, 2, 3]
+
+    def test_paper_bounds_match_table1_dmax(self):
+        bounds = paper_bounds()
+        assert bounds.dmax(1) == 8
+        assert bounds.dmax(3) == 2
+        assert bounds.dmax(4) == 36

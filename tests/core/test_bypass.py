@@ -1,0 +1,87 @@
+"""Unit tests for bypass tokens and the bypass cache (paper section 3)."""
+
+import pytest
+
+from repro.core import BypassCache, FunctionRequest, paper_case_base, paper_request
+
+
+@pytest.fixture
+def cache() -> BypassCache:
+    return BypassCache()
+
+
+class TestBypassCache:
+    def test_miss_then_hit(self, cache, paper_cb, paper_req):
+        assert cache.lookup(paper_req, paper_cb) is None
+        cache.store(paper_req, paper_cb, implementation_id=2, similarity=0.96)
+        token = cache.lookup(paper_req, paper_cb)
+        assert token is not None
+        assert token.implementation_id == 2
+        assert token.hits == 1
+        assert cache.statistics.hits == 1 and cache.statistics.misses == 1
+        assert cache.statistics.hit_rate == pytest.approx(0.5)
+
+    def test_same_signature_different_requester_misses(self, cache, paper_cb):
+        a = FunctionRequest(1, [(1, 16)], requester="app-a")
+        b = FunctionRequest(1, [(1, 16)], requester="app-b")
+        cache.store(a, paper_cb, 1, 0.9)
+        assert cache.lookup(b, paper_cb) is None
+        assert cache.lookup(a, paper_cb) is not None
+
+    def test_case_base_revision_invalidates(self, cache, paper_cb, paper_req):
+        cache.store(paper_req, paper_cb, 2, 0.96)
+        paper_cb.add_type(50)  # any structural change bumps the revision
+        assert cache.lookup(paper_req, paper_cb) is None
+        assert cache.statistics.invalidations == 1
+        assert len(cache) == 0
+
+    def test_revoked_token_is_not_served(self, cache, paper_cb, paper_req):
+        token = cache.store(paper_req, paper_cb, 2, 0.96)
+        token.revoke()
+        assert cache.lookup(paper_req, paper_cb) is None
+
+    def test_invalidate_implementation_revokes_matching_tokens(self, cache, paper_cb):
+        first = FunctionRequest(1, [(1, 16)], requester="a")
+        second = FunctionRequest(1, [(4, 44)], requester="b")
+        cache.store(first, paper_cb, 2, 0.9)
+        cache.store(second, paper_cb, 3, 0.7)
+        revoked = cache.invalidate_implementation(1, 2)
+        assert revoked == 1
+        assert cache.lookup(first, paper_cb) is None
+        assert cache.lookup(second, paper_cb) is not None
+
+    def test_invalidate_request_and_clear(self, cache, paper_cb, paper_req):
+        cache.store(paper_req, paper_cb, 2, 0.96)
+        assert cache.invalidate_request(paper_req) is True
+        assert cache.invalidate_request(paper_req) is False
+        cache.store(paper_req, paper_cb, 2, 0.96)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_capacity_evicts_least_recently_used(self, paper_cb):
+        cache = BypassCache(capacity=2)
+        requests = [FunctionRequest(1, [(1, value)], requester="app") for value in (10, 11, 12)]
+        cache.store(requests[0], paper_cb, 1, 0.5)
+        cache.store(requests[1], paper_cb, 1, 0.5)
+        # Touch the first entry so the second becomes the LRU victim.
+        assert cache.lookup(requests[0], paper_cb) is not None
+        cache.store(requests[2], paper_cb, 1, 0.5)
+        assert len(cache) == 2
+        assert cache.lookup(requests[1], paper_cb) is None
+        assert cache.lookup(requests[0], paper_cb) is not None
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BypassCache(capacity=0)
+
+    def test_token_ids_are_unique_and_increasing(self, cache, paper_cb):
+        tokens = [
+            cache.store(FunctionRequest(1, [(1, v)], requester="x"), paper_cb, 1, 0.5)
+            for v in range(1, 5)
+        ]
+        ids = [token.token_id for token in tokens]
+        assert ids == sorted(ids) and len(set(ids)) == len(ids)
+
+    def test_tokens_listing(self, cache, paper_cb, paper_req):
+        cache.store(paper_req, paper_cb, 2, 0.96)
+        assert len(cache.tokens()) == 1

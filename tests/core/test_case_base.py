@@ -1,0 +1,202 @@
+"""Unit tests for the case base (function-implementation tree)."""
+
+import pytest
+
+from repro.core import (
+    CaseBase,
+    CaseBaseError,
+    DeploymentInfo,
+    DuplicateEntryError,
+    ExecutionTarget,
+    FunctionType,
+    Implementation,
+    UnknownFunctionTypeError,
+    paper_case_base,
+    paper_schema,
+)
+
+
+def _implementation(implementation_id=1, target=ExecutionTarget.FPGA, attributes=None):
+    return Implementation(
+        implementation_id=implementation_id,
+        target=target,
+        attributes=attributes if attributes is not None else {1: 16, 4: 44},
+    )
+
+
+class TestImplementation:
+    def test_attribute_ids_are_sorted(self):
+        implementation = _implementation(attributes={4: 44, 1: 16, 3: 2})
+        assert implementation.attribute_ids() == [1, 3, 4]
+        assert implementation.sorted_attributes() == [(1, 16), (3, 2), (4, 44)]
+
+    def test_get_returns_none_for_missing(self):
+        implementation = _implementation()
+        assert implementation.get(1) == 16
+        assert implementation.get(99) is None
+
+    def test_invalid_ids_rejected(self):
+        with pytest.raises(CaseBaseError):
+            _implementation(implementation_id=0)
+        with pytest.raises(CaseBaseError):
+            _implementation(implementation_id=1 << 16)
+        with pytest.raises(CaseBaseError):
+            Implementation(1, ExecutionTarget.FPGA, attributes={0: 5})
+
+    def test_target_must_be_enum(self):
+        with pytest.raises(CaseBaseError):
+            Implementation(1, "fpga", attributes={})  # type: ignore[arg-type]
+
+    def test_with_attributes_copies(self):
+        original = _implementation()
+        updated = original.with_attributes({4: 48, 5: 1})
+        assert updated.get(4) == 48 and updated.get(5) == 1
+        assert original.get(4) == 44 and original.get(5) is None
+
+    def test_execution_target_properties(self):
+        assert ExecutionTarget.FPGA.is_reconfigurable
+        assert not ExecutionTarget.DSP.is_reconfigurable
+        assert ExecutionTarget.GPP.is_software and ExecutionTarget.DSP.is_software
+        assert not ExecutionTarget.FPGA.is_software
+
+
+class TestDeploymentInfo:
+    def test_defaults_are_valid(self):
+        info = DeploymentInfo()
+        assert info.configuration_size_bytes == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"configuration_size_bytes": -1},
+            {"area_slices": -2},
+            {"power_mw": -0.5},
+            {"load_fraction": 1.5},
+            {"setup_time_us": -1.0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(CaseBaseError):
+            DeploymentInfo(**kwargs)
+
+
+class TestFunctionType:
+    def test_add_and_sorted_iteration(self):
+        function_type = FunctionType(1, "FIR")
+        function_type.add(_implementation(3))
+        function_type.add(_implementation(1))
+        assert [impl.implementation_id for impl in function_type] == [1, 3]
+        assert len(function_type) == 2
+        assert 3 in function_type
+
+    def test_duplicate_implementation_rejected(self):
+        function_type = FunctionType(1)
+        function_type.add(_implementation(1))
+        with pytest.raises(DuplicateEntryError):
+            function_type.add(_implementation(1))
+
+    def test_remove_and_missing_lookup(self):
+        function_type = FunctionType(1)
+        function_type.add(_implementation(1))
+        removed = function_type.remove(1)
+        assert removed.implementation_id == 1
+        with pytest.raises(CaseBaseError):
+            function_type.get(1)
+        with pytest.raises(CaseBaseError):
+            function_type.remove(1)
+
+
+class TestCaseBase:
+    def test_add_type_by_id_and_lookup(self):
+        case_base = CaseBase()
+        case_base.add_type(5, name="FFT")
+        assert 5 in case_base
+        assert case_base.get_type(5).name == "FFT"
+        with pytest.raises(DuplicateEntryError):
+            case_base.add_type(5)
+
+    def test_unknown_type_raises_dedicated_error(self):
+        case_base = CaseBase()
+        with pytest.raises(UnknownFunctionTypeError) as excinfo:
+            case_base.get_type(9)
+        assert excinfo.value.type_id == 9
+
+    def test_revision_bumps_on_structural_changes(self):
+        case_base = CaseBase()
+        start = case_base.revision
+        case_base.add_type(1)
+        case_base.add_implementation(1, _implementation(1))
+        case_base.remove_implementation(1, 1)
+        case_base.remove_type(1)
+        assert case_base.revision == start + 4
+
+    def test_counts_and_attribute_ids(self):
+        case_base = paper_case_base()
+        assert len(case_base) == 2
+        assert case_base.count_implementations() == 5
+        assert case_base.attribute_ids() == [1, 2, 3, 4]
+        assert case_base.count_attributes() == 4 * 3 + 3 * 2
+
+    def test_global_key_is_unique_per_pair(self):
+        assert CaseBase.global_key(1, 2) != CaseBase.global_key(2, 1)
+        assert CaseBase.global_key(3, 7) == (3 << 16) | 7
+
+    def test_derive_bounds_covers_observed_values(self):
+        case_base = paper_case_base(include_fft=False)
+        bounds = case_base.derive_bounds()
+        assert bounds.get(1).lower == 8 and bounds.get(1).upper == 16
+        assert bounds.get(4).lower == 22 and bounds.get(4).upper == 44
+
+    def test_derive_bounds_with_extra_observations(self):
+        case_base = paper_case_base(include_fft=False)
+        bounds = case_base.derive_bounds({4: [8]})
+        assert bounds.get(4).lower == 8
+
+    def test_validate_detects_out_of_schema_attribute(self):
+        case_base = CaseBase(schema=paper_schema())
+        case_base.add_type(1)
+        case_base.add_implementation(1, _implementation(1, attributes={99: 3}))
+        with pytest.raises(CaseBaseError):
+            case_base.validate()
+
+    def test_validate_detects_out_of_bounds_value(self):
+        case_base = paper_case_base()
+        case_base.add_implementation(
+            1, _implementation(9, attributes={4: 90})  # above the 44 kSamples/s bound
+        )
+        with pytest.raises(CaseBaseError):
+            case_base.validate()
+
+    def test_validate_accepts_paper_example(self):
+        paper_case_base().validate()
+
+    def test_replace_implementation_requires_existing(self):
+        case_base = paper_case_base()
+        replacement = _implementation(1, attributes={1: 16, 3: 2, 4: 48})
+        case_base.replace_implementation(1, replacement)
+        assert case_base.get_implementation(1, 1).get(4) == 48
+        with pytest.raises(CaseBaseError):
+            case_base.replace_implementation(1, _implementation(77))
+
+    def test_copy_is_deep_for_structure(self):
+        case_base = paper_case_base()
+        duplicate = case_base.copy()
+        duplicate.remove_implementation(1, 1)
+        assert 1 in case_base.get_type(1)
+        assert 1 not in duplicate.get_type(1)
+
+    def test_round_trip_through_dict(self):
+        case_base = paper_case_base()
+        rebuilt = CaseBase.from_dict(case_base.to_dict(), schema=case_base.schema)
+        assert rebuilt.type_ids() == case_base.type_ids()
+        assert rebuilt.count_implementations() == case_base.count_implementations()
+        original = case_base.get_implementation(1, 2)
+        copy = rebuilt.get_implementation(1, 2)
+        assert copy.attributes == original.attributes
+        assert copy.target is original.target
+        assert copy.deployment.power_mw == original.deployment.power_mw
+
+    def test_all_implementations_iterates_in_id_order(self):
+        case_base = paper_case_base()
+        pairs = [(type_id, impl.implementation_id) for type_id, impl in case_base.all_implementations()]
+        assert pairs == [(1, 1), (1, 2), (1, 3), (2, 1), (2, 2)]

@@ -1,0 +1,108 @@
+"""Unit tests for the revise/retain CBR-cycle extension (paper section 5)."""
+
+import pytest
+
+from repro.core import (
+    CaseBaseError,
+    CaseRetainer,
+    CaseReviser,
+    CBRCycle,
+    ExecutionTarget,
+    FunctionRequest,
+    OutcomeRecord,
+    RetrievalEngine,
+    paper_case_base,
+    paper_request,
+)
+
+
+class TestCaseReviser:
+    def test_blends_measured_values(self, paper_cb):
+        reviser = CaseReviser(learning_rate=0.5)
+        outcome = OutcomeRecord(1, 2, {4: 40})  # DSP variant measured at 40 kS/s
+        report = reviser.revise(paper_cb, outcome)
+        assert report.changed
+        assert paper_cb.get_implementation(1, 2).get(4) == 42  # halfway, rounded
+
+    def test_learning_rate_one_overwrites(self, paper_cb):
+        CaseReviser(learning_rate=1.0).revise(paper_cb, OutcomeRecord(1, 2, {4: 40}))
+        assert paper_cb.get_implementation(1, 2).get(4) == 40
+
+    def test_learning_rate_zero_keeps_stored_value(self, paper_cb):
+        report = CaseReviser(learning_rate=0.0).revise(paper_cb, OutcomeRecord(1, 2, {4: 40}))
+        assert not report.changed
+        assert paper_cb.get_implementation(1, 2).get(4) == 44
+
+    def test_unknown_measured_attribute_is_ignored(self, paper_cb):
+        report = CaseReviser().revise(paper_cb, OutcomeRecord(1, 2, {99: 5}))
+        assert not report.changed
+
+    def test_invalid_learning_rate_rejected(self):
+        with pytest.raises(CaseBaseError):
+            CaseReviser(learning_rate=1.5)
+
+    def test_revision_bumps_case_base_revision(self, paper_cb):
+        before = paper_cb.revision
+        CaseReviser(1.0).revise(paper_cb, OutcomeRecord(1, 2, {4: 40}))
+        assert paper_cb.revision > before
+
+
+class TestCaseRetainer:
+    def test_retains_novel_behaviour(self, paper_cb):
+        engine = RetrievalEngine(paper_cb)
+        retainer = CaseRetainer(engine, novelty_threshold=0.95)
+        outcome = OutcomeRecord(1, 2, {1: 32, 3: 2, 4: 96}, note="measured high-end variant")
+        learned = retainer.retain(outcome, ExecutionTarget.DSP, name="learned DSP")
+        assert learned is not None
+        assert learned.implementation_id == 4  # next free ID after 1..3
+        assert learned.implementation_id in paper_cb.get_type(1)
+
+    def test_does_not_retain_near_duplicate(self, paper_cb):
+        engine = RetrievalEngine(paper_cb)
+        retainer = CaseRetainer(engine, novelty_threshold=0.95)
+        outcome = OutcomeRecord(1, 2, {1: 16, 3: 1, 4: 44})  # identical to stored DSP case
+        assert retainer.retain(outcome, ExecutionTarget.DSP) is None
+        assert len(paper_cb.get_type(1)) == 3
+
+    def test_capacity_limit_blocks_retention(self, paper_cb):
+        engine = RetrievalEngine(paper_cb)
+        retainer = CaseRetainer(engine, max_implementations_per_type=3)
+        outcome = OutcomeRecord(1, 2, {1: 32, 3: 2, 4: 96})
+        assert retainer.retain(outcome, ExecutionTarget.DSP) is None
+
+    def test_invalid_parameters_rejected(self, paper_cb):
+        engine = RetrievalEngine(paper_cb)
+        with pytest.raises(CaseBaseError):
+            CaseRetainer(engine, novelty_threshold=2.0)
+        with pytest.raises(CaseBaseError):
+            CaseRetainer(engine, max_implementations_per_type=0)
+
+
+class TestCBRCycle:
+    def test_solve_then_feedback_revises_and_retains(self, paper_cb, paper_req):
+        engine = RetrievalEngine(paper_cb)
+        cycle = CBRCycle(engine)
+        report = cycle.solve(paper_req, n=2)
+        assert report.reused is not None and report.reused.implementation_id == 2
+        outcome = OutcomeRecord(1, 2, {1: 32, 3: 2, 4: 96})
+        cycle.feedback(report, outcome, retain_target=ExecutionTarget.DSP)
+        assert report.revision is not None
+        assert report.retained is not None
+        assert len(cycle.history) == 1
+
+    def test_retrieval_after_learning_prefers_learned_case(self, paper_cb):
+        """A retained high-quality case wins subsequent high-demand requests."""
+        engine = RetrievalEngine(paper_cb)
+        cycle = CBRCycle(engine)
+        report = cycle.solve(paper_request())
+        cycle.feedback(
+            report,
+            OutcomeRecord(1, 2, {1: 16, 2: 0, 3: 1, 4: 96}),
+            retain_target=ExecutionTarget.FPGA,
+        )
+        demanding = FunctionRequest(1, [(1, 16), (3, 1), (4, 96)])
+        # Bounds must cover the new value range for the comparison to be fair.
+        engine.bounds = paper_cb.derive_bounds()
+        engine.local_similarity.bounds = engine.bounds
+        result = engine.retrieve_best(demanding)
+        assert result.best_id == 4

@@ -1,0 +1,63 @@
+"""Reproduction tests for Table 1 / Fig. 3 of the paper (experiment E1)."""
+
+import pytest
+
+from repro.core import (
+    RetrievalEngine,
+    TABLE1_BEST_IMPLEMENTATION_ID,
+    TABLE1_DMAX,
+    TABLE1_EXPECTED_SIMILARITIES,
+    paper_case_base,
+    paper_example,
+    paper_request,
+)
+
+
+class TestPaperExampleConstruction:
+    def test_case_base_matches_figure_3(self):
+        case_base = paper_case_base()
+        fpga = case_base.get_implementation(1, 1)
+        dsp = case_base.get_implementation(1, 2)
+        gpp = case_base.get_implementation(1, 3)
+        assert fpga.attributes == {1: 16, 2: 0, 3: 2, 4: 44}
+        assert dsp.attributes == {1: 16, 2: 0, 3: 1, 4: 44}
+        assert gpp.attributes == {1: 8, 2: 0, 3: 0, 4: 22}
+
+    def test_request_matches_figure_3(self):
+        request = paper_request()
+        assert request.type_id == 1
+        assert request.values() == {1: 16, 3: 1, 4: 40}
+        assert all(w == pytest.approx(1 / 3) for w in request.weights().values())
+
+    def test_dmax_values_match_table_1(self):
+        _, _, bounds, _ = paper_example()
+        for attribute_id, expected in TABLE1_DMAX.items():
+            assert bounds.dmax(attribute_id) == expected
+
+    def test_optional_fft_branch(self):
+        assert len(paper_case_base(include_fft=True)) == 2
+        assert len(paper_case_base(include_fft=False)) == 1
+
+
+class TestTable1Reproduction:
+    def test_global_similarities_match_table_1(self, paper_engine, paper_req):
+        """The headline numbers: S = 0.85 / 0.96 / 0.43 with the DSP variant best."""
+        result = paper_engine.retrieve_n_best(paper_req, 3)
+        measured = {entry.implementation_id: entry.similarity for entry in result}
+        for implementation_id, expected in TABLE1_EXPECTED_SIMILARITIES.items():
+            assert measured[implementation_id] == pytest.approx(expected, abs=0.005)
+
+    def test_best_is_the_dsp_variant(self, paper_engine, paper_req):
+        assert paper_engine.retrieve_best(paper_req).best_id == TABLE1_BEST_IMPLEMENTATION_ID
+
+    def test_ranking_matches_paper_discussion(self, paper_engine, paper_req):
+        """DSP best, FPGA second, plain software a distant third."""
+        result = paper_engine.retrieve_n_best(paper_req, 3)
+        assert result.ids() == [2, 1, 3]
+        similarities = [entry.similarity for entry in result]
+        assert similarities[0] - similarities[1] < similarities[1] - similarities[2]
+
+    def test_threshold_would_reject_the_software_variant(self, paper_engine, paper_req):
+        """Section 3: 'reject all results below a given threshold similarity'."""
+        surviving = paper_engine.retrieve_above_threshold(paper_req, 0.5).ids()
+        assert surviving == [2, 1]

@@ -1,0 +1,138 @@
+"""Unit tests for the reference retrieval engine."""
+
+import pytest
+
+from repro.core import (
+    CaseBase,
+    ExecutionTarget,
+    FunctionRequest,
+    Implementation,
+    MinimumAmalgamation,
+    RetrievalEngine,
+    RetrievalError,
+    UnknownFunctionTypeError,
+    paper_case_base,
+    paper_request,
+)
+
+
+class TestScoring:
+    def test_score_breaks_down_local_similarities(self, paper_engine, paper_req, paper_cb):
+        implementation = paper_cb.get_implementation(1, 2)
+        scored = paper_engine.score(paper_req, implementation)
+        assert scored.similarity == pytest.approx(0.964, abs=0.001)
+        assert len(scored.local_similarities) == 3
+        by_attribute = {value.attribute_id: value for value in scored.local_similarities}
+        assert by_attribute[3].similarity == pytest.approx(1.0)
+        assert by_attribute[4].distance == 4
+
+    def test_missing_attribute_scores_zero_locally(self, paper_engine, paper_cb):
+        request = FunctionRequest(2, [(1, 16), (3, 1)])
+        implementation = paper_cb.get_implementation(2, 1)  # FFT has no output mode
+        scored = paper_engine.score(request, implementation)
+        missing = [v for v in scored.local_similarities if v.attribute_id == 3][0]
+        assert missing.missing and missing.similarity == 0.0
+
+    def test_empty_request_rejected(self, paper_engine, paper_cb):
+        with pytest.raises(RetrievalError):
+            paper_engine.score(FunctionRequest(1, ()), paper_cb.get_implementation(1, 1))
+
+    def test_statistics_accumulate(self, paper_engine, paper_req):
+        result = paper_engine.retrieve_best(paper_req)
+        stats = result.statistics
+        assert stats.implementations_visited == 3
+        assert stats.attributes_requested == 9
+        assert stats.attribute_lookups == 9
+        assert stats.best_updates >= 1
+
+
+class TestRetrieveBest:
+    def test_paper_example_best_is_dsp(self, paper_engine, paper_req):
+        result = paper_engine.retrieve_best(paper_req)
+        assert result.best_id == 2
+        assert result.best_similarity == pytest.approx(0.964, abs=0.001)
+
+    def test_unknown_type_raises(self, paper_engine):
+        with pytest.raises(UnknownFunctionTypeError):
+            paper_engine.retrieve_best(FunctionRequest(77, [(1, 16)]))
+
+    def test_type_without_implementations_raises(self):
+        case_base = CaseBase()
+        case_base.add_type(1)
+        engine = RetrievalEngine(case_base)
+        with pytest.raises(RetrievalError):
+            engine.retrieve_best(FunctionRequest(1, [(1, 16)]))
+
+    def test_tie_keeps_first_visited(self):
+        case_base = CaseBase()
+        function_type = case_base.add_type(1)
+        function_type.add(Implementation(1, ExecutionTarget.FPGA, {1: 10}))
+        function_type.add(Implementation(2, ExecutionTarget.DSP, {1: 10}))
+        result = RetrievalEngine(case_base).retrieve_best(FunctionRequest(1, [(1, 10)]))
+        assert result.best_id == 1
+        assert result.statistics.best_updates == 1
+
+
+class TestNBestAndThreshold:
+    def test_n_best_returns_ranked_order(self, paper_engine, paper_req):
+        result = paper_engine.retrieve_n_best(paper_req, 3)
+        assert result.ids() == [2, 1, 3]
+        similarities = [entry.similarity for entry in result]
+        assert similarities == sorted(similarities, reverse=True)
+
+    def test_n_best_truncates(self, paper_engine, paper_req):
+        assert len(paper_engine.retrieve_n_best(paper_req, 2)) == 2
+        assert len(paper_engine.retrieve_n_best(paper_req, 10)) == 3
+
+    def test_n_must_be_positive(self, paper_engine, paper_req):
+        with pytest.raises(RetrievalError):
+            paper_engine.retrieve_n_best(paper_req, 0)
+
+    def test_threshold_rejects_low_similarity(self, paper_engine, paper_req):
+        result = paper_engine.retrieve_above_threshold(paper_req, 0.5)
+        assert result.ids() == [2, 1]
+        assert result.threshold == 0.5
+        all_results = paper_engine.retrieve_above_threshold(paper_req, 0.0)
+        assert len(all_results) == 3
+
+    def test_threshold_validation(self, paper_engine, paper_req):
+        with pytest.raises(RetrievalError):
+            paper_engine.retrieve_above_threshold(paper_req, 1.5)
+
+    def test_combined_retrieve_applies_both(self, paper_engine, paper_req):
+        result = paper_engine.retrieve(paper_req, n=2, threshold=0.9)
+        assert result.ids() == [2]
+        default = paper_engine.retrieve(paper_req)
+        assert default.best_id == 2 and len(default) == 1
+
+    def test_combined_retrieve_validates_arguments(self, paper_engine, paper_req):
+        with pytest.raises(RetrievalError):
+            paper_engine.retrieve(paper_req, n=-1)
+        with pytest.raises(RetrievalError):
+            paper_engine.retrieve(paper_req, threshold=2.0)
+
+    def test_empty_result_has_none_best(self, paper_engine, paper_req):
+        result = paper_engine.retrieve_above_threshold(paper_req, 0.99)
+        assert result.best is None and result.best_id is None
+        assert result.best_similarity is None
+
+
+class TestAlternativeAmalgamation:
+    def test_minimum_amalgamation_changes_winner_sensitivity(self, paper_cb, paper_req):
+        engine = RetrievalEngine(paper_cb, amalgamation=MinimumAmalgamation())
+        result = engine.retrieve_n_best(paper_req, 3)
+        # With worst-constraint semantics the DSP variant still wins (all its
+        # constraints are close), but the FPGA variant drops because of its
+        # surround-vs-stereo mismatch.
+        assert result.ids()[0] == 2
+        assert result.ranked[1].similarity <= 1 - 1 / 3 + 1e-9
+
+
+class TestRelaxedRerequest:
+    def test_relaxed_request_gives_low_end_variant_a_chance(self, paper_engine, paper_req):
+        """Section 3: repeating the request with relaxed constraints."""
+        strict = paper_engine.retrieve_above_threshold(paper_req, 0.5)
+        assert 3 not in strict.ids()
+        relaxed = paper_req.relaxed({4: 0.5, 1: 0.5})
+        relaxed_result = paper_engine.retrieve_above_threshold(relaxed, 0.5)
+        assert 3 in relaxed_result.ids()

@@ -1,0 +1,136 @@
+"""Unit tests for local similarity measures and the Mahalanobis baseline."""
+
+import pytest
+
+from repro.core import (
+    BoundsTable,
+    EuclideanDistance,
+    LocalSimilarity,
+    MahalanobisSimilarity,
+    ManhattanDistance,
+    RetrievalError,
+    ThresholdLocalSimilarity,
+    paper_bounds,
+)
+
+
+@pytest.fixture
+def bounds() -> BoundsTable:
+    return paper_bounds()
+
+
+class TestDistanceMetrics:
+    def test_manhattan_is_absolute_difference(self):
+        metric = ManhattanDistance()
+        assert metric.distance(16, 8) == 8
+        assert metric.distance(8, 16) == 8
+        assert metric.distance(5, 5) == 0
+
+    def test_euclidean_equals_manhattan_for_scalars(self):
+        manhattan, euclidean = ManhattanDistance(), EuclideanDistance()
+        for a, b in [(0, 0), (3, 10), (44, 8)]:
+            assert euclidean.distance(a, b) == pytest.approx(manhattan.distance(a, b))
+
+    def test_operation_costs_are_ordered(self):
+        assert EuclideanDistance.operation_cost > ManhattanDistance.operation_cost
+
+
+class TestLocalSimilarity(object):
+    def test_identical_values_give_one(self, bounds):
+        measure = LocalSimilarity(bounds)
+        assert measure.value(1, 16, 16) == pytest.approx(1.0)
+
+    def test_table1_local_similarities(self, bounds):
+        """The per-attribute values of Table 1 (0.89, 0.66, 0.11, 0.51...)."""
+        measure = LocalSimilarity(bounds)
+        assert measure.value(4, 40, 44) == pytest.approx(1 - 4 / 37)
+        assert measure.value(3, 1, 2) == pytest.approx(1 - 1 / 3)
+        assert measure.value(1, 16, 8) == pytest.approx(1 - 8 / 9)
+        assert measure.value(4, 40, 22) == pytest.approx(1 - 18 / 37)
+
+    def test_missing_attribute_gives_configured_similarity(self, bounds):
+        measure = LocalSimilarity(bounds)
+        result = measure.similarity(1, 16, None)
+        assert result.missing and result.similarity == 0.0
+        lenient = LocalSimilarity(bounds, missing_similarity=0.25)
+        assert lenient.value(1, 16, None) == 0.25
+
+    def test_invalid_missing_similarity_rejected(self, bounds):
+        with pytest.raises(RetrievalError):
+            LocalSimilarity(bounds, missing_similarity=1.5)
+
+    def test_clamps_when_distance_exceeds_dmax(self, bounds):
+        measure = LocalSimilarity(bounds)
+        # dmax for attribute 3 is 2; a distance of 5 would give a negative value.
+        assert measure.value(3, 0, 5) == 0.0
+        unclamped = LocalSimilarity(bounds, clamp=False)
+        assert unclamped.value(3, 0, 5) < 0.0
+
+    def test_result_carries_diagnostics(self, bounds):
+        result = LocalSimilarity(bounds).similarity(4, 40, 44)
+        assert result.distance == 4
+        assert result.dmax == 36
+        assert result.request_value == 40 and result.case_value == 44
+
+    def test_unknown_attribute_bounds_raise(self, bounds):
+        with pytest.raises(Exception):
+            LocalSimilarity(bounds).value(99, 1, 2)
+
+
+class TestThresholdLocalSimilarity:
+    def test_step_behaviour(self, bounds):
+        measure = ThresholdLocalSimilarity(bounds, tolerance=2)
+        assert measure.value(4, 40, 42) == 1.0
+        assert measure.value(4, 40, 44) == 0.0
+        assert measure.value(4, 40, None) == 0.0
+
+    def test_negative_tolerance_rejected(self, bounds):
+        with pytest.raises(RetrievalError):
+            ThresholdLocalSimilarity(bounds, tolerance=-1)
+
+
+class TestMahalanobisSimilarity:
+    @pytest.fixture
+    def library(self):
+        return [
+            {1: 16, 3: 2, 4: 44},
+            {1: 16, 3: 1, 4: 44},
+            {1: 8, 3: 0, 4: 22},
+            {1: 12, 3: 1, 4: 32},
+        ]
+
+    def test_identical_vectors_are_most_similar(self, library):
+        measure = MahalanobisSimilarity([1, 3, 4], library)
+        request = {1: 16, 3: 1, 4: 44}
+        self_similarity = measure.similarity(request, request)
+        other = measure.similarity(request, {1: 8, 3: 0, 4: 22})
+        assert self_similarity == pytest.approx(1.0)
+        assert other < self_similarity
+
+    def test_partial_request_is_imputed(self, library):
+        measure = MahalanobisSimilarity([1, 3, 4], library)
+        value = measure.similarity({1: 16}, {1: 16, 3: 1, 4: 44})
+        assert 0.0 <= value <= 1.0
+
+    def test_results_stay_in_unit_interval(self, library):
+        measure = MahalanobisSimilarity([1, 3, 4], library)
+        for case in library:
+            value = measure.similarity({1: 40, 3: 2, 4: 90}, case)
+            assert 0.0 <= value <= 1.0
+
+    def test_distance_is_symmetric(self, library):
+        measure = MahalanobisSimilarity([1, 3, 4], library)
+        a, b = {1: 16, 3: 2, 4: 44}, {1: 8, 3: 0, 4: 22}
+        assert measure.distance(a, b) == pytest.approx(measure.distance(b, a))
+
+    def test_operation_cost_grows_quadratically(self, library):
+        small = MahalanobisSimilarity([1, 3], library)
+        large = MahalanobisSimilarity([1, 3, 4], library)
+        assert large.operation_cost > small.operation_cost
+        assert large.operation_cost > ManhattanDistance.operation_cost
+
+    def test_requires_attributes_and_vectors(self):
+        with pytest.raises(RetrievalError):
+            MahalanobisSimilarity([], [{1: 1}])
+        with pytest.raises(RetrievalError):
+            MahalanobisSimilarity([1], [])

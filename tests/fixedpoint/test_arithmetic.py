@@ -1,0 +1,84 @@
+"""Unit tests for the fixed-point similarity arithmetic (eq. 1 / eq. 2)."""
+
+import pytest
+
+from repro.core import FixedPointError, LocalSimilarity, WeightedSum, paper_bounds
+from repro.fixedpoint import (
+    UQ0_16,
+    local_similarity,
+    local_similarity_raw,
+    max_error_weighted_sum,
+    quantize_weights,
+    reciprocal_raw,
+    weighted_sum,
+    weighted_sum_raw,
+)
+
+
+class TestLocalSimilarityFixedPoint:
+    def test_matches_floating_point_reference_on_table1_pairs(self):
+        bounds = paper_bounds()
+        reference = LocalSimilarity(bounds)
+        pairs = [(1, 16, 16), (1, 16, 8), (3, 1, 2), (3, 1, 0), (4, 40, 44), (4, 40, 22)]
+        for attribute_id, request_value, case_value in pairs:
+            expected = reference.value(attribute_id, request_value, case_value)
+            measured = local_similarity(request_value, case_value, bounds.dmax(attribute_id))
+            # The reciprocal is quantised to 16 bits, so the error grows with
+            # the distance it is multiplied by (plus rounding of the result).
+            tolerance = (abs(request_value - case_value) * 0.5 + 2) * UQ0_16.resolution
+            assert measured == pytest.approx(expected, abs=tolerance)
+
+    def test_identical_values_give_near_one(self):
+        assert local_similarity(500, 500, 100) == pytest.approx(1.0, abs=UQ0_16.resolution)
+
+    def test_maximum_distance_gives_near_zero(self):
+        # With a large dmax the quantised reciprocal error is amplified by the
+        # distance, so "near zero" means within about 1 % here.
+        value = local_similarity(0, 1000, 1000)
+        assert 0.0 <= value <= 1e-2
+
+    def test_distance_beyond_dmax_saturates_at_zero(self):
+        assert local_similarity_raw(0, 1000, reciprocal_raw(10)) == 0
+
+    def test_out_of_range_operands_rejected(self):
+        with pytest.raises(FixedPointError):
+            local_similarity_raw(1 << 16, 0, reciprocal_raw(10))
+
+
+class TestWeightedSumFixedPoint:
+    def test_matches_floating_point_reference(self):
+        similarities = [1.0, 1 - 1 / 3, 1 - 4 / 37]
+        weights = [1 / 3] * 3
+        expected = WeightedSum().combine(similarities, weights)
+        measured = weighted_sum(similarities, weights)
+        assert measured == pytest.approx(expected, abs=1e-4)
+
+    def test_raw_variant_accepts_raw_operands(self):
+        raw = weighted_sum_raw(
+            [UQ0_16.from_float(0.5), UQ0_16.from_float(1.0)],
+            [UQ0_16.from_float(0.5), UQ0_16.from_float(0.5)],
+        )
+        assert UQ0_16.to_float(raw) == pytest.approx(0.75, abs=1e-4)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(FixedPointError):
+            weighted_sum_raw([1], [1, 2])
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(FixedPointError):
+            weighted_sum_raw([], [])
+
+    def test_accumulator_saturates_instead_of_wrapping(self):
+        raw = weighted_sum_raw(
+            [UQ0_16.max_raw] * 4, [UQ0_16.max_raw] * 4
+        )
+        assert raw == UQ0_16.max_raw
+
+    def test_quantize_weights_roundtrip(self):
+        weights = [1 / 3, 1 / 3, 1 / 3]
+        raw = quantize_weights(weights)
+        assert all(abs(UQ0_16.to_float(r) - 1 / 3) <= UQ0_16.resolution for r in raw)
+
+    def test_error_bound_is_generous_but_finite(self):
+        bound = max_error_weighted_sum(10)
+        assert 0 < bound < 0.05

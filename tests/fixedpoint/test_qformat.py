@@ -1,0 +1,120 @@
+"""Unit tests for the Q-format fixed-point number formats."""
+
+import pytest
+
+from repro.core import FixedPointError
+from repro.fixedpoint import (
+    FixedPointValue,
+    OverflowBehavior,
+    QFormat,
+    UQ0_16,
+    UQ16_0,
+    UQ16_16,
+    quantization_error_bound,
+    reciprocal_raw,
+)
+
+
+class TestQFormat:
+    def test_standard_formats(self):
+        assert UQ16_0.total_bits == 16 and UQ16_0.scale == 1
+        assert UQ0_16.total_bits == 16 and UQ0_16.scale == 65536
+        assert UQ16_16.total_bits == 32
+
+    def test_names(self):
+        assert UQ0_16.name() == "UQ0.16"
+        assert QFormat(7, 8, signed=True).name() == "Q7.8"
+
+    def test_ranges(self):
+        assert UQ16_0.max_raw == 0xFFFF and UQ16_0.min_raw == 0
+        assert UQ0_16.max_value == pytest.approx(1.0 - 1 / 65536)
+        signed = QFormat(3, 4, signed=True)
+        assert signed.min_raw == -128 and signed.max_raw == 127
+        assert signed.min_value == -8.0
+
+    def test_invalid_formats_rejected(self):
+        with pytest.raises(FixedPointError):
+            QFormat(-1, 4)
+        with pytest.raises(FixedPointError):
+            QFormat(0, 0)
+
+    def test_from_float_and_back(self):
+        raw = UQ0_16.from_float(1.0 / 3.0)
+        assert raw == round(65536 / 3)
+        assert UQ0_16.to_float(raw) == pytest.approx(1 / 3, abs=UQ0_16.resolution)
+
+    def test_saturation_and_wrap_and_raise(self):
+        assert UQ16_0.from_float(70000) == 0xFFFF
+        assert UQ16_0.from_float(-5) == 0
+        assert UQ16_0.clamp_raw(0x10001, OverflowBehavior.WRAP) == 1
+        with pytest.raises(FixedPointError):
+            UQ16_0.clamp_raw(1 << 17, OverflowBehavior.RAISE)
+
+    def test_quantize_error_is_bounded(self):
+        for value in (0.1, 0.33333, 0.9999, 0.5):
+            assert abs(UQ0_16.quantize(value) - value) <= quantization_error_bound(UQ0_16) + 1e-12
+
+    def test_resolution(self):
+        assert UQ0_16.resolution == pytest.approx(1 / 65536)
+        assert quantization_error_bound(UQ0_16) == pytest.approx(0.5 / 65536)
+
+
+class TestFixedPointValue:
+    def test_out_of_range_raw_rejected(self):
+        with pytest.raises(FixedPointError):
+            FixedPointValue(1 << 16, UQ16_0)
+
+    def test_absolute_difference(self):
+        a = FixedPointValue(40, UQ16_0)
+        b = FixedPointValue(44, UQ16_0)
+        assert a.absolute_difference(b).raw == 4
+        assert b.absolute_difference(a).raw == 4
+
+    def test_format_mismatch_rejected(self):
+        a = FixedPointValue(1, UQ16_0)
+        b = FixedPointValue(1, UQ0_16)
+        with pytest.raises(FixedPointError):
+            a.absolute_difference(b)
+        with pytest.raises(FixedPointError):
+            a.add(b)
+        with pytest.raises(FixedPointError):
+            a.compare(b)
+
+    def test_multiply_integer_by_fraction(self):
+        distance = FixedPointValue(4, UQ16_0)
+        reciprocal = FixedPointValue(reciprocal_raw(36), UQ0_16)
+        penalty = distance.multiply(reciprocal, UQ0_16)
+        assert penalty.value == pytest.approx(4 / 37, abs=4 * UQ0_16.resolution)
+
+    def test_multiply_two_fractions(self):
+        a = FixedPointValue.from_float(0.5, UQ0_16)
+        b = FixedPointValue.from_float(1 / 3, UQ0_16)
+        assert a.multiply(b, UQ0_16).value == pytest.approx(1 / 6, abs=2 * UQ0_16.resolution)
+
+    def test_add_saturates(self):
+        a = FixedPointValue.from_float(0.9, UQ0_16)
+        b = FixedPointValue.from_float(0.3, UQ0_16)
+        assert a.add(b).raw == UQ0_16.max_raw
+
+    def test_compare(self):
+        a = FixedPointValue(5, UQ16_0)
+        b = FixedPointValue(9, UQ16_0)
+        assert a.compare(b) == -1 and b.compare(a) == 1 and a.compare(a) == 0
+
+    def test_float_conversion(self):
+        assert float(FixedPointValue.from_float(0.25, UQ0_16)) == pytest.approx(0.25)
+
+
+class TestReciprocal:
+    def test_reciprocal_matches_expected_dmax_values(self):
+        """The maxrange-1 constants of Fig. 4 for the Table 1 dmax values."""
+        assert UQ0_16.to_float(reciprocal_raw(8)) == pytest.approx(1 / 9, abs=1e-4)
+        assert UQ0_16.to_float(reciprocal_raw(2)) == pytest.approx(1 / 3, abs=1e-4)
+        assert UQ0_16.to_float(reciprocal_raw(36)) == pytest.approx(1 / 37, abs=1e-4)
+
+    def test_zero_dmax_gives_one(self):
+        assert reciprocal_raw(0) == UQ0_16.max_raw
+
+    def test_negative_dmax_rejected(self):
+        with pytest.raises(FixedPointError):
+            reciprocal_raw(-1)

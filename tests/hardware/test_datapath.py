@@ -1,0 +1,135 @@
+"""Unit tests for the datapath components of the retrieval unit (Fig. 7)."""
+
+import pytest
+
+from repro.core import HardwareModelError
+from repro.fixedpoint import UQ0_16, reciprocal_raw
+from repro.hardware import (
+    AbsoluteDifferenceUnit,
+    AccumulatorUnit,
+    BestComparatorUnit,
+    CONTROL_COMPONENTS,
+    MultiplierUnit,
+    NBestRegisterFile,
+    SubtractorUnit,
+    standard_datapath_components,
+)
+
+
+class TestAbsoluteDifferenceUnit:
+    def test_computes_absolute_difference(self):
+        unit = AbsoluteDifferenceUnit()
+        assert unit.compute(40, 44) == 4
+        assert unit.compute(44, 40) == 4
+        assert unit.operations == 2
+
+    def test_rejects_operands_wider_than_16_bits(self):
+        with pytest.raises(HardwareModelError):
+            AbsoluteDifferenceUnit().compute(1 << 16, 0)
+
+    def test_reset_clears_operation_counter(self):
+        unit = AbsoluteDifferenceUnit()
+        unit.compute(1, 2)
+        unit.reset()
+        assert unit.operations == 0
+
+
+class TestMultiplierUnit:
+    def test_integer_times_fraction(self):
+        unit = MultiplierUnit()
+        penalty = unit.multiply_fraction(4, reciprocal_raw(36))
+        assert UQ0_16.to_float(penalty) == pytest.approx(4 / 37, abs=1e-4)
+
+    def test_fraction_times_fraction(self):
+        unit = MultiplierUnit()
+        result = unit.multiply_fractions(UQ0_16.from_float(0.5), UQ0_16.from_float(1 / 3))
+        assert UQ0_16.to_float(result) == pytest.approx(1 / 6, abs=1e-4)
+
+    def test_product_saturates_at_one(self):
+        unit = MultiplierUnit()
+        assert unit.multiply_fraction(1000, reciprocal_raw(10)) == UQ0_16.max_raw
+
+    def test_operand_range_enforced(self):
+        with pytest.raises(HardwareModelError):
+            MultiplierUnit().multiply_fraction(1 << 17, 1)
+        with pytest.raises(HardwareModelError):
+            MultiplierUnit().multiply_fractions(1, 1 << 16)
+
+    def test_uses_one_dedicated_multiplier(self):
+        assert MultiplierUnit.cost.multipliers == 1
+
+
+class TestSubtractorAndAccumulator:
+    def test_one_minus_saturates_at_zero(self):
+        unit = SubtractorUnit()
+        assert unit.one_minus(0) == UQ0_16.max_raw
+        assert unit.one_minus(UQ0_16.max_raw) == 0
+        assert unit.one_minus(UQ0_16.max_raw + 10) == 0
+
+    def test_accumulator_adds_and_saturates(self):
+        accumulator = AccumulatorUnit()
+        accumulator.accumulate(UQ0_16.from_float(0.5))
+        accumulator.accumulate(UQ0_16.from_float(0.3))
+        assert UQ0_16.to_float(accumulator.value) == pytest.approx(0.8, abs=1e-4)
+        accumulator.accumulate(UQ0_16.from_float(0.9))
+        assert accumulator.value == UQ0_16.max_raw
+        accumulator.clear()
+        assert accumulator.value == 0
+
+
+class TestBestComparator:
+    def test_strict_greater_than_update_rule(self):
+        comparator = BestComparatorUnit()
+        assert comparator.consider(100, 1) is True
+        assert comparator.consider(100, 2) is False  # ties keep the first
+        assert comparator.consider(101, 3) is True
+        assert comparator.best_id == 3
+
+    def test_clear_resets_registers(self):
+        comparator = BestComparatorUnit()
+        comparator.consider(5, 1)
+        comparator.clear()
+        assert comparator.best_id == 0 and comparator.best_similarity_raw == -1
+
+
+class TestNBestRegisterFile:
+    def test_keeps_n_best_in_descending_order(self):
+        register_file = NBestRegisterFile(3)
+        for similarity, implementation_id in [(10, 1), (50, 2), (30, 3), (40, 4), (5, 5)]:
+            register_file.consider(similarity, implementation_id)
+        assert [entry[1] for entry in register_file.entries] == [2, 4, 3]
+
+    def test_insertion_cost_grows_with_position(self):
+        register_file = NBestRegisterFile(4)
+        first = register_file.consider(10, 1)
+        worst = register_file.consider(1, 2)
+        assert first == 1
+        assert worst >= 1
+
+    def test_area_grows_linearly_with_capacity(self):
+        assert NBestRegisterFile(4).cost.slices == 2 * NBestRegisterFile(2).cost.slices
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(HardwareModelError):
+            NBestRegisterFile(0)
+
+
+class TestComponentInventory:
+    def test_standard_components_are_the_fig7_blocks(self):
+        components = standard_datapath_components()
+        assert set(components) == {
+            "absolute_difference",
+            "reciprocal_multiplier",
+            "weight_multiplier",
+            "one_minus",
+            "accumulator",
+            "best_comparator",
+        }
+
+    def test_exactly_two_multipliers_in_baseline_datapath(self):
+        components = standard_datapath_components()
+        multipliers = sum(component.cost.multipliers for component in components.values())
+        assert multipliers == 2  # matches Table 2
+
+    def test_control_components_have_positive_area(self):
+        assert all(component.slices > 0 for component in CONTROL_COMPONENTS)

@@ -1,0 +1,90 @@
+"""Tests for the design-variant flags of the retrieval unit (section 4.1 ablations)."""
+
+import pytest
+
+from repro.core import RetrievalEngine
+from repro.hardware import (
+    DividerUnit,
+    HardwareConfig,
+    HardwareRetrievalUnit,
+    ResourceEstimator,
+)
+
+
+class TestDividerVariant:
+    def test_divider_produces_the_same_decision(self, paper_cb, paper_req, small_generator):
+        baseline = HardwareRetrievalUnit(paper_cb).run(paper_req)
+        divider = HardwareRetrievalUnit(
+            paper_cb, config=HardwareConfig(use_divider=True)
+        ).run(paper_req)
+        assert divider.best_id == baseline.best_id
+        # The divider computes the exact quotient; the reciprocal datapath is
+        # quantised, so the raw similarities may differ by a few LSBs.
+        assert abs(divider.best_similarity - baseline.best_similarity) < 1e-3
+        case_base = small_generator.case_base()
+        reference = RetrievalEngine(case_base)
+        unit = HardwareRetrievalUnit(case_base, config=HardwareConfig(use_divider=True))
+        for salt in range(6):
+            request = small_generator.request(salt=salt, attribute_count=5)
+            assert unit.run(request).best_id == reference.retrieve_best(request).best_id
+
+    def test_divider_costs_many_more_cycles(self, paper_cb, paper_req):
+        baseline = HardwareRetrievalUnit(paper_cb).run(paper_req)
+        divider = HardwareRetrievalUnit(
+            paper_cb, config=HardwareConfig(use_divider=True)
+        ).run(paper_req)
+        assert divider.cycles > 1.5 * baseline.cycles
+
+    def test_divider_trades_a_multiplier_for_slices(self):
+        estimator = ResourceEstimator()
+        baseline = estimator.estimate(config=HardwareConfig())
+        divider = estimator.estimate(config=HardwareConfig(use_divider=True))
+        assert divider.multipliers == baseline.multipliers - 1
+        assert divider.slices > baseline.slices + DividerUnit.cost.slices // 2
+
+    def test_divider_exact_quotient(self):
+        unit = DividerUnit()
+        assert unit.divide_fraction(4, 37) == (4 << 16) // 37
+        assert unit.divide_fraction(0, 9) == 0
+        assert unit.divide_fraction(0xFFFF, 1) == 0xFFFF
+        with pytest.raises(Exception):
+            unit.divide_fraction(5, 0)
+
+
+class TestRestartSearchVariant:
+    def test_restart_gives_same_results_but_more_probes(self, small_generator):
+        """Section 4.1: resuming the sorted search keeps the effort linear."""
+        case_base = small_generator.case_base()
+        resume = HardwareRetrievalUnit(case_base)
+        restart = HardwareRetrievalUnit(
+            case_base, config=HardwareConfig(restart_attribute_search=True)
+        )
+        total_resume_probes = 0
+        total_restart_probes = 0
+        for salt in range(6):
+            request = small_generator.request(salt=salt, attribute_count=6)
+            a = resume.run(request)
+            b = restart.run(request)
+            assert a.best_id == b.best_id
+            assert a.best_similarity_raw == b.best_similarity_raw
+            total_resume_probes += a.statistics.attribute_probes
+            total_restart_probes += b.statistics.attribute_probes
+            assert b.cycles >= a.cycles
+        assert total_restart_probes > total_resume_probes
+
+    def test_restart_overhead_grows_with_attribute_count(self):
+        from repro.tools import CaseBaseGenerator, GeneratorSpec
+
+        generator = CaseBaseGenerator(
+            GeneratorSpec(type_count=2, implementations_per_type=6,
+                          attributes_per_implementation=12, attribute_type_count=12),
+            seed=5,
+        )
+        case_base = generator.case_base()
+        request = generator.request(type_id=1, attribute_count=12)
+        resume = HardwareRetrievalUnit(case_base).run(request)
+        restart = HardwareRetrievalUnit(
+            case_base, config=HardwareConfig(restart_attribute_search=True)
+        ).run(request)
+        # With 12 attributes per list the restart penalty is clearly visible.
+        assert restart.cycles > 1.2 * resume.cycles

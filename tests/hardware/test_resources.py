@@ -1,0 +1,82 @@
+"""Tests for the FPGA resource/timing estimator (Table 2)."""
+
+import pytest
+
+from repro.core import paper_case_base
+from repro.hardware import (
+    HardwareConfig,
+    PAPER_TABLE2,
+    ResourceEstimator,
+    XC2V1000,
+    XC2V3000,
+)
+from repro.memmap import CaseBaseImage
+from repro.tools import CaseBaseGenerator, table3_spec
+
+
+class TestBaselineEstimate:
+    def test_matches_table2_shape(self):
+        """Table 2: ~441 slices (3 %), 2 MULT18X18 (2 %), 2 BRAM (2 %), ~75 MHz."""
+        estimate = ResourceEstimator().estimate()
+        assert estimate.multipliers == PAPER_TABLE2["multipliers"]
+        assert estimate.bram_blocks == PAPER_TABLE2["bram_blocks"]
+        assert estimate.slices == pytest.approx(PAPER_TABLE2["slices"], rel=0.25)
+        assert estimate.max_clock_mhz == pytest.approx(PAPER_TABLE2["max_clock_mhz"], rel=0.15)
+        assert round(100 * estimate.slice_utilization) == PAPER_TABLE2["slice_percent"]
+        assert round(100 * estimate.multiplier_utilization) == PAPER_TABLE2["multiplier_percent"]
+
+    def test_fits_the_target_device_easily(self):
+        estimate = ResourceEstimator().estimate()
+        assert estimate.fits()
+        assert estimate.slice_utilization < 0.05
+
+    def test_table_rows_format(self):
+        rows = dict(ResourceEstimator().estimate().as_table_rows())
+        assert "CLB-Slices" in rows and "Max. Clock" in rows
+        assert "of 14336" in rows["CLB-Slices"]
+
+    def test_component_breakdown_sums_to_total(self):
+        estimator = ResourceEstimator()
+        estimate = estimator.estimate()
+        assert sum(component.slices for component in estimate.components) == estimate.slices
+
+    def test_critical_path_is_positive_and_multiplier_dominated(self):
+        estimator = ResourceEstimator()
+        path = estimator.critical_path_ns()
+        assert 10.0 < path < 16.0
+
+
+class TestConfigurationVariants:
+    def test_n_best_adds_area(self):
+        estimator = ResourceEstimator()
+        baseline = estimator.estimate(config=HardwareConfig())
+        nbest = estimator.estimate(config=HardwareConfig(n_best=4))
+        assert nbest.slices > baseline.slices
+        assert nbest.multipliers == baseline.multipliers
+
+    def test_wide_fetch_and_pipeline_add_area(self):
+        estimator = ResourceEstimator()
+        baseline = estimator.estimate(config=HardwareConfig())
+        optimised = estimator.estimate(
+            config=HardwareConfig(
+                wide_attribute_fetch=True, pipelined_datapath=True, cache_reciprocals=True
+            )
+        )
+        assert optimised.slices > baseline.slices
+
+    def test_smaller_device_has_higher_utilization(self):
+        big = ResourceEstimator(XC2V3000).estimate()
+        small = ResourceEstimator(XC2V1000).estimate()
+        assert small.slice_utilization > big.slice_utilization
+        assert small.fits()
+
+    def test_footprint_drives_bram_count(self):
+        image = CaseBaseImage(paper_case_base())
+        estimate = ResourceEstimator().estimate(footprint=image.footprint())
+        assert estimate.bram_blocks == 2  # tiny tree + request each need one BRAM
+
+    def test_table3_sized_case_base_needs_more_brams_with_plain_encoding(self):
+        case_base = CaseBaseGenerator(table3_spec(), seed=1).case_base()
+        estimate = ResourceEstimator().estimate(footprint=CaseBaseImage(case_base).footprint())
+        assert estimate.bram_blocks >= 4
+        assert estimate.fits()

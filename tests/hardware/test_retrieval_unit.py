@@ -1,0 +1,164 @@
+"""Tests for the cycle-accurate hardware retrieval unit (Fig. 6 / Fig. 7)."""
+
+import pytest
+
+from repro.core import (
+    FunctionRequest,
+    HardwareModelError,
+    RetrievalEngine,
+    UnknownFunctionTypeError,
+    paper_request,
+)
+from repro.hardware import HardwareConfig, HardwareRetrievalUnit, RetrievalState
+
+
+class TestFunctionalBehaviour:
+    def test_paper_example_selects_dsp_variant(self, paper_cb, paper_req):
+        result = HardwareRetrievalUnit(paper_cb).run(paper_req)
+        assert result.best_id == 2
+        assert result.best_similarity == pytest.approx(0.964, abs=0.002)
+
+    def test_agrees_with_reference_engine_on_paper_example(self, paper_cb, paper_req):
+        hardware = HardwareRetrievalUnit(paper_cb).run(paper_req)
+        reference = RetrievalEngine(paper_cb).retrieve_best(paper_req)
+        assert hardware.best_id == reference.best_id
+        assert hardware.best_similarity == pytest.approx(reference.best_similarity, abs=1e-3)
+
+    def test_agrees_with_reference_engine_on_generated_cases(self, small_generator):
+        case_base = small_generator.case_base()
+        engine = RetrievalEngine(case_base)
+        unit = HardwareRetrievalUnit(case_base)
+        for salt in range(12):
+            request = small_generator.request(salt=salt, attribute_count=5)
+            assert unit.run(request).best_id == engine.retrieve_best(request).best_id
+
+    def test_unknown_type_raises(self, paper_cb):
+        unit = HardwareRetrievalUnit(paper_cb)
+        with pytest.raises(UnknownFunctionTypeError):
+            unit.run(FunctionRequest(99, [(1, 16)]))
+
+    def test_missing_attribute_gets_zero_local_similarity(self, paper_cb):
+        """FFT implementations lack attribute 3; its weight must not contribute."""
+        request = FunctionRequest(2, [(1, 16), (3, 1), (4, 44)])
+        result = HardwareRetrievalUnit(paper_cb).run(request)
+        reference = RetrievalEngine(paper_cb).retrieve_best(request)
+        assert result.best_id == reference.best_id
+        assert result.statistics.missing_attributes > 0
+
+    def test_second_type_in_tree_is_reachable(self, paper_cb):
+        request = FunctionRequest(2, [(1, 16), (4, 44)])
+        result = HardwareRetrievalUnit(paper_cb).run(request)
+        assert result.type_id == 2
+        assert result.best_id == 1
+
+    def test_n_best_matches_reference_ranking(self, paper_cb, paper_req):
+        unit = HardwareRetrievalUnit(paper_cb, config=HardwareConfig(n_best=3))
+        result = unit.run(paper_req)
+        reference = RetrievalEngine(paper_cb).retrieve_n_best(paper_req, 3)
+        assert result.ranked_ids() == reference.ids()
+
+    def test_wide_fetch_and_cache_preserve_the_decision(self, small_generator):
+        case_base = small_generator.case_base()
+        baseline = HardwareRetrievalUnit(case_base)
+        optimised = HardwareRetrievalUnit(
+            case_base,
+            config=HardwareConfig(
+                wide_attribute_fetch=True, pipelined_datapath=True, cache_reciprocals=True
+            ),
+        )
+        for salt in range(8):
+            request = small_generator.request(salt=salt, attribute_count=6)
+            assert baseline.run(request).best_id == optimised.run(request).best_id
+
+    def test_repeated_runs_are_deterministic(self, paper_cb, paper_req):
+        unit = HardwareRetrievalUnit(paper_cb)
+        first = unit.run(paper_req)
+        second = unit.run(paper_req)
+        assert first.best_id == second.best_id
+        assert first.cycles == second.cycles
+
+
+class TestCycleAccounting:
+    def test_trace_cycles_match_reported_cycles(self, paper_cb, paper_req):
+        unit = HardwareRetrievalUnit(paper_cb, config=HardwareConfig(trace=True))
+        result = unit.run(paper_req)
+        assert result.trace is not None
+        assert result.trace.total_cycles() == result.cycles
+
+    def test_cycles_cover_every_memory_read(self, paper_cb, paper_req):
+        result = HardwareRetrievalUnit(paper_cb).run(paper_req)
+        assert result.cycles >= result.statistics.memory_reads
+
+    def test_time_follows_clock(self, paper_cb, paper_req):
+        slow = HardwareRetrievalUnit(paper_cb, config=HardwareConfig(clock_mhz=33.0)).run(paper_req)
+        fast = HardwareRetrievalUnit(paper_cb, config=HardwareConfig(clock_mhz=66.0)).run(paper_req)
+        assert slow.cycles == fast.cycles
+        assert slow.time_us == pytest.approx(2 * fast.time_us)
+
+    def test_wide_fetch_plus_pipeline_reduce_cycles(self, paper_cb, paper_req):
+        baseline = HardwareRetrievalUnit(paper_cb).run(paper_req)
+        optimised = HardwareRetrievalUnit(
+            paper_cb,
+            config=HardwareConfig(
+                wide_attribute_fetch=True, pipelined_datapath=True, cache_reciprocals=True
+            ),
+        ).run(paper_req)
+        assert optimised.cycles < baseline.cycles
+
+    def test_cycles_grow_with_implementation_count(self, small_generator):
+        case_base = small_generator.case_base()
+        request = small_generator.request(type_id=1, attribute_count=6)
+        baseline = HardwareRetrievalUnit(case_base).run(request).cycles
+        # Remove all but one implementation of the requested type and re-run.
+        reduced = case_base.copy()
+        for implementation in list(reduced.get_type(1).implementations):
+            if implementation != 1:
+                reduced.remove_implementation(1, implementation)
+        smaller = HardwareRetrievalUnit(reduced).run(request).cycles
+        assert smaller < baseline
+
+    def test_resume_search_makes_effort_linear(self, small_generator):
+        """Section 4.1: sorted lists let the search resume instead of restarting."""
+        case_base = small_generator.case_base()
+        request = small_generator.request(type_id=2, attribute_count=6)
+        result = HardwareRetrievalUnit(case_base).run(request)
+        implementations = result.statistics.implementations_visited
+        attributes = len(request)
+        max_entries_per_list = small_generator.spec.attributes_per_implementation
+        # Each implementation's attribute list is walked at most once end to end,
+        # so the probe count is bounded by visits * (list length + request length).
+        assert result.statistics.attribute_probes <= implementations * (
+            max_entries_per_list + attributes
+        )
+
+    def test_trace_contains_expected_states(self, paper_cb, paper_req):
+        unit = HardwareRetrievalUnit(paper_cb, config=HardwareConfig(trace=True))
+        trace = unit.run(paper_req).trace
+        states = set(trace.state_visit_counts())
+        assert RetrievalState.FETCH_REQUEST_TYPE in states
+        assert RetrievalState.SEARCH_FUNCTION_TYPE in states
+        assert RetrievalState.COMPUTE_LOCAL_SIMILARITY in states
+        assert RetrievalState.DELIVER_RESULT in states
+
+    def test_statistics_counts_are_consistent(self, paper_cb, paper_req):
+        result = HardwareRetrievalUnit(paper_cb).run(paper_req)
+        stats = result.statistics
+        assert stats.implementations_visited == 3
+        assert stats.case_base_reads + stats.request_reads == stats.memory_reads
+        assert stats.best_updates >= 1
+
+
+class TestConfigurationValidation:
+    def test_invalid_clock_rejected(self):
+        with pytest.raises(HardwareModelError):
+            HardwareConfig(clock_mhz=0)
+
+    def test_invalid_n_best_rejected(self):
+        with pytest.raises(HardwareModelError):
+            HardwareConfig(n_best=0)
+
+    def test_missing_bounds_entry_raises(self, paper_cb):
+        # Attribute 5 is not covered by the paper bounds table.
+        unit = HardwareRetrievalUnit(paper_cb)
+        with pytest.raises(HardwareModelError):
+            unit.run(FunctionRequest(1, [(5, 3)]))

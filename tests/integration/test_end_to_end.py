@@ -1,0 +1,102 @@
+"""End-to-end integration tests: application request to platform placement."""
+
+import pytest
+
+from repro.allocation import AllocationStatus, ApplicationPolicy
+from repro.api import ApplicationAPI
+from repro.apps import (
+    TYPE_FIR_EQUALIZER,
+    TYPE_VIDEO_DECODER,
+    build_scenario,
+)
+from repro.core import CBRCycle, OutcomeRecord, ExecutionTarget, RetrievalEngine
+from repro.hardware import HardwareConfig
+
+
+class TestFullStackAllocation:
+    def test_audio_request_flows_from_api_to_device(self):
+        scenario = build_scenario()
+        api = scenario.application_api
+        handle = api.call_function(
+            "mp3-player",
+            TYPE_FIR_EQUALIZER,
+            {"bitwidth": 16, "output_mode": "stereo", "sampling_rate": 40},
+        )
+        decision = handle.decision
+        assert decision.succeeded
+        assert decision.device_name in {"dsp0", "fpga0", "fpga1", "cpu0"}
+        snapshot = scenario.hw_layer_api.snapshot()
+        assert snapshot.devices[decision.device_name].task_count == 1
+        api.release(handle)
+        assert scenario.hw_layer_api.snapshot().devices[decision.device_name].task_count == 0
+
+    def test_video_decoder_prefers_fpga_then_degrades_under_load(self):
+        scenario = build_scenario(fpga_count=1)
+        api = scenario.application_api
+        constraints = {"bitwidth": 16, "frame_rate": 30, "resolution_lines": 576,
+                       "response_deadline_ms": 33}
+        first = api.call_function("video-player", TYPE_VIDEO_DECODER, constraints)
+        assert first.decision.succeeded
+        assert first.decision.implementation.target is ExecutionTarget.FPGA
+        # Saturate the FPGA with more decoders; later calls fall back to DSP/CPU
+        # variants (alternative allocations) instead of failing outright.
+        outcomes = [api.call_function("video-player", TYPE_VIDEO_DECODER,
+                                      {**constraints, "frame_rate": 30 - i})
+                    for i in range(1, 6)]
+        statuses = {handle.decision.status for handle in outcomes}
+        assert all(handle.decision.succeeded for handle in outcomes)
+        assert AllocationStatus.ALLOCATED_ALTERNATIVE in statuses or (
+            AllocationStatus.ALLOCATED_AFTER_PREEMPTION in statuses
+        )
+
+    def test_hardware_backend_end_to_end(self):
+        scenario = build_scenario(
+            retrieval_backend="hardware",
+            hardware_config=HardwareConfig(n_best=3, clock_mhz=66.0),
+        )
+        handle = scenario.application_api.call_function(
+            "mp3-player",
+            TYPE_FIR_EQUALIZER,
+            {"bitwidth": 16, "output_mode": "stereo", "sampling_rate": 40},
+        )
+        assert handle.decision.succeeded
+        assert handle.decision.retrieval_cycles > 0
+
+    def test_learning_cycle_feeds_back_into_allocation(self):
+        """Retain a measured high-quality variant, then see allocation pick it up."""
+        scenario = build_scenario()
+        case_base = scenario.case_base
+        engine = RetrievalEngine(case_base)
+        cycle = CBRCycle(engine)
+        request = scenario.application_api.build_request(
+            "mp3-player", TYPE_FIR_EQUALIZER,
+            {"bitwidth": 16, "output_mode": "surround", "sampling_rate": 44},
+        )
+        report = cycle.solve(request)
+        cycle.feedback(
+            report,
+            OutcomeRecord(TYPE_FIR_EQUALIZER, report.reused.implementation_id,
+                          {1: 24, 3: 2, 4: 48}),
+            retain_target=ExecutionTarget.DSP,
+        )
+        # The learned case is now part of the shared case base used by the manager.
+        learned_ids = set(case_base.get_type(TYPE_FIR_EQUALIZER).implementations)
+        assert len(learned_ids) == 4
+        handle = scenario.application_api.call_function(
+            "mp3-player", TYPE_FIR_EQUALIZER,
+            {"bitwidth": 24, "output_mode": "surround", "sampling_rate": 48},
+        )
+        assert handle.decision.succeeded
+        assert handle.decision.implementation.implementation_id in learned_ids
+
+    def test_strict_policy_rejects_degraded_offer(self):
+        scenario = build_scenario(fpga_count=1)
+        api = scenario.application_api
+        api.register_application(
+            "strict-app", ApplicationPolicy(minimum_similarity=0.999, max_relaxations=0)
+        )
+        handle = api.call_function(
+            "strict-app", TYPE_FIR_EQUALIZER,
+            {"bitwidth": 16, "output_mode": "surround", "sampling_rate": 8},
+        )
+        assert handle.decision.status is AllocationStatus.REJECTED_BY_APPLICATION

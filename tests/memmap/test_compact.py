@@ -1,0 +1,85 @@
+"""Unit tests for the compact (shared-directory) case-base encoding."""
+
+import pytest
+
+from repro.core import CaseBase, EncodingError, ExecutionTarget, Implementation
+from repro.memmap import (
+    MISSING_VALUE,
+    compact_size_bytes,
+    compact_size_words,
+    decode_compact_tree,
+    decode_tree,
+    encode_compact_tree,
+    encode_tree,
+)
+
+
+class TestEncodeCompactTree:
+    def test_round_trip_paper_case_base(self, paper_cb):
+        decoded = decode_compact_tree(encode_compact_tree(paper_cb).words)
+        assert decoded[1][2] == {1: 16, 2: 0, 3: 1, 4: 44}
+        assert decoded[2][1] == {1: 16, 2: 0, 4: 44}
+
+    def test_round_trip_generated_case_base(self, small_case_base):
+        decoded = decode_compact_tree(encode_compact_tree(small_case_base).words)
+        plain = decode_tree(encode_tree(small_case_base).words)
+        assert decoded == plain
+
+    def test_missing_attributes_survive_round_trip(self):
+        case_base = CaseBase()
+        function_type = case_base.add_type(1)
+        function_type.add(Implementation(1, ExecutionTarget.FPGA, {1: 5, 3: 7}))
+        function_type.add(Implementation(2, ExecutionTarget.GPP, {1: 9}))  # no attribute 3
+        decoded = decode_compact_tree(encode_compact_tree(case_base).words)
+        assert decoded[1][1] == {1: 5, 3: 7}
+        assert decoded[1][2] == {1: 9}
+
+    def test_compact_is_smaller_than_plain_for_table3_sizing(self):
+        """The compact layout is what brings the footprint near the paper's 4.5 kB."""
+        plain = compact_size_bytes(15, 10, 10)
+        from repro.memmap import tree_size_bytes
+
+        assert plain < tree_size_bytes(15, 10, 10)
+        assert 3_000 < plain < 5_000
+
+    def test_value_colliding_with_missing_marker_rejected(self):
+        case_base = CaseBase()
+        function_type = case_base.add_type(1)
+        function_type.add(Implementation(1, ExecutionTarget.FPGA, {1: MISSING_VALUE}))
+        with pytest.raises(EncodingError):
+            encode_compact_tree(case_base)
+
+    def test_empty_case_base_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_compact_tree(CaseBase())
+
+    def test_counts(self, paper_cb):
+        encoded = encode_compact_tree(paper_cb)
+        assert encoded.type_count == 2
+        assert encoded.implementation_count == 5
+
+    def test_analytic_size_matches_encoder_for_uniform_tree(self, small_generator):
+        case_base = small_generator.case_base()
+        spec = small_generator.spec
+        encoded = encode_compact_tree(case_base)
+        # The analytic formula assumes every implementation uses the same
+        # attribute set; the generated case base samples per implementation, so
+        # the directory can be larger.  The formula is therefore a lower bound.
+        assert encoded.size_words >= compact_size_words(
+            spec.type_count, spec.implementations_per_type, spec.attributes_per_implementation
+        ) - spec.type_count * spec.attribute_type_count
+
+    def test_size_helpers_validate_input(self):
+        with pytest.raises(EncodingError):
+            compact_size_words(1, -1, 1)
+
+
+class TestDecodeCompactTree:
+    def test_empty_image_rejected(self):
+        with pytest.raises(EncodingError):
+            decode_compact_tree([])
+
+    def test_truncated_rows_rejected(self, paper_cb):
+        words = list(encode_compact_tree(paper_cb).words)
+        with pytest.raises(EncodingError):
+            decode_compact_tree(words[:-3])

@@ -1,0 +1,69 @@
+"""Unit tests for the combined case-base memory image (CB-MEM / Req-MEM)."""
+
+import pytest
+
+from repro.core import paper_request
+from repro.memmap import (
+    CaseBaseImage,
+    END_OF_LIST,
+    build_memories,
+    decode_request,
+    decode_supplemental,
+    decode_tree,
+    request_size_bytes,
+)
+from repro.tools import CaseBaseGenerator, table3_spec
+
+
+class TestCaseBaseImage:
+    def test_case_base_ram_concatenates_tree_and_supplemental(self, paper_cb):
+        image = CaseBaseImage(paper_cb)
+        ram, supplemental_base = image.build_case_base_ram()
+        assert supplemental_base == image.tree.size_words
+        words = ram.dump()
+        decoded_tree = decode_tree(words[:supplemental_base])
+        assert set(decoded_tree) == {1, 2}
+        decoded_bounds = decode_supplemental(words[supplemental_base:])
+        assert decoded_bounds.ids() == [1, 2, 3, 4]
+
+    def test_request_ram_is_padded_for_wide_fetch(self, paper_cb):
+        image = CaseBaseImage(paper_cb)
+        ram, encoded = image.build_request_ram(paper_request())
+        assert len(ram) == len(encoded.words) + 1
+        assert ram.peek(len(encoded.words) - 1) == END_OF_LIST
+        decoded = decode_request(encoded.words)
+        assert decoded.values() == paper_request().values()
+
+    def test_footprint_default_request_is_worst_case(self, paper_cb):
+        footprint = CaseBaseImage(paper_cb).footprint()
+        assert footprint.request_bytes == request_size_bytes(10) == 64
+        assert footprint.case_base_bytes == footprint.tree_bytes + footprint.supplemental_bytes
+        assert footprint.total_bytes == footprint.case_base_bytes + footprint.request_bytes
+
+    def test_footprint_with_explicit_request(self, paper_cb):
+        footprint = CaseBaseImage(paper_cb).footprint(paper_request())
+        assert footprint.request_bytes == (1 + 3 * 3 + 1) * 2
+
+    def test_compact_footprint_is_smaller(self, paper_cb):
+        footprint = CaseBaseImage(paper_cb).footprint()
+        assert footprint.compact_tree_bytes < footprint.tree_bytes
+        assert footprint.compact_case_base_bytes < footprint.case_base_bytes
+
+    def test_table3_footprint_shape(self):
+        """Table 3: case base of a few kB, request 64 bytes, a couple of BRAMs."""
+        case_base = CaseBaseGenerator(table3_spec(), seed=5).case_base()
+        footprint = CaseBaseImage(case_base).footprint()
+        assert footprint.request_bytes == 64
+        # The plain pairwise encoding is ~7 kB, the compact one ~3.7 kB; the
+        # paper's 4.5 kB sits between the two.
+        assert 6_000 < footprint.tree_bytes < 8_000
+        assert 3_000 < footprint.compact_tree_bytes < 4_608
+        assert footprint.bram_blocks() >= 2
+
+
+class TestBuildMemories:
+    def test_build_memories_returns_consistent_objects(self, paper_cb):
+        ram, supplemental_base, request_ram, image = build_memories(paper_cb, paper_request())
+        assert supplemental_base == image.tree.size_words
+        assert request_ram.peek(0) == 1
+        assert ram.peek(0) == 1

@@ -1,0 +1,120 @@
+"""Unit tests for the three-level implementation-tree encoding (Fig. 5)."""
+
+import pytest
+
+from repro.core import CaseBase, EncodingError, ExecutionTarget, Implementation, paper_case_base
+from repro.memmap import (
+    END_OF_LIST,
+    decode_tree,
+    encode_tree,
+    tree_size_bytes,
+    tree_size_words,
+)
+
+
+class TestEncodeTree:
+    def test_level0_layout_and_pointers(self, paper_cb):
+        encoded = encode_tree(paper_cb)
+        words = encoded.words
+        assert words[0] == 1  # first type ID
+        assert words[2] == 2  # second type ID
+        assert words[4] == END_OF_LIST
+        # The type pointers reference positions inside the image.
+        assert 0 < words[1] < len(words)
+        assert 0 < words[3] < len(words)
+        assert encoded.address_map.type_list == 0
+
+    def test_address_map_is_consistent_with_pointers(self, paper_cb):
+        encoded = encode_tree(paper_cb)
+        words = encoded.words
+        for type_id, address in encoded.address_map.implementation_lists.items():
+            # Find the pointer of this type in level 0 and compare.
+            cursor = 0
+            while words[cursor] != type_id:
+                cursor += 2
+            assert words[cursor + 1] == address
+        for (type_id, impl_id), address in encoded.address_map.attribute_lists.items():
+            impl_list = encoded.address_map.implementation_lists[type_id]
+            cursor = impl_list
+            while words[cursor] != impl_id:
+                cursor += 2
+            assert words[cursor + 1] == address
+
+    def test_counts(self, paper_cb):
+        encoded = encode_tree(paper_cb)
+        assert encoded.type_count == 2
+        assert encoded.implementation_count == 5
+        assert encoded.attribute_entry_count == paper_cb.count_attributes()
+
+    def test_attribute_lists_are_sorted(self, paper_cb):
+        encoded = encode_tree(paper_cb)
+        address = encoded.address_map.attribute_lists[(1, 1)]
+        ids = []
+        cursor = address
+        while encoded.words[cursor] != END_OF_LIST:
+            ids.append(encoded.words[cursor])
+            cursor += 2
+        assert ids == sorted(ids) == [1, 2, 3, 4]
+
+    def test_empty_case_base_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_tree(CaseBase())
+
+    def test_analytic_size_matches_encoder_for_uniform_tree(self, small_generator):
+        case_base = small_generator.case_base()
+        spec = small_generator.spec
+        encoded = encode_tree(case_base)
+        assert encoded.size_words == tree_size_words(
+            spec.type_count, spec.implementations_per_type, spec.attributes_per_implementation
+        )
+
+    def test_table3_analytic_sizes(self):
+        """The Table 3 sizing: 15 types x 10 implementations x 10 attributes."""
+        words = tree_size_words(15, 10, 10)
+        assert words == 31 + 15 * 21 + 150 * 21
+        assert tree_size_bytes(15, 10, 10) == 2 * words
+
+    def test_size_helpers_validate_input(self):
+        with pytest.raises(EncodingError):
+            tree_size_words(-1, 1, 1)
+
+
+class TestDecodeTree:
+    def test_round_trip_paper_case_base(self, paper_cb):
+        decoded = decode_tree(encode_tree(paper_cb).words)
+        assert set(decoded) == {1, 2}
+        assert decoded[1][1] == {1: 16, 2: 0, 3: 2, 4: 44}
+        assert decoded[1][3] == {1: 8, 2: 0, 3: 0, 4: 22}
+        assert decoded[2][2] == {1: 16, 2: 0, 4: 22}
+
+    def test_round_trip_generated_case_base(self, small_case_base):
+        decoded = decode_tree(encode_tree(small_case_base).words)
+        for type_id, implementation in small_case_base.all_implementations():
+            assert decoded[type_id][implementation.implementation_id] == implementation.attributes
+
+    def test_empty_image_rejected(self):
+        with pytest.raises(EncodingError):
+            decode_tree([])
+
+    def test_missing_terminator_rejected(self):
+        words = list(encode_tree(paper_case_base()).words)
+        # Remove the final END_OF_LIST of the last attribute list.
+        with pytest.raises(EncodingError):
+            decode_tree(words[:-1] + [7])
+
+    def test_unsorted_attribute_list_rejected(self):
+        # Hand-built image: one type, one implementation, attributes out of order.
+        words = [
+            1, 3, END_OF_LIST,          # level 0
+            1, 6, END_OF_LIST,          # level 1
+            4, 10, 2, 20, END_OF_LIST,  # level 2 (IDs 4 then 2: invalid)
+        ]
+        with pytest.raises(EncodingError):
+            decode_tree(words)
+
+    def test_implementation_without_attributes_round_trips(self):
+        case_base = CaseBase()
+        function_type = case_base.add_type(1)
+        function_type.add(Implementation(1, ExecutionTarget.GPP, {}))
+        decoded = decode_tree(encode_tree(case_base).words)
+        assert decoded[1][1] == {}

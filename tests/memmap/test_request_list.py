@@ -1,0 +1,89 @@
+"""Unit tests for the request-list encoding (Fig. 4 left)."""
+
+import pytest
+
+from repro.core import EncodingError, FunctionRequest, paper_request
+from repro.fixedpoint import UQ0_16
+from repro.memmap import (
+    END_OF_LIST,
+    decode_request,
+    encode_request,
+    request_size_bytes,
+    request_size_words,
+)
+
+
+class TestEncodeRequest:
+    def test_layout_of_paper_request(self):
+        encoded = encode_request(paper_request())
+        words = encoded.words
+        assert words[0] == 1  # type ID
+        assert words[1] == 1 and words[2] == 16  # first attribute block
+        assert words[4] == 3 and words[5] == 1
+        assert words[7] == 4 and words[8] == 40
+        assert words[-1] == END_OF_LIST
+        assert encoded.attribute_count == 3
+        assert encoded.size_words == 1 + 3 * 3 + 1
+
+    def test_weights_are_quantised_fractions(self):
+        encoded = encode_request(paper_request())
+        weight_words = [encoded.words[3], encoded.words[6], encoded.words[9]]
+        for raw in weight_words:
+            assert UQ0_16.to_float(raw) == pytest.approx(1 / 3, abs=UQ0_16.resolution)
+
+    def test_attributes_are_sorted_by_id(self):
+        request = FunctionRequest(1, [(9, 5), (2, 7)])
+        encoded = encode_request(request)
+        assert encoded.words[1] == 2 and encoded.words[4] == 9
+
+    def test_empty_request_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_request(FunctionRequest(1, ()))
+
+    def test_worst_case_request_is_64_bytes(self):
+        """Table 3: a 10-attribute request occupies 64 bytes of 16-bit words."""
+        assert request_size_words(10) == 32
+        assert request_size_bytes(10) == 64
+        request = FunctionRequest(1, [(i, i) for i in range(1, 11)])
+        assert encode_request(request).size_bytes == 64
+
+    def test_size_helpers_validate_input(self):
+        with pytest.raises(EncodingError):
+            request_size_words(-1)
+
+
+class TestDecodeRequest:
+    def test_round_trip_preserves_values_and_order(self):
+        original = paper_request()
+        decoded = decode_request(encode_request(original).words)
+        assert decoded.type_id == original.type_id
+        assert decoded.values() == original.values()
+        assert decoded.attribute_ids() == original.attribute_ids()
+
+    def test_round_trip_weights_within_quantisation(self):
+        decoded = decode_request(encode_request(paper_request()).words)
+        for weight in decoded.weights().values():
+            assert weight == pytest.approx(1 / 3, abs=UQ0_16.resolution)
+
+    def test_empty_image_rejected(self):
+        with pytest.raises(EncodingError):
+            decode_request([])
+
+    def test_missing_terminator_rejected(self):
+        words = list(encode_request(paper_request()).words)[:-1]
+        with pytest.raises(EncodingError):
+            decode_request(words)
+
+    def test_truncated_block_rejected(self):
+        words = [1, 2, 5]  # attribute ID + value but no weight, no terminator
+        with pytest.raises(EncodingError):
+            decode_request(words)
+
+    def test_non_ascending_ids_rejected(self):
+        words = [1, 4, 10, 100, 2, 5, 100, END_OF_LIST]
+        with pytest.raises(EncodingError):
+            decode_request(words)
+
+    def test_leading_terminator_rejected(self):
+        with pytest.raises(EncodingError):
+            decode_request([END_OF_LIST])

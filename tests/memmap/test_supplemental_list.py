@@ -1,0 +1,72 @@
+"""Unit tests for the attribute-supplemental list encoding (Fig. 4 right)."""
+
+import pytest
+
+from repro.core import BoundsTable, EncodingError, paper_bounds
+from repro.fixedpoint import UQ0_16
+from repro.memmap import (
+    END_OF_LIST,
+    SUPPLEMENTAL_BLOCK_WORDS,
+    decode_supplemental,
+    encode_supplemental,
+    supplemental_size_bytes,
+    supplemental_size_words,
+)
+
+
+class TestEncodeSupplemental:
+    def test_block_layout(self):
+        encoded = encode_supplemental(paper_bounds())
+        words = encoded.words
+        # First block describes attribute 1 with bounds [8, 16].
+        assert words[0] == 1 and words[1] == 8 and words[2] == 16
+        assert UQ0_16.to_float(words[3]) == pytest.approx(1 / 9, abs=1e-4)
+        assert words[-1] == END_OF_LIST
+        assert encoded.size_words == 4 * SUPPLEMENTAL_BLOCK_WORDS + 1
+
+    def test_reciprocal_map_matches_words(self):
+        encoded = encode_supplemental(paper_bounds())
+        assert set(encoded.reciprocals) == {1, 2, 3, 4}
+        assert UQ0_16.to_float(encoded.reciprocals[4]) == pytest.approx(1 / 37, abs=1e-4)
+
+    def test_blocks_are_sorted_by_attribute_id(self):
+        table = BoundsTable()
+        table.define(9, 0, 10)
+        table.define(2, 0, 5)
+        encoded = encode_supplemental(table)
+        assert encoded.words[0] == 2 and encoded.words[SUPPLEMENTAL_BLOCK_WORDS] == 9
+
+    def test_empty_table_is_just_a_terminator(self):
+        encoded = encode_supplemental(BoundsTable())
+        assert encoded.words == (END_OF_LIST,)
+
+    def test_size_helpers(self):
+        assert supplemental_size_words(10) == 41
+        assert supplemental_size_bytes(10) == 82
+        with pytest.raises(EncodingError):
+            supplemental_size_words(-2)
+
+
+class TestDecodeSupplemental:
+    def test_round_trip_preserves_bounds(self):
+        original = paper_bounds()
+        decoded = decode_supplemental(encode_supplemental(original).words)
+        assert decoded.ids() == original.ids()
+        for attribute_id in original.ids():
+            assert decoded.get(attribute_id).lower == original.get(attribute_id).lower
+            assert decoded.get(attribute_id).upper == original.get(attribute_id).upper
+            assert decoded.dmax(attribute_id) == original.dmax(attribute_id)
+
+    def test_missing_terminator_rejected(self):
+        words = list(encode_supplemental(paper_bounds()).words)[:-1]
+        with pytest.raises(EncodingError):
+            decode_supplemental(words)
+
+    def test_truncated_block_rejected(self):
+        with pytest.raises(EncodingError):
+            decode_supplemental([1, 8, 16])
+
+    def test_non_ascending_ids_rejected(self):
+        words = [4, 0, 5, 100, 2, 0, 5, 100, END_OF_LIST]
+        with pytest.raises(EncodingError):
+            decode_supplemental(words)

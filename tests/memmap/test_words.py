@@ -1,0 +1,65 @@
+"""Unit tests for the 16-bit word primitives."""
+
+import pytest
+
+from repro.core import EncodingError
+from repro.memmap import (
+    END_OF_LIST,
+    WORD_BITS,
+    WORD_BYTES,
+    WORD_MAX,
+    bytes_to_words,
+    check_id,
+    check_word,
+    encode_value,
+    validate_words,
+    words_to_bytes,
+)
+
+
+class TestWordChecks:
+    def test_constants(self):
+        assert WORD_BITS == 16 and WORD_BYTES == 2 and WORD_MAX == 0xFFFF
+        assert END_OF_LIST == 0
+
+    def test_check_word_accepts_range(self):
+        assert check_word(0) == 0
+        assert check_word(WORD_MAX) == WORD_MAX
+
+    def test_check_word_rejects_out_of_range_and_non_int(self):
+        with pytest.raises(EncodingError):
+            check_word(-1)
+        with pytest.raises(EncodingError):
+            check_word(1 << 16)
+        with pytest.raises(EncodingError):
+            check_word(1.5)  # type: ignore[arg-type]
+
+    def test_check_id_rejects_null(self):
+        assert check_id(1) == 1
+        with pytest.raises(EncodingError):
+            check_id(END_OF_LIST)
+
+    def test_encode_value_accepts_integral_floats(self):
+        assert encode_value(44.0) == 44
+        assert encode_value(True) == 1
+
+    def test_encode_value_rejects_fractional(self):
+        with pytest.raises(EncodingError):
+            encode_value(44.1)
+
+    def test_validate_words_reports_position(self):
+        with pytest.raises(EncodingError) as excinfo:
+            validate_words([1, 2, 1 << 20])
+        assert "word[2]" in str(excinfo.value)
+
+
+class TestSizeConversions:
+    def test_round_trip(self):
+        assert words_to_bytes(32) == 64
+        assert bytes_to_words(64) == 32
+
+    def test_invalid_inputs(self):
+        with pytest.raises(EncodingError):
+            words_to_bytes(-1)
+        with pytest.raises(EncodingError):
+            bytes_to_words(3)

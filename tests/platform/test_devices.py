@@ -1,0 +1,154 @@
+"""Unit tests for FPGA and processor device models."""
+
+import pytest
+
+from repro.core import DeploymentInfo, ExecutionTarget, Implementation, PlatformError
+from repro.platform import (
+    DeviceKind,
+    FpgaDevice,
+    PlacedTask,
+    ProcessorDevice,
+    SlotSpec,
+    audio_dsp,
+    host_cpu,
+    virtex2_3000_fpga,
+)
+
+
+def fpga_impl(implementation_id=1, area_slices=1000, power_mw=300.0):
+    return Implementation(
+        implementation_id,
+        ExecutionTarget.FPGA,
+        {1: 16},
+        DeploymentInfo(area_slices=area_slices, power_mw=power_mw,
+                       configuration_size_bytes=50_000),
+    )
+
+
+def software_impl(implementation_id=1, load=0.4, target=ExecutionTarget.GPP):
+    return Implementation(
+        implementation_id,
+        target,
+        {1: 16},
+        DeploymentInfo(load_fraction=load, power_mw=100.0),
+    )
+
+
+def task(handle, implementation, **kwargs):
+    return PlacedTask(handle=handle, type_id=1, implementation=implementation,
+                      power_mw=implementation.deployment.power_mw, **kwargs)
+
+
+class TestDeviceKind:
+    def test_target_compatibility(self):
+        assert DeviceKind.FPGA.supports(ExecutionTarget.FPGA)
+        assert not DeviceKind.FPGA.supports(ExecutionTarget.GPP)
+        assert DeviceKind.CPU.supports(ExecutionTarget.GPP)
+        assert DeviceKind.DSP.supports(ExecutionTarget.DSP)
+
+
+class TestFpgaDevice:
+    def test_slot_geometry(self):
+        spec = SlotSpec(slot_count=8, slices_per_slot=1500)
+        assert spec.total_slices == 12000
+        assert spec.slots_needed(1) == 1
+        assert spec.slots_needed(1500) == 1
+        assert spec.slots_needed(1501) == 2
+        with pytest.raises(PlatformError):
+            SlotSpec(0, 10)
+
+    def test_place_and_remove_updates_slots(self):
+        fpga = FpgaDevice("fpga0", SlotSpec(4, 1000))
+        fpga.place(task(1, fpga_impl(area_slices=1800)))  # needs 2 slots
+        assert fpga.free_slots() == 2
+        assert fpga.utilization() == pytest.approx(0.5)
+        assert fpga.placement(1) == (0, 2)
+        fpga.remove(1)
+        assert fpga.free_slots() == 4
+
+    def test_capacity_check_requires_contiguous_slots(self):
+        fpga = FpgaDevice("fpga0", SlotSpec(4, 1000))
+        fpga.place(task(1, fpga_impl(1, area_slices=900)))      # slot 0
+        fpga.place(task(2, fpga_impl(2, area_slices=900)))      # slot 1
+        fpga.place(task(3, fpga_impl(3, area_slices=900)))      # slot 2
+        fpga.remove(2)                                          # hole at slot 1
+        assert fpga.has_capacity_for(fpga_impl(4, area_slices=900))
+        assert not fpga.has_capacity_for(fpga_impl(4, area_slices=1800))
+
+    def test_cannot_place_without_capacity(self):
+        fpga = FpgaDevice("fpga0", SlotSpec(2, 1000))
+        fpga.place(task(1, fpga_impl(1, area_slices=2000)))
+        with pytest.raises(PlatformError):
+            fpga.place(task(2, fpga_impl(2, area_slices=100)))
+
+    def test_cannot_host_software_targets(self):
+        fpga = FpgaDevice("fpga0", SlotSpec(2, 1000))
+        assert not fpga.can_host(software_impl())
+        with pytest.raises(PlatformError):
+            fpga.place(task(1, software_impl()))
+
+    def test_duplicate_handle_rejected(self):
+        fpga = FpgaDevice("fpga0", SlotSpec(4, 1000))
+        fpga.place(task(1, fpga_impl(1)))
+        with pytest.raises(PlatformError):
+            fpga.place(task(1, fpga_impl(2)))
+
+    def test_power_accounts_for_idle_and_tasks(self):
+        fpga = FpgaDevice("fpga0", SlotSpec(4, 1000), idle_power_mw=100.0)
+        assert fpga.power_mw() == 100.0
+        fpga.place(task(1, fpga_impl(power_mw=400.0)))
+        assert fpga.power_mw() == 500.0
+
+    def test_virtex2_3000_preset(self):
+        fpga = virtex2_3000_fpga()
+        assert fpga.slots.total_slices + fpga.static_region_slices <= 14336
+        assert fpga.slots.slot_count == 8
+
+    def test_preemption_candidates_sorted_by_age(self):
+        fpga = FpgaDevice("fpga0", SlotSpec(4, 1000))
+        fpga.place(task(1, fpga_impl(1), placed_at_us=50.0))
+        fpga.place(task(2, fpga_impl(2), placed_at_us=10.0))
+        fpga.place(task(3, fpga_impl(3), placed_at_us=30.0, preemptible=False))
+        candidates = fpga.preemption_candidates()
+        assert [c.handle for c in candidates] == [2, 1]
+
+
+class TestProcessorDevice:
+    def test_load_accounting(self):
+        cpu = ProcessorDevice("cpu0", DeviceKind.CPU, load_limit=0.8)
+        cpu.place(task(1, software_impl(1, load=0.3)))
+        assert cpu.current_load() == pytest.approx(0.3)
+        assert cpu.has_capacity_for(software_impl(2, load=0.5))
+        assert not cpu.has_capacity_for(software_impl(2, load=0.6))
+        assert cpu.utilization() == pytest.approx(0.375)
+
+    def test_overload_rejected(self):
+        cpu = ProcessorDevice("cpu0", DeviceKind.CPU, load_limit=0.5)
+        cpu.place(task(1, software_impl(1, load=0.4)))
+        with pytest.raises(PlatformError):
+            cpu.place(task(2, software_impl(2, load=0.2)))
+
+    def test_dsp_hosts_only_dsp_targets(self):
+        dsp = audio_dsp()
+        assert dsp.can_host(software_impl(target=ExecutionTarget.DSP))
+        assert not dsp.can_host(software_impl(target=ExecutionTarget.GPP))
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(PlatformError):
+            ProcessorDevice("x", DeviceKind.FPGA)
+        with pytest.raises(PlatformError):
+            ProcessorDevice("x", DeviceKind.CPU, load_limit=0.0)
+
+    def test_presets(self):
+        assert host_cpu().kind is DeviceKind.CPU
+        assert audio_dsp().kind is DeviceKind.DSP
+
+    def test_task_lookup_and_missing_handle(self):
+        cpu = host_cpu()
+        cpu.place(task(7, software_impl(1, load=0.2)))
+        assert cpu.task(7).handle == 7
+        assert 7 in cpu
+        with pytest.raises(PlatformError):
+            cpu.task(8)
+        with pytest.raises(PlatformError):
+            cpu.remove(8)

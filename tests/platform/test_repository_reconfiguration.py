@@ -1,0 +1,91 @@
+"""Unit tests for the configuration repository and reconfiguration timing."""
+
+import pytest
+
+from repro.core import ExecutionTarget, PlatformError, paper_case_base
+from repro.platform import (
+    ConfigurationEntry,
+    ConfigurationKind,
+    ConfigurationRepository,
+    ReconfigurationController,
+)
+
+
+class TestConfigurationRepository:
+    def test_store_and_fetch(self):
+        repository = ConfigurationRepository()
+        repository.store(ConfigurationEntry(1, 1, ConfigurationKind.BITSTREAM, 96_000))
+        entry = repository.fetch(1, 1)
+        assert entry.size_bytes == 96_000
+        assert repository.statistics.fetches == 1
+        assert repository.statistics.bytes_read == 96_000
+
+    def test_fetch_unknown_raises(self):
+        with pytest.raises(PlatformError):
+            ConfigurationRepository().fetch(1, 1)
+
+    def test_kind_for_target(self):
+        assert ConfigurationKind.for_target(ExecutionTarget.FPGA) is ConfigurationKind.BITSTREAM
+        assert ConfigurationKind.for_target(ExecutionTarget.GPP) is ConfigurationKind.OPCODE
+        assert ConfigurationKind.for_target(ExecutionTarget.DSP) is ConfigurationKind.OPCODE
+
+    def test_fetch_time_scales_with_size_and_bandwidth(self):
+        repository = ConfigurationRepository(read_bandwidth_mb_s=20.0)
+        repository.store(ConfigurationEntry(1, 1, ConfigurationKind.BITSTREAM, 40_000))
+        assert repository.fetch_time_us(1, 1) == pytest.approx(2000.0)
+        fast = ConfigurationRepository(read_bandwidth_mb_s=40.0)
+        fast.store(ConfigurationEntry(1, 1, ConfigurationKind.BITSTREAM, 40_000))
+        assert fast.fetch_time_us(1, 1) == pytest.approx(1000.0)
+
+    def test_from_case_base_covers_all_implementations(self):
+        case_base = paper_case_base()
+        repository = ConfigurationRepository.from_case_base(case_base)
+        assert len(repository) == case_base.count_implementations()
+        assert (1, 1) in repository and (2, 2) in repository
+        entry = repository.fetch(1, 1)
+        assert entry.kind is ConfigurationKind.BITSTREAM
+        assert repository.fetch(1, 3).kind is ConfigurationKind.OPCODE
+        assert repository.total_bytes() > 0
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(PlatformError):
+            ConfigurationRepository(read_bandwidth_mb_s=0)
+        with pytest.raises(PlatformError):
+            ConfigurationEntry(1, 1, ConfigurationKind.OPCODE, -5)
+
+
+class TestReconfigurationController:
+    def test_transfer_time_follows_bandwidth(self):
+        controller = ReconfigurationController("fpga0", bandwidth_mb_s=50.0, setup_overhead_us=25.0)
+        assert controller.transfer_time_us(100_000) == pytest.approx(2000.0)
+        assert controller.reconfiguration_time_us(100_000) == pytest.approx(2025.0)
+
+    def test_serial_port_queues_overlapping_requests(self):
+        controller = ReconfigurationController("fpga0", bandwidth_mb_s=50.0, setup_overhead_us=0.0)
+        first = controller.schedule(1, 100_000, now_us=0.0)
+        second = controller.schedule(2, 50_000, now_us=100.0)
+        assert first.end_us == pytest.approx(2000.0)
+        assert second.start_us == pytest.approx(first.end_us)
+        assert controller.busy_until_us() == pytest.approx(second.end_us)
+
+    def test_idle_port_starts_immediately(self):
+        controller = ReconfigurationController("fpga0")
+        event = controller.schedule(1, 10_000, now_us=500.0)
+        assert event.start_us == 500.0
+
+    def test_total_time_and_reset(self):
+        controller = ReconfigurationController("fpga0", setup_overhead_us=0.0)
+        controller.schedule(1, 50_000, 0.0)
+        controller.schedule(2, 50_000, 0.0)
+        assert controller.total_reconfiguration_time_us() == pytest.approx(2 * 1000.0)
+        controller.reset()
+        assert controller.busy_until_us() == 0.0
+        assert controller.events == []
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(PlatformError):
+            ReconfigurationController("x", bandwidth_mb_s=0)
+        with pytest.raises(PlatformError):
+            ReconfigurationController("x", setup_overhead_us=-1)
+        with pytest.raises(PlatformError):
+            ReconfigurationController("x").transfer_time_us(-1)

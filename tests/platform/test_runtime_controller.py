@@ -1,0 +1,129 @@
+"""Unit tests for local run-time controllers and the system resource state."""
+
+import pytest
+
+from repro.core import DeploymentInfo, ExecutionTarget, Implementation, PlatformError, paper_case_base
+from repro.platform import (
+    ConfigurationRepository,
+    LocalRuntimeController,
+    SlotSpec,
+    FpgaDevice,
+    SystemResourceState,
+    host_cpu,
+    virtex2_3000_fpga,
+)
+
+
+def fpga_impl(implementation_id=1, area_slices=1000, size=80_000):
+    return Implementation(
+        implementation_id, ExecutionTarget.FPGA, {1: 16},
+        DeploymentInfo(area_slices=area_slices, configuration_size_bytes=size,
+                       power_mw=300.0, setup_time_us=100.0),
+    )
+
+
+def cpu_impl(implementation_id=1, load=0.3):
+    return Implementation(
+        implementation_id, ExecutionTarget.GPP, {1: 16},
+        DeploymentInfo(load_fraction=load, power_mw=120.0, setup_time_us=50.0,
+                       configuration_size_bytes=4_000),
+    )
+
+
+class TestLocalRuntimeController:
+    def test_fpga_placement_includes_reconfiguration_time(self):
+        repository = ConfigurationRepository.from_case_base(paper_case_base())
+        controller = LocalRuntimeController(virtex2_3000_fpga(), repository)
+        implementation = paper_case_base().get_implementation(1, 1)
+        report = controller.place(1, implementation, now_us=0.0)
+        assert report.reconfiguration_time_us > 0
+        assert report.repository_fetch_time_us > 0
+        assert report.total_deploy_time_us > report.setup_time_us
+        assert controller.utilization() > 0
+
+    def test_software_placement_has_no_reconfiguration(self):
+        controller = LocalRuntimeController(host_cpu())
+        report = controller.place(1, cpu_impl())
+        assert report.reconfiguration_time_us == 0.0
+        assert report.setup_time_us == 50.0
+
+    def test_place_rejects_wrong_target(self):
+        controller = LocalRuntimeController(host_cpu())
+        with pytest.raises(PlatformError):
+            controller.place(1, fpga_impl())
+
+    def test_place_rejects_when_full(self):
+        controller = LocalRuntimeController(FpgaDevice("tiny", SlotSpec(1, 1000)))
+        controller.place(1, fpga_impl(1, area_slices=900))
+        with pytest.raises(PlatformError):
+            controller.place(1, fpga_impl(2, area_slices=900))
+
+    def test_remove_frees_capacity(self):
+        controller = LocalRuntimeController(FpgaDevice("tiny", SlotSpec(1, 1000)))
+        report = controller.place(1, fpga_impl(1, area_slices=900))
+        controller.remove(report.handle)
+        assert controller.can_place(fpga_impl(2, area_slices=900))
+
+    def test_handles_are_globally_unique(self):
+        a = LocalRuntimeController(host_cpu("cpu-a"))
+        b = LocalRuntimeController(host_cpu("cpu-b"))
+        handle_a = a.place(1, cpu_impl(1)).handle
+        handle_b = b.place(1, cpu_impl(2)).handle
+        assert handle_a != handle_b
+
+    def test_preempt_for_removes_just_enough_tasks(self):
+        controller = LocalRuntimeController(FpgaDevice("fpga", SlotSpec(2, 1000)))
+        controller.place(1, fpga_impl(1, area_slices=900), now_us=0.0)
+        controller.place(2, fpga_impl(2, area_slices=900), now_us=10.0)
+        victims = controller.preempt_for(fpga_impl(3, area_slices=900))
+        assert len(victims) == 1
+        assert controller.can_place(fpga_impl(3, area_slices=900))
+
+    def test_preempt_for_rolls_back_when_impossible(self):
+        controller = LocalRuntimeController(FpgaDevice("fpga", SlotSpec(2, 1000)))
+        controller.place(1, fpga_impl(1, area_slices=900))
+        victims = controller.preempt_for(fpga_impl(2, area_slices=5000))  # can never fit
+        assert victims == []
+        assert len(controller.tasks()) == 1
+
+
+class TestSystemResourceState:
+    def _system(self, power_budget=None):
+        return SystemResourceState(
+            [LocalRuntimeController(virtex2_3000_fpga("fpga0")),
+             LocalRuntimeController(host_cpu("cpu0"))],
+            power_budget_mw=power_budget,
+        )
+
+    def test_snapshot_contains_all_devices(self):
+        system = self._system()
+        snapshot = system.snapshot()
+        assert set(snapshot.devices) == {"fpga0", "cpu0"}
+        assert snapshot.total_power_mw == pytest.approx(system.total_power_mw())
+        assert snapshot.average_utilization() == 0.0
+
+    def test_duplicate_controller_rejected(self):
+        system = self._system()
+        with pytest.raises(PlatformError):
+            system.add_controller(LocalRuntimeController(host_cpu("cpu0")))
+
+    def test_unknown_controller_lookup_raises(self):
+        with pytest.raises(PlatformError):
+            self._system().controller("dsp9")
+
+    def test_power_budget_and_headroom(self):
+        system = self._system(power_budget=1000.0)
+        assert system.headroom_mw() == pytest.approx(1000.0 - system.total_power_mw())
+        assert system.snapshot().within_power_budget
+        with pytest.raises(PlatformError):
+            SystemResourceState([], power_budget_mw=0.0)
+
+    def test_headroom_without_budget_is_none(self):
+        assert self._system().headroom_mw() is None
+
+    def test_utilization_reflects_placements(self):
+        system = self._system()
+        system.controller("cpu0").place(1, cpu_impl(load=0.4))
+        snapshot = system.snapshot()
+        assert snapshot.utilization_of("cpu0") > 0.0
+        assert snapshot.devices["cpu0"].task_count == 1

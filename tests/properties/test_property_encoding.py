@@ -1,0 +1,154 @@
+"""Property-based tests for the memory-mapped encodings (round trips, sizes)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AttributeBounds,
+    BoundsTable,
+    CaseBase,
+    ExecutionTarget,
+    FunctionRequest,
+    Implementation,
+)
+from repro.fixedpoint import UQ0_16
+from repro.memmap import (
+    decode_compact_tree,
+    decode_request,
+    decode_supplemental,
+    decode_tree,
+    encode_compact_tree,
+    encode_request,
+    encode_supplemental,
+    encode_tree,
+    request_size_words,
+)
+
+attribute_ids = st.integers(min_value=1, max_value=60)
+word_values = st.integers(min_value=0, max_value=0xFFFE)  # keep clear of the compact MISSING marker
+
+
+@st.composite
+def requests(draw):
+    type_id = draw(st.integers(min_value=1, max_value=100))
+    entries = draw(
+        st.dictionaries(attribute_ids, word_values, min_size=1, max_size=8)
+    )
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.05, max_value=5.0, allow_nan=False),
+            min_size=len(entries),
+            max_size=len(entries),
+        )
+    )
+    attributes = [
+        (attribute_id, value, weight)
+        for (attribute_id, value), weight in zip(sorted(entries.items()), weights)
+    ]
+    return FunctionRequest(type_id, attributes, normalize_weights=True)
+
+
+@st.composite
+def case_bases(draw):
+    case_base = CaseBase()
+    type_ids = draw(st.lists(st.integers(1, 200), min_size=1, max_size=4, unique=True))
+    targets = list(ExecutionTarget)
+    implementation_id = 0
+    for type_id in sorted(type_ids):
+        function_type = case_base.add_type(type_id)
+        count = draw(st.integers(min_value=1, max_value=4))
+        for _ in range(count):
+            implementation_id += 1
+            attributes = draw(
+                st.dictionaries(attribute_ids, word_values, min_size=0, max_size=6)
+            )
+            function_type.add(
+                Implementation(
+                    implementation_id,
+                    targets[implementation_id % len(targets)],
+                    attributes,
+                )
+            )
+    return case_base
+
+
+class TestRequestEncodingProperties:
+    @given(requests())
+    @settings(max_examples=100)
+    def test_round_trip_preserves_structure(self, request):
+        encoded = encode_request(request)
+        decoded = decode_request(encoded.words)
+        assert decoded.type_id == request.type_id
+        assert decoded.values() == request.values()
+        assert decoded.attribute_ids() == request.attribute_ids()
+        for attribute_id, weight in request.weights().items():
+            assert abs(decoded.weights()[attribute_id] - weight) <= UQ0_16.resolution
+
+    @given(requests())
+    @settings(max_examples=100)
+    def test_size_formula_matches_encoder(self, request):
+        encoded = encode_request(request)
+        assert encoded.size_words == request_size_words(len(request))
+
+
+class TestTreeEncodingProperties:
+    @given(case_bases())
+    @settings(max_examples=75)
+    def test_plain_round_trip(self, case_base):
+        decoded = decode_tree(encode_tree(case_base).words)
+        for type_id, implementation in case_base.all_implementations():
+            assert decoded[type_id][implementation.implementation_id] == implementation.attributes
+
+    @given(case_bases())
+    @settings(max_examples=75)
+    def test_compact_round_trip_matches_plain(self, case_base):
+        plain = decode_tree(encode_tree(case_base).words)
+        compact = decode_compact_tree(encode_compact_tree(case_base).words)
+        assert compact == plain
+
+    @given(case_bases())
+    @settings(max_examples=75)
+    def test_encoded_sizes_match_structural_formulas(self, case_base):
+        """Both encoders produce exactly the size their layouts imply."""
+        plain = encode_tree(case_base)
+        expected_plain = 2 * len(case_base) + 1
+        for function_type in case_base:
+            expected_plain += 2 * len(function_type) + 1
+            for implementation in function_type:
+                expected_plain += 2 * len(implementation.attributes) + 1
+        assert plain.size_words == expected_plain
+
+        compact = encode_compact_tree(case_base)
+        expected_compact = 2 * len(case_base) + 1
+        for function_type in case_base:
+            directory = {
+                attribute_id
+                for implementation in function_type
+                for attribute_id in implementation.attributes
+            }
+            expected_compact += len(directory) + 1
+            expected_compact += len(function_type) * (1 + len(directory)) + 1
+        assert compact.size_words == expected_compact
+
+
+class TestSupplementalEncodingProperties:
+    @given(
+        st.dictionaries(
+            attribute_ids,
+            st.tuples(st.integers(0, 30000), st.integers(0, 30000)),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=100)
+    def test_round_trip(self, raw_bounds):
+        table = BoundsTable(
+            [
+                AttributeBounds(attribute_id, min(pair), max(pair))
+                for attribute_id, pair in sorted(raw_bounds.items())
+            ]
+        )
+        decoded = decode_supplemental(encode_supplemental(table).words)
+        assert decoded.ids() == table.ids()
+        for attribute_id in table.ids():
+            assert decoded.dmax(attribute_id) == table.dmax(attribute_id)

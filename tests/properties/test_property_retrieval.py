@@ -1,0 +1,97 @@
+"""Property-based tests of the retrieval invariants across execution models."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FunctionRequest, RetrievalEngine
+from repro.hardware import HardwareConfig, HardwareRetrievalUnit
+from repro.software import SoftwareRetrievalUnit
+from repro.tools import CaseBaseGenerator, GeneratorSpec
+
+
+@st.composite
+def generator_and_request(draw):
+    """A random (but small) case base plus a random request against it."""
+    spec = GeneratorSpec(
+        type_count=draw(st.integers(1, 3)),
+        implementations_per_type=draw(st.integers(1, 4)),
+        attributes_per_implementation=draw(st.integers(1, 5)),
+        attribute_type_count=6,
+        value_range=(0, 300),
+        missing_probability=draw(st.sampled_from([0.0, 0.2])),
+    )
+    generator = CaseBaseGenerator(spec, seed=draw(st.integers(0, 50)))
+    case_base = generator.case_base()
+    request = generator.request(
+        type_id=draw(st.integers(1, spec.type_count)),
+        attribute_count=draw(st.integers(1, 5)),
+        salt=draw(st.integers(0, 100)),
+    )
+    return case_base, request
+
+
+class TestCrossModelInvariants:
+    @given(generator_and_request())
+    @settings(max_examples=40, deadline=None)
+    def test_reference_best_is_maximal(self, data):
+        """The reported best similarity upper-bounds every scored variant."""
+        case_base, request = data
+        engine = RetrievalEngine(case_base)
+        scored = engine.score_all(request)
+        best = engine.retrieve_best(request)
+        assert best.best_similarity == max(entry.similarity for entry in scored)
+        assert 0.0 <= best.best_similarity <= 1.0
+
+    @given(generator_and_request())
+    @settings(max_examples=40, deadline=None)
+    def test_n_best_is_sorted_prefix_of_full_ranking(self, data):
+        case_base, request = data
+        engine = RetrievalEngine(case_base)
+        full = engine.retrieve_n_best(request, 100)
+        partial = engine.retrieve_n_best(request, 2)
+        assert partial.ids() == full.ids()[: len(partial.ids())]
+        similarities = [entry.similarity for entry in full]
+        assert similarities == sorted(similarities, reverse=True)
+
+    @given(generator_and_request())
+    @settings(max_examples=30, deadline=None)
+    def test_hardware_and_software_agree_bit_exactly(self, data):
+        """Both fixed-point executions deliver identical winner and similarity."""
+        case_base, request = data
+        hardware = HardwareRetrievalUnit(case_base).run(request)
+        software = SoftwareRetrievalUnit(case_base).run(request)
+        assert hardware.best_id == software.best_id
+        assert hardware.best_similarity_raw == software.best_similarity_raw
+
+    @given(generator_and_request())
+    @settings(max_examples=30, deadline=None)
+    def test_fixed_point_similarity_close_to_reference(self, data):
+        """16-bit fixed point never drifts far from the floating-point value (E5)."""
+        case_base, request = data
+        reference = RetrievalEngine(case_base).retrieve_best(request)
+        hardware = HardwareRetrievalUnit(case_base).run(request)
+        assert abs(hardware.best_similarity - reference.best_similarity) < 0.02
+
+    @given(generator_and_request())
+    @settings(max_examples=30, deadline=None)
+    def test_compacted_configuration_never_slower(self, data):
+        """The section-5 optimisations can only reduce the cycle count."""
+        case_base, request = data
+        baseline = HardwareRetrievalUnit(case_base).run(request)
+        optimised = HardwareRetrievalUnit(
+            case_base,
+            config=HardwareConfig(
+                wide_attribute_fetch=True, pipelined_datapath=True, cache_reciprocals=True
+            ),
+        ).run(request)
+        assert optimised.cycles <= baseline.cycles
+        assert optimised.best_id == baseline.best_id
+
+    @given(generator_and_request())
+    @settings(max_examples=30, deadline=None)
+    def test_cycle_count_matches_trace_and_covers_reads(self, data):
+        case_base, request = data
+        unit = HardwareRetrievalUnit(case_base, config=HardwareConfig(trace=True))
+        result = unit.run(request)
+        assert result.trace.total_cycles() == result.cycles
+        assert result.cycles >= result.statistics.memory_reads

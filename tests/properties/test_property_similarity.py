@@ -1,0 +1,100 @@
+"""Property-based tests for the similarity and amalgamation machinery."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AttributeBounds,
+    BoundsTable,
+    LocalSimilarity,
+    WeightedGeometricMean,
+    WeightedSum,
+)
+from repro.fixedpoint import UQ0_16, local_similarity, weighted_sum
+
+
+values = st.integers(min_value=0, max_value=2000)
+
+
+def bounds_for(span: int) -> BoundsTable:
+    return BoundsTable([AttributeBounds(1, 0, span)])
+
+
+class TestLocalSimilarityProperties:
+    @given(a=values, b=values, span=st.integers(min_value=1, max_value=4000))
+    @settings(max_examples=150)
+    def test_range_symmetry_and_identity(self, a, b, span):
+        measure = LocalSimilarity(bounds_for(span))
+        forward = measure.value(1, a, b)
+        backward = measure.value(1, b, a)
+        assert 0.0 <= forward <= 1.0
+        assert forward == backward
+        assert measure.value(1, a, a) == 1.0
+
+    @given(a=values, b=values, c=values, span=st.integers(min_value=1, max_value=4000))
+    @settings(max_examples=150)
+    def test_monotone_in_distance(self, a, b, c, span):
+        """A closer case value never yields a lower similarity."""
+        measure = LocalSimilarity(bounds_for(span))
+        near, far = sorted((b, c), key=lambda value: abs(value - a))
+        assert measure.value(1, a, near) >= measure.value(1, a, far)
+
+    @given(a=st.integers(0, 0xFFFF), b=st.integers(0, 0xFFFF),
+           span=st.integers(min_value=1, max_value=0xFFFF))
+    @settings(max_examples=150)
+    def test_fixed_point_stays_close_to_float(self, a, b, span):
+        """The 16-bit datapath result never drifts far from the exact value."""
+        measure = LocalSimilarity(bounds_for(span), clamp=True)
+        exact = measure.value(1, a, b)
+        quantised = local_similarity(a, b, span)
+        # The reciprocal quantisation error is amplified by the distance.
+        tolerance = (abs(a - b) * 0.5 + 2) * UQ0_16.resolution + 1e-9
+        assert abs(exact - quantised) <= tolerance
+
+
+unit_floats = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+positive_weights = st.floats(min_value=0.01, max_value=10.0, allow_nan=False)
+
+
+class TestAmalgamationProperties:
+    @given(st.lists(st.tuples(unit_floats, positive_weights), min_size=1, max_size=8))
+    @settings(max_examples=200)
+    def test_weighted_sum_stays_in_unit_cube_image(self, pairs):
+        similarities = [s for s, _ in pairs]
+        weights = [w for _, w in pairs]
+        value = WeightedSum().combine(similarities, weights)
+        assert -1e-9 <= value <= 1.0 + 1e-9
+        assert min(similarities) - 1e-9 <= value <= max(similarities) + 1e-9
+
+    @given(st.lists(st.tuples(unit_floats, positive_weights), min_size=1, max_size=8),
+           st.integers(min_value=0, max_value=7),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=200)
+    def test_weighted_sum_monotone_in_every_argument(self, pairs, index, bump):
+        similarities = [s for s, _ in pairs]
+        weights = [w for _, w in pairs]
+        index = index % len(similarities)
+        bumped = list(similarities)
+        bumped[index] = min(1.0, bumped[index] + bump * (1.0 - bumped[index]))
+        assert (
+            WeightedSum().combine(bumped, weights)
+            >= WeightedSum().combine(similarities, weights) - 1e-9
+        )
+
+    @given(st.lists(st.tuples(unit_floats, positive_weights), min_size=1, max_size=8))
+    @settings(max_examples=200)
+    def test_geometric_mean_never_exceeds_weighted_sum(self, pairs):
+        """AM-GM: the geometric amalgamation is a lower bound of eq. 2."""
+        similarities = [s for s, _ in pairs]
+        weights = [w for _, w in pairs]
+        geometric = WeightedGeometricMean().combine(similarities, weights)
+        weighted = WeightedSum().combine(similarities, weights)
+        assert geometric <= weighted + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=6))
+    @settings(max_examples=200)
+    def test_fixed_point_weighted_sum_close_to_float(self, similarities):
+        weights = [1.0 / len(similarities)] * len(similarities)
+        exact = WeightedSum().combine(similarities, weights)
+        quantised = weighted_sum(similarities, weights)
+        assert abs(exact - quantised) <= len(similarities) * 4 * UQ0_16.resolution + 1e-9

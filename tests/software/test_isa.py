@@ -1,0 +1,79 @@
+"""Unit tests for the soft-core instruction cost model."""
+
+import pytest
+
+from repro.software import (
+    CostModel,
+    InstructionClass,
+    InstructionCounters,
+    InstructionEmitter,
+    microblaze_cost_model,
+    microblaze_soft_multiply_model,
+)
+
+
+class TestCostModel:
+    def test_default_costs_follow_microblaze_pipeline(self):
+        model = microblaze_cost_model()
+        assert model.cost(InstructionClass.ALU) == 1
+        assert model.cost(InstructionClass.LOAD) == 2
+        assert model.cost(InstructionClass.MULTIPLY) == 3
+        assert model.cost(InstructionClass.BRANCH_TAKEN) == 3
+        assert model.cost(InstructionClass.BRANCH_NOT_TAKEN) == 1
+
+    def test_soft_multiply_variant_is_much_slower(self):
+        soft = microblaze_soft_multiply_model()
+        assert soft.cost(InstructionClass.MULTIPLY) > 10
+        assert soft.cost(InstructionClass.ALU) == 1
+
+    def test_with_clock_preserves_costs(self):
+        model = microblaze_cost_model().with_clock(100.0)
+        assert model.clock_mhz == 100.0
+        assert model.cost(InstructionClass.LOAD) == 2
+
+
+class TestInstructionCounters:
+    def test_emit_and_totals(self):
+        counters = InstructionCounters()
+        counters.emit(InstructionClass.LOAD, 3)
+        counters.emit(InstructionClass.ALU, 5)
+        assert counters.total_instructions() == 8
+        assert counters.total_cycles(microblaze_cost_model()) == 3 * 2 + 5 * 1
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            InstructionCounters().emit(InstructionClass.ALU, -1)
+
+    def test_merge(self):
+        a, b = InstructionCounters(), InstructionCounters()
+        a.emit(InstructionClass.ALU, 2)
+        b.emit(InstructionClass.ALU, 3)
+        b.emit(InstructionClass.LOAD, 1)
+        a.merge(b)
+        assert a.counts[InstructionClass.ALU] == 5
+        assert a.counts[InstructionClass.LOAD] == 1
+
+
+class TestInstructionEmitter:
+    def test_branch_direction_matters(self):
+        counters = InstructionCounters()
+        emitter = InstructionEmitter(counters)
+        emitter.branch(taken=True)
+        emitter.branch(taken=False)
+        assert counters.counts[InstructionClass.BRANCH_TAKEN] == 1
+        assert counters.counts[InstructionClass.BRANCH_NOT_TAKEN] == 1
+
+    def test_call_and_return_model_prologue_epilogue(self):
+        counters = InstructionCounters()
+        emitter = InstructionEmitter(counters)
+        emitter.call(saved_registers=3)
+        emitter.ret(restored_registers=3)
+        assert counters.counts[InstructionClass.CALL] == 1
+        assert counters.counts[InstructionClass.RETURN] == 1
+        assert counters.counts[InstructionClass.STORE] == 3
+        assert counters.counts[InstructionClass.LOAD] == 3
+
+    def test_compare_and_branch_emits_two_instructions(self):
+        counters = InstructionCounters()
+        InstructionEmitter(counters).compare_and_branch(taken=True)
+        assert counters.total_instructions() == 2

@@ -1,0 +1,42 @@
+"""Tests for the static code/data footprint model (paper section 4.2, experiment E6)."""
+
+from repro.software import (
+    DATA_OBJECTS,
+    INSTRUCTION_BYTES,
+    PAPER_CODE_BYTES,
+    PAPER_DATA_BYTES,
+    ROUTINES,
+    code_size_bytes,
+    data_size_bytes,
+    footprint_report,
+)
+
+
+class TestFootprintModel:
+    def test_code_size_matches_paper(self):
+        """Paper: the MicroBlaze build takes 1984 bytes of opcode."""
+        assert code_size_bytes() == PAPER_CODE_BYTES
+
+    def test_data_size_matches_paper(self):
+        """Paper: 1208 bytes for variables."""
+        assert data_size_bytes() == PAPER_DATA_BYTES
+
+    def test_routine_bytes_are_instruction_multiples(self):
+        for routine in ROUTINES:
+            assert routine.bytes == routine.instructions * INSTRUCTION_BYTES
+
+    def test_every_retrieval_phase_has_a_routine(self):
+        names = {routine.name for routine in ROUTINES}
+        assert {"retrieve_most_similar", "score_implementation",
+                "fetch_supplemental", "search_attribute"} <= names
+
+    def test_request_buffer_matches_table3_worst_case(self):
+        request_buffer = next(obj for obj in DATA_OBJECTS if obj.name == "request_buffer")
+        assert request_buffer.bytes == 64
+
+    def test_report_summary(self):
+        report = footprint_report()
+        assert report["code_bytes"] == PAPER_CODE_BYTES
+        assert report["data_bytes"] == PAPER_DATA_BYTES
+        assert report["total_bytes"] == PAPER_CODE_BYTES + PAPER_DATA_BYTES
+        assert report["instruction_count"] * INSTRUCTION_BYTES == report["code_bytes"]

@@ -1,0 +1,97 @@
+"""Tests for the software retrieval cost model and the HW/SW comparison (E4)."""
+
+import pytest
+
+from repro.core import FunctionRequest, RetrievalEngine, SoftwareModelError, UnknownFunctionTypeError
+from repro.hardware import HardwareRetrievalUnit
+from repro.software import (
+    SoftwareRetrievalUnit,
+    microblaze_cost_model,
+    microblaze_soft_multiply_model,
+)
+
+
+class TestFunctionalBehaviour:
+    def test_paper_example_selects_dsp_variant(self, paper_cb, paper_req):
+        result = SoftwareRetrievalUnit(paper_cb).run(paper_req)
+        assert result.best_id == 2
+        assert result.best_similarity == pytest.approx(0.964, abs=0.002)
+
+    def test_identical_results_to_hardware_model(self, small_generator):
+        """The paper: both versions 'produce identical retrieval and similarity results'."""
+        case_base = small_generator.case_base()
+        hardware = HardwareRetrievalUnit(case_base)
+        software = SoftwareRetrievalUnit(case_base)
+        for salt in range(10):
+            request = small_generator.request(salt=salt, attribute_count=6)
+            hw = hardware.run(request)
+            sw = software.run(request)
+            assert hw.best_id == sw.best_id
+            assert hw.best_similarity_raw == sw.best_similarity_raw
+
+    def test_agrees_with_floating_point_reference(self, paper_cb, paper_req):
+        sw = SoftwareRetrievalUnit(paper_cb).run(paper_req)
+        ref = RetrievalEngine(paper_cb).retrieve_best(paper_req)
+        assert sw.best_id == ref.best_id
+
+    def test_unknown_type_raises(self, paper_cb):
+        with pytest.raises(UnknownFunctionTypeError):
+            SoftwareRetrievalUnit(paper_cb).run(FunctionRequest(42, [(1, 16)]))
+
+    def test_missing_bounds_entry_raises(self, paper_cb):
+        with pytest.raises(SoftwareModelError):
+            SoftwareRetrievalUnit(paper_cb).run(FunctionRequest(1, [(9, 1)]))
+
+
+class TestCostAccounting:
+    def test_cycles_reflect_instruction_mix(self, paper_cb, paper_req):
+        result = SoftwareRetrievalUnit(paper_cb).run(paper_req)
+        assert result.cycles == result.counters.total_cycles(result.cost_model)
+        assert result.statistics.instructions == result.counters.total_instructions()
+        assert result.statistics.memory_reads > 0
+
+    def test_helper_calls_are_counted(self, paper_cb, paper_req):
+        structured = SoftwareRetrievalUnit(paper_cb).run(paper_req)
+        inlined = SoftwareRetrievalUnit(paper_cb, inline_helpers=True).run(paper_req)
+        assert structured.statistics.helper_calls > 0
+        assert inlined.statistics.helper_calls == 0
+        assert inlined.cycles < structured.cycles
+
+    def test_soft_multiply_model_is_slower(self, paper_cb, paper_req):
+        hw_mul = SoftwareRetrievalUnit(paper_cb).run(paper_req)
+        soft_mul = SoftwareRetrievalUnit(
+            paper_cb, cost_model=microblaze_soft_multiply_model()
+        ).run(paper_req)
+        assert soft_mul.cycles > hw_mul.cycles
+        assert soft_mul.best_id == hw_mul.best_id
+
+    def test_time_uses_model_clock(self, paper_cb, paper_req):
+        result = SoftwareRetrievalUnit(
+            paper_cb, cost_model=microblaze_cost_model(clock_mhz=33.0)
+        ).run(paper_req)
+        assert result.time_us == pytest.approx(result.cycles / 33.0)
+
+
+class TestSpeedupClaim:
+    def test_hardware_is_many_times_faster_at_equal_clock(self, paper_cb, paper_req):
+        """Section 4.2: hardware ~8.5x faster than the MicroBlaze software at 66 MHz."""
+        hw = HardwareRetrievalUnit(paper_cb).run(paper_req)
+        sw = SoftwareRetrievalUnit(paper_cb).run(paper_req)
+        speedup = sw.cycles / hw.cycles
+        assert 6.0 <= speedup <= 12.0
+
+    def test_speedup_holds_for_table_sized_case_bases(self, small_generator):
+        case_base = small_generator.case_base()
+        hardware = HardwareRetrievalUnit(case_base)
+        software = SoftwareRetrievalUnit(case_base)
+        speedups = []
+        for salt in range(6):
+            request = small_generator.request(salt=salt, attribute_count=6)
+            speedups.append(software.run(request).cycles / hardware.run(request).cycles)
+        assert all(6.0 <= s <= 12.0 for s in speedups)
+
+    def test_inlined_software_narrows_but_keeps_the_gap(self, paper_cb, paper_req):
+        hw = HardwareRetrievalUnit(paper_cb).run(paper_req)
+        sw = SoftwareRetrievalUnit(paper_cb, inline_helpers=True).run(paper_req)
+        speedup = sw.cycles / hw.cycles
+        assert 2.0 <= speedup < 8.5

@@ -1,0 +1,73 @@
+"""Tests for the repro-qos command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.tools import load_case_base
+
+
+class TestParser:
+    def test_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_constraint_syntax_errors_are_reported(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["retrieve", "--constraint", "not-a-constraint"])
+
+
+class TestPaperExampleCommand:
+    def test_prints_table1_and_speedup(self, capsys):
+        assert main(["paper-example"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 1 reproduction" in output
+        assert "0.964" in output and "0.853" in output and "0.43" in output
+        assert "speedup at equal clock" in output
+
+
+class TestGenerateAndRetrieve:
+    def test_generate_then_retrieve_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "cb.json"
+        assert main(["generate", str(path), "--types", "3", "--implementations", "4",
+                     "--attributes", "5", "--seed", "3"]) == 0
+        case_base = load_case_base(path)
+        assert len(case_base) == 3
+        capsys.readouterr()
+        assert main(["retrieve", "--case-base", str(path), "--type-id", "2",
+                     "--constraint", "1=200", "--constraint", "3=500:2"]) == 0
+        output = capsys.readouterr().out
+        assert "retrieval result" in output
+
+    def test_retrieve_defaults_to_paper_example(self, capsys):
+        assert main(["retrieve", "--type-id", "1",
+                     "--constraint", "1=16", "--constraint", "3=1", "--constraint", "4=40"]) == 0
+        output = capsys.readouterr().out
+        assert "0.964" in output
+
+    def test_retrieve_hardware_backend_reports_cycles(self, capsys):
+        assert main(["retrieve", "--backend", "hardware", "--type-id", "1",
+                     "--constraint", "1=16", "--constraint", "3=1", "--constraint", "4=40",
+                     "--compact"]) == 0
+        output = capsys.readouterr().out
+        assert "cycles=" in output and "MHz" in output
+
+
+class TestEstimateExportScenario:
+    def test_estimate_prints_table2_rows(self, capsys):
+        assert main(["estimate", "--components"]) == 0
+        output = capsys.readouterr().out
+        assert "CLB-Slices" in output and "MULT18X18s" in output
+        assert "component inventory" in output
+
+    def test_export_writes_files(self, tmp_path, capsys):
+        assert main(["export", str(tmp_path / "images"), "--with-request",
+                     "--formats", "memh"]) == 0
+        output = capsys.readouterr().out
+        assert "case_base_memh" in output and "request_memh" in output
+        assert (tmp_path / "images" / "retrieval_case_base.memh").exists()
+
+    def test_scenario_runs_and_reports(self, capsys):
+        assert main(["scenario", "--duration-ms", "800", "--seed", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "requests=" in output
+        assert "mp3-player" in output

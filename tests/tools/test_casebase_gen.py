@@ -1,0 +1,81 @@
+"""Tests for the random case-base / request generators."""
+
+import pytest
+
+from repro.core import ReproError, RetrievalEngine
+from repro.tools import CaseBaseGenerator, GeneratorSpec, table3_spec
+
+
+class TestGeneratorSpec:
+    def test_defaults_match_table3_sizing(self):
+        spec = table3_spec()
+        assert (spec.type_count, spec.implementations_per_type,
+                spec.attributes_per_implementation, spec.attribute_type_count) == (15, 10, 10, 10)
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ReproError):
+            GeneratorSpec(type_count=0)
+        with pytest.raises(ReproError):
+            GeneratorSpec(attributes_per_implementation=12, attribute_type_count=10)
+        with pytest.raises(ReproError):
+            GeneratorSpec(missing_probability=1.0)
+        with pytest.raises(ReproError):
+            GeneratorSpec(value_range=(100, 50))
+        with pytest.raises(ReproError):
+            GeneratorSpec(value_range=(0, 1 << 17))
+
+
+class TestCaseBaseGenerator:
+    def test_generated_case_base_has_requested_dimensions(self, small_generator):
+        case_base = small_generator.case_base()
+        spec = small_generator.spec
+        assert len(case_base) == spec.type_count
+        assert case_base.count_implementations() == spec.type_count * spec.implementations_per_type
+        for _, implementation in case_base.all_implementations():
+            assert len(implementation.attributes) == spec.attributes_per_implementation
+
+    def test_generation_is_deterministic_per_seed(self):
+        spec = GeneratorSpec(type_count=3, implementations_per_type=4,
+                             attributes_per_implementation=5, attribute_type_count=6)
+        a = CaseBaseGenerator(spec, seed=9).case_base()
+        b = CaseBaseGenerator(spec, seed=9).case_base()
+        c = CaseBaseGenerator(spec, seed=10).case_base()
+        assert a.to_dict() == b.to_dict()
+        assert a.to_dict() != c.to_dict()
+
+    def test_values_respect_range_and_bounds(self, small_generator):
+        case_base = small_generator.case_base()
+        low, high = small_generator.spec.value_range
+        for _, implementation in case_base.all_implementations():
+            for value in implementation.attributes.values():
+                assert low <= value <= high
+        case_base.validate()
+
+    def test_missing_probability_produces_gaps(self):
+        spec = GeneratorSpec(type_count=3, implementations_per_type=5,
+                             attributes_per_implementation=6, attribute_type_count=8,
+                             missing_probability=0.4)
+        case_base = CaseBaseGenerator(spec, seed=1).case_base()
+        counts = [len(impl.attributes) for _, impl in case_base.all_implementations()]
+        assert min(counts) < spec.attributes_per_implementation
+
+    def test_targets_are_mixed(self, small_case_base):
+        targets = {impl.target for _, impl in small_case_base.all_implementations()}
+        assert len(targets) == 3
+
+    def test_generated_requests_are_retrievable(self, small_generator):
+        case_base = small_generator.case_base()
+        engine = RetrievalEngine(case_base)
+        for request in small_generator.requests(5, attribute_count=4):
+            result = engine.retrieve_best(request)
+            assert result.best_id is not None
+
+    def test_request_respects_requested_dimensions(self, small_generator):
+        request = small_generator.request(type_id=2, attribute_count=3)
+        assert request.type_id == 2
+        assert len(request) == 3
+        assert request.attribute_ids() == sorted(request.attribute_ids())
+
+    def test_requests_with_distinct_salts_differ(self, small_generator):
+        a, b = small_generator.requests(2, attribute_count=4)
+        assert a.signature() != b.signature()

@@ -1,0 +1,29 @@
+"""Tests for the FSM trace formatting helpers."""
+
+from repro.hardware import HardwareConfig, HardwareRetrievalUnit
+from repro.tools import format_trace, state_summary
+
+
+class TestTraceFormatting:
+    def _trace(self, paper_cb, paper_req):
+        unit = HardwareRetrievalUnit(paper_cb, config=HardwareConfig(trace=True))
+        return unit.run(paper_req)
+
+    def test_format_trace_lists_states_and_totals(self, paper_cb, paper_req):
+        result = self._trace(paper_cb, paper_req)
+        text = format_trace(result.trace)
+        assert "fetch_request_type" in text
+        assert "total" in text
+        assert str(result.cycles) in text
+
+    def test_format_trace_limit_truncates(self, paper_cb, paper_req):
+        result = self._trace(paper_cb, paper_req)
+        text = format_trace(result.trace, limit=3)
+        assert "further visits omitted" in text
+
+    def test_state_summary_matches_cycle_count(self, paper_cb, paper_req):
+        result = self._trace(paper_cb, paper_req)
+        summary = state_summary(result.trace)
+        assert summary["total_cycles"] == result.cycles
+        assert sum(summary["per_state_cycles"].values()) == result.cycles
+        assert summary["visits"] == len(result.trace)
