@@ -11,13 +11,13 @@ an unchanged request are short-circuited with bypass tokens (section 3).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.bypass import BypassCache
 from ..core.case_base import CaseBase, Implementation
-from ..core.exceptions import AllocationError, UnknownFunctionTypeError
+from ..core.exceptions import AllocationError, ReproError, UnknownFunctionTypeError
 from ..core.request import FunctionRequest
-from ..core.retrieval import RetrievalEngine, ScoredImplementation
+from ..core.retrieval import RetrievalEngine, RetrievalResult, ScoredImplementation
 from ..hardware.retrieval_unit import HardwareConfig, HardwareRetrievalUnit
 from ..platform.resource_state import SystemResourceState
 from ..platform.repository import ConfigurationRepository
@@ -48,9 +48,11 @@ class AllocationManager:
         Candidates below this global similarity are rejected before the
         feasibility check ("reject all results below a given threshold").
     retrieval_backend:
-        ``"reference"`` uses the floating-point engine; ``"hardware"`` ranks
-        with the cycle-accurate retrieval-unit model (and records its cycle
-        counts in every decision).
+        ``"reference"`` (alias ``"naive"``) uses the floating-point engine's
+        per-implementation loop; ``"vectorized"`` uses the engine's NumPy
+        batch kernel (identical rankings, much faster on large case bases and
+        request batches); ``"hardware"`` ranks with the cycle-accurate
+        retrieval-unit model (and records its cycle counts in every decision).
     hardware_config:
         Configuration for the hardware retrieval unit when that backend is used.
     max_negotiation_rounds:
@@ -75,10 +77,10 @@ class AllocationManager:
             raise AllocationError("n_candidates must be positive")
         if not 0.0 <= similarity_threshold <= 1.0:
             raise AllocationError("similarity threshold must lie within [0, 1]")
-        if retrieval_backend not in ("reference", "hardware"):
+        if retrieval_backend not in ("reference", "naive", "vectorized", "hardware"):
             raise AllocationError(
                 f"unknown retrieval backend {retrieval_backend!r}; "
-                f"expected 'reference' or 'hardware'"
+                f"expected 'reference', 'naive', 'vectorized' or 'hardware'"
             )
         if max_negotiation_rounds < 1:
             raise AllocationError("max_negotiation_rounds must be at least 1")
@@ -98,7 +100,10 @@ class AllocationManager:
         self.retrieval_backend = retrieval_backend
         self.hardware_config = hardware_config
         self.max_negotiation_rounds = max_negotiation_rounds
-        self.engine = RetrievalEngine(case_base)
+        self.engine = RetrievalEngine(
+            case_base,
+            backend="vectorized" if retrieval_backend == "vectorized" else "naive",
+        )
         self.feasibility = FeasibilityChecker(system)
         self.bypass = BypassCache(capacity=bypass_capacity)
         self.statistics = AllocationStatistics()
@@ -153,11 +158,93 @@ class AllocationManager:
             ][: self.n_candidates]
             return candidates, result.cycles
         result = self.engine.retrieve(
-            request,
-            n=self.n_candidates,
-            threshold=self.similarity_threshold if self.similarity_threshold > 0 else None,
+            request, n=self.n_candidates, threshold=self._effective_threshold()
         )
         return list(result.ranked), None
+
+    def _effective_threshold(self) -> Optional[float]:
+        """The engine-facing threshold: ``None`` disables threshold rejection.
+
+        Shared by :meth:`_retrieve` and :meth:`retrieve_batch` so the batched
+        and sequential paths can never filter candidates differently.
+        """
+        return self.similarity_threshold if self.similarity_threshold > 0 else None
+
+    def retrieve_batch(
+        self,
+        requests: Sequence[FunctionRequest],
+        *,
+        n: Optional[int] = None,
+        threshold: Optional[float] = None,
+    ) -> List["RetrievalResult"]:
+        """Pure batch retrieval (no feasibility check, negotiation or placement).
+
+        Served by the reference engine (naive or vectorized, per the manager's
+        ``retrieval_backend``); with the ``"hardware"`` backend the engine path
+        is still used -- the cycle-accurate unit has no batch mode, and its
+        decisions agree with the engine by construction.  ``n`` defaults to
+        the manager's ``n_candidates`` and ``threshold`` to its
+        ``similarity_threshold``.
+        """
+        if n is None:
+            n = self.n_candidates
+        if threshold is None:
+            threshold = self._effective_threshold()
+        return self.engine.retrieve_batch(list(requests), n=n, threshold=threshold)
+
+    def prefetch_candidates(
+        self, requests: Sequence[FunctionRequest]
+    ) -> Dict[int, List[ScoredImplementation]]:
+        """First-round candidate lists for every batchable request, by index.
+
+        This is the batching half of :meth:`allocate_batch`, exposed so other
+        layers (e.g. the Application-API) can interleave one vectorized
+        retrieval sweep with per-request allocation.  Requests that would
+        raise during retrieval (unknown type, empty type, no constraints,
+        zero total weight) are left out so they fall through to the
+        per-request path, where :meth:`allocate` either reports its rejection
+        decision (unknown type) or lets the error surface at the offending
+        request, exactly as sequential calls would.  Requests holding a valid
+        bypass token are left out because :meth:`allocate` would discard their
+        candidates after the bypass hit (sequential allocation never retrieves
+        for those either).  With the ``"hardware"`` retrieval backend this
+        returns ``{}`` (the cycle-accurate unit has no batch mode).
+        """
+        if self.retrieval_backend == "hardware":
+            return {}
+        #: signature -> indices sharing it; duplicates (the repeated-request
+        #: pattern the bypass cache targets) are scored only once.  Retrieval
+        #: depends solely on the signature (type, attributes, weights) -- the
+        #: requester only matters to the bypass cache, checked separately.
+        by_signature: Dict[Tuple, List[int]] = {}
+        for index, request in enumerate(requests):
+            if (
+                request.type_id in self.case_base
+                and len(self.case_base.get_type(request.type_id)) > 0
+                and len(request) > 0
+                and request.total_weight() > 0
+                and not self.bypass.has_valid_token(request, self.case_base)
+            ):
+                by_signature.setdefault(request.signature(), []).append(index)
+        if not by_signature:
+            return {}
+        unique_indices = [indices[0] for indices in by_signature.values()]
+        try:
+            results = self.retrieve_batch([requests[index] for index in unique_indices])
+        except ReproError:
+            # A request the screen could not predict (e.g. a constrained
+            # attribute missing from the bounds table) failed scoring.  Fall
+            # back to per-request retrieval so earlier requests are still
+            # served and the error surfaces at the offending request, exactly
+            # as sequential allocate() calls would behave.  (This forfeits the
+            # batch speedup for the whole call; acceptable for the degenerate
+            # error case, where the sequential path raises anyway.)
+            return {}
+        prefetched: Dict[int, List[ScoredImplementation]] = {}
+        for indices, result in zip(by_signature.values(), results):
+            for index in indices:
+                prefetched[index] = list(result.ranked)
+        return prefetched
 
     # -- bypass ---------------------------------------------------------------------
 
@@ -190,8 +277,21 @@ class AllocationManager:
 
     # -- public API -------------------------------------------------------------------
 
-    def allocate(self, request: FunctionRequest, *, now_us: float = 0.0) -> AllocationDecision:
-        """Serve one function request end to end."""
+    def allocate(
+        self,
+        request: FunctionRequest,
+        *,
+        now_us: float = 0.0,
+        _prefetched_candidates: Optional[List[ScoredImplementation]] = None,
+    ) -> AllocationDecision:
+        """Serve one function request end to end.
+
+        ``_prefetched_candidates`` is the internal hand-off from
+        :meth:`allocate_batch`: the first negotiation round reuses the
+        batch-retrieved candidate list instead of re-running retrieval (later
+        relaxation rounds query the engine as usual, since relaxed requests
+        are not known at batch time).
+        """
         bypass_decision = self._try_bypass(request)
         if bypass_decision is not None:
             return bypass_decision
@@ -203,7 +303,10 @@ class AllocationManager:
 
         for round_index in range(self.max_negotiation_rounds):
             try:
-                candidates, hardware_cycles = self._retrieve(current_request)
+                if round_index == 0 and _prefetched_candidates is not None:
+                    candidates, hardware_cycles = list(_prefetched_candidates), None
+                else:
+                    candidates, hardware_cycles = self._retrieve(current_request)
             except UnknownFunctionTypeError:
                 decision = AllocationDecision(
                     status=AllocationStatus.REJECTED_UNKNOWN_TYPE,
@@ -269,6 +372,38 @@ class AllocationManager:
         )
         self.statistics.record(decision)
         return decision
+
+    def allocate_iter(
+        self, requests: Sequence[FunctionRequest], *, now_us: float = 0.0
+    ) -> Iterator[AllocationDecision]:
+        """Lazily serve many requests, batching the first retrieval round.
+
+        Retrieval depends only on the (immutable-during-the-call) case base,
+        so the first-round candidate lists of all requests are computed in one
+        vectorized sweep up front; feasibility, negotiation and placement then
+        run per request in input order, exactly as repeated :meth:`allocate`
+        calls would.  Decisions are yielded in request order as they are made,
+        letting callers (e.g. the Application-API's handle registry) record
+        partial progress even if a later request raises.
+        """
+        requests = list(requests)
+        prefetched = self.prefetch_candidates(requests)
+        for index, request in enumerate(requests):
+            yield self.allocate(
+                request,
+                now_us=now_us,
+                _prefetched_candidates=prefetched.get(index),
+            )
+
+    def allocate_batch(
+        self, requests: Sequence[FunctionRequest], *, now_us: float = 0.0
+    ) -> List[AllocationDecision]:
+        """Serve many requests, batching the first retrieval round.
+
+        Eager wrapper around :meth:`allocate_iter`; decisions are returned in
+        request order.
+        """
+        return list(self.allocate_iter(requests, now_us=now_us))
 
     def _deploy(
         self,

@@ -19,6 +19,19 @@ from ..allocation.records import AllocationDecision
 from ..core.attributes import AttributeSchema, Number
 from ..core.exceptions import AllocationError, RequestError
 from ..core.request import FunctionRequest, RequestBuilder
+from ..core.retrieval import RetrievalResult
+
+#: One entry of a batch call: ``(type_id, constraints)`` or
+#: ``(type_id, constraints, weights)`` with the same ``constraints`` /
+#: ``weights`` shapes accepted by :meth:`ApplicationAPI.build_request`.
+BatchQuery = Union[
+    Tuple[int, Union[Dict[str, Union[Number, str]], Sequence[Tuple[int, Number]]]],
+    Tuple[
+        int,
+        Union[Dict[str, Union[Number, str]], Sequence[Tuple[int, Number]]],
+        Optional[Dict[str, float]],
+    ],
+]
 
 
 @dataclass
@@ -96,6 +109,12 @@ class ApplicationAPI:
                 weight = (weights or {}).get(name, 1.0)
                 builder.constrain(name, value, weight)
             return builder.build()
+        if weights:
+            raise RequestError(
+                "per-name weights require name-keyed constraints; with "
+                "(attribute_id, value) pairs use (attribute_id, value, weight) "
+                "triples instead"
+            )
         return FunctionRequest(type_id, list(constraints), requester=application)
 
     # -- the three Application-API services -----------------------------------------
@@ -121,6 +140,87 @@ class ApplicationAPI:
         handle = FunctionHandle(requester=application, type_id=type_id, decision=decision)
         self._handles.append(handle)
         return handle
+
+    def _build_batch_requests(
+        self, application: str, queries: Sequence[BatchQuery]
+    ) -> List[FunctionRequest]:
+        """Validate and build all requests up front (all-or-nothing).
+
+        Batch calls are atomic with respect to malformed input: if any query
+        is structurally invalid, the whole batch is rejected before anything
+        is retrieved or allocated (unlike a loop of single calls, which would
+        serve the earlier queries first).  Queries may be tuples or lists --
+        JSON deserialisation produces lists.
+        """
+        requests = []
+        for query in queries:
+            if (
+                isinstance(query, (str, bytes, dict))
+                or not isinstance(query, (tuple, list))
+                or not 2 <= len(query) <= 3
+            ):
+                raise RequestError(
+                    f"batch query {query!r} must be (type_id, constraints) or "
+                    f"(type_id, constraints, weights)"
+                )
+            type_id, constraints = query[0], query[1]
+            weights = query[2] if len(query) == 3 else None
+            requests.append(
+                self.build_request(application, type_id, constraints, weights)
+            )
+        return requests
+
+    def retrieve_batch(
+        self,
+        application: str,
+        queries: Sequence[BatchQuery],
+        *,
+        n: Optional[int] = None,
+        threshold: Optional[float] = None,
+    ) -> List[RetrievalResult]:
+        """Batch QoS-candidate lookup without allocating anything.
+
+        This is the negotiation-support half of the QoS service: an
+        application about to issue several sub-function calls (or evaluating a
+        reconfiguration decision) can rank all candidate implementations in a
+        single vectorized sweep and inspect similarities before committing to
+        :meth:`call_function` / :meth:`call_functions`.  Results are returned
+        in query order.
+        """
+        requests = self._build_batch_requests(application, queries)
+        return self.manager.retrieve_batch(requests, n=n, threshold=threshold)
+
+    def call_functions(
+        self,
+        application: str,
+        queries: Sequence[BatchQuery],
+        *,
+        now_us: float = 0.0,
+    ) -> List[FunctionHandle]:
+        """Batch sub-function call: negotiate and allocate many requests at once.
+
+        The first retrieval round of every request is evaluated in one batch
+        through the manager (vectorized when the manager's engine is); the
+        per-request negotiation and placement semantics are identical to
+        repeated :meth:`call_function` calls, and one handle per query is
+        returned in query order.  Input validation is all-or-nothing: a
+        structurally malformed query rejects the whole batch before anything
+        is allocated (see :meth:`_build_batch_requests`).  Handles are
+        registered as each allocation completes, so if a later request raises
+        during allocation, the handles of already-served requests remain
+        available through :meth:`handles` for release.
+        """
+        requests = self._build_batch_requests(application, queries)
+        handles = []
+        for request, decision in zip(
+            requests, self.manager.allocate_iter(requests, now_us=now_us)
+        ):
+            handle = FunctionHandle(
+                requester=application, type_id=request.type_id, decision=decision
+            )
+            self._handles.append(handle)
+            handles.append(handle)
+        return handles
 
     def release(self, handle: FunctionHandle) -> None:
         """Release an allocated function.

@@ -8,6 +8,10 @@ Provides the day-to-day developer workflows as sub-commands:
   tooling) and write it to JSON;
 * ``repro-qos retrieve`` -- run a retrieval against a case-base JSON file with
   constraints given on the command line;
+* ``repro-qos retrieve-batch`` -- run a whole batch of retrievals (from a
+  requests JSON file or randomly generated) through a selectable execution
+  backend, or through both backends with an equivalence check and speedup
+  report;
 * ``repro-qos estimate`` -- print the Table 2-style resource estimate for a
   retrieval-unit configuration;
 * ``repro-qos export`` -- export CB-MEM/Req-MEM images as ``.memh`` / C headers;
@@ -20,12 +24,15 @@ prints is also reachable programmatically.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from typing import List, Optional, Sequence
 
 from .analysis import format_table
 from .core import (
     FunctionRequest,
+    ReproError,
     RetrievalEngine,
     paper_case_base,
     paper_request,
@@ -37,6 +44,7 @@ from .tools import (
     GeneratorSpec,
     export_memory_images,
     load_case_base,
+    request_from_dict,
     save_case_base,
 )
 
@@ -130,6 +138,141 @@ def cmd_retrieve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_batch_requests(path: str) -> List[FunctionRequest]:
+    """Read a requests JSON file: a list of request objects.
+
+    Each entry is either the canonical :func:`repro.tools.request_to_json`
+    shape (``{"type_id", "attributes": [{"attribute_id", "value", "weight"}]}``)
+    or the shorthand ``{"type_id", "constraints"}`` where ``constraints`` is a
+    mapping of attribute ID to value or a list of ``[id, value]`` /
+    ``[id, value, weight]`` entries.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as stream:
+            payload = json.load(stream)
+    except OSError as exc:
+        raise ReproError(f"cannot read requests file {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"invalid requests JSON in {path}: {exc}") from exc
+    if not isinstance(payload, list):
+        raise ReproError(f"requests file {path} must contain a JSON list")
+    requests = []
+    for entry in payload:
+        if not isinstance(entry, dict):
+            raise ReproError(f"malformed request entry {entry!r}: expected an object")
+        if "attributes" in entry:
+            requests.append(request_from_dict(entry))
+            continue
+        try:
+            type_id = int(entry["type_id"])
+            constraints = entry["constraints"]
+            if isinstance(constraints, dict):
+                constraints = [
+                    (int(attribute_id), value)
+                    for attribute_id, value in constraints.items()
+                ]
+            requests.append(FunctionRequest(type_id, constraints, requester="cli-batch"))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReproError(f"malformed request entry {entry!r}: {exc}") from exc
+    return requests
+
+
+def _random_batch_requests(case_base, count: int, seed: int) -> List[FunctionRequest]:
+    """Synthesise requests whose constraints track the case base's contents.
+
+    Only implementations that describe at least one attribute can act as
+    request templates (a constraint-less request is unscorable); returns an
+    empty list when the case base has none.
+    """
+    import random
+
+    rng = random.Random(seed)
+    templates = [
+        (type_id, implementation)
+        for type_id, implementation in case_base.all_implementations()
+        if implementation.attributes
+    ]
+    if not templates:
+        return []
+    requests = []
+    for _ in range(count):
+        type_id, template = rng.choice(templates)
+        attribute_ids = template.attribute_ids()
+        wanted = rng.sample(attribute_ids, min(3, len(attribute_ids)))
+        bounds = case_base.bounds
+        pairs = []
+        for attribute_id in sorted(wanted):
+            value = template.get(attribute_id)
+            if attribute_id in bounds:
+                bound = bounds.get(attribute_id)
+                span = int(bound.dmax) // 10
+                value = bound.clamp(value + rng.randint(-span, span))
+            pairs.append((attribute_id, value))
+        requests.append(FunctionRequest(type_id, pairs, requester="cli-batch"))
+    return requests
+
+
+def cmd_retrieve_batch(args: argparse.Namespace) -> int:
+    """Run a batch of retrievals through one or both execution backends."""
+    case_base = load_case_base(args.case_base) if args.case_base else paper_case_base()
+    if args.requests:
+        try:
+            requests = _load_batch_requests(args.requests)
+        except ReproError as error:
+            print(f"retrieve-batch: {error}", file=sys.stderr)
+            return 2
+    elif args.random > 0:
+        requests = _random_batch_requests(case_base, args.random, args.seed)
+    else:
+        print("retrieve-batch needs --requests FILE or --random N", file=sys.stderr)
+        return 2
+    if not requests:
+        print("retrieve-batch: no usable requests (empty file, or no case-base "
+              "implementation describes any attributes)", file=sys.stderr)
+        return 2
+    threshold = args.threshold
+    backends = ["naive", "vectorized"] if args.backend == "compare" else [args.backend]
+    timings = {}
+    outputs = {}
+    for backend in backends:
+        engine = RetrievalEngine(case_base, backend=backend)
+        start = time.perf_counter()
+        try:
+            results = engine.retrieve_batch(requests, n=args.n_best, threshold=threshold)
+        except ReproError as error:
+            # Content errors surface here (a type ID the case base does not
+            # know, a constrained attribute outside the bounds table, ...).
+            print(f"retrieve-batch: {error}", file=sys.stderr)
+            return 2
+        timings[backend] = time.perf_counter() - start
+        outputs[backend] = results
+    results = outputs[backends[-1]]
+    rows = [
+        [index, request.type_id, result.best_id,
+         round(result.best_similarity, 4) if result.best_similarity is not None else "-"]
+        for index, (request, result) in enumerate(
+            list(zip(requests, results))[: args.show]
+        )
+    ]
+    print(format_table(["request", "type", "best impl", "S_global"], rows,
+                       title=f"batch retrieval ({len(requests)} requests)"))
+    for backend in backends:
+        print(f"{backend:10s}: {timings[backend] * 1e3:8.2f} ms "
+              f"({timings[backend] / len(requests) * 1e6:7.1f} us/request)")
+    if args.backend == "compare":
+        mismatches = sum(
+            1
+            for naive_result, vector_result in zip(outputs["naive"], outputs["vectorized"])
+            if naive_result.ids() != vector_result.ids()
+        )
+        speedup = timings["naive"] / timings["vectorized"] if timings["vectorized"] else float("inf")
+        print(f"backends agree on {len(requests) - mismatches}/{len(requests)} rankings; "
+              f"vectorized speedup {speedup:.1f}x")
+        if mismatches:
+            return 1
+    return 0
+
+
 def cmd_estimate(args: argparse.Namespace) -> int:
     """Print the Table 2-style resource estimate."""
     estimate = ResourceEstimator().estimate(config=_hardware_config(args))
@@ -211,6 +354,25 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--compact", action="store_true",
                      help="enable the compacted-block hardware configuration")
     sub.set_defaults(handler=cmd_retrieve)
+
+    sub = subparsers.add_parser(
+        "retrieve-batch", help="run a batch of retrievals through pluggable backends"
+    )
+    sub.add_argument("--case-base", help="case-base JSON (defaults to the paper example)")
+    sub.add_argument("--requests", help="JSON file with a list of "
+                     '{"type_id": ..., "constraints": ...} requests')
+    sub.add_argument("--random", type=int, default=0, metavar="N",
+                     help="generate N random requests matching the case base instead")
+    sub.add_argument("--seed", type=int, default=0)
+    sub.add_argument("--backend", choices=["naive", "vectorized", "compare"],
+                     default="vectorized",
+                     help="'compare' runs both backends, checks ranking equality "
+                          "and reports the vectorized speedup")
+    sub.add_argument("--n-best", type=int, default=3)
+    sub.add_argument("--threshold", type=float, default=None)
+    sub.add_argument("--show", type=int, default=10,
+                     help="number of result rows to print (default 10)")
+    sub.set_defaults(handler=cmd_retrieve_batch)
 
     sub = subparsers.add_parser("estimate", help="Table 2-style resource estimate")
     sub.add_argument("--n-best", type=int, default=1)

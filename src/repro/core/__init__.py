@@ -37,6 +37,13 @@ from .attributes import (
     paper_bounds,
     paper_schema,
 )
+from .backends import (
+    BACKENDS,
+    NaiveBackend,
+    RetrievalBackend,
+    VectorizedBackend,
+    get_retrieval_backend,
+)
 from .bypass import BypassCache, BypassStatistics, BypassToken
 from .case_base import (
     CaseBase,
@@ -100,6 +107,7 @@ from .similarity import (
 
 __all__ = [
     "AMALGAMATIONS",
+    "BACKENDS",
     "AllocationError",
     "AmalgamationFunction",
     "AsymmetricLocalSimilarity",
@@ -137,6 +145,7 @@ __all__ = [
     "MaximumAmalgamation",
     "MemoryMapError",
     "MinimumAmalgamation",
+    "NaiveBackend",
     "NegotiationError",
     "OutcomeRecord",
     "PAPER_ATTRIBUTE_IDS",
@@ -145,6 +154,7 @@ __all__ = [
     "RequestAttribute",
     "RequestBuilder",
     "RequestError",
+    "RetrievalBackend",
     "RetrievalEngine",
     "RetrievalError",
     "RetrievalResult",
@@ -158,9 +168,11 @@ __all__ = [
     "TABLE1_EXPECTED_SIMILARITIES",
     "ThresholdLocalSimilarity",
     "UnknownFunctionTypeError",
+    "VectorizedBackend",
     "WeightedGeometricMean",
     "WeightedSum",
     "get_amalgamation",
+    "get_retrieval_backend",
     "paper_bounds",
     "paper_case_base",
     "paper_example",

@@ -1,0 +1,651 @@
+"""Pluggable execution backends for the reference retrieval engine.
+
+The paper's section-4.1 analysis argues that linear-search retrieval is the
+hot path of the allocation manager; this module provides interchangeable
+execution strategies for that path:
+
+* :class:`NaiveBackend` -- the original pure-Python loop over
+  :meth:`RetrievalEngine.score`, one implementation at a time.  It is the
+  golden reference: every other backend must reproduce its rankings,
+  similarities and :class:`~repro.core.retrieval.RetrievalStatistics`
+  bit for bit (error *ordering* in doubly-erroneous batches is the one
+  documented exception -- see :meth:`VectorizedBackend.retrieve_batch`).
+* :class:`VectorizedBackend` -- a software-vectorization data point for the
+  section-4.1 cost argument.  The case base is pre-compiled into per-function
+  -type NumPy attribute matrices with the paper's ``1 / (1 + dmax)``
+  reciprocals baked in (exactly the supplemental-list trick of the hardware
+  unit, Fig. 4 right), and whole *batches* of requests are evaluated as
+  matrix operations.
+
+Bit-identical equivalence is achieved by mirroring the scalar arithmetic of
+:class:`~repro.core.similarity.LocalSimilarity` and
+:class:`~repro.core.amalgamation.WeightedSum` operation for operation: the
+local similarity is ``1 - d * (1 / (1 + dmax))`` in both paths (IEEE-754
+double ops are correctly rounded, so element-wise NumPy arithmetic matches the
+scalar interpreter arithmetic exactly) and the weighted sum accumulates the
+attribute columns in ascending attribute-ID order, just like the scalar
+``sum()``.
+
+Matrices are cached on the backend and keyed to
+:attr:`~repro.core.case_base.CaseBase.revision`; any structural mutation of
+the case base (including the revise/retain steps of :mod:`repro.core.learning`,
+which go through :meth:`CaseBase.replace_implementation` /
+:meth:`CaseBase.add_implementation`) bumps the revision and invalidates the
+cache automatically.  Mutating an :class:`Implementation`'s attribute dict in
+place bypasses the revision counter -- the same caveat that applies to the
+hardware unit's memory images -- and requires an explicit
+:meth:`RetrievalBackend.invalidate`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .amalgamation import AmalgamationFunction, WeightedSum
+from .case_base import Implementation
+from .exceptions import RetrievalError
+from .request import FunctionRequest
+from .similarity import LocalSimilarity, ManhattanDistance
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from .retrieval import (
+        RetrievalEngine,
+        RetrievalResult,
+        RetrievalStatistics,
+        ScoredImplementation,
+    )
+
+
+def _result_types():
+    """Late import of the result dataclasses (retrieval.py imports this module)."""
+    from .retrieval import RetrievalResult, RetrievalStatistics, ScoredImplementation
+
+    return RetrievalResult, RetrievalStatistics, ScoredImplementation
+
+
+def _check_n(n: int) -> None:
+    """Shared n-best argument validation (identical across all backends)."""
+    if n <= 0:
+        raise RetrievalError(f"n must be positive, got {n}")
+
+
+def _check_threshold(threshold: float) -> None:
+    """Shared threshold argument validation (identical across all backends)."""
+    if not 0.0 <= threshold <= 1.0:
+        raise RetrievalError(f"threshold must lie within [0, 1], got {threshold}")
+
+
+class RetrievalBackend:
+    """Execution strategy behind :class:`~repro.core.retrieval.RetrievalEngine`.
+
+    A backend is bound to exactly one engine via :meth:`attach` and implements
+    :meth:`score_all`; the retrieval modes (`best`, `n-best`, threshold,
+    combined, batch) are provided here in terms of ``score_all`` so that every
+    backend shares identical result semantics, validation messages and
+    statistics accounting.  Backends may override the mode methods with faster
+    equivalent implementations (see :class:`VectorizedBackend`).
+    """
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.engine: Optional["RetrievalEngine"] = None
+
+    def attach(self, engine: "RetrievalEngine") -> "RetrievalBackend":
+        """Bind this backend to its engine (called by the engine constructor)."""
+        if self.engine is not None and self.engine is not engine:
+            raise RetrievalError(
+                f"backend {self.name!r} is already attached to another engine"
+            )
+        self.engine = engine
+        return self
+
+    def invalidate(self) -> None:
+        """Drop any precomputed state derived from the case base."""
+
+    # -- scoring -----------------------------------------------------------------
+
+    def score_all(
+        self, request: FunctionRequest, statistics: "RetrievalStatistics"
+    ) -> List["ScoredImplementation"]:
+        """Score every implementation variant of the requested function type."""
+        raise NotImplementedError
+
+    # -- retrieval modes ----------------------------------------------------------
+
+    def retrieve_best(self, request: FunctionRequest) -> "RetrievalResult":
+        """Return the single most similar implementation (paper Fig. 6)."""
+        RetrievalResult, RetrievalStatistics, _ = _result_types()
+        statistics = RetrievalStatistics()
+        scored = self.score_all(request, statistics)
+        best = None
+        for entry in scored:
+            if best is None or entry.similarity > best.similarity:
+                best = entry
+                statistics.best_updates += 1
+        ranked = [best] if best is not None else []
+        return RetrievalResult(request.type_id, ranked, statistics)
+
+    def retrieve_n_best(self, request: FunctionRequest, n: int) -> "RetrievalResult":
+        """Return the ``n`` most similar implementations (section 5 extension)."""
+        RetrievalResult, RetrievalStatistics, _ = _result_types()
+        _check_n(n)
+        statistics = RetrievalStatistics()
+        scored = self.score_all(request, statistics)
+        ranked = sorted(
+            scored,
+            key=lambda entry: (-entry.similarity, entry.implementation_id),
+        )[:n]
+        statistics.best_updates += len(ranked)
+        return RetrievalResult(request.type_id, ranked, statistics)
+
+    def retrieve_above_threshold(
+        self, request: FunctionRequest, threshold: float
+    ) -> "RetrievalResult":
+        """Return all implementations whose similarity reaches ``threshold``."""
+        RetrievalResult, RetrievalStatistics, _ = _result_types()
+        _check_threshold(threshold)
+        statistics = RetrievalStatistics()
+        scored = self.score_all(request, statistics)
+        ranked = sorted(
+            (entry for entry in scored if entry.similarity >= threshold),
+            key=lambda entry: (-entry.similarity, entry.implementation_id),
+        )
+        statistics.best_updates += len(ranked)
+        return RetrievalResult(request.type_id, ranked, statistics, threshold=threshold)
+
+    def retrieve(
+        self,
+        request: FunctionRequest,
+        *,
+        n: Optional[int] = None,
+        threshold: Optional[float] = None,
+    ) -> "RetrievalResult":
+        """Combined entry point: optional n-best cut and threshold rejection."""
+        RetrievalResult, RetrievalStatistics, _ = _result_types()
+        if n is None and threshold is None:
+            return self.retrieve_best(request)
+        statistics = RetrievalStatistics()
+        scored = self.score_all(request, statistics)
+        ranked = sorted(
+            scored, key=lambda entry: (-entry.similarity, entry.implementation_id)
+        )
+        if threshold is not None:
+            _check_threshold(threshold)
+            ranked = [entry for entry in ranked if entry.similarity >= threshold]
+        if n is not None:
+            _check_n(n)
+            ranked = ranked[:n]
+        statistics.best_updates += len(ranked)
+        return RetrievalResult(request.type_id, ranked, statistics, threshold=threshold)
+
+    def retrieve_batch(
+        self,
+        requests: Sequence[FunctionRequest],
+        *,
+        n: Optional[int] = None,
+        threshold: Optional[float] = None,
+    ) -> List["RetrievalResult"]:
+        """Evaluate many requests; result ``i`` belongs to request ``i``.
+
+        The semantics per request are exactly those of :meth:`retrieve` (so
+        ``n=None, threshold=None`` degrades to most-similar retrieval).
+        """
+        return [
+            self.retrieve(request, n=n, threshold=threshold) for request in requests
+        ]
+
+
+class NaiveBackend(RetrievalBackend):
+    """The original per-implementation Python loop (the golden algorithm)."""
+
+    name = "naive"
+
+    def score_all(
+        self, request: FunctionRequest, statistics: "RetrievalStatistics"
+    ) -> List["ScoredImplementation"]:
+        engine = self.engine
+        function_type = engine.case_base.get_type(request.type_id)
+        if len(function_type) == 0:
+            raise RetrievalError(
+                f"function type {request.type_id} has no implementation variants"
+            )
+        return [
+            engine.score(request, implementation, statistics)
+            for implementation in function_type.sorted_implementations()
+        ]
+
+
+class _TypeMatrices:
+    """Columnar encoding of one function type's implementation variants."""
+
+    __slots__ = ("implementations", "impl_ids", "columns", "values", "present")
+
+    def __init__(self, implementations: List[Implementation]) -> None:
+        self.implementations = implementations
+        self.impl_ids = np.array(
+            [implementation.implementation_id for implementation in implementations],
+            dtype=np.int64,
+        )
+        attribute_ids = sorted(
+            {
+                attribute_id
+                for implementation in implementations
+                for attribute_id in implementation.attributes
+            }
+        )
+        self.columns: Dict[int, int] = {
+            attribute_id: column for column, attribute_id in enumerate(attribute_ids)
+        }
+        shape = (len(implementations), len(attribute_ids))
+        self.values = np.zeros(shape, dtype=np.float64)
+        self.present = np.zeros(shape, dtype=bool)
+        for row, implementation in enumerate(implementations):
+            for attribute_id, value in implementation.attributes.items():
+                column = self.columns[attribute_id]
+                self.values[row, column] = float(value)
+                self.present[row, column] = True
+
+
+class VectorizedBackend(RetrievalBackend):
+    """Batch-capable NumPy execution of the golden retrieval algorithm.
+
+    The backend supports engines configured with the paper's similarity
+    machinery -- :class:`WeightedSum` amalgamation and the plain
+    :class:`LocalSimilarity` over :class:`ManhattanDistance` -- which is what
+    the hardware unit implements.  :meth:`supports` reports compatibility;
+    the engine transparently falls back to :class:`NaiveBackend` for custom
+    metrics or amalgamations.
+    """
+
+    name = "vectorized"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cache: Dict[int, _TypeMatrices] = {}
+        self._reciprocals: Dict[int, float] = {}
+        self._revision = -1
+
+    # -- compatibility -----------------------------------------------------------
+
+    @classmethod
+    def supports(cls, engine: "RetrievalEngine") -> bool:
+        """Whether the engine's similarity configuration can be vectorized."""
+        return (
+            type(engine.amalgamation) is WeightedSum
+            and type(engine.local_similarity) is LocalSimilarity
+            and type(engine.local_similarity.metric) is ManhattanDistance
+        )
+
+    # -- cache management --------------------------------------------------------
+
+    def invalidate(self) -> None:
+        self._cache.clear()
+        self._reciprocals.clear()
+        self._revision = -1
+
+    def _matrices_for(self, type_id: int) -> _TypeMatrices:
+        case_base = self.engine.case_base
+        if self._revision != case_base.revision:
+            self.invalidate()
+            self._revision = case_base.revision
+        matrices = self._cache.get(type_id)
+        if matrices is None:
+            function_type = case_base.get_type(type_id)
+            matrices = _TypeMatrices(function_type.sorted_implementations())
+            self._cache[type_id] = matrices
+        return matrices
+
+    def _reciprocal(self, attribute_id: int) -> float:
+        """The cached ``1 / (1 + dmax)`` constant of one attribute type."""
+        reciprocal = self._reciprocals.get(attribute_id)
+        if reciprocal is None:
+            bound = self.engine.local_similarity.bounds.get(attribute_id)
+            reciprocal = bound.reciprocal
+            self._reciprocals[attribute_id] = reciprocal
+        return reciprocal
+
+    # -- the vectorized kernel ----------------------------------------------------
+
+    def _validate(self, request: FunctionRequest) -> _TypeMatrices:
+        """Mirror the error behaviour of the naive scoring path."""
+        matrices = self._matrices_for(request.type_id)
+        if len(matrices.implementations) == 0:
+            raise RetrievalError(
+                f"function type {request.type_id} has no implementation variants"
+            )
+        if len(request) == 0:
+            raise RetrievalError("cannot score a request without constraining attributes")
+        return matrices
+
+    def _normalised_weights(self, request: FunctionRequest) -> List[float]:
+        """Exactly :meth:`WeightedSum.combine`'s weight normalisation.
+
+        Delegates to the canonical implementation so the vectorized path can
+        never drift from the golden arithmetic (or its error message).
+        """
+        return AmalgamationFunction._normalised_weights(
+            [attribute.weight for attribute in request.sorted_attributes()]
+        )
+
+    def _similarity_rows(
+        self,
+        matrices: _TypeMatrices,
+        attribute_ids: Tuple[int, ...],
+        request_values: np.ndarray,
+        weight_rows: np.ndarray,
+    ) -> Tuple[np.ndarray, int, int]:
+        """Global similarities for a group of same-signature requests.
+
+        ``request_values`` and ``weight_rows`` are ``(B, A)`` arrays; the
+        return value is the ``(B, I)`` global-similarity matrix plus the
+        per-request ``(missing, compared)`` attribute counts (identical for
+        every request in the group, because the signature is shared).
+        """
+        local = self.engine.local_similarity
+        missing_similarity = local.missing_similarity
+        batch_size = request_values.shape[0]
+        implementation_count = len(matrices.implementations)
+        accumulator = np.zeros((batch_size, implementation_count), dtype=np.float64)
+        missing_count = 0
+        for column_index, attribute_id in enumerate(attribute_ids):
+            column = matrices.columns.get(attribute_id)
+            present = matrices.present[:, column] if column is not None else None
+            if present is None or not present.any():
+                similarity_column = np.full(
+                    (batch_size, implementation_count), missing_similarity
+                )
+                missing_count += implementation_count
+            else:
+                reciprocal = self._reciprocal(attribute_id)
+                distances = np.abs(
+                    request_values[:, column_index, None]
+                    - matrices.values[None, :, column]
+                )
+                similarity_column = 1.0 - distances * reciprocal
+                if local.clamp:
+                    np.clip(similarity_column, 0.0, 1.0, out=similarity_column)
+                absent = ~present
+                if absent.any():
+                    similarity_column[:, absent] = missing_similarity
+                    missing_count += int(np.count_nonzero(absent))
+            accumulator += weight_rows[:, column_index, None] * similarity_column
+        compared_count = implementation_count * len(attribute_ids) - missing_count
+        return accumulator, missing_count, compared_count
+
+    def _evaluate_one(
+        self, request: FunctionRequest, statistics: "RetrievalStatistics"
+    ) -> Tuple[_TypeMatrices, np.ndarray]:
+        """Similarity row for one request, with statistics accounting."""
+        matrices = self._validate(request)
+        attribute_ids = tuple(request.attribute_ids())
+        request_values = np.array(
+            [[float(attribute.value) for attribute in request.sorted_attributes()]],
+            dtype=np.float64,
+        )
+        weight_rows = np.array([self._normalised_weights(request)], dtype=np.float64)
+        similarities, missing, compared = self._similarity_rows(
+            matrices, attribute_ids, request_values, weight_rows
+        )
+        self._account(statistics, matrices, attribute_ids, missing, compared)
+        return matrices, similarities[0]
+
+    @staticmethod
+    def _account(
+        statistics: "RetrievalStatistics",
+        matrices: _TypeMatrices,
+        attribute_ids: Tuple[int, ...],
+        missing: int,
+        compared: int,
+    ) -> None:
+        """Book the same algorithmic-effort counters the naive loop accumulates."""
+        implementation_count = len(matrices.implementations)
+        statistics.implementations_visited += implementation_count
+        statistics.attributes_requested += implementation_count * len(attribute_ids)
+        statistics.attribute_lookups += implementation_count * len(attribute_ids)
+        statistics.missing_attributes += missing
+        statistics.attribute_compares += compared
+        statistics.multiplications += compared
+
+    # -- result construction -------------------------------------------------------
+
+    def _scored(
+        self,
+        request: FunctionRequest,
+        matrices: _TypeMatrices,
+        similarities: np.ndarray,
+        index: int,
+    ) -> "ScoredImplementation":
+        _, _, ScoredImplementation = _result_types()
+        return ScoredImplementation(
+            type_id=request.type_id,
+            implementation=matrices.implementations[index],
+            similarity=float(similarities[index]),
+        )
+
+    @staticmethod
+    def _ranking_order(matrices: _TypeMatrices, similarities: np.ndarray) -> np.ndarray:
+        """Indices sorted by descending similarity, ascending implementation ID."""
+        return np.lexsort((matrices.impl_ids, -similarities))
+
+    def _best_result(
+        self,
+        request: FunctionRequest,
+        matrices: _TypeMatrices,
+        similarities: np.ndarray,
+        statistics: "RetrievalStatistics",
+    ) -> "RetrievalResult":
+        RetrievalResult, _, _ = _result_types()
+        # The hardware's strict S > S_best update rule: count prefix maxima so
+        # the best_updates counter matches the sequential scan exactly.
+        running = np.maximum.accumulate(similarities)
+        statistics.best_updates += 1 + int(
+            np.count_nonzero(similarities[1:] > running[:-1])
+        )
+        best_index = int(np.argmax(similarities))
+        ranked = [self._scored(request, matrices, similarities, best_index)]
+        return RetrievalResult(request.type_id, ranked, statistics)
+
+    def _ranked_result(
+        self,
+        request: FunctionRequest,
+        matrices: _TypeMatrices,
+        similarities: np.ndarray,
+        statistics: "RetrievalStatistics",
+        *,
+        n: Optional[int],
+        threshold: Optional[float],
+        record_threshold: Optional[float],
+    ) -> "RetrievalResult":
+        RetrievalResult, _, _ = _result_types()
+        order = self._ranking_order(matrices, similarities)
+        if threshold is not None:
+            order = order[similarities[order] >= threshold]
+        if n is not None:
+            order = order[:n]
+        ranked = [
+            self._scored(request, matrices, similarities, int(index)) for index in order
+        ]
+        statistics.best_updates += len(ranked)
+        return RetrievalResult(
+            request.type_id, ranked, statistics, threshold=record_threshold
+        )
+
+    # -- RetrievalBackend interface -------------------------------------------------
+
+    def score_all(
+        self, request: FunctionRequest, statistics: "RetrievalStatistics"
+    ) -> List["ScoredImplementation"]:
+        matrices, similarities = self._evaluate_one(request, statistics)
+        return [
+            self._scored(request, matrices, similarities, index)
+            for index in range(len(matrices.implementations))
+        ]
+
+    def retrieve_best(self, request: FunctionRequest) -> "RetrievalResult":
+        _, RetrievalStatistics, _ = _result_types()
+        statistics = RetrievalStatistics()
+        matrices, similarities = self._evaluate_one(request, statistics)
+        return self._best_result(request, matrices, similarities, statistics)
+
+    def retrieve_n_best(self, request: FunctionRequest, n: int) -> "RetrievalResult":
+        _, RetrievalStatistics, _ = _result_types()
+        _check_n(n)
+        statistics = RetrievalStatistics()
+        matrices, similarities = self._evaluate_one(request, statistics)
+        return self._ranked_result(
+            request, matrices, similarities, statistics,
+            n=n, threshold=None, record_threshold=None,
+        )
+
+    def retrieve_above_threshold(
+        self, request: FunctionRequest, threshold: float
+    ) -> "RetrievalResult":
+        _, RetrievalStatistics, _ = _result_types()
+        _check_threshold(threshold)
+        statistics = RetrievalStatistics()
+        matrices, similarities = self._evaluate_one(request, statistics)
+        return self._ranked_result(
+            request, matrices, similarities, statistics,
+            n=None, threshold=threshold, record_threshold=threshold,
+        )
+
+    def retrieve(
+        self,
+        request: FunctionRequest,
+        *,
+        n: Optional[int] = None,
+        threshold: Optional[float] = None,
+    ) -> "RetrievalResult":
+        _, RetrievalStatistics, _ = _result_types()
+        if n is None and threshold is None:
+            return self.retrieve_best(request)
+        statistics = RetrievalStatistics()
+        matrices, similarities = self._evaluate_one(request, statistics)
+        # Validation order mirrors the naive combined entry point (arguments
+        # are checked only after scoring).
+        if threshold is not None:
+            _check_threshold(threshold)
+        if n is not None:
+            _check_n(n)
+        return self._ranked_result(
+            request, matrices, similarities, statistics,
+            n=n, threshold=threshold, record_threshold=threshold,
+        )
+
+    def retrieve_batch(
+        self,
+        requests: Sequence[FunctionRequest],
+        *,
+        n: Optional[int] = None,
+        threshold: Optional[float] = None,
+    ) -> List["RetrievalResult"]:
+        """Grouped matrix evaluation of a whole request batch.
+
+        Requests sharing a ``(type_id, constrained-attribute-set)`` signature
+        are stacked into one ``(B, A)`` value matrix and evaluated against the
+        type's ``(I, A)`` case matrix in a single broadcast pass; weights may
+        differ freely within a group.
+
+        Error-ordering caveat: scoring errors only detectable inside the
+        kernel (e.g. a constrained attribute missing from the bounds table)
+        surface during group evaluation, *after* the mode-argument checks --
+        whereas the sequential naive loop scores request 0 completely before
+        validating ``n``/``threshold``.  For batches that are erroneous in
+        both ways at once the two backends may therefore raise different
+        (equally valid) ``RetrievalError``\\ s.
+        """
+        _, RetrievalStatistics, _ = _result_types()
+        requests = list(requests)
+        # Validate in request order: request 0's structural and weight checks,
+        # then the mode arguments, then the remaining requests.  (Scoring
+        # errors only detectable inside the kernel -- e.g. a bounds-table gap
+        # -- surface later, during group evaluation.)
+        groups: Dict[Tuple[int, Tuple[int, ...]], List[int]] = {}
+        matrices_by_request: List[_TypeMatrices] = []
+        weights_by_request: List[List[float]] = []
+        for index, request in enumerate(requests):
+            matrices = self._validate(request)
+            weights_by_request.append(self._normalised_weights(request))
+            if index == 0:
+                if threshold is not None:
+                    _check_threshold(threshold)
+                if n is not None:
+                    _check_n(n)
+            matrices_by_request.append(matrices)
+            key = (request.type_id, tuple(request.attribute_ids()))
+            groups.setdefault(key, []).append(index)
+        results: List[Optional["RetrievalResult"]] = [None] * len(requests)
+        for (type_id, attribute_ids), member_indices in groups.items():
+            matrices = matrices_by_request[member_indices[0]]
+            request_values = np.array(
+                [
+                    [
+                        float(attribute.value)
+                        for attribute in requests[index].sorted_attributes()
+                    ]
+                    for index in member_indices
+                ],
+                dtype=np.float64,
+            )
+            weight_rows = np.array(
+                [weights_by_request[index] for index in member_indices],
+                dtype=np.float64,
+            )
+            similarity_rows, missing, compared = self._similarity_rows(
+                matrices, attribute_ids, request_values, weight_rows
+            )
+            for row, index in enumerate(member_indices):
+                request = requests[index]
+                statistics = RetrievalStatistics()
+                self._account(statistics, matrices, attribute_ids, missing, compared)
+                similarities = similarity_rows[row]
+                if n is None and threshold is None:
+                    results[index] = self._best_result(
+                        request, matrices, similarities, statistics
+                    )
+                else:
+                    results[index] = self._ranked_result(
+                        request, matrices, similarities, statistics,
+                        n=n, threshold=threshold, record_threshold=threshold,
+                    )
+        return results
+
+
+#: Registry of constructable backend names (used by the engine, manager and CLI).
+BACKENDS = {
+    NaiveBackend.name: NaiveBackend,
+    "reference": NaiveBackend,
+    VectorizedBackend.name: VectorizedBackend,
+}
+
+
+def get_retrieval_backend(name: str) -> RetrievalBackend:
+    """Instantiate a registered backend by name."""
+    try:
+        factory = BACKENDS[name]
+    except KeyError as exc:
+        raise RetrievalError(
+            f"unknown retrieval backend {name!r}; known: {sorted(BACKENDS)}"
+        ) from exc
+    return factory()
+
+
+def resolve_backend(
+    spec: Union[str, RetrievalBackend, None], engine: "RetrievalEngine"
+) -> RetrievalBackend:
+    """Turn a backend spec (name, instance or ``None``) into an attached backend.
+
+    A ``"vectorized"`` request against an engine whose similarity configuration
+    the vectorized kernel cannot reproduce (custom amalgamation, metric or
+    local-similarity subclass) transparently falls back to the naive backend,
+    so callers may select vectorization unconditionally.
+    """
+    if spec is None:
+        spec = NaiveBackend.name
+    backend = get_retrieval_backend(spec) if isinstance(spec, str) else spec
+    if isinstance(backend, VectorizedBackend) and not VectorizedBackend.supports(engine):
+        backend = NaiveBackend()
+    return backend.attach(engine)

@@ -120,6 +120,16 @@ class BypassCache:
         self._touch(key)
         return token
 
+    def has_valid_token(self, request: FunctionRequest, case_base: CaseBase) -> bool:
+        """Side-effect-free peek: whether :meth:`lookup` would return a token.
+
+        Unlike :meth:`lookup` this neither counts a hit/miss, drops stale
+        tokens nor touches the LRU order; the allocation manager uses it to
+        exclude bypass-served requests from batch retrieval prefetching.
+        """
+        token = self._tokens.get(self._key(request))
+        return token is not None and token.is_valid_for(case_base)
+
     def store(
         self,
         request: FunctionRequest,

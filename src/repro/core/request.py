@@ -75,13 +75,17 @@ class FunctionRequest:
 
     # -- construction -----------------------------------------------------------
 
-    def add(self, entry: Union[RequestAttribute, Tuple]) -> RequestAttribute:
-        """Add one constraining attribute (duplicates are rejected)."""
+    def add(self, entry: Union[RequestAttribute, Tuple, List]) -> RequestAttribute:
+        """Add one constraining attribute (duplicates are rejected).
+
+        Pairs/triples may be tuples or lists -- JSON deserialisation produces
+        lists -- as long as they carry 2 or 3 entries.
+        """
         if isinstance(entry, RequestAttribute):
             attribute = entry
-        elif isinstance(entry, tuple) and len(entry) == 2:
+        elif isinstance(entry, (tuple, list)) and len(entry) == 2:
             attribute = RequestAttribute(int(entry[0]), entry[1])
-        elif isinstance(entry, tuple) and len(entry) == 3:
+        elif isinstance(entry, (tuple, list)) and len(entry) == 3:
             attribute = RequestAttribute(int(entry[0]), entry[1], float(entry[2]))
         else:
             raise RequestError(

@@ -13,18 +13,27 @@ Supported retrieval modes:
   extension announced in the paper's outlook (section 5);
 * :meth:`RetrievalEngine.retrieve_above_threshold` -- all variants whose global
   similarity reaches a threshold ("it's conceivable to reject all results below
-  a given threshold similarity", section 3).
+  a given threshold similarity", section 3);
+* :meth:`RetrievalEngine.retrieve_batch` -- evaluate a whole batch of requests
+  in one call, letting the vectorized backend amortise its matrix setup over
+  many requests (the online-reconfiguration workload of section 4.1).
+
+The *execution strategy* behind these modes is pluggable: the engine delegates
+to a :class:`~repro.core.backends.RetrievalBackend` (the original pure-Python
+loop, or the NumPy-vectorized batch kernel) selected via the ``backend``
+constructor argument.  All backends are differentially tested to produce
+bit-identical rankings, similarities and statistics.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 from .amalgamation import AmalgamationFunction, WeightedSum
-from .attributes import BoundsTable, Number
+from .attributes import BoundsTable
 from .case_base import CaseBase, Implementation
-from .exceptions import RetrievalError, UnknownFunctionTypeError
+from .exceptions import RetrievalError
 from .request import FunctionRequest
 from .similarity import LocalSimilarity, LocalSimilarityValue
 
@@ -122,6 +131,14 @@ class RetrievalEngine:
     local_similarity:
         Local similarity measure; defaults to the eq. 1 measure with Manhattan
         distance over ``bounds``.
+    backend:
+        Execution strategy: a backend name (``"naive"``/``"reference"`` for the
+        per-implementation loop, ``"vectorized"`` for the NumPy batch kernel)
+        or a :class:`~repro.core.backends.RetrievalBackend` instance.  A
+        ``"vectorized"`` selection falls back to the naive loop when the
+        similarity configuration cannot be vectorized (custom amalgamation,
+        metric or local-similarity subclass); check :attr:`backend_name` for
+        the effective choice.
     """
 
     def __init__(
@@ -131,6 +148,7 @@ class RetrievalEngine:
         bounds: Optional[BoundsTable] = None,
         amalgamation: Optional[AmalgamationFunction] = None,
         local_similarity: Optional[LocalSimilarity] = None,
+        backend: Union[str, "RetrievalBackend", None] = None,
     ) -> None:
         self.case_base = case_base
         self.bounds = bounds if bounds is not None else case_base.bounds
@@ -140,6 +158,24 @@ class RetrievalEngine:
             if local_similarity is not None
             else LocalSimilarity(self.bounds)
         )
+        from .backends import resolve_backend
+
+        self.backend = resolve_backend(backend, self)
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the effective execution backend (after any fallback)."""
+        return self.backend.name
+
+    def invalidate_cache(self) -> None:
+        """Drop backend state derived from the case base.
+
+        Structural case-base changes (everything going through
+        :class:`CaseBase`'s mutators, including the learning cycle's revise and
+        retain steps) are detected automatically via the revision counter; this
+        hook is only needed after mutating implementation objects in place.
+        """
+        self.backend.invalidate()
 
     # -- scoring -----------------------------------------------------------------
 
@@ -183,19 +219,16 @@ class RetrievalEngine:
     def score_all(
         self, request: FunctionRequest, statistics: Optional[RetrievalStatistics] = None
     ) -> List[ScoredImplementation]:
-        """Score every implementation variant of the requested function type."""
-        function_type = self.case_base.get_type(request.type_id)
-        if len(function_type) == 0:
-            raise RetrievalError(
-                f"function type {request.type_id} has no implementation variants"
-            )
-        statistics = statistics if statistics is not None else RetrievalStatistics()
-        return [
-            self.score(request, implementation, statistics)
-            for implementation in function_type.sorted_implementations()
-        ]
+        """Score every implementation variant of the requested function type.
 
-    # -- retrieval modes ----------------------------------------------------------
+        Delegated to the execution backend; the vectorized backend returns
+        entries without per-attribute local-similarity breakdowns (use
+        :meth:`score` for the detailed view of a single variant).
+        """
+        statistics = statistics if statistics is not None else RetrievalStatistics()
+        return self.backend.score_all(request, statistics)
+
+    # -- retrieval modes (delegated to the execution backend) ----------------------
 
     def retrieve_best(self, request: FunctionRequest) -> RetrievalResult:
         """Return the single most similar implementation (paper Fig. 6).
@@ -204,15 +237,7 @@ class RetrievalEngine:
         implementation ID), matching the strict ``S > S_best`` update rule of
         the hardware algorithm.
         """
-        statistics = RetrievalStatistics()
-        scored = self.score_all(request, statistics)
-        best: Optional[ScoredImplementation] = None
-        for entry in scored:
-            if best is None or entry.similarity > best.similarity:
-                best = entry
-                statistics.best_updates += 1
-        ranked = [best] if best is not None else []
-        return RetrievalResult(request.type_id, ranked, statistics)
+        return self.backend.retrieve_best(request)
 
     def retrieve_n_best(self, request: FunctionRequest, n: int) -> RetrievalResult:
         """Return the ``n`` most similar implementations (section 5 extension).
@@ -220,31 +245,13 @@ class RetrievalEngine:
         The ranking is stable: equal similarities keep ascending implementation
         ID order.
         """
-        if n <= 0:
-            raise RetrievalError(f"n must be positive, got {n}")
-        statistics = RetrievalStatistics()
-        scored = self.score_all(request, statistics)
-        ranked = sorted(
-            scored,
-            key=lambda entry: (-entry.similarity, entry.implementation_id),
-        )[:n]
-        statistics.best_updates += len(ranked)
-        return RetrievalResult(request.type_id, ranked, statistics)
+        return self.backend.retrieve_n_best(request, n)
 
     def retrieve_above_threshold(
         self, request: FunctionRequest, threshold: float
     ) -> RetrievalResult:
         """Return all implementations whose similarity reaches ``threshold``."""
-        if not 0.0 <= threshold <= 1.0:
-            raise RetrievalError(f"threshold must lie within [0, 1], got {threshold}")
-        statistics = RetrievalStatistics()
-        scored = self.score_all(request, statistics)
-        ranked = sorted(
-            (entry for entry in scored if entry.similarity >= threshold),
-            key=lambda entry: (-entry.similarity, entry.implementation_id),
-        )
-        statistics.best_updates += len(ranked)
-        return RetrievalResult(request.type_id, ranked, statistics, threshold=threshold)
+        return self.backend.retrieve_above_threshold(request, threshold)
 
     def retrieve(
         self,
@@ -254,20 +261,21 @@ class RetrievalEngine:
         threshold: Optional[float] = None,
     ) -> RetrievalResult:
         """Combined entry point: optional n-best cut and threshold rejection."""
-        if n is None and threshold is None:
-            return self.retrieve_best(request)
-        statistics = RetrievalStatistics()
-        scored = self.score_all(request, statistics)
-        ranked = sorted(
-            scored, key=lambda entry: (-entry.similarity, entry.implementation_id)
-        )
-        if threshold is not None:
-            if not 0.0 <= threshold <= 1.0:
-                raise RetrievalError(f"threshold must lie within [0, 1], got {threshold}")
-            ranked = [entry for entry in ranked if entry.similarity >= threshold]
-        if n is not None:
-            if n <= 0:
-                raise RetrievalError(f"n must be positive, got {n}")
-            ranked = ranked[:n]
-        statistics.best_updates += len(ranked)
-        return RetrievalResult(request.type_id, ranked, statistics, threshold=threshold)
+        return self.backend.retrieve(request, n=n, threshold=threshold)
+
+    def retrieve_batch(
+        self,
+        requests: Sequence[FunctionRequest],
+        *,
+        n: Optional[int] = None,
+        threshold: Optional[float] = None,
+    ) -> List[RetrievalResult]:
+        """Evaluate a batch of requests; result ``i`` belongs to request ``i``.
+
+        Per-request semantics match :meth:`retrieve`.  The vectorized backend
+        groups requests by ``(type_id, constrained-attribute-set)`` signature
+        and evaluates each group as one broadcast matrix operation, which is
+        where the batch API's speedup comes from; the naive backend simply
+        loops, which the differential test suite uses as the oracle.
+        """
+        return self.backend.retrieve_batch(requests, n=n, threshold=threshold)

@@ -143,7 +143,11 @@ class LocalSimilarity:
             )
         bound = self.bounds.get(attribute_id)
         distance = self.metric.distance(request_value, case_value)
-        similarity = 1.0 - distance / (1.0 + float(bound.dmax))
+        # Multiply by the pre-computed reciprocal instead of dividing by
+        # ``1 + dmax`` -- the same arithmetic the hardware supplemental list
+        # enables (Fig. 4 right) and the vectorized backend bakes into its
+        # attribute matrices, keeping all execution paths bit-identical.
+        similarity = 1.0 - distance * bound.reciprocal
         if self.clamp:
             similarity = min(1.0, max(0.0, similarity))
         return LocalSimilarityValue(

@@ -8,6 +8,7 @@ from .export import (
     case_base_to_json,
     export_memory_images,
     load_case_base,
+    request_from_dict,
     request_from_json,
     request_to_json,
     save_case_base,
@@ -27,6 +28,7 @@ __all__ = [
     "export_memory_images",
     "format_trace",
     "load_case_base",
+    "request_from_dict",
     "request_from_json",
     "request_to_json",
     "save_case_base",

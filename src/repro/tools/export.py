@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from ..core.attributes import AttributeBounds, BoundsTable
 from ..core.case_base import CaseBase
@@ -97,21 +97,29 @@ def request_to_json(request: FunctionRequest, *, indent: int = 2) -> str:
     return json.dumps(payload, indent=indent, sort_keys=True)
 
 
+def request_from_dict(payload: Mapping) -> FunctionRequest:
+    """Rebuild a request from a :func:`request_to_json`-shaped dictionary."""
+    try:
+        return FunctionRequest(
+            int(payload["type_id"]),
+            [
+                RequestAttribute(int(a["attribute_id"]), a["value"], float(a["weight"]))
+                for a in payload.get("attributes", [])
+            ],
+            requester=str(payload.get("requester", "")),
+            normalize_weights=False,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproError(f"malformed request entry {payload!r}: {exc}") from exc
+
+
 def request_from_json(text: str) -> FunctionRequest:
     """Rebuild a request from :func:`request_to_json` output."""
     try:
         payload = json.loads(text)
     except json.JSONDecodeError as exc:
         raise ReproError(f"invalid request JSON: {exc}") from exc
-    return FunctionRequest(
-        int(payload["type_id"]),
-        [
-            RequestAttribute(int(a["attribute_id"]), a["value"], float(a["weight"]))
-            for a in payload.get("attributes", [])
-        ],
-        requester=str(payload.get("requester", "")),
-        normalize_weights=False,
-    )
+    return request_from_dict(payload)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,157 @@
+"""Batch services of the Application-API facade."""
+
+import pytest
+
+from repro.allocation import AllocationManager, ApplicationPolicy
+from repro.api import ApplicationAPI
+from repro.core import AllocationError, RequestError, paper_case_base
+from repro.platform import (
+    LocalRuntimeController,
+    SystemResourceState,
+    audio_dsp,
+    host_cpu,
+    virtex2_3000_fpga,
+)
+
+
+@pytest.fixture
+def api() -> ApplicationAPI:
+    system = SystemResourceState(
+        [
+            LocalRuntimeController(virtex2_3000_fpga("fpga0")),
+            LocalRuntimeController(host_cpu("cpu0")),
+            LocalRuntimeController(audio_dsp("dsp0")),
+        ]
+    )
+    manager = AllocationManager(
+        paper_case_base(), system, retrieval_backend="vectorized"
+    )
+    application_api = ApplicationAPI(manager)
+    application_api.register_application(
+        "audio-app", ApplicationPolicy(minimum_similarity=0.5)
+    )
+    return application_api
+
+
+PAPER_CONSTRAINTS = {"bitwidth": 16, "output_mode": "stereo", "sampling_rate": 40}
+
+
+class TestRetrieveBatch:
+    def test_ranks_candidates_without_allocating(self, api):
+        results = api.retrieve_batch(
+            "audio-app",
+            [(1, PAPER_CONSTRAINTS), (1, [(1, 8), (4, 20)])],
+            n=2,
+        )
+        assert len(results) == 2
+        assert results[0].best_id == 2
+        assert results[0].best_similarity == pytest.approx(0.964, abs=0.001)
+        # Nothing was placed and no handles were issued.
+        assert api.handles() == []
+        assert api.manager.active_allocations() == {}
+
+    def test_weights_entry_supported(self, api):
+        (result,) = api.retrieve_batch(
+            "audio-app",
+            [(1, PAPER_CONSTRAINTS, {"sampling_rate": 3.0})],
+            n=1,
+        )
+        assert result.best_id is not None
+
+    def test_unregistered_application_rejected(self, api):
+        with pytest.raises(AllocationError):
+            api.retrieve_batch("ghost-app", [(1, PAPER_CONSTRAINTS)])
+
+    def test_malformed_query_rejected(self, api):
+        with pytest.raises(RequestError):
+            api.retrieve_batch("audio-app", [{"type_id": 1}])
+        with pytest.raises(RequestError):
+            api.retrieve_batch("audio-app", [(1,)])
+
+    def test_list_shaped_queries_accepted(self, api):
+        """JSON deserialisation produces lists, not tuples."""
+        import json
+
+        queries = json.loads('[[1, {"bitwidth": 16, "sampling_rate": 40}]]')
+        (result,) = api.retrieve_batch("audio-app", queries, n=1)
+        assert result.best_id is not None
+
+    def test_list_shaped_constraint_pairs_accepted(self, api):
+        """Constraint pairs inside a JSON query are also lists."""
+        import json
+
+        queries = json.loads('[[1, [[1, 16], [4, 40, 2.0]]]]')
+        (result,) = api.retrieve_batch("audio-app", queries, n=1)
+        assert result.best_id is not None
+
+    def test_weights_with_id_pairs_rejected_not_dropped(self, api):
+        # Weights are name-keyed; with (id, value) pairs they cannot be
+        # applied, so silently ignoring them would mis-rank candidates.
+        with pytest.raises(RequestError):
+            api.retrieve_batch(
+                "audio-app", [(1, [(1, 16), (4, 40)], {"bitwidth": 2.0})]
+            )
+
+
+class TestCallFunctions:
+    def test_batch_call_returns_one_handle_per_query(self, api):
+        handles = api.call_functions(
+            "audio-app",
+            [(1, PAPER_CONSTRAINTS), (2, {"bitwidth": 16, "processing_mode": "fixed"})],
+        )
+        assert len(handles) == 2
+        assert all(handle.decision.succeeded for handle in handles)
+        assert handles[0].type_id == 1
+        assert handles[1].type_id == 2
+        assert len(api.handles("audio-app")) == 2
+
+    def test_batch_and_sequential_calls_agree(self, api):
+        batch = api.call_functions("audio-app", [(1, PAPER_CONSTRAINTS)])
+        for handle in batch:
+            api.release(handle)
+        single = api.call_function("audio-app", 1, PAPER_CONSTRAINTS)
+        assert batch[0].decision.similarity == single.decision.similarity
+        assert (
+            batch[0].decision.implementation.implementation_id
+            == single.decision.implementation.implementation_id
+        )
+
+    def test_handles_survive_a_mid_batch_allocation_error(self):
+        """If a later request raises during allocation, handles for the
+        already-served requests stay registered so they can be released."""
+        from repro.core import (
+            BoundsTable,
+            CaseBase,
+            ExecutionTarget,
+            Implementation,
+            SchemaError,
+        )
+        from repro.platform import host_cpu
+
+        bounds = BoundsTable()
+        bounds.define(1, 0, 100)  # attribute 2 deliberately unregistered
+        case_base = CaseBase(bounds=bounds)
+        case_base.add_type(1).add(
+            Implementation(1, ExecutionTarget.GPP, {1: 50, 2: 7})
+        )
+        manager = AllocationManager(
+            case_base,
+            SystemResourceState([LocalRuntimeController(host_cpu("cpu0"))]),
+            retrieval_backend="vectorized",
+        )
+        api = ApplicationAPI(manager)
+        api.register_application("app")
+        with pytest.raises(SchemaError):
+            api.call_functions("app", [(1, [(1, 50)]), (1, [(2, 5)])])
+        (handle,) = api.handles("app")
+        assert handle.decision.succeeded
+        api.release(handle)
+        assert manager.active_allocations() == {}
+
+    def test_failed_queries_still_get_handles(self, api):
+        handles = api.call_functions(
+            "audio-app",
+            [(1, PAPER_CONSTRAINTS), (1, [(1, 1_000_000)])],
+        )
+        assert handles[0].decision.succeeded
+        assert not handles[1].decision.succeeded

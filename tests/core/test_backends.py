@@ -1,0 +1,336 @@
+"""Differential-equivalence tests for the pluggable retrieval backends.
+
+The vectorized backend must be indistinguishable from the golden naive loop:
+identical rankings, bit-identical similarities and identical algorithmic
+statistics, across randomized case bases (including missing attributes),
+every retrieval mode and the batch API.
+"""
+
+import pytest
+
+from repro.core import (
+    CaseBase,
+    CaseReviser,
+    ExecutionTarget,
+    FunctionRequest,
+    Implementation,
+    MinimumAmalgamation,
+    NaiveBackend,
+    OutcomeRecord,
+    RetrievalEngine,
+    RetrievalError,
+    ThresholdLocalSimilarity,
+    UnknownFunctionTypeError,
+    VectorizedBackend,
+    get_retrieval_backend,
+    paper_case_base,
+    paper_request,
+)
+from repro.tools import CaseBaseGenerator, GeneratorSpec
+
+
+RANDOM_SPECS = [
+    GeneratorSpec(type_count=3, implementations_per_type=4,
+                  attributes_per_implementation=4, attribute_type_count=6),
+    GeneratorSpec(type_count=5, implementations_per_type=8,
+                  attributes_per_implementation=6, attribute_type_count=9,
+                  missing_probability=0.25),
+    GeneratorSpec(type_count=2, implementations_per_type=16,
+                  attributes_per_implementation=8, attribute_type_count=10,
+                  missing_probability=0.4),
+]
+
+
+def engine_pair(case_base):
+    naive = RetrievalEngine(case_base, backend="naive")
+    vectorized = RetrievalEngine(case_base, backend="vectorized")
+    assert naive.backend_name == "naive"
+    assert vectorized.backend_name == "vectorized"
+    return naive, vectorized
+
+
+def assert_results_identical(reference, candidate):
+    assert candidate.ids() == reference.ids()
+    assert [entry.similarity for entry in candidate] == [
+        entry.similarity for entry in reference
+    ]
+    assert candidate.statistics == reference.statistics
+    assert candidate.threshold == reference.threshold
+    assert candidate.request_type_id == reference.request_type_id
+
+
+class TestBackendSelection:
+    def test_names_resolve(self, paper_cb):
+        assert RetrievalEngine(paper_cb).backend_name == "naive"
+        assert RetrievalEngine(paper_cb, backend="reference").backend_name == "naive"
+        assert RetrievalEngine(paper_cb, backend="vectorized").backend_name == "vectorized"
+
+    def test_unknown_name_rejected(self, paper_cb):
+        with pytest.raises(RetrievalError):
+            RetrievalEngine(paper_cb, backend="cuda")
+        with pytest.raises(RetrievalError):
+            get_retrieval_backend("cuda")
+
+    def test_instances_accepted(self, paper_cb):
+        engine = RetrievalEngine(paper_cb, backend=VectorizedBackend())
+        assert engine.backend_name == "vectorized"
+        assert engine.backend.engine is engine
+
+    def test_backend_cannot_serve_two_engines(self, paper_cb):
+        backend = NaiveBackend()
+        RetrievalEngine(paper_cb, backend=backend)
+        with pytest.raises(RetrievalError):
+            RetrievalEngine(paper_cb, backend=backend)
+
+    def test_incompatible_amalgamation_falls_back_to_naive(self, paper_cb):
+        engine = RetrievalEngine(
+            paper_cb, backend="vectorized", amalgamation=MinimumAmalgamation()
+        )
+        assert engine.backend_name == "naive"
+
+    def test_incompatible_local_similarity_falls_back_to_naive(self, paper_cb):
+        custom = ThresholdLocalSimilarity(paper_cb.bounds, tolerance=2.0)
+        engine = RetrievalEngine(paper_cb, backend="vectorized", local_similarity=custom)
+        assert engine.backend_name == "naive"
+
+
+@pytest.mark.parametrize("spec_index", range(len(RANDOM_SPECS)))
+@pytest.mark.parametrize("seed", [1, 17])
+class TestDifferentialEquivalence:
+    def _engines(self, spec_index, seed):
+        generator = CaseBaseGenerator(RANDOM_SPECS[spec_index], seed=seed)
+        case_base = generator.case_base()
+        naive, vectorized = engine_pair(case_base)
+        requests = [
+            generator.request(salt=salt, attribute_count=4) for salt in range(12)
+        ]
+        return naive, vectorized, requests
+
+    def test_retrieve_best_identical(self, spec_index, seed):
+        naive, vectorized, requests = self._engines(spec_index, seed)
+        for request in requests:
+            assert_results_identical(
+                naive.retrieve_best(request), vectorized.retrieve_best(request)
+            )
+
+    def test_retrieve_n_best_identical(self, spec_index, seed):
+        naive, vectorized, requests = self._engines(spec_index, seed)
+        for request in requests:
+            for n in (1, 2, 100):
+                assert_results_identical(
+                    naive.retrieve_n_best(request, n),
+                    vectorized.retrieve_n_best(request, n),
+                )
+
+    def test_retrieve_above_threshold_identical(self, spec_index, seed):
+        naive, vectorized, requests = self._engines(spec_index, seed)
+        for request in requests:
+            for threshold in (0.0, 0.5, 0.9, 1.0):
+                assert_results_identical(
+                    naive.retrieve_above_threshold(request, threshold),
+                    vectorized.retrieve_above_threshold(request, threshold),
+                )
+
+    def test_combined_retrieve_identical(self, spec_index, seed):
+        naive, vectorized, requests = self._engines(spec_index, seed)
+        for request in requests:
+            assert_results_identical(
+                naive.retrieve(request, n=3, threshold=0.4),
+                vectorized.retrieve(request, n=3, threshold=0.4),
+            )
+
+    def test_retrieve_batch_identical(self, spec_index, seed):
+        naive, vectorized, requests = self._engines(spec_index, seed)
+        for kwargs in ({}, {"n": 2}, {"threshold": 0.6}, {"n": 3, "threshold": 0.3}):
+            naive_results = naive.retrieve_batch(requests, **kwargs)
+            vector_results = vectorized.retrieve_batch(requests, **kwargs)
+            assert len(naive_results) == len(vector_results) == len(requests)
+            for reference, candidate in zip(naive_results, vector_results):
+                assert_results_identical(reference, candidate)
+
+    def test_score_all_identical(self, spec_index, seed):
+        naive, vectorized, requests = self._engines(spec_index, seed)
+        for request in requests:
+            naive_scored = naive.score_all(request)
+            vector_scored = vectorized.score_all(request)
+            assert [entry.implementation_id for entry in naive_scored] == [
+                entry.implementation_id for entry in vector_scored
+            ]
+            assert [entry.similarity for entry in naive_scored] == [
+                entry.similarity for entry in vector_scored
+            ]
+
+
+class TestVectorizedStatistics:
+    """Satellite bugfix: the vectorized backend must account algorithmic effort
+    identically to the sequential scan, not report zeros."""
+
+    def test_counters_match_paper_example(self, paper_cb, paper_req):
+        naive, vectorized = engine_pair(paper_cb)
+        reference = naive.retrieve_best(paper_req).statistics
+        candidate = vectorized.retrieve_best(paper_req).statistics
+        assert candidate == reference
+        assert candidate.implementations_visited == 3
+        assert candidate.attributes_requested == 9
+        assert candidate.multiplications == 9
+        assert candidate.best_updates >= 1
+
+    def test_missing_attributes_counted(self):
+        generator = CaseBaseGenerator(RANDOM_SPECS[1], seed=5)
+        case_base = generator.case_base()
+        naive, vectorized = engine_pair(case_base)
+        request = generator.request(salt=9, attribute_count=6)
+        reference = naive.retrieve_n_best(request, 4).statistics
+        candidate = vectorized.retrieve_n_best(request, 4).statistics
+        assert candidate == reference
+        assert candidate.missing_attributes > 0
+        assert (
+            candidate.attribute_compares + candidate.missing_attributes
+            == candidate.attribute_lookups
+        )
+
+    def test_batch_results_carry_per_request_statistics(self):
+        generator = CaseBaseGenerator(RANDOM_SPECS[0], seed=2)
+        case_base = generator.case_base()
+        naive, vectorized = engine_pair(case_base)
+        requests = [generator.request(salt=salt, attribute_count=3) for salt in range(6)]
+        for reference, candidate in zip(
+            naive.retrieve_batch(requests), vectorized.retrieve_batch(requests)
+        ):
+            assert candidate.statistics == reference.statistics
+            assert candidate.statistics.implementations_visited > 0
+
+
+class TestErrorParity:
+    def test_unknown_type(self, paper_cb):
+        naive, vectorized = engine_pair(paper_cb)
+        request = FunctionRequest(999, [(1, 10)])
+        for engine in (naive, vectorized):
+            with pytest.raises(UnknownFunctionTypeError):
+                engine.retrieve_best(request)
+
+    def test_empty_type(self):
+        case_base = CaseBase()
+        case_base.add_type(1)
+        naive, vectorized = engine_pair(case_base)
+        for engine in (naive, vectorized):
+            with pytest.raises(RetrievalError):
+                engine.retrieve_best(FunctionRequest(1, [(1, 10)]))
+
+    def test_empty_request(self, paper_cb):
+        naive, vectorized = engine_pair(paper_cb)
+        for engine in (naive, vectorized):
+            with pytest.raises(RetrievalError):
+                engine.retrieve_best(FunctionRequest(1, ()))
+
+    def test_invalid_arguments(self, paper_cb, paper_req):
+        naive, vectorized = engine_pair(paper_cb)
+        for engine in (naive, vectorized):
+            with pytest.raises(RetrievalError):
+                engine.retrieve_n_best(paper_req, 0)
+            with pytest.raises(RetrievalError):
+                engine.retrieve_above_threshold(paper_req, 1.5)
+            with pytest.raises(RetrievalError):
+                engine.retrieve(paper_req, n=-2)
+
+    def test_batch_validates_mode_arguments(self, paper_cb, paper_req):
+        naive, vectorized = engine_pair(paper_cb)
+        for engine in (naive, vectorized):
+            with pytest.raises(RetrievalError):
+                engine.retrieve_batch([paper_req], n=-1)
+            with pytest.raises(RetrievalError):
+                engine.retrieve_batch([paper_req], n=0)
+            with pytest.raises(RetrievalError):
+                engine.retrieve_batch([paper_req], threshold=2.0)
+
+    def test_empty_batch_returns_empty_list(self, paper_cb):
+        naive, vectorized = engine_pair(paper_cb)
+        for engine in (naive, vectorized):
+            assert engine.retrieve_batch([]) == []
+            assert engine.retrieve_batch([], n=3) == []
+
+    def test_all_zero_weights(self, paper_cb):
+        request = FunctionRequest(
+            1, [(1, 16, 0.0), (4, 40, 0.0)], normalize_weights=False
+        )
+        naive, vectorized = engine_pair(paper_cb)
+        for engine in (naive, vectorized):
+            with pytest.raises(RetrievalError):
+                engine.retrieve_best(request)
+
+    def test_batch_error_order_matches_sequential(self, paper_cb):
+        """A zero-weight request earlier in the batch must win over a later
+        unknown-type request on both backends, like sequential retrieval."""
+        zero_weight = FunctionRequest(
+            1, [(1, 16, 0.0)], normalize_weights=False
+        )
+        unknown_type = FunctionRequest(9999, [(1, 8)])
+        naive, vectorized = engine_pair(paper_cb)
+        for engine in (naive, vectorized):
+            with pytest.raises(RetrievalError, match="weights must not all be zero"):
+                engine.retrieve_batch([zero_weight, unknown_type])
+
+
+class TestCacheInvalidation:
+    def test_add_implementation_invalidates(self, paper_req):
+        case_base = paper_case_base()
+        engine = RetrievalEngine(case_base, backend="vectorized")
+        before = engine.retrieve_best(paper_req)
+        # A new variant that matches the request exactly must win immediately.
+        case_base.add_implementation(
+            1,
+            Implementation(9, ExecutionTarget.FPGA, {1: 16, 3: 1, 4: 40}, name="exact"),
+        )
+        after = engine.retrieve_best(paper_req)
+        assert before.best_id != 9
+        assert after.best_id == 9
+        assert after.best_similarity == pytest.approx(1.0)
+
+    def test_remove_implementation_invalidates(self, paper_req):
+        case_base = paper_case_base()
+        engine = RetrievalEngine(case_base, backend="vectorized")
+        winner = engine.retrieve_best(paper_req).best_id
+        case_base.remove_implementation(1, winner)
+        assert engine.retrieve_best(paper_req).best_id != winner
+
+    def test_learning_revise_invalidates(self, paper_req):
+        """The CBR revise step goes through replace_implementation and must be
+        visible to the cached matrices (ISSUE: learning.py mutations)."""
+        case_base = paper_case_base()
+        naive = RetrievalEngine(case_base.copy(), backend="naive")
+        vectorized = RetrievalEngine(case_base, backend="vectorized")
+        outcome = OutcomeRecord(
+            type_id=1, implementation_id=2, measured_attributes={4: 2}
+        )
+        reviser = CaseReviser(learning_rate=1.0)
+        reviser.revise(vectorized.case_base, outcome)
+        reviser.revise(naive.case_base, outcome)
+        assert_results_identical(
+            naive.retrieve_n_best(paper_req, 3), vectorized.retrieve_n_best(paper_req, 3)
+        )
+
+    def test_explicit_invalidate_after_in_place_mutation(self, paper_req):
+        case_base = paper_case_base()
+        engine = RetrievalEngine(case_base, backend="vectorized")
+        engine.retrieve_best(paper_req)
+        # In-place attribute mutation bypasses the revision counter...
+        case_base.get_implementation(1, 2).attributes[4] = 9999
+        # ...so an explicit invalidation is required to see it.
+        engine.invalidate_cache()
+        fresh = RetrievalEngine(case_base.copy(), backend="naive")
+        assert_results_identical(
+            fresh.retrieve_best(paper_req), engine.retrieve_best(paper_req)
+        )
+
+    def test_mixed_type_batch_after_mutation(self):
+        generator = CaseBaseGenerator(RANDOM_SPECS[0], seed=8)
+        case_base = generator.case_base()
+        engine = RetrievalEngine(case_base, backend="vectorized")
+        requests = [generator.request(salt=salt, attribute_count=3) for salt in range(8)]
+        engine.retrieve_batch(requests)
+        case_base.remove_implementation(1, 1)
+        oracle = RetrievalEngine(case_base, backend="naive")
+        for reference, candidate in zip(
+            oracle.retrieve_batch(requests, n=2), engine.retrieve_batch(requests, n=2)
+        ):
+            assert_results_identical(reference, candidate)

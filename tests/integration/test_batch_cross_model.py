@@ -1,0 +1,79 @@
+"""Batch retrieval vs the memmap-backed hardware model (experiment E5, batched).
+
+The vectorized software backend and the cycle-accurate hardware unit both
+execute the same linear-search algorithm from different encodings of the same
+case base (NumPy attribute matrices vs CB-MEM memory words).  These tests
+extend the cross-model validation to the batch path: on randomized case bases
+the three execution models must agree on every decision, and the engine
+backends must agree bit for bit.
+"""
+
+import pytest
+
+from repro.analysis import decision_agreement
+from repro.core import RetrievalEngine
+from repro.hardware import HardwareConfig, HardwareRetrievalUnit
+from repro.software import SoftwareRetrievalUnit
+from repro.tools import CaseBaseGenerator, GeneratorSpec
+
+
+SPECS = [
+    GeneratorSpec(type_count=3, implementations_per_type=5,
+                  attributes_per_implementation=5, attribute_type_count=8),
+    GeneratorSpec(type_count=8, implementations_per_type=8,
+                  attributes_per_implementation=8, attribute_type_count=10),
+]
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=["small", "medium"])
+@pytest.mark.parametrize("seed", [3, 29])
+def test_vectorized_batch_agrees_with_hardware_and_software(spec, seed):
+    generator = CaseBaseGenerator(spec, seed=seed)
+    case_base = generator.case_base()
+    vectorized = RetrievalEngine(case_base, backend="vectorized")
+    hardware = HardwareRetrievalUnit(case_base)
+    software = SoftwareRetrievalUnit(case_base)
+
+    requests = [
+        generator.request(salt=salt,
+                          attribute_count=min(5, spec.attributes_per_implementation))
+        for salt in range(12)
+    ]
+    batch = vectorized.retrieve_batch(requests)
+
+    vector_ids = [result.best_id for result in batch]
+    hardware_ids = [hardware.run(request).best_id for request in requests]
+    software_ids = [software.run(request).best_id for request in requests]
+
+    assert decision_agreement(vector_ids, hardware_ids) == 1.0
+    assert decision_agreement(hardware_ids, software_ids) == 1.0
+
+
+@pytest.mark.parametrize("seed", [7, 19])
+def test_vectorized_n_best_matches_hardware_candidate_set(seed):
+    generator = CaseBaseGenerator(SPECS[1], seed=seed)
+    case_base = generator.case_base()
+    vectorized = RetrievalEngine(case_base, backend="vectorized")
+    unit = HardwareRetrievalUnit(case_base, config=HardwareConfig(n_best=4))
+
+    requests = [generator.request(salt=salt, attribute_count=6) for salt in range(8)]
+    batch = vectorized.retrieve_batch(requests, n=4)
+    for request, result in zip(requests, batch):
+        hardware_ids = unit.run(request).ranked_ids()
+        assert hardware_ids[0] == result.ids()[0]
+        assert set(hardware_ids) == set(result.ids())
+
+
+def test_batch_over_naive_and_vectorized_is_the_same_oracle():
+    generator = CaseBaseGenerator(SPECS[0], seed=13)
+    case_base = generator.case_base()
+    naive = RetrievalEngine(case_base, backend="naive")
+    vectorized = RetrievalEngine(case_base, backend="vectorized")
+    requests = [generator.request(salt=salt, attribute_count=4) for salt in range(20)]
+    for reference, candidate in zip(
+        naive.retrieve_batch(requests, n=3), vectorized.retrieve_batch(requests, n=3)
+    ):
+        assert reference.ids() == candidate.ids()
+        assert [entry.similarity for entry in reference] == [
+            entry.similarity for entry in candidate
+        ]

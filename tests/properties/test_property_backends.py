@@ -1,0 +1,128 @@
+"""Property-based tests for the retrieval modes, across both backends.
+
+Uses hypothesis when available (the CI test environment installs it) and
+degrades to a seeded-random parametrized sweep otherwise, so the tier-1 suite
+never gains a hard dependency.  Properties checked, for naive and vectorized
+execution alike:
+
+* ``retrieve_n_best(request, 1)`` is equivalent to ``retrieve_best(request)``;
+* every entry returned by ``retrieve_above_threshold`` meets the threshold,
+  and the result equals the threshold-filtered full ranking;
+* ``retrieve_batch`` equals per-request sequential retrieval.
+"""
+
+import pytest
+
+from repro.core import RetrievalEngine
+from repro.tools import CaseBaseGenerator, GeneratorSpec
+
+try:
+    from hypothesis import HealthCheck, given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - exercised only without hypothesis
+    HAVE_HYPOTHESIS = False
+
+
+BACKENDS = ["naive", "vectorized"]
+
+#: Small, quick-to-build sizings; missing attributes included on purpose.
+SPEC = GeneratorSpec(
+    type_count=3,
+    implementations_per_type=6,
+    attributes_per_implementation=5,
+    attribute_type_count=8,
+    missing_probability=0.2,
+)
+
+
+def make_engine(seed: int, backend: str):
+    generator = CaseBaseGenerator(SPEC, seed=seed % 50)
+    return generator, RetrievalEngine(generator.case_base(), backend=backend)
+
+
+def check_n_best_one_equals_best(seed: int, salt: int, backend: str) -> None:
+    generator, engine = make_engine(seed, backend)
+    request = generator.request(salt=salt, attribute_count=4)
+    best = engine.retrieve_best(request)
+    n_best = engine.retrieve_n_best(request, 1)
+    assert n_best.ids() == best.ids()
+    assert n_best.best_similarity == best.best_similarity
+    # Scan counters agree (best_updates differs by definition: the sequential
+    # scan counts strict improvements, the ranking counts returned entries).
+    assert (
+        n_best.statistics.implementations_visited
+        == best.statistics.implementations_visited
+    )
+    assert n_best.statistics.attribute_lookups == best.statistics.attribute_lookups
+
+
+def check_threshold_members_qualify(seed: int, salt: int, threshold: float, backend: str) -> None:
+    generator, engine = make_engine(seed, backend)
+    request = generator.request(salt=salt, attribute_count=4)
+    result = engine.retrieve_above_threshold(request, threshold)
+    assert all(entry.similarity >= threshold for entry in result)
+    full = engine.retrieve_n_best(request, SPEC.implementations_per_type)
+    expected = [entry.implementation_id for entry in full if entry.similarity >= threshold]
+    assert result.ids() == expected
+    assert result.threshold == threshold
+
+
+def check_batch_equals_sequential(seed: int, backend: str) -> None:
+    generator, engine = make_engine(seed, backend)
+    requests = [generator.request(salt=salt, attribute_count=3) for salt in range(5)]
+    batched = engine.retrieve_batch(requests, n=2)
+    for request, batch_result in zip(requests, batched):
+        single = engine.retrieve_n_best(request, 2)
+        assert batch_result.ids() == single.ids()
+        assert batch_result.statistics == single.statistics
+
+
+if HAVE_HYPOTHESIS:
+
+    COMMON = settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @COMMON
+    @given(seed=st.integers(0, 10_000), salt=st.integers(0, 100))
+    def test_n_best_one_equals_best(backend, seed, salt):
+        check_n_best_one_equals_best(seed, salt, backend)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @COMMON
+    @given(
+        seed=st.integers(0, 10_000),
+        salt=st.integers(0, 100),
+        threshold=st.floats(0.0, 1.0, allow_nan=False),
+    )
+    def test_threshold_members_qualify(backend, seed, salt, threshold):
+        check_threshold_members_qualify(seed, salt, threshold, backend)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @COMMON
+    @given(seed=st.integers(0, 10_000))
+    def test_batch_equals_sequential(backend, seed):
+        check_batch_equals_sequential(seed, backend)
+
+else:  # pragma: no cover - fallback sweep without hypothesis
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("seed", range(10))
+    def test_n_best_one_equals_best(backend, seed):
+        check_n_best_one_equals_best(seed, salt=seed * 3, backend=backend)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("seed", range(10))
+    def test_threshold_members_qualify(backend, seed):
+        for threshold in (0.0, 0.35, 0.8, 1.0):
+            check_threshold_members_qualify(seed, salt=seed, threshold=threshold, backend=backend)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("seed", range(6))
+    def test_batch_equals_sequential(backend, seed):
+        check_batch_equals_sequential(seed, backend)

@@ -52,6 +52,99 @@ class TestGenerateAndRetrieve:
         assert "cycles=" in output and "MHz" in output
 
 
+class TestRetrieveBatch:
+    def test_requires_a_request_source(self, capsys):
+        assert main(["retrieve-batch"]) == 2
+        assert "retrieve-batch needs" in capsys.readouterr().err
+
+    def test_random_batch_compare_reports_agreement(self, capsys):
+        assert main(["retrieve-batch", "--random", "25", "--seed", "9",
+                     "--backend", "compare", "--show", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "batch retrieval (25 requests)" in output
+        assert "agree on 25/25 rankings" in output
+        assert "speedup" in output
+        assert "naive" in output and "vectorized" in output
+
+    def test_requests_file_against_generated_case_base(self, tmp_path, capsys):
+        import json
+
+        case_base_path = tmp_path / "cb.json"
+        assert main(["generate", str(case_base_path), "--types", "3",
+                     "--implementations", "5", "--attributes", "4", "--seed", "2"]) == 0
+        requests_path = tmp_path / "requests.json"
+        requests_path.write_text(json.dumps([
+            {"type_id": 1, "constraints": {"1": 120, "2": 700}},
+            {"type_id": 2, "constraints": [[1, 300], [3, 500, 2.0]]},
+            {"type_id": 3, "constraints": {"4": 10}},
+        ]))
+        capsys.readouterr()
+        assert main(["retrieve-batch", "--case-base", str(case_base_path),
+                     "--requests", str(requests_path), "--backend", "vectorized",
+                     "--n-best", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "batch retrieval (3 requests)" in output
+        assert "us/request" in output
+
+    def test_paper_example_batch_defaults(self, capsys):
+        assert main(["retrieve-batch", "--random", "4", "--backend", "naive"]) == 0
+        output = capsys.readouterr().out
+        assert "batch retrieval (4 requests)" in output
+
+    def test_canonical_serializer_format_accepted(self, tmp_path, capsys):
+        from repro.core import paper_request
+        from repro.tools import request_to_json
+        import json
+
+        requests_path = tmp_path / "canonical.json"
+        requests_path.write_text(f"[{request_to_json(paper_request())}]")
+        assert main(["retrieve-batch", "--requests", str(requests_path)]) == 0
+        assert "0.964" in capsys.readouterr().out
+
+    def test_malformed_requests_file_is_a_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        assert main(["retrieve-batch", "--requests", str(bad)]) == 2
+        assert "invalid requests JSON" in capsys.readouterr().err
+        missing_key = tmp_path / "missing.json"
+        missing_key.write_text('[{"type_id": 1}]')
+        assert main(["retrieve-batch", "--requests", str(missing_key)]) == 2
+        assert "malformed request entry" in capsys.readouterr().err
+        bad_constraints = tmp_path / "badc.json"
+        bad_constraints.write_text('[{"type_id": 1, "constraints": 5}]')
+        assert main(["retrieve-batch", "--requests", str(bad_constraints)]) == 2
+        assert "malformed request entry" in capsys.readouterr().err
+
+    def test_missing_requests_file_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["retrieve-batch", "--requests", str(tmp_path / "typo.json")]) == 2
+        assert "cannot read requests file" in capsys.readouterr().err
+
+    def test_unknown_type_in_requests_file_is_a_clean_error(self, tmp_path, capsys):
+        requests_path = tmp_path / "unknown.json"
+        requests_path.write_text('[{"type_id": 99, "constraints": {"1": 120}}]')
+        assert main(["retrieve-batch", "--requests", str(requests_path)]) == 2
+        assert "retrieve-batch:" in capsys.readouterr().err
+
+    def test_empty_requests_file_is_a_clean_error(self, tmp_path, capsys):
+        requests_path = tmp_path / "empty.json"
+        requests_path.write_text("[]")
+        assert main(["retrieve-batch", "--requests", str(requests_path)]) == 2
+        assert "no usable requests" in capsys.readouterr().err
+
+    def test_attribute_less_case_base_is_a_clean_error(self, tmp_path, capsys):
+        import json
+
+        case_base_path = tmp_path / "bare.json"
+        case_base_path.write_text(json.dumps({
+            "types": [{"type_id": 1, "implementations": [
+                {"implementation_id": 1, "target": "gpp", "attributes": {}},
+            ]}],
+        }))
+        assert main(["retrieve-batch", "--case-base", str(case_base_path),
+                     "--random", "5"]) == 2
+        assert "no usable requests" in capsys.readouterr().err
+
+
 class TestEstimateExportScenario:
     def test_estimate_prints_table2_rows(self, capsys):
         assert main(["estimate", "--components"]) == 0
