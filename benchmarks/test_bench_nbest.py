@@ -44,7 +44,9 @@ def test_nbest_hardware_cycle_overhead(benchmark, medium_generator):
 
     def sweep():
         return {
-            n: HardwareRetrievalUnit(case_base, config=HardwareConfig(n_best=n)).run(request).cycles
+            n: HardwareRetrievalUnit(case_base, config=HardwareConfig(n_best=n))
+            .run_batch([request], engine="vectorized")[0]
+            .cycles
             for n in N_VALUES
         }
 
@@ -60,12 +62,12 @@ def test_nbest_hardware_matches_reference_winners(benchmark, medium_generator):
     case_base = medium_generator.case_base()
     engine = RetrievalEngine(case_base)
     unit = HardwareRetrievalUnit(case_base, config=HardwareConfig(n_best=4))
+    requests = [medium_generator.request(salt=salt, attribute_count=6) for salt in range(6)]
 
     def sweep():
         agreements = 0
-        for salt in range(6):
-            request = medium_generator.request(salt=salt, attribute_count=6)
-            hardware_ids = unit.run(request).ranked_ids()
+        for request, hardware in zip(requests, unit.run_batch(requests, engine="vectorized")):
+            hardware_ids = hardware.ranked_ids()
             reference_ids = engine.retrieve_n_best(request, 4).ids()
             if hardware_ids[0] == reference_ids[0] and set(hardware_ids) == set(reference_ids):
                 agreements += 1

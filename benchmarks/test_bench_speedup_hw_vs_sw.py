@@ -18,42 +18,50 @@ from repro.tools import CaseBaseGenerator, GeneratorSpec
 PAPER_SPEEDUP = 8.5
 
 
-def _speedups(generator, requests=6, **sw_kwargs):
+def _speedups(generator, requests=6, engine="vectorized", **sw_kwargs):
     case_base = generator.case_base()
     hardware = HardwareRetrievalUnit(case_base)
     software = SoftwareRetrievalUnit(case_base, **sw_kwargs)
-    ratios = []
-    for salt in range(requests):
-        request = generator.request(
+    request_list = [
+        generator.request(
             salt=salt, attribute_count=generator.spec.attributes_per_implementation
         )
-        hw = hardware.run(request)
-        sw = software.run(request)
+        for salt in range(requests)
+    ]
+    ratios = []
+    for hw, sw in zip(
+        hardware.run_batch(request_list, engine=engine),
+        software.run_batch(request_list, engine=engine),
+    ):
         assert hw.best_id == sw.best_id  # identical retrieval results (paper claim)
         ratios.append(SpeedupResult(sw.cycles, hw.cycles).cycle_speedup)
     return ratios
 
 
-def test_speedup_paper_example(benchmark, paper_cb, paper_req):
-    """Speedup on the worked example itself."""
+@pytest.mark.parametrize("engine", ["stepwise", "vectorized"])
+def test_speedup_paper_example(benchmark, paper_cb, paper_req, engine):
+    """Speedup on the worked example itself, identical under both engines."""
     hardware = HardwareRetrievalUnit(paper_cb)
     software = SoftwareRetrievalUnit(paper_cb)
 
     def run_both():
-        return software.run(paper_req).cycles / hardware.run(paper_req).cycles
+        hw = hardware.run_batch([paper_req], engine=engine)[0]
+        sw = software.run_batch([paper_req], engine=engine)[0]
+        return sw.cycles / hw.cycles
 
     speedup = benchmark(run_both)
     assert speedup == pytest.approx(PAPER_SPEEDUP, rel=0.35)
     assert speedup > 6.0
 
 
-def test_speedup_across_case_base_sizes(benchmark, medium_generator, table3_generator):
-    """The ratio holds from small to Table 3-sized case bases."""
+@pytest.mark.parametrize("engine", ["stepwise", "vectorized"])
+def test_speedup_across_case_base_sizes(benchmark, medium_generator, table3_generator, engine):
+    """The ratio holds from small to Table 3-sized case bases, on either engine."""
 
     def sweep():
         return {
-            "medium": geometric_mean(_speedups(medium_generator, requests=4)),
-            "table3": geometric_mean(_speedups(table3_generator, requests=3)),
+            "medium": geometric_mean(_speedups(medium_generator, requests=4, engine=engine)),
+            "table3": geometric_mean(_speedups(table3_generator, requests=3, engine=engine)),
         }
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)

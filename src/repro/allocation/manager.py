@@ -11,6 +11,7 @@ an unchanged request are short-circuited with bypass tokens (section 3).
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.bypass import BypassCache
@@ -55,6 +56,13 @@ class AllocationManager:
         retrieval-unit model (and records its cycle counts in every decision).
     hardware_config:
         Configuration for the hardware retrieval unit when that backend is used.
+    cycle_engine:
+        How the ``"hardware"`` backend executes the cycle-accurate unit:
+        ``"stepwise"`` walks the word image per request, ``"vectorized"``
+        derives bit-identical results and exact cycle counts analytically
+        (much faster at scenario scale), ``"auto"`` (default) picks the
+        vectorized path unless the hardware configuration requires the
+        stepwise walk (FSM tracing).
     max_negotiation_rounds:
         Upper bound on relaxation rounds per request.
     """
@@ -70,6 +78,7 @@ class AllocationManager:
         similarity_threshold: float = 0.0,
         retrieval_backend: str = "reference",
         hardware_config: Optional[HardwareConfig] = None,
+        cycle_engine: str = "auto",
         max_negotiation_rounds: int = 2,
         bypass_capacity: Optional[int] = 64,
     ) -> None:
@@ -81,6 +90,11 @@ class AllocationManager:
             raise AllocationError(
                 f"unknown retrieval backend {retrieval_backend!r}; "
                 f"expected 'reference', 'naive', 'vectorized' or 'hardware'"
+            )
+        if cycle_engine not in ("auto", "stepwise", "vectorized"):
+            raise AllocationError(
+                f"unknown cycle engine {cycle_engine!r}; "
+                f"expected 'auto', 'stepwise' or 'vectorized'"
             )
         if max_negotiation_rounds < 1:
             raise AllocationError("max_negotiation_rounds must be at least 1")
@@ -99,6 +113,7 @@ class AllocationManager:
         self.similarity_threshold = similarity_threshold
         self.retrieval_backend = retrieval_backend
         self.hardware_config = hardware_config
+        self.cycle_engine = cycle_engine
         self.max_negotiation_rounds = max_negotiation_rounds
         self.engine = RetrievalEngine(
             case_base,
@@ -108,30 +123,45 @@ class AllocationManager:
         self.bypass = BypassCache(capacity=bypass_capacity)
         self.statistics = AllocationStatistics()
         self._hardware_unit: Optional[HardwareRetrievalUnit] = None
-        self._hardware_revision = -1
         #: handle -> (requester, type_id, implementation_id, controller)
         self._active: Dict[int, Tuple[str, int, int, LocalRuntimeController]] = {}
 
     # -- retrieval ------------------------------------------------------------------
 
     def _hardware_unit_current(self) -> HardwareRetrievalUnit:
-        """(Re)build the hardware unit when the case base changed."""
-        if self._hardware_unit is None or self._hardware_revision != self.case_base.revision:
+        """The lazily built hardware unit (it refreshes itself per revision).
+
+        Construction only widens the configured ``n_best`` to the manager's
+        candidate count; case-base mutations are handled by the unit's own
+        revision-keyed image cache.
+        """
+        if self._hardware_unit is None:
             config = self.hardware_config
             if config is None:
                 config = HardwareConfig(n_best=self.n_candidates)
             elif config.n_best < self.n_candidates:
-                config = HardwareConfig(
-                    clock_mhz=config.clock_mhz,
-                    wide_attribute_fetch=config.wide_attribute_fetch,
-                    pipelined_datapath=config.pipelined_datapath,
-                    cache_reciprocals=config.cache_reciprocals,
-                    n_best=self.n_candidates,
-                    trace=config.trace,
-                )
+                config = replace(config, n_best=self.n_candidates)
             self._hardware_unit = HardwareRetrievalUnit(self.case_base, config=config)
-            self._hardware_revision = self.case_base.revision
         return self._hardware_unit
+
+    def _hardware_candidates(self, request, result) -> List[ScoredImplementation]:
+        """Threshold- and count-trimmed candidate list of one hardware result."""
+        function_type = self.case_base.get_type(request.type_id)
+        candidates = [
+            ScoredImplementation(
+                type_id=request.type_id,
+                implementation=function_type.get(implementation_id),
+                similarity=similarity,
+            )
+            for implementation_id, similarity in zip(
+                result.ranked_ids(), result.ranked_similarities()
+            )
+        ]
+        return [
+            candidate
+            for candidate in candidates
+            if candidate.similarity >= self.similarity_threshold
+        ][: self.n_candidates]
 
     def _retrieve(
         self, request: FunctionRequest
@@ -139,24 +169,8 @@ class AllocationManager:
         """Retrieve the candidate list; returns ``(candidates, hardware_cycles)``."""
         if self.retrieval_backend == "hardware":
             unit = self._hardware_unit_current()
-            result = unit.run(request)
-            function_type = self.case_base.get_type(request.type_id)
-            candidates = [
-                ScoredImplementation(
-                    type_id=request.type_id,
-                    implementation=function_type.get(implementation_id),
-                    similarity=similarity,
-                )
-                for implementation_id, similarity in zip(
-                    result.ranked_ids(), result.ranked_similarities()
-                )
-            ]
-            candidates = [
-                candidate
-                for candidate in candidates
-                if candidate.similarity >= self.similarity_threshold
-            ][: self.n_candidates]
-            return candidates, result.cycles
+            result = unit.run_batch([request], engine=self.cycle_engine)[0]
+            return self._hardware_candidates(request, result), result.cycles
         result = self.engine.retrieve(
             request, n=self.n_candidates, threshold=self._effective_threshold()
         )
@@ -181,10 +195,13 @@ class AllocationManager:
 
         Served by the reference engine (naive or vectorized, per the manager's
         ``retrieval_backend``); with the ``"hardware"`` backend the engine path
-        is still used -- the cycle-accurate unit has no batch mode, and its
-        decisions agree with the engine by construction.  ``n`` defaults to
-        the manager's ``n_candidates`` and ``threshold`` to its
-        ``similarity_threshold``.
+        is still used so the result type stays uniform -- for typed hardware
+        results with cycle counts use
+        :meth:`HardwareRetrievalUnit.run_batch
+        <repro.hardware.retrieval_unit.HardwareRetrievalUnit.run_batch>`
+        (allocation itself batches through it, see :meth:`_prefetch_hardware`).
+        ``n`` defaults to the manager's ``n_candidates`` and ``threshold`` to
+        its ``similarity_threshold``.
         """
         if n is None:
             n = self.n_candidates
@@ -207,11 +224,21 @@ class AllocationManager:
         request, exactly as sequential calls would.  Requests holding a valid
         bypass token are left out because :meth:`allocate` would discard their
         candidates after the bypass hit (sequential allocation never retrieves
-        for those either).  With the ``"hardware"`` retrieval backend this
-        returns ``{}`` (the cycle-accurate unit has no batch mode).
+        for those either).  With the ``"hardware"`` retrieval backend the
+        sweep runs through the cycle-accurate unit's batch mode (the
+        manager's ``cycle_engine``).
         """
+        return {
+            index: candidates
+            for index, (candidates, _) in self._prefetch(requests).items()
+        }
+
+    def _prefetch(
+        self, requests: Sequence[FunctionRequest]
+    ) -> Dict[int, Tuple[List[ScoredImplementation], Optional[int]]]:
+        """Batched first-round retrieval: index -> (candidates, hardware cycles)."""
         if self.retrieval_backend == "hardware":
-            return {}
+            return self._prefetch_hardware(requests)
         #: signature -> indices sharing it; duplicates (the repeated-request
         #: pattern the bypass cache targets) are scored only once.  Retrieval
         #: depends solely on the signature (type, attributes, weights) -- the
@@ -240,10 +267,50 @@ class AllocationManager:
             # batch speedup for the whole call; acceptable for the degenerate
             # error case, where the sequential path raises anyway.)
             return {}
-        prefetched: Dict[int, List[ScoredImplementation]] = {}
+        prefetched: Dict[int, Tuple[List[ScoredImplementation], Optional[int]]] = {}
         for indices, result in zip(by_signature.values(), results):
             for index in indices:
-                prefetched[index] = list(result.ranked)
+                prefetched[index] = (list(result.ranked), None)
+        return prefetched
+
+    def _prefetch_hardware(
+        self, requests: Sequence[FunctionRequest]
+    ) -> Dict[int, Tuple[List[ScoredImplementation], Optional[int]]]:
+        """Hardware-backend prefetch through the unit's cycle-engine batch mode.
+
+        The screen mirrors what the sequential hardware path survives: an
+        unknown type must fall through (so :meth:`allocate` reports its
+        rejection decision), an unconstrained request must fall through (the
+        encoder raises at that request), while empty function types and
+        zero-weight requests are fine -- the hardware model scores them
+        without error.  Each decision records the same cycle count the
+        sequential run would.
+        """
+        by_signature: Dict[Tuple, List[int]] = {}
+        for index, request in enumerate(requests):
+            if (
+                request.type_id in self.case_base
+                and len(request) > 0
+                and not self.bypass.has_valid_token(request, self.case_base)
+            ):
+                by_signature.setdefault(request.signature(), []).append(index)
+        if not by_signature:
+            return {}
+        unit = self._hardware_unit_current()
+        unique_indices = [indices[0] for indices in by_signature.values()]
+        try:
+            results = unit.run_batch(
+                [requests[index] for index in unique_indices], engine=self.cycle_engine
+            )
+        except ReproError:
+            # Same fallback contract as the engine path: let the sequential
+            # loop surface the error at the offending request.
+            return {}
+        prefetched: Dict[int, Tuple[List[ScoredImplementation], Optional[int]]] = {}
+        for indices, result in zip(by_signature.values(), results):
+            candidates = self._hardware_candidates(requests[indices[0]], result)
+            for index in indices:
+                prefetched[index] = (list(candidates), result.cycles)
         return prefetched
 
     # -- bypass ---------------------------------------------------------------------
@@ -283,10 +350,12 @@ class AllocationManager:
         *,
         now_us: float = 0.0,
         _prefetched_candidates: Optional[List[ScoredImplementation]] = None,
+        _prefetched_cycles: Optional[int] = None,
     ) -> AllocationDecision:
         """Serve one function request end to end.
 
-        ``_prefetched_candidates`` is the internal hand-off from
+        ``_prefetched_candidates`` (plus ``_prefetched_cycles`` for the
+        hardware backend) is the internal hand-off from
         :meth:`allocate_batch`: the first negotiation round reuses the
         batch-retrieved candidate list instead of re-running retrieval (later
         relaxation rounds query the engine as usual, since relaxed requests
@@ -304,7 +373,7 @@ class AllocationManager:
         for round_index in range(self.max_negotiation_rounds):
             try:
                 if round_index == 0 and _prefetched_candidates is not None:
-                    candidates, hardware_cycles = list(_prefetched_candidates), None
+                    candidates, hardware_cycles = list(_prefetched_candidates), _prefetched_cycles
                 else:
                     candidates, hardware_cycles = self._retrieve(current_request)
             except UnknownFunctionTypeError:
@@ -387,12 +456,14 @@ class AllocationManager:
         partial progress even if a later request raises.
         """
         requests = list(requests)
-        prefetched = self.prefetch_candidates(requests)
+        prefetched = self._prefetch(requests)
         for index, request in enumerate(requests):
+            candidates, cycles = prefetched.get(index, (None, None))
             yield self.allocate(
                 request,
                 now_us=now_us,
-                _prefetched_candidates=prefetched.get(index),
+                _prefetched_candidates=candidates,
+                _prefetched_cycles=cycles,
             )
 
     def allocate_batch(

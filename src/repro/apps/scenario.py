@@ -87,10 +87,16 @@ def build_scenario(
     similarity_threshold: float = 0.3,
     retrieval_backend: str = "reference",
     hardware_config: Optional[HardwareConfig] = None,
+    cycle_engine: str = "auto",
     power_budget_mw: Optional[float] = 3500.0,
     workloads: Optional[Sequence[ApplicationWorkload]] = None,
 ) -> Scenario:
-    """Assemble the full Fig.-1 stack with the example applications registered."""
+    """Assemble the full Fig.-1 stack with the example applications registered.
+
+    ``cycle_engine`` selects how the ``"hardware"`` retrieval backend executes
+    the cycle-accurate unit (``"auto"``/``"vectorized"``/``"stepwise"``); it
+    is ignored by the reference backends.
+    """
     workload_list = list(workloads) if workloads is not None else default_workloads()
     case_base = build_case_base(workload_list)
     system = build_platform(fpga_count=fpga_count, power_budget_mw=power_budget_mw)
@@ -104,6 +110,7 @@ def build_scenario(
         similarity_threshold=similarity_threshold,
         retrieval_backend=retrieval_backend,
         hardware_config=hardware_config,
+        cycle_engine=cycle_engine,
     )
     application_api = ApplicationAPI(manager)
     hw_layer_api = HwLayerAPI(system, repository)

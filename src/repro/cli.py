@@ -12,6 +12,10 @@ Provides the day-to-day developer workflows as sub-commands:
   requests JSON file or randomly generated) through a selectable execution
   backend, or through both backends with an equivalence check and speedup
   report;
+* ``repro-qos cosim-batch`` -- run a request batch through the cycle-accurate
+  hardware and/or software models via a selectable cycle engine
+  (stepwise golden walk or the bit-identical vectorized fast path), or
+  through both engines with an exactness check and speedup report;
 * ``repro-qos estimate`` -- print the Table 2-style resource estimate for a
   retrieval-unit configuration;
 * ``repro-qos export`` -- export CB-MEM/Req-MEM images as ``.memh`` / C headers;
@@ -38,7 +42,11 @@ from .core import (
     paper_request,
 )
 from .hardware import HardwareConfig, HardwareRetrievalUnit, ResourceEstimator
-from .software import SoftwareRetrievalUnit
+from .software import (
+    SoftwareRetrievalUnit,
+    microblaze_cost_model,
+    microblaze_soft_multiply_model,
+)
 from .tools import (
     CaseBaseGenerator,
     GeneratorSpec,
@@ -273,6 +281,113 @@ def cmd_retrieve_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cosim_results_match(model: str, stepwise, vectorized) -> bool:
+    """Exact equality of two cycle-model results (the vectorized guarantee)."""
+    if (
+        stepwise.best_id != vectorized.best_id
+        or stepwise.best_similarity_raw != vectorized.best_similarity_raw
+        or stepwise.statistics != vectorized.statistics
+    ):
+        return False
+    if model == "hardware":
+        return stepwise.ranked == vectorized.ranked
+    return stepwise.counters.counts == vectorized.counters.counts
+
+
+def cmd_cosim_batch(args: argparse.Namespace) -> int:
+    """Run a request batch through the cycle models via selectable engines."""
+    case_base = load_case_base(args.case_base) if args.case_base else paper_case_base()
+    if args.requests:
+        try:
+            requests = _load_batch_requests(args.requests)
+        except ReproError as error:
+            print(f"cosim-batch: {error}", file=sys.stderr)
+            return 2
+    elif args.random > 0:
+        requests = _random_batch_requests(case_base, args.random, args.seed)
+    else:
+        print("cosim-batch needs --requests FILE or --random N", file=sys.stderr)
+        return 2
+    if not requests:
+        print("cosim-batch: no usable requests (empty file, or no case-base "
+              "implementation describes any attributes)", file=sys.stderr)
+        return 2
+
+    units = {}
+    if args.model in ("hardware", "both"):
+        units["hardware"] = HardwareRetrievalUnit(case_base, config=_hardware_config(args))
+    if args.model in ("software", "both"):
+        cost_model = (
+            microblaze_soft_multiply_model(args.clock_mhz)
+            if args.soft_multiply
+            else microblaze_cost_model(args.clock_mhz)
+        )
+        units["software"] = SoftwareRetrievalUnit(
+            case_base, cost_model=cost_model, inline_helpers=args.inline_helpers
+        )
+    engines = ["stepwise", "vectorized"] if args.engine == "compare" else [args.engine]
+    outputs = {}
+    timings = {}
+    for model, unit in units.items():
+        for engine in engines:
+            start = time.perf_counter()
+            try:
+                results = unit.run_batch(requests, engine=engine)
+            except ReproError as error:
+                print(f"cosim-batch: {error}", file=sys.stderr)
+                return 2
+            timings[(model, engine)] = time.perf_counter() - start
+            outputs[(model, engine)] = results
+
+    shown_engine = engines[-1]
+    headers = ["request", "type", "best impl", "S_global"] + [
+        f"{model} cycles" for model in units
+    ]
+    rows = []
+    for index, request in enumerate(requests[: args.show]):
+        first_model = next(iter(units))
+        result = outputs[(first_model, shown_engine)][index]
+        row = [index, request.type_id, result.best_id, round(result.best_similarity, 4)]
+        row += [outputs[(model, shown_engine)][index].cycles for model in units]
+        rows.append(row)
+    print(format_table(headers, rows,
+                       title=f"cycle co-simulation ({len(requests)} requests)"))
+    for model in units:
+        for engine in engines:
+            elapsed = timings[(model, engine)]
+            total_cycles = sum(result.cycles for result in outputs[(model, engine)])
+            print(f"{model:9s}/{engine:10s}: {elapsed * 1e3:8.2f} ms wall, "
+                  f"{total_cycles} modelled cycles "
+                  f"({elapsed / len(requests) * 1e6:7.1f} us/request)")
+    if "hardware" in units and "software" in units:
+        hw = sum(result.cycles for result in outputs[("hardware", shown_engine)])
+        sw = sum(result.cycles for result in outputs[("software", shown_engine)])
+        if hw:
+            print(f"modelled hw-vs-sw speedup at equal clock: {sw / hw:.1f}x (paper: ~8.5x)")
+    if args.engine == "compare":
+        exit_code = 0
+        for model in units:
+            mismatches = sum(
+                1
+                for stepwise, vectorized in zip(
+                    outputs[(model, "stepwise")], outputs[(model, "vectorized")]
+                )
+                if not _cosim_results_match(model, stepwise, vectorized)
+            )
+            stepwise_time = timings[(model, "stepwise")]
+            vectorized_time = timings[(model, "vectorized")]
+            speedup = (
+                stepwise_time / vectorized_time if vectorized_time else float("inf")
+            )
+            print(f"{model}: engines agree exactly on "
+                  f"{len(requests) - mismatches}/{len(requests)} results "
+                  f"(cycles, statistics, rankings); vectorized speedup {speedup:.1f}x")
+            if mismatches:
+                exit_code = 1
+        return exit_code
+    return 0
+
+
 def cmd_estimate(args: argparse.Namespace) -> int:
     """Print the Table 2-style resource estimate."""
     estimate = ResourceEstimator().estimate(config=_hardware_config(args))
@@ -306,6 +421,7 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         fpga_count=args.fpgas,
         power_budget_mw=args.power_budget,
         retrieval_backend=args.backend if args.backend != "reference" else "reference",
+        cycle_engine=args.cycle_engine,
     )
     result = ScenarioRunner(scenario, seed=args.seed).run(args.duration_ms * 1000.0)
     print(f"requests={result.request_count} served={result.success_count} "
@@ -374,6 +490,34 @@ def build_parser() -> argparse.ArgumentParser:
                      help="number of result rows to print (default 10)")
     sub.set_defaults(handler=cmd_retrieve_batch)
 
+    sub = subparsers.add_parser(
+        "cosim-batch",
+        help="run a request batch through the cycle-accurate models via cycle engines",
+    )
+    sub.add_argument("--case-base", help="case-base JSON (defaults to the paper example)")
+    sub.add_argument("--requests", help="JSON file with a list of "
+                     '{"type_id": ..., "constraints": ...} requests')
+    sub.add_argument("--random", type=int, default=0, metavar="N",
+                     help="generate N random requests matching the case base instead")
+    sub.add_argument("--seed", type=int, default=0)
+    sub.add_argument("--model", choices=["hardware", "software", "both"], default="both")
+    sub.add_argument("--engine", choices=["stepwise", "vectorized", "auto", "compare"],
+                     default="auto",
+                     help="'compare' runs both engines, checks bit- and cycle-exact "
+                          "equality and reports the vectorized speedup")
+    sub.add_argument("--n-best", type=int, default=1,
+                     help="n most similar results delivered by the hardware unit")
+    sub.add_argument("--clock-mhz", type=float, default=66.0)
+    sub.add_argument("--compact", action="store_true",
+                     help="enable the compacted-block hardware configuration")
+    sub.add_argument("--inline-helpers", action="store_true",
+                     help="model the aggressively inlined software build")
+    sub.add_argument("--soft-multiply", action="store_true",
+                     help="model the soft-core without its hardware multiplier")
+    sub.add_argument("--show", type=int, default=10,
+                     help="number of result rows to print (default 10)")
+    sub.set_defaults(handler=cmd_cosim_batch)
+
     sub = subparsers.add_parser("estimate", help="Table 2-style resource estimate")
     sub.add_argument("--n-best", type=int, default=1)
     sub.add_argument("--clock-mhz", type=float, default=66.0)
@@ -396,6 +540,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--duration-ms", type=float, default=3000.0)
     sub.add_argument("--seed", type=int, default=11)
     sub.add_argument("--backend", choices=["reference", "hardware"], default="reference")
+    sub.add_argument("--cycle-engine", choices=["auto", "stepwise", "vectorized"],
+                     default="auto",
+                     help="cycle engine used by the hardware retrieval backend")
     sub.set_defaults(handler=cmd_scenario)
 
     return parser

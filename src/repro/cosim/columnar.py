@@ -1,0 +1,149 @@
+"""Columnar (NumPy) view of an encoded :class:`~repro.memmap.image.CaseBaseImage`.
+
+The stepwise cycle models re-walk the 16-bit word image one Python-level
+memory access at a time.  The vectorized cycle engine instead decodes the
+image *once* into per-type columnar arrays:
+
+* the level-1 implementation list order and IDs,
+* every implementation's level-2 attribute list as padded ``(I, M)`` ID and
+  value matrices (pad entries carry an ID larger than any legal 16-bit word,
+  so ascending-order comparisons treat them like the end-of-list terminator),
+* the supplemental list's attribute IDs, pre-computed reciprocals and
+  ``1 + dmax`` divisors as parallel arrays.
+
+Decoding from the encoded words -- not from the live :class:`CaseBase` --
+guarantees the fast path sees exactly the quantised values the stepwise
+models read from CB-MEM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..memmap.image import CaseBaseImage
+from ..memmap.implementation_tree import (
+    IMPLEMENTATION_BLOCK_WORDS,
+    TYPE_BLOCK_WORDS,
+)
+from ..memmap.supplemental_list import SUPPLEMENTAL_BLOCK_WORDS
+from ..memmap.words import END_OF_LIST
+
+#: Padding ID for absent attribute-list slots: compares greater than any
+#: 16-bit attribute ID, so it never matches and never counts as ``< a``.
+PAD_ID = 1 << 17
+
+
+@dataclass(frozen=True)
+class TypeColumns:
+    """One function type's implementation variants in columnar form."""
+
+    type_id: int
+    #: 0-based position of the type's block in the level-0 list.
+    position: int
+    #: Implementation IDs in level-1 list (= ascending) order, shape ``(I,)``.
+    impl_ids: np.ndarray
+    #: Attribute IDs per implementation, shape ``(I, M)``, padded with PAD_ID.
+    entry_ids: np.ndarray
+    #: Attribute values per implementation, shape ``(I, M)``, 0 where padded.
+    entry_values: np.ndarray
+    #: Number of real attribute entries per implementation, shape ``(I,)``.
+    entry_counts: np.ndarray
+
+    @property
+    def implementation_count(self) -> int:
+        """Number of implementation variants of this type."""
+        return int(self.impl_ids.shape[0])
+
+
+class ColumnarImage:
+    """All columnar arrays the vectorized cycle engine needs, decoded once.
+
+    Parameters
+    ----------
+    image:
+        The encoded memory image; its ``tree`` and ``supplemental`` word
+        tuples are the single source of truth.
+    """
+
+    def __init__(self, image: CaseBaseImage) -> None:
+        self.image = image
+        self.fraction_format = image.fraction_format
+        self.types: Dict[int, TypeColumns] = {}
+        self._decode_tree(image.tree.words)
+        self._decode_supplemental(image.supplemental.words)
+
+    # -- decoding ------------------------------------------------------------------
+
+    def _decode_tree(self, words: Tuple[int, ...]) -> None:
+        # Level 0: type list order gives each type's search position.
+        type_blocks: List[Tuple[int, int]] = []  # (type_id, impl list address)
+        index = 0
+        while words[index] != END_OF_LIST:
+            type_blocks.append((words[index], words[index + 1]))
+            index += TYPE_BLOCK_WORDS
+        for position, (type_id, impl_list_address) in enumerate(type_blocks):
+            self.types[type_id] = self._decode_type(words, type_id, position, impl_list_address)
+
+    @staticmethod
+    def _decode_type(
+        words: Tuple[int, ...], type_id: int, position: int, impl_list_address: int
+    ) -> TypeColumns:
+        impl_blocks: List[Tuple[int, int]] = []  # (impl_id, attribute list address)
+        index = impl_list_address
+        while words[index] != END_OF_LIST:
+            impl_blocks.append((words[index], words[index + 1]))
+            index += IMPLEMENTATION_BLOCK_WORDS
+        attribute_lists: List[List[Tuple[int, int]]] = []
+        for _, attribute_address in impl_blocks:
+            entries: List[Tuple[int, int]] = []
+            index = attribute_address
+            while words[index] != END_OF_LIST:
+                entries.append((words[index], words[index + 1]))
+                index += 2
+            attribute_lists.append(entries)
+        count = len(impl_blocks)
+        width = max((len(entries) for entries in attribute_lists), default=0)
+        entry_ids = np.full((count, width), PAD_ID, dtype=np.int64)
+        entry_values = np.zeros((count, width), dtype=np.int64)
+        entry_counts = np.zeros(count, dtype=np.int64)
+        for row, entries in enumerate(attribute_lists):
+            entry_counts[row] = len(entries)
+            for column, (attribute_id, value) in enumerate(entries):
+                entry_ids[row, column] = attribute_id
+                entry_values[row, column] = value
+        return TypeColumns(
+            type_id=type_id,
+            position=position,
+            impl_ids=np.array([impl_id for impl_id, _ in impl_blocks], dtype=np.int64),
+            entry_ids=entry_ids,
+            entry_values=entry_values,
+            entry_counts=entry_counts,
+        )
+
+    def _decode_supplemental(self, words: Tuple[int, ...]) -> None:
+        ids: List[int] = []
+        reciprocals: List[int] = []
+        divisors: List[int] = []
+        index = 0
+        while words[index] != END_OF_LIST:
+            attribute_id = words[index]
+            lower, upper = words[index + 1], words[index + 2]
+            ids.append(attribute_id)
+            reciprocals.append(words[index + 3])
+            divisors.append((upper - lower) + 1)
+            index += SUPPLEMENTAL_BLOCK_WORDS
+        #: Supplemental attribute IDs in (ascending) list order, shape ``(S,)``.
+        self.supplemental_ids = np.array(ids, dtype=np.int64)
+        #: Raw UQ0.16 reciprocals ``1/(1+dmax)`` parallel to the IDs.
+        self.supplemental_reciprocals = np.array(reciprocals, dtype=np.int64)
+        #: ``1 + dmax`` divisors for the iterative-divider design alternative.
+        self.supplemental_divisors = np.array(divisors, dtype=np.int64)
+
+    # -- lookups -------------------------------------------------------------------
+
+    def type_columns(self, type_id: int) -> TypeColumns:
+        """Columnar view of one function type (KeyError when unknown)."""
+        return self.types[type_id]

@@ -1,0 +1,585 @@
+"""The vectorized cycle engine: exact analytic co-simulation in NumPy.
+
+The stepwise models charge cycles per FSM state visit (hardware) or per
+emitted instruction (software) while walking the word image one access at a
+time.  Every one of those visit counts is a deterministic function of a few
+structural quantities, so instead of re-walking the lists the vectorized
+engine computes the quantities with array operations and *derives* the exact
+counters:
+
+* ``k``      -- the requested type's position in the level-0 list;
+* ``I``      -- implementation variants of the type, ``R`` request attributes;
+* ``T_i``    -- attribute-list probes of implementation ``i``.  The stepwise
+  resume-search (section 4.1) is a sorted merge walk, whose probe count has
+  the closed form ``T_i = f_i(a_R) + R - matched_i(a_1..a_{R-1})`` where
+  ``f_i(a)`` counts list entries with ID below ``a`` (the restart ablation
+  uses ``T_i = sum_r f_i(a_r) + R``);
+* ``P``      -- supplemental-list probes per walk: ``p_R + R`` with ``p_R``
+  the block index of the largest request attribute (the resume walk probes
+  each block at most once plus one re-probe per found attribute);
+* ``m_i`` / ``miss_i`` -- matched/missing request attributes per
+  implementation, and the data-dependent branch counts of the software model
+  (negative differences, penalty clamps, accumulator saturations).
+
+Raw 16-bit similarities are computed with the vectorized Q-format helpers of
+:mod:`repro.fixedpoint.vectorized`, operation for operation in the stepwise
+datapath order, so similarities, rankings, cycle counts, instruction
+counters and memory-read counters are all bit-identical with the golden
+models -- the differential and property suites under ``tests/cosim`` assert
+exactly that across every configuration axis.
+
+Requests sharing a ``(type_id, attribute-ID set)`` signature are stacked and
+evaluated against the type's columnar matrices in one broadcast pass per
+request attribute, which is what makes scenario-scale batches orders of
+magnitude faster than the word-at-a-time walk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.exceptions import (
+    HardwareModelError,
+    SoftwareModelError,
+    UnknownFunctionTypeError,
+)
+from ..core.request import FunctionRequest
+from ..fixedpoint.vectorized import (
+    divide_fraction_array,
+    multiply_fraction_array,
+    multiply_fractions_array,
+    one_minus_array,
+    prefix_maxima_count,
+    saturating_add_array,
+)
+from ..hardware.retrieval_unit import (
+    HardwareConfig,
+    HardwareRetrievalResult,
+    HardwareRetrievalUnit,
+    HardwareStatistics,
+)
+from ..memmap.request_list import REQUEST_BLOCK_WORDS
+from ..software.isa import InstructionClass, InstructionCounters
+from ..software.retrieval_sw import (
+    SoftwareRetrievalResult,
+    SoftwareRetrievalUnit,
+    SoftwareStatistics,
+)
+from .columnar import ColumnarImage, TypeColumns
+from .engine import CycleEngine
+
+
+@dataclass
+class _Group:
+    """Requests sharing one ``(type_id, attribute-ID tuple)`` signature."""
+
+    type_id: int
+    attribute_ids: Tuple[int, ...]
+    member_indices: List[int]
+    values: np.ndarray  # (B, R) raw attribute values
+    weights: np.ndarray  # (B, R) raw UQ0.16 weights
+
+
+@dataclass
+class _Structural:
+    """Value-independent per-implementation quantities of one group."""
+
+    present: np.ndarray  # (I, R) request attribute present in implementation
+    case_values: np.ndarray  # (I, R) raw stored values (0 where absent)
+    matched: np.ndarray  # (I,) matched request attributes
+    missing: np.ndarray  # (I,) missing request attributes
+    probes: np.ndarray  # (I,) attribute-list probes of the configured search
+    supplemental_last: int  # block index of the largest request attribute
+    reciprocals: np.ndarray  # (R,) raw 1/(1+dmax) constants
+    divisors: np.ndarray  # (R,) 1 + dmax divisors (divider variant)
+
+
+def _decode_encoded_request(words: Sequence[int]) -> Tuple[int, Tuple[int, ...], List[int], List[int]]:
+    """Split an encoded request image into (type, IDs, values, weights)."""
+    count = (len(words) - 2) // REQUEST_BLOCK_WORDS
+    ids = tuple(words[1 + REQUEST_BLOCK_WORDS * r] for r in range(count))
+    values = [words[2 + REQUEST_BLOCK_WORDS * r] for r in range(count)]
+    weights = [words[3 + REQUEST_BLOCK_WORDS * r] for r in range(count)]
+    return words[0], ids, values, weights
+
+
+def _prepare_groups(
+    columnar: ColumnarImage,
+    requests: Sequence[FunctionRequest],
+    encode: Callable[[FunctionRequest], Sequence[int]],
+    missing_bounds_error: Callable[[str], Exception],
+) -> List[_Group]:
+    """Encode, validate and group the batch, in request order.
+
+    Validation mirrors the stepwise walk per request: encoding errors first,
+    then the unknown-type check of the level-0 search, then (only when the
+    type has implementations to score) the supplemental-list check for the
+    lowest request attribute without a bounds entry.
+    """
+    building: Dict[Tuple[int, Tuple[int, ...]], _Group] = {}
+    raw_rows: Dict[Tuple[int, Tuple[int, ...]], List[Tuple[List[int], List[int]]]] = {}
+    for index, request in enumerate(requests):
+        type_id, ids, values, weights = _decode_encoded_request(encode(request))
+        key = (type_id, ids)
+        group = building.get(key)
+        if group is None:
+            # Signature-level validation, mirroring the stepwise walk of the
+            # first request carrying it: unknown type first, then (only when
+            # the type has implementations to score) the lowest request
+            # attribute without a supplemental (bounds) entry.
+            columns = columnar.types.get(type_id)
+            if columns is None:
+                raise UnknownFunctionTypeError(type_id)
+            if columns.implementation_count > 0:
+                supplemental_ids = columnar.supplemental_ids
+                if supplemental_ids.shape[0] == 0:
+                    raise missing_bounds_error(
+                        f"attribute {ids[0]} has no supplemental (bounds) entry"
+                    )
+                id_array = np.array(ids, dtype=np.int64)
+                positions = np.searchsorted(supplemental_ids, id_array)
+                found = (positions < supplemental_ids.shape[0]) & (
+                    supplemental_ids[np.minimum(positions, supplemental_ids.shape[0] - 1)]
+                    == id_array
+                )
+                if not found.all():
+                    attribute_id = ids[int(np.argmin(found))]
+                    raise missing_bounds_error(
+                        f"attribute {attribute_id} has no supplemental (bounds) entry"
+                    )
+            group = _Group(type_id, ids, [], np.empty(0), np.empty(0))
+            building[key] = group
+            raw_rows[key] = []
+        group.member_indices.append(index)
+        raw_rows[key].append((values, weights))
+    for key, group in building.items():
+        rows = raw_rows[key]
+        group.values = np.array([values for values, _ in rows], dtype=np.int64)
+        group.weights = np.array([weights for _, weights in rows], dtype=np.int64)
+    return list(building.values())
+
+
+def _structural_counts(
+    columnar: ColumnarImage,
+    columns: TypeColumns,
+    attribute_ids: Tuple[int, ...],
+    *,
+    restart_search: bool,
+) -> _Structural:
+    """Presence/value matrices and exact probe counts for one signature."""
+    request_count = len(attribute_ids)
+    ids = np.array(attribute_ids, dtype=np.int64)
+    entry_ids = columns.entry_ids  # (I, M)
+    matches = entry_ids[:, :, None] == ids[None, None, :]  # (I, M, R)
+    present = matches.any(axis=1)  # (I, R)
+    case_values = (columns.entry_values[:, :, None] * matches).sum(axis=1)
+    matched = present.sum(axis=1)
+    if restart_search:
+        probes = (entry_ids[:, :, None] < ids[None, None, :]).sum(axis=(1, 2)) + request_count
+    else:
+        below_last = (entry_ids < ids[-1]).sum(axis=1)
+        probes = below_last + request_count - present[:, :-1].sum(axis=1)
+    if columns.implementation_count > 0:
+        positions = np.searchsorted(columnar.supplemental_ids, ids)
+        reciprocals = columnar.supplemental_reciprocals[positions]
+        divisors = columnar.supplemental_divisors[positions]
+        supplemental_last = int(positions[-1])
+    else:
+        # Nothing is ever scored: the supplemental list is never walked.
+        reciprocals = np.zeros(request_count, dtype=np.int64)
+        divisors = np.ones(request_count, dtype=np.int64)
+        supplemental_last = 0
+    return _Structural(
+        present=present,
+        case_values=case_values,
+        matched=matched.astype(np.int64),
+        missing=(request_count - matched).astype(np.int64),
+        probes=probes.astype(np.int64),
+        supplemental_last=supplemental_last,
+        reciprocals=reciprocals,
+        divisors=divisors,
+    )
+
+
+def _similarity_kernel(
+    structural: _Structural,
+    values: np.ndarray,
+    weights: np.ndarray,
+    *,
+    use_divider: bool,
+    fraction_fmt,
+    count_branches: bool,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Raw global similarities plus the software model's branch counts.
+
+    The per-attribute datapath (absolute difference, penalty multiply or
+    divide, ``1 - x``, weighting) is evaluated for the whole ``(batch,
+    implementations, attributes)`` cube at once; only the saturating
+    accumulation steps through the attributes in ascending-ID order, because
+    per-step saturation must happen exactly where the stepwise accumulator
+    saturates.  Missing attributes contribute zero and can never saturate,
+    so no masking of the accumulator itself is needed.
+
+    Returns ``(similarities, negative_differences, penalty_clamps,
+    accumulator_saturations)``; the three counters (software model branch
+    statistics, skipped for the hardware path via ``count_branches=False``)
+    are per-request totals over all matched (implementation, attribute)
+    pairs.
+    """
+    batch_size, request_count = values.shape
+    implementation_count = structural.present.shape[0]
+    max_raw = fraction_fmt.max_raw
+    present = structural.present[None, :, :]  # (1, I, R)
+    case_values = structural.case_values[None, :, :]  # (1, I, R)
+    request_values = values[:, None, :]  # (B, 1, R)
+    difference = np.abs(request_values - case_values)  # (B, I, R)
+    if use_divider:
+        penalty = divide_fraction_array(
+            difference, structural.divisors[None, None, :], fraction_fmt
+        )
+    else:
+        penalty = multiply_fraction_array(
+            difference, structural.reciprocals[None, None, :], fraction_fmt
+        )
+    local = one_minus_array(penalty, fraction_fmt)
+    contribution = multiply_fractions_array(local, weights[:, None, :], fraction_fmt)
+    contribution *= present
+    accumulator = np.zeros((batch_size, implementation_count), dtype=np.int64)
+    negative = clamped = saturated = np.zeros(batch_size, dtype=np.int64)
+    if count_branches:
+        negative = ((case_values > request_values) & present).sum(axis=(1, 2))
+        if not use_divider:
+            # The software model's clamp branch fires on the *unclamped*
+            # product, which the saturating multiply above discards.
+            product = difference * structural.reciprocals[None, None, :]
+            clamped = ((product > max_raw) & present).sum(axis=(1, 2))
+        saturated = np.zeros(batch_size, dtype=np.int64)
+        for column in range(request_count):
+            total = accumulator + contribution[:, :, column]
+            saturated += ((total > max_raw) & present[:, :, column]).sum(axis=1)
+            accumulator = np.minimum(total, max_raw)
+    else:
+        for column in range(request_count):
+            accumulator = saturating_add_array(
+                accumulator, contribution[:, :, column], fraction_fmt
+            )
+    return accumulator, negative, clamped, saturated
+
+
+def _nbest_finalize_cycles(similarities: np.ndarray, capacity: int) -> np.ndarray:
+    """Exact insertion-compare cycles of the sorted n-best register file.
+
+    ``similarities`` is the group's ``(B, I)`` matrix; the return value is
+    the ``(B,)`` total compare-cycle vector.  Before implementation ``i`` is
+    considered the file holds the ``min(i, n)`` best earlier entries in
+    descending order; the scan visits every entry at least as similar as
+    ``s_i`` plus the terminating smaller entry, and each consideration costs
+    at least one cycle.
+    """
+    batch_size, implementation_count = similarities.shape
+    if implementation_count == 0:
+        return np.zeros(batch_size, dtype=np.int64)
+    # [b, i, j] = s_j >= s_i among the earlier implementations j < i.
+    at_least = similarities[:, None, :] >= similarities[:, :, None]
+    earlier = np.tri(implementation_count, k=-1, dtype=bool)[None, :, :]
+    stronger_before = (at_least & earlier).sum(axis=2)
+    file_sizes = np.minimum(np.arange(implementation_count), capacity)[None, :]
+    examined = np.minimum(stronger_before, file_sizes)
+    compares = np.where(examined < file_sizes, examined + 1, file_sizes)
+    return np.maximum(compares, 1).sum(axis=1)
+
+
+class VectorizedCycleEngine(CycleEngine):
+    """Batch evaluation of the cycle models with exact derived counters."""
+
+    name = "vectorized"
+
+    # -- hardware ------------------------------------------------------------------
+
+    def hardware_batch(
+        self, unit: HardwareRetrievalUnit, requests: Sequence[FunctionRequest]
+    ) -> List[HardwareRetrievalResult]:
+        config = unit.config
+        if config.trace:
+            raise HardwareModelError(
+                "FSM tracing requires the stepwise cycle engine (engine='stepwise')"
+            )
+        columnar = unit.columnar_image()
+        groups = _prepare_groups(
+            columnar, requests, unit.encoded_request_words, HardwareModelError
+        )
+        results: List[HardwareRetrievalResult] = [None] * len(requests)  # type: ignore[list-item]
+        for group in groups:
+            columns = columnar.types[group.type_id]
+            structural = _structural_counts(
+                columnar, columns, group.attribute_ids,
+                restart_search=config.restart_attribute_search,
+            )
+            similarities, _, _, _ = _similarity_kernel(
+                structural, group.values, group.weights,
+                use_divider=config.use_divider,
+                fraction_fmt=unit.fraction_format,
+                count_branches=False,
+            )
+            if columns.implementation_count:
+                best_indices = np.argmax(similarities, axis=1)
+                best_updates = prefix_maxima_count(similarities)
+            else:
+                best_indices = best_updates = np.zeros(len(group.member_indices), np.int64)
+            if config.n_best > 1:
+                finalize_cycles = _nbest_finalize_cycles(similarities, config.n_best)
+                # Stable descending sort = the register file's tie rule
+                # (equal similarities keep their level-1 list order).
+                ranked_orders = np.argsort(
+                    -similarities, axis=1, kind="stable"
+                )[:, : config.n_best]
+            else:
+                finalize_cycles = np.full(
+                    len(group.member_indices), columns.implementation_count, np.int64
+                )
+                ranked_orders = None
+            for row, index in enumerate(group.member_indices):
+                results[index] = self._assemble_hardware(
+                    unit, group, columns, structural, similarities[row],
+                    int(best_indices[row]), int(best_updates[row]),
+                    int(finalize_cycles[row]),
+                    None if ranked_orders is None else ranked_orders[row],
+                )
+        return results
+
+    @staticmethod
+    def _assemble_hardware(
+        unit: HardwareRetrievalUnit,
+        group: _Group,
+        columns: TypeColumns,
+        structural: _Structural,
+        similarities: np.ndarray,
+        best_index: int,
+        best_updates: int,
+        finalize_cycles: int,
+        ranked_order: Optional[np.ndarray],
+    ) -> HardwareRetrievalResult:
+        config = unit.config
+        request_count = len(group.attribute_ids)
+        implementation_count = columns.implementation_count
+        position = columns.position
+        matched_total = int(structural.matched.sum())
+        missing_total = int(structural.missing.sum())
+        probe_total = int(structural.probes.sum())
+        supplemental_probes_per_walk = structural.supplemental_last + request_count
+        walkers = (
+            min(implementation_count, 1) if config.cache_reciprocals else implementation_count
+        )
+
+        request_block = request_count * (2 if config.wide_attribute_fetch else 3) + 1
+        supplemental_walk = supplemental_probes_per_walk + request_count * (
+            2 if config.use_divider else 1
+        )
+        search_value_loads = 0 if config.wide_attribute_fetch else matched_total
+        compute_cycles = 1 if config.pipelined_datapath else 3
+        if config.use_divider:
+            compute_cycles = compute_cycles - 1 + HardwareConfig.DIVIDER_CYCLES
+        accumulate_cycles = 1 if config.pipelined_datapath else 2
+
+        statistics = HardwareStatistics(
+            case_base_reads=(
+                (position + 2)
+                + (2 * implementation_count + 1)
+                + walkers * supplemental_walk
+                + probe_total
+                + search_value_loads
+            ),
+            request_reads=1 + implementation_count * request_block,
+            implementations_visited=implementation_count,
+            attribute_probes=probe_total,
+            supplemental_probes=walkers * supplemental_probes_per_walk,
+            missing_attributes=missing_total,
+            best_updates=best_updates,
+        )
+        statistics.cycles = (
+            1  # fetch request type
+            + (position + 2)  # level-0 search incl. pointer load
+            + (2 * implementation_count + 1)  # implementation ID/pointer loads + terminator
+            + implementation_count * request_block  # request attribute fetches
+            + walkers * supplemental_walk
+            + probe_total
+            + search_value_loads
+            + matched_total * compute_cycles
+            + missing_total  # one cycle per missing attribute (s_i = 0)
+            + matched_total * accumulate_cycles
+            + finalize_cycles
+            + 1  # deliver result
+        )
+
+        if implementation_count:
+            best_id = int(columns.impl_ids[best_index])
+            best_raw = int(similarities[best_index])
+        else:
+            best_id, best_raw = 0, -1
+        if ranked_order is not None:
+            ranked = [
+                (int(columns.impl_ids[int(i)]), int(similarities[int(i)]))
+                for i in ranked_order
+            ]
+        else:
+            ranked = [(best_id, best_raw)] if best_raw >= 0 else []
+        return HardwareRetrievalResult(
+            type_id=group.type_id,
+            best_id=best_id,
+            best_similarity_raw=max(best_raw, 0),
+            ranked=ranked,
+            statistics=statistics,
+            clock_mhz=config.clock_mhz,
+            fraction_format=unit.fraction_format,
+            trace=None,
+        )
+
+    # -- software ------------------------------------------------------------------
+
+    def software_batch(
+        self, unit: SoftwareRetrievalUnit, requests: Sequence[FunctionRequest]
+    ) -> List[SoftwareRetrievalResult]:
+        columnar = unit.columnar_image()
+        groups = _prepare_groups(
+            columnar, requests, unit.encoded_request_words, SoftwareModelError
+        )
+        results: List[SoftwareRetrievalResult] = [None] * len(requests)  # type: ignore[list-item]
+        for group in groups:
+            columns = columnar.types[group.type_id]
+            structural = _structural_counts(
+                columnar, columns, group.attribute_ids, restart_search=False
+            )
+            similarities, negative, clamped, saturated = _similarity_kernel(
+                structural, group.values, group.weights,
+                use_divider=False,
+                fraction_fmt=unit.fraction_format,
+                count_branches=True,
+            )
+            if columns.implementation_count:
+                best_indices = np.argmax(similarities, axis=1)
+                best_updates = prefix_maxima_count(similarities)
+            else:
+                best_indices = best_updates = np.zeros(len(group.member_indices), np.int64)
+            for row, index in enumerate(group.member_indices):
+                results[index] = self._assemble_software(
+                    unit, group, columns, structural,
+                    similarities[row], int(negative[row]), int(clamped[row]), int(saturated[row]),
+                    int(best_indices[row]), int(best_updates[row]),
+                )
+        return results
+
+    @staticmethod
+    def _assemble_software(
+        unit: SoftwareRetrievalUnit,
+        group: _Group,
+        columns: TypeColumns,
+        structural: _Structural,
+        similarities: np.ndarray,
+        negative: int,
+        clamped: int,
+        saturated: int,
+        best_index: int,
+        improved: int,
+    ) -> SoftwareRetrievalResult:
+        inline = unit.inline_helpers
+        request_count = len(group.attribute_ids)
+        implementation_count = columns.implementation_count
+        position = columns.position
+        matched_total = int(structural.matched.sum())
+        missing_total = int(structural.missing.sum())
+        probe_total = int(structural.probes.sum())
+        advance_total = probe_total - matched_total - missing_total
+        supplemental_advances = structural.supplemental_last  # per scoring walk
+        supplemental_probes = supplemental_advances + request_count
+        #: main() plus, per implementation, the scoring helper, one
+        #: supplemental and one attribute-search helper per request attribute
+        #: and the local-similarity helper per matched attribute.
+        helper_calls = (
+            1
+            + implementation_count * (1 + 2 * request_count)
+            + matched_total
+        )
+
+        memory_reads = (
+            1  # request type
+            + (position + 2)  # type probes + implementation-list pointer
+            + (2 * implementation_count + 1)  # implementation IDs/pointers + terminator
+            + implementation_count * (3 * request_count + 1)  # request blocks + terminator
+            + implementation_count * (supplemental_probes + request_count)  # probes + reciprocals
+            + probe_total
+            + matched_total  # attribute value loads
+        )
+
+        counts = {
+            InstructionClass.LOAD: memory_reads + (0 if inline else 3 * helper_calls),
+            InstructionClass.ALU: (
+                4  # main() setup
+                + (2 * position + 1)  # type search compares and pointer advances
+                + 4 * implementation_count + 2 * improved + 1  # implementation loop
+                + implementation_count * (4 * request_count + 1)  # request fetch loop
+                + implementation_count * (2 * supplemental_advances + request_count)
+                + 3 * advance_total + 3 * matched_total + missing_total  # attribute search
+                + missing_total  # s_i = 0 assignment
+                + 6 * matched_total + negative  # local similarity + accumulate
+                + (0 if inline else 2 * helper_calls)  # stack pointer adjustments
+            ),
+            InstructionClass.IMMEDIATE: (
+                4 + 2  # main() setup + best initialisation
+                + 3 * implementation_count  # score_implementation() setup
+                + clamped + saturated  # saturation constants
+            ),
+            InstructionClass.MULTIPLY: 2 * matched_total,
+            InstructionClass.SHIFT: matched_total,
+            InstructionClass.BRANCH_TAKEN: (
+                position  # type-search advance branches
+                + improved + implementation_count + 1  # implementation loop + terminator
+                + implementation_count  # request-list terminator probes
+                + implementation_count * 2 * supplemental_advances
+                + probe_total  # every attribute-search probe branches once
+                + missing_total  # s_i = 0 skip
+                + negative + clamped + saturated + matched_total  # datapath + loop back
+            ),
+            InstructionClass.BRANCH_NOT_TAKEN: (
+                1  # type match
+                + implementation_count + (implementation_count - improved)
+                + implementation_count * request_count  # request fetch compares
+                + implementation_count * request_count  # supplemental match compares
+                + 2 * advance_total + matched_total  # attribute-search compares
+                + (matched_total - negative)
+                + (matched_total - clamped)
+                + (matched_total - saturated)
+            ),
+        }
+        if not inline:
+            counts[InstructionClass.STORE] = 3 * helper_calls
+            counts[InstructionClass.CALL] = helper_calls
+            counts[InstructionClass.RETURN] = helper_calls
+        counters = InstructionCounters(
+            counts={kind: count for kind, count in counts.items() if count > 0}
+        )
+
+        if implementation_count:
+            best_id = int(columns.impl_ids[best_index])
+            best_raw = int(similarities[best_index])
+        else:
+            best_id, best_raw = 0, -1
+        statistics = SoftwareStatistics(
+            cycles=counters.total_cycles(unit.cost_model),
+            instructions=counters.total_instructions(),
+            memory_reads=memory_reads,
+            implementations_visited=implementation_count,
+            helper_calls=0 if inline else helper_calls,
+            missing_attributes=missing_total,
+        )
+        return SoftwareRetrievalResult(
+            type_id=group.type_id,
+            best_id=best_id,
+            best_similarity_raw=max(best_raw, 0),
+            statistics=statistics,
+            cost_model=unit.cost_model,
+            counters=counters,
+            fraction_format=unit.fraction_format,
+        )

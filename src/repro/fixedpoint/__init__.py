@@ -18,6 +18,14 @@ from .qformat import (
     quantization_error_bound,
     reciprocal_raw,
 )
+from .vectorized import (
+    divide_fraction_array,
+    multiply_fraction_array,
+    multiply_fractions_array,
+    one_minus_array,
+    prefix_maxima_count,
+    saturating_add_array,
+)
 
 __all__ = [
     "FixedPointValue",
@@ -26,12 +34,18 @@ __all__ = [
     "UQ0_16",
     "UQ16_0",
     "UQ16_16",
+    "divide_fraction_array",
     "local_similarity",
     "local_similarity_raw",
     "max_error_weighted_sum",
+    "multiply_fraction_array",
+    "multiply_fractions_array",
+    "one_minus_array",
+    "prefix_maxima_count",
     "quantization_error_bound",
     "quantize_weights",
     "reciprocal_raw",
+    "saturating_add_array",
     "weighted_sum",
     "weighted_sum_raw",
 ]

@@ -1,0 +1,96 @@
+"""Vectorized Q-format arithmetic on raw integer arrays.
+
+The scalar datapath helpers (:class:`~repro.fixedpoint.qformat.FixedPointValue`
+and the :mod:`repro.hardware.datapath` component models) process one 16-bit
+operand pair per Python call; the cycle-engine fast path of
+:mod:`repro.cosim` needs the same operations over whole ``(batch,
+implementations)`` matrices.  Every function here mirrors one scalar
+operation *bit for bit*: the operands are raw integers held in ``int64``
+NumPy arrays (products of two 16-bit values never exceed 32 bits, so
+``int64`` is exact), and truncation/saturation follow the exact order of the
+scalar code so the vectorized cycle engines stay bit-identical with the
+stepwise golden models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .qformat import QFormat, UQ0_16
+
+
+def multiply_fraction_array(
+    values: np.ndarray, fraction_raw: np.ndarray, fraction_fmt: QFormat = UQ0_16
+) -> np.ndarray:
+    """Array version of :meth:`MultiplierUnit.multiply_fraction`.
+
+    Multiplies integer magnitudes by raw UQ0.16 fractions; the full product
+    already carries the fraction format's precision, so only saturation
+    towards 1.0 is applied.
+    """
+    product = np.asarray(values, dtype=np.int64) * np.asarray(fraction_raw, dtype=np.int64)
+    return np.minimum(product, fraction_fmt.max_raw)
+
+
+def multiply_fractions_array(
+    a_raw: np.ndarray, b_raw: np.ndarray, fraction_fmt: QFormat = UQ0_16
+) -> np.ndarray:
+    """Array version of :meth:`MultiplierUnit.multiply_fractions`.
+
+    Multiplies two raw UQ0.16 fractions and truncates back into the fraction
+    format (arithmetic right shift by the fraction bits, then saturate).
+    """
+    product = np.asarray(a_raw, dtype=np.int64) * np.asarray(b_raw, dtype=np.int64)
+    return np.minimum(product >> fraction_fmt.fraction_bits, fraction_fmt.max_raw)
+
+
+def divide_fraction_array(
+    numerators: np.ndarray, divisors: np.ndarray, fraction_fmt: QFormat = UQ0_16
+) -> np.ndarray:
+    """Array version of :meth:`DividerUnit.divide_fraction`.
+
+    ``(numerator << fraction_bits) // divisor`` truncated into the fraction
+    format -- the iterative-divider design alternative of section 4.1.
+    """
+    numerators = np.asarray(numerators, dtype=np.int64)
+    divisors = np.asarray(divisors, dtype=np.int64)
+    quotient = (numerators << fraction_fmt.fraction_bits) // divisors
+    return np.minimum(quotient, fraction_fmt.max_raw)
+
+
+def one_minus_array(penalty_raw: np.ndarray, fraction_fmt: QFormat = UQ0_16) -> np.ndarray:
+    """Array version of :meth:`SubtractorUnit.one_minus`: ``max(0, 1 - x)``."""
+    raw = fraction_fmt.max_raw - np.asarray(penalty_raw, dtype=np.int64)
+    return np.maximum(raw, 0)
+
+
+def saturating_add_array(
+    accumulator: np.ndarray, contribution_raw: np.ndarray, fraction_fmt: QFormat = UQ0_16
+) -> np.ndarray:
+    """One saturating accumulator step (:meth:`AccumulatorUnit.accumulate`).
+
+    Returns the new accumulator values; the caller keeps stepping in
+    ascending attribute-ID order so per-step saturation happens exactly where
+    the stepwise accumulator saturates.
+    """
+    total = np.asarray(accumulator, dtype=np.int64) + np.asarray(contribution_raw, dtype=np.int64)
+    return np.minimum(total, fraction_fmt.max_raw)
+
+
+def prefix_maxima_count(similarities: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Number of strict prefix maxima along ``axis``.
+
+    This is exactly the number of ``S > S_max`` update events of the
+    sequential best-comparator scan (the first element always updates the
+    ``-1`` reset value, so every non-empty row counts at least 1).
+    """
+    similarities = np.asarray(similarities, dtype=np.int64)
+    moved = (
+        similarities
+        if axis in (-1, similarities.ndim - 1)
+        else np.moveaxis(similarities, axis, -1)
+    )
+    if moved.shape[-1] == 0:
+        return np.zeros(moved.shape[:-1], dtype=np.int64)
+    running = np.maximum.accumulate(moved, axis=-1)
+    return (moved[..., 1:] > running[..., :-1]).sum(axis=-1) + 1

@@ -23,8 +23,9 @@ its insertion compare cycles (experiment E8).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.attributes import BoundsTable
 from ..core.case_base import CaseBase
@@ -33,7 +34,12 @@ from ..core.request import FunctionRequest
 from ..fixedpoint.qformat import QFormat, UQ0_16
 from ..memmap.image import CaseBaseImage
 from ..memmap.ram import RamBlock
+from ..memmap.request_list import EncodedRequest
 from ..memmap.words import END_OF_LIST
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from ..cosim.columnar import ColumnarImage
+    from ..cosim.engine import CycleEngine
 from .datapath import (
     AccumulatorUnit,
     BestComparatorUnit,
@@ -169,6 +175,9 @@ class HardwareRetrievalUnit:
         Hardware configuration options.
     """
 
+    #: Encoded-request cache entries kept per unit (FIFO eviction).
+    REQUEST_CACHE_CAPACITY = 1024
+
     def __init__(
         self,
         case_base: CaseBase,
@@ -177,9 +186,14 @@ class HardwareRetrievalUnit:
         config: Optional[HardwareConfig] = None,
     ) -> None:
         self.config = config if config is not None else HardwareConfig()
+        self.case_base = case_base
+        self._bounds = bounds
         self.image = CaseBaseImage(case_base, bounds=bounds)
         self.case_base_ram, self.supplemental_base = self.image.build_case_base_ram()
         self.fraction_format = self.image.fraction_format
+        self._revision = case_base.revision
+        self._columnar: Optional["ColumnarImage"] = None
+        self._request_cache: "OrderedDict[Tuple, Tuple[RamBlock, EncodedRequest]]" = OrderedDict()
         self._components = standard_datapath_components()
         if self.config.use_divider:
             # The divider replaces the reciprocal multiplier (section 4.1's
@@ -189,6 +203,52 @@ class HardwareRetrievalUnit:
         self._nbest: Optional[NBestRegisterFile] = (
             NBestRegisterFile(self.config.n_best) if self.config.n_best > 1 else None
         )
+
+    # -- image / request caching ---------------------------------------------------
+
+    def _ensure_current(self) -> None:
+        """Re-encode the memory image when the case base has mutated.
+
+        Keyed to :attr:`CaseBase.revision` exactly like the reference
+        engine's vectorized backend cache: structural mutations invalidate
+        the word image, the decoded columnar arrays and every cached encoded
+        request.  (In-place edits of an :class:`Implementation`'s attribute
+        dict bypass the revision counter, as everywhere else.)
+        """
+        if self.case_base.revision == self._revision:
+            return
+        self.image = CaseBaseImage(self.case_base, bounds=self._bounds)
+        self.case_base_ram, self.supplemental_base = self.image.build_case_base_ram()
+        self.fraction_format = self.image.fraction_format
+        self._columnar = None
+        self._request_cache.clear()
+        self._revision = self.case_base.revision
+
+    def _encoded_request(self, request: FunctionRequest) -> Tuple[RamBlock, EncodedRequest]:
+        """Encode a request once per (case-base revision, request signature)."""
+        self._ensure_current()
+        key = request.signature()
+        cached = self._request_cache.get(key)
+        if cached is None:
+            cached = self.image.build_request_ram(request)
+            if len(self._request_cache) >= self.REQUEST_CACHE_CAPACITY:
+                self._request_cache.popitem(last=False)
+            self._request_cache[key] = cached
+        return cached
+
+    def encoded_request_words(self, request: FunctionRequest) -> Tuple[int, ...]:
+        """The request's encoded word image (cached; used by the cycle engines)."""
+        _, encoded = self._encoded_request(request)
+        return encoded.words
+
+    def columnar_image(self) -> "ColumnarImage":
+        """Columnar (NumPy) decode of the current image, built once per revision."""
+        from ..cosim.columnar import ColumnarImage
+
+        self._ensure_current()
+        if self._columnar is None:
+            self._columnar = ColumnarImage(self.image)
+        return self._columnar
 
     # -- helpers ------------------------------------------------------------------
 
@@ -239,9 +299,32 @@ class HardwareRetrievalUnit:
     # -- main entry point ----------------------------------------------------------
 
     def run(self, request: FunctionRequest) -> HardwareRetrievalResult:
-        """Execute one retrieval run for the given request."""
-        request_ram, _ = self.image.build_request_ram(request)
+        """Execute one retrieval run for the given request (stepwise model)."""
+        request_ram, _ = self._encoded_request(request)
         return self.run_on_ram(request_ram)
+
+    def run_batch(
+        self,
+        requests: Sequence[FunctionRequest],
+        *,
+        engine: Union[str, "CycleEngine", None] = "auto",
+    ) -> List[HardwareRetrievalResult]:
+        """Execute one retrieval run per request through a cycle engine.
+
+        ``engine`` selects the execution strategy: ``"stepwise"`` runs the
+        golden word-at-a-time model per request, ``"vectorized"`` derives
+        bit-identical results and exact cycle counters analytically from the
+        columnar image (orders of magnitude faster on large batches), and
+        ``"auto"`` (default) picks the vectorized path unless the
+        configuration requires the stepwise walk (FSM tracing).  Result ``i``
+        belongs to request ``i``; an erroneous request raises the same
+        exception the sequential model raises, and no partial results are
+        returned.
+        """
+        from ..cosim.engine import resolve_cycle_engine
+
+        selected = resolve_cycle_engine(engine, prefer_vectorized=not self.config.trace)
+        return selected.hardware_batch(self, list(requests))
 
     def run_on_ram(self, request_ram: RamBlock) -> HardwareRetrievalResult:
         """Execute one retrieval run on an already encoded request memory."""

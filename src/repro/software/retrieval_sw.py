@@ -20,8 +20,9 @@ The model distinguishes two code-generation styles:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.attributes import BoundsTable
 from ..core.case_base import CaseBase
@@ -31,6 +32,10 @@ from ..fixedpoint.qformat import QFormat, UQ0_16
 from ..memmap.image import CaseBaseImage
 from ..memmap.words import END_OF_LIST
 from .isa import CostModel, InstructionCounters, InstructionEmitter, microblaze_cost_model
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from ..cosim.columnar import ColumnarImage
+    from ..cosim.engine import CycleEngine
 
 
 @dataclass
@@ -88,6 +93,9 @@ class SoftwareRetrievalUnit:
         Model an inlined build instead of the default helper-function build.
     """
 
+    #: Encoded-request cache entries kept per unit (FIFO eviction).
+    REQUEST_CACHE_CAPACITY = 1024
+
     def __init__(
         self,
         case_base: CaseBase,
@@ -98,11 +106,58 @@ class SoftwareRetrievalUnit:
     ) -> None:
         self.cost_model = cost_model if cost_model is not None else microblaze_cost_model()
         self.inline_helpers = inline_helpers
+        self.case_base = case_base
+        self._bounds = bounds
         self.image = CaseBaseImage(case_base, bounds=bounds)
         case_base_ram, supplemental_base = self.image.build_case_base_ram()
         self._memory: List[int] = case_base_ram.dump()
         self._supplemental_base = supplemental_base
         self.fraction_format = self.image.fraction_format
+        self._revision = case_base.revision
+        self._columnar: Optional["ColumnarImage"] = None
+        self._request_cache: "OrderedDict[Tuple, Tuple[int, ...]]" = OrderedDict()
+
+    # -- image / request caching ---------------------------------------------------
+
+    def _ensure_current(self) -> None:
+        """Re-encode the memory image when the case base has mutated.
+
+        Keyed to :attr:`CaseBase.revision` like the reference engine's
+        vectorized backend cache; see
+        :meth:`HardwareRetrievalUnit._ensure_current
+        <repro.hardware.retrieval_unit.HardwareRetrievalUnit._ensure_current>`.
+        """
+        if self.case_base.revision == self._revision:
+            return
+        self.image = CaseBaseImage(self.case_base, bounds=self._bounds)
+        case_base_ram, supplemental_base = self.image.build_case_base_ram()
+        self._memory = case_base_ram.dump()
+        self._supplemental_base = supplemental_base
+        self.fraction_format = self.image.fraction_format
+        self._columnar = None
+        self._request_cache.clear()
+        self._revision = self.case_base.revision
+
+    def encoded_request_words(self, request: FunctionRequest) -> Tuple[int, ...]:
+        """Encode a request once per (case-base revision, request signature)."""
+        self._ensure_current()
+        key = request.signature()
+        words = self._request_cache.get(key)
+        if words is None:
+            words = self.image.encode_request(request).words
+            if len(self._request_cache) >= self.REQUEST_CACHE_CAPACITY:
+                self._request_cache.popitem(last=False)
+            self._request_cache[key] = words
+        return words
+
+    def columnar_image(self) -> "ColumnarImage":
+        """Columnar (NumPy) decode of the current image, built once per revision."""
+        from ..cosim.columnar import ColumnarImage
+
+        self._ensure_current()
+        if self._columnar is None:
+            self._columnar = ColumnarImage(self.image)
+        return self._columnar
 
     # -- memory helper ------------------------------------------------------------
 
@@ -126,9 +181,27 @@ class SoftwareRetrievalUnit:
     # -- main entry point ----------------------------------------------------------
 
     def run(self, request: FunctionRequest) -> SoftwareRetrievalResult:
-        """Execute one software retrieval run for the given request."""
-        encoded_request = self.image.encode_request(request)
-        return self.run_on_words(list(encoded_request.words))
+        """Execute one software retrieval run for the given request (stepwise)."""
+        return self.run_on_words(list(self.encoded_request_words(request)))
+
+    def run_batch(
+        self,
+        requests: Sequence[FunctionRequest],
+        *,
+        engine: Union[str, "CycleEngine", None] = "auto",
+    ) -> List[SoftwareRetrievalResult]:
+        """Execute one software retrieval run per request through a cycle engine.
+
+        Same contract as :meth:`HardwareRetrievalUnit.run_batch
+        <repro.hardware.retrieval_unit.HardwareRetrievalUnit.run_batch>`:
+        ``"stepwise"`` interprets the program per request, ``"vectorized"``
+        derives bit-identical results, instruction counters and cycle counts
+        analytically, ``"auto"`` (default) picks the vectorized path.
+        """
+        from ..cosim.engine import resolve_cycle_engine
+
+        selected = resolve_cycle_engine(engine, prefer_vectorized=True)
+        return selected.software_batch(self, list(requests))
 
     def run_on_words(self, request_words: List[int]) -> SoftwareRetrievalResult:
         """Execute one run on an already encoded request word image."""

@@ -174,6 +174,40 @@ class TestAllocateBatch:
         assert decisions[0].succeeded
         assert decisions[0].retrieval_cycles is not None
 
+    @pytest.mark.parametrize("cycle_engine", ["stepwise", "vectorized", "auto"])
+    def test_hardware_batch_matches_sequential_decisions(self, cycle_engine):
+        requests = [
+            paper_request(),
+            FunctionRequest(1, [(1, 8), (4, 20)], requester="app"),
+            FunctionRequest(2, [(1, 16), (2, 1)], requester="app"),
+            paper_request(),
+        ]
+        batch_manager = build_manager(
+            retrieval_backend="hardware", cycle_engine=cycle_engine
+        )
+        sequential_manager = build_manager(
+            retrieval_backend="hardware", cycle_engine=cycle_engine
+        )
+        batched = batch_manager.allocate_batch(requests)
+        sequential = [sequential_manager.allocate(request) for request in requests]
+        for batch_decision, sequential_decision in zip(batched, sequential):
+            assert batch_decision.status == sequential_decision.status
+            assert batch_decision.similarity == sequential_decision.similarity
+            assert batch_decision.retrieval_cycles == sequential_decision.retrieval_cycles
+
+    def test_hardware_batch_prefetch_populates_candidates(self):
+        manager = build_manager(retrieval_backend="hardware")
+        requests = [paper_request(), FunctionRequest(2, [(1, 16), (2, 1)], requester="x")]
+        prefetched = manager.prefetch_candidates(requests)
+        assert set(prefetched) == {0, 1}
+        assert prefetched[0][0].implementation_id == 2
+
+    def test_unknown_cycle_engine_rejected(self):
+        from repro.core.exceptions import AllocationError
+
+        with pytest.raises(AllocationError, match="unknown cycle engine"):
+            build_manager(cycle_engine="warp")
+
     def test_large_random_batch(self):
         generator = CaseBaseGenerator(
             GeneratorSpec(type_count=4, implementations_per_type=6,

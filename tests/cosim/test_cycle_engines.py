@@ -1,0 +1,330 @@
+"""Differential suite: the vectorized cycle engine vs the stepwise golden models.
+
+The vectorized engine's contract is *exactness*, not approximation: for every
+configuration axis it must reproduce the stepwise models' retrieval decision,
+ranked n-best list, raw fixed-point similarities and the complete
+cycle/instruction/memory-read accounting, bit for bit and cycle for cycle.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core import FunctionRequest, paper_case_base, paper_request
+from repro.core.case_base import ExecutionTarget, Implementation
+from repro.core.exceptions import (
+    EncodingError,
+    HardwareModelError,
+    ReproError,
+    SoftwareModelError,
+    UnknownFunctionTypeError,
+)
+from repro.cosim import (
+    ColumnarImage,
+    StepwiseCycleEngine,
+    VectorizedCycleEngine,
+    resolve_cycle_engine,
+)
+from repro.hardware import HardwareConfig, HardwareRetrievalUnit
+from repro.software import (
+    SoftwareRetrievalUnit,
+    microblaze_cost_model,
+    microblaze_soft_multiply_model,
+)
+from repro.tools import CaseBaseGenerator, GeneratorSpec
+
+
+HW_STAT_FIELDS = (
+    "cycles", "case_base_reads", "request_reads", "implementations_visited",
+    "attribute_probes", "supplemental_probes", "missing_attributes", "best_updates",
+)
+SW_STAT_FIELDS = (
+    "cycles", "instructions", "memory_reads", "implementations_visited",
+    "helper_calls", "missing_attributes",
+)
+
+
+def assert_hardware_identical(stepwise, vectorized):
+    assert stepwise.type_id == vectorized.type_id
+    assert stepwise.best_id == vectorized.best_id
+    assert stepwise.best_similarity_raw == vectorized.best_similarity_raw
+    assert stepwise.ranked == vectorized.ranked
+    for field in HW_STAT_FIELDS:
+        assert getattr(stepwise.statistics, field) == getattr(vectorized.statistics, field), field
+    assert stepwise.statistics.memory_reads == vectorized.statistics.memory_reads
+
+
+def assert_software_identical(stepwise, vectorized):
+    assert stepwise.type_id == vectorized.type_id
+    assert stepwise.best_id == vectorized.best_id
+    assert stepwise.best_similarity_raw == vectorized.best_similarity_raw
+    for field in SW_STAT_FIELDS:
+        assert getattr(stepwise.statistics, field) == getattr(vectorized.statistics, field), field
+    assert stepwise.counters.counts == vectorized.counters.counts
+
+
+@pytest.fixture(scope="module")
+def generated():
+    generator = CaseBaseGenerator(
+        GeneratorSpec(
+            type_count=4,
+            implementations_per_type=6,
+            attributes_per_implementation=6,
+            attribute_type_count=9,
+            missing_probability=0.25,
+        ),
+        seed=31,
+    )
+    case_base = generator.case_base()
+    requests = [generator.request(salt=salt, attribute_count=5) for salt in range(10)]
+    return case_base, requests
+
+
+class TestHardwareDifferential:
+    @pytest.mark.parametrize("wide", [False, True])
+    @pytest.mark.parametrize("pipelined", [False, True])
+    @pytest.mark.parametrize("cache", [False, True])
+    @pytest.mark.parametrize("n_best", [1, 3, 8])
+    def test_optimisation_axes(self, generated, wide, pipelined, cache, n_best):
+        case_base, requests = generated
+        unit = HardwareRetrievalUnit(
+            case_base,
+            config=HardwareConfig(
+                wide_attribute_fetch=wide,
+                pipelined_datapath=pipelined,
+                cache_reciprocals=cache,
+                n_best=n_best,
+            ),
+        )
+        for stepwise, vectorized in zip(
+            unit.run_batch(requests, engine="stepwise"),
+            unit.run_batch(requests, engine="vectorized"),
+        ):
+            assert_hardware_identical(stepwise, vectorized)
+
+    @pytest.mark.parametrize("restart", [False, True])
+    @pytest.mark.parametrize("divider", [False, True])
+    def test_design_alternative_axes(self, generated, restart, divider):
+        case_base, requests = generated
+        unit = HardwareRetrievalUnit(
+            case_base,
+            config=HardwareConfig(
+                restart_attribute_search=restart, use_divider=divider, n_best=2
+            ),
+        )
+        for stepwise, vectorized in zip(
+            unit.run_batch(requests, engine="stepwise"),
+            unit.run_batch(requests, engine="vectorized"),
+        ):
+            assert_hardware_identical(stepwise, vectorized)
+
+    def test_paper_example(self, paper_cb, paper_req):
+        unit = HardwareRetrievalUnit(paper_cb)
+        stepwise = unit.run_batch([paper_req], engine="stepwise")[0]
+        vectorized = unit.run_batch([paper_req], engine="vectorized")[0]
+        assert_hardware_identical(stepwise, vectorized)
+        assert vectorized.best_id == 2
+        assert vectorized.best_similarity == pytest.approx(0.964, abs=0.002)
+
+    def test_duplicate_requests_grouped(self, paper_cb, paper_req):
+        unit = HardwareRetrievalUnit(paper_cb)
+        results = unit.run_batch([paper_req] * 4, engine="vectorized")
+        reference = unit.run(paper_req)
+        for result in results:
+            assert_hardware_identical(reference, result)
+
+    def test_empty_type_parity(self, paper_cb):
+        paper_cb.add_type(9, name="empty")
+        request = FunctionRequest(9, [(1, 16)])
+        unit = HardwareRetrievalUnit(paper_cb)
+        stepwise = unit.run_batch([request], engine="stepwise")[0]
+        vectorized = unit.run_batch([request], engine="vectorized")[0]
+        assert_hardware_identical(stepwise, vectorized)
+        assert vectorized.ranked == []
+
+    @pytest.mark.parametrize("engine", ["stepwise", "vectorized"])
+    def test_unknown_type_raises(self, paper_cb, engine):
+        unit = HardwareRetrievalUnit(paper_cb)
+        with pytest.raises(UnknownFunctionTypeError):
+            unit.run_batch([FunctionRequest(99, [(1, 16)])], engine=engine)
+
+    @pytest.mark.parametrize("engine", ["stepwise", "vectorized"])
+    def test_missing_bounds_entry_raises_same_message(self, paper_cb, engine):
+        unit = HardwareRetrievalUnit(paper_cb)
+        with pytest.raises(HardwareModelError, match="attribute 5 has no supplemental"):
+            unit.run_batch([FunctionRequest(1, [(5, 3)])], engine=engine)
+
+    @pytest.mark.parametrize("engine", ["stepwise", "vectorized"])
+    def test_unconstrained_request_raises(self, paper_cb, engine):
+        unit = HardwareRetrievalUnit(paper_cb)
+        with pytest.raises(EncodingError):
+            unit.run_batch([FunctionRequest(1, [])], engine=engine)
+
+    def test_trace_requires_stepwise(self, paper_cb, paper_req):
+        unit = HardwareRetrievalUnit(paper_cb, config=HardwareConfig(trace=True))
+        with pytest.raises(HardwareModelError, match="stepwise"):
+            unit.run_batch([paper_req], engine="vectorized")
+        # "auto" transparently falls back to the stepwise walk.
+        result = unit.run_batch([paper_req], engine="auto")[0]
+        assert result.trace is not None
+        assert result.trace.total_cycles() == result.cycles
+
+
+class TestSoftwareDifferential:
+    @pytest.mark.parametrize("inline", [False, True])
+    @pytest.mark.parametrize("soft_multiply", [False, True])
+    def test_code_generation_axes(self, generated, inline, soft_multiply):
+        case_base, requests = generated
+        cost_model = (
+            microblaze_soft_multiply_model() if soft_multiply else microblaze_cost_model()
+        )
+        unit = SoftwareRetrievalUnit(
+            case_base, cost_model=cost_model, inline_helpers=inline
+        )
+        for stepwise, vectorized in zip(
+            unit.run_batch(requests, engine="stepwise"),
+            unit.run_batch(requests, engine="vectorized"),
+        ):
+            assert_software_identical(stepwise, vectorized)
+
+    def test_paper_example(self, paper_cb, paper_req):
+        unit = SoftwareRetrievalUnit(paper_cb)
+        stepwise = unit.run_batch([paper_req], engine="stepwise")[0]
+        vectorized = unit.run_batch([paper_req], engine="vectorized")[0]
+        assert_software_identical(stepwise, vectorized)
+
+    @pytest.mark.parametrize("engine", ["stepwise", "vectorized"])
+    def test_missing_bounds_entry_raises_same_message(self, paper_cb, engine):
+        unit = SoftwareRetrievalUnit(paper_cb)
+        with pytest.raises(SoftwareModelError, match="attribute 5 has no supplemental"):
+            unit.run_batch([FunctionRequest(1, [(5, 3)])], engine=engine)
+
+    def test_empty_type_parity(self, paper_cb):
+        paper_cb.add_type(9, name="empty")
+        request = FunctionRequest(9, [(1, 16)])
+        unit = SoftwareRetrievalUnit(paper_cb)
+        assert_software_identical(
+            unit.run_batch([request], engine="stepwise")[0],
+            unit.run_batch([request], engine="vectorized")[0],
+        )
+
+
+class TestSpeedupParity:
+    """The paper's E4 ratio is engine independent (cycle counts are exact)."""
+
+    def test_hw_vs_sw_ratio_identical_across_engines(self, generated):
+        case_base, requests = generated
+        hardware = HardwareRetrievalUnit(case_base)
+        software = SoftwareRetrievalUnit(case_base)
+        for engine in ("stepwise", "vectorized"):
+            hw = hardware.run_batch(requests, engine=engine)
+            sw = software.run_batch(requests, engine=engine)
+            ratios = [s.cycles / h.cycles for h, s in zip(hw, sw)]
+            assert all(4.0 < ratio < 14.0 for ratio in ratios)
+        # and the per-request cycle counts match exactly between engines
+        assert [r.cycles for r in hardware.run_batch(requests, engine="stepwise")] == [
+            r.cycles for r in hardware.run_batch(requests, engine="vectorized")
+        ]
+
+
+class TestCaching:
+    def test_request_cache_reused_and_invalidated(self, paper_cb, paper_req):
+        unit = HardwareRetrievalUnit(paper_cb)
+        first = unit.run(paper_req)
+        assert len(unit._request_cache) == 1
+        second = unit.run(paper_req)
+        assert len(unit._request_cache) == 1
+        assert first.cycles == second.cycles
+        paper_cb.add_implementation(
+            1, Implementation(8, ExecutionTarget.DSP, {1: 16, 2: 0, 3: 1, 4: 40})
+        )
+        third = unit.run(paper_req)
+        assert third.best_id == 8  # the refreshed image sees the new variant
+        assert len(unit._request_cache) == 1  # re-encoded after invalidation
+
+    def test_columnar_cache_follows_revision(self, paper_cb, paper_req):
+        unit = HardwareRetrievalUnit(paper_cb)
+        columnar = unit.columnar_image()
+        assert unit.columnar_image() is columnar
+        paper_cb.add_implementation(
+            1, Implementation(8, ExecutionTarget.DSP, {1: 16, 2: 0, 3: 1, 4: 40})
+        )
+        refreshed = unit.columnar_image()
+        assert refreshed is not columnar
+        assert refreshed.types[1].implementation_count == 4
+        stepwise = unit.run_batch([paper_req], engine="stepwise")[0]
+        vectorized = unit.run_batch([paper_req], engine="vectorized")[0]
+        assert_hardware_identical(stepwise, vectorized)
+
+    def test_software_unit_follows_revision(self, paper_cb, paper_req):
+        unit = SoftwareRetrievalUnit(paper_cb)
+        unit.run(paper_req)
+        paper_cb.add_implementation(
+            1, Implementation(8, ExecutionTarget.DSP, {1: 16, 2: 0, 3: 1, 4: 40})
+        )
+        assert unit.run_batch([paper_req], engine="vectorized")[0].best_id == 8
+        assert_software_identical(
+            unit.run_batch([paper_req], engine="stepwise")[0],
+            unit.run_batch([paper_req], engine="vectorized")[0],
+        )
+
+    def test_request_cache_capacity_is_bounded(self, small_generator):
+        case_base = small_generator.case_base()
+        unit = HardwareRetrievalUnit(case_base)
+        unit.REQUEST_CACHE_CAPACITY = 4
+        requests = [small_generator.request(salt=salt, attribute_count=3) for salt in range(9)]
+        for request in requests:
+            unit.run(request)
+        assert len(unit._request_cache) <= 4
+
+
+class TestEngineResolution:
+    def test_resolve_names_and_instances(self):
+        assert isinstance(resolve_cycle_engine("stepwise"), StepwiseCycleEngine)
+        assert isinstance(resolve_cycle_engine("vectorized"), VectorizedCycleEngine)
+        assert isinstance(resolve_cycle_engine("auto"), VectorizedCycleEngine)
+        assert isinstance(
+            resolve_cycle_engine("auto", prefer_vectorized=False), StepwiseCycleEngine
+        )
+        engine = StepwiseCycleEngine()
+        assert resolve_cycle_engine(engine) is engine
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ReproError, match="unknown cycle engine"):
+            resolve_cycle_engine("warp")
+
+    def test_columnar_image_matches_word_image(self, paper_cb):
+        unit = HardwareRetrievalUnit(paper_cb)
+        columnar = ColumnarImage(unit.image)
+        tree = unit.image.tree
+        assert set(columnar.types) == set(tree.address_map.implementation_lists)
+        total = sum(columns.implementation_count for columns in columnar.types.values())
+        assert total == tree.implementation_count
+        assert columnar.supplemental_ids.shape[0] == len(unit.image.supplemental.reciprocals)
+
+
+class TestConfigurationSweep:
+    """One full cartesian sweep on a small case base (the heavy differential)."""
+
+    def test_all_axes_exact(self, small_generator):
+        case_base = small_generator.case_base()
+        requests = [small_generator.request(salt=salt, attribute_count=4) for salt in range(4)]
+        axes = itertools.product(
+            [False, True], [False, True], [False, True], [False, True], [1, 4]
+        )
+        for wide, pipelined, cache, divider, n_best in axes:
+            unit = HardwareRetrievalUnit(
+                case_base,
+                config=HardwareConfig(
+                    wide_attribute_fetch=wide,
+                    pipelined_datapath=pipelined,
+                    cache_reciprocals=cache,
+                    use_divider=divider,
+                    n_best=n_best,
+                ),
+            )
+            for stepwise, vectorized in zip(
+                unit.run_batch(requests, engine="stepwise"),
+                unit.run_batch(requests, engine="vectorized"),
+            ):
+                assert_hardware_identical(stepwise, vectorized)

@@ -1,0 +1,85 @@
+"""The vectorized Q-format helpers vs the scalar datapath operations.
+
+Each array helper must agree element for element with the scalar component
+model it mirrors; the cycle engines rely on that equivalence for their
+bit-exactness guarantee.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint import (
+    UQ0_16,
+    divide_fraction_array,
+    multiply_fraction_array,
+    multiply_fractions_array,
+    one_minus_array,
+    prefix_maxima_count,
+    saturating_add_array,
+)
+from repro.hardware import (
+    AccumulatorUnit,
+    DividerUnit,
+    MultiplierUnit,
+    SubtractorUnit,
+)
+
+RNG = np.random.default_rng(2004)
+VALUES = RNG.integers(0, 0x10000, size=64)
+FRACTIONS = RNG.integers(0, 0x10000, size=64)
+
+
+def test_multiply_fraction_matches_multiplier_unit():
+    unit = MultiplierUnit()
+    expected = [unit.multiply_fraction(int(v), int(f)) for v, f in zip(VALUES, FRACTIONS)]
+    assert multiply_fraction_array(VALUES, FRACTIONS).tolist() == expected
+
+
+def test_multiply_fractions_matches_multiplier_unit():
+    unit = MultiplierUnit()
+    expected = [unit.multiply_fractions(int(v), int(f)) for v, f in zip(VALUES, FRACTIONS)]
+    assert multiply_fractions_array(VALUES, FRACTIONS).tolist() == expected
+
+
+def test_divide_fraction_matches_divider_unit():
+    unit = DividerUnit()
+    divisors = RNG.integers(1, 2000, size=VALUES.shape[0])
+    expected = [unit.divide_fraction(int(v), int(d)) for v, d in zip(VALUES, divisors)]
+    assert divide_fraction_array(VALUES, divisors).tolist() == expected
+
+
+def test_one_minus_matches_subtractor_unit():
+    unit = SubtractorUnit()
+    expected = [unit.one_minus(int(f)) for f in FRACTIONS]
+    assert one_minus_array(FRACTIONS).tolist() == expected
+
+
+def test_saturating_add_matches_accumulator_unit():
+    unit = AccumulatorUnit()
+    accumulator = np.zeros(1, dtype=np.int64)
+    for fraction in FRACTIONS:
+        expected = unit.accumulate(int(fraction))
+        accumulator = saturating_add_array(accumulator, int(fraction))
+        assert int(accumulator[0]) == expected
+    assert int(accumulator[0]) == UQ0_16.max_raw  # 64 random fractions saturate
+
+
+@pytest.mark.parametrize(
+    "values, expected",
+    [
+        ([5], 1),
+        ([1, 2, 3], 3),
+        ([3, 2, 1], 1),
+        ([2, 2, 5, 5, 4], 2),
+        ([0, 0, 0], 1),
+    ],
+)
+def test_prefix_maxima_count_scalar_rows(values, expected):
+    assert int(prefix_maxima_count(np.array(values))) == expected
+
+
+def test_prefix_maxima_count_batched_rows_and_empty():
+    matrix = np.array([[1, 2, 3], [3, 2, 1], [2, 2, 5]])
+    assert prefix_maxima_count(matrix).tolist() == [3, 1, 2]
+    assert prefix_maxima_count(np.empty((2, 0), dtype=np.int64)).tolist() == [0, 0]
+    assert prefix_maxima_count(matrix.T, axis=0).tolist() == [3, 1, 2]

@@ -1,0 +1,134 @@
+"""Property-based exactness tests for the vectorized cycle engine.
+
+Uses hypothesis when available (the CI test environment installs it) and
+degrades to a seeded-random parametrized sweep otherwise, matching
+``test_property_backends``.  The single property under test is the cycle
+engines' whole contract: over random case bases, random requests and random
+configuration axes, the vectorized engine reproduces the stepwise golden
+models *exactly* -- retrieval decision, ranked list, raw similarities, cycle
+counts, instruction counters and memory-read counters.
+"""
+
+import pytest
+
+from repro.hardware import HardwareConfig, HardwareRetrievalUnit
+from repro.software import (
+    SoftwareRetrievalUnit,
+    microblaze_cost_model,
+    microblaze_soft_multiply_model,
+)
+from repro.tools import CaseBaseGenerator, GeneratorSpec
+
+try:
+    from hypothesis import HealthCheck, given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - exercised only without hypothesis
+    HAVE_HYPOTHESIS = False
+
+
+#: Small, quick-to-build sizings; missing attributes included on purpose so
+#: the probe/missing accounting is exercised.
+SPEC = GeneratorSpec(
+    type_count=3,
+    implementations_per_type=5,
+    attributes_per_implementation=5,
+    attribute_type_count=8,
+    missing_probability=0.25,
+)
+
+
+def check_hardware_exact(
+    seed: int, salt: int, wide: bool, pipelined: bool, cache: bool,
+    restart: bool, divider: bool, n_best: int,
+) -> None:
+    generator = CaseBaseGenerator(SPEC, seed=seed % 40)
+    case_base = generator.case_base()
+    requests = [generator.request(salt=salt + offset, attribute_count=4) for offset in range(3)]
+    unit = HardwareRetrievalUnit(
+        case_base,
+        config=HardwareConfig(
+            wide_attribute_fetch=wide,
+            pipelined_datapath=pipelined,
+            cache_reciprocals=cache,
+            restart_attribute_search=restart,
+            use_divider=divider,
+            n_best=n_best,
+        ),
+    )
+    for stepwise, vectorized in zip(
+        unit.run_batch(requests, engine="stepwise"),
+        unit.run_batch(requests, engine="vectorized"),
+    ):
+        assert stepwise.best_id == vectorized.best_id
+        assert stepwise.best_similarity_raw == vectorized.best_similarity_raw
+        assert stepwise.ranked == vectorized.ranked
+        assert stepwise.statistics == vectorized.statistics
+
+
+def check_software_exact(seed: int, salt: int, inline: bool, soft_multiply: bool) -> None:
+    generator = CaseBaseGenerator(SPEC, seed=seed % 40)
+    case_base = generator.case_base()
+    requests = [generator.request(salt=salt + offset, attribute_count=4) for offset in range(3)]
+    cost_model = (
+        microblaze_soft_multiply_model() if soft_multiply else microblaze_cost_model()
+    )
+    unit = SoftwareRetrievalUnit(case_base, cost_model=cost_model, inline_helpers=inline)
+    for stepwise, vectorized in zip(
+        unit.run_batch(requests, engine="stepwise"),
+        unit.run_batch(requests, engine="vectorized"),
+    ):
+        assert stepwise.best_id == vectorized.best_id
+        assert stepwise.best_similarity_raw == vectorized.best_similarity_raw
+        assert stepwise.statistics == vectorized.statistics
+        assert stepwise.counters.counts == vectorized.counters.counts
+
+
+if HAVE_HYPOTHESIS:
+
+    COMMON = settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+
+    @COMMON
+    @given(
+        seed=st.integers(0, 10_000),
+        salt=st.integers(0, 100),
+        wide=st.booleans(),
+        pipelined=st.booleans(),
+        cache=st.booleans(),
+        restart=st.booleans(),
+        divider=st.booleans(),
+        n_best=st.integers(1, 8),
+    )
+    def test_hardware_engines_exact(seed, salt, wide, pipelined, cache, restart, divider, n_best):
+        check_hardware_exact(seed, salt, wide, pipelined, cache, restart, divider, n_best)
+
+    @COMMON
+    @given(
+        seed=st.integers(0, 10_000),
+        salt=st.integers(0, 100),
+        inline=st.booleans(),
+        soft_multiply=st.booleans(),
+    )
+    def test_software_engines_exact(seed, salt, inline, soft_multiply):
+        check_software_exact(seed, salt, inline, soft_multiply)
+
+else:  # pragma: no cover - fallback sweep without hypothesis
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_hardware_engines_exact(seed):
+        check_hardware_exact(
+            seed, salt=seed * 5, wide=seed % 2 == 0, pipelined=seed % 3 == 0,
+            cache=seed % 2 == 1, restart=seed % 4 == 0, divider=seed % 3 == 1,
+            n_best=(seed % 4) + 1,
+        )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_software_engines_exact(seed):
+        check_software_exact(
+            seed, salt=seed * 5, inline=seed % 2 == 0, soft_multiply=seed % 3 == 0
+        )

@@ -164,3 +164,56 @@ class TestEstimateExportScenario:
         output = capsys.readouterr().out
         assert "requests=" in output
         assert "mp3-player" in output
+
+    def test_scenario_hardware_backend_with_cycle_engine(self, capsys):
+        assert main(["scenario", "--duration-ms", "300", "--seed", "4",
+                     "--backend", "hardware", "--cycle-engine", "vectorized"]) == 0
+        assert "requests=" in capsys.readouterr().out
+
+
+class TestCosimBatch:
+    def test_requires_a_request_source(self, capsys):
+        assert main(["cosim-batch"]) == 2
+        assert "cosim-batch needs" in capsys.readouterr().err
+
+    def test_compare_reports_exact_agreement_and_speedup(self, capsys):
+        assert main(["cosim-batch", "--random", "12", "--seed", "2",
+                     "--engine", "compare"]) == 0
+        output = capsys.readouterr().out
+        assert "cycle co-simulation (12 requests)" in output
+        assert "hardware: engines agree exactly on 12/12 results" in output
+        assert "software: engines agree exactly on 12/12 results" in output
+        assert "vectorized speedup" in output
+        assert "hw-vs-sw speedup" in output
+
+    def test_hardware_only_with_compact_and_nbest(self, capsys):
+        assert main(["cosim-batch", "--random", "8", "--model", "hardware",
+                     "--engine", "compare", "--compact", "--n-best", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "hardware: engines agree exactly on 8/8 results" in output
+        assert "software" not in output
+
+    def test_software_ablations_run_vectorized(self, capsys):
+        assert main(["cosim-batch", "--random", "6", "--model", "software",
+                     "--engine", "vectorized", "--inline-helpers", "--soft-multiply"]) == 0
+        output = capsys.readouterr().out
+        assert "software cycles" in output
+        assert "modelled cycles" in output
+
+    def test_generated_case_base_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "cb.json"
+        assert main(["generate", str(path), "--types", "4", "--implementations", "5",
+                     "--attributes", "6", "--seed", "9"]) == 0
+        capsys.readouterr()
+        assert main(["cosim-batch", "--case-base", str(path), "--random", "16",
+                     "--engine", "compare"]) == 0
+        output = capsys.readouterr().out
+        assert "16/16 results" in output
+
+    def test_unknown_type_in_requests_file_is_a_clean_error(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "requests.json"
+        path.write_text(json.dumps([{"type_id": 99, "constraints": {"1": 16}}]))
+        assert main(["cosim-batch", "--requests", str(path)]) == 2
+        assert "cosim-batch:" in capsys.readouterr().err
