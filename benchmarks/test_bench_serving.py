@@ -1,0 +1,179 @@
+"""Serving-layer throughput: micro-batching vs one-at-a-time dispatch.
+
+The serving subsystem exists to amortise the vectorized primitives' per-call
+setup over whole micro-batches of streamed requests.  This benchmark gates
+that promise on a Table-3-sized case base under *hot-template traffic* --
+requests drawn from a small set of templates (shared function type and
+attribute set, jittered values and weights), the access pattern of a
+production front-end serving many clients of a few popular functions, and
+the shape the vectorized backend's signature grouping is built for:
+
+* micro-batched serving (``max_batch=128``) must beat one-at-a-time serving
+  (``max_batch=1``) by at least :data:`SPEEDUP_GATE` in wall-clock
+  throughput, with identical per-request outcomes;
+* sharded serving (4 worker shards) must return rankings bit-identical to
+  unsharded serving over the same trace.
+
+Setting ``BENCH_SERVING_JSON=<path>`` records the measured numbers as a JSON
+baseline -- ``BENCH_serving.json`` in the repository root seeds the perf
+trajectory and is refreshed by the CI bench-smoke job's artifact.
+"""
+
+import json
+import os
+import random
+
+from repro.core import FunctionRequest
+from repro.serving import ServingConfig, ServingEngine, trace_from_requests
+
+#: Trace sizing: hot-template traffic at a mid-sized burst.
+REQUEST_COUNT = 256
+TEMPLATE_COUNT = 6
+ATTRIBUTES_PER_REQUEST = 6
+INTERARRIVAL_US = 25.0
+
+#: The acceptance gate: micro-batched serving must beat one-at-a-time by this.
+SPEEDUP_GATE = 5.0
+
+#: Micro-batch bound of the batched configuration.
+MAX_BATCH = 128
+
+
+def _hot_template_trace(generator, seed=5):
+    """Requests from a few hot templates with jittered values and weights."""
+    templates = [
+        generator.request(salt=700 + index, attribute_count=ATTRIBUTES_PER_REQUEST)
+        for index in range(TEMPLATE_COUNT)
+    ]
+    rng = random.Random(seed)
+    requests = []
+    for _ in range(REQUEST_COUNT):
+        template = rng.choice(templates)
+        requests.append(FunctionRequest(
+            template.type_id,
+            [
+                (attribute.attribute_id,
+                 max(0, attribute.value + rng.randint(-3, 3)),
+                 attribute.weight)
+                for attribute in template.sorted_attributes()
+            ],
+            requester="bench-serving",
+        ))
+    return trace_from_requests(requests, interarrival_us=INTERARRIVAL_US)
+
+
+def _engine(case_base, **overrides):
+    defaults = dict(max_wait_us=1e9, n_best=1)
+    defaults.update(overrides)
+    return ServingEngine(case_base, config=ServingConfig(**defaults))
+
+
+def _best_wall_seconds(engine, trace, rounds=3):
+    """Fastest of a few replays (the scheduler-noise-resistant measurement)."""
+    best = None
+    for _ in range(rounds):
+        report = engine.serve(trace)
+        if best is None or report.wall_seconds < best.wall_seconds:
+            best = report
+    return best
+
+
+def _record_baseline(key, payload):
+    """Merge one measurement into the JSON baseline when recording is enabled."""
+    path = os.environ.get("BENCH_SERVING_JSON")
+    if not path:
+        return
+    data = {}
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as stream:
+            data = json.load(stream)
+    data[key] = payload
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(data, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+
+
+def test_micro_batch_speedup_gate(benchmark, table3_case_base, table3_generator):
+    """>= 5x micro-batched vs one-at-a-time serving wall-clock throughput."""
+    trace = _hot_template_trace(table3_generator)
+    sequential = _engine(table3_case_base, max_batch=1)
+    batched = _engine(table3_case_base, max_batch=MAX_BATCH)
+    sequential.serve(trace)  # warm image / columnar / request caches
+    batched.serve(trace)
+
+    def measure():
+        sequential_report = _best_wall_seconds(sequential, trace)
+        batched_report = _best_wall_seconds(batched, trace)
+        # Batching must change throughput only -- outcomes stay identical.
+        assert batched_report.rankings() == sequential_report.rankings()
+        assert (
+            [record.status for record in batched_report.served]
+            == [record.status for record in sequential_report.served]
+        )
+        return sequential_report, batched_report
+
+    sequential_report, batched_report = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    speedup = sequential_report.wall_seconds / batched_report.wall_seconds
+    _record_baseline("micro_batching", {
+        "requests": REQUEST_COUNT,
+        "one_at_a_time_seconds": round(sequential_report.wall_seconds, 4),
+        "micro_batched_seconds": round(batched_report.wall_seconds, 4),
+        "speedup": round(speedup, 1),
+        "max_batch": MAX_BATCH,
+        "throughput_rps": round(batched_report.metrics["throughput_rps"], 0),
+        "mean_batch_size": round(
+            batched_report.metrics["batches"]["mean_size"], 1
+        ),
+    })
+    assert speedup >= SPEEDUP_GATE
+
+
+def test_sharded_merge_bit_identical(benchmark, table3_case_base, table3_generator):
+    """4-way sharded serving returns rankings bit-identical to unsharded."""
+    trace = _hot_template_trace(table3_generator)
+    sharded = _engine(table3_case_base, max_batch=MAX_BATCH, shard_count=4, n_best=5)
+    unsharded = _engine(table3_case_base, max_batch=MAX_BATCH, shard_count=1, n_best=5)
+    sharded.serve(trace)
+    unsharded.serve(trace)
+
+    def measure():
+        sharded_report = _best_wall_seconds(sharded, trace)
+        unsharded_report = _best_wall_seconds(unsharded, trace)
+        assert sharded_report.rankings() == unsharded_report.rankings()
+        return sharded_report, unsharded_report
+
+    sharded_report, unsharded_report = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    _record_baseline("sharded_merge", {
+        "requests": REQUEST_COUNT,
+        "shards": 4,
+        "bit_identical": True,
+        "sharded_seconds": round(sharded_report.wall_seconds, 4),
+        "unsharded_seconds": round(unsharded_report.wall_seconds, 4),
+    })
+
+
+def test_admission_qos_mix(benchmark, table3_case_base, table3_generator):
+    """The deadline gate triages deterministically under saturating load."""
+    trace = _hot_template_trace(table3_generator)
+    engine = _engine(
+        table3_case_base, max_batch=MAX_BATCH, deadline_us=2000.0
+    )
+    engine.serve(trace)
+
+    report = benchmark(lambda: engine.serve(trace))
+    statuses = report.metrics["statuses"]
+    assert statuses.get("served_hardware", 0) > 0
+    assert statuses.get("rejected_deadline", 0) > 0
+    assert report.metrics["requests"] == REQUEST_COUNT
+    # Deterministic virtual-time triage: replaying the trace reproduces it.
+    assert engine.serve(trace).metrics["statuses"] == statuses
+    _record_baseline("admission_deadline_2000us", {
+        "requests": REQUEST_COUNT,
+        "statuses": statuses,
+        "rejection_rate": round(report.metrics["rejection_rate"], 3),
+        "p95_latency_us": round(report.metrics["latency"]["p95_us"], 1),
+    })

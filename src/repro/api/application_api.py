@@ -248,6 +248,31 @@ class ApplicationAPI:
         handle.bytes_transferred += payload_bytes
         return handle.bytes_transferred
 
+    # -- serving ----------------------------------------------------------------------
+
+    def serving_engine(self, **config_overrides):
+        """A :class:`~repro.serving.ServingEngine` over the manager's case base.
+
+        This is the streaming complement of :meth:`call_functions`: instead of
+        allocating a fixed batch, the returned engine replays timestamped
+        request traces through the micro-batching scheduler, cycle-exact
+        admission control and sharded retrieval -- sharing the manager's case
+        base and its :class:`~repro.allocation.feasibility.FeasibilityChecker`
+        (so infeasibility rejections agree with allocation decisions).  Keyword
+        arguments override :class:`~repro.serving.ServingConfig` fields, e.g.
+        ``api.serving_engine(shard_count=4, deadline_us=500.0)``.
+        """
+        from ..serving import ServingConfig, ServingEngine
+
+        if "hardware_config" not in config_overrides and self.manager.hardware_config:
+            config_overrides["hardware_config"] = self.manager.hardware_config
+        config_overrides.setdefault("cycle_engine", self.manager.cycle_engine)
+        return ServingEngine(
+            self.manager.case_base,
+            config=ServingConfig(**config_overrides),
+            feasibility=self.manager.feasibility,
+        )
+
     # -- introspection ----------------------------------------------------------------
 
     def handles(self, application: Optional[str] = None) -> List[FunctionHandle]:

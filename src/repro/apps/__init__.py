@@ -2,6 +2,7 @@
 
 from .automotive_ecu import AutomotiveEcuWorkload
 from .cruise_control import CruiseControlWorkload
+from .heavy_traffic import HeavyTrafficWorkload
 from .mp3_player import Mp3PlayerWorkload
 from .schema import (
     ATTR_BITRATE_KBPS,
@@ -55,6 +56,7 @@ __all__ = [
     "ApplicationWorkload",
     "AutomotiveEcuWorkload",
     "CruiseControlWorkload",
+    "HeavyTrafficWorkload",
     "Mp3PlayerWorkload",
     "Scenario",
     "ScenarioEvent",

@@ -1,0 +1,117 @@
+"""Synthetic heavy-traffic workload (the ROADMAP's "millions of users" mix).
+
+Unlike the four Fig.-1 applications, this workload contributes no function
+types of its own: it models an aggregated front-end (many concurrent client
+sessions multiplexed onto the platform) that hammers the types the base
+applications already brought to the case base.  It exists to drive the
+serving layer's micro-batching scheduler and admission control at rates the
+periodic per-application schedules never reach.
+
+Arrivals follow a Poisson process (exponential inter-arrival times) with a
+configurable mean; each arrival picks one of the platform's request templates
+with realistic constraint jitter.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple, Union
+
+from ..allocation.negotiation import ApplicationPolicy
+from ..core.attributes import Number
+from ..core.case_base import CaseBase
+from .schema import (
+    TYPE_CAN_FILTER,
+    TYPE_FIR_EQUALIZER,
+    TYPE_MP3_DECODER,
+    TYPE_PID_CONTROLLER,
+    TYPE_SENSOR_FUSION,
+    TYPE_VIDEO_DECODER,
+    TYPE_VIDEO_SCALER,
+)
+from .workloads import ApplicationWorkload, WorkloadRequest
+
+#: Request templates: (type_id, constraint choices, weights, hold time, note).
+#: Constraint values given as a sequence are sampled uniformly per request.
+_TEMPLATES: List[Tuple[int, Dict[str, Union[Number, str, Sequence]], Dict[str, float], float, str]] = [
+    (TYPE_MP3_DECODER,
+     {"bitwidth": 16, "sampling_rate": (44, 48), "bitrate_kbps": (128, 192, 256),
+      "output_mode": "stereo"},
+     {}, 40_000.0, "stream session"),
+    (TYPE_FIR_EQUALIZER,
+     {"bitwidth": 16, "output_mode": ("stereo", "surround"), "sampling_rate": (40, 44)},
+     {}, 30_000.0, "equalizer hop"),
+    (TYPE_VIDEO_DECODER,
+     {"frame_rate": (24, 30, 60), "resolution_lines": (480, 720, 1080), "bitwidth": 16},
+     {"frame_rate": 2.0, "resolution_lines": 1.0, "bitwidth": 0.5}, 60_000.0, "clip start"),
+    (TYPE_VIDEO_SCALER,
+     {"frame_rate": (24, 30), "resolution_lines": (480, 720)},
+     {}, 25_000.0, "thumbnail scale"),
+    (TYPE_CAN_FILTER,
+     {"bitwidth": 16, "response_deadline_ms": (2, 5), "channel_count": (4, 6, 8)},
+     {"response_deadline_ms": 2.0}, 20_000.0, "gateway burst"),
+    (TYPE_PID_CONTROLLER,
+     {"control_period_ms": (5, 10, 20), "response_deadline_ms": (5, 10), "bitwidth": 16},
+     {"control_period_ms": 2.0}, 35_000.0, "loop retune"),
+    (TYPE_SENSOR_FUSION,
+     {"bitwidth": 16, "response_deadline_ms": 8, "control_period_ms": (5, 10),
+      "channel_count": 4},
+     {"response_deadline_ms": 2.0, "control_period_ms": 2.0}, 45_000.0, "fusion restart"),
+]
+
+
+class HeavyTrafficWorkload(ApplicationWorkload):
+    """High-rate synthetic request mix over the platform's existing types.
+
+    Parameters
+    ----------
+    mean_interarrival_us:
+        Mean of the exponential inter-arrival distribution.  The default of
+        2 ms sustains ~500 requests per second of simulated time -- two
+        orders of magnitude above the periodic application schedules.
+    """
+
+    name = "heavy-traffic"
+
+    def __init__(self, mean_interarrival_us: float = 2_000.0) -> None:
+        if mean_interarrival_us <= 0:
+            raise ValueError("mean_interarrival_us must be positive")
+        self.mean_interarrival_us = mean_interarrival_us
+
+    def policy(self) -> ApplicationPolicy:
+        """Aggregated traffic takes whatever quality it can get, immediately."""
+        return ApplicationPolicy(
+            minimum_similarity=0.3,
+            accept_preemption=True,
+            max_relaxations=0,
+        )
+
+    def contribute(self, case_base: CaseBase) -> None:
+        """Contributes nothing: the mix targets the base applications' types.
+
+        Build the case base with :func:`repro.apps.default_workloads` (or any
+        set that includes the referenced types) and add this workload purely
+        as a request source.
+        """
+
+    def requests(self, rng: random.Random, duration_us: float) -> List[WorkloadRequest]:
+        requests: List[WorkloadRequest] = []
+        time = rng.expovariate(1.0 / self.mean_interarrival_us)
+        while time < duration_us:
+            type_id, choices, weights, hold_time_us, note = _TEMPLATES[
+                rng.randrange(len(_TEMPLATES))
+            ]
+            constraints = {
+                name: rng.choice(value) if isinstance(value, tuple) else value
+                for name, value in choices.items()
+            }
+            requests.append(WorkloadRequest(
+                issue_time_us=time,
+                type_id=type_id,
+                constraints=constraints,
+                weights=dict(weights),
+                hold_time_us=hold_time_us,
+                note=note,
+            ))
+            time += rng.expovariate(1.0 / self.mean_interarrival_us)
+        return requests

@@ -16,6 +16,12 @@ Provides the day-to-day developer workflows as sub-commands:
   hardware and/or software models via a selectable cycle engine
   (stepwise golden walk or the bit-identical vectorized fast path), or
   through both engines with an exactness check and speedup report;
+* ``repro-qos serve-trace`` -- replay a timestamped request trace (application
+  workloads, a synthetic Poisson mix, or a requests file) through the serving
+  layer's micro-batching scheduler, cycle-exact admission control and sharded
+  case-base workers, reporting throughput/latency/rejection metrics; the
+  ``--engine compare`` mode checks that sharded and unsharded rankings are
+  bit-identical;
 * ``repro-qos estimate`` -- print the Table 2-style resource estimate for a
   retrieval-unit configuration;
 * ``repro-qos export`` -- export CB-MEM/Req-MEM images as ``.memh`` / C headers;
@@ -33,6 +39,7 @@ import sys
 import time
 from typing import List, Optional, Sequence
 
+from . import __version__
 from .analysis import format_table
 from .core import (
     FunctionRequest,
@@ -52,7 +59,8 @@ from .tools import (
     GeneratorSpec,
     export_memory_images,
     load_case_base,
-    request_from_dict,
+    load_requests_json,
+    random_requests,
     save_case_base,
 )
 
@@ -146,91 +154,17 @@ def cmd_retrieve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_batch_requests(path: str) -> List[FunctionRequest]:
-    """Read a requests JSON file: a list of request objects.
-
-    Each entry is either the canonical :func:`repro.tools.request_to_json`
-    shape (``{"type_id", "attributes": [{"attribute_id", "value", "weight"}]}``)
-    or the shorthand ``{"type_id", "constraints"}`` where ``constraints`` is a
-    mapping of attribute ID to value or a list of ``[id, value]`` /
-    ``[id, value, weight]`` entries.
-    """
-    try:
-        with open(path, "r", encoding="utf-8") as stream:
-            payload = json.load(stream)
-    except OSError as exc:
-        raise ReproError(f"cannot read requests file {path}: {exc}") from exc
-    except json.JSONDecodeError as exc:
-        raise ReproError(f"invalid requests JSON in {path}: {exc}") from exc
-    if not isinstance(payload, list):
-        raise ReproError(f"requests file {path} must contain a JSON list")
-    requests = []
-    for entry in payload:
-        if not isinstance(entry, dict):
-            raise ReproError(f"malformed request entry {entry!r}: expected an object")
-        if "attributes" in entry:
-            requests.append(request_from_dict(entry))
-            continue
-        try:
-            type_id = int(entry["type_id"])
-            constraints = entry["constraints"]
-            if isinstance(constraints, dict):
-                constraints = [
-                    (int(attribute_id), value)
-                    for attribute_id, value in constraints.items()
-                ]
-            requests.append(FunctionRequest(type_id, constraints, requester="cli-batch"))
-        except (KeyError, TypeError, ValueError) as exc:
-            raise ReproError(f"malformed request entry {entry!r}: {exc}") from exc
-    return requests
-
-
-def _random_batch_requests(case_base, count: int, seed: int) -> List[FunctionRequest]:
-    """Synthesise requests whose constraints track the case base's contents.
-
-    Only implementations that describe at least one attribute can act as
-    request templates (a constraint-less request is unscorable); returns an
-    empty list when the case base has none.
-    """
-    import random
-
-    rng = random.Random(seed)
-    templates = [
-        (type_id, implementation)
-        for type_id, implementation in case_base.all_implementations()
-        if implementation.attributes
-    ]
-    if not templates:
-        return []
-    requests = []
-    for _ in range(count):
-        type_id, template = rng.choice(templates)
-        attribute_ids = template.attribute_ids()
-        wanted = rng.sample(attribute_ids, min(3, len(attribute_ids)))
-        bounds = case_base.bounds
-        pairs = []
-        for attribute_id in sorted(wanted):
-            value = template.get(attribute_id)
-            if attribute_id in bounds:
-                bound = bounds.get(attribute_id)
-                span = int(bound.dmax) // 10
-                value = bound.clamp(value + rng.randint(-span, span))
-            pairs.append((attribute_id, value))
-        requests.append(FunctionRequest(type_id, pairs, requester="cli-batch"))
-    return requests
-
-
 def cmd_retrieve_batch(args: argparse.Namespace) -> int:
     """Run a batch of retrievals through one or both execution backends."""
     case_base = load_case_base(args.case_base) if args.case_base else paper_case_base()
     if args.requests:
         try:
-            requests = _load_batch_requests(args.requests)
+            requests = load_requests_json(args.requests)
         except ReproError as error:
             print(f"retrieve-batch: {error}", file=sys.stderr)
             return 2
     elif args.random > 0:
-        requests = _random_batch_requests(case_base, args.random, args.seed)
+        requests = random_requests(case_base, args.random, args.seed)
     else:
         print("retrieve-batch needs --requests FILE or --random N", file=sys.stderr)
         return 2
@@ -299,12 +233,12 @@ def cmd_cosim_batch(args: argparse.Namespace) -> int:
     case_base = load_case_base(args.case_base) if args.case_base else paper_case_base()
     if args.requests:
         try:
-            requests = _load_batch_requests(args.requests)
+            requests = load_requests_json(args.requests)
         except ReproError as error:
             print(f"cosim-batch: {error}", file=sys.stderr)
             return 2
     elif args.random > 0:
-        requests = _random_batch_requests(case_base, args.random, args.seed)
+        requests = random_requests(case_base, args.random, args.seed)
     else:
         print("cosim-batch needs --requests FILE or --random N", file=sys.stderr)
         return 2
@@ -388,6 +322,135 @@ def cmd_cosim_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_trace_inputs(args: argparse.Namespace):
+    """Resolve the (case base, trace) pair of one ``serve-trace`` invocation."""
+    from .apps import build_case_base
+    from .serving import synthetic_trace, trace_from_requests, trace_from_workloads
+
+    if args.requests or args.random > 0:
+        case_base = load_case_base(args.case_base) if args.case_base else paper_case_base()
+        if args.requests:
+            requests = load_requests_json(args.requests)
+            trace = trace_from_requests(
+                requests, interarrival_us=args.mean_interarrival_us
+            )
+        else:
+            trace = synthetic_trace(
+                case_base,
+                args.random,
+                mean_interarrival_us=args.mean_interarrival_us,
+                seed=args.seed,
+            )
+        return case_base, trace
+    if args.case_base:
+        raise ReproError(
+            "serve-trace with --case-base needs --requests FILE or --random N "
+            "(workload traces use the built-in platform case base)"
+        )
+    case_base = build_case_base()
+    trace = trace_from_workloads(
+        args.workload or None,
+        duration_us=args.duration_ms * 1000.0,
+        seed=args.seed,
+    )
+    return case_base, trace
+
+
+def cmd_serve_trace(args: argparse.Namespace) -> int:
+    """Replay a request trace through the micro-batching serving layer."""
+    from .serving import ServingConfig, ServingEngine
+
+    try:
+        case_base, trace = _serve_trace_inputs(args)
+    except ReproError as error:
+        print(f"serve-trace: {error}", file=sys.stderr)
+        return 2
+    if not trace:
+        print("serve-trace: the trace is empty (longer --duration-ms, a non-empty "
+              "requests file, or --random N > 0 produce one)", file=sys.stderr)
+        return 2
+
+    backend = "naive" if args.engine == "naive" else "vectorized"
+    try:
+        config = ServingConfig(
+            max_batch=args.max_batch,
+            max_wait_us=args.max_wait_us,
+            shard_count=args.shards,
+            backend=backend,
+            cycle_engine=args.cycle_engine,
+            clock_mhz=args.clock_mhz,
+            deadline_us=args.deadline_us,
+            n_best=args.n_best,
+        )
+        report = ServingEngine(case_base, config=config).serve(trace)
+    except ReproError as error:
+        print(f"serve-trace: {error}", file=sys.stderr)
+        return 2
+
+    metrics = report.metrics
+    statuses = metrics["statuses"]
+    rows = [
+        [record.index, trace[record.index].request.type_id, record.status.value,
+         record.result.best_id if record.result is not None else "-",
+         round(record.result.best_similarity, 4)
+         if record.result is not None and record.result.best_similarity is not None
+         else "-",
+         f"{record.latency_us:.1f}" if record.latency_us is not None else "-"]
+        for record in report.served[: args.show]
+    ]
+    print(format_table(
+        ["request", "type", "status", "best impl", "S_global", "latency us"],
+        rows,
+        title=f"trace replay ({len(trace)} requests, shards={args.shards}, "
+              f"max_batch={args.max_batch})",
+    ))
+    latency = metrics["latency"]
+    batches = metrics["batches"]
+
+    def _us(value) -> str:
+        return f"{value:.1f}" if value is not None else "-"
+
+    print(f"served={metrics['served']}/{metrics['requests']} "
+          f"(hw={statuses.get('served_hardware', 0)} "
+          f"sw={statuses.get('served_software', 0)}) "
+          f"rejected: deadline={statuses.get('rejected_deadline', 0)} "
+          f"infeasible={statuses.get('rejected_infeasible', 0)} "
+          f"failed={statuses.get('failed', 0)}")
+    print(f"modelled latency p50/p95/p99: {_us(latency['p50_us'])}/"
+          f"{_us(latency['p95_us'])}/{_us(latency['p99_us'])} us")
+    print(f"batches: {batches['count']} (mean size {batches['mean_size']:.1f}); "
+          f"host wall {report.wall_seconds * 1e3:.2f} ms "
+          f"({metrics['throughput_rps']:.0f} requests/s)")
+
+    exit_code = 0
+    if args.engine == "compare":
+        from dataclasses import replace
+
+        unsharded = ServingEngine(
+            case_base, config=replace(config, shard_count=1)
+        ).serve(trace)
+        sharded_rankings = report.rankings()
+        unsharded_rankings = unsharded.rankings()
+        mismatches = sum(
+            1
+            for sharded_entry, unsharded_entry in zip(sharded_rankings, unsharded_rankings)
+            if sharded_entry != unsharded_entry
+        )
+        print(f"sharded ({args.shards}) vs unsharded rankings bit-identical for "
+              f"{len(trace) - mismatches}/{len(trace)} requests")
+        if mismatches:
+            exit_code = 1
+    if args.json:
+        payload = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as stream:
+                stream.write(payload + "\n")
+            print(f"report written to {args.json}")
+    return exit_code
+
+
 def cmd_estimate(args: argparse.Namespace) -> int:
     """Print the Table 2-style resource estimate."""
     estimate = ResourceEstimator().estimate(config=_hardware_config(args))
@@ -445,6 +508,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-qos",
         description="QoS-based function allocation for reconfigurable systems",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     sub = subparsers.add_parser("paper-example", help="reproduce Table 1 of the paper")
@@ -517,6 +582,52 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--show", type=int, default=10,
                      help="number of result rows to print (default 10)")
     sub.set_defaults(handler=cmd_cosim_batch)
+
+    sub = subparsers.add_parser(
+        "serve-trace",
+        help="replay a request trace through the micro-batching serving layer",
+    )
+    sub.add_argument("--workload", action="append", default=[],
+                     help="application workload to replay (repeatable; default: the "
+                          "four example applications; 'heavy-traffic' adds the "
+                          "synthetic high-rate mix)")
+    sub.add_argument("--duration-ms", type=float, default=2000.0,
+                     help="simulated duration of the workload trace (default 2000)")
+    sub.add_argument("--case-base", help="case-base JSON for --requests/--random "
+                     "traces (defaults to the paper example)")
+    sub.add_argument("--requests", help="JSON requests file replayed at a fixed rate")
+    sub.add_argument("--random", type=int, default=0, metavar="N",
+                     help="replay N random case-base-matched requests instead")
+    sub.add_argument("--mean-interarrival-us", type=float, default=1000.0,
+                     help="mean request inter-arrival time for --random (Poisson) "
+                          "and --requests (fixed) traces (default 1000)")
+    sub.add_argument("--seed", type=int, default=2004)
+    sub.add_argument("--shards", type=int, default=1,
+                     help="number of case-base worker shards (default 1)")
+    sub.add_argument("--max-batch", type=int, default=32,
+                     help="micro-batch size bound (1 = one-at-a-time serving)")
+    sub.add_argument("--max-wait-us", type=float, default=500.0,
+                     help="longest a batch may wait for company (default 500)")
+    sub.add_argument("--deadline-us", type=float, default=None,
+                     help="per-request completion deadline enforced by admission "
+                          "control (default: no deadline)")
+    sub.add_argument("--engine", choices=["vectorized", "naive", "compare"],
+                     default="vectorized",
+                     help="retrieval backend of the shard workers; 'compare' "
+                          "re-serves the trace unsharded and checks the rankings "
+                          "are bit-identical")
+    sub.add_argument("--cycle-engine", choices=["auto", "stepwise", "vectorized"],
+                     default="auto",
+                     help="cycle engine behind the admission controller's exact "
+                          "service-time model")
+    sub.add_argument("--clock-mhz", type=float, default=66.0)
+    sub.add_argument("--n-best", type=int, default=3,
+                     help="ranking depth delivered per request (default 3)")
+    sub.add_argument("--show", type=int, default=10,
+                     help="number of result rows to print (default 10)")
+    sub.add_argument("--json", metavar="PATH",
+                     help="write the full JSON serving report to PATH ('-' for stdout)")
+    sub.set_defaults(handler=cmd_serve_trace)
 
     sub = subparsers.add_parser("estimate", help="Table 2-style resource estimate")
     sub.add_argument("--n-best", type=int, default=1)

@@ -58,11 +58,22 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     )
 
 
-def _result_types():
-    """Late import of the result dataclasses (retrieval.py imports this module)."""
-    from .retrieval import RetrievalResult, RetrievalStatistics, ScoredImplementation
+_RESULT_TYPES: Optional[Tuple[type, type, type]] = None
 
-    return RetrievalResult, RetrievalStatistics, ScoredImplementation
+
+def _result_types():
+    """Late import of the result dataclasses (retrieval.py imports this module).
+
+    The tuple is cached after the first call: result construction happens per
+    request (and per ranked entry) on the serving hot path, where a repeated
+    module-import lookup is measurable.
+    """
+    global _RESULT_TYPES
+    if _RESULT_TYPES is None:
+        from .retrieval import RetrievalResult, RetrievalStatistics, ScoredImplementation
+
+        _RESULT_TYPES = (RetrievalResult, RetrievalStatistics, ScoredImplementation)
+    return _RESULT_TYPES
 
 
 def _check_n(n: int) -> None:
@@ -458,9 +469,18 @@ class VectorizedBackend(RetrievalBackend):
         n: Optional[int],
         threshold: Optional[float],
         record_threshold: Optional[float],
+        order: Optional[np.ndarray] = None,
     ) -> "RetrievalResult":
+        """Build a ranked result; ``order`` may carry a precomputed ranking.
+
+        ``retrieve_batch`` computes the ranking orders of a whole signature
+        group in one stable ``argsort`` call (identical to the per-request
+        lexsort because ``matrices.impl_ids`` ascends with the row index) and
+        passes each row in via ``order``.
+        """
         RetrievalResult, _, _ = _result_types()
-        order = self._ranking_order(matrices, similarities)
+        if order is None:
+            order = self._ranking_order(matrices, similarities)
         if threshold is not None:
             order = order[similarities[order] >= threshold]
         if n is not None:
@@ -597,12 +617,20 @@ class VectorizedBackend(RetrievalBackend):
             similarity_rows, missing, compared = self._similarity_rows(
                 matrices, attribute_ids, request_values, weight_rows
             )
+            if n is None and threshold is None:
+                orders = None
+            else:
+                # One stable sort for the whole group: descending similarity
+                # with ties in row-index order, which is ascending
+                # implementation ID by construction -- exactly the
+                # per-request lexsort of :meth:`_ranking_order`.
+                orders = np.argsort(-similarity_rows, axis=1, kind="stable")
             for row, index in enumerate(member_indices):
                 request = requests[index]
                 statistics = RetrievalStatistics()
                 self._account(statistics, matrices, attribute_ids, missing, compared)
                 similarities = similarity_rows[row]
-                if n is None and threshold is None:
+                if orders is None:
                     results[index] = self._best_result(
                         request, matrices, similarities, statistics
                     )
@@ -610,6 +638,7 @@ class VectorizedBackend(RetrievalBackend):
                     results[index] = self._ranked_result(
                         request, matrices, similarities, statistics,
                         n=n, threshold=threshold, record_threshold=threshold,
+                        order=orders[row],
                     )
         return results
 

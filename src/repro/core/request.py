@@ -68,6 +68,7 @@ class FunctionRequest:
         self.type_id = type_id
         self.requester = requester
         self._attributes: Dict[int, RequestAttribute] = {}
+        self._signature: Optional[Tuple] = None
         for entry in attributes:
             self.add(entry)
         if normalize_weights and self._attributes:
@@ -97,6 +98,7 @@ class FunctionRequest:
                 f"attribute {attribute.attribute_id} appears twice in the request"
             )
         self._attributes[attribute.attribute_id] = attribute
+        self._signature = None
         return attribute
 
     def normalize_weights(self) -> None:
@@ -110,6 +112,7 @@ class FunctionRequest:
             )
             for attribute_id, attribute in self._attributes.items()
         }
+        self._signature = None
 
     # -- inspection --------------------------------------------------------------
 
@@ -150,14 +153,21 @@ class FunctionRequest:
         return sum(a.weight for a in self._attributes.values())
 
     def signature(self) -> Tuple:
-        """Hashable signature of the request (used as bypass-token cache key)."""
-        return (
-            self.type_id,
-            tuple(
-                (a.attribute_id, a.value, round(a.weight, 12))
-                for a in self.sorted_attributes()
-            ),
-        )
+        """Hashable signature of the request (used as bypass-token cache key).
+
+        Memoized: the signature is a hot cache key (bypass tokens, encoded
+        request images, batch grouping) and requests are only mutated through
+        :meth:`add` / :meth:`normalize_weights`, which invalidate the memo.
+        """
+        if self._signature is None:
+            self._signature = (
+                self.type_id,
+                tuple(
+                    (a.attribute_id, a.value, round(a.weight, 12))
+                    for a in self.sorted_attributes()
+                ),
+            )
+        return self._signature
 
     def relaxed(self, factors: Mapping[int, float]) -> "FunctionRequest":
         """Return a relaxed copy of this request.

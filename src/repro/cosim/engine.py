@@ -51,6 +51,28 @@ class CycleEngine:
         """Execute one software retrieval run per request."""
         raise NotImplementedError
 
+    def hardware_cycles(
+        self, unit: "HardwareRetrievalUnit", requests: Sequence[FunctionRequest]
+    ) -> List[int]:
+        """Exact hardware cycle count per request, without result assembly.
+
+        This is the prediction half of :meth:`hardware_batch`, used by QoS
+        layers (the serving admission controller) that need service times but
+        not rankings.  The default derives the counts from full runs -- the
+        golden semantics; engines may override with an equivalent fast path.
+        """
+        return [result.cycles for result in self.hardware_batch(unit, requests)]
+
+    def software_cycles(
+        self, unit: "SoftwareRetrievalUnit", requests: Sequence[FunctionRequest]
+    ) -> List[int]:
+        """Exact software cycle count per request, without result assembly.
+
+        The software-path counterpart of :meth:`hardware_cycles` (same QoS
+        use, same default-derivation / fast-path-override contract).
+        """
+        return [result.cycles for result in self.software_batch(unit, requests)]
+
 
 class StepwiseCycleEngine(CycleEngine):
     """The golden path: one full stepwise model walk per request."""

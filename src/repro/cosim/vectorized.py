@@ -83,6 +83,19 @@ class _Group:
     weights: np.ndarray  # (B, R) raw UQ0.16 weights
 
 
+@dataclass(frozen=True)
+class _HardwareGroupCosts:
+    """Request-value-independent hardware cost terms of one batch group."""
+
+    case_base_reads: int
+    request_reads: int
+    attribute_probes: int
+    supplemental_probes: int
+    missing_attributes: int
+    #: Total cycles excluding the per-request FINALIZE phase.
+    base_cycles: int
+
+
 @dataclass
 class _Structural:
     """Value-independent per-implementation quantities of one group."""
@@ -318,6 +331,9 @@ class VectorizedCycleEngine(CycleEngine):
                 columnar, columns, group.attribute_ids,
                 restart_search=config.restart_attribute_search,
             )
+            costs = self._hardware_group_costs(
+                config, columns, structural, len(group.attribute_ids)
+            )
             similarities, _, _, _ = _similarity_kernel(
                 structural, group.values, group.weights,
                 use_divider=config.use_divider,
@@ -343,27 +359,79 @@ class VectorizedCycleEngine(CycleEngine):
                 ranked_orders = None
             for row, index in enumerate(group.member_indices):
                 results[index] = self._assemble_hardware(
-                    unit, group, columns, structural, similarities[row],
+                    unit, group, columns, costs, similarities[row],
                     int(best_indices[row]), int(best_updates[row]),
                     int(finalize_cycles[row]),
                     None if ranked_orders is None else ranked_orders[row],
                 )
         return results
 
+    def hardware_cycles(
+        self, unit: HardwareRetrievalUnit, requests: Sequence[FunctionRequest]
+    ) -> List[int]:
+        """Exact per-request cycle counts without assembling result objects.
+
+        Same derivation as :meth:`hardware_batch` -- the shared
+        :meth:`_hardware_group_costs` terms plus the per-request FINALIZE
+        cycles -- but skipping ranking assembly and statistics objects.  For
+        the baseline ``n_best == 1`` unit every request of a signature group
+        costs exactly the same; only the n-best register file makes the count
+        value-dependent.  The cosim differential suite asserts equality with
+        the stepwise golden walk across all configuration axes.
+        """
+        config = unit.config
+        if config.trace:
+            raise HardwareModelError(
+                "FSM tracing requires the stepwise cycle engine (engine='stepwise')"
+            )
+        columnar = unit.columnar_image()
+        groups = _prepare_groups(
+            columnar, requests, unit.encoded_request_words, HardwareModelError
+        )
+        cycles: List[int] = [0] * len(requests)
+        for group in groups:
+            columns = columnar.types[group.type_id]
+            structural = _structural_counts(
+                columnar, columns, group.attribute_ids,
+                restart_search=config.restart_attribute_search,
+            )
+            costs = self._hardware_group_costs(
+                config, columns, structural, len(group.attribute_ids)
+            )
+            if config.n_best > 1:
+                similarities, _, _, _ = _similarity_kernel(
+                    structural, group.values, group.weights,
+                    use_divider=config.use_divider,
+                    fraction_fmt=unit.fraction_format,
+                    count_branches=False,
+                )
+                finalize_cycles = _nbest_finalize_cycles(similarities, config.n_best)
+            else:
+                finalize_cycles = np.full(
+                    len(group.member_indices), columns.implementation_count, np.int64
+                )
+            for row, index in enumerate(group.member_indices):
+                cycles[index] = costs.base_cycles + int(finalize_cycles[row])
+        return cycles
+
     @staticmethod
-    def _assemble_hardware(
-        unit: HardwareRetrievalUnit,
-        group: _Group,
+    def _hardware_group_costs(
+        config: HardwareConfig,
         columns: TypeColumns,
         structural: _Structural,
-        similarities: np.ndarray,
-        best_index: int,
-        best_updates: int,
-        finalize_cycles: int,
-        ranked_order: Optional[np.ndarray],
-    ) -> HardwareRetrievalResult:
-        config = unit.config
-        request_count = len(group.attribute_ids)
+        request_count: int,
+    ) -> "_HardwareGroupCosts":
+        """Value-independent cost terms shared by every request of one group.
+
+        Every term of the hardware cycle and memory-access accounting except
+        the FINALIZE phase (n-best register-file compares) and the
+        ``best_updates`` counter depends only on the group's structural
+        quantities -- all requests sharing a ``(type, attribute-set)``
+        signature therefore share these numbers.  Computing them once per
+        group is both the single source of truth for
+        :meth:`_assemble_hardware` and the whole trick behind the
+        cycles-only prediction fast path (:meth:`hardware_cycles`).
+        """
         implementation_count = columns.implementation_count
         position = columns.position
         matched_total = int(structural.matched.sum())
@@ -384,7 +452,7 @@ class VectorizedCycleEngine(CycleEngine):
             compute_cycles = compute_cycles - 1 + HardwareConfig.DIVIDER_CYCLES
         accumulate_cycles = 1 if config.pipelined_datapath else 2
 
-        statistics = HardwareStatistics(
+        return _HardwareGroupCosts(
             case_base_reads=(
                 (position + 2)
                 + (2 * implementation_count + 1)
@@ -393,26 +461,48 @@ class VectorizedCycleEngine(CycleEngine):
                 + search_value_loads
             ),
             request_reads=1 + implementation_count * request_block,
-            implementations_visited=implementation_count,
             attribute_probes=probe_total,
             supplemental_probes=walkers * supplemental_probes_per_walk,
             missing_attributes=missing_total,
+            base_cycles=(
+                1  # fetch request type
+                + (position + 2)  # level-0 search incl. pointer load
+                + (2 * implementation_count + 1)  # implementation ID/pointer loads + terminator
+                + implementation_count * request_block  # request attribute fetches
+                + walkers * supplemental_walk
+                + probe_total
+                + search_value_loads
+                + matched_total * compute_cycles
+                + missing_total  # one cycle per missing attribute (s_i = 0)
+                + matched_total * accumulate_cycles
+                + 1  # deliver result
+            ),
+        )
+
+    @staticmethod
+    def _assemble_hardware(
+        unit: HardwareRetrievalUnit,
+        group: _Group,
+        columns: TypeColumns,
+        costs: "_HardwareGroupCosts",
+        similarities: np.ndarray,
+        best_index: int,
+        best_updates: int,
+        finalize_cycles: int,
+        ranked_order: Optional[np.ndarray],
+    ) -> HardwareRetrievalResult:
+        config = unit.config
+        implementation_count = columns.implementation_count
+        statistics = HardwareStatistics(
+            case_base_reads=costs.case_base_reads,
+            request_reads=costs.request_reads,
+            implementations_visited=implementation_count,
+            attribute_probes=costs.attribute_probes,
+            supplemental_probes=costs.supplemental_probes,
+            missing_attributes=costs.missing_attributes,
             best_updates=best_updates,
         )
-        statistics.cycles = (
-            1  # fetch request type
-            + (position + 2)  # level-0 search incl. pointer load
-            + (2 * implementation_count + 1)  # implementation ID/pointer loads + terminator
-            + implementation_count * request_block  # request attribute fetches
-            + walkers * supplemental_walk
-            + probe_total
-            + search_value_loads
-            + matched_total * compute_cycles
-            + missing_total  # one cycle per missing attribute (s_i = 0)
-            + matched_total * accumulate_cycles
-            + finalize_cycles
-            + 1  # deliver result
-        )
+        statistics.cycles = costs.base_cycles + finalize_cycles
 
         if implementation_count:
             best_id = int(columns.impl_ids[best_index])
@@ -471,19 +561,68 @@ class VectorizedCycleEngine(CycleEngine):
                 )
         return results
 
+    def software_cycles(
+        self, unit: SoftwareRetrievalUnit, requests: Sequence[FunctionRequest]
+    ) -> List[int]:
+        """Exact per-request cycle counts without assembling result objects.
+
+        Mirrors :meth:`software_batch` up to the shared
+        :meth:`_software_instruction_counters` accounting, then totals the
+        counters against the unit's cost model directly -- no
+        result/statistics construction.  Unlike the hardware unit, the
+        soft-core's branch costs depend on the datapath outcomes (negative,
+        clamped, saturated local similarities), so the similarity kernel
+        still runs; only the assembly is skipped.  Differentially tested
+        against the stepwise golden walk.
+        """
+        columnar = unit.columnar_image()
+        groups = _prepare_groups(
+            columnar, requests, unit.encoded_request_words, SoftwareModelError
+        )
+        cycles: List[int] = [0] * len(requests)
+        cost_model = unit.cost_model
+        for group in groups:
+            columns = columnar.types[group.type_id]
+            structural = _structural_counts(
+                columnar, columns, group.attribute_ids, restart_search=False
+            )
+            similarities, negative, clamped, saturated = _similarity_kernel(
+                structural, group.values, group.weights,
+                use_divider=False,
+                fraction_fmt=unit.fraction_format,
+                count_branches=True,
+            )
+            if columns.implementation_count:
+                best_updates = prefix_maxima_count(similarities)
+            else:
+                best_updates = np.zeros(len(group.member_indices), np.int64)
+            for row, index in enumerate(group.member_indices):
+                counters, _, _ = self._software_instruction_counters(
+                    unit, group, columns, structural,
+                    int(negative[row]), int(clamped[row]), int(saturated[row]),
+                    int(best_updates[row]),
+                )
+                cycles[index] = counters.total_cycles(cost_model)
+        return cycles
+
     @staticmethod
-    def _assemble_software(
+    def _software_instruction_counters(
         unit: SoftwareRetrievalUnit,
         group: _Group,
         columns: TypeColumns,
         structural: _Structural,
-        similarities: np.ndarray,
         negative: int,
         clamped: int,
         saturated: int,
-        best_index: int,
         improved: int,
-    ) -> SoftwareRetrievalResult:
+    ) -> tuple:
+        """Emitted-instruction counters of one run: ``(counters, memory_reads,
+        helper_calls)``.
+
+        Shared by :meth:`_assemble_software` and the cycles-only
+        :meth:`software_cycles` path -- the single source of truth for the
+        soft-core instruction accounting.
+        """
         inline = unit.inline_helpers
         request_count = len(group.attribute_ids)
         implementation_count = columns.implementation_count
@@ -560,6 +699,29 @@ class VectorizedCycleEngine(CycleEngine):
         counters = InstructionCounters(
             counts={kind: count for kind, count in counts.items() if count > 0}
         )
+        return counters, memory_reads, helper_calls
+
+    @staticmethod
+    def _assemble_software(
+        unit: SoftwareRetrievalUnit,
+        group: _Group,
+        columns: TypeColumns,
+        structural: _Structural,
+        similarities: np.ndarray,
+        negative: int,
+        clamped: int,
+        saturated: int,
+        best_index: int,
+        improved: int,
+    ) -> SoftwareRetrievalResult:
+        counters, memory_reads, helper_calls = (
+            VectorizedCycleEngine._software_instruction_counters(
+                unit, group, columns, structural, negative, clamped, saturated, improved
+            )
+        )
+        implementation_count = columns.implementation_count
+        missing_total = int(structural.missing.sum())
+        inline = unit.inline_helpers
 
         if implementation_count:
             best_id = int(columns.impl_ids[best_index])

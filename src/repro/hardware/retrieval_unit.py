@@ -326,6 +326,26 @@ class HardwareRetrievalUnit:
         selected = resolve_cycle_engine(engine, prefer_vectorized=not self.config.trace)
         return selected.hardware_batch(self, list(requests))
 
+    def predict_cycles(
+        self,
+        requests: Sequence[FunctionRequest],
+        *,
+        engine: Union[str, "CycleEngine", None] = "auto",
+    ) -> List[int]:
+        """Exact retrieval cycle count per request, without full results.
+
+        The QoS-prediction companion of :meth:`run_batch`: admission-control
+        layers need service times (``cycles / clock``) but no rankings, and
+        the vectorized engine derives the counts from the group-constant cost
+        terms alone -- considerably cheaper than assembling result objects.
+        The counts are guaranteed identical to ``[r.cycles for r in
+        run_batch(requests)]`` on every engine (differentially tested).
+        """
+        from ..cosim.engine import resolve_cycle_engine
+
+        selected = resolve_cycle_engine(engine, prefer_vectorized=not self.config.trace)
+        return selected.hardware_cycles(self, list(requests))
+
     def run_on_ram(self, request_ram: RamBlock) -> HardwareRetrievalResult:
         """Execute one retrieval run on an already encoded request memory."""
         config = self.config

@@ -1,0 +1,63 @@
+"""QoS-aware micro-batched request serving (the ROADMAP's heavy-traffic layer).
+
+The subsystem turns a timestamped stream of function requests into batched
+work for the vectorized retrieval backend (PR 1) and the cycle-accurate
+engines (PR 2):
+
+* :mod:`repro.serving.loadgen` -- trace-replay load generation from the
+  example application workloads, synthetic Poisson mixes and request files;
+* :mod:`repro.serving.scheduler` -- the ``max_batch``/``max_wait_us``
+  micro-batching policy;
+* :mod:`repro.serving.shards` -- sharded case-base workers whose per-shard
+  rankings merge bit-identically with unsharded retrieval;
+* :mod:`repro.serving.admission` -- deadline-budget admission control driven
+  by exact cycle counts (admit / degrade-to-software / reject) plus
+  allocation-layer feasibility screening;
+* :mod:`repro.serving.metrics` -- throughput, latency percentiles,
+  batch-shape histograms and rejection rates;
+* :mod:`repro.serving.engine` -- :class:`ServingEngine`, the facade gluing
+  the pipeline together.
+"""
+
+from .admission import AdmissionController, AdmissionDecision, AdmissionVerdict
+from .engine import (
+    ServedRequest,
+    ServingConfig,
+    ServingEngine,
+    ServingReport,
+    ServingStatus,
+)
+from .loadgen import (
+    TimedRequest,
+    WORKLOAD_FACTORIES,
+    resolve_workloads,
+    synthetic_trace,
+    trace_from_requests,
+    trace_from_workloads,
+)
+from .metrics import MetricsCollector, percentile
+from .scheduler import MicroBatchScheduler, ScheduledBatch
+from .shards import ShardedRetriever, build_shards
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionVerdict",
+    "MetricsCollector",
+    "MicroBatchScheduler",
+    "ScheduledBatch",
+    "ServedRequest",
+    "ServingConfig",
+    "ServingEngine",
+    "ServingReport",
+    "ServingStatus",
+    "ShardedRetriever",
+    "TimedRequest",
+    "WORKLOAD_FACTORIES",
+    "build_shards",
+    "percentile",
+    "resolve_workloads",
+    "synthetic_trace",
+    "trace_from_requests",
+    "trace_from_workloads",
+]

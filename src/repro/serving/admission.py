@@ -1,0 +1,297 @@
+"""Deadline-budget admission control backed by exact cycle counts.
+
+The paper's retrieval unit exists to answer requests under real-time
+constraints, and PR 2's vectorized cycle engines deliver *exact* per-request
+cycle counts cheaply.  The admission controller combines the two into a QoS
+gate evaluated at batch-dispatch time:
+
+* the platform is modelled as two serial servers -- the hardware retrieval
+  unit and the software (soft-core) retrieval path -- whose per-request
+  service times come straight from the cycle-accurate models
+  (``cycles / clock_mhz``, no estimation involved);
+* requests are assigned greedily in arrival order: a request is **admitted**
+  to the hardware unit if queue wait + hardware occupancy + its own hardware
+  service time meets its deadline; otherwise it **degrades to software** if
+  the (slower, but independently queued) software path still meets the
+  deadline; otherwise it is **rejected**;
+* a deadline of 0 therefore rejects everything (any wait and any service
+  time exceed it), and no deadline admits everything to hardware.
+
+Post-retrieval, the controller can additionally screen the merged candidate
+ranking against the allocation layer's
+:class:`~repro.allocation.feasibility.FeasibilityChecker`, reusing the exact
+feasibility verdicts the allocation manager bases its decisions on -- a
+request whose candidates are all infeasible on the current platform load is
+reported as infeasible instead of being handed a dead ranking.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..allocation.feasibility import FeasibilityChecker
+from ..core.case_base import CaseBase
+from ..core.exceptions import ReproError
+from ..core.retrieval import RetrievalResult
+from ..hardware.retrieval_unit import HardwareConfig, HardwareRetrievalUnit
+from ..software.isa import CostModel, microblaze_cost_model
+from ..software.retrieval_sw import SoftwareRetrievalUnit
+from .loadgen import TimedRequest
+
+
+class AdmissionVerdict(enum.Enum):
+    """Outcome of the deadline check for one request."""
+
+    ADMIT_HARDWARE = "admit_hardware"
+    DEGRADE_SOFTWARE = "degrade_software"
+    REJECT_DEADLINE = "reject_deadline"
+
+    @property
+    def admitted(self) -> bool:
+        """Whether the request proceeds to retrieval dispatch."""
+        return self is not AdmissionVerdict.REJECT_DEADLINE
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Deadline assessment of one request at batch-dispatch time."""
+
+    verdict: AdmissionVerdict
+    #: Queueing delay from arrival to batch dispatch.
+    wait_us: float
+    #: Occupancy of the assigned server when this request reached it (0 for
+    #: rejected requests).
+    queue_us: float
+    #: Modelled service time on the assigned server (hardware time for
+    #: rejected requests, for diagnostics).
+    service_us: float
+    #: Exact modelled retrieval cycles on the assigned server.
+    cycles: int
+    #: The deadline budget applied (``None`` = unconstrained).
+    deadline_us: Optional[float]
+    reason: str = ""
+
+    @property
+    def latency_us(self) -> float:
+        """Modelled arrival-to-completion latency (wait + queue + service)."""
+        return self.wait_us + self.queue_us + self.service_us
+
+
+class AdmissionController:
+    """Batch-time deadline gate over the cycle-accurate service-time models.
+
+    Parameters
+    ----------
+    case_base:
+        The case base served (shared with the retrieval shards).
+    clock_mhz:
+        Clock of both modelled servers (the paper compares at equal clock).
+    hardware_config:
+        Optional explicit hardware-unit configuration; defaults to the
+        baseline unit at ``clock_mhz``.  When given, its ``clock_mhz`` takes
+        precedence and the default software cost model follows it, keeping
+        the two servers at equal clock.
+    cycle_engine:
+        Cycle-engine selection for the service-time predictions
+        (``"auto"``/``"vectorized"``/``"stepwise"``) -- the vectorized engine
+        makes per-batch prediction cheap.
+    degrade_to_software:
+        Whether deadline misses on the hardware queue may fall back to the
+        software path instead of being rejected outright.
+    software_cost_model:
+        Cost model of the software path (defaults to the MicroBlaze model at
+        ``clock_mhz``).
+    feasibility:
+        Optional allocation-layer feasibility checker for post-retrieval
+        candidate screening (see :meth:`feasibility_failure`).
+    """
+
+    def __init__(
+        self,
+        case_base: CaseBase,
+        *,
+        clock_mhz: float = 66.0,
+        hardware_config: Optional[HardwareConfig] = None,
+        cycle_engine: str = "auto",
+        degrade_to_software: bool = True,
+        software_cost_model: Optional[CostModel] = None,
+        feasibility: Optional[FeasibilityChecker] = None,
+    ) -> None:
+        if clock_mhz <= 0:
+            raise ReproError(f"clock_mhz must be positive, got {clock_mhz}")
+        if cycle_engine not in ("auto", "stepwise", "vectorized"):
+            raise ReproError(
+                f"unknown cycle engine {cycle_engine!r}; "
+                f"expected 'auto', 'stepwise' or 'vectorized'"
+            )
+        self.case_base = case_base
+        self.cycle_engine = cycle_engine
+        self.degrade_to_software = degrade_to_software
+        self.feasibility = feasibility
+        config = (
+            hardware_config
+            if hardware_config is not None
+            else HardwareConfig(clock_mhz=clock_mhz)
+        )
+        # Both servers run at the hardware unit's effective clock (an explicit
+        # hardware_config wins over clock_mhz), so the admit/degrade trade-off
+        # stays the paper's equal-clock comparison.  An explicit
+        # software_cost_model overrides, clock included.
+        self.clock_mhz = config.clock_mhz
+        self.hardware_unit = HardwareRetrievalUnit(case_base, config=config)
+        self._software_cost_model = (
+            software_cost_model
+            if software_cost_model is not None
+            else microblaze_cost_model(config.clock_mhz)
+        )
+        self._software_unit: Optional[SoftwareRetrievalUnit] = None
+
+    # -- the modelled servers ------------------------------------------------------
+
+    def _software(self) -> SoftwareRetrievalUnit:
+        """The lazily built software-path model (only needed on hw misses)."""
+        if self._software_unit is None:
+            self._software_unit = SoftwareRetrievalUnit(
+                self.case_base, cost_model=self._software_cost_model
+            )
+        return self._software_unit
+
+    def hardware_times_us(self, requests: Sequence) -> List[tuple]:
+        """Exact ``(cycles, service_us)`` per request on the hardware unit.
+
+        Uses the cycle engines' prediction fast path
+        (:meth:`HardwareRetrievalUnit.predict_cycles
+        <repro.hardware.retrieval_unit.HardwareRetrievalUnit.predict_cycles>`):
+        admission needs service times, not rankings, and the vectorized
+        engine derives the counts without assembling result objects.
+        """
+        clock_mhz = self.hardware_unit.config.clock_mhz
+        return [
+            (cycles, cycles / clock_mhz)
+            for cycles in self.hardware_unit.predict_cycles(
+                list(requests), engine=self.cycle_engine
+            )
+        ]
+
+    def software_times_us(self, requests: Sequence) -> List[tuple]:
+        """Exact ``(cycles, service_us)`` per request on the software path.
+
+        Cycles-only prediction, like the hardware side: the rankings served
+        to clients come from the retrieval shards, so admission skips the
+        software model's result assembly too.
+        """
+        unit = self._software()
+        clock_mhz = unit.cost_model.clock_mhz
+        return [
+            (cycles, cycles / clock_mhz)
+            for cycles in unit.predict_cycles(list(requests), engine=self.cycle_engine)
+        ]
+
+    # -- the deadline gate ---------------------------------------------------------
+
+    def assess_batch(
+        self,
+        entries: Sequence[TimedRequest],
+        close_us: float,
+        *,
+        default_deadline_us: Optional[float] = None,
+        hardware_backlog_us: float = 0.0,
+        software_backlog_us: float = 0.0,
+    ) -> List[AdmissionDecision]:
+        """Deadline-check one dispatch batch; decision ``i`` covers entry ``i``.
+
+        ``close_us`` is the batch's dispatch time (requests have waited
+        ``close_us - arrival_us``); each entry's own ``deadline_us`` takes
+        precedence over ``default_deadline_us``.  ``hardware_backlog_us`` /
+        ``software_backlog_us`` seed the server occupancies with work still
+        queued from *earlier* batches (the serving engine tracks each
+        server's free-at time across the replay, so saturation spanning
+        batches is visible to the gate and the modelled latencies stay
+        physical -- one request at a time per server).
+        """
+        entries = list(entries)
+        if not entries:
+            return []
+        hardware = self.hardware_times_us([entry.request for entry in entries])
+        deadlines = [
+            entry.deadline_us if entry.deadline_us is not None else default_deadline_us
+            for entry in entries
+        ]
+        #: Computed lazily on the first hardware-deadline miss: the common
+        #: all-admitted batch never pays for the software model at all, while
+        #: a miss still amortises one vectorized sweep over the whole batch.
+        software: Optional[List[tuple]] = None
+        decisions: List[AdmissionDecision] = []
+        hardware_busy_us = hardware_backlog_us
+        software_busy_us = software_backlog_us
+        for index, entry in enumerate(entries):
+            wait_us = max(0.0, close_us - entry.arrival_us)
+            deadline = deadlines[index]
+            hw_cycles, hw_service_us = hardware[index]
+            if deadline is None or wait_us + hardware_busy_us + hw_service_us <= deadline:
+                decisions.append(AdmissionDecision(
+                    verdict=AdmissionVerdict.ADMIT_HARDWARE,
+                    wait_us=wait_us,
+                    queue_us=hardware_busy_us,
+                    service_us=hw_service_us,
+                    cycles=hw_cycles,
+                    deadline_us=deadline,
+                ))
+                hardware_busy_us += hw_service_us
+                continue
+            if self.degrade_to_software and software is None:
+                software = self.software_times_us(
+                    [entry.request for entry in entries]
+                )
+            if software is not None:
+                sw_cycles, sw_service_us = software[index]
+                if wait_us + software_busy_us + sw_service_us <= deadline:
+                    decisions.append(AdmissionDecision(
+                        verdict=AdmissionVerdict.DEGRADE_SOFTWARE,
+                        wait_us=wait_us,
+                        queue_us=software_busy_us,
+                        service_us=sw_service_us,
+                        cycles=sw_cycles,
+                        deadline_us=deadline,
+                        reason="hardware queue misses the deadline; software path fits",
+                    ))
+                    software_busy_us += sw_service_us
+                    continue
+            decisions.append(AdmissionDecision(
+                verdict=AdmissionVerdict.REJECT_DEADLINE,
+                wait_us=wait_us,
+                queue_us=hardware_busy_us,
+                service_us=hw_service_us,
+                cycles=hw_cycles,
+                deadline_us=deadline,
+                reason=(
+                    f"deadline budget of {deadline:.1f} us cannot be met "
+                    f"(waited {wait_us:.1f} us)"
+                ),
+            ))
+        return decisions
+
+    # -- post-retrieval feasibility screening ----------------------------------------
+
+    def feasibility_failure(self, result: RetrievalResult) -> Optional[str]:
+        """Reason the merged ranking is unservable on the platform, or ``None``.
+
+        Reuses the allocation layer's exact feasibility verdicts: the
+        candidates are ranked through
+        :meth:`FeasibilityChecker.rank
+        <repro.allocation.feasibility.FeasibilityChecker.rank>`; if *no*
+        candidate can be placed (even with preemption), the first verdict's
+        reason is reported.  Without a configured checker (or with an empty
+        ranking) no screening happens.
+        """
+        if self.feasibility is None or not result.ranked:
+            return None
+        reports = self.feasibility.rank(
+            [entry.implementation for entry in result.ranked]
+        )
+        if any(report.is_feasible for report in reports):
+            return None
+        first = reports[0]
+        return first.reason or first.verdict.value

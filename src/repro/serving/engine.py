@@ -1,0 +1,424 @@
+"""The serving engine: QoS-aware micro-batched request serving, end to end.
+
+:class:`ServingEngine` wires the serving subsystem together into the
+component the ROADMAP's "heavy traffic" north star asks for -- the layer that
+turns a live *stream* of function requests into batched work for the fast
+primitives built in earlier PRs:
+
+    trace -> MicroBatchScheduler -> AdmissionController -> ShardedRetriever
+          -> (PR 1 vectorized backend, PR 2 cycle engines) -> MetricsCollector
+
+Replays run on virtual (trace) time and are fully deterministic; the
+wall-clock cost of the dispatch loop is measured separately and reported as
+host throughput.  Per-request outcomes keep the full merged ranking, the
+admission decision's modelled latency decomposition (queue wait, server
+occupancy, exact cycle-derived service time) and a reason string for every
+rejection, so a replay doubles as a QoS audit trail.
+
+A structurally unservable request (unknown type, no constraints, bounds-table
+gap) is reported as ``FAILED`` instead of aborting the replay -- a server
+must survive malformed traffic.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..allocation.feasibility import FeasibilityChecker
+from ..core.case_base import CaseBase
+from ..core.exceptions import ReproError
+from ..core.request import FunctionRequest
+from ..core.retrieval import RetrievalResult
+from ..hardware.retrieval_unit import HardwareConfig
+from .admission import AdmissionController, AdmissionDecision, AdmissionVerdict
+from .loadgen import TimedRequest, trace_from_requests
+from .metrics import MetricsCollector
+from .scheduler import MicroBatchScheduler
+from .shards import ShardedRetriever
+
+
+class ServingStatus(enum.Enum):
+    """Final outcome of one request in a serving replay."""
+
+    SERVED_HARDWARE = "served_hardware"
+    SERVED_SOFTWARE = "served_software"
+    REJECTED_DEADLINE = "rejected_deadline"
+    REJECTED_INFEASIBLE = "rejected_infeasible"
+    FAILED = "failed"
+
+    @property
+    def served(self) -> bool:
+        """Whether the request received a usable ranking."""
+        return self in (ServingStatus.SERVED_HARDWARE, ServingStatus.SERVED_SOFTWARE)
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Tunables of one serving engine instance."""
+
+    #: Micro-batching policy (see :class:`~repro.serving.scheduler.MicroBatchScheduler`).
+    max_batch: int = 32
+    max_wait_us: float = 500.0
+    #: Case-base partitioning (see :class:`~repro.serving.shards.ShardedRetriever`).
+    shard_count: int = 1
+    backend: str = "vectorized"
+    #: Admission / service-time modelling (see
+    #: :class:`~repro.serving.admission.AdmissionController`).
+    cycle_engine: str = "auto"
+    clock_mhz: float = 66.0
+    deadline_us: Optional[float] = None
+    degrade_to_software: bool = True
+    hardware_config: Optional[HardwareConfig] = None
+    #: Retrieval mode applied per request.
+    n_best: int = 3
+    threshold: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.n_best < 1:
+            raise ReproError(f"n_best must be at least 1, got {self.n_best}")
+        if self.deadline_us is not None and self.deadline_us < 0:
+            raise ReproError(f"deadline_us must be non-negative, got {self.deadline_us}")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable snapshot (for report files).
+
+        ``asdict`` recurses into the nested ``hardware_config`` dataclass.
+        """
+        return asdict(self)
+
+
+@dataclass
+class ServedRequest:
+    """Outcome record of one trace entry."""
+
+    index: int
+    arrival_us: float
+    batch_index: int
+    status: ServingStatus
+    wait_us: float = 0.0
+    queue_us: float = 0.0
+    service_us: float = 0.0
+    #: Modelled arrival-to-completion latency; ``None`` when not served.
+    latency_us: Optional[float] = None
+    #: Exact modelled retrieval cycles on the serving path.
+    cycles: int = 0
+    result: Optional[RetrievalResult] = None
+    reason: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable outcome (ranking flattened to IDs/similarities)."""
+        data: Dict[str, object] = {
+            "index": self.index,
+            "arrival_us": self.arrival_us,
+            "batch": self.batch_index,
+            "status": self.status.value,
+            "wait_us": self.wait_us,
+            "queue_us": self.queue_us,
+            "service_us": self.service_us,
+            "latency_us": self.latency_us,
+            "cycles": self.cycles,
+        }
+        if self.result is not None:
+            data["ranking"] = [
+                {"implementation_id": entry.implementation_id,
+                 "similarity": entry.similarity}
+                for entry in self.result.ranked
+            ]
+        if self.reason:
+            data["reason"] = self.reason
+        return data
+
+
+@dataclass
+class ServingReport:
+    """Everything one trace replay produced."""
+
+    config: ServingConfig
+    served: List[ServedRequest] = field(default_factory=list)
+    metrics: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def wall_seconds(self) -> float:
+        """Wall-clock duration of the dispatch loop on the replay host."""
+        return float(self.metrics.get("wall_seconds", 0.0))
+
+    def rankings(self) -> List[Optional[List[Tuple[int, float]]]]:
+        """Per-request ``(implementation_id, similarity)`` rankings, trace order.
+
+        ``None`` marks requests that were not served; this is the
+        bit-identity surface the sharded/unsharded compare mode checks.
+        """
+        return [
+            [
+                (entry.implementation_id, entry.similarity)
+                for entry in record.result.ranked
+            ]
+            if record.result is not None
+            else None
+            for record in self.served
+        ]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable report (CLI ``--json`` output shape)."""
+        return {
+            "config": self.config.to_dict(),
+            "metrics": self.metrics,
+            "requests": [record.to_dict() for record in self.served],
+        }
+
+
+class ServingEngine:
+    """QoS-aware micro-batching front-end over one case base.
+
+    Parameters
+    ----------
+    case_base:
+        The case base served.
+    config:
+        Serving tunables (defaults to :class:`ServingConfig`'s defaults).
+    feasibility:
+        Optional allocation-layer feasibility checker; when given, requests
+        whose entire merged ranking is unplaceable on the platform are
+        reported ``REJECTED_INFEASIBLE`` (reusing the allocation manager's
+        verdict machinery).
+    """
+
+    def __init__(
+        self,
+        case_base: CaseBase,
+        *,
+        config: Optional[ServingConfig] = None,
+        feasibility: Optional[FeasibilityChecker] = None,
+    ) -> None:
+        self.case_base = case_base
+        self.config = config if config is not None else ServingConfig()
+        self.scheduler = MicroBatchScheduler(
+            max_batch=self.config.max_batch, max_wait_us=self.config.max_wait_us
+        )
+        self.retriever = ShardedRetriever(
+            case_base,
+            shard_count=self.config.shard_count,
+            backend=self.config.backend,
+        )
+        # The modelled unit must be the one that would deliver the configured
+        # ranking depth, or the "exact" service times describe a different
+        # design point; widen n_best like the allocation manager does.
+        hardware_config = self.config.hardware_config
+        if hardware_config is None:
+            hardware_config = HardwareConfig(
+                clock_mhz=self.config.clock_mhz, n_best=self.config.n_best
+            )
+        elif hardware_config.n_best < self.config.n_best:
+            hardware_config = replace(hardware_config, n_best=self.config.n_best)
+        self.admission = AdmissionController(
+            case_base,
+            clock_mhz=self.config.clock_mhz,
+            hardware_config=hardware_config,
+            cycle_engine=self.config.cycle_engine,
+            degrade_to_software=self.config.degrade_to_software,
+            feasibility=feasibility,
+        )
+        #: Revision-keyed screening caches (hot path: one check per request).
+        self._screen_revision = -1
+        self._servable_types: Dict[int, Optional[str]] = {}
+        self._bounded_attribute_ids: frozenset = frozenset()
+
+    # -- request screening ---------------------------------------------------------
+
+    def _screen_caches(self) -> Tuple[Dict[int, Optional[str]], frozenset]:
+        """Per-revision lookup tables behind :meth:`_screen`."""
+        if self._screen_revision != self.case_base.revision:
+            self._servable_types = {
+                function_type.type_id: (
+                    None
+                    if len(function_type) > 0
+                    else f"function type {function_type.type_id} has no "
+                         f"implementation variants"
+                )
+                for function_type in self.case_base.sorted_types()
+            }
+            self._bounded_attribute_ids = frozenset(
+                bound.attribute_id for bound in self.case_base.bounds
+            )
+            self._screen_revision = self.case_base.revision
+        return self._servable_types, self._bounded_attribute_ids
+
+    def _screen(self, request: FunctionRequest) -> Optional[str]:
+        """Why a request cannot be dispatched at all, or ``None`` if it can."""
+        servable_types, bounded = self._screen_caches()
+        if request.type_id not in servable_types:
+            return f"function type {request.type_id} is not in the case base"
+        type_failure = servable_types[request.type_id]
+        if type_failure is not None:
+            return type_failure
+        if len(request) == 0:
+            return "request has no constraining attributes"
+        if request.total_weight() <= 0:
+            return "request weights sum to zero"
+        for attribute_id in request.attribute_ids():
+            if attribute_id not in bounded:
+                return f"attribute {attribute_id} is not in the bounds table"
+        try:
+            # The memory-map encoder is the authoritative validator for value
+            # and weight encodability (non-integer values, 16-bit overflow);
+            # its request cache is keyed by signature, so admission reuses
+            # this encoding instead of paying twice.
+            self.admission.hardware_unit.encoded_request_words(request)
+        except ReproError as error:
+            return str(error)
+        return None
+
+    # -- replay --------------------------------------------------------------------
+
+    def serve(self, trace: Sequence[TimedRequest]) -> ServingReport:
+        """Replay one trace through the full serving pipeline."""
+        trace = list(trace)
+        records: List[Optional[ServedRequest]] = [None] * len(trace)
+        metrics = MetricsCollector()
+        #: Virtual times each modelled server finishes its queued work; the
+        #: admission gate sees backlog carried across batches, so sustained
+        #: overload rejects even in the one-at-a-time regime.
+        hardware_free_at_us = 0.0
+        software_free_at_us = 0.0
+        start = time.perf_counter()
+        for batch in self.scheduler.batches(trace):
+            metrics.observe_batch(len(batch))
+            dispatchable: List[Tuple[int, TimedRequest]] = []
+            for trace_index, entry in batch.entries:
+                failure = self._screen(entry.request)
+                if failure is not None:
+                    records[trace_index] = ServedRequest(
+                        index=trace_index,
+                        arrival_us=entry.arrival_us,
+                        batch_index=batch.index,
+                        status=ServingStatus.FAILED,
+                        wait_us=max(0.0, batch.close_us - entry.arrival_us),
+                        reason=failure,
+                    )
+                else:
+                    dispatchable.append((trace_index, entry))
+            if not dispatchable:
+                continue
+            hardware_backlog_us = max(0.0, hardware_free_at_us - batch.close_us)
+            software_backlog_us = max(0.0, software_free_at_us - batch.close_us)
+            decisions = self.admission.assess_batch(
+                [entry for _, entry in dispatchable],
+                batch.close_us,
+                default_deadline_us=self.config.deadline_us,
+                hardware_backlog_us=hardware_backlog_us,
+                software_backlog_us=software_backlog_us,
+            )
+            # Each admitted decision's queue_us + service_us is that server's
+            # occupancy end after serving it, so the maximum (or the carried
+            # backlog, if nothing was assigned) is the new free-at offset.
+            hardware_free_at_us = batch.close_us + max(
+                [hardware_backlog_us]
+                + [
+                    decision.queue_us + decision.service_us
+                    for decision in decisions
+                    if decision.verdict is AdmissionVerdict.ADMIT_HARDWARE
+                ]
+            )
+            software_free_at_us = batch.close_us + max(
+                [software_backlog_us]
+                + [
+                    decision.queue_us + decision.service_us
+                    for decision in decisions
+                    if decision.verdict is AdmissionVerdict.DEGRADE_SOFTWARE
+                ]
+            )
+            admitted: List[Tuple[int, TimedRequest, AdmissionDecision]] = []
+            for (trace_index, entry), decision in zip(dispatchable, decisions):
+                if decision.verdict.admitted:
+                    admitted.append((trace_index, entry, decision))
+                else:
+                    records[trace_index] = ServedRequest(
+                        index=trace_index,
+                        arrival_us=entry.arrival_us,
+                        batch_index=batch.index,
+                        status=ServingStatus.REJECTED_DEADLINE,
+                        wait_us=decision.wait_us,
+                        queue_us=decision.queue_us,
+                        service_us=decision.service_us,
+                        cycles=decision.cycles,
+                        reason=decision.reason,
+                    )
+            if not admitted:
+                continue
+            results = self.retriever.retrieve_batch(
+                [entry.request for _, entry, _ in admitted],
+                n=self.config.n_best,
+                threshold=self.config.threshold,
+            )
+            for (trace_index, entry, decision), result in zip(admitted, results):
+                infeasible = self.admission.feasibility_failure(result)
+                if infeasible is not None:
+                    status = ServingStatus.REJECTED_INFEASIBLE
+                    latency_us: Optional[float] = None
+                    reason = infeasible
+                elif decision.verdict is AdmissionVerdict.DEGRADE_SOFTWARE:
+                    status = ServingStatus.SERVED_SOFTWARE
+                    latency_us = decision.latency_us
+                    reason = decision.reason
+                else:
+                    status = ServingStatus.SERVED_HARDWARE
+                    latency_us = decision.latency_us
+                    reason = decision.reason
+                records[trace_index] = ServedRequest(
+                    index=trace_index,
+                    arrival_us=entry.arrival_us,
+                    batch_index=batch.index,
+                    status=status,
+                    wait_us=decision.wait_us,
+                    queue_us=decision.queue_us,
+                    service_us=decision.service_us,
+                    latency_us=latency_us,
+                    cycles=decision.cycles,
+                    result=result,
+                    reason=reason,
+                )
+        metrics.wall_seconds = time.perf_counter() - start
+        served_records = [record for record in records if record is not None]
+        for record in served_records:
+            metrics.observe_request(
+                record.status.value,
+                latency_us=record.latency_us,
+                hardware_cycles=(
+                    record.cycles
+                    if record.status is ServingStatus.SERVED_HARDWARE
+                    else 0
+                ),
+                software_cycles=(
+                    record.cycles
+                    if record.status is ServingStatus.SERVED_SOFTWARE
+                    else 0
+                ),
+            )
+        return ServingReport(
+            config=self.config, served=served_records, metrics=metrics.report()
+        )
+
+    def serve_requests(
+        self,
+        requests: Sequence[FunctionRequest],
+        *,
+        interarrival_us: float = 0.0,
+        deadline_us: Optional[float] = None,
+    ) -> ServingReport:
+        """Convenience wrapper: stamp a request list and replay it."""
+        return self.serve(
+            trace_from_requests(
+                requests, interarrival_us=interarrival_us, deadline_us=deadline_us
+            )
+        )
+
+    def with_config(self, **overrides: object) -> "ServingEngine":
+        """A new engine over the same case base with some tunables replaced."""
+        return ServingEngine(
+            self.case_base,
+            config=replace(self.config, **overrides),
+            feasibility=self.admission.feasibility,
+        )

@@ -1,0 +1,168 @@
+"""Trace-replay load generation for the serving layer.
+
+A *trace* is a time-ordered list of :class:`TimedRequest` records -- a
+:class:`~repro.core.request.FunctionRequest` stamped with its arrival time
+(and an optional per-request deadline).  Traces come from three sources:
+
+* :func:`trace_from_workloads` -- replay the example applications' timed
+  request schedules (:meth:`repro.apps.ApplicationWorkload.requests`),
+  including the synthetic :class:`~repro.apps.HeavyTrafficWorkload` mix;
+* :func:`synthetic_trace` -- Poisson arrivals of case-base-matched random
+  requests over an arbitrary case base (reuses the shared
+  :func:`repro.tools.random_requests` generator);
+* :func:`trace_from_requests` -- stamp an existing request list (e.g. one
+  loaded with :func:`repro.tools.load_requests_json`) at a fixed rate.
+
+All generators are deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+from ..apps.automotive_ecu import AutomotiveEcuWorkload
+from ..apps.cruise_control import CruiseControlWorkload
+from ..apps.heavy_traffic import HeavyTrafficWorkload
+from ..apps.mp3_player import Mp3PlayerWorkload
+from ..apps.schema import platform_schema
+from ..apps.video import VideoPlayerWorkload
+from ..apps.workloads import ApplicationWorkload
+from ..core.attributes import AttributeSchema
+from ..core.case_base import CaseBase
+from ..core.exceptions import ReproError
+from ..core.request import FunctionRequest, RequestBuilder
+from ..tools.requests_io import random_requests
+
+#: Named workload factories resolvable by :func:`trace_from_workloads` (and
+#: the ``serve-trace`` CLI subcommand's ``--workload`` flag).
+WORKLOAD_FACTORIES = {
+    Mp3PlayerWorkload.name: Mp3PlayerWorkload,
+    VideoPlayerWorkload.name: VideoPlayerWorkload,
+    AutomotiveEcuWorkload.name: AutomotiveEcuWorkload,
+    CruiseControlWorkload.name: CruiseControlWorkload,
+    HeavyTrafficWorkload.name: HeavyTrafficWorkload,
+}
+
+
+@dataclass(frozen=True)
+class TimedRequest:
+    """One timestamped entry of a serving trace."""
+
+    arrival_us: float
+    request: FunctionRequest
+    #: Optional per-request completion deadline (arrival to completion), in
+    #: microseconds.  ``None`` defers to the serving configuration's global
+    #: deadline (which may itself be ``None`` = no deadline enforcement).
+    deadline_us: Optional[float] = None
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.arrival_us < 0:
+            raise ReproError(f"arrival time must be non-negative, got {self.arrival_us}")
+        if self.deadline_us is not None and self.deadline_us < 0:
+            raise ReproError(f"deadline must be non-negative, got {self.deadline_us}")
+
+
+def resolve_workloads(
+    workloads: Optional[Sequence[Union[str, ApplicationWorkload]]],
+) -> List[ApplicationWorkload]:
+    """Turn workload names (or instances) into instances; ``None`` = all four apps."""
+    if workloads is None:
+        return [factory() for name, factory in WORKLOAD_FACTORIES.items()
+                if name != HeavyTrafficWorkload.name]
+    resolved: List[ApplicationWorkload] = []
+    for entry in workloads:
+        if isinstance(entry, ApplicationWorkload):
+            resolved.append(entry)
+            continue
+        try:
+            factory = WORKLOAD_FACTORIES[entry]
+        except KeyError as exc:
+            raise ReproError(
+                f"unknown workload {entry!r}; known: {sorted(WORKLOAD_FACTORIES)}"
+            ) from exc
+        resolved.append(factory())
+    return resolved
+
+
+def trace_from_workloads(
+    workloads: Optional[Sequence[Union[str, ApplicationWorkload]]] = None,
+    *,
+    duration_us: float = 1_000_000.0,
+    seed: int = 2004,
+    schema: Optional[AttributeSchema] = None,
+    deadline_us: Optional[float] = None,
+) -> List[TimedRequest]:
+    """Convert application request schedules into one merged serving trace.
+
+    Constraint names are resolved through ``schema`` (defaults to the
+    platform schema all example applications share); weights follow the
+    workload's per-request weight maps.  The merged trace is sorted by
+    arrival time with ties kept in workload order.
+    """
+    schema = schema if schema is not None else platform_schema()
+    rng = random.Random(seed)
+    trace: List[TimedRequest] = []
+    for workload in resolve_workloads(workloads):
+        for timed in workload.requests(rng, duration_us):
+            builder = RequestBuilder(schema, timed.type_id, requester=workload.name)
+            for name, value in timed.constraints.items():
+                builder.constrain(name, value, (timed.weights or {}).get(name, 1.0))
+            trace.append(TimedRequest(
+                arrival_us=timed.issue_time_us,
+                request=builder.build(),
+                deadline_us=deadline_us,
+                note=timed.note,
+            ))
+    trace.sort(key=lambda entry: entry.arrival_us)
+    return trace
+
+
+def synthetic_trace(
+    case_base: CaseBase,
+    count: int,
+    *,
+    mean_interarrival_us: float = 1_000.0,
+    seed: int = 0,
+    deadline_us: Optional[float] = None,
+    requester: str = "loadgen",
+) -> List[TimedRequest]:
+    """Poisson arrivals of case-base-matched random requests.
+
+    The request contents reuse the shared :func:`repro.tools.random_requests`
+    generator (so CLI batches and serving traces draw from the same
+    distribution); arrival gaps are exponential with the given mean.
+    """
+    if mean_interarrival_us <= 0:
+        raise ReproError("mean_interarrival_us must be positive")
+    requests = random_requests(case_base, count, seed, requester=requester)
+    rng = random.Random(seed + 0x5EED)
+    trace: List[TimedRequest] = []
+    time = 0.0
+    for request in requests:
+        time += rng.expovariate(1.0 / mean_interarrival_us)
+        trace.append(TimedRequest(arrival_us=time, request=request,
+                                  deadline_us=deadline_us, note="synthetic"))
+    return trace
+
+
+def trace_from_requests(
+    requests: Sequence[FunctionRequest],
+    *,
+    interarrival_us: float = 1_000.0,
+    start_us: float = 0.0,
+    deadline_us: Optional[float] = None,
+) -> List[TimedRequest]:
+    """Stamp an existing request list at a fixed arrival rate."""
+    if interarrival_us < 0:
+        raise ReproError("interarrival_us must be non-negative")
+    return [
+        TimedRequest(
+            arrival_us=start_us + index * interarrival_us,
+            request=request,
+            deadline_us=deadline_us,
+        )
+        for index, request in enumerate(requests)
+    ]

@@ -1,0 +1,114 @@
+"""Serving metrics: throughput, latency percentiles, batch-shape histograms.
+
+The collector aggregates the per-request outcomes of one trace replay into
+the numbers a capacity planner looks at: modelled p50/p95/p99 latency,
+wall-clock dispatch throughput, batch-size distribution and rejection rates.
+Latency percentiles use the nearest-rank method (the value reported is always
+one actually observed), on the *modelled* virtual-time latencies -- wall-clock
+numbers describe only the replay host and are reported separately.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, List, Optional
+
+
+def percentile(values: List[float], fraction: float) -> Optional[float]:
+    """Nearest-rank percentile of an unsorted sample (``None`` when empty)."""
+    if not values:
+        return None
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"percentile fraction must lie within [0, 1], got {fraction}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(len(ordered) * fraction))
+    return ordered[min(len(ordered), rank) - 1]
+
+
+class MetricsCollector:
+    """Accumulates per-request and per-batch observations of one replay."""
+
+    def __init__(self) -> None:
+        self.status_counts: Counter = Counter()
+        self.latencies_us: List[float] = []
+        self.batch_sizes: List[int] = []
+        self.hardware_cycles = 0
+        self.software_cycles = 0
+        self.wall_seconds = 0.0
+
+    # -- observations --------------------------------------------------------------
+
+    def observe_request(
+        self,
+        status: str,
+        *,
+        latency_us: Optional[float] = None,
+        hardware_cycles: int = 0,
+        software_cycles: int = 0,
+    ) -> None:
+        """Record one served/rejected/failed request."""
+        self.status_counts[status] += 1
+        if latency_us is not None:
+            self.latencies_us.append(latency_us)
+        self.hardware_cycles += hardware_cycles
+        self.software_cycles += software_cycles
+
+    def observe_batch(self, size: int) -> None:
+        """Record one dispatched batch."""
+        self.batch_sizes.append(size)
+
+    # -- aggregation ---------------------------------------------------------------
+
+    @property
+    def request_count(self) -> int:
+        """Total number of requests observed."""
+        return sum(self.status_counts.values())
+
+    def batch_histogram(self) -> Dict[int, int]:
+        """``{batch size: occurrence count}`` over the replay."""
+        return dict(sorted(Counter(self.batch_sizes).items()))
+
+    def report(self) -> Dict[str, object]:
+        """The aggregate serving report (JSON-serialisable)."""
+        total = self.request_count
+        served = sum(
+            count
+            for status, count in self.status_counts.items()
+            if status.startswith("served")
+        )
+        rejected = total - served
+        latency = {
+            "p50_us": percentile(self.latencies_us, 0.50),
+            "p95_us": percentile(self.latencies_us, 0.95),
+            "p99_us": percentile(self.latencies_us, 0.99),
+            "mean_us": (
+                sum(self.latencies_us) / len(self.latencies_us)
+                if self.latencies_us
+                else None
+            ),
+            "max_us": max(self.latencies_us) if self.latencies_us else None,
+        }
+        return {
+            "requests": total,
+            "served": served,
+            "rejected": rejected,
+            "rejection_rate": (rejected / total) if total else 0.0,
+            "statuses": dict(sorted(self.status_counts.items())),
+            "latency": latency,
+            "batches": {
+                "count": len(self.batch_sizes),
+                "mean_size": (
+                    sum(self.batch_sizes) / len(self.batch_sizes)
+                    if self.batch_sizes
+                    else 0.0
+                ),
+                "histogram": self.batch_histogram(),
+            },
+            "modelled_cycles": {
+                "hardware": self.hardware_cycles,
+                "software": self.software_cycles,
+            },
+            "wall_seconds": self.wall_seconds,
+            "throughput_rps": (total / self.wall_seconds) if self.wall_seconds else None,
+        }

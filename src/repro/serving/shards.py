@@ -1,0 +1,204 @@
+"""Sharded case-base workers with bit-identical rank merging.
+
+A production-scale case base is partitioned across ``shard_count`` worker
+shards: each shard holds every ``shard_count``-th implementation variant of
+each function type (round-robin over the type's ID-sorted variant list), runs
+its own :class:`~repro.core.retrieval.RetrievalEngine` over its slice, and
+the per-shard rankings are merged by ``(-similarity, implementation_id)`` --
+exactly the global ranking order every backend uses.
+
+Bit-identity of the merge rests on a property of the vectorized kernel (and
+trivially of the naive loop): the global similarity of one implementation is
+computed independently of every *other* implementation -- per-attribute
+element-wise IEEE-754 double operations accumulated in ascending
+attribute-ID order of the *request*.  Partitioning the implementation axis
+therefore changes nothing about any individual similarity value, and sorting
+the merged pool with the shared comparison key reproduces the unsharded
+ranking exactly (asserted by the differential and property suites, and gated
+by ``repro serve-trace --engine compare``).
+
+What is *not* preserved bit-for-bit is the ``best_updates`` statistics
+counter: the sequential scan's strict-improvement count depends on visit
+order, which sharding changes by construction.  Merged statistics are the
+sum over shards (all other counters match the unsharded totals).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.case_base import CaseBase
+from ..core.exceptions import RetrievalError
+from ..core.request import FunctionRequest
+from ..core.retrieval import (
+    RetrievalEngine,
+    RetrievalResult,
+    RetrievalStatistics,
+)
+
+
+def build_shards(case_base: CaseBase, shard_count: int) -> List[CaseBase]:
+    """Partition a case base into ``shard_count`` round-robin shards.
+
+    Shard ``k`` receives implementations ``k, k + N, k + 2N, ...`` of every
+    function type's ID-sorted variant list.  Shards share the parent's schema,
+    bounds table and :class:`~repro.core.case_base.Implementation` objects
+    (retrieval never mutates them); types with no variants falling into a
+    shard are omitted from that shard entirely, so a shard count larger than
+    a type's variant count simply leaves some shards unaware of the type.
+    """
+    if shard_count < 1:
+        raise RetrievalError(f"shard_count must be at least 1, got {shard_count}")
+    shards = [
+        CaseBase(schema=case_base.schema, bounds=case_base.bounds)
+        for _ in range(shard_count)
+    ]
+    for function_type in case_base.sorted_types():
+        implementations = function_type.sorted_implementations()
+        for shard_index, shard in enumerate(shards):
+            members = implementations[shard_index::shard_count]
+            if not members:
+                continue
+            shard_type = shard.add_type(function_type.type_id, name=function_type.name)
+            for implementation in members:
+                shard_type.add(implementation)
+    return shards
+
+
+class ShardedRetriever:
+    """Batch retrieval over ``shard_count`` case-base worker shards.
+
+    With ``shard_count == 1`` this is a thin wrapper around a single
+    :class:`~repro.core.retrieval.RetrievalEngine` on the original case base
+    (no partitioning, no merge) -- the unsharded reference the compare mode
+    and the property suite measure against.
+
+    The shard partition is keyed to :attr:`CaseBase.revision` and rebuilt
+    lazily after structural case-base mutations, mirroring the cache policy
+    of the vectorized backend and the retrieval units.
+    """
+
+    def __init__(
+        self,
+        case_base: CaseBase,
+        *,
+        shard_count: int = 1,
+        backend: str = "vectorized",
+    ) -> None:
+        if backend not in ("naive", "reference", "vectorized"):
+            raise RetrievalError(
+                f"unknown shard backend {backend!r}; "
+                f"expected 'naive', 'reference' or 'vectorized'"
+            )
+        if shard_count < 1:
+            raise RetrievalError(f"shard_count must be at least 1, got {shard_count}")
+        self.case_base = case_base
+        self.shard_count = int(shard_count)
+        self.backend = backend
+        self._engines: List[RetrievalEngine] = []
+        self._revision = -1
+
+    # -- shard lifecycle -----------------------------------------------------------
+
+    def _ensure_current(self) -> List[RetrievalEngine]:
+        if self._revision != self.case_base.revision or not self._engines:
+            if self.shard_count == 1:
+                self._engines = [RetrievalEngine(self.case_base, backend=self.backend)]
+            else:
+                self._engines = [
+                    RetrievalEngine(shard, backend=self.backend)
+                    for shard in build_shards(self.case_base, self.shard_count)
+                ]
+            self._revision = self.case_base.revision
+        return self._engines
+
+    @property
+    def engines(self) -> List[RetrievalEngine]:
+        """The per-shard engines (index = shard number)."""
+        return list(self._ensure_current())
+
+    # -- retrieval -----------------------------------------------------------------
+
+    def _screen(self, request: FunctionRequest) -> None:
+        """Raise the unsharded path's errors for requests no shard can serve.
+
+        :meth:`CaseBase.get_type` raises ``UnknownFunctionTypeError`` for a
+        type the case base does not know; an empty function type raises the
+        backends' shared "no implementation variants" error.  With one shard
+        the engine raises these itself; with many shards the per-shard
+        engines never see the offending type (empty slices are omitted from
+        every shard), so the screen reproduces the errors here.
+        """
+        function_type = self.case_base.get_type(request.type_id)
+        if len(function_type) == 0:
+            raise RetrievalError(
+                f"function type {request.type_id} has no implementation variants"
+            )
+
+    def retrieve_batch(
+        self,
+        requests: Sequence[FunctionRequest],
+        *,
+        n: Optional[int] = None,
+        threshold: Optional[float] = None,
+    ) -> List[RetrievalResult]:
+        """Evaluate a request batch across all shards and merge the rankings.
+
+        Result ``i`` belongs to request ``i``; per-request mode semantics
+        match :meth:`RetrievalEngine.retrieve_batch` (``n=None,
+        threshold=None`` returns the single most similar variant).  Each
+        shard evaluates the sub-batch of requests whose type it holds, then
+        per-request rankings are merged by ``(-similarity,
+        implementation_id)`` and cut to ``n``.
+        """
+        engines = self._ensure_current()
+        requests = list(requests)
+        if len(engines) == 1:
+            return engines[0].retrieve_batch(requests, n=n, threshold=threshold)
+        for request in requests:
+            self._screen(request)
+        #: Per-request pools of (shard ranking, shard statistics).
+        pools: List[List[RetrievalResult]] = [[] for _ in requests]
+        for engine in engines:
+            member_indices = [
+                index
+                for index, request in enumerate(requests)
+                if request.type_id in engine.case_base
+            ]
+            if not member_indices:
+                continue
+            shard_results = engine.retrieve_batch(
+                [requests[index] for index in member_indices],
+                n=n,
+                threshold=threshold,
+            )
+            for index, result in zip(member_indices, shard_results):
+                pools[index].append(result)
+        return [
+            self._merge(request, pool, n=n, threshold=threshold)
+            for request, pool in zip(requests, pools)
+        ]
+
+    @staticmethod
+    def _merge(
+        request: FunctionRequest,
+        pool: List[RetrievalResult],
+        *,
+        n: Optional[int],
+        threshold: Optional[float],
+    ) -> RetrievalResult:
+        """Merge per-shard rankings into the global ranking order."""
+        ranked = sorted(
+            (entry for result in pool for entry in result.ranked),
+            key=lambda entry: (-entry.similarity, entry.implementation_id),
+        )
+        if n is not None:
+            ranked = ranked[:n]
+        elif threshold is None:
+            # Most-similar mode: every shard returned its single best; keep
+            # the global winner only, like the unsharded scan would.
+            ranked = ranked[:1]
+        statistics = RetrievalStatistics()
+        for result in pool:
+            statistics.merge(result.statistics)
+        return RetrievalResult(request.type_id, ranked, statistics, threshold=threshold)

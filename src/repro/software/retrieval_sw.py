@@ -203,6 +203,25 @@ class SoftwareRetrievalUnit:
         selected = resolve_cycle_engine(engine, prefer_vectorized=True)
         return selected.software_batch(self, list(requests))
 
+    def predict_cycles(
+        self,
+        requests: Sequence[FunctionRequest],
+        *,
+        engine: Union[str, "CycleEngine", None] = "auto",
+    ) -> List[int]:
+        """Exact execution cycle count per request, without full results.
+
+        The QoS-prediction companion of :meth:`run_batch`, mirroring
+        :meth:`HardwareRetrievalUnit.predict_cycles
+        <repro.hardware.retrieval_unit.HardwareRetrievalUnit.predict_cycles>`:
+        identical counts to ``[r.cycles for r in run_batch(requests)]`` on
+        every engine, skipping result assembly on the vectorized path.
+        """
+        from ..cosim.engine import resolve_cycle_engine
+
+        selected = resolve_cycle_engine(engine, prefer_vectorized=True)
+        return selected.software_cycles(self, list(requests))
+
     def run_on_words(self, request_words: List[int]) -> SoftwareRetrievalResult:
         """Execute one run on an already encoded request word image."""
         counters = InstructionCounters()

@@ -16,6 +16,7 @@ from .export import (
     words_to_c_header,
     words_to_memh,
 )
+from .requests_io import load_requests_json, random_requests
 from .tracing import format_trace, state_summary
 
 __all__ = [
@@ -28,6 +29,8 @@ __all__ = [
     "export_memory_images",
     "format_trace",
     "load_case_base",
+    "load_requests_json",
+    "random_requests",
     "request_from_dict",
     "request_from_json",
     "request_to_json",

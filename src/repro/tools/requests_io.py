@@ -1,0 +1,98 @@
+"""Loading and synthesising request batches (shared by CLI and load generator).
+
+Historically these helpers lived inside :mod:`repro.cli`; they are reusable
+pieces of tooling (the ``retrieve-batch`` / ``cosim-batch`` subcommands, the
+serving layer's trace-replay load generator and tests all need them), so they
+live here alongside the other case-base tooling.
+
+* :func:`load_requests_json` -- read a requests JSON file (canonical
+  :func:`repro.tools.export.request_to_json` shape or the
+  ``{"type_id", "constraints"}`` shorthand);
+* :func:`random_requests` -- synthesise requests whose constraints track a
+  case base's contents (the pattern of the paper's Matlab request generator).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import List
+
+from ..core.case_base import CaseBase
+from ..core.exceptions import ReproError
+from ..core.request import FunctionRequest
+from .export import request_from_dict
+
+
+def load_requests_json(path: str, *, requester: str = "cli-batch") -> List[FunctionRequest]:
+    """Read a requests JSON file: a list of request objects.
+
+    Each entry is either the canonical :func:`repro.tools.request_to_json`
+    shape (``{"type_id", "attributes": [{"attribute_id", "value", "weight"}]}``)
+    or the shorthand ``{"type_id", "constraints"}`` where ``constraints`` is a
+    mapping of attribute ID to value or a list of ``[id, value]`` /
+    ``[id, value, weight]`` entries.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as stream:
+            payload = json.load(stream)
+    except OSError as exc:
+        raise ReproError(f"cannot read requests file {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"invalid requests JSON in {path}: {exc}") from exc
+    if not isinstance(payload, list):
+        raise ReproError(f"requests file {path} must contain a JSON list")
+    requests = []
+    for entry in payload:
+        if not isinstance(entry, dict):
+            raise ReproError(f"malformed request entry {entry!r}: expected an object")
+        if "attributes" in entry:
+            requests.append(request_from_dict(entry))
+            continue
+        try:
+            type_id = int(entry["type_id"])
+            constraints = entry["constraints"]
+            if isinstance(constraints, dict):
+                constraints = [
+                    (int(attribute_id), value)
+                    for attribute_id, value in constraints.items()
+                ]
+            requests.append(FunctionRequest(type_id, constraints, requester=requester))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReproError(f"malformed request entry {entry!r}: {exc}") from exc
+    return requests
+
+
+def random_requests(
+    case_base: CaseBase, count: int, seed: int, *, requester: str = "cli-batch"
+) -> List[FunctionRequest]:
+    """Synthesise requests whose constraints track the case base's contents.
+
+    Only implementations that describe at least one attribute can act as
+    request templates (a constraint-less request is unscorable); returns an
+    empty list when the case base has none.
+    """
+    rng = random.Random(seed)
+    templates = [
+        (type_id, implementation)
+        for type_id, implementation in case_base.all_implementations()
+        if implementation.attributes
+    ]
+    if not templates:
+        return []
+    requests = []
+    for _ in range(count):
+        type_id, template = rng.choice(templates)
+        attribute_ids = template.attribute_ids()
+        wanted = rng.sample(attribute_ids, min(3, len(attribute_ids)))
+        bounds = case_base.bounds
+        pairs = []
+        for attribute_id in sorted(wanted):
+            value = template.get(attribute_id)
+            if attribute_id in bounds:
+                bound = bounds.get(attribute_id)
+                span = int(bound.dmax) // 10
+                value = bound.clamp(value + rng.randint(-span, span))
+            pairs.append((attribute_id, value))
+        requests.append(FunctionRequest(type_id, pairs, requester=requester))
+    return requests

@@ -328,3 +328,71 @@ class TestConfigurationSweep:
                 unit.run_batch(requests, engine="vectorized"),
             ):
                 assert_hardware_identical(stepwise, vectorized)
+
+
+class TestPredictCycles:
+    """The cycles-only prediction path equals the full runs, on every engine."""
+
+    @pytest.mark.parametrize("wide", [False, True])
+    @pytest.mark.parametrize("pipelined", [False, True])
+    @pytest.mark.parametrize("cache", [False, True])
+    @pytest.mark.parametrize("n_best", [1, 3, 8])
+    def test_optimisation_axes(self, generated, wide, pipelined, cache, n_best):
+        case_base, requests = generated
+        unit = HardwareRetrievalUnit(
+            case_base,
+            config=HardwareConfig(
+                wide_attribute_fetch=wide,
+                pipelined_datapath=pipelined,
+                cache_reciprocals=cache,
+                n_best=n_best,
+            ),
+        )
+        golden = [result.cycles for result in unit.run_batch(requests, engine="stepwise")]
+        assert unit.predict_cycles(requests, engine="vectorized") == golden
+        assert unit.predict_cycles(requests, engine="stepwise") == golden
+
+    @pytest.mark.parametrize("restart", [False, True])
+    @pytest.mark.parametrize("divider", [False, True])
+    def test_design_alternative_axes(self, generated, restart, divider):
+        case_base, requests = generated
+        unit = HardwareRetrievalUnit(
+            case_base,
+            config=HardwareConfig(
+                restart_attribute_search=restart,
+                use_divider=divider,
+            ),
+        )
+        golden = [result.cycles for result in unit.run_batch(requests, engine="stepwise")]
+        assert unit.predict_cycles(requests, engine="vectorized") == golden
+
+    def test_paper_example(self, paper_cb, paper_req):
+        unit = HardwareRetrievalUnit(paper_cb)
+        assert unit.predict_cycles([paper_req]) == [unit.run(paper_req).cycles]
+
+    def test_trace_requires_stepwise(self, paper_cb, paper_req):
+        unit = HardwareRetrievalUnit(paper_cb, config=HardwareConfig(trace=True))
+        with pytest.raises(HardwareModelError, match="stepwise"):
+            unit.predict_cycles([paper_req], engine="vectorized")
+
+
+class TestSoftwarePredictCycles:
+    """The software cycles-only path equals the full runs, on every engine."""
+
+    @pytest.mark.parametrize("inline", [False, True])
+    @pytest.mark.parametrize("soft_multiply", [False, True])
+    def test_code_generation_axes(self, generated, inline, soft_multiply):
+        case_base, requests = generated
+        cost_model = (
+            microblaze_soft_multiply_model() if soft_multiply else microblaze_cost_model()
+        )
+        unit = SoftwareRetrievalUnit(
+            case_base, cost_model=cost_model, inline_helpers=inline
+        )
+        golden = [result.cycles for result in unit.run_batch(requests, engine="stepwise")]
+        assert unit.predict_cycles(requests, engine="vectorized") == golden
+        assert unit.predict_cycles(requests, engine="stepwise") == golden
+
+    def test_paper_example(self, paper_cb, paper_req):
+        unit = SoftwareRetrievalUnit(paper_cb)
+        assert unit.predict_cycles([paper_req]) == [unit.run(paper_req).cycles]

@@ -1,0 +1,45 @@
+"""Smoke-run every script under ``examples/`` in-process.
+
+The examples are documentation that executes; without a test they rot
+silently (dead imports, renamed APIs).  Each script is seeded and small, so
+running all four costs well under a second -- cheap enough for tier 1.  The
+scripts put ``src`` on ``sys.path`` themselves and guard their entry points
+with ``__main__``, so ``runpy`` with ``run_name="__main__"`` executes them
+exactly as ``python examples/<name>.py`` would.
+"""
+
+import os
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "..", "examples"
+)
+
+#: Script name -> a fragment its stdout must contain (proves it ran to the end).
+EXPECTED_OUTPUT = {
+    "quickstart.py": "hardware retrieval unit: best implementation ID 2",
+    "audio_equalizer_allocation.py": "paper reports ~8.5x",
+    "hardware_design_exploration.py": "paper reports: case base",
+    "multi_app_platform.py": "QoS negotiation",
+}
+
+
+def _example_scripts():
+    return sorted(
+        name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+    )
+
+
+def test_every_example_is_covered():
+    """A new example must be added to the expectation table (or get a default)."""
+    assert set(_example_scripts()) == set(EXPECTED_OUTPUT)
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_OUTPUT))
+def test_example_runs_to_completion(script, capsys):
+    runpy.run_path(os.path.join(EXAMPLES_DIR, script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script} printed nothing"
+    assert EXPECTED_OUTPUT[script] in output

@@ -1,0 +1,102 @@
+"""Trace-replay load generation: workload conversion and synthetic mixes."""
+
+import pytest
+
+from repro.apps import HeavyTrafficWorkload, build_case_base
+from repro.core import ReproError, paper_case_base
+from repro.serving import (
+    TimedRequest,
+    WORKLOAD_FACTORIES,
+    resolve_workloads,
+    synthetic_trace,
+    trace_from_requests,
+    trace_from_workloads,
+)
+from repro.tools import random_requests
+
+
+class TestWorkloadTraces:
+    def test_default_trace_covers_the_four_applications(self):
+        trace = trace_from_workloads(duration_us=2_000_000.0, seed=3)
+        requesters = {entry.request.requester for entry in trace}
+        assert requesters == {
+            "mp3-player", "video-player", "automotive-ecu", "cruise-control"
+        }
+
+    def test_trace_is_sorted_and_types_are_servable(self):
+        case_base = build_case_base()
+        trace = trace_from_workloads(duration_us=2_000_000.0, seed=3)
+        assert trace
+        arrivals = [entry.arrival_us for entry in trace]
+        assert arrivals == sorted(arrivals)
+        for entry in trace:
+            assert entry.request.type_id in case_base
+            assert len(entry.request) > 0
+
+    def test_trace_is_deterministic_for_a_seed(self):
+        first = trace_from_workloads(duration_us=1_000_000.0, seed=9)
+        second = trace_from_workloads(duration_us=1_000_000.0, seed=9)
+        assert [entry.arrival_us for entry in first] == [
+            entry.arrival_us for entry in second
+        ]
+        assert [entry.request.signature() for entry in first] == [
+            entry.request.signature() for entry in second
+        ]
+
+    def test_heavy_traffic_mix_dominates_the_request_rate(self):
+        base = trace_from_workloads(duration_us=1_000_000.0, seed=4)
+        heavy = trace_from_workloads(
+            ["heavy-traffic"], duration_us=1_000_000.0, seed=4
+        )
+        assert len(heavy) > 5 * len(base)
+        case_base = build_case_base()
+        assert all(entry.request.type_id in case_base for entry in heavy)
+
+    def test_workload_names_resolve_and_unknown_names_fail(self):
+        resolved = resolve_workloads(["mp3-player", HeavyTrafficWorkload()])
+        assert resolved[0].name == "mp3-player"
+        assert resolved[1].name == "heavy-traffic"
+        assert set(WORKLOAD_FACTORIES) == {
+            "mp3-player", "video-player", "automotive-ecu", "cruise-control",
+            "heavy-traffic",
+        }
+        with pytest.raises(ReproError, match="unknown workload"):
+            resolve_workloads(["quake-server"])
+
+    def test_global_deadline_is_stamped_onto_every_entry(self):
+        trace = trace_from_workloads(
+            duration_us=500_000.0, seed=1, deadline_us=250.0
+        )
+        assert all(entry.deadline_us == 250.0 for entry in trace)
+
+
+class TestSyntheticTraces:
+    def test_poisson_trace_matches_the_shared_request_generator(self):
+        case_base = paper_case_base()
+        trace = synthetic_trace(case_base, 20, seed=6, requester="loadgen")
+        expected = random_requests(case_base, 20, 6, requester="loadgen")
+        assert [entry.request.signature() for entry in trace] == [
+            request.signature() for request in expected
+        ]
+        arrivals = [entry.arrival_us for entry in trace]
+        assert arrivals == sorted(arrivals)
+        assert all(arrival > 0 for arrival in arrivals)
+
+    def test_rejects_non_positive_interarrival(self):
+        with pytest.raises(ReproError, match="mean_interarrival_us"):
+            synthetic_trace(paper_case_base(), 5, mean_interarrival_us=0.0)
+
+    def test_fixed_rate_stamping(self):
+        requests = random_requests(paper_case_base(), 3, 0)
+        trace = trace_from_requests(requests, interarrival_us=50.0, start_us=10.0)
+        assert [entry.arrival_us for entry in trace] == [10.0, 60.0, 110.0]
+        assert [entry.request for entry in trace] == requests
+
+
+class TestTimedRequest:
+    def test_rejects_negative_times(self):
+        request = random_requests(paper_case_base(), 1, 0)[0]
+        with pytest.raises(ReproError, match="arrival"):
+            TimedRequest(arrival_us=-1.0, request=request)
+        with pytest.raises(ReproError, match="deadline"):
+            TimedRequest(arrival_us=0.0, request=request, deadline_us=-5.0)

@@ -1,0 +1,78 @@
+"""Micro-batching policy tests: size closes, timeout closes, flushes."""
+
+import pytest
+
+from repro.core import FunctionRequest, ReproError
+from repro.serving import MicroBatchScheduler, TimedRequest
+
+
+def _trace(*arrivals_us):
+    request = FunctionRequest(1, [(1, 16)])
+    return [TimedRequest(arrival_us=arrival, request=request) for arrival in arrivals_us]
+
+
+class TestValidation:
+    def test_rejects_zero_max_batch(self):
+        with pytest.raises(ReproError, match="max_batch"):
+            MicroBatchScheduler(max_batch=0)
+
+    def test_rejects_negative_wait(self):
+        with pytest.raises(ReproError, match="max_wait_us"):
+            MicroBatchScheduler(max_wait_us=-1.0)
+
+    def test_rejects_unsorted_trace(self):
+        scheduler = MicroBatchScheduler(max_batch=4, max_wait_us=100.0)
+        with pytest.raises(ReproError, match="not sorted"):
+            list(scheduler.batches(_trace(10.0, 5.0)))
+
+    def test_negative_arrival_rejected_at_construction(self):
+        with pytest.raises(ReproError, match="arrival"):
+            _trace(-1.0)
+
+
+class TestBatching:
+    def test_empty_trace_produces_no_batches(self):
+        assert list(MicroBatchScheduler().batches([])) == []
+
+    def test_size_full_batch_closes_at_last_arrival(self):
+        scheduler = MicroBatchScheduler(max_batch=3, max_wait_us=1e9)
+        batches = list(scheduler.batches(_trace(0.0, 1.0, 2.0, 3.0)))
+        assert [len(batch) for batch in batches] == [3, 1]
+        assert batches[0].close_us == 2.0
+        # The final partial batch flushes after its own wait window.
+        assert batches[1].open_us == 3.0
+        assert batches[1].close_us == 3.0 + 1e9
+
+    def test_timeout_closes_before_late_arrival(self):
+        scheduler = MicroBatchScheduler(max_batch=10, max_wait_us=100.0)
+        batches = list(scheduler.batches(_trace(0.0, 50.0, 500.0)))
+        assert [len(batch) for batch in batches] == [2, 1]
+        assert batches[0].close_us == 100.0  # open + max_wait, not the late arrival
+        assert batches[1].open_us == 500.0
+
+    def test_arrival_exactly_at_window_edge_joins_the_batch(self):
+        scheduler = MicroBatchScheduler(max_batch=10, max_wait_us=100.0)
+        batches = list(scheduler.batches(_trace(0.0, 100.0)))
+        assert [len(batch) for batch in batches] == [2]
+
+    def test_max_batch_one_degenerates_to_one_at_a_time(self):
+        scheduler = MicroBatchScheduler(max_batch=1, max_wait_us=1e9)
+        batches = list(scheduler.batches(_trace(0.0, 1.0, 2.0)))
+        assert [len(batch) for batch in batches] == [1, 1, 1]
+        assert [batch.close_us for batch in batches] == [0.0, 1.0, 2.0]
+
+    def test_zero_wait_coalesces_only_simultaneous_arrivals(self):
+        scheduler = MicroBatchScheduler(max_batch=10, max_wait_us=0.0)
+        batches = list(scheduler.batches(_trace(0.0, 0.0, 1.0)))
+        assert [len(batch) for batch in batches] == [2, 1]
+
+    def test_indices_and_requests_are_aligned(self):
+        scheduler = MicroBatchScheduler(max_batch=2, max_wait_us=1e9)
+        trace = _trace(0.0, 1.0, 2.0)
+        batches = list(scheduler.batches(trace))
+        flattened = [
+            (trace_index, entry) for batch in batches for trace_index, entry in batch.entries
+        ]
+        assert [index for index, _ in flattened] == [0, 1, 2]
+        assert all(entry is trace[index] for index, entry in flattened)
+        assert batches[0].requests == [trace[0].request, trace[1].request]

@@ -1,0 +1,66 @@
+"""Metrics collector: percentiles, histograms and report shape."""
+
+import json
+
+import pytest
+
+from repro.serving import MetricsCollector, percentile
+
+
+class TestPercentile:
+    def test_nearest_rank_on_known_sample(self):
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 0.50) == 50.0
+        assert percentile(values, 0.95) == 95.0
+        assert percentile(values, 0.99) == 99.0
+        assert percentile(values, 1.0) == 100.0
+
+    def test_reported_value_is_always_observed(self):
+        values = [3.0, 1.0, 2.0]
+        assert percentile(values, 0.5) in values
+        assert percentile(values, 0.0) == 1.0
+
+    def test_empty_sample_and_bad_fraction(self):
+        assert percentile([], 0.5) is None
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestCollector:
+    def _collector(self):
+        collector = MetricsCollector()
+        collector.observe_batch(2)
+        collector.observe_batch(2)
+        collector.observe_batch(1)
+        collector.observe_request("served_hardware", latency_us=100.0, hardware_cycles=500)
+        collector.observe_request("served_software", latency_us=400.0, software_cycles=4000)
+        collector.observe_request("rejected_deadline")
+        collector.observe_request("failed")
+        collector.wall_seconds = 0.5
+        return collector
+
+    def test_report_aggregates(self):
+        report = self._collector().report()
+        assert report["requests"] == 4
+        assert report["served"] == 2
+        assert report["rejected"] == 2
+        assert report["rejection_rate"] == 0.5
+        assert report["statuses"]["served_hardware"] == 1
+        assert report["latency"]["p50_us"] == 100.0
+        assert report["latency"]["max_us"] == 400.0
+        assert report["batches"] == {
+            "count": 3, "mean_size": 5 / 3, "histogram": {1: 1, 2: 2}
+        }
+        assert report["modelled_cycles"] == {"hardware": 500, "software": 4000}
+        assert report["throughput_rps"] == 8.0
+
+    def test_report_is_json_serialisable(self):
+        json.dumps(self._collector().report())
+
+    def test_empty_collector_reports_zeros(self):
+        report = MetricsCollector().report()
+        assert report["requests"] == 0
+        assert report["rejection_rate"] == 0.0
+        assert report["latency"]["p50_us"] is None
+        assert report["batches"]["count"] == 0
+        assert report["throughput_rps"] is None

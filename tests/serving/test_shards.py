@@ -1,0 +1,150 @@
+"""Sharded case-base workers: partition shape and bit-identical merging."""
+
+import pytest
+
+from repro.core import RetrievalEngine, RetrievalError, UnknownFunctionTypeError, paper_case_base
+from repro.serving import ShardedRetriever, build_shards
+from repro.tools import CaseBaseGenerator, GeneratorSpec, random_requests
+
+SPEC = GeneratorSpec(
+    type_count=4,
+    implementations_per_type=7,
+    attributes_per_implementation=6,
+    attribute_type_count=8,
+    missing_probability=0.15,
+)
+
+
+@pytest.fixture(scope="module")
+def generated():
+    generator = CaseBaseGenerator(SPEC, seed=13)
+    case_base = generator.case_base()
+    return case_base, random_requests(case_base, 30, 5)
+
+
+class TestBuildShards:
+    def test_partition_covers_every_implementation_exactly_once(self, generated):
+        case_base, _ = generated
+        shards = build_shards(case_base, 3)
+        seen = set()
+        for shard in shards:
+            for type_id, implementation in shard.all_implementations():
+                key = (type_id, implementation.implementation_id)
+                assert key not in seen
+                seen.add(key)
+        expected = {
+            (type_id, implementation.implementation_id)
+            for type_id, implementation in case_base.all_implementations()
+        }
+        assert seen == expected
+
+    def test_round_robin_by_sorted_implementation_order(self):
+        case_base = paper_case_base()
+        shards = build_shards(case_base, 2)
+        original = [
+            implementation.implementation_id
+            for implementation in case_base.get_type(1).sorted_implementations()
+        ]
+        assert [i.implementation_id for i in shards[0].get_type(1)] == original[0::2]
+        assert [i.implementation_id for i in shards[1].get_type(1)] == original[1::2]
+
+    def test_shard_count_above_variant_count_leaves_shards_without_the_type(self):
+        case_base = paper_case_base()  # one type, three implementations
+        shards = build_shards(case_base, 5)
+        holding = [shard for shard in shards if 1 in shard]
+        assert len(holding) == 3
+        assert all(len(shard) == 0 for shard in shards[3:])
+
+    def test_rejects_non_positive_shard_count(self):
+        with pytest.raises(RetrievalError, match="shard_count"):
+            build_shards(paper_case_base(), 0)
+
+
+class TestShardedRetrieval:
+    @pytest.mark.parametrize("shard_count", [1, 2, 3, 5, 9])
+    @pytest.mark.parametrize("backend", ["naive", "vectorized"])
+    def test_merge_matches_unsharded_rankings_exactly(self, generated, shard_count, backend):
+        case_base, requests = generated
+        reference = RetrievalEngine(case_base, backend=backend)
+        sharded = ShardedRetriever(case_base, shard_count=shard_count, backend=backend)
+        expected = reference.retrieve_batch(requests, n=4)
+        merged = sharded.retrieve_batch(requests, n=4)
+        for expected_result, merged_result in zip(expected, merged):
+            assert merged_result.ids() == expected_result.ids()
+            assert [entry.similarity for entry in merged_result.ranked] == [
+                entry.similarity for entry in expected_result.ranked
+            ]
+
+    def test_most_similar_mode_returns_the_global_winner(self, generated):
+        case_base, requests = generated
+        reference = RetrievalEngine(case_base)
+        sharded = ShardedRetriever(case_base, shard_count=3)
+        for request in requests[:10]:
+            expected = reference.retrieve_best(request)
+            merged = sharded.retrieve_batch([request])[0]
+            assert merged.ids() == expected.ids()
+            assert merged.best_similarity == expected.best_similarity
+
+    def test_threshold_mode_filters_identically(self, generated):
+        case_base, requests = generated
+        reference = RetrievalEngine(case_base)
+        sharded = ShardedRetriever(case_base, shard_count=2)
+        expected = reference.retrieve_batch(requests, threshold=0.8)
+        merged = sharded.retrieve_batch(requests, threshold=0.8)
+        for expected_result, merged_result in zip(expected, merged):
+            assert merged_result.ids() == expected_result.ids()
+            assert merged_result.threshold == expected_result.threshold == 0.8
+
+    def test_scan_counters_match_unsharded_totals(self, generated):
+        """All effort counters except visit-order-dependent best_updates merge."""
+        case_base, requests = generated
+        reference = RetrievalEngine(case_base)
+        sharded = ShardedRetriever(case_base, shard_count=3)
+        expected = reference.retrieve_batch(requests[:8], n=4)
+        merged = sharded.retrieve_batch(requests[:8], n=4)
+        for expected_result, merged_result in zip(expected, merged):
+            for counter in ("implementations_visited", "attribute_lookups",
+                            "attribute_compares", "missing_attributes",
+                            "multiplications"):
+                assert getattr(merged_result.statistics, counter) == getattr(
+                    expected_result.statistics, counter
+                )
+
+    def test_unknown_type_raises_like_the_unsharded_engine(self, generated):
+        case_base, _ = generated
+        sharded = ShardedRetriever(case_base, shard_count=3)
+        from repro.core import FunctionRequest
+
+        with pytest.raises(UnknownFunctionTypeError):
+            sharded.retrieve_batch([FunctionRequest(999, [(1, 1)])])
+
+    def test_empty_type_raises_like_the_unsharded_engine(self):
+        from repro.core import FunctionRequest
+
+        case_base = paper_case_base()
+        case_base.add_type(7, name="empty")
+        sharded = ShardedRetriever(case_base, shard_count=2)
+        with pytest.raises(RetrievalError, match="no implementation variants"):
+            sharded.retrieve_batch([FunctionRequest(7, [(1, 16)])])
+
+    def test_shards_rebuild_after_case_base_mutation(self):
+        from repro.core import FunctionRequest, Implementation, ExecutionTarget
+
+        case_base = paper_case_base()
+        sharded = ShardedRetriever(case_base, shard_count=2)
+        request = FunctionRequest(1, [(1, 16), (3, 1), (4, 40)])
+        before = sharded.retrieve_batch([request], n=10)[0]
+        case_base.add_implementation(
+            1,
+            Implementation(9, ExecutionTarget.FPGA, name="new variant",
+                           attributes={1: 16, 3: 1, 4: 40}),
+        )
+        after = sharded.retrieve_batch([request], n=10)[0]
+        assert 9 in after.ids()
+        assert 9 not in before.ids()
+
+    def test_rejects_unknown_backend_and_bad_shard_count(self):
+        with pytest.raises(RetrievalError, match="backend"):
+            ShardedRetriever(paper_case_base(), backend="hardware")
+        with pytest.raises(RetrievalError, match="shard_count"):
+            ShardedRetriever(paper_case_base(), shard_count=0)

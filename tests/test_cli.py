@@ -217,3 +217,80 @@ class TestCosimBatch:
         path.write_text(json.dumps([{"type_id": 99, "constraints": {"1": 16}}]))
         assert main(["cosim-batch", "--requests", str(path)]) == 2
         assert "cosim-batch:" in capsys.readouterr().err
+
+
+class TestVersionFlag:
+    def test_version_flag_prints_the_package_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro-qos {repro.__version__}" in capsys.readouterr().out
+
+
+class TestServeTrace:
+    def test_default_workload_trace_replay(self, capsys):
+        assert main(["serve-trace", "--duration-ms", "1000", "--seed", "7"]) == 0
+        output = capsys.readouterr().out
+        assert "trace replay" in output
+        assert "served=" in output
+        assert "modelled latency p50/p95/p99" in output
+        assert "batches:" in output
+
+    def test_compare_mode_reports_bit_identical_shards(self, capsys):
+        assert main(["serve-trace", "--shards", "4", "--engine", "compare",
+                     "--duration-ms", "1000", "--seed", "7"]) == 0
+        output = capsys.readouterr().out
+        assert "sharded (4) vs unsharded rankings bit-identical" in output
+
+    def test_random_trace_with_deadline_and_json_report(self, tmp_path, capsys):
+        import json
+
+        report_path = tmp_path / "report.json"
+        assert main(["serve-trace", "--random", "32", "--seed", "3",
+                     "--mean-interarrival-us", "20", "--max-batch", "16",
+                     "--deadline-us", "250", "--json", str(report_path)]) == 0
+        output = capsys.readouterr().out
+        assert "trace replay (32 requests" in output
+        payload = json.loads(report_path.read_text())
+        assert payload["metrics"]["requests"] == 32
+        assert payload["config"]["deadline_us"] == 250.0
+        assert len(payload["requests"]) == 32
+
+    def test_requests_file_replay(self, tmp_path, capsys):
+        import json
+
+        requests_path = tmp_path / "requests.json"
+        requests_path.write_text(json.dumps([
+            {"type_id": 1, "constraints": {"1": 16, "3": 1, "4": 40}},
+            {"type_id": 1, "constraints": [[1, 12], [4, 30, 2.0]]},
+        ]))
+        assert main(["serve-trace", "--requests", str(requests_path),
+                     "--max-batch", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "trace replay (2 requests" in output
+        assert "served=2/2" in output
+
+    def test_case_base_without_request_source_is_an_error(self, tmp_path, capsys):
+        path = tmp_path / "cb.json"
+        assert main(["generate", str(path), "--types", "2", "--implementations", "3",
+                     "--attributes", "4", "--seed", "1"]) == 0
+        capsys.readouterr()
+        assert main(["serve-trace", "--case-base", str(path)]) == 2
+        assert "serve-trace" in capsys.readouterr().err
+
+    def test_unknown_workload_is_a_clean_error(self, capsys):
+        assert main(["serve-trace", "--workload", "nonexistent"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_heavy_traffic_workload_saturates_batches(self, capsys):
+        assert main(["serve-trace", "--workload", "heavy-traffic",
+                     "--duration-ms", "200", "--max-batch", "8",
+                     "--max-wait-us", "20000", "--seed", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "trace replay" in output
+
+    def test_invalid_serving_config_is_a_clean_error(self, capsys):
+        assert main(["serve-trace", "--random", "2", "--n-best", "0"]) == 2
+        assert "serve-trace: n_best" in capsys.readouterr().err
