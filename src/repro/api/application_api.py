@@ -260,7 +260,11 @@ class ApplicationAPI:
         base and its :class:`~repro.allocation.feasibility.FeasibilityChecker`
         (so infeasibility rejections agree with allocation decisions).  Keyword
         arguments override :class:`~repro.serving.ServingConfig` fields, e.g.
-        ``api.serving_engine(shard_count=4, deadline_us=500.0)``.
+        ``api.serving_engine(shard_count=4, deadline_us=500.0)``; passing
+        ``learn=True`` enables online CBR learning -- served outcomes are fed
+        back through the revise/retain cycle between micro-batches, mutating
+        the manager's case base mid-stream while the delta-propagation
+        subsystem keeps every retrieval cache patched incrementally.
         """
         from ..serving import ServingConfig, ServingEngine
 

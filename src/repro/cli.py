@@ -21,7 +21,9 @@ Provides the day-to-day developer workflows as sub-commands:
   layer's micro-batching scheduler, cycle-exact admission control and sharded
   case-base workers, reporting throughput/latency/rejection metrics; the
   ``--engine compare`` mode checks that sharded and unsharded rankings are
-  bit-identical;
+  bit-identical, and ``--learn`` turns on online CBR learning (revise +
+  retain fed back between micro-batches, the case base evolving mid-stream
+  with incremental delta propagation keeping every cache patched);
 * ``repro-qos estimate`` -- print the Table 2-style resource estimate for a
   retrieval-unit configuration;
 * ``repro-qos export`` -- export CB-MEM/Req-MEM images as ``.memh`` / C headers;
@@ -381,8 +383,17 @@ def cmd_serve_trace(args: argparse.Namespace) -> int:
             clock_mhz=args.clock_mhz,
             deadline_us=args.deadline_us,
             n_best=args.n_best,
+            learn=args.learn,
+            learning_rate=args.learning_rate,
+            novelty_threshold=args.novelty_threshold,
+            learn_capacity=args.learn_capacity,
         )
-        report = ServingEngine(case_base, config=config).serve(trace)
+        # Learning mutates the case base mid-stream; the compare mode must
+        # replay sharded and unsharded against identical starting snapshots.
+        served_case_base = (
+            case_base.copy() if args.learn and args.engine == "compare" else case_base
+        )
+        report = ServingEngine(served_case_base, config=config).serve(trace)
     except ReproError as error:
         print(f"serve-trace: {error}", file=sys.stderr)
         return 2
@@ -421,13 +432,21 @@ def cmd_serve_trace(args: argparse.Namespace) -> int:
     print(f"batches: {batches['count']} (mean size {batches['mean_size']:.1f}); "
           f"host wall {report.wall_seconds * 1e3:.2f} ms "
           f"({metrics['throughput_rps']:.0f} requests/s)")
+    if args.learn:
+        learning = metrics["learning"]
+        print(f"learning: revised={learning['revised']} "
+              f"retained={learning['retained']} implementations "
+              f"{learning['implementations_before']} -> "
+              f"{learning['implementations_after']} "
+              f"({learning['revisions']} case-base revisions)")
 
     exit_code = 0
     if args.engine == "compare":
         from dataclasses import replace
 
         unsharded = ServingEngine(
-            case_base, config=replace(config, shard_count=1)
+            case_base.copy() if args.learn else case_base,
+            config=replace(config, shard_count=1),
         ).serve(trace)
         sharded_rankings = report.rankings()
         unsharded_rankings = unsharded.rankings()
@@ -623,6 +642,19 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--clock-mhz", type=float, default=66.0)
     sub.add_argument("--n-best", type=int, default=3,
                      help="ranking depth delivered per request (default 3)")
+    sub.add_argument("--learn", action="store_true",
+                     help="online CBR learning: feed served outcomes back "
+                          "through revise + retain between micro-batches "
+                          "(the case base evolves mid-stream; incremental "
+                          "delta propagation keeps all caches patched)")
+    sub.add_argument("--learning-rate", type=float, default=0.5,
+                     help="revise-step exponential smoothing factor (default 0.5)")
+    sub.add_argument("--novelty-threshold", type=float, default=0.9,
+                     help="retain a new case when the best stored similarity "
+                          "falls below this (default 0.9)")
+    sub.add_argument("--learn-capacity", type=int, default=16,
+                     help="per-type implementation capacity for retained "
+                          "cases (default 16)")
     sub.add_argument("--show", type=int, default=10,
                      help="number of result rows to print (default 10)")
     sub.add_argument("--json", metavar="PATH",

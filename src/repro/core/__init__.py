@@ -45,12 +45,21 @@ from .backends import (
     get_retrieval_backend,
 )
 from .bypass import BypassCache, BypassStatistics, BypassToken
+from .caching import RevisionTrackedCache
 from .case_base import (
     CaseBase,
     DeploymentInfo,
     ExecutionTarget,
     FunctionType,
     Implementation,
+)
+from .deltas import (
+    CaseBaseDelta,
+    DeltaKind,
+    DeltaLog,
+    DeltaSummary,
+    NetImplementationEvent,
+    deltas_preserve_derived_bounds,
 )
 from .exceptions import (
     AllocationError,
@@ -120,10 +129,14 @@ __all__ = [
     "BypassToken",
     "CBRCycle",
     "CaseBase",
+    "CaseBaseDelta",
     "CaseBaseError",
     "CaseRetainer",
     "CaseReviser",
     "CycleReport",
+    "DeltaKind",
+    "DeltaLog",
+    "DeltaSummary",
     "DeploymentInfo",
     "DistanceMetric",
     "DuplicateEntryError",
@@ -147,6 +160,7 @@ __all__ = [
     "MinimumAmalgamation",
     "NaiveBackend",
     "NegotiationError",
+    "NetImplementationEvent",
     "OutcomeRecord",
     "PAPER_ATTRIBUTE_IDS",
     "PlatformError",
@@ -160,6 +174,7 @@ __all__ = [
     "RetrievalResult",
     "RetrievalStatistics",
     "RevisionReport",
+    "RevisionTrackedCache",
     "SchemaError",
     "ScoredImplementation",
     "SoftwareModelError",
@@ -171,6 +186,7 @@ __all__ = [
     "VectorizedBackend",
     "WeightedGeometricMean",
     "WeightedSum",
+    "deltas_preserve_derived_bounds",
     "get_amalgamation",
     "get_retrieval_backend",
     "paper_bounds",

@@ -26,15 +26,18 @@ scalar interpreter arithmetic exactly) and the weighted sum accumulates the
 attribute columns in ascending attribute-ID order, just like the scalar
 ``sum()``.
 
-Matrices are cached on the backend and keyed to
-:attr:`~repro.core.case_base.CaseBase.revision`; any structural mutation of
+Matrices are cached on the backend behind a shared
+:class:`~repro.core.caching.RevisionTrackedCache`: any structural mutation of
 the case base (including the revise/retain steps of :mod:`repro.core.learning`,
 which go through :meth:`CaseBase.replace_implementation` /
-:meth:`CaseBase.add_implementation`) bumps the revision and invalidates the
-cache automatically.  Mutating an :class:`Implementation`'s attribute dict in
-place bypasses the revision counter -- the same caveat that applies to the
-hardware unit's memory images -- and requires an explicit
-:meth:`RetrievalBackend.invalidate`.
+:meth:`CaseBase.add_implementation`) bumps the revision, and the backend
+consumes the case base's :class:`~repro.core.deltas.DeltaLog` to patch only
+the touched per-type matrices in place (append/remove/rewrite rows); a full
+rebuild happens only when the log window was truncated or a delta cannot be
+absorbed (e.g. a brand-new attribute column).  Mutating an
+:class:`Implementation`'s attribute dict in place bypasses the revision
+counter -- the same caveat that applies to the hardware unit's memory images
+-- and requires an explicit :meth:`RetrievalBackend.invalidate`.
 """
 
 from __future__ import annotations
@@ -43,8 +46,10 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from .amalgamation import AmalgamationFunction, WeightedSum
+from .amalgamation import WeightedSum
+from .caching import RevisionTrackedCache
 from .case_base import Implementation
+from .deltas import DeltaSummary, NetImplementationEvent
 from .exceptions import RetrievalError
 from .request import FunctionRequest
 from .similarity import LocalSimilarity, ManhattanDistance
@@ -232,7 +237,19 @@ class NaiveBackend(RetrievalBackend):
 class _TypeMatrices:
     """Columnar encoding of one function type's implementation variants."""
 
-    __slots__ = ("implementations", "impl_ids", "columns", "values", "present")
+    __slots__ = (
+        "implementations",
+        "impl_ids",
+        "columns",
+        "values",
+        "present",
+        "column_all_absent",
+        "column_absent_rows",
+        "kernels",
+    )
+
+    #: Signature-kernel cache entries kept per type (cleared wholesale beyond).
+    KERNEL_CACHE_CAPACITY = 128
 
     def __init__(self, implementations: List[Implementation]) -> None:
         self.implementations = implementations
@@ -258,6 +275,99 @@ class _TypeMatrices:
                 column = self.columns[attribute_id]
                 self.values[row, column] = float(value)
                 self.present[row, column] = True
+        self._refresh_column_stats()
+
+    def _refresh_column_stats(self) -> None:
+        """Per-column absence summaries, hoisted off the retrieval hot path.
+
+        The kernel needs, per constrained attribute, whether the column is
+        entirely absent and which rows miss it; computing both here (and
+        after every row patch) replaces three small-array NumPy calls per
+        attribute per retrieval.
+        """
+        row_count = self.present.shape[0]
+        self.column_all_absent: List[bool] = []
+        self.column_absent_rows: List[Optional[np.ndarray]] = []
+        for column in range(self.present.shape[1]):
+            absent = np.flatnonzero(~self.present[:, column])
+            self.column_all_absent.append(len(absent) == row_count)
+            self.column_absent_rows.append(absent if len(absent) else None)
+        #: Per-signature gathered kernels (see ``_signature_kernel``); any
+        #: content change drops them with the rest of the derived state.
+        self.kernels: Dict[Tuple[int, ...], Tuple] = {}
+
+    # -- incremental row patching (delta application) ----------------------------
+
+    def _row(self, implementation: Implementation):
+        """Encode one implementation as ``(values, present)`` rows.
+
+        Returns ``None`` when the implementation describes an attribute this
+        matrix has no column for -- the caller then rebuilds the type's
+        matrices from scratch (a fresh build would allocate the column).
+        A column left entirely absent by removals behaves exactly like a
+        fresh build without it (the kernel's missing-attribute path), so
+        columns are never shrunk in place.
+        """
+        values = np.zeros(len(self.columns), dtype=np.float64)
+        present = np.zeros(len(self.columns), dtype=bool)
+        for attribute_id, value in implementation.attributes.items():
+            column = self.columns.get(attribute_id)
+            if column is None:
+                return None
+            values[column] = float(value)
+            present[column] = True
+        return values, present
+
+    def _index_of(self, implementation_id: int) -> Optional[int]:
+        """Row index of one implementation ID (rows ascend by ID)."""
+        index = int(np.searchsorted(self.impl_ids, implementation_id))
+        if index >= len(self.impl_ids) or self.impl_ids[index] != implementation_id:
+            return None
+        return index
+
+    def apply_event(self, event: "NetImplementationEvent") -> bool:
+        """Absorb one net delta event in place; ``False`` asks for a rebuild."""
+        if event.kind == NetImplementationEvent.REMOVED:
+            index = self._index_of(event.implementation_id)
+            if index is None:
+                return False
+            del self.implementations[index]
+            self.impl_ids = np.concatenate([self.impl_ids[:index], self.impl_ids[index + 1:]])
+            self.values = np.concatenate([self.values[:index], self.values[index + 1:]])
+            self.present = np.concatenate([self.present[:index], self.present[index + 1:]])
+            self._refresh_column_stats()
+            return True
+        implementation = event.implementation
+        if implementation is None:
+            return False
+        row = self._row(implementation)
+        if row is None:
+            return False
+        values, present = row
+        if event.kind == NetImplementationEvent.ADDED:
+            index = int(np.searchsorted(self.impl_ids, implementation.implementation_id))
+            self.implementations.insert(index, implementation)
+            self.impl_ids = np.concatenate([
+                self.impl_ids[:index],
+                np.array([implementation.implementation_id], dtype=np.int64),
+                self.impl_ids[index:],
+            ])
+            self.values = np.concatenate(
+                [self.values[:index], values[None, :], self.values[index:]]
+            )
+            self.present = np.concatenate(
+                [self.present[:index], present[None, :], self.present[index:]]
+            )
+            self._refresh_column_stats()
+            return True
+        index = self._index_of(implementation.implementation_id)
+        if index is None:
+            return False
+        self.implementations[index] = implementation
+        self.values[index] = values
+        self.present[index] = present
+        self._refresh_column_stats()
+        return True
 
 
 class VectorizedBackend(RetrievalBackend):
@@ -277,7 +387,7 @@ class VectorizedBackend(RetrievalBackend):
         super().__init__()
         self._cache: Dict[int, _TypeMatrices] = {}
         self._reciprocals: Dict[int, float] = {}
-        self._revision = -1
+        self._tracker: Optional[RevisionTrackedCache] = None
 
     # -- compatibility -----------------------------------------------------------
 
@@ -295,13 +405,54 @@ class VectorizedBackend(RetrievalBackend):
     def invalidate(self) -> None:
         self._cache.clear()
         self._reciprocals.clear()
-        self._revision = -1
+        if self._tracker is not None:
+            self._tracker.invalidate()
 
-    def _matrices_for(self, type_id: int) -> _TypeMatrices:
+    def _rebuild(self) -> None:
+        """Full-rebuild fallback: drop everything, repopulate lazily."""
+        self._cache.clear()
+        self._reciprocals.clear()
+
+    def _apply_deltas(self, summary: DeltaSummary) -> bool:
+        """Patch the per-type matrices from one compacted delta window.
+
+        The engine's bounds snapshot (and hence every ``1/(1+dmax)``
+        reciprocal) is fixed at engine construction, so even the
+        ``BOUNDS_CHANGED`` delta leaves the cached reciprocals valid -- a
+        full rebuild would recompute identical values from the same
+        ``local_similarity.bounds`` object.  Types are only patched when
+        already materialised; untouched (or dropped) types rebuild lazily on
+        their next use, touching exactly the types the window named.
+        """
+        for type_id in summary.reset_types:
+            self._cache.pop(type_id, None)
+        for type_id, events in summary.impl_events.items():
+            matrices = self._cache.get(type_id)
+            if matrices is None:
+                continue
+            for event in events.values():
+                if not matrices.apply_event(event):
+                    self._cache.pop(type_id, None)
+                    break
+        return True
+
+    @property
+    def tracker(self) -> RevisionTrackedCache:
+        """The backend's delta subscription (bound lazily to the engine)."""
+        if self._tracker is None or self._tracker.case_base is not self.engine.case_base:
+            self._tracker = RevisionTrackedCache(
+                self.engine.case_base,
+                rebuild=self._rebuild,
+                apply=self._apply_deltas,
+            )
+        return self._tracker
+
+    def _matrices_for(self, type_id: int, *, current: bool = False) -> _TypeMatrices:
+        """Per-type matrices; ``current=True`` when the caller already ran
+        :meth:`RevisionTrackedCache.ensure_current` for the whole batch."""
         case_base = self.engine.case_base
-        if self._revision != case_base.revision:
-            self.invalidate()
-            self._revision = case_base.revision
+        if not current:
+            self.tracker.ensure_current()
         matrices = self._cache.get(type_id)
         if matrices is None:
             function_type = case_base.get_type(type_id)
@@ -320,9 +471,9 @@ class VectorizedBackend(RetrievalBackend):
 
     # -- the vectorized kernel ----------------------------------------------------
 
-    def _validate(self, request: FunctionRequest) -> _TypeMatrices:
+    def _validate(self, request: FunctionRequest, *, current: bool = False) -> _TypeMatrices:
         """Mirror the error behaviour of the naive scoring path."""
-        matrices = self._matrices_for(request.type_id)
+        matrices = self._matrices_for(request.type_id, current=current)
         if len(matrices.implementations) == 0:
             raise RetrievalError(
                 f"function type {request.type_id} has no implementation variants"
@@ -331,15 +482,54 @@ class VectorizedBackend(RetrievalBackend):
             raise RetrievalError("cannot score a request without constraining attributes")
         return matrices
 
-    def _normalised_weights(self, request: FunctionRequest) -> List[float]:
-        """Exactly :meth:`WeightedSum.combine`'s weight normalisation.
+    def _signature_kernel(
+        self, matrices: _TypeMatrices, attribute_ids: Tuple[int, ...]
+    ) -> Tuple:
+        """Gathered kernel inputs for one ``(type, constrained-IDs)`` signature.
 
-        Delegates to the canonical implementation so the vectorized path can
-        never drift from the golden arithmetic (or its error message).
+        Serving traffic repeats a few hot signatures, so the per-signature
+        column gather -- the ``(I, A)`` case-value sub-matrix, the ``(A,)``
+        reciprocal vector and the flattened absent-cell index pairs -- is
+        cached on the type's matrices (and dropped with them on any content
+        change).  Missing columns gather zeros; their cells are in the absent
+        index set, so the placeholder arithmetic is overwritten before use.
         """
-        return AmalgamationFunction._normalised_weights(
-            [attribute.weight for attribute in request.sorted_attributes()]
-        )
+        kernel = matrices.kernels.get(attribute_ids)
+        if kernel is not None:
+            return kernel
+        implementation_count = len(matrices.implementations)
+        width = len(attribute_ids)
+        sub_values = np.zeros((implementation_count, width), dtype=np.float64)
+        reciprocals = np.zeros(width, dtype=np.float64)
+        absent_row_parts: List[np.ndarray] = []
+        absent_column_parts: List[np.ndarray] = []
+        for column_index, attribute_id in enumerate(attribute_ids):
+            column = matrices.columns.get(attribute_id)
+            if column is None or matrices.column_all_absent[column]:
+                absent_row_parts.append(np.arange(implementation_count, dtype=np.intp))
+                absent_column_parts.append(
+                    np.full(implementation_count, column_index, dtype=np.intp)
+                )
+                continue
+            sub_values[:, column_index] = matrices.values[:, column]
+            reciprocals[column_index] = self._reciprocal(attribute_id)
+            absent_rows = matrices.column_absent_rows[column]
+            if absent_rows is not None:
+                absent_row_parts.append(absent_rows.astype(np.intp))
+                absent_column_parts.append(
+                    np.full(len(absent_rows), column_index, dtype=np.intp)
+                )
+        if absent_row_parts:
+            absent_rows_index = np.concatenate(absent_row_parts)
+            absent_columns_index = np.concatenate(absent_column_parts)
+        else:
+            absent_rows_index = absent_columns_index = None
+        missing_count = 0 if absent_rows_index is None else int(len(absent_rows_index))
+        kernel = (sub_values, reciprocals, absent_rows_index, absent_columns_index, missing_count)
+        if len(matrices.kernels) >= _TypeMatrices.KERNEL_CACHE_CAPACITY:
+            matrices.kernels.clear()
+        matrices.kernels[attribute_ids] = kernel
+        return kernel
 
     def _similarity_rows(
         self,
@@ -354,35 +544,39 @@ class VectorizedBackend(RetrievalBackend):
         return value is the ``(B, I)`` global-similarity matrix plus the
         per-request ``(missing, compared)`` attribute counts (identical for
         every request in the group, because the signature is shared).
+
+        The arithmetic is the golden scalar computation, operation for
+        operation: element-wise ``1 - d * (1/(1+dmax))`` (one tensor op over
+        all attributes at once is bit-identical to the per-column form),
+        clamped, missing cells forced to ``missing_similarity``, and the
+        weighted sum folded column by column in ascending attribute-ID order
+        exactly like the scalar ``sum()``.
         """
         local = self.engine.local_similarity
-        missing_similarity = local.missing_similarity
         batch_size = request_values.shape[0]
         implementation_count = len(matrices.implementations)
+        sub_values, reciprocals, absent_rows_index, absent_columns_index, missing_count = (
+            self._signature_kernel(matrices, attribute_ids)
+        )
+        similarities = np.abs(request_values[:, None, :] - sub_values[None, :, :])
+        similarities *= reciprocals
+        np.subtract(1.0, similarities, out=similarities)
+        if local.clamp:
+            # clip == minimum(maximum(x, 0), 1); direct ufunc calls skip the
+            # np.clip dispatch overhead that dominates single-request batches.
+            np.maximum(similarities, 0.0, out=similarities)
+            np.minimum(similarities, 1.0, out=similarities)
+        if absent_rows_index is not None:
+            similarities[:, absent_rows_index, absent_columns_index] = (
+                local.missing_similarity
+            )
+        # One element-wise multiply for all weights at once, then a strictly
+        # sequential fold over the attribute columns in ascending-ID order --
+        # the same additions, in the same order, as the scalar ``sum()``.
+        similarities *= weight_rows[:, None, :]
         accumulator = np.zeros((batch_size, implementation_count), dtype=np.float64)
-        missing_count = 0
-        for column_index, attribute_id in enumerate(attribute_ids):
-            column = matrices.columns.get(attribute_id)
-            present = matrices.present[:, column] if column is not None else None
-            if present is None or not present.any():
-                similarity_column = np.full(
-                    (batch_size, implementation_count), missing_similarity
-                )
-                missing_count += implementation_count
-            else:
-                reciprocal = self._reciprocal(attribute_id)
-                distances = np.abs(
-                    request_values[:, column_index, None]
-                    - matrices.values[None, :, column]
-                )
-                similarity_column = 1.0 - distances * reciprocal
-                if local.clamp:
-                    np.clip(similarity_column, 0.0, 1.0, out=similarity_column)
-                absent = ~present
-                if absent.any():
-                    similarity_column[:, absent] = missing_similarity
-                    missing_count += int(np.count_nonzero(absent))
-            accumulator += weight_rows[:, column_index, None] * similarity_column
+        for column_index in range(len(attribute_ids)):
+            accumulator += similarities[:, :, column_index]
         compared_count = implementation_count * len(attribute_ids) - missing_count
         return accumulator, missing_count, compared_count
 
@@ -391,12 +585,9 @@ class VectorizedBackend(RetrievalBackend):
     ) -> Tuple[_TypeMatrices, np.ndarray]:
         """Similarity row for one request, with statistics accounting."""
         matrices = self._validate(request)
-        attribute_ids = tuple(request.attribute_ids())
-        request_values = np.array(
-            [[float(attribute.value) for attribute in request.sorted_attributes()]],
-            dtype=np.float64,
-        )
-        weight_rows = np.array([self._normalised_weights(request)], dtype=np.float64)
+        attribute_ids, values, weights = request.kernel_inputs()
+        request_values = np.array([values], dtype=np.float64)
+        weight_rows = np.array([weights], dtype=np.float64)
         similarities, missing, compared = self._similarity_rows(
             matrices, attribute_ids, request_values, weight_rows
         )
@@ -583,35 +774,30 @@ class VectorizedBackend(RetrievalBackend):
         # then the mode arguments, then the remaining requests.  (Scoring
         # errors only detectable inside the kernel -- e.g. a bounds-table gap
         # -- surface later, during group evaluation.)
+        self.tracker.ensure_current()  # one refresh for the whole batch
         groups: Dict[Tuple[int, Tuple[int, ...]], List[int]] = {}
         matrices_by_request: List[_TypeMatrices] = []
-        weights_by_request: List[List[float]] = []
+        kernel_inputs_by_request: List[Tuple] = []
         for index, request in enumerate(requests):
-            matrices = self._validate(request)
-            weights_by_request.append(self._normalised_weights(request))
+            matrices = self._validate(request, current=True)
+            kernel_inputs_by_request.append(request.kernel_inputs())
             if index == 0:
                 if threshold is not None:
                     _check_threshold(threshold)
                 if n is not None:
                     _check_n(n)
             matrices_by_request.append(matrices)
-            key = (request.type_id, tuple(request.attribute_ids()))
+            key = (request.type_id, kernel_inputs_by_request[index][0])
             groups.setdefault(key, []).append(index)
         results: List[Optional["RetrievalResult"]] = [None] * len(requests)
         for (type_id, attribute_ids), member_indices in groups.items():
             matrices = matrices_by_request[member_indices[0]]
             request_values = np.array(
-                [
-                    [
-                        float(attribute.value)
-                        for attribute in requests[index].sorted_attributes()
-                    ]
-                    for index in member_indices
-                ],
+                [kernel_inputs_by_request[index][1] for index in member_indices],
                 dtype=np.float64,
             )
             weight_rows = np.array(
-                [weights_by_request[index] for index in member_indices],
+                [kernel_inputs_by_request[index][2] for index in member_indices],
                 dtype=np.float64,
             )
             similarity_rows, missing, compared = self._similarity_rows(
@@ -625,10 +811,20 @@ class VectorizedBackend(RetrievalBackend):
                 # implementation ID by construction -- exactly the
                 # per-request lexsort of :meth:`_ranking_order`.
                 orders = np.argsort(-similarity_rows, axis=1, kind="stable")
+            # Group-constant effort counters (see :meth:`_account`), built
+            # directly into each request's statistics record.
+            implementation_count = len(matrices.implementations)
+            attribute_total = implementation_count * len(attribute_ids)
             for row, index in enumerate(member_indices):
                 request = requests[index]
-                statistics = RetrievalStatistics()
-                self._account(statistics, matrices, attribute_ids, missing, compared)
+                statistics = RetrievalStatistics(
+                    implementations_visited=implementation_count,
+                    attributes_requested=attribute_total,
+                    attribute_lookups=attribute_total,
+                    attribute_compares=compared,
+                    missing_attributes=missing,
+                    multiplications=compared,
+                )
                 similarities = similarity_rows[row]
                 if orders is None:
                     results[index] = self._best_result(

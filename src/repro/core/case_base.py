@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from .attributes import AttributeBounds, AttributeSchema, BoundsTable, Number
+from .deltas import CaseBaseDelta, DeltaKind, DeltaLog
 from .exceptions import CaseBaseError, DuplicateEntryError, UnknownFunctionTypeError
 
 
@@ -221,11 +222,17 @@ class CaseBase:
         #: Monotonically increasing revision counter.  Any structural change
         #: bumps it; bypass tokens snapshot the revision to detect staleness.
         self.revision = 0
+        #: Structured mutation log: every revision bump appends one typed
+        #: :class:`~repro.core.deltas.CaseBaseDelta`, letting subscribers
+        #: (:class:`~repro.core.caching.RevisionTrackedCache` consumers) patch
+        #: their derived state incrementally instead of rebuilding.
+        self.delta_log = DeltaLog()
 
     # -- structure manipulation -------------------------------------------------
 
-    def _touch(self) -> None:
+    def _touch(self, kind: DeltaKind, **payload: object) -> None:
         self.revision += 1
+        self.delta_log.record(CaseBaseDelta(revision=self.revision, kind=kind, **payload))
 
     def add_type(self, function_type: Union[FunctionType, int], name: str = "") -> FunctionType:
         """Register a function type, given either an object or a bare ID."""
@@ -234,7 +241,11 @@ class CaseBase:
         if function_type.type_id in self._types:
             raise DuplicateEntryError(f"function type {function_type.type_id} already exists")
         self._types[function_type.type_id] = function_type
-        self._touch()
+        self._touch(
+            DeltaKind.ADD_TYPE,
+            type_id=function_type.type_id,
+            function_type=function_type,
+        )
         return function_type
 
     def add_implementation(
@@ -243,14 +254,24 @@ class CaseBase:
         """Add an implementation variant to an existing function type."""
         function_type = self.get_type(type_id)
         result = function_type.add(implementation)
-        self._touch()
+        self._touch(
+            DeltaKind.ADD_IMPLEMENTATION,
+            type_id=type_id,
+            implementation_id=implementation.implementation_id,
+            implementation=implementation,
+        )
         return result
 
     def remove_implementation(self, type_id: int, implementation_id: int) -> Implementation:
         """Remove an implementation variant (dynamic case-base update)."""
         function_type = self.get_type(type_id)
         result = function_type.remove(implementation_id)
-        self._touch()
+        self._touch(
+            DeltaKind.REMOVE_IMPLEMENTATION,
+            type_id=type_id,
+            implementation_id=implementation_id,
+            previous=result,
+        )
         return result
 
     def remove_type(self, type_id: int) -> FunctionType:
@@ -259,7 +280,7 @@ class CaseBase:
             result = self._types.pop(type_id)
         except KeyError as exc:
             raise UnknownFunctionTypeError(type_id) from exc
-        self._touch()
+        self._touch(DeltaKind.REMOVE_TYPE, type_id=type_id, function_type=result)
         return result
 
     def replace_implementation(
@@ -272,8 +293,15 @@ class CaseBase:
                 f"cannot replace implementation {implementation.implementation_id}: "
                 f"not present in type {type_id}"
             )
+        previous = function_type.implementations[implementation.implementation_id]
         function_type.implementations[implementation.implementation_id] = implementation
-        self._touch()
+        self._touch(
+            DeltaKind.REPLACE_IMPLEMENTATION,
+            type_id=type_id,
+            implementation_id=implementation.implementation_id,
+            implementation=implementation,
+            previous=previous,
+        )
         return implementation
 
     # -- lookups ---------------------------------------------------------------
@@ -367,7 +395,18 @@ class CaseBase:
     @bounds.setter
     def bounds(self, table: Optional[BoundsTable]) -> None:
         self._bounds = table
-        self._touch()
+        self._touch(DeltaKind.BOUNDS_CHANGED)
+
+    @property
+    def has_explicit_bounds(self) -> bool:
+        """Whether the bounds table was set explicitly (vs derived on demand).
+
+        Incremental consumers use this to decide whether structural mutations
+        can shift the effective bounds: explicit tables only change through
+        the ``bounds`` setter (a logged ``BOUNDS_CHANGED`` delta), while
+        derived tables may move with any content change.
+        """
+        return self._bounds is not None
 
     # -- validation and (de)serialisation ----------------------------------------
 
@@ -392,10 +431,20 @@ class CaseBase:
                             )
 
     def copy(self) -> "CaseBase":
-        """Deep copy of the case base (schema and bounds objects are shared)."""
+        """Deep copy of the case base (schema and bounds objects are shared).
+
+        The snapshot's mutation log starts empty, rebased at the copied
+        revision: it stays consistent with the duplicated tree (whose
+        implementation objects are fresh deep copies, not the ones referenced
+        by the source's delta records) and post-copy mutations of the source
+        can never leak deltas into the snapshot -- the staleness-snapshot
+        idiom (``case_base.copy()`` before mutating) keeps working.
+        """
         duplicate = CaseBase(schema=self.schema, bounds=self._bounds)
         duplicate._types = copy.deepcopy(self._types)
         duplicate.revision = self.revision
+        duplicate.delta_log = DeltaLog(capacity=self.delta_log.capacity)
+        duplicate.delta_log.rebase(self.revision)
         return duplicate
 
     def to_dict(self) -> Dict[str, object]:

@@ -69,6 +69,7 @@ class FunctionRequest:
         self.requester = requester
         self._attributes: Dict[int, RequestAttribute] = {}
         self._signature: Optional[Tuple] = None
+        self._kernel: Optional[Tuple] = None
         for entry in attributes:
             self.add(entry)
         if normalize_weights and self._attributes:
@@ -99,6 +100,7 @@ class FunctionRequest:
             )
         self._attributes[attribute.attribute_id] = attribute
         self._signature = None
+        self._kernel = None
         return attribute
 
     def normalize_weights(self) -> None:
@@ -113,6 +115,7 @@ class FunctionRequest:
             for attribute_id, attribute in self._attributes.items()
         }
         self._signature = None
+        self._kernel = None
 
     # -- inspection --------------------------------------------------------------
 
@@ -168,6 +171,34 @@ class FunctionRequest:
                 ),
             )
         return self._signature
+
+    def kernel_inputs(self) -> Tuple[Tuple[int, ...], Tuple[float, ...], Tuple[float, ...]]:
+        """Memoized ``(attribute IDs, float values, normalised weights)`` triple.
+
+        The batch-retrieval hot path consumes exactly these three vectors per
+        request; like :meth:`signature` they are computed once per request
+        state (mutations through :meth:`add` / :meth:`normalize_weights`
+        invalidate the memo).  Weight normalisation delegates to
+        :meth:`AmalgamationFunction._normalised_weights
+        <repro.core.amalgamation.AmalgamationFunction._normalised_weights>`
+        -- the canonical eq.-2 arithmetic -- so cached weights can never
+        drift from the golden scalar path (nor can its error behaviour for
+        all-zero weights).
+        """
+        if self._kernel is None:
+            from .amalgamation import AmalgamationFunction
+
+            attributes = self.sorted_attributes()
+            self._kernel = (
+                tuple(a.attribute_id for a in attributes),
+                tuple(float(a.value) for a in attributes),
+                tuple(
+                    AmalgamationFunction._normalised_weights(
+                        [a.weight for a in attributes]
+                    )
+                ),
+            )
+        return self._kernel
 
     def relaxed(self, factors: Mapping[int, float]) -> "FunctionRequest":
         """Return a relaxed copy of this request.

@@ -18,8 +18,8 @@ models read from CB-MEM.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 import numpy as np
 
@@ -34,6 +34,22 @@ from ..memmap.words import END_OF_LIST
 #: Padding ID for absent attribute-list slots: compares greater than any
 #: 16-bit attribute ID, so it never matches and never counts as ``< a``.
 PAD_ID = 1 << 17
+
+
+def _insert_row(array: np.ndarray, index: int, row) -> np.ndarray:
+    """Insert one row/element; plain concatenation beats ``np.insert``'s
+    axis normalisation overhead on the small arrays of the delta hot path."""
+    piece = np.asarray(row, dtype=array.dtype)
+    if array.ndim > 1:
+        piece = piece[None, ...]
+    else:
+        piece = piece.reshape(1)
+    return np.concatenate([array[:index], piece, array[index:]])
+
+
+def _delete_row(array: np.ndarray, index: int) -> np.ndarray:
+    """Remove one row/element (see :func:`_insert_row`)."""
+    return np.concatenate([array[:index], array[index + 1 :]])
 
 
 @dataclass(frozen=True)
@@ -57,6 +73,68 @@ class TypeColumns:
         """Number of implementation variants of this type."""
         return int(self.impl_ids.shape[0])
 
+    def with_rows(
+        self, patches: Dict[int, Optional[Tuple[Tuple[int, int], ...]]]
+    ) -> Optional["TypeColumns"]:
+        """Row-patched copy: ``impl_id -> encoded (ID, value) pairs`` or ``None``.
+
+        ``None`` entries remove the implementation's row; pair tuples rewrite
+        or insert it (rows stay in ascending implementation-ID order).  The
+        result shares the untouched arrays' data where NumPy allows and keeps
+        the existing pad width -- extra ``PAD_ID`` columns compare greater
+        than any attribute ID, so they are invisible to the cycle models.
+        Returns ``None`` when a patch needs more columns than the current
+        width (the caller re-decodes the type from the image instead).
+        """
+        impl_ids = self.impl_ids
+        entry_ids = self.entry_ids
+        entry_values = self.entry_values
+        entry_counts = self.entry_counts
+        copied = False
+        for implementation_id, pairs in sorted(patches.items()):
+            index = int(np.searchsorted(impl_ids, implementation_id))
+            exists = index < len(impl_ids) and impl_ids[index] == implementation_id
+            if pairs is None:
+                if not exists:
+                    return None
+                impl_ids = _delete_row(impl_ids, index)
+                entry_ids = _delete_row(entry_ids, index)
+                entry_values = _delete_row(entry_values, index)
+                entry_counts = _delete_row(entry_counts, index)
+                copied = True
+                continue
+            width = entry_ids.shape[1]
+            if len(pairs) > width:
+                return None
+            row_ids = np.full(width, PAD_ID, dtype=np.int64)
+            row_values = np.zeros(width, dtype=np.int64)
+            for column, (attribute_id, value) in enumerate(pairs):
+                row_ids[column] = attribute_id
+                row_values[column] = value
+            if exists:
+                if not copied:
+                    entry_ids = entry_ids.copy()
+                    entry_values = entry_values.copy()
+                    entry_counts = entry_counts.copy()
+                    copied = True
+                entry_ids[index] = row_ids
+                entry_values[index] = row_values
+                entry_counts[index] = len(pairs)
+            else:
+                impl_ids = _insert_row(impl_ids, index, implementation_id)
+                entry_ids = _insert_row(entry_ids, index, row_ids)
+                entry_values = _insert_row(entry_values, index, row_values)
+                entry_counts = _insert_row(entry_counts, index, len(pairs))
+                copied = True
+        return TypeColumns(
+            type_id=self.type_id,
+            position=self.position,
+            impl_ids=impl_ids,
+            entry_ids=entry_ids,
+            entry_values=entry_values,
+            entry_counts=entry_counts,
+        )
+
 
 class ColumnarImage:
     """All columnar arrays the vectorized cycle engine needs, decoded once.
@@ -66,18 +144,78 @@ class ColumnarImage:
     image:
         The encoded memory image; its ``tree`` and ``supplemental`` word
         tuples are the single source of truth.
+    previous:
+        Optional prior decode of an earlier revision of the same case base.
+        Together with ``touched_types`` (the function types whose encoded
+        content changed since ``previous`` was built -- the caller's delta
+        summary), decoding reuses every untouched type's arrays and walks
+        only the touched types, making the re-decode O(touched) instead of
+        O(case base).  Positions shift cheaply when types were added or
+        removed; the supplemental arrays are reused whenever the encoded
+        supplemental words are unchanged.
+    row_patches:
+        Finer-grained still: per-type ``{impl_id: encoded attribute pairs or
+        None}`` patches (see :meth:`TypeColumns.with_rows`) applied to the
+        previous decode instead of re-walking the type's words.  A type whose
+        patch cannot be applied in place falls back to the full type decode.
     """
 
-    def __init__(self, image: CaseBaseImage) -> None:
+    def __init__(
+        self,
+        image: CaseBaseImage,
+        *,
+        previous: Optional["ColumnarImage"] = None,
+        touched_types: FrozenSet[int] = frozenset(),
+        row_patches: Optional[Dict[int, Dict[int, Optional[Tuple]]]] = None,
+    ) -> None:
         self.image = image
         self.fraction_format = image.fraction_format
         self.types: Dict[int, TypeColumns] = {}
-        self._decode_tree(image.tree.words)
-        self._decode_supplemental(image.supplemental.words)
+        #: Memoisation surface for the vectorized cycle engine's per-signature
+        #: structural quantities (see ``repro.cosim.vectorized``); entries are
+        #: carried forward below for types whose arrays were reused unchanged.
+        self.structural_cache: Dict[Tuple, object] = {}
+        self._decode_tree(
+            image.tree.words, previous, frozenset(touched_types), row_patches or {}
+        )
+        supplemental_reused = (
+            previous is not None
+            and previous.image.supplemental.words == image.supplemental.words
+        )
+        if supplemental_reused:
+            self.supplemental_ids = previous.supplemental_ids
+            self.supplemental_reciprocals = previous.supplemental_reciprocals
+            self.supplemental_divisors = previous.supplemental_divisors
+        else:
+            self._decode_supplemental(image.supplemental.words)
+        if supplemental_reused:
+            for key, structural in previous.structural_cache.items():
+                if self.types.get(key[0]) is previous.types.get(key[0]):
+                    self.structural_cache[key] = structural
 
     # -- decoding ------------------------------------------------------------------
 
-    def _decode_tree(self, words: Tuple[int, ...]) -> None:
+    def _decode_tree(
+        self,
+        words: Tuple[int, ...],
+        previous: Optional["ColumnarImage"],
+        touched: FrozenSet[int],
+        row_patches: Dict[int, Dict[int, Optional[Tuple]]],
+    ) -> None:
+        if previous is not None and not touched:
+            # Pure row-patch window: type membership (and hence the level-0
+            # list and every position) is unchanged, so the previous decode
+            # carries over wholesale and only the patched types are touched.
+            self.types = dict(previous.types)
+            for type_id, patches in row_patches.items():
+                columns = self.types.get(type_id)
+                patched = columns.with_rows(patches) if columns is not None else None
+                if patched is None:
+                    self.types = {}
+                    break  # width growth or drift: fall through to the walk
+                self.types[type_id] = patched
+            else:
+                return
         # Level 0: type list order gives each type's search position.
         type_blocks: List[Tuple[int, int]] = []  # (type_id, impl list address)
         index = 0
@@ -85,6 +223,22 @@ class ColumnarImage:
             type_blocks.append((words[index], words[index + 1]))
             index += TYPE_BLOCK_WORDS
         for position, (type_id, impl_list_address) in enumerate(type_blocks):
+            reusable = (
+                previous.types.get(type_id)
+                if previous is not None and type_id not in touched
+                else None
+            )
+            if reusable is not None:
+                patches = row_patches.get(type_id)
+                if patches is not None:
+                    reusable = reusable.with_rows(patches)
+                if reusable is not None:
+                    self.types[type_id] = (
+                        reusable
+                        if reusable.position == position
+                        else replace(reusable, position=position)
+                    )
+                    continue
             self.types[type_id] = self._decode_type(words, type_id, position, impl_list_address)
 
     @staticmethod

@@ -111,11 +111,15 @@ class _Structural:
 
 
 def _decode_encoded_request(words: Sequence[int]) -> Tuple[int, Tuple[int, ...], List[int], List[int]]:
-    """Split an encoded request image into (type, IDs, values, weights)."""
-    count = (len(words) - 2) // REQUEST_BLOCK_WORDS
-    ids = tuple(words[1 + REQUEST_BLOCK_WORDS * r] for r in range(count))
-    values = [words[2 + REQUEST_BLOCK_WORDS * r] for r in range(count)]
-    weights = [words[3 + REQUEST_BLOCK_WORDS * r] for r in range(count)]
+    """Split an encoded request image into (type, IDs, values, weights).
+
+    Strided tuple slices instead of per-block comprehensions: this runs once
+    per request per batch on the serving path.
+    """
+    end = 1 + len(words) - 2  # exclude the type word and the terminator
+    ids = tuple(words[1:end:REQUEST_BLOCK_WORDS])
+    values = list(words[2:end:REQUEST_BLOCK_WORDS])
+    weights = list(words[3:end:REQUEST_BLOCK_WORDS])
     return words[0], ids, values, weights
 
 
@@ -142,11 +146,18 @@ def _prepare_groups(
             # Signature-level validation, mirroring the stepwise walk of the
             # first request carrying it: unknown type first, then (only when
             # the type has implementations to score) the lowest request
-            # attribute without a supplemental (bounds) entry.
+            # attribute without a supplemental (bounds) entry.  A signature
+            # validated against this columnar image stays valid (memoised on
+            # the image, carried forward by the delta-patch path like the
+            # structural quantities).
             columns = columnar.types.get(type_id)
             if columns is None:
                 raise UnknownFunctionTypeError(type_id)
-            if columns.implementation_count > 0:
+            validated_key = (type_id, ids, "validated")
+            if (
+                columns.implementation_count > 0
+                and validated_key not in columnar.structural_cache
+            ):
                 supplemental_ids = columnar.supplemental_ids
                 if supplemental_ids.shape[0] == 0:
                     raise missing_bounds_error(
@@ -163,6 +174,7 @@ def _prepare_groups(
                     raise missing_bounds_error(
                         f"attribute {attribute_id} has no supplemental (bounds) entry"
                     )
+                columnar.structural_cache[validated_key] = True
             group = _Group(type_id, ids, [], np.empty(0), np.empty(0))
             building[key] = group
             raw_rows[key] = []
@@ -175,7 +187,38 @@ def _prepare_groups(
     return list(building.values())
 
 
+#: Structural-cache entries kept per columnar image (cleared wholesale beyond).
+_STRUCTURAL_CACHE_CAPACITY = 256
+
+
 def _structural_counts(
+    columnar: ColumnarImage,
+    columns: TypeColumns,
+    attribute_ids: Tuple[int, ...],
+    *,
+    restart_search: bool,
+) -> _Structural:
+    """Memoised :func:`_compute_structural_counts` per (type, signature).
+
+    The quantities are value-independent, so hot serving signatures reuse
+    them across batches; the cache lives on the columnar image, and the
+    image's delta-patch path carries entries forward for types whose arrays
+    were reused unchanged.
+    """
+    cache = columnar.structural_cache
+    key = (columns.type_id, attribute_ids, restart_search)
+    structural = cache.get(key)
+    if structural is None:
+        structural = _compute_structural_counts(
+            columnar, columns, attribute_ids, restart_search=restart_search
+        )
+        if len(cache) >= _STRUCTURAL_CACHE_CAPACITY:
+            cache.clear()
+        cache[key] = structural
+    return structural
+
+
+def _compute_structural_counts(
     columnar: ColumnarImage,
     columns: TypeColumns,
     attribute_ids: Tuple[int, ...],
@@ -331,8 +374,8 @@ class VectorizedCycleEngine(CycleEngine):
                 columnar, columns, group.attribute_ids,
                 restart_search=config.restart_attribute_search,
             )
-            costs = self._hardware_group_costs(
-                config, columns, structural, len(group.attribute_ids)
+            costs = self._cached_hardware_group_costs(
+                columnar, config, columns, structural, group.attribute_ids
             )
             similarities, _, _, _ = _similarity_kernel(
                 structural, group.values, group.weights,
@@ -395,8 +438,8 @@ class VectorizedCycleEngine(CycleEngine):
                 columnar, columns, group.attribute_ids,
                 restart_search=config.restart_attribute_search,
             )
-            costs = self._hardware_group_costs(
-                config, columns, structural, len(group.attribute_ids)
+            costs = self._cached_hardware_group_costs(
+                columnar, config, columns, structural, group.attribute_ids
             )
             if config.n_best > 1:
                 similarities, _, _, _ = _similarity_kernel(
@@ -413,6 +456,34 @@ class VectorizedCycleEngine(CycleEngine):
             for row, index in enumerate(group.member_indices):
                 cycles[index] = costs.base_cycles + int(finalize_cycles[row])
         return cycles
+
+    @classmethod
+    def _cached_hardware_group_costs(
+        cls,
+        columnar: ColumnarImage,
+        config: HardwareConfig,
+        columns: TypeColumns,
+        structural: _Structural,
+        attribute_ids: Tuple[int, ...],
+    ) -> "_HardwareGroupCosts":
+        """Memoised :meth:`_hardware_group_costs` per (type, signature, config).
+
+        The terms are value-independent, so hot serving signatures reuse them
+        across batches; entries ride the columnar image's structural cache
+        and are carried forward by the delta-patch path exactly like the
+        structural quantities themselves.
+        """
+        cache = columnar.structural_cache
+        key = (columns.type_id, attribute_ids, config, "hardware-costs")
+        costs = cache.get(key)
+        if costs is None:
+            costs = cls._hardware_group_costs(
+                config, columns, structural, len(attribute_ids)
+            )
+            if len(cache) >= _STRUCTURAL_CACHE_CAPACITY:
+                cache.clear()
+            cache[key] = costs
+        return costs
 
     @staticmethod
     def _hardware_group_costs(

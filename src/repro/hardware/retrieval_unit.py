@@ -28,11 +28,13 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.attributes import BoundsTable
+from ..core.caching import RevisionTrackedCache
 from ..core.case_base import CaseBase
+from ..core.deltas import DeltaSummary
 from ..core.exceptions import HardwareModelError, UnknownFunctionTypeError
 from ..core.request import FunctionRequest
 from ..fixedpoint.qformat import QFormat, UQ0_16
-from ..memmap.image import CaseBaseImage
+from ..memmap.image import DeltaTrackedImage
 from ..memmap.ram import RamBlock
 from ..memmap.request_list import EncodedRequest
 from ..memmap.words import END_OF_LIST
@@ -188,12 +190,15 @@ class HardwareRetrievalUnit:
         self.config = config if config is not None else HardwareConfig()
         self.case_base = case_base
         self._bounds = bounds
-        self.image = CaseBaseImage(case_base, bounds=bounds)
+        self._delta_image = DeltaTrackedImage(case_base, bounds=bounds)
+        self.image = self._delta_image.image
         self.case_base_ram, self.supplemental_base = self.image.build_case_base_ram()
         self.fraction_format = self.image.fraction_format
-        self._revision = case_base.revision
-        self._columnar: Optional["ColumnarImage"] = None
         self._request_cache: "OrderedDict[Tuple, Tuple[RamBlock, EncodedRequest]]" = OrderedDict()
+        self._tracker = RevisionTrackedCache(
+            case_base, rebuild=self._rebuild_image, apply=self._apply_deltas
+        )
+        self._tracker.mark_current()
         self._components = standard_datapath_components()
         if self.config.use_divider:
             # The divider replaces the reciprocal multiplier (section 4.1's
@@ -207,25 +212,55 @@ class HardwareRetrievalUnit:
     # -- image / request caching ---------------------------------------------------
 
     def _ensure_current(self) -> None:
-        """Re-encode the memory image when the case base has mutated.
+        """Refresh the memory image when the case base has mutated.
 
-        Keyed to :attr:`CaseBase.revision` exactly like the reference
-        engine's vectorized backend cache: structural mutations invalidate
-        the word image, the decoded columnar arrays and every cached encoded
-        request.  (In-place edits of an :class:`Implementation`'s attribute
-        dict bypass the revision counter, as everywhere else.)
+        Shares the :class:`~repro.core.caching.RevisionTrackedCache` protocol
+        with the reference engine's vectorized backend: when the case base's
+        delta log still covers the window, only the touched types are
+        re-encoded and re-decoded (and the encoded-request cache survives --
+        request encoding is case-base independent); a truncated log or an
+        unstable effective bounds table falls back to the full rebuild.
+        (In-place edits of an :class:`Implementation`'s attribute dict bypass
+        the revision counter, as everywhere else.)
         """
-        if self.case_base.revision == self._revision:
-            return
-        self.image = CaseBaseImage(self.case_base, bounds=self._bounds)
+        self._tracker.ensure_current()
+
+    def invalidate(self) -> None:
+        """Force a full image rebuild on next use (pre-delta behaviour)."""
+        self._tracker.invalidate()
+
+    def _rebuild_image(self) -> None:
+        """Full rebuild: re-encode everything, drop derived and request caches."""
+        self._delta_image.rebuild()
+        self.image = self._delta_image.image
         self.case_base_ram, self.supplemental_base = self.image.build_case_base_ram()
         self.fraction_format = self.image.fraction_format
-        self._columnar = None
         self._request_cache.clear()
-        self._revision = self.case_base.revision
+
+    def _apply_deltas(self, summary: DeltaSummary) -> bool:
+        """Patch the encoded image for one delta window (touched types only).
+
+        The shared :class:`~repro.memmap.image.DeltaTrackedImage` carries the
+        delta rules; only the CB-MEM RAM is refreshed here.  The request
+        cache survives: encoded requests depend only on the fraction format,
+        never on case-base contents.
+        """
+        if not self._delta_image.apply(summary):
+            return False
+        self.image = self._delta_image.image
+        self.case_base_ram = RamBlock.from_words(
+            self._delta_image.words(), name="CB-MEM", validate=False
+        )
+        self.supplemental_base = self._delta_image.supplemental_base
+        return True
 
     def _encoded_request(self, request: FunctionRequest) -> Tuple[RamBlock, EncodedRequest]:
-        """Encode a request once per (case-base revision, request signature)."""
+        """Encode a request once per signature.
+
+        The cache deliberately survives incremental delta windows (request
+        encoding depends only on the fraction format, never on case-base
+        contents) and is dropped only by a full image rebuild.
+        """
         self._ensure_current()
         key = request.signature()
         cached = self._request_cache.get(key)
@@ -243,12 +278,8 @@ class HardwareRetrievalUnit:
 
     def columnar_image(self) -> "ColumnarImage":
         """Columnar (NumPy) decode of the current image, built once per revision."""
-        from ..cosim.columnar import ColumnarImage
-
         self._ensure_current()
-        if self._columnar is None:
-            self._columnar = ColumnarImage(self.image)
-        return self._columnar
+        return self._delta_image.columnar_image()
 
     # -- helpers ------------------------------------------------------------------
 

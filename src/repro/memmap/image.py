@@ -11,19 +11,27 @@ their footprints (Table 3); :func:`build_memories` instantiates the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..core.attributes import BoundsTable
 from ..core.case_base import CaseBase
+from ..core.deltas import DeltaSummary, deltas_preserve_derived_bounds
 from ..core.exceptions import EncodingError
 from ..core.request import FunctionRequest
 from ..fixedpoint.qformat import QFormat, UQ0_16
 from .compact import EncodedCompactTree, encode_compact_tree
-from .implementation_tree import EncodedImplementationTree, encode_tree
+from .implementation_tree import (
+    EncodedImplementationTree,
+    SegmentedTreeEncoder,
+    encode_tree,
+)
 from .ram import BramBank, RamBlock
 from .request_list import EncodedRequest, encode_request
 from .supplemental_list import EncodedSupplementalList, encode_supplemental
 from .words import WORD_BYTES
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from ..cosim.columnar import ColumnarImage
 
 
 @dataclass(frozen=True)
@@ -76,15 +84,42 @@ class CaseBaseImage:
         case_base: CaseBase,
         bounds: Optional[BoundsTable] = None,
         fraction_format: QFormat = UQ0_16,
+        *,
+        tree: Optional[EncodedImplementationTree] = None,
+        supplemental: Optional[EncodedSupplementalList] = None,
     ) -> None:
         self.case_base = case_base
         self.bounds = bounds if bounds is not None else case_base.bounds
         self.fraction_format = fraction_format
-        self.tree: EncodedImplementationTree = encode_tree(case_base)
-        self.supplemental: EncodedSupplementalList = encode_supplemental(
-            self.bounds, fraction_format
+        #: ``tree``/``supplemental`` may be supplied pre-encoded -- the
+        #: delta-aware retrieval units patch only touched types via
+        #: :class:`~repro.memmap.implementation_tree.SegmentedTreeEncoder`
+        #: and re-wrap the result here instead of re-encoding everything.
+        self.tree: EncodedImplementationTree = (
+            tree if tree is not None else encode_tree(case_base)
         )
-        self.compact_tree: EncodedCompactTree = encode_compact_tree(case_base)
+        self.supplemental: EncodedSupplementalList = (
+            supplemental
+            if supplemental is not None
+            else encode_supplemental(self.bounds, fraction_format)
+        )
+        self._compact_tree: Optional[EncodedCompactTree] = None
+
+    @property
+    def compact_tree(self) -> EncodedCompactTree:
+        """The compact (shared-directory) tree encoding, built on first use.
+
+        Lazy because only the footprint comparison (Table 3) and the compact
+        design variants read it -- eager encoding would double the cost of
+        every image rebuild on the serving path.  The encode runs against the
+        *live* case base at first access: on an image held across later
+        case-base mutations (the documented snapshot-before-mutating caveat
+        applies) it would reflect the newer revision, unlike the ``tree`` /
+        ``supplemental`` fields frozen at construction.
+        """
+        if self._compact_tree is None:
+            self._compact_tree = encode_compact_tree(self.case_base)
+        return self._compact_tree
 
     def encode_request(self, request: FunctionRequest) -> EncodedRequest:
         """Encode one request against this image's fraction format."""
@@ -132,6 +167,112 @@ class CaseBaseImage:
             list(encoded.words), name=name, capacity=len(encoded.words) + 1
         )
         return ram, encoded
+
+
+class DeltaTrackedImage:
+    """Delta-aware maintenance of one retrieval unit's encoded memory state.
+
+    Owns the pieces the hardware and software units share: the segmented
+    tree encoder, the current :class:`CaseBaseImage`, the lazy columnar
+    decode and the delta-application rules (effective-bounds stability,
+    per-type segment re-encode with assembled-buffer splicing, columnar row
+    patching, empty-case-base fallback).  The owning unit keeps only its
+    substrate-specific memory form (CB-MEM :class:`~repro.memmap.ram.RamBlock`
+    vs a flat word list) and its encoded-request cache -- which survives
+    incremental windows, because request encoding never depended on
+    case-base contents.
+    """
+
+    def __init__(
+        self,
+        case_base: CaseBase,
+        bounds: Optional[BoundsTable] = None,
+        fraction_format: QFormat = UQ0_16,
+    ) -> None:
+        self.case_base = case_base
+        self._bounds = bounds
+        self._segments = SegmentedTreeEncoder()
+        self.image = CaseBaseImage(
+            case_base,
+            bounds=bounds,
+            fraction_format=fraction_format,
+            tree=self._segments.encode_full(case_base),
+        )
+        self.columnar: Optional["ColumnarImage"] = None
+
+    def words(self) -> List[int]:
+        """A fresh combined CB-MEM word list (tree then supplemental list).
+
+        The caller owns the returned list (the units adopt it as RAM/memory
+        contents without copying).
+        """
+        combined = list(self.image.tree.words)
+        combined.extend(self.image.supplemental.words)
+        return combined
+
+    @property
+    def supplemental_base(self) -> int:
+        """Word address at which the supplemental list starts."""
+        return self.image.tree.size_words
+
+    def rebuild(self) -> None:
+        """Full rebuild: re-encode every type, drop the columnar decode."""
+        self.image = CaseBaseImage(
+            self.case_base,
+            bounds=self._bounds,
+            fraction_format=self.image.fraction_format,
+            tree=self._segments.encode_full(self.case_base),
+        )
+        self.columnar = None
+
+    def _bounds_stable(self, summary: DeltaSummary) -> bool:
+        """Whether the image's supplemental list provably stays unchanged."""
+        if self._bounds is not None:
+            return True  # bounds pinned at construction; deltas cannot move them
+        if summary.bounds_changed:
+            return False
+        if self.case_base.has_explicit_bounds:
+            return True
+        return deltas_preserve_derived_bounds(summary.deltas, self.image.bounds)
+
+    def apply(self, summary: DeltaSummary) -> bool:
+        """Patch image and columnar decode for one delta window.
+
+        ``False`` requests the full rebuild instead (empty case base --
+        preserving the usual empty-encode error -- or unstable effective
+        bounds).
+        """
+        if len(self.case_base) == 0:
+            return False
+        if not self._bounds_stable(summary):
+            return False
+        tree = self._segments.encode_update(self.case_base, summary)
+        self.image = CaseBaseImage(
+            self.case_base,
+            bounds=self.image.bounds,
+            fraction_format=self.image.fraction_format,
+            tree=tree,
+            supplemental=self.image.supplemental,
+        )
+        if self.columnar is not None:
+            from ..cosim.columnar import ColumnarImage
+
+            full_types, row_patches = self._segments.columnar_patches(summary)
+            self.columnar = ColumnarImage(
+                self.image,
+                previous=self.columnar,
+                touched_types=frozenset(full_types),
+                row_patches=row_patches,
+            )
+        return True
+
+    def columnar_image(self) -> "ColumnarImage":
+        """Columnar (NumPy) decode of the current image, built on first use."""
+        if self.columnar is None:
+            from ..cosim.columnar import ColumnarImage
+
+            self.columnar = ColumnarImage(self.image)
+        return self.columnar
 
 
 def build_memories(

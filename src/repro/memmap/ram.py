@@ -62,16 +62,39 @@ class RamBlock:
         self.counters = AccessCounters()
 
     @classmethod
-    def from_words(cls, words: Sequence[int], name: str = "ram", capacity: Optional[int] = None) -> "RamBlock":
-        """Build a RAM preloaded with an encoded word image."""
+    def from_words(
+        cls,
+        words: Sequence[int],
+        name: str = "ram",
+        capacity: Optional[int] = None,
+        validate: bool = True,
+    ) -> "RamBlock":
+        """Build a RAM preloaded with an encoded word image.
+
+        ``validate=False`` skips the per-word range check -- for images
+        assembled from already-validated encoder output (the delta-patched
+        case-base RAM on the serving path), where the Python-level loop would
+        dominate the incremental update cost.
+        """
         size = capacity if capacity is not None else max(len(words), 1)
         if size < len(words):
             raise MemoryMapError(
                 f"capacity {size} words is smaller than the image ({len(words)} words)"
             )
+        if not validate and size == len(words):
+            # Adopt the image directly, skipping the END_OF_LIST pre-fill; a
+            # caller-owned list is taken over without copying.
+            ram = cls.__new__(cls)
+            ram.name = name
+            ram._words = words if type(words) is list else list(words)
+            ram.counters = AccessCounters()
+            return ram
         ram = cls(size, name=name)
-        for address, word in enumerate(words):
-            ram._words[address] = check_word(word, f"{name}[{address}]")
+        if validate:
+            for address, word in enumerate(words):
+                ram._words[address] = check_word(word, f"{name}[{address}]")
+        else:
+            ram._words[: len(words)] = words
         return ram
 
     def __len__(self) -> int:

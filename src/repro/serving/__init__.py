@@ -21,6 +21,7 @@ engines (PR 2):
 
 from .admission import AdmissionController, AdmissionDecision, AdmissionVerdict
 from .engine import (
+    OnlineLearner,
     ServedRequest,
     ServingConfig,
     ServingEngine,
@@ -45,6 +46,7 @@ __all__ = [
     "AdmissionVerdict",
     "MetricsCollector",
     "MicroBatchScheduler",
+    "OnlineLearner",
     "ScheduledBatch",
     "ServedRequest",
     "ServingConfig",

@@ -28,10 +28,13 @@ from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..allocation.feasibility import FeasibilityChecker
+from ..core.caching import RevisionTrackedCache
 from ..core.case_base import CaseBase
+from ..core.deltas import DeltaKind, DeltaSummary
 from ..core.exceptions import ReproError
+from ..core.learning import CaseRetainer, CaseReviser, CBRCycle, CycleReport, OutcomeRecord
 from ..core.request import FunctionRequest
-from ..core.retrieval import RetrievalResult
+from ..core.retrieval import RetrievalEngine, RetrievalResult
 from ..hardware.retrieval_unit import HardwareConfig
 from .admission import AdmissionController, AdmissionDecision, AdmissionVerdict
 from .loadgen import TimedRequest, trace_from_requests
@@ -75,12 +78,29 @@ class ServingConfig:
     #: Retrieval mode applied per request.
     n_best: int = 3
     threshold: Optional[float] = None
+    #: Online CBR learning (revise + retain fed back between micro-batches).
+    learn: bool = False
+    learning_rate: float = 0.5
+    novelty_threshold: float = 0.9
+    learn_capacity: int = 16
 
     def __post_init__(self) -> None:
         if self.n_best < 1:
             raise ReproError(f"n_best must be at least 1, got {self.n_best}")
         if self.deadline_us is not None and self.deadline_us < 0:
             raise ReproError(f"deadline_us must be non-negative, got {self.deadline_us}")
+        if not 0.0 <= self.learning_rate <= 1.0:
+            raise ReproError(
+                f"learning_rate must lie within [0, 1], got {self.learning_rate}"
+            )
+        if not 0.0 <= self.novelty_threshold <= 1.0:
+            raise ReproError(
+                f"novelty_threshold must lie within [0, 1], got {self.novelty_threshold}"
+            )
+        if self.learn_capacity < 1:
+            raise ReproError(
+                f"learn_capacity must be at least 1, got {self.learn_capacity}"
+            )
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serialisable snapshot (for report files).
@@ -170,6 +190,62 @@ class ServingReport:
         }
 
 
+class OnlineLearner:
+    """Feeds served outcomes back through the CBR revise/retain cycle.
+
+    The paper defers run-time case-base updates to future work;
+    :mod:`repro.core.learning` models them, and this adapter wires that
+    :class:`~repro.core.learning.CBRCycle` into the serving loop: after each
+    micro-batch, every served request's delivered ranking is treated as a
+    measured outcome (the application observed the requested QoS values from
+    the reused best variant).  The revise step blends the stored case towards
+    those values; the retain step inserts a new case when no stored variant
+    is similar enough (``novelty_threshold``), subject to the per-type
+    ``learn_capacity`` limit.  Mutations land between micro-batches, and the
+    delta-propagation subsystem keeps the sharded/vectorized/cosim caches
+    patched in O(touched types) instead of O(case base) per retained case.
+    """
+
+    def __init__(self, case_base: CaseBase, config: "ServingConfig") -> None:
+        engine = RetrievalEngine(case_base, backend=config.backend)
+        self.cycle = CBRCycle(
+            engine,
+            reviser=CaseReviser(learning_rate=config.learning_rate),
+            retainer=CaseRetainer(
+                engine,
+                novelty_threshold=config.novelty_threshold,
+                max_implementations_per_type=config.learn_capacity,
+            ),
+        )
+        self.revised_count = 0
+        self.retained_count = 0
+
+    def observe(self, request: FunctionRequest, result: RetrievalResult) -> None:
+        """Feed one served request's outcome back into revise + retain."""
+        best = result.best
+        if best is None:
+            return
+        measured = {
+            attribute.attribute_id: attribute.value
+            for attribute in request.sorted_attributes()
+        }
+        if not measured:
+            return
+        outcome = OutcomeRecord(
+            type_id=request.type_id,
+            implementation_id=best.implementation_id,
+            measured_attributes=measured,
+        )
+        report = CycleReport(retrieval=result, reused=best)
+        self.cycle.feedback(
+            report, outcome, retain_target=best.implementation.target
+        )
+        if report.revision is not None and report.revision.changed:
+            self.revised_count += 1
+        if report.retained is not None:
+            self.retained_count += 1
+
+
 class ServingEngine:
     """QoS-aware micro-batching front-end over one case base.
 
@@ -221,34 +297,135 @@ class ServingEngine:
             degrade_to_software=self.config.degrade_to_software,
             feasibility=feasibility,
         )
-        #: Revision-keyed screening caches (hot path: one check per request).
-        self._screen_revision = -1
+        #: Revision-tracked screening caches (hot path: one check per request);
+        #: delta windows patch only the touched types instead of rescanning.
         self._servable_types: Dict[int, Optional[str]] = {}
         self._bounded_attribute_ids: frozenset = frozenset()
+        #: Per-signature screen verdicts (a verdict depends only on the
+        #: signature and the revision-tracked tables, so hot-template
+        #: traffic screens with one dict lookup per request).
+        self._screen_verdicts: Dict[Tuple, Optional[str]] = {}
+        self._screen_tracker = RevisionTrackedCache(
+            case_base, rebuild=self._rebuild_screen, apply=self._apply_screen_deltas
+        )
+        #: Optional online-learning adapter (revise + retain between batches).
+        self.learner = OnlineLearner(case_base, self.config) if self.config.learn else None
 
     # -- request screening ---------------------------------------------------------
 
-    def _screen_caches(self) -> Tuple[Dict[int, Optional[str]], frozenset]:
-        """Per-revision lookup tables behind :meth:`_screen`."""
-        if self._screen_revision != self.case_base.revision:
-            self._servable_types = {
-                function_type.type_id: (
-                    None
-                    if len(function_type) > 0
-                    else f"function type {function_type.type_id} has no "
-                         f"implementation variants"
+    @staticmethod
+    def _type_failure(function_type) -> Optional[str]:
+        if len(function_type) > 0:
+            return None
+        return (
+            f"function type {function_type.type_id} has no implementation variants"
+        )
+
+    #: Screen-verdict cache entries kept (cleared wholesale beyond).
+    SCREEN_VERDICT_CAPACITY = 4096
+
+    def _rebuild_screen(self) -> None:
+        """Full rescan of the screening lookup tables."""
+        self._servable_types = {
+            function_type.type_id: self._type_failure(function_type)
+            for function_type in self.case_base.sorted_types()
+        }
+        self._bounded_attribute_ids = frozenset(
+            bound.attribute_id for bound in self.case_base.bounds
+        )
+        self._screen_verdicts.clear()
+
+    def _apply_screen_deltas(self, summary: DeltaSummary) -> bool:
+        """Patch the screening tables for one delta window.
+
+        Type servability only needs the touched types re-checked.  The
+        bounded-attribute set is exact, too: with explicit bounds it moves
+        only on ``BOUNDS_CHANGED``; with derived bounds it is the set of all
+        attribute IDs in the case base, which grows with additions
+        (union-in) and needs a rescan only when a removal might have dropped
+        an attribute's last occurrence.
+        """
+        case_base = self.case_base
+        touched = summary.touched_types
+        # Verdicts key on the request signature (leading with the type ID),
+        # so a window invalidates only the touched types' entries -- the
+        # whole point under learn=True, where every micro-batch mutates the
+        # case base; bounded-set changes below clear the memo wholesale.
+        if touched:
+            stale = [key for key in self._screen_verdicts if key[0] in touched]
+            for key in stale:
+                del self._screen_verdicts[key]
+        for type_id in touched:
+            if type_id in case_base:
+                self._servable_types[type_id] = self._type_failure(
+                    case_base.get_type(type_id)
                 )
-                for function_type in self.case_base.sorted_types()
-            }
-            self._bounded_attribute_ids = frozenset(
-                bound.attribute_id for bound in self.case_base.bounds
+            else:
+                self._servable_types.pop(type_id, None)
+        if case_base.has_explicit_bounds:
+            if summary.bounds_changed:
+                self._bounded_attribute_ids = frozenset(
+                    bound.attribute_id for bound in case_base.bounds
+                )
+                self._screen_verdicts.clear()
+            return True
+        added_ids: set = set()
+        for delta in summary.deltas:
+            if delta.kind is DeltaKind.ADD_IMPLEMENTATION:
+                added_ids.update(delta.implementation.attributes)
+            elif delta.kind is DeltaKind.ADD_TYPE:
+                for implementation in delta.function_type.implementations.values():
+                    added_ids.update(implementation.attributes)
+            elif delta.kind is DeltaKind.REPLACE_IMPLEMENTATION:
+                added_ids.update(delta.implementation.attributes)
+                vanished = set(delta.previous.attributes) - set(
+                    delta.implementation.attributes
+                )
+                if vanished:
+                    self._bounded_attribute_ids = frozenset(case_base.attribute_ids())
+                    self._screen_verdicts.clear()
+                    return True
+            else:  # REMOVE_IMPLEMENTATION / REMOVE_TYPE / BOUNDS_CHANGED
+                self._bounded_attribute_ids = frozenset(case_base.attribute_ids())
+                self._screen_verdicts.clear()
+                return True
+        if added_ids - self._bounded_attribute_ids:
+            self._bounded_attribute_ids = self._bounded_attribute_ids | frozenset(
+                added_ids
             )
-            self._screen_revision = self.case_base.revision
+            self._screen_verdicts.clear()
+        return True
+
+    def _screen_caches(self) -> Tuple[Dict[int, Optional[str]], frozenset]:
+        """Revision-tracked lookup tables behind :meth:`_screen`."""
+        self._screen_tracker.ensure_current()
         return self._servable_types, self._bounded_attribute_ids
 
     def _screen(self, request: FunctionRequest) -> Optional[str]:
-        """Why a request cannot be dispatched at all, or ``None`` if it can."""
+        """Why a request cannot be dispatched at all, or ``None`` if it can.
+
+        Verdicts are memoized per request signature: they depend only on the
+        signature and the revision-tracked tables (any table change clears
+        the memo), so repeated hot-template traffic screens with one dict
+        lookup.
+        """
         servable_types, bounded = self._screen_caches()
+        key = request.signature()
+        try:
+            cached = self._screen_verdicts.get(key)
+        except TypeError:  # unhashable value in a malformed request
+            return self._screen_uncached(request, servable_types, bounded)
+        if cached is not None or key in self._screen_verdicts:
+            return cached
+        verdict = self._screen_uncached(request, servable_types, bounded)
+        if len(self._screen_verdicts) >= self.SCREEN_VERDICT_CAPACITY:
+            self._screen_verdicts.clear()
+        self._screen_verdicts[key] = verdict
+        return verdict
+
+    def _screen_uncached(
+        self, request: FunctionRequest, servable_types, bounded
+    ) -> Optional[str]:
         if request.type_id not in servable_types:
             return f"function type {request.type_id} is not in the case base"
         type_failure = servable_types[request.type_id]
@@ -278,6 +455,16 @@ class ServingEngine:
         trace = list(trace)
         records: List[Optional[ServedRequest]] = [None] * len(trace)
         metrics = MetricsCollector()
+        learn_stats = (
+            {
+                "revised": self.learner.revised_count,
+                "retained": self.learner.retained_count,
+                "implementations": self.case_base.count_implementations(),
+                "revision": self.case_base.revision,
+            }
+            if self.learner is not None
+            else None
+        )
         #: Virtual times each modelled server finishes its queued work; the
         #: admission gate sees backlog carried across batches, so sustained
         #: overload rejects even in the one-at-a-time regime.
@@ -380,6 +567,14 @@ class ServingEngine:
                     result=result,
                     reason=reason,
                 )
+            if self.learner is not None:
+                # Feed outcomes back between micro-batches, in trace order:
+                # the next batch is served by the evolved case base, with the
+                # delta subsystem patching every cache incrementally.
+                for (trace_index, entry, _), result in zip(admitted, results):
+                    record = records[trace_index]
+                    if record is not None and record.status.served:
+                        self.learner.observe(entry.request, result)
         metrics.wall_seconds = time.perf_counter() - start
         served_records = [record for record in records if record is not None]
         for record in served_records:
@@ -397,8 +592,17 @@ class ServingEngine:
                     else 0
                 ),
             )
+        metrics_report = metrics.report()
+        if learn_stats is not None:
+            metrics_report["learning"] = {
+                "revised": self.learner.revised_count - learn_stats["revised"],
+                "retained": self.learner.retained_count - learn_stats["retained"],
+                "implementations_before": learn_stats["implementations"],
+                "implementations_after": self.case_base.count_implementations(),
+                "revisions": self.case_base.revision - learn_stats["revision"],
+            }
         return ServingReport(
-            config=self.config, served=served_records, metrics=metrics.report()
+            config=self.config, served=served_records, metrics=metrics_report
         )
 
     def serve_requests(

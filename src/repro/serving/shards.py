@@ -27,7 +27,14 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from ..core.attributes import BoundsTable
+from ..core.caching import RevisionTrackedCache
 from ..core.case_base import CaseBase
+from ..core.deltas import (
+    DeltaSummary,
+    NetImplementationEvent,
+    deltas_preserve_derived_bounds,
+)
 from ..core.exceptions import RetrievalError
 from ..core.request import FunctionRequest
 from ..core.retrieval import (
@@ -49,9 +56,9 @@ def build_shards(case_base: CaseBase, shard_count: int) -> List[CaseBase]:
     """
     if shard_count < 1:
         raise RetrievalError(f"shard_count must be at least 1, got {shard_count}")
+    bounds = case_base.bounds  # derive once; every shard pins the same table
     shards = [
-        CaseBase(schema=case_base.schema, bounds=case_base.bounds)
-        for _ in range(shard_count)
+        CaseBase(schema=case_base.schema, bounds=bounds) for _ in range(shard_count)
     ]
     for function_type in case_base.sorted_types():
         implementations = function_type.sorted_implementations()
@@ -73,9 +80,12 @@ class ShardedRetriever:
     (no partitioning, no merge) -- the unsharded reference the compare mode
     and the property suite measure against.
 
-    The shard partition is keyed to :attr:`CaseBase.revision` and rebuilt
-    lazily after structural case-base mutations, mirroring the cache policy
-    of the vectorized backend and the retrieval units.
+    The shard partition subscribes to the case base's mutation log through
+    the shared :class:`~repro.core.caching.RevisionTrackedCache`: a delta
+    window re-partitions only the touched function types across the existing
+    shard case bases (whose engines then patch just those types), preserving
+    the bit-identical merged ranking; a truncated log or an unstable derived
+    bounds table falls back to the full shard rebuild.
     """
 
     def __init__(
@@ -96,20 +106,128 @@ class ShardedRetriever:
         self.shard_count = int(shard_count)
         self.backend = backend
         self._engines: List[RetrievalEngine] = []
-        self._revision = -1
+        self._shards: List[CaseBase] = []
+        self._bounds_snapshot: Optional[BoundsTable] = None
+        self._tracker = RevisionTrackedCache(
+            case_base, rebuild=self._rebuild, apply=self._apply_deltas
+        )
 
     # -- shard lifecycle -----------------------------------------------------------
 
+    def invalidate(self) -> None:
+        """Force a full shard rebuild on next use (pre-delta behaviour)."""
+        self._tracker.invalidate()
+
+    def _rebuild(self) -> None:
+        """Full rebuild: re-partition everything and recreate the engines."""
+        if self.shard_count == 1:
+            self._shards = []
+            self._engines = [RetrievalEngine(self.case_base, backend=self.backend)]
+            self._bounds_snapshot = self._engines[0].bounds
+        else:
+            self._shards = build_shards(self.case_base, self.shard_count)
+            self._engines = [
+                RetrievalEngine(shard, backend=self.backend) for shard in self._shards
+            ]
+            self._bounds_snapshot = self._shards[0].bounds
+
+    def _apply_deltas(self, summary: DeltaSummary) -> bool:
+        """Re-partition only the touched types across the existing shards.
+
+        A full rebuild re-derives the effective bounds table, so incremental
+        application is only bit-identical when that table provably cannot
+        have moved; otherwise fall back.  With a single shard the wrapped
+        engine's backend consumes the same delta window itself, so nothing
+        needs re-partitioning here.
+        """
+        if summary.bounds_changed:
+            return False
+        if not self.case_base.has_explicit_bounds and not deltas_preserve_derived_bounds(
+            summary.deltas, self._bounds_snapshot
+        ):
+            return False
+        if self.shard_count == 1:
+            return True
+        for type_id in sorted(summary.reset_types):
+            self._repartition(type_id)
+        for type_id, events in sorted(summary.impl_events.items()):
+            if not self._forward_events(type_id, events):
+                self._repartition(type_id)
+        return True
+
+    def _forward_events(self, type_id: int, events) -> bool:
+        """Route membership-stable events straight to their owning shards.
+
+        Round-robin assignment sends the variant at ID-sorted position ``i``
+        to shard ``i % N``, so a replacement (same ID) never moves anything,
+        and additions whose IDs sort after every other current member (the
+        retain step's ``max + 1`` allocation) extend the tail without
+        re-assigning existing members.  Those two cases -- the whole online
+        learning traffic -- touch exactly one shard per event; anything else
+        (removals, mid-list insertions) returns ``False`` for the full
+        round-robin re-partition of the type.
+        """
+        if type_id not in self.case_base:
+            return False
+        function_type = self.case_base.get_type(type_id)
+        member_ids = sorted(function_type.implementations)
+        added = sorted(
+            event.implementation_id
+            for event in events.values()
+            if event.kind == NetImplementationEvent.ADDED
+        )
+        if any(
+            event.kind == NetImplementationEvent.REMOVED for event in events.values()
+        ):
+            return False
+        if added and member_ids[-len(added):] != added:
+            return False  # insertion below the tail shifts other assignments
+        replaced_ids = {
+            event.implementation_id
+            for event in events.values()
+            if event.kind == NetImplementationEvent.REPLACED
+        }
+        owners = {}
+        for position, implementation_id in enumerate(member_ids):
+            if implementation_id in replaced_ids or implementation_id in added:
+                owners[implementation_id] = self._shards[position % self.shard_count]
+        for event in sorted(events.values(), key=lambda e: e.implementation_id):
+            shard = owners[event.implementation_id]
+            if event.kind == NetImplementationEvent.ADDED:
+                if type_id not in shard:
+                    shard.add_type(type_id, name=function_type.name)
+                shard.add_implementation(type_id, event.implementation)
+            else:  # REPLACED
+                if (
+                    type_id not in shard
+                    or event.implementation_id not in shard.get_type(type_id)
+                ):
+                    return False  # inconsistent partition; rebuild the type
+                shard.replace_implementation(type_id, event.implementation)
+        return True
+
+    def _repartition(self, type_id: int) -> None:
+        """Reassign one function type's variants round-robin across the shards."""
+        if type_id in self.case_base:
+            function_type = self.case_base.get_type(type_id)
+            members = function_type.sorted_implementations()
+            name = function_type.name
+        else:
+            members, name = [], ""
+        for shard_index, shard in enumerate(self._shards):
+            if type_id in shard:
+                shard.remove_type(type_id)
+            assigned = members[shard_index :: self.shard_count]
+            if assigned:
+                # The bulk-build idiom of :func:`build_shards`: one ADD_TYPE
+                # delta resets the type wholesale in the shard engine's
+                # backend, so per-implementation deltas would be redundant.
+                shard_type = shard.add_type(type_id, name=name)
+                for implementation in assigned:
+                    shard_type.add(implementation)
+
     def _ensure_current(self) -> List[RetrievalEngine]:
-        if self._revision != self.case_base.revision or not self._engines:
-            if self.shard_count == 1:
-                self._engines = [RetrievalEngine(self.case_base, backend=self.backend)]
-            else:
-                self._engines = [
-                    RetrievalEngine(shard, backend=self.backend)
-                    for shard in build_shards(self.case_base, self.shard_count)
-                ]
-            self._revision = self.case_base.revision
+        self._tracker.ensure_current()
         return self._engines
 
     @property

@@ -25,11 +25,13 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.attributes import BoundsTable
+from ..core.caching import RevisionTrackedCache
 from ..core.case_base import CaseBase
+from ..core.deltas import DeltaSummary
 from ..core.exceptions import SoftwareModelError, UnknownFunctionTypeError
 from ..core.request import FunctionRequest
 from ..fixedpoint.qformat import QFormat, UQ0_16
-from ..memmap.image import CaseBaseImage
+from ..memmap.image import DeltaTrackedImage
 from ..memmap.words import END_OF_LIST
 from .isa import CostModel, InstructionCounters, InstructionEmitter, microblaze_cost_model
 
@@ -108,38 +110,63 @@ class SoftwareRetrievalUnit:
         self.inline_helpers = inline_helpers
         self.case_base = case_base
         self._bounds = bounds
-        self.image = CaseBaseImage(case_base, bounds=bounds)
-        case_base_ram, supplemental_base = self.image.build_case_base_ram()
-        self._memory: List[int] = case_base_ram.dump()
-        self._supplemental_base = supplemental_base
+        self._delta_image = DeltaTrackedImage(case_base, bounds=bounds)
+        self.image = self._delta_image.image
+        self._memory: List[int] = self._delta_image.words()
+        self._supplemental_base = self._delta_image.supplemental_base
         self.fraction_format = self.image.fraction_format
-        self._revision = case_base.revision
-        self._columnar: Optional["ColumnarImage"] = None
         self._request_cache: "OrderedDict[Tuple, Tuple[int, ...]]" = OrderedDict()
+        self._tracker = RevisionTrackedCache(
+            case_base, rebuild=self._rebuild_image, apply=self._apply_deltas
+        )
+        self._tracker.mark_current()
 
     # -- image / request caching ---------------------------------------------------
 
     def _ensure_current(self) -> None:
-        """Re-encode the memory image when the case base has mutated.
+        """Refresh the memory image when the case base has mutated.
 
-        Keyed to :attr:`CaseBase.revision` like the reference engine's
-        vectorized backend cache; see
-        :meth:`HardwareRetrievalUnit._ensure_current
+        Shares the :class:`~repro.core.caching.RevisionTrackedCache` delta
+        protocol; see :meth:`HardwareRetrievalUnit._ensure_current
         <repro.hardware.retrieval_unit.HardwareRetrievalUnit._ensure_current>`.
         """
-        if self.case_base.revision == self._revision:
-            return
-        self.image = CaseBaseImage(self.case_base, bounds=self._bounds)
-        case_base_ram, supplemental_base = self.image.build_case_base_ram()
-        self._memory = case_base_ram.dump()
-        self._supplemental_base = supplemental_base
+        self._tracker.ensure_current()
+
+    def invalidate(self) -> None:
+        """Force a full image rebuild on next use (pre-delta behaviour)."""
+        self._tracker.invalidate()
+
+    def _rebuild_image(self) -> None:
+        """Full rebuild: re-encode everything, drop derived and request caches."""
+        self._delta_image.rebuild()
+        self.image = self._delta_image.image
+        self._memory = self._delta_image.words()
+        self._supplemental_base = self._delta_image.supplemental_base
         self.fraction_format = self.image.fraction_format
-        self._columnar = None
         self._request_cache.clear()
-        self._revision = self.case_base.revision
+
+    def _apply_deltas(self, summary: DeltaSummary) -> bool:
+        """Patch the encoded memory for one delta window (touched types only).
+
+        The shared :class:`~repro.memmap.image.DeltaTrackedImage` carries the
+        delta rules; only the flat memory list is refreshed here.  The
+        request cache survives: encoded requests depend only on the fraction
+        format, never on case-base contents.
+        """
+        if not self._delta_image.apply(summary):
+            return False
+        self.image = self._delta_image.image
+        self._memory = self._delta_image.words()
+        self._supplemental_base = self._delta_image.supplemental_base
+        return True
 
     def encoded_request_words(self, request: FunctionRequest) -> Tuple[int, ...]:
-        """Encode a request once per (case-base revision, request signature)."""
+        """Encode a request once per signature.
+
+        The cache deliberately survives incremental delta windows (request
+        encoding depends only on the fraction format, never on case-base
+        contents) and is dropped only by a full image rebuild.
+        """
         self._ensure_current()
         key = request.signature()
         words = self._request_cache.get(key)
@@ -152,12 +179,8 @@ class SoftwareRetrievalUnit:
 
     def columnar_image(self) -> "ColumnarImage":
         """Columnar (NumPy) decode of the current image, built once per revision."""
-        from ..cosim.columnar import ColumnarImage
-
         self._ensure_current()
-        if self._columnar is None:
-            self._columnar = ColumnarImage(self.image)
-        return self._columnar
+        return self._delta_image.columnar_image()
 
     # -- memory helper ------------------------------------------------------------
 

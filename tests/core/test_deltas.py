@@ -1,0 +1,346 @@
+"""Unit tests of the delta-propagation substrate.
+
+Covers the structured mutation log (:mod:`repro.core.deltas`), the shared
+:class:`~repro.core.caching.RevisionTrackedCache` subscriber protocol, the
+``CaseBase.copy()`` log-consistency guarantee, and the segmented tree
+encoder's word-for-word parity with :func:`repro.memmap.encode_tree`.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    BoundsTable,
+    CaseBase,
+    DeltaKind,
+    DeltaLog,
+    DeltaSummary,
+    ExecutionTarget,
+    Implementation,
+    NetImplementationEvent,
+    RevisionTrackedCache,
+    deltas_preserve_derived_bounds,
+)
+from repro.core.deltas import CaseBaseDelta
+from repro.memmap.implementation_tree import SegmentedTreeEncoder, encode_tree
+
+
+def _case_base(bounds=True) -> CaseBase:
+    table = BoundsTable()
+    if bounds:
+        for attribute_id in range(1, 6):
+            table.define(attribute_id, 0, 100)
+    case_base = CaseBase(bounds=table if bounds else None)
+    for type_id in (1, 2):
+        function_type = case_base.add_type(type_id, name=f"type-{type_id}")
+        for implementation_id in (1, 2, 3):
+            function_type.add(
+                Implementation(
+                    implementation_id,
+                    ExecutionTarget.GPP,
+                    {1: 10 * implementation_id, 2: 50, 3: type_id * 20},
+                )
+            )
+    return case_base
+
+
+# -- the mutation log ----------------------------------------------------------------
+
+
+def test_mutators_log_typed_deltas():
+    case_base = _case_base()
+    base_revision = case_base.revision
+    case_base.add_implementation(1, Implementation(9, ExecutionTarget.FPGA, {1: 5}))
+    case_base.replace_implementation(1, Implementation(9, ExecutionTarget.FPGA, {1: 6}))
+    case_base.remove_implementation(1, 9)
+    removed_type = case_base.remove_type(2)
+    case_base.bounds = case_base.bounds
+
+    deltas = case_base.delta_log.since(base_revision)
+    kinds = [delta.kind for delta in deltas]
+    assert kinds == [
+        DeltaKind.ADD_IMPLEMENTATION,
+        DeltaKind.REPLACE_IMPLEMENTATION,
+        DeltaKind.REMOVE_IMPLEMENTATION,
+        DeltaKind.REMOVE_TYPE,
+        DeltaKind.BOUNDS_CHANGED,
+    ]
+    assert [delta.revision for delta in deltas] == list(
+        range(base_revision + 1, case_base.revision + 1)
+    )
+    assert deltas[0].implementation.attributes == {1: 5}
+    assert deltas[1].previous.attributes == {1: 5}
+    assert deltas[1].implementation.attributes == {1: 6}
+    assert deltas[2].previous.attributes == {1: 6}
+    assert deltas[3].function_type is removed_type
+
+
+def test_since_returns_none_after_truncation():
+    log = DeltaLog(capacity=3)
+    for revision in range(1, 7):
+        log.record(
+            CaseBaseDelta(revision, DeltaKind.ADD_IMPLEMENTATION, type_id=1,
+                          implementation_id=revision)
+        )
+    assert log.since(0) is None  # truncated window
+    assert log.since(2) is None
+    assert [d.revision for d in log.since(3)] == [4, 5, 6]
+    assert log.since(6) == ()
+    assert log.base_revision == 3
+
+
+def test_summary_folds_net_events():
+    impl_a = Implementation(7, ExecutionTarget.GPP, {1: 1})
+    impl_b = Implementation(7, ExecutionTarget.GPP, {1: 2})
+
+    def delta(revision, kind, **payload):
+        return CaseBaseDelta(revision, kind, type_id=1, implementation_id=7, **payload)
+
+    # add + replace folds to one net add carrying the latest object.
+    summary = DeltaSummary([
+        delta(1, DeltaKind.ADD_IMPLEMENTATION, implementation=impl_a),
+        delta(2, DeltaKind.REPLACE_IMPLEMENTATION, implementation=impl_b, previous=impl_a),
+    ])
+    event = summary.impl_events[1][7]
+    assert event.kind == NetImplementationEvent.ADDED
+    assert event.implementation is impl_b
+
+    # add + remove inside one window nets out entirely.
+    summary = DeltaSummary([
+        delta(1, DeltaKind.ADD_IMPLEMENTATION, implementation=impl_a),
+        delta(2, DeltaKind.REMOVE_IMPLEMENTATION, previous=impl_a),
+    ])
+    assert summary.impl_events == {}
+    assert summary.touched_types == frozenset()
+
+    # remove + re-add is a net replacement.
+    summary = DeltaSummary([
+        delta(1, DeltaKind.REMOVE_IMPLEMENTATION, previous=impl_a),
+        delta(2, DeltaKind.ADD_IMPLEMENTATION, implementation=impl_b),
+    ])
+    assert summary.impl_events[1][7].kind == NetImplementationEvent.REPLACED
+
+    # replace + remove is a net removal.
+    summary = DeltaSummary([
+        delta(1, DeltaKind.REPLACE_IMPLEMENTATION, implementation=impl_b, previous=impl_a),
+        delta(2, DeltaKind.REMOVE_IMPLEMENTATION, previous=impl_b),
+    ])
+    assert summary.impl_events[1][7].kind == NetImplementationEvent.REMOVED
+
+    # type-level churn absorbs implementation events into a reset.
+    summary = DeltaSummary([
+        delta(1, DeltaKind.ADD_IMPLEMENTATION, implementation=impl_a),
+        CaseBaseDelta(2, DeltaKind.REMOVE_TYPE, type_id=1),
+        CaseBaseDelta(3, DeltaKind.ADD_TYPE, type_id=1),
+        delta(4, DeltaKind.ADD_IMPLEMENTATION, implementation=impl_b),
+    ])
+    assert summary.reset_types == frozenset({1})
+    assert summary.impl_events == {}
+    assert summary.touched_types == frozenset({1})
+
+
+def test_bounds_preservation_checks():
+    bounds = BoundsTable()
+    bounds.define(1, 0, 100)
+    bounds.define(2, 10, 20)
+
+    def add(attributes):
+        return CaseBaseDelta(
+            1, DeltaKind.ADD_IMPLEMENTATION, type_id=1, implementation_id=5,
+            implementation=Implementation(5, ExecutionTarget.GPP, attributes),
+        )
+
+    def remove(attributes):
+        return CaseBaseDelta(
+            1, DeltaKind.REMOVE_IMPLEMENTATION, type_id=1, implementation_id=5,
+            previous=Implementation(5, ExecutionTarget.GPP, attributes),
+        )
+
+    assert deltas_preserve_derived_bounds([add({1: 50, 2: 15})], bounds)
+    assert not deltas_preserve_derived_bounds([add({1: 101})], bounds)  # outside
+    assert not deltas_preserve_derived_bounds([add({3: 1})], bounds)  # new attribute
+    assert deltas_preserve_derived_bounds([remove({1: 50})], bounds)  # mid-range
+    assert not deltas_preserve_derived_bounds([remove({2: 20})], bounds)  # endpoint
+    assert not deltas_preserve_derived_bounds(
+        [CaseBaseDelta(1, DeltaKind.BOUNDS_CHANGED)], bounds
+    )
+    # A populated type addition is treated per member implementation.
+    donor = _case_base()
+    assert deltas_preserve_derived_bounds(
+        [CaseBaseDelta(1, DeltaKind.ADD_TYPE, type_id=9,
+                       function_type=donor.get_type(1))],
+        donor.bounds,
+    )
+
+
+# -- the shared cache ----------------------------------------------------------------
+
+
+def test_revision_tracked_cache_applies_incrementally():
+    case_base = _case_base()
+    seen = []
+    cache = RevisionTrackedCache(
+        case_base,
+        rebuild=lambda: seen.append("rebuild"),
+        apply=lambda summary: (seen.append(sorted(summary.touched_types)), True)[1],
+    )
+    cache.ensure_current()  # first sight: rebuild
+    assert seen == ["rebuild"]
+    cache.ensure_current()  # current: no-op
+    assert seen == ["rebuild"]
+    case_base.add_implementation(2, Implementation(8, ExecutionTarget.DSP, {1: 1}))
+    cache.ensure_current()
+    assert seen == ["rebuild", [2]]
+    assert cache.rebuild_count == 1 and cache.incremental_count == 1
+    cache.invalidate()
+    cache.ensure_current()
+    assert seen[-1] == "rebuild"
+
+
+def test_revision_tracked_cache_falls_back_on_truncation_and_refusal():
+    case_base = _case_base()
+    case_base.delta_log = DeltaLog(capacity=2)
+    calls = {"rebuild": 0, "apply": 0}
+
+    def rebuild():
+        calls["rebuild"] += 1
+
+    def apply(summary):
+        calls["apply"] += 1
+        return False  # consumer refuses: must rebuild
+
+    cache = RevisionTrackedCache(case_base, rebuild=rebuild, apply=apply)
+    cache.ensure_current()
+    case_base.add_implementation(1, Implementation(8, ExecutionTarget.DSP, {1: 1}))
+    cache.ensure_current()
+    assert calls == {"rebuild": 2, "apply": 1}
+
+    # Truncated log: apply is never consulted.
+    for implementation_id in range(9, 13):
+        case_base.add_implementation(
+            1, Implementation(implementation_id, ExecutionTarget.DSP, {1: 1})
+        )
+    cache.ensure_current()
+    assert calls == {"rebuild": 3, "apply": 1}
+
+
+# -- CaseBase.copy() log consistency -------------------------------------------------
+
+
+def test_copy_rebases_log_and_never_leaks_source_deltas():
+    case_base = _case_base()
+    case_base.add_implementation(1, Implementation(7, ExecutionTarget.GPP, {1: 4}))
+    snapshot = case_base.copy()
+    assert snapshot.revision == case_base.revision
+    assert len(snapshot.delta_log) == 0
+    assert snapshot.delta_log.base_revision == snapshot.revision
+
+    # Post-copy mutations of the source must not appear in the snapshot.
+    copy_revision = snapshot.revision
+    case_base.add_implementation(1, Implementation(8, ExecutionTarget.GPP, {1: 5}))
+    case_base.remove_implementation(2, 1)
+    assert snapshot.revision == copy_revision
+    assert snapshot.delta_log.since(copy_revision) == ()
+    assert 8 not in snapshot.get_type(1)
+    assert 1 in snapshot.get_type(2)
+
+    # And vice versa: snapshot mutations stay in the snapshot's log.
+    snapshot.add_implementation(2, Implementation(9, ExecutionTarget.GPP, {1: 6}))
+    assert case_base.delta_log.since(case_base.revision) == ()
+    assert 9 not in case_base.get_type(2)
+
+    # The documented staleness-snapshot idiom: a consumer of the snapshot
+    # keeps serving the frozen contents while the source evolves.
+    from repro.core import RetrievalEngine, FunctionRequest
+
+    frozen = RetrievalEngine(snapshot, backend="vectorized")
+    live = RetrievalEngine(case_base, backend="vectorized")
+    request = FunctionRequest(1, [(1, 5)])
+    assert 8 in [e.implementation_id for e in live.retrieve_n_best(request, 10)]
+    assert 8 not in [e.implementation_id for e in frozen.retrieve_n_best(request, 10)]
+
+
+# -- segmented tree encoder parity ---------------------------------------------------
+
+
+def test_splice_window_with_shifting_and_growing_followers():
+    """Regression: one window shifting a follower that itself grew past its
+    old region (splice must not rebase pending followers' stale content)."""
+    bounds = BoundsTable()
+    for attribute_id in range(1, 6):
+        bounds.define(attribute_id, 0, 100)
+    case_base = CaseBase(bounds=bounds)
+    first = case_base.add_type(1)
+    first.add(Implementation(1, ExecutionTarget.GPP, {1: 5, 2: 6}))
+    tiny = case_base.add_type(2)
+    tiny.add(Implementation(1, ExecutionTarget.GPP, {1: 7}))
+    encoder = SegmentedTreeEncoder()
+    base_revision = case_base.revision
+    encoder.encode_full(case_base)
+    # One delta window: a tail retain into type 1 (shifts type 2's base) plus
+    # three retains into tiny type 2 (its new segment outgrows its old words).
+    case_base.add_implementation(1, Implementation(2, ExecutionTarget.GPP, {1: 9, 2: 10, 3: 11}))
+    for implementation_id in (2, 3, 4):
+        case_base.add_implementation(
+            2, Implementation(implementation_id, ExecutionTarget.GPP, {1: 20 + implementation_id})
+        )
+    summary = case_base.delta_log.summary_since(base_revision)
+    spliced = encoder.encode_update(case_base, summary)
+    fresh = encode_tree(case_base)
+    assert spliced.words == fresh.words
+    assert spliced.address_map.attribute_lists == fresh.address_map.attribute_lists
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_segmented_encoder_matches_encode_tree_under_mutations(seed):
+    rng = random.Random(seed)
+    case_base = _case_base()
+    encoder = SegmentedTreeEncoder()
+
+    def apply(summary):
+        encoder.encode_update(case_base, summary)
+        return True
+
+    tracked = RevisionTrackedCache(
+        case_base, rebuild=lambda: encoder.encode_full(case_base), apply=apply
+    )
+    tracked.ensure_current()
+    next_id = 50
+    for step in range(25):
+        choice = rng.random()
+        type_ids = case_base.type_ids()
+        if choice < 0.45:
+            type_id = rng.choice(type_ids)
+            attributes = {a: rng.randint(0, 100) for a in rng.sample(range(1, 6), 3)}
+            case_base.add_implementation(
+                type_id, Implementation(next_id, ExecutionTarget.GPP, attributes)
+            )
+            next_id += 1
+        elif choice < 0.65:
+            type_id = rng.choice(type_ids)
+            implementations = case_base.implementations(type_id)
+            if len(implementations) > 1:
+                case_base.remove_implementation(
+                    type_id, rng.choice(implementations).implementation_id
+                )
+        elif choice < 0.85:
+            type_id = rng.choice(type_ids)
+            implementation = rng.choice(case_base.implementations(type_id))
+            case_base.replace_implementation(
+                type_id, implementation.with_attributes({1: rng.randint(0, 100)})
+            )
+        elif choice < 0.95 and len(type_ids) > 1:
+            case_base.remove_type(rng.choice(type_ids))
+        else:
+            case_base.add_type(30 + step, name=f"grown-{step}")
+            case_base.add_implementation(
+                30 + step, Implementation(1, ExecutionTarget.FPGA, {1: step % 100})
+            )
+        tracked.ensure_current()
+        fresh = encode_tree(case_base)
+        latest = encoder.encode_update(case_base, DeltaSummary(()))  # no-op reassembly
+        assert latest.words == fresh.words
+        assert latest.address_map.implementation_lists == fresh.address_map.implementation_lists
+        assert latest.address_map.attribute_lists == fresh.address_map.attribute_lists
+    assert tracked.incremental_count > 0

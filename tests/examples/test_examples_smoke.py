@@ -23,6 +23,7 @@ EXPECTED_OUTPUT = {
     "audio_equalizer_allocation.py": "paper reports ~8.5x",
     "hardware_design_exploration.py": "paper reports: case base",
     "multi_app_platform.py": "QoS negotiation",
+    "online_learning_demo.py": "learned identically",
 }
 
 
