@@ -277,6 +277,56 @@ class ApplicationAPI:
             feasibility=self.manager.feasibility,
         )
 
+    def cluster_engine(
+        self,
+        *,
+        devices: int = 2,
+        software_devices: int = 1,
+        fleet=None,
+        reconfig_us: Optional[float] = None,
+        **config_overrides,
+    ):
+        """A :class:`~repro.serving.ClusterServingEngine` over a device fleet.
+
+        The cluster-scale complement of :meth:`serving_engine`: traces are
+        replayed through the same micro-batching, screening and sharded
+        retrieval, but admission routes each request across a
+        :class:`~repro.platform.DeviceFleet` of ``devices`` FPGA-hosted
+        hardware retrieval units plus ``software_devices`` processor-hosted
+        software units (pass an assembled ``fleet`` to override the
+        topology).  The fleet shares the manager's case base, hardware
+        configuration and feasibility checker, so routing decisions,
+        service times and infeasibility rejections agree with the
+        single-node engine; online learning (``learn=True``) propagates
+        delta windows to every device's cached image between micro-batches,
+        with the modelled reconfiguration streams (``reconfig_us``
+        overrides the bandwidth-derived latency) making devices briefly
+        unavailable.
+        """
+        from ..platform.fleet import DeviceFleet
+        from ..serving import ClusterServingEngine, ServingConfig
+
+        if "hardware_config" not in config_overrides and self.manager.hardware_config:
+            config_overrides["hardware_config"] = self.manager.hardware_config
+        config_overrides.setdefault("cycle_engine", self.manager.cycle_engine)
+        config = ServingConfig(**config_overrides)
+        if fleet is None:
+            fleet = DeviceFleet.build(
+                self.manager.case_base,
+                hardware_devices=devices,
+                software_devices=software_devices,
+                hardware_config=config.hardware_config,
+                clock_mhz=config.clock_mhz,
+                reconfig_us=reconfig_us,
+                repository=self.manager.repository,
+            )
+        return ClusterServingEngine(
+            self.manager.case_base,
+            fleet,
+            config=config,
+            feasibility=self.manager.feasibility,
+        )
+
     # -- introspection ----------------------------------------------------------------
 
     def handles(self, application: Optional[str] = None) -> List[FunctionHandle]:

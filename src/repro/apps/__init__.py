@@ -2,6 +2,11 @@
 
 from .automotive_ecu import AutomotiveEcuWorkload
 from .cruise_control import CruiseControlWorkload
+from .fleet_failover import (
+    FleetFailoverWorkload,
+    apply_failover_outages,
+    default_outage_plan,
+)
 from .heavy_traffic import HeavyTrafficWorkload
 from .mp3_player import Mp3PlayerWorkload
 from .schema import (
@@ -56,6 +61,7 @@ __all__ = [
     "ApplicationWorkload",
     "AutomotiveEcuWorkload",
     "CruiseControlWorkload",
+    "FleetFailoverWorkload",
     "HeavyTrafficWorkload",
     "Mp3PlayerWorkload",
     "Scenario",
@@ -72,9 +78,11 @@ __all__ = [
     "TYPE_VIDEO_SCALER",
     "VideoPlayerWorkload",
     "WorkloadRequest",
+    "apply_failover_outages",
     "build_case_base",
     "build_platform",
     "build_scenario",
+    "default_outage_plan",
     "default_workloads",
     "platform_bounds",
     "platform_schema",

@@ -1,0 +1,136 @@
+"""Fleet-failover workload: phased traffic around device outages.
+
+The cluster serving layer routes retrieval traffic across a fleet of
+reconfigurable devices; this workload exercises the failure mode that layer
+exists to absorb -- a hardware device dropping out mid-stream (full
+reconfiguration, maintenance, a fault) while traffic keeps arriving.  The
+request mix reuses the heavy-traffic templates but arrives in three phases:
+
+1. **steady** -- moderate Poisson load the fleet handles comfortably;
+2. **burst** -- an elevated arrival rate covering the window in which
+   :func:`default_outage_plan` takes the hardware devices offline one at a
+   time (staggered, so the fleet degrades gracefully instead of failing
+   flat); traffic shed by the unavailable devices degrades to the software
+   workers or queues behind the reconfiguration stream;
+3. **recovery** -- the steady rate again, draining the queued backlog.
+
+The workload itself only generates requests (like every
+:class:`~repro.apps.workloads.ApplicationWorkload`); the outage windows are
+applied to a :class:`~repro.platform.fleet.DeviceFleet` by
+:func:`apply_failover_outages`, which the ``repro serve-cluster`` CLI invokes
+automatically when this workload is part of the replayed mix.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from ..allocation.negotiation import ApplicationPolicy
+from ..core.case_base import CaseBase
+from .heavy_traffic import request_templates
+from .workloads import ApplicationWorkload, WorkloadRequest
+
+#: Phase boundaries as fractions of the trace duration.
+BURST_START_FRACTION = 1.0 / 3.0
+BURST_END_FRACTION = 2.0 / 3.0
+
+
+class FleetFailoverWorkload(ApplicationWorkload):
+    """Phased request mix bracketing a staggered hardware-device outage.
+
+    Parameters
+    ----------
+    mean_interarrival_us:
+        Mean Poisson inter-arrival time of the steady and recovery phases.
+    burst_interarrival_us:
+        Mean inter-arrival time of the burst phase (must be faster).
+    """
+
+    name = "fleet-failover"
+
+    def __init__(
+        self,
+        mean_interarrival_us: float = 1_500.0,
+        burst_interarrival_us: float = 400.0,
+    ) -> None:
+        if mean_interarrival_us <= 0 or burst_interarrival_us <= 0:
+            raise ValueError("inter-arrival means must be positive")
+        if burst_interarrival_us > mean_interarrival_us:
+            raise ValueError("the burst phase must arrive faster than the steady phase")
+        self.mean_interarrival_us = mean_interarrival_us
+        self.burst_interarrival_us = burst_interarrival_us
+
+    def policy(self) -> ApplicationPolicy:
+        """Failover traffic accepts degraded quality rather than waiting."""
+        return ApplicationPolicy(
+            minimum_similarity=0.3,
+            accept_preemption=True,
+            max_relaxations=0,
+        )
+
+    def contribute(self, case_base: CaseBase) -> None:
+        """Contributes nothing: the mix targets the base applications' types."""
+
+    def _mean_at(self, time_us: float, duration_us: float) -> float:
+        if (
+            BURST_START_FRACTION * duration_us
+            <= time_us
+            < BURST_END_FRACTION * duration_us
+        ):
+            return self.burst_interarrival_us
+        return self.mean_interarrival_us
+
+    def requests(self, rng: random.Random, duration_us: float) -> List[WorkloadRequest]:
+        templates = request_templates()
+        requests: List[WorkloadRequest] = []
+        time = rng.expovariate(1.0 / self.mean_interarrival_us)
+        while time < duration_us:
+            type_id, choices, weights, hold_time_us, note = templates[
+                rng.randrange(len(templates))
+            ]
+            constraints = {
+                name: rng.choice(value) if isinstance(value, tuple) else value
+                for name, value in choices.items()
+            }
+            requests.append(WorkloadRequest(
+                issue_time_us=time,
+                type_id=type_id,
+                constraints=constraints,
+                weights=dict(weights),
+                hold_time_us=hold_time_us,
+                note=note,
+            ))
+            time += rng.expovariate(1.0 / self._mean_at(time, duration_us))
+        return requests
+
+
+def default_outage_plan(
+    worker_names: Sequence[str], duration_us: float
+) -> List[Tuple[str, float, float]]:
+    """Staggered outage windows inside the burst phase, one per worker.
+
+    The burst third of the trace is split evenly across the given workers;
+    each worker is down for its slice, so at most one of them is offline at
+    any time and the fleet keeps serving throughout.
+    """
+    names = list(worker_names)
+    if not names or duration_us <= 0:
+        return []
+    burst_start = BURST_START_FRACTION * duration_us
+    burst_length = (BURST_END_FRACTION - BURST_START_FRACTION) * duration_us
+    slice_us = burst_length / len(names)
+    return [
+        (name, burst_start + index * slice_us, burst_start + (index + 1) * slice_us)
+        for index, name in enumerate(names)
+    ]
+
+
+def apply_failover_outages(fleet, duration_us: float) -> List[Tuple[str, float, float]]:
+    """Schedule the default outage plan on a fleet's hardware workers."""
+    plan = default_outage_plan(
+        [worker.name for worker in fleet.hardware_workers], duration_us
+    )
+    for name, start_us, end_us in plan:
+        fleet.worker(name).add_outage(start_us, end_us)
+    return plan

@@ -60,6 +60,11 @@ _TEMPLATES: List[Tuple[int, Dict[str, Union[Number, str, Sequence]], Dict[str, f
 ]
 
 
+def request_templates() -> List[Tuple[int, Dict, Dict, float, str]]:
+    """The synthetic traffic templates (shared with the fleet-failover mix)."""
+    return list(_TEMPLATES)
+
+
 class HeavyTrafficWorkload(ApplicationWorkload):
     """High-rate synthetic request mix over the platform's existing types.
 

@@ -24,6 +24,12 @@ Provides the day-to-day developer workflows as sub-commands:
   bit-identical, and ``--learn`` turns on online CBR learning (revise +
   retain fed back between micro-batches, the case base evolving mid-stream
   with incremental delta propagation keeping every cache patched);
+* ``repro-qos serve-cluster`` -- replay a trace across a multi-device fleet
+  (FPGA-hosted hardware retrieval units plus processor-hosted software
+  units) with reconfiguration-aware earliest-finish routing; ``--engine
+  compare`` checks cluster rankings are bit-identical to single-device
+  serving, and the ``fleet-failover`` workload brackets a staggered device
+  outage;
 * ``repro-qos estimate`` -- print the Table 2-style resource estimate for a
   retrieval-unit configuration;
 * ``repro-qos export`` -- export CB-MEM/Req-MEM images as ``.memh`` / C headers;
@@ -324,8 +330,8 @@ def cmd_cosim_batch(args: argparse.Namespace) -> int:
     return 0
 
 
-def _serve_trace_inputs(args: argparse.Namespace):
-    """Resolve the (case base, trace) pair of one ``serve-trace`` invocation."""
+def _serve_trace_inputs(args: argparse.Namespace, command: str = "serve-trace"):
+    """Resolve the (case base, trace) pair of one serve-* invocation."""
     from .apps import build_case_base
     from .serving import synthetic_trace, trace_from_requests, trace_from_workloads
 
@@ -346,7 +352,7 @@ def _serve_trace_inputs(args: argparse.Namespace):
         return case_base, trace
     if args.case_base:
         raise ReproError(
-            "serve-trace with --case-base needs --requests FILE or --random N "
+            f"{command} with --case-base needs --requests FILE or --random N "
             "(workload traces use the built-in platform case base)"
         )
     case_base = build_case_base()
@@ -358,63 +364,95 @@ def _serve_trace_inputs(args: argparse.Namespace):
     return case_base, trace
 
 
-def cmd_serve_trace(args: argparse.Namespace) -> int:
-    """Replay a request trace through the micro-batching serving layer."""
-    from .serving import ServingConfig, ServingEngine
+def _format_ranking(ranking) -> str:
+    """Compact ranking rendering for compare-mode diff summaries."""
+    if ranking is None:
+        return "unserved"
+    shown = ", ".join(
+        f"{implementation_id}:{similarity!r}"
+        for implementation_id, similarity in ranking[:3]
+    )
+    suffix = ", ..." if len(ranking) > 3 else ""
+    return f"[{shown}{suffix}]"
 
-    try:
-        case_base, trace = _serve_trace_inputs(args)
-    except ReproError as error:
-        print(f"serve-trace: {error}", file=sys.stderr)
-        return 2
-    if not trace:
-        print("serve-trace: the trace is empty (longer --duration-ms, a non-empty "
-              "requests file, or --random N > 0 produce one)", file=sys.stderr)
-        return 2
 
-    backend = "naive" if args.engine == "naive" else "vectorized"
-    try:
-        config = ServingConfig(
-            max_batch=args.max_batch,
-            max_wait_us=args.max_wait_us,
-            shard_count=args.shards,
-            backend=backend,
-            cycle_engine=args.cycle_engine,
-            clock_mhz=args.clock_mhz,
-            deadline_us=args.deadline_us,
-            n_best=args.n_best,
-            learn=args.learn,
-            learning_rate=args.learning_rate,
-            novelty_threshold=args.novelty_threshold,
-            learn_capacity=args.learn_capacity,
+def _report_ranking_mismatches(
+    command: str,
+    first_label: str,
+    second_label: str,
+    first,
+    second,
+    *,
+    limit: int = 5,
+    population: Optional[int] = None,
+) -> int:
+    """Print a diff summary of two per-request ranking lists to stderr.
+
+    Returns the mismatch count (0 = bit-identical); the compare modes exit
+    non-zero when it is positive, so CI catches equivalence regressions
+    instead of scrolling past a printed count.  ``population`` overrides the
+    denominator when the comparison covers only a subset of the lists (the
+    cluster compare's commonly-served requests).
+    """
+    mismatched = [
+        index for index, (a, b) in enumerate(zip(first, second)) if a != b
+    ]
+    if not mismatched:
+        return 0
+    total = population if population is not None else len(first)
+    print(
+        f"{command}: bit-identity FAILED for {len(mismatched)}/{total} "
+        f"requests; first {min(limit, len(mismatched))} difference(s):",
+        file=sys.stderr,
+    )
+    for index in mismatched[:limit]:
+        print(
+            f"  request {index}: {first_label}={_format_ranking(first[index])} "
+            f"{second_label}={_format_ranking(second[index])}",
+            file=sys.stderr,
         )
-        # Learning mutates the case base mid-stream; the compare mode must
-        # replay sharded and unsharded against identical starting snapshots.
-        served_case_base = (
-            case_base.copy() if args.learn and args.engine == "compare" else case_base
-        )
-        report = ServingEngine(served_case_base, config=config).serve(trace)
-    except ReproError as error:
-        print(f"serve-trace: {error}", file=sys.stderr)
-        return 2
+    return len(mismatched)
 
+
+def _serving_config_from_args(args: argparse.Namespace):
+    """Build the :class:`ServingConfig` shared by the serve-* subcommands."""
+    from .serving import ServingConfig
+
+    return ServingConfig(
+        max_batch=args.max_batch,
+        max_wait_us=args.max_wait_us,
+        shard_count=args.shards,
+        backend="naive" if args.engine == "naive" else "vectorized",
+        cycle_engine=args.cycle_engine,
+        clock_mhz=args.clock_mhz,
+        deadline_us=args.deadline_us,
+        n_best=args.n_best,
+        learn=args.learn,
+        learning_rate=args.learning_rate,
+        novelty_threshold=args.novelty_threshold,
+        learn_capacity=args.learn_capacity,
+    )
+
+
+def _print_replay_summary(report, trace, args, *, title: str, workers: bool = False) -> None:
+    """Shared result table + metrics lines of the serve-* subcommands."""
     metrics = report.metrics
     statuses = metrics["statuses"]
-    rows = [
-        [record.index, trace[record.index].request.type_id, record.status.value,
-         record.result.best_id if record.result is not None else "-",
-         round(record.result.best_similarity, 4)
-         if record.result is not None and record.result.best_similarity is not None
-         else "-",
-         f"{record.latency_us:.1f}" if record.latency_us is not None else "-"]
-        for record in report.served[: args.show]
-    ]
-    print(format_table(
-        ["request", "type", "status", "best impl", "S_global", "latency us"],
-        rows,
-        title=f"trace replay ({len(trace)} requests, shards={args.shards}, "
-              f"max_batch={args.max_batch})",
-    ))
+    headers = ["request", "type", "status", "best impl", "S_global", "latency us"]
+    if workers:
+        headers.append("worker")
+    rows = []
+    for record in report.served[: args.show]:
+        row = [record.index, trace[record.index].request.type_id, record.status.value,
+               record.result.best_id if record.result is not None else "-",
+               round(record.result.best_similarity, 4)
+               if record.result is not None and record.result.best_similarity is not None
+               else "-",
+               f"{record.latency_us:.1f}" if record.latency_us is not None else "-"]
+        if workers:
+            row.append(record.worker or "-")
+        rows.append(row)
+    print(format_table(headers, rows, title=title))
     latency = metrics["latency"]
     batches = metrics["batches"]
 
@@ -440,6 +478,52 @@ def cmd_serve_trace(args: argparse.Namespace) -> int:
               f"{learning['implementations_after']} "
               f"({learning['revisions']} case-base revisions)")
 
+
+def _write_json_report(report, args) -> None:
+    """Write (or print) the full JSON serving report when ``--json`` is given."""
+    if not args.json:
+        return
+    payload = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+    if args.json == "-":
+        print(payload)
+    else:
+        with open(args.json, "w", encoding="utf-8") as stream:
+            stream.write(payload + "\n")
+        print(f"report written to {args.json}")
+
+
+def cmd_serve_trace(args: argparse.Namespace) -> int:
+    """Replay a request trace through the micro-batching serving layer."""
+    from .serving import ServingEngine
+
+    try:
+        case_base, trace = _serve_trace_inputs(args)
+    except ReproError as error:
+        print(f"serve-trace: {error}", file=sys.stderr)
+        return 2
+    if not trace:
+        print("serve-trace: the trace is empty (longer --duration-ms, a non-empty "
+              "requests file, or --random N > 0 produce one)", file=sys.stderr)
+        return 2
+
+    try:
+        config = _serving_config_from_args(args)
+        # Learning mutates the case base mid-stream; the compare mode must
+        # replay sharded and unsharded against identical starting snapshots.
+        served_case_base = (
+            case_base.copy() if args.learn and args.engine == "compare" else case_base
+        )
+        report = ServingEngine(served_case_base, config=config).serve(trace)
+    except ReproError as error:
+        print(f"serve-trace: {error}", file=sys.stderr)
+        return 2
+
+    _print_replay_summary(
+        report, trace, args,
+        title=f"trace replay ({len(trace)} requests, shards={args.shards}, "
+              f"max_batch={args.max_batch})",
+    )
+
     exit_code = 0
     if args.engine == "compare":
         from dataclasses import replace
@@ -448,25 +532,130 @@ def cmd_serve_trace(args: argparse.Namespace) -> int:
             case_base.copy() if args.learn else case_base,
             config=replace(config, shard_count=1),
         ).serve(trace)
-        sharded_rankings = report.rankings()
-        unsharded_rankings = unsharded.rankings()
-        mismatches = sum(
-            1
-            for sharded_entry, unsharded_entry in zip(sharded_rankings, unsharded_rankings)
-            if sharded_entry != unsharded_entry
+        mismatches = _report_ranking_mismatches(
+            "serve-trace", "sharded", "unsharded",
+            report.rankings(), unsharded.rankings(),
         )
         print(f"sharded ({args.shards}) vs unsharded rankings bit-identical for "
               f"{len(trace) - mismatches}/{len(trace)} requests")
         if mismatches:
             exit_code = 1
-    if args.json:
-        payload = json.dumps(report.to_dict(), indent=2, sort_keys=True)
-        if args.json == "-":
-            print(payload)
-        else:
-            with open(args.json, "w", encoding="utf-8") as stream:
-                stream.write(payload + "\n")
-            print(f"report written to {args.json}")
+    _write_json_report(report, args)
+    return exit_code
+
+
+def cmd_serve_cluster(args: argparse.Namespace) -> int:
+    """Replay a request trace across a multi-device fleet."""
+    from .apps import apply_failover_outages
+    from .platform import DeviceFleet
+    from .serving import ClusterServingEngine, ServingEngine
+
+    try:
+        case_base, trace = _serve_trace_inputs(args, command="serve-cluster")
+    except ReproError as error:
+        print(f"serve-cluster: {error}", file=sys.stderr)
+        return 2
+    if not trace:
+        print("serve-cluster: the trace is empty (longer --duration-ms, a non-empty "
+              "requests file, or --random N > 0 produce one)", file=sys.stderr)
+        return 2
+
+    try:
+        config = _serving_config_from_args(args)
+        # Learning mutates the case base mid-stream; the compare mode must
+        # replay the cluster and the single-device reference against
+        # identical starting snapshots.
+        served_case_base = (
+            case_base.copy() if args.learn and args.engine == "compare" else case_base
+        )
+        fleet = DeviceFleet.build(
+            served_case_base,
+            hardware_devices=args.devices,
+            software_devices=args.software_workers,
+            clock_mhz=args.clock_mhz,
+            reconfig_us=args.reconfig_us,
+        )
+        workload_trace = not (args.requests or args.random > 0)
+        if workload_trace and "fleet-failover" in (args.workload or []):
+            # The failover workload's burst phase brackets a staggered
+            # outage of every hardware device (see repro.apps.fleet_failover).
+            # Only meaningful when the trace is actually workload-derived:
+            # --requests/--random traces ignore --workload entirely.
+            apply_failover_outages(fleet, args.duration_ms * 1000.0)
+        report = ClusterServingEngine(served_case_base, fleet, config=config).serve(trace)
+    except ReproError as error:
+        print(f"serve-cluster: {error}", file=sys.stderr)
+        return 2
+
+    _print_replay_summary(
+        report, trace, args,
+        title=f"cluster replay ({len(trace)} requests, devices={len(fleet)}, "
+              f"shards={args.shards}, max_batch={args.max_batch})",
+        workers=True,
+    )
+    cluster = report.metrics["cluster"]
+    worker_rows = [
+        [name, stats["kind"], stats["assigned"], f"{stats['busy_us']:.0f}",
+         f"{stats['utilization']:.0%}"]
+        for name, stats in cluster["workers"].items()
+    ]
+    print(format_table(
+        ["worker", "kind", "assigned", "busy us", "util"],
+        worker_rows, title="fleet utilisation",
+    ))
+    sync = cluster["sync"]
+    throughput = cluster["modelled_throughput_rps"]
+    print(f"image syncs: {sync['events']} ({sync['incremental']} incremental, "
+          f"{sync['full']} full, {sync['bytes_streamed']} bytes, "
+          f"{sync['reconfiguration_us']:.1f} us reconfiguration)")
+    print(f"modelled fleet makespan {cluster['modelled_makespan_us']:.1f} us "
+          f"({throughput:.0f} modelled requests/s)"
+          if throughput is not None
+          else "modelled fleet makespan: no requests dispatched")
+
+    exit_code = 0
+    if args.engine == "compare":
+        from dataclasses import replace
+
+        single = ServingEngine(
+            case_base.copy() if args.learn else case_base,
+            config=replace(config, shard_count=1),
+        ).serve(trace)
+        cluster_rankings = report.rankings()
+        single_rankings = single.rankings()
+        #: Routing changes *capacity* (how many requests meet a deadline),
+        #: never *results*: the bit-identity surface is every request both
+        #: replays served; capacity differences are reported separately.
+        both = [
+            cluster_entry is not None and single_entry is not None
+            for cluster_entry, single_entry in zip(cluster_rankings, single_rankings)
+        ]
+        common = sum(both)
+        mismatches = _report_ranking_mismatches(
+            "serve-cluster", "cluster", "single-device",
+            [entry if served else None
+             for entry, served in zip(cluster_rankings, both)],
+            [entry if served else None
+             for entry, served in zip(single_rankings, both)],
+            population=common,
+        )
+        print(f"cluster ({len(fleet)} devices) vs single-device rankings "
+              f"bit-identical for {common - mismatches}/{common} commonly "
+              f"served requests")
+        cluster_only = sum(
+            1 for cluster_entry, single_entry in zip(cluster_rankings, single_rankings)
+            if cluster_entry is not None and single_entry is None
+        )
+        single_only = sum(
+            1 for cluster_entry, single_entry in zip(cluster_rankings, single_rankings)
+            if cluster_entry is None and single_entry is not None
+        )
+        if cluster_only or single_only:
+            print(f"capacity difference: {cluster_only} request(s) served only "
+                  f"by the cluster, {single_only} only by the single device")
+        if mismatches:
+            exit_code = 1
+    _write_json_report(report, args)
     return exit_code
 
 
@@ -519,6 +708,61 @@ def cmd_scenario(args: argparse.Namespace) -> int:
           f"infeasible={statistics.rejected_infeasible} "
           f"app-rejected={statistics.rejected_by_application}")
     return 0
+
+
+def _add_serve_arguments(sub: argparse.ArgumentParser, *, engine_help: str) -> None:
+    """Trace-source and serving tunables shared by serve-trace/serve-cluster."""
+    sub.add_argument("--workload", action="append", default=[],
+                     help="application workload to replay (repeatable; default: the "
+                          "four example applications; 'heavy-traffic' adds the "
+                          "synthetic high-rate mix, 'fleet-failover' the phased "
+                          "burst bracketing a staggered device outage)")
+    sub.add_argument("--duration-ms", type=float, default=2000.0,
+                     help="simulated duration of the workload trace (default 2000)")
+    sub.add_argument("--case-base", help="case-base JSON for --requests/--random "
+                     "traces (defaults to the paper example)")
+    sub.add_argument("--requests", help="JSON requests file replayed at a fixed rate")
+    sub.add_argument("--random", type=int, default=0, metavar="N",
+                     help="replay N random case-base-matched requests instead")
+    sub.add_argument("--mean-interarrival-us", type=float, default=1000.0,
+                     help="mean request inter-arrival time for --random (Poisson) "
+                          "and --requests (fixed) traces (default 1000)")
+    sub.add_argument("--seed", type=int, default=2004)
+    sub.add_argument("--shards", type=int, default=1,
+                     help="number of case-base worker shards (default 1)")
+    sub.add_argument("--max-batch", type=int, default=32,
+                     help="micro-batch size bound (1 = one-at-a-time serving)")
+    sub.add_argument("--max-wait-us", type=float, default=500.0,
+                     help="longest a batch may wait for company (default 500)")
+    sub.add_argument("--deadline-us", type=float, default=None,
+                     help="per-request completion deadline enforced by admission "
+                          "control (default: no deadline)")
+    sub.add_argument("--engine", choices=["vectorized", "naive", "compare"],
+                     default="vectorized", help=engine_help)
+    sub.add_argument("--cycle-engine", choices=["auto", "stepwise", "vectorized"],
+                     default="auto",
+                     help="cycle engine behind the admission controller's exact "
+                          "service-time model")
+    sub.add_argument("--clock-mhz", type=float, default=66.0)
+    sub.add_argument("--n-best", type=int, default=3,
+                     help="ranking depth delivered per request (default 3)")
+    sub.add_argument("--learn", action="store_true",
+                     help="online CBR learning: feed served outcomes back "
+                          "through revise + retain between micro-batches "
+                          "(the case base evolves mid-stream; incremental "
+                          "delta propagation keeps all caches patched)")
+    sub.add_argument("--learning-rate", type=float, default=0.5,
+                     help="revise-step exponential smoothing factor (default 0.5)")
+    sub.add_argument("--novelty-threshold", type=float, default=0.9,
+                     help="retain a new case when the best stored similarity "
+                          "falls below this (default 0.9)")
+    sub.add_argument("--learn-capacity", type=int, default=16,
+                     help="per-type implementation capacity for retained "
+                          "cases (default 16)")
+    sub.add_argument("--show", type=int, default=10,
+                     help="number of result rows to print (default 10)")
+    sub.add_argument("--json", metavar="PATH",
+                     help="write the full JSON serving report to PATH ('-' for stdout)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -606,60 +850,38 @@ def build_parser() -> argparse.ArgumentParser:
         "serve-trace",
         help="replay a request trace through the micro-batching serving layer",
     )
-    sub.add_argument("--workload", action="append", default=[],
-                     help="application workload to replay (repeatable; default: the "
-                          "four example applications; 'heavy-traffic' adds the "
-                          "synthetic high-rate mix)")
-    sub.add_argument("--duration-ms", type=float, default=2000.0,
-                     help="simulated duration of the workload trace (default 2000)")
-    sub.add_argument("--case-base", help="case-base JSON for --requests/--random "
-                     "traces (defaults to the paper example)")
-    sub.add_argument("--requests", help="JSON requests file replayed at a fixed rate")
-    sub.add_argument("--random", type=int, default=0, metavar="N",
-                     help="replay N random case-base-matched requests instead")
-    sub.add_argument("--mean-interarrival-us", type=float, default=1000.0,
-                     help="mean request inter-arrival time for --random (Poisson) "
-                          "and --requests (fixed) traces (default 1000)")
-    sub.add_argument("--seed", type=int, default=2004)
-    sub.add_argument("--shards", type=int, default=1,
-                     help="number of case-base worker shards (default 1)")
-    sub.add_argument("--max-batch", type=int, default=32,
-                     help="micro-batch size bound (1 = one-at-a-time serving)")
-    sub.add_argument("--max-wait-us", type=float, default=500.0,
-                     help="longest a batch may wait for company (default 500)")
-    sub.add_argument("--deadline-us", type=float, default=None,
-                     help="per-request completion deadline enforced by admission "
-                          "control (default: no deadline)")
-    sub.add_argument("--engine", choices=["vectorized", "naive", "compare"],
-                     default="vectorized",
-                     help="retrieval backend of the shard workers; 'compare' "
-                          "re-serves the trace unsharded and checks the rankings "
-                          "are bit-identical")
-    sub.add_argument("--cycle-engine", choices=["auto", "stepwise", "vectorized"],
-                     default="auto",
-                     help="cycle engine behind the admission controller's exact "
-                          "service-time model")
-    sub.add_argument("--clock-mhz", type=float, default=66.0)
-    sub.add_argument("--n-best", type=int, default=3,
-                     help="ranking depth delivered per request (default 3)")
-    sub.add_argument("--learn", action="store_true",
-                     help="online CBR learning: feed served outcomes back "
-                          "through revise + retain between micro-batches "
-                          "(the case base evolves mid-stream; incremental "
-                          "delta propagation keeps all caches patched)")
-    sub.add_argument("--learning-rate", type=float, default=0.5,
-                     help="revise-step exponential smoothing factor (default 0.5)")
-    sub.add_argument("--novelty-threshold", type=float, default=0.9,
-                     help="retain a new case when the best stored similarity "
-                          "falls below this (default 0.9)")
-    sub.add_argument("--learn-capacity", type=int, default=16,
-                     help="per-type implementation capacity for retained "
-                          "cases (default 16)")
-    sub.add_argument("--show", type=int, default=10,
-                     help="number of result rows to print (default 10)")
-    sub.add_argument("--json", metavar="PATH",
-                     help="write the full JSON serving report to PATH ('-' for stdout)")
+    _add_serve_arguments(
+        sub,
+        engine_help="retrieval backend of the shard workers; 'compare' "
+                    "re-serves the trace unsharded and checks the rankings "
+                    "are bit-identical (non-zero exit + diff summary on "
+                    "mismatch)",
+    )
     sub.set_defaults(handler=cmd_serve_trace)
+
+    sub = subparsers.add_parser(
+        "serve-cluster",
+        help="replay a request trace across a multi-device fleet with "
+             "reconfiguration-aware routing",
+    )
+    sub.add_argument("--devices", type=int, default=2,
+                     help="FPGA devices each hosting one hardware retrieval "
+                          "unit (default 2)")
+    sub.add_argument("--software-workers", type=int, default=1,
+                     help="processors each running the software retrieval "
+                          "routine (default 1)")
+    sub.add_argument("--reconfig-us", type=float, default=None,
+                     help="fixed per-sync image reconfiguration latency "
+                          "(default: derived from the streamed bytes through "
+                          "each device's configuration-port bandwidth)")
+    _add_serve_arguments(
+        sub,
+        engine_help="retrieval backend of the shard workers; 'compare' "
+                    "re-serves the trace on a single device and checks the "
+                    "rankings of commonly served requests are bit-identical "
+                    "(non-zero exit + diff summary on mismatch)",
+    )
+    sub.set_defaults(handler=cmd_serve_cluster)
 
     sub = subparsers.add_parser("estimate", help="Table 2-style resource estimate")
     sub.add_argument("--n-best", type=int, default=1)

@@ -281,6 +281,16 @@ class HardwareRetrievalUnit:
         self._ensure_current()
         return self._delta_image.columnar_image()
 
+    def image_word_count(self) -> int:
+        """Word count of the current CB-MEM image (refreshed if stale).
+
+        Sizes the device-side image streams the platform fleet models: a
+        full reconfiguration transfers this many words through the device's
+        configuration port.
+        """
+        self._ensure_current()
+        return len(self.case_base_ram)
+
     # -- helpers ------------------------------------------------------------------
 
     @property

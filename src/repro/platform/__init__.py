@@ -1,6 +1,7 @@
 """Reconfigurable multi-device platform substrate (paper Fig. 1, lower layers)."""
 
 from .device import Device, DeviceKind, PlacedTask
+from .fleet import DeviceFleet, RetrievalWorker, WorkerSyncEvent
 from .fpga import FpgaDevice, SlotSpec, virtex2_3000_fpga
 from .processor import ProcessorDevice, audio_dsp, host_cpu
 from .reconfiguration import (
@@ -23,6 +24,7 @@ __all__ = [
     "ConfigurationRepository",
     "DEFAULT_ICAP_BANDWIDTH_MB_S",
     "Device",
+    "DeviceFleet",
     "DeviceKind",
     "DeviceSnapshot",
     "FpgaDevice",
@@ -33,6 +35,8 @@ __all__ = [
     "ReconfigurationController",
     "ReconfigurationEvent",
     "RepositoryStatistics",
+    "RetrievalWorker",
+    "WorkerSyncEvent",
     "SlotSpec",
     "SystemResourceState",
     "SystemSnapshot",

@@ -1,0 +1,443 @@
+"""Device fleets: N retrieval workers on the reconfigurable platform.
+
+The paper's premise is a *platform* of reconfigurable devices (Fig. 1), yet
+until this module the serving stack modelled a single node: one hardware
+retrieval unit and one software path.  A :class:`DeviceFleet` registers N
+heterogeneous retrieval workers -- hardware retrieval units living in the
+static region of FPGA devices, software retrieval units on processors -- each
+bound to a platform :class:`~repro.platform.device.Device` through its
+:class:`~repro.platform.runtime_controller.LocalRuntimeController`, with the
+fleet-wide load/power view provided by the existing
+:class:`~repro.platform.resource_state.SystemResourceState`.
+
+The fleet's job beyond registration is **reconfiguration-aware image
+propagation**: every hardware worker serves retrievals from an on-device
+CB-MEM image of the shared case base.  When the case base mutates (online
+learning retains/revises cases mid-stream), each device's cached image goes
+stale and must be re-streamed through that device's configuration port before
+the worker may serve again -- the port is a serial resource, so the worker is
+*unavailable* for the duration.  :meth:`DeviceFleet.sync` models exactly
+that, reusing the PR 4 delta machinery to decide how much must be streamed:
+
+* a delta window still covered by the case base's
+  :class:`~repro.core.deltas.DeltaLog` streams only the touched types' share
+  of the image (incremental update of the device memory);
+* a truncated window (or a bounds-table change, which rescales the baked
+  similarity constants) streams the full image.
+
+The router (:mod:`repro.serving.cluster`) consults
+:meth:`RetrievalWorker.available_from` -- which folds in reconfiguration-port
+occupancy and scheduled outages -- before assigning work, so a device
+mid-reconfiguration degrades traffic to software or queues it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.case_base import CaseBase
+from ..core.exceptions import PlatformError
+from .fpga import virtex2_3000_fpga
+from .processor import host_cpu
+from .repository import ConfigurationRepository
+from .resource_state import SystemResourceState
+from .runtime_controller import LocalRuntimeController
+
+#: Worker kinds a fleet can register.
+HARDWARE = "hardware"
+SOFTWARE = "software"
+
+
+@dataclass(frozen=True)
+class WorkerSyncEvent:
+    """One modelled propagation of case-base deltas to a worker's image."""
+
+    worker: str
+    #: Case-base revision the worker's image reflects after the sync.
+    revision: int
+    start_us: float
+    duration_us: float
+    bytes_streamed: int
+    #: ``True`` when only the touched types' share of the image was streamed.
+    incremental: bool
+
+    @property
+    def end_us(self) -> float:
+        """Completion time of the sync in microseconds."""
+        return self.start_us + self.duration_us
+
+
+class RetrievalWorker:
+    """One retrieval-serving unit bound to a platform device.
+
+    Parameters
+    ----------
+    name:
+        Worker name (doubles as the underlying device name).
+    controller:
+        The device's local run-time controller.  Hardware workers use its
+        :class:`~repro.platform.reconfiguration.ReconfigurationController`
+        to model image streaming; software workers have none.
+    kind:
+        ``"hardware"`` (retrieval unit in the FPGA's static region) or
+        ``"software"`` (retrieval routine on the processor).
+    clock_mhz:
+        Clock the worker's service times are derived at
+        (``cycles / clock_mhz``).
+    case_base:
+        The shared case base; the worker's cached image starts current.
+    unit:
+        The shared host-side retrieval-unit model backing this worker
+        (:class:`~repro.hardware.retrieval_unit.HardwareRetrievalUnit` or
+        :class:`~repro.software.retrieval_sw.SoftwareRetrievalUnit`).
+        Workers of one kind share one unit: it *is* the image every device
+        of that kind mirrors.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        controller: LocalRuntimeController,
+        *,
+        kind: str,
+        clock_mhz: float,
+        case_base: CaseBase,
+        unit: object = None,
+    ) -> None:
+        if kind not in (HARDWARE, SOFTWARE):
+            raise PlatformError(
+                f"worker kind must be '{HARDWARE}' or '{SOFTWARE}', got {kind!r}"
+            )
+        if clock_mhz <= 0:
+            raise PlatformError(f"worker clock must be positive, got {clock_mhz}")
+        if kind == HARDWARE and controller.reconfiguration is None:
+            raise PlatformError(
+                f"hardware worker {name!r} needs a device with a reconfiguration port"
+            )
+        self.name = name
+        self.controller = controller
+        self.kind = kind
+        self.clock_mhz = clock_mhz
+        self.unit = unit
+        #: Case-base revision the on-device image currently reflects.
+        self.image_revision = case_base.revision
+        self.sync_events: List[WorkerSyncEvent] = []
+        self._outages: List[Tuple[float, float]] = []
+
+    @property
+    def device(self):
+        """The underlying platform device."""
+        return self.controller.device
+
+    @property
+    def is_hardware(self) -> bool:
+        """Whether this worker is a hardware retrieval unit."""
+        return self.kind == HARDWARE
+
+    # -- availability ---------------------------------------------------------------
+
+    def add_outage(self, start_us: float, end_us: float) -> None:
+        """Schedule a window during which the worker cannot serve.
+
+        Models a device taken offline (full reconfiguration, maintenance,
+        failure + recovery); the fleet-failover workload drives this.
+        """
+        if start_us < 0 or end_us <= start_us:
+            raise PlatformError(
+                f"outage window must be non-empty and non-negative, "
+                f"got [{start_us}, {end_us})"
+            )
+        self._outages.append((start_us, end_us))
+        self._outages.sort()
+
+    def outages(self) -> List[Tuple[float, float]]:
+        """Scheduled outage windows, sorted by start time."""
+        return list(self._outages)
+
+    def available_from(self, now_us: float, service_us: float = 0.0) -> float:
+        """Earliest time at/after ``now_us`` the device can start new work.
+
+        Folds in reconfiguration-port occupancy (a device mid-reconfiguration
+        is unavailable until the stream completes) and scheduled outages:
+        with a ``service_us``, work may not *overlap* an outage either -- a
+        job that would still be running when the device goes down starts
+        after the window instead.  Queued retrieval work is tracked by the
+        router, not here.
+        """
+        available = now_us
+        reconfiguration = self.controller.reconfiguration
+        if reconfiguration is not None:
+            available = max(available, reconfiguration.busy_until_us())
+        # Outages are sorted by start, so one forward pass settles: pushing
+        # the start time right can only collide with later windows.
+        for start, end in self._outages:
+            if available < end and (available >= start or available + service_us > start):
+                available = end
+        return available
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"RetrievalWorker(name={self.name!r}, kind={self.kind!r}, "
+            f"clock_mhz={self.clock_mhz})"
+        )
+
+
+class DeviceFleet:
+    """Registry of retrieval workers over one shared case base.
+
+    Parameters
+    ----------
+    case_base:
+        The case base every worker serves.
+    workers:
+        The registered workers (at least one; names must be unique).
+    repository:
+        Optional configuration repository the devices fetch images from.
+    power_budget_mw:
+        Optional fleet-wide power budget for the resource state.
+    reconfig_us:
+        Optional fixed per-sync reconfiguration latency.  ``None`` derives
+        the latency from the streamed byte count through each device's
+        configuration-port bandwidth model.
+    image_words:
+        Optional zero-argument callable returning the current CB-MEM image
+        word count (used to size modelled image streams).  Defaults to the
+        hardware workers' shared unit.
+    """
+
+    def __init__(
+        self,
+        case_base: CaseBase,
+        workers: Sequence[RetrievalWorker],
+        *,
+        repository: Optional[ConfigurationRepository] = None,
+        power_budget_mw: Optional[float] = None,
+        reconfig_us: Optional[float] = None,
+        image_words: Optional[Callable[[], int]] = None,
+    ) -> None:
+        workers = list(workers)
+        if not workers:
+            raise PlatformError("a device fleet needs at least one worker")
+        names = [worker.name for worker in workers]
+        if len(set(names)) != len(names):
+            raise PlatformError(f"fleet worker names must be unique, got {names}")
+        if reconfig_us is not None and reconfig_us < 0:
+            raise PlatformError(f"reconfig_us must be non-negative, got {reconfig_us}")
+        self.case_base = case_base
+        self.workers = workers
+        self.repository = repository
+        self.reconfig_us = reconfig_us
+        self._image_words = image_words
+        self.resource_state = SystemResourceState(
+            (worker.controller for worker in workers),
+            power_budget_mw=power_budget_mw,
+        )
+
+    # -- construction -----------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        case_base: CaseBase,
+        *,
+        hardware_devices: int = 2,
+        software_devices: int = 1,
+        hardware_config: object = None,
+        clock_mhz: float = 66.0,
+        power_budget_mw: Optional[float] = None,
+        reconfig_us: Optional[float] = None,
+        repository: Optional[ConfigurationRepository] = None,
+    ) -> "DeviceFleet":
+        """Assemble a fleet of FPGA-hosted hardware workers plus CPU fallbacks.
+
+        ``hardware_devices`` FPGAs each host one hardware retrieval unit in
+        their static region; ``software_devices`` host CPUs each run the
+        software retrieval routine.  All workers run at one clock -- the
+        paper's equal-clock comparison, matching the admission controller's
+        convention that an explicit ``hardware_config``'s clock takes
+        precedence over ``clock_mhz`` *for the software path too*.  Workers
+        of one kind share one host-side unit model -- the image all devices
+        of that kind mirror.
+        """
+        if hardware_devices < 0 or software_devices < 0:
+            raise PlatformError("device counts must be non-negative")
+        if hardware_devices + software_devices < 1:
+            raise PlatformError("a device fleet needs at least one device")
+        from ..hardware.retrieval_unit import HardwareConfig, HardwareRetrievalUnit
+        from ..software.isa import microblaze_cost_model
+        from ..software.retrieval_sw import SoftwareRetrievalUnit
+
+        if hardware_config is None:
+            hardware_config = HardwareConfig(clock_mhz=clock_mhz)
+        clock_mhz = hardware_config.clock_mhz
+        workers: List[RetrievalWorker] = []
+        hardware_unit = None
+        if hardware_devices:
+            hardware_unit = HardwareRetrievalUnit(case_base, config=hardware_config)
+            for index in range(hardware_devices):
+                device = virtex2_3000_fpga(f"fpga{index}")
+                controller = LocalRuntimeController(device, repository)
+                workers.append(RetrievalWorker(
+                    device.name,
+                    controller,
+                    kind=HARDWARE,
+                    clock_mhz=hardware_config.clock_mhz,
+                    case_base=case_base,
+                    unit=hardware_unit,
+                ))
+        if software_devices:
+            software_unit = SoftwareRetrievalUnit(
+                case_base, cost_model=microblaze_cost_model(clock_mhz)
+            )
+            for index in range(software_devices):
+                device = host_cpu(f"cpu{index}")
+                controller = LocalRuntimeController(device, repository)
+                workers.append(RetrievalWorker(
+                    device.name,
+                    controller,
+                    kind=SOFTWARE,
+                    clock_mhz=clock_mhz,
+                    case_base=case_base,
+                    unit=software_unit,
+                ))
+        image_words = hardware_unit.image_word_count if hardware_unit is not None else None
+        return cls(
+            case_base,
+            workers,
+            repository=repository,
+            power_budget_mw=power_budget_mw,
+            reconfig_us=reconfig_us,
+            image_words=image_words,
+        )
+
+    # -- queries ----------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    def worker(self, name: str) -> RetrievalWorker:
+        """One worker by name."""
+        for worker in self.workers:
+            if worker.name == name:
+                return worker
+        raise PlatformError(f"fleet has no worker named {name!r}")
+
+    @property
+    def hardware_workers(self) -> List[RetrievalWorker]:
+        """The hardware retrieval workers, in registration order."""
+        return [worker for worker in self.workers if worker.kind == HARDWARE]
+
+    @property
+    def software_workers(self) -> List[RetrievalWorker]:
+        """The software retrieval workers, in registration order."""
+        return [worker for worker in self.workers if worker.kind == SOFTWARE]
+
+    def snapshot(self) -> Dict[str, object]:
+        """Fleet state view (worker registry + platform load/power snapshot).
+
+        The worker registry and the resource-state snapshot describe the same
+        devices, so the two views round-trip: every worker name appears in
+        the system snapshot and vice versa (property-tested).
+        """
+        system = self.resource_state.snapshot()
+        return {
+            "workers": {
+                worker.name: {
+                    "kind": worker.kind,
+                    "clock_mhz": worker.clock_mhz,
+                    "image_revision": worker.image_revision,
+                    "device_kind": worker.device.kind.value,
+                    "utilization": system.utilization_of(worker.name),
+                }
+                for worker in self.workers
+            },
+            "system": system,
+        }
+
+    # -- image propagation -------------------------------------------------------------
+
+    def image_word_count(self) -> int:
+        """Word count of one full on-device CB-MEM image."""
+        if self._image_words is not None:
+            return int(self._image_words())
+        # Software-only fleets never stream images; a zero-sized image keeps
+        # sync a no-op without demanding a hardware unit.
+        return 0
+
+    def _stream_words(self, worker: RetrievalWorker) -> Tuple[int, bool]:
+        """``(words to stream, incremental?)`` to bring one image current.
+
+        The delta log decides: a covered window streams only the touched
+        types' share of the image (rounded up); a truncated window or a
+        bounds change (which rescales the baked ``1/(1+dmax)`` constants
+        throughout the supplemental lists) streams the full image.
+        """
+        full_words = self.image_word_count()
+        summary = self.case_base.delta_log.summary_since(worker.image_revision)
+        if summary is None or summary.bounds_changed:
+            return full_words, False
+        type_count = max(1, len(self.case_base))
+        touched = len(summary.touched_types)
+        if touched == 0:
+            return 0, True
+        return math.ceil(full_words * min(1.0, touched / type_count)), True
+
+    def sync(self, now_us: float) -> List[WorkerSyncEvent]:
+        """Propagate pending case-base deltas to every worker's cached image.
+
+        Hardware workers stream the update through their device's serial
+        configuration port -- the port's occupancy makes the worker
+        unavailable until the stream completes (see
+        :meth:`RetrievalWorker.available_from`).  Software workers re-fetch
+        opcode from the repository per placement, not per retrieval, so
+        their image adoption is modelled as instantaneous.
+        """
+        from ..memmap.words import words_to_bytes
+
+        revision = self.case_base.revision
+        events: List[WorkerSyncEvent] = []
+        for worker in self.workers:
+            if worker.image_revision == revision:
+                continue
+            if worker.kind == HARDWARE:
+                words, incremental = self._stream_words(worker)
+                streamed_bytes = words_to_bytes(words)
+                reconfiguration = worker.controller.reconfiguration
+                port_event = reconfiguration.schedule(
+                    0, streamed_bytes, now_us, duration_us=self.reconfig_us
+                )
+                event = WorkerSyncEvent(
+                    worker=worker.name,
+                    revision=revision,
+                    start_us=port_event.start_us,
+                    duration_us=port_event.duration_us,
+                    bytes_streamed=streamed_bytes,
+                    incremental=incremental,
+                )
+            else:
+                event = WorkerSyncEvent(
+                    worker=worker.name,
+                    revision=revision,
+                    start_us=now_us,
+                    duration_us=0.0,
+                    bytes_streamed=0,
+                    incremental=True,
+                )
+            worker.image_revision = revision
+            worker.sync_events.append(event)
+            events.append(event)
+        return events
+
+    def reset_timing(self) -> None:
+        """Clear modelled port occupancy and sync logs (between replays).
+
+        Worker ``image_revision`` is *not* reset: it tracks which case-base
+        state the devices actually hold, which survives across replays.
+        """
+        for worker in self.workers:
+            reconfiguration = worker.controller.reconfiguration
+            if reconfiguration is not None:
+                reconfiguration.reset()
+            worker.sync_events.clear()

@@ -69,14 +69,31 @@ class ReconfigurationController:
         """Time until which the configuration port is occupied."""
         return self._busy_until_us
 
-    def schedule(self, handle: int, bitstream_bytes: int, now_us: float) -> ReconfigurationEvent:
+    def schedule(
+        self,
+        handle: int,
+        bitstream_bytes: int,
+        now_us: float,
+        *,
+        duration_us: Optional[float] = None,
+    ) -> ReconfigurationEvent:
         """Schedule one reconfiguration at ``now_us``; returns the completed event.
 
         If the port is still busy the transfer is queued behind the previous
-        one, so the event's start time may be later than ``now_us``.
+        one, so the event's start time may be later than ``now_us``.  An
+        explicit ``duration_us`` overrides the bandwidth-derived transfer
+        time (the fleet model's fixed ``--reconfig-us`` knob); the byte count
+        is still validated and recorded.
         """
+        if duration_us is not None and duration_us < 0:
+            raise PlatformError(f"duration_us must be non-negative, got {duration_us}")
         start = max(now_us, self._busy_until_us)
-        duration = self.reconfiguration_time_us(bitstream_bytes)
+        self.transfer_time_us(bitstream_bytes)  # byte-count validation
+        duration = (
+            duration_us
+            if duration_us is not None
+            else self.reconfiguration_time_us(bitstream_bytes)
+        )
         event = ReconfigurationEvent(
             device_name=self.device_name,
             handle=handle,

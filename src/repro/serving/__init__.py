@@ -16,10 +16,15 @@ engines (PR 2):
 * :mod:`repro.serving.metrics` -- throughput, latency percentiles,
   batch-shape histograms and rejection rates;
 * :mod:`repro.serving.engine` -- :class:`ServingEngine`, the facade gluing
-  the pipeline together.
+  the pipeline together;
+* :mod:`repro.serving.cluster` -- :class:`ClusterServingEngine` and
+  :class:`ClusterRouter`, routing micro-batches across a
+  :class:`~repro.platform.DeviceFleet` of reconfigurable devices with the
+  two-server admission model generalised to N workers.
 """
 
 from .admission import AdmissionController, AdmissionDecision, AdmissionVerdict
+from .cluster import ClusterDecision, ClusterRouter, ClusterServingEngine
 from .engine import (
     OnlineLearner,
     ServedRequest,
@@ -44,6 +49,9 @@ __all__ = [
     "AdmissionController",
     "AdmissionDecision",
     "AdmissionVerdict",
+    "ClusterDecision",
+    "ClusterRouter",
+    "ClusterServingEngine",
     "MetricsCollector",
     "MicroBatchScheduler",
     "OnlineLearner",

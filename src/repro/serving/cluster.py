@@ -1,0 +1,379 @@
+"""Cluster-scale serving: routing micro-batches across a device fleet.
+
+PR 3's serving engine models the paper's single node -- one hardware
+retrieval unit, one software path -- as two serial servers.  This module
+generalises that admission model to a whole
+:class:`~repro.platform.fleet.DeviceFleet` of N heterogeneous workers, the
+system the paper implies: a platform of run-time reconfigurable devices
+answering retrieval traffic.
+
+* :class:`ClusterRouter` assigns each dispatchable request (in arrival
+  order) to the earliest-finishing worker of the preferred tier, using
+  *exact* per-request cycle counts from the admission controller's
+  ``predict_cycles`` fast path (``cycles / worker clock`` -- no estimation)
+  plus each device's modelled reconfiguration-port occupancy and scheduled
+  outages: a device mid-reconfiguration is unavailable, so its traffic
+  degrades to software (under a deadline) or queues behind the stream.
+  With a fleet of one hardware and one software worker at equal clock the
+  router reproduces the PR 3 two-server admission decisions exactly
+  (differentially tested).
+
+* :class:`ClusterServingEngine` plugs the router into the serving
+  pipeline's admission hooks, so scheduling, screening, sharded retrieval,
+  feasibility screening and online learning are all inherited unchanged --
+  cluster routing redistributes *where* modelled service happens, never
+  *what* is retrieved, which is why cluster rankings are bit-identical to
+  single-device serving on the same trace (the ``repro serve-cluster
+  --engine compare`` gate).  Before every batch the fleet propagates
+  pending case-base delta windows to each device's cached image
+  (:meth:`DeviceFleet.sync <repro.platform.fleet.DeviceFleet.sync>`), so
+  online CBR learning works fleet-wide: a retain step makes every hardware
+  device briefly unavailable while the delta streams through its
+  configuration port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..allocation.feasibility import FeasibilityChecker
+from ..core.case_base import CaseBase
+from ..core.exceptions import ReproError
+from ..platform.fleet import HARDWARE, DeviceFleet, RetrievalWorker, WorkerSyncEvent
+from .admission import AdmissionController, AdmissionDecision, AdmissionVerdict
+from .engine import ServingConfig, ServingEngine, ServingStatus
+from .loadgen import TimedRequest
+
+
+@dataclass(frozen=True)
+class ClusterDecision(AdmissionDecision):
+    """One request's routing assessment: the admission decision plus a worker."""
+
+    worker: str = ""
+    worker_kind: str = ""
+
+
+class ClusterRouter:
+    """Earliest-finish routing over a device fleet, arrival order preserved.
+
+    The PR 3 two-server policy generalised to N servers: a request is
+    admitted to the earliest-finishing *hardware* worker whose completion
+    meets the deadline; otherwise it degrades to the earliest-finishing
+    *software* worker that still meets it; otherwise it is rejected.
+    Without a deadline every request goes to hardware (queueing behind
+    reconfigurations and outages), exactly like the two-server model admits
+    everything to the hardware unit.  Completion times fold in three
+    occupancy sources: queued retrieval work (tracked here per worker),
+    the device's reconfiguration-port busy window, and scheduled outages
+    (both via :meth:`RetrievalWorker.available_from
+    <repro.platform.fleet.RetrievalWorker.available_from>`).
+    """
+
+    def __init__(self, fleet: DeviceFleet, admission: AdmissionController) -> None:
+        self.fleet = fleet
+        self.admission = admission
+        self._free_at_us: Dict[str, float] = {}
+        self.assigned_counts: Dict[str, int] = {}
+        self.busy_us: Dict[str, float] = {}
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear per-replay queue occupancy and accounting."""
+        self._free_at_us = {worker.name: 0.0 for worker in self.fleet.workers}
+        self.assigned_counts = {worker.name: 0 for worker in self.fleet.workers}
+        self.busy_us = {worker.name: 0.0 for worker in self.fleet.workers}
+        self.first_dispatch_us: Optional[float] = None
+        self.last_completion_us = 0.0
+
+    def makespan_us(self) -> float:
+        """Modelled span from the first dispatch to the last completion.
+
+        The capacity figure N devices improve: dispatch-to-drain time of the
+        replayed work (0 when nothing was assigned).  Trace-position offsets
+        and batching waits are excluded -- they are identical for every
+        fleet size.
+        """
+        if self.first_dispatch_us is None:
+            return 0.0
+        return max(0.0, self.last_completion_us - self.first_dispatch_us)
+
+    # -- candidate evaluation --------------------------------------------------------
+
+    def _best_candidate(
+        self,
+        workers: Sequence[RetrievalWorker],
+        cycles: int,
+        close_us: float,
+    ) -> Optional[Tuple[RetrievalWorker, float, float]]:
+        """``(worker, start_us, service_us)`` minimising finish time, or ``None``.
+
+        Ties break on registration order, keeping routing deterministic.
+        """
+        best: Optional[Tuple[RetrievalWorker, float, float]] = None
+        best_finish = float("inf")
+        for worker in workers:
+            service = cycles / worker.clock_mhz
+            # Passing the service time keeps work from overlapping an outage:
+            # a job that would still be running when the device goes down is
+            # started after the window instead.
+            start = worker.available_from(
+                max(close_us, self._free_at_us[worker.name]), service
+            )
+            finish = start + service
+            if finish < best_finish:
+                best = (worker, start, service)
+                best_finish = finish
+        return best
+
+    def _assign(
+        self,
+        candidate: Tuple[RetrievalWorker, float, float],
+        cycles: int,
+        wait_us: float,
+        close_us: float,
+        deadline_us: Optional[float],
+        reason: str,
+    ) -> ClusterDecision:
+        worker, start_us, service_us = candidate
+        self._free_at_us[worker.name] = start_us + service_us
+        self.assigned_counts[worker.name] += 1
+        self.busy_us[worker.name] += service_us
+        if self.first_dispatch_us is None:
+            self.first_dispatch_us = close_us
+        self.last_completion_us = max(self.last_completion_us, start_us + service_us)
+        return ClusterDecision(
+            verdict=(
+                AdmissionVerdict.ADMIT_HARDWARE
+                if worker.kind == HARDWARE
+                else AdmissionVerdict.DEGRADE_SOFTWARE
+            ),
+            wait_us=wait_us,
+            queue_us=start_us - close_us,
+            service_us=service_us,
+            cycles=cycles,
+            deadline_us=deadline_us,
+            reason=reason,
+            worker=worker.name,
+            worker_kind=worker.kind,
+        )
+
+    # -- the routing gate --------------------------------------------------------------
+
+    def route_batch(
+        self,
+        entries: Sequence[TimedRequest],
+        close_us: float,
+        *,
+        default_deadline_us: Optional[float] = None,
+        degrade_to_software: bool = True,
+    ) -> List[ClusterDecision]:
+        """Route one dispatch batch; decision ``i`` covers entry ``i``."""
+        entries = list(entries)
+        if not entries:
+            return []
+        requests = [entry.request for entry in entries]
+        hardware_workers = self.fleet.hardware_workers
+        software_workers = self.fleet.software_workers
+        hardware_times = (
+            self.admission.hardware_times_us(requests) if hardware_workers else None
+        )
+        #: Lazily computed, like the base admission gate: an all-hardware
+        #: batch never pays for the software cycle model.
+        software_times: Optional[List[tuple]] = (
+            self.admission.software_times_us(requests)
+            if not hardware_workers and software_workers
+            else None
+        )
+        #: Software is the fallback tier behind hardware, or the primary
+        #: tier of a software-only fleet (no degrade gating applies then).
+        software_allowed = bool(software_workers) and (
+            degrade_to_software or not hardware_workers
+        )
+        decisions: List[ClusterDecision] = []
+        for index, entry in enumerate(entries):
+            wait_us = max(0.0, close_us - entry.arrival_us)
+            deadline = (
+                entry.deadline_us
+                if entry.deadline_us is not None
+                else default_deadline_us
+            )
+            degrade_reason = ""
+            if hardware_workers:
+                cycles = hardware_times[index][0]
+                candidate = self._best_candidate(hardware_workers, cycles, close_us)
+                _, start_us, service_us = candidate
+                if deadline is None or wait_us + (start_us - close_us) + service_us <= deadline:
+                    decisions.append(self._assign(
+                        candidate, cycles, wait_us, close_us, deadline, ""
+                    ))
+                    continue
+                degrade_reason = (
+                    "hardware queue misses the deadline; software path fits"
+                )
+            if software_allowed:
+                if software_times is None:
+                    software_times = self.admission.software_times_us(requests)
+                sw_cycles = software_times[index][0]
+                sw_candidate = self._best_candidate(
+                    software_workers, sw_cycles, close_us
+                )
+                _, start_us, service_us = sw_candidate
+                if deadline is None or wait_us + (start_us - close_us) + service_us <= deadline:
+                    decisions.append(self._assign(
+                        sw_candidate, sw_cycles, wait_us, close_us, deadline,
+                        degrade_reason,
+                    ))
+                    continue
+            #: Rejection diagnostics mirror the two-server gate: the primary
+            #: tier's best candidate at assessment time.
+            if hardware_workers:
+                diag_cycles = hardware_times[index][0]
+                diag = self._best_candidate(hardware_workers, diag_cycles, close_us)
+            else:
+                diag_cycles = software_times[index][0]
+                diag = self._best_candidate(software_workers, diag_cycles, close_us)
+            _, start_us, service_us = diag
+            decisions.append(ClusterDecision(
+                verdict=AdmissionVerdict.REJECT_DEADLINE,
+                wait_us=wait_us,
+                queue_us=start_us - close_us,
+                service_us=service_us,
+                cycles=diag_cycles,
+                deadline_us=deadline,
+                reason=(
+                    f"deadline budget of {deadline:.1f} us cannot be met "
+                    f"(waited {wait_us:.1f} us)"
+                ),
+            ))
+        return decisions
+
+
+class ClusterServingEngine(ServingEngine):
+    """Micro-batched serving with requests routed across a device fleet.
+
+    Everything except admission is inherited from :class:`ServingEngine`:
+    micro-batch scheduling, request screening, sharded retrieval, allocation
+    feasibility screening and online learning behave identically, so cluster
+    results stay bit-identical with single-device serving.  The admission
+    hooks are replaced by the :class:`ClusterRouter`, and every batch
+    dispatch first propagates pending case-base deltas to the devices'
+    cached images (reconfiguration-aware, see
+    :meth:`DeviceFleet.sync <repro.platform.fleet.DeviceFleet.sync>`).
+
+    Parameters
+    ----------
+    case_base:
+        The case base served (must be the fleet's).
+    fleet:
+        The device fleet answering the traffic.
+    config / feasibility:
+        As for :class:`ServingEngine`.
+    """
+
+    def __init__(
+        self,
+        case_base: CaseBase,
+        fleet: DeviceFleet,
+        *,
+        config: Optional[ServingConfig] = None,
+        feasibility: Optional[FeasibilityChecker] = None,
+    ) -> None:
+        if fleet.case_base is not case_base:
+            raise ReproError(
+                "the fleet must be built over the served case base "
+                "(device images would otherwise track a different tree)"
+            )
+        super().__init__(case_base, config=config, feasibility=feasibility)
+        self.fleet = fleet
+        self.router = ClusterRouter(fleet, self.admission)
+        self._replay_sync_events: List[WorkerSyncEvent] = []
+
+    # -- admission hooks ---------------------------------------------------------------
+
+    def _admission_state(self) -> Dict[str, float]:
+        """Reset fleet timing and router occupancy for a fresh replay."""
+        self.fleet.reset_timing()
+        self.router.reset()
+        self._replay_sync_events = []
+        return {}
+
+    def _assess_batch(
+        self,
+        state: Dict[str, float],
+        entries: Sequence[TimedRequest],
+        close_us: float,
+    ) -> List[AdmissionDecision]:
+        """Sync device images, then route the batch across the fleet."""
+        self._replay_sync_events.extend(self.fleet.sync(close_us))
+        return self.router.route_batch(
+            entries,
+            close_us,
+            default_deadline_us=self.config.deadline_us,
+            degrade_to_software=self.config.degrade_to_software,
+        )
+
+    def _served_status(
+        self, decision: AdmissionDecision
+    ) -> Tuple[ServingStatus, str]:
+        status, _ = super()._served_status(decision)
+        worker = decision.worker if isinstance(decision, ClusterDecision) else ""
+        return status, worker
+
+    def _extend_metrics(self, metrics_report: Dict[str, object]) -> None:
+        """Add the per-worker fleet section to the replay metrics."""
+        # Drain: the last micro-batch's learning window has no next dispatch
+        # to sync at, so propagate it now -- the replay leaves every device's
+        # image consistent with the evolved case base.
+        self._replay_sync_events.extend(
+            self.fleet.sync(self.router.last_completion_us)
+        )
+        makespan_us = self.router.makespan_us()
+        sync_events = self._replay_sync_events
+        hardware_syncs = [
+            event for event in sync_events
+            if self.fleet.worker(event.worker).kind == HARDWARE
+        ]
+        metrics_report["cluster"] = {
+            "devices": len(self.fleet),
+            "workers": {
+                worker.name: {
+                    "kind": worker.kind,
+                    "clock_mhz": worker.clock_mhz,
+                    "assigned": self.router.assigned_counts[worker.name],
+                    "busy_us": round(self.router.busy_us[worker.name], 3),
+                    "utilization": (
+                        self.router.busy_us[worker.name] / makespan_us
+                        if makespan_us
+                        else 0.0
+                    ),
+                    "image_revision": worker.image_revision,
+                }
+                for worker in self.fleet.workers
+            },
+            "sync": {
+                "events": len(sync_events),
+                "incremental": sum(
+                    1 for event in hardware_syncs if event.incremental
+                ),
+                "full": sum(
+                    1 for event in hardware_syncs if not event.incremental
+                ),
+                "bytes_streamed": sum(
+                    event.bytes_streamed for event in sync_events
+                ),
+                "reconfiguration_us": round(
+                    sum(event.duration_us for event in sync_events), 3
+                ),
+            },
+            "modelled_makespan_us": round(makespan_us, 3),
+            #: Modelled replay throughput: served requests per modelled
+            #: second of fleet time -- the capacity figure the cluster
+            #: benchmark gates (wall-clock host throughput stays in the
+            #: base metrics).
+            "modelled_throughput_rps": (
+                metrics_report["served"] / (makespan_us * 1e-6)
+                if makespan_us
+                else None
+            ),
+        }

@@ -127,6 +127,9 @@ class ServedRequest:
     cycles: int = 0
     result: Optional[RetrievalResult] = None
     reason: str = ""
+    #: Fleet worker that served the request (cluster serving only; the
+    #: single-node engine leaves it empty).
+    worker: str = ""
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serialisable outcome (ranking flattened to IDs/similarities)."""
@@ -141,6 +144,8 @@ class ServedRequest:
             "latency_us": self.latency_us,
             "cycles": self.cycles,
         }
+        if self.worker:
+            data["worker"] = self.worker
         if self.result is not None:
             data["ranking"] = [
                 {"implementation_id": entry.implementation_id,
@@ -448,6 +453,71 @@ class ServingEngine:
             return str(error)
         return None
 
+    # -- admission hooks (overridden by the cluster engine) ---------------------------
+
+    def _admission_state(self) -> Dict[str, float]:
+        """Fresh per-replay server-occupancy state for :meth:`_assess_batch`.
+
+        The base engine models the PR 3 two-serial-server platform: one
+        hardware retrieval unit and one software path, each with a virtual
+        free-at time carried across batches.
+        :class:`~repro.serving.cluster.ClusterServingEngine` overrides this
+        pair of hooks to route across a whole device fleet instead.
+        """
+        return {"hardware_free_at_us": 0.0, "software_free_at_us": 0.0}
+
+    def _assess_batch(
+        self,
+        state: Dict[str, float],
+        entries: Sequence[TimedRequest],
+        close_us: float,
+    ) -> List[AdmissionDecision]:
+        """Deadline-check one dispatch batch, advancing the occupancy state.
+
+        Each admitted decision's ``queue_us + service_us`` is that server's
+        occupancy end after serving it, so the maximum (or the carried
+        backlog, if nothing was assigned) becomes the server's new free-at
+        offset -- the admission gate sees backlog carried *across* batches
+        and sustained overload is rejected even one-at-a-time.
+        """
+        hardware_backlog_us = max(0.0, state["hardware_free_at_us"] - close_us)
+        software_backlog_us = max(0.0, state["software_free_at_us"] - close_us)
+        decisions = self.admission.assess_batch(
+            entries,
+            close_us,
+            default_deadline_us=self.config.deadline_us,
+            hardware_backlog_us=hardware_backlog_us,
+            software_backlog_us=software_backlog_us,
+        )
+        state["hardware_free_at_us"] = close_us + max(
+            [hardware_backlog_us]
+            + [
+                decision.queue_us + decision.service_us
+                for decision in decisions
+                if decision.verdict is AdmissionVerdict.ADMIT_HARDWARE
+            ]
+        )
+        state["software_free_at_us"] = close_us + max(
+            [software_backlog_us]
+            + [
+                decision.queue_us + decision.service_us
+                for decision in decisions
+                if decision.verdict is AdmissionVerdict.DEGRADE_SOFTWARE
+            ]
+        )
+        return decisions
+
+    def _served_status(
+        self, decision: AdmissionDecision
+    ) -> Tuple[ServingStatus, str]:
+        """``(status, worker name)`` of one admitted-and-feasible request."""
+        if decision.verdict is AdmissionVerdict.DEGRADE_SOFTWARE:
+            return ServingStatus.SERVED_SOFTWARE, ""
+        return ServingStatus.SERVED_HARDWARE, ""
+
+    def _extend_metrics(self, metrics_report: Dict[str, object]) -> None:
+        """Hook for subclasses to add sections to the metrics report."""
+
     # -- replay --------------------------------------------------------------------
 
     def serve(self, trace: Sequence[TimedRequest]) -> ServingReport:
@@ -465,11 +535,7 @@ class ServingEngine:
             if self.learner is not None
             else None
         )
-        #: Virtual times each modelled server finishes its queued work; the
-        #: admission gate sees backlog carried across batches, so sustained
-        #: overload rejects even in the one-at-a-time regime.
-        hardware_free_at_us = 0.0
-        software_free_at_us = 0.0
+        admission_state = self._admission_state()
         start = time.perf_counter()
         for batch in self.scheduler.batches(trace):
             metrics.observe_batch(len(batch))
@@ -489,33 +555,8 @@ class ServingEngine:
                     dispatchable.append((trace_index, entry))
             if not dispatchable:
                 continue
-            hardware_backlog_us = max(0.0, hardware_free_at_us - batch.close_us)
-            software_backlog_us = max(0.0, software_free_at_us - batch.close_us)
-            decisions = self.admission.assess_batch(
-                [entry for _, entry in dispatchable],
-                batch.close_us,
-                default_deadline_us=self.config.deadline_us,
-                hardware_backlog_us=hardware_backlog_us,
-                software_backlog_us=software_backlog_us,
-            )
-            # Each admitted decision's queue_us + service_us is that server's
-            # occupancy end after serving it, so the maximum (or the carried
-            # backlog, if nothing was assigned) is the new free-at offset.
-            hardware_free_at_us = batch.close_us + max(
-                [hardware_backlog_us]
-                + [
-                    decision.queue_us + decision.service_us
-                    for decision in decisions
-                    if decision.verdict is AdmissionVerdict.ADMIT_HARDWARE
-                ]
-            )
-            software_free_at_us = batch.close_us + max(
-                [software_backlog_us]
-                + [
-                    decision.queue_us + decision.service_us
-                    for decision in decisions
-                    if decision.verdict is AdmissionVerdict.DEGRADE_SOFTWARE
-                ]
+            decisions = self._assess_batch(
+                admission_state, [entry for _, entry in dispatchable], batch.close_us
             )
             admitted: List[Tuple[int, TimedRequest, AdmissionDecision]] = []
             for (trace_index, entry), decision in zip(dispatchable, decisions):
@@ -544,14 +585,11 @@ class ServingEngine:
                 infeasible = self.admission.feasibility_failure(result)
                 if infeasible is not None:
                     status = ServingStatus.REJECTED_INFEASIBLE
+                    worker = ""
                     latency_us: Optional[float] = None
                     reason = infeasible
-                elif decision.verdict is AdmissionVerdict.DEGRADE_SOFTWARE:
-                    status = ServingStatus.SERVED_SOFTWARE
-                    latency_us = decision.latency_us
-                    reason = decision.reason
                 else:
-                    status = ServingStatus.SERVED_HARDWARE
+                    status, worker = self._served_status(decision)
                     latency_us = decision.latency_us
                     reason = decision.reason
                 records[trace_index] = ServedRequest(
@@ -566,6 +604,7 @@ class ServingEngine:
                     cycles=decision.cycles,
                     result=result,
                     reason=reason,
+                    worker=worker,
                 )
             if self.learner is not None:
                 # Feed outcomes back between micro-batches, in trace order:
@@ -593,6 +632,7 @@ class ServingEngine:
                 ),
             )
         metrics_report = metrics.report()
+        self._extend_metrics(metrics_report)
         if learn_stats is not None:
             metrics_report["learning"] = {
                 "revised": self.learner.revised_count - learn_stats["revised"],

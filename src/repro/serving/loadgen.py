@@ -24,6 +24,7 @@ from typing import List, Optional, Sequence, Union
 
 from ..apps.automotive_ecu import AutomotiveEcuWorkload
 from ..apps.cruise_control import CruiseControlWorkload
+from ..apps.fleet_failover import FleetFailoverWorkload
 from ..apps.heavy_traffic import HeavyTrafficWorkload
 from ..apps.mp3_player import Mp3PlayerWorkload
 from ..apps.schema import platform_schema
@@ -43,6 +44,7 @@ WORKLOAD_FACTORIES = {
     AutomotiveEcuWorkload.name: AutomotiveEcuWorkload,
     CruiseControlWorkload.name: CruiseControlWorkload,
     HeavyTrafficWorkload.name: HeavyTrafficWorkload,
+    FleetFailoverWorkload.name: FleetFailoverWorkload,
 }
 
 
@@ -70,8 +72,9 @@ def resolve_workloads(
 ) -> List[ApplicationWorkload]:
     """Turn workload names (or instances) into instances; ``None`` = all four apps."""
     if workloads is None:
+        synthetic = (HeavyTrafficWorkload.name, FleetFailoverWorkload.name)
         return [factory() for name, factory in WORKLOAD_FACTORIES.items()
-                if name != HeavyTrafficWorkload.name]
+                if name not in synthetic]
     resolved: List[ApplicationWorkload] = []
     for entry in workloads:
         if isinstance(entry, ApplicationWorkload):

@@ -1,0 +1,245 @@
+"""Property-based tests of the platform substrate under random interleavings.
+
+Random sequences of configure (place), release (remove) and reconfiguration
+operations across several devices must uphold three invariants the cluster
+serving layer's correctness rests on:
+
+* **no double-booking** -- the run-time controllers never place two tasks on
+  the same FPGA slot, slot ownership always matches the placement registry
+  exactly, and processor load never exceeds its limit;
+* **monotone reconfiguration accounting** -- the configuration port is a
+  serial resource: its busy-until timestamp never decreases, scheduled events
+  never overlap, and the accumulated reconfiguration time equals the sum of
+  the event durations;
+* **fleet/resource-state round-trip** -- the
+  :class:`~repro.platform.SystemResourceState` snapshot reflects, device by
+  device, exactly what the controllers and the
+  :class:`~repro.platform.DeviceFleet` registry report.
+
+Uses hypothesis when available and degrades to a seeded parametrized sweep
+otherwise, following the pattern of the other property suites.
+"""
+
+import random
+
+import pytest
+
+from repro.core import DeploymentInfo, ExecutionTarget, Implementation, paper_case_base
+from repro.platform import (
+    DeviceFleet,
+    FpgaDevice,
+    LocalRuntimeController,
+    SlotSpec,
+    SystemResourceState,
+    host_cpu,
+)
+
+try:
+    from hypothesis import HealthCheck, given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - exercised only without hypothesis
+    HAVE_HYPOTHESIS = False
+
+
+def _fpga_implementation(implementation_id: int, area_slices: int, size_bytes: int):
+    return Implementation(
+        implementation_id, ExecutionTarget.FPGA, {1: 16},
+        DeploymentInfo(
+            area_slices=area_slices,
+            configuration_size_bytes=size_bytes,
+            power_mw=50.0,
+            setup_time_us=10.0,
+        ),
+    )
+
+
+def _cpu_implementation(implementation_id: int, load: float):
+    return Implementation(
+        implementation_id, ExecutionTarget.GPP, {1: 16},
+        DeploymentInfo(load_fraction=load, power_mw=20.0, setup_time_us=5.0),
+    )
+
+
+def _check_no_double_booking(controllers) -> None:
+    """Slot ownership and load accounting always match the task registry."""
+    for controller in controllers:
+        device = controller.device
+        if isinstance(device, FpgaDevice):
+            slot_map = device.slot_map()
+            owned = [owner for owner in slot_map if owner is not None]
+            handles = {task.handle for task in device.tasks()}
+            # Every occupied slot belongs to a live task and every live task
+            # occupies exactly its contiguous slot range.
+            assert set(owned) == handles
+            for task in device.tasks():
+                first, count = device.placement(task.handle)
+                assert count == device.slots.slots_needed(
+                    task.implementation.deployment.area_slices
+                )
+                assert slot_map[first : first + count] == [task.handle] * count
+            assert len(owned) == sum(
+                device.placement(handle)[1] for handle in handles
+            )
+        else:
+            assert device.current_load() <= device.load_limit + 1e-9
+
+
+def _check_reconfiguration_monotone(controller, previous_busy_until: float) -> float:
+    """Port busy time never decreases; events are serial and fully accounted."""
+    reconfiguration = controller.reconfiguration
+    if reconfiguration is None:
+        return previous_busy_until
+    busy_until = reconfiguration.busy_until_us()
+    assert busy_until >= previous_busy_until
+    events = reconfiguration.events
+    for earlier, later in zip(events, events[1:]):
+        assert later.start_us >= earlier.end_us  # serial port: no overlap
+    for event in events:
+        assert event.duration_us >= 0
+        assert event.end_us == event.start_us + event.duration_us
+    assert reconfiguration.total_reconfiguration_time_us() == pytest.approx(
+        sum(event.duration_us for event in events)
+    )
+    return busy_until
+
+
+def _check_resource_state_round_trip(system: SystemResourceState) -> None:
+    """The aggregate snapshot mirrors the controllers device by device."""
+    snapshot = system.snapshot()
+    assert set(snapshot.devices) == {c.name for c in system.controllers()}
+    for controller in system.controllers():
+        view = snapshot.devices[controller.name]
+        assert view.task_count == len(controller.tasks())
+        assert view.utilization == pytest.approx(controller.utilization())
+        assert view.power_mw == pytest.approx(controller.power_mw())
+        assert view.kind is controller.device.kind
+    assert snapshot.total_power_mw == pytest.approx(
+        sum(controller.power_mw() for controller in system.controllers())
+    )
+
+
+def check_interleaving(seed: int) -> None:
+    rng = random.Random(seed)
+    fpga_controllers = [
+        LocalRuntimeController(
+            FpgaDevice(f"fpga{index}", SlotSpec(slot_count=4, slices_per_slot=500))
+        )
+        for index in range(rng.randint(1, 3))
+    ]
+    cpu_controller = LocalRuntimeController(host_cpu("cpu0"))
+    controllers = fpga_controllers + [cpu_controller]
+    system = SystemResourceState(controllers)
+
+    placed = []  # (controller, handle)
+    busy_until = {controller.name: 0.0 for controller in fpga_controllers}
+    now_us = 0.0
+    next_id = 1
+    for _ in range(rng.randint(5, 25)):
+        now_us += rng.uniform(0.0, 200.0)
+        action = rng.random()
+        if action < 0.45:  # configure: place on a random FPGA
+            controller = rng.choice(fpga_controllers)
+            implementation = _fpga_implementation(
+                next_id, rng.choice([300, 500, 900, 1400]), rng.randrange(0, 60_000)
+            )
+            next_id += 1
+            if controller.can_place(implementation):
+                report = controller.place(1, implementation, now_us=now_us)
+                assert report.reconfiguration_time_us >= 0
+                placed.append((controller, report.handle))
+            else:
+                with pytest.raises(Exception):
+                    controller.place(1, implementation, now_us=now_us)
+        elif action < 0.6:  # software task on the CPU
+            implementation = _cpu_implementation(next_id, rng.choice([0.2, 0.4, 0.7]))
+            next_id += 1
+            if cpu_controller.can_place(implementation):
+                report = cpu_controller.place(2, implementation, now_us=now_us)
+                placed.append((cpu_controller, report.handle))
+        elif action < 0.8 and placed:  # release
+            controller, handle = placed.pop(rng.randrange(len(placed)))
+            controller.remove(handle)
+        else:  # raw reconfiguration traffic on the port (image refresh)
+            controller = rng.choice(fpga_controllers)
+            event = controller.reconfiguration.schedule(
+                0, rng.randrange(0, 40_000), now_us
+            )
+            assert event.start_us >= now_us or event.start_us >= busy_until[
+                controller.name
+            ]
+        _check_no_double_booking(controllers)
+        for controller in fpga_controllers:
+            busy_until[controller.name] = _check_reconfiguration_monotone(
+                controller, busy_until[controller.name]
+            )
+        _check_resource_state_round_trip(system)
+
+    # Releasing everything returns the platform to idle.
+    for controller, handle in placed:
+        controller.remove(handle)
+    _check_no_double_booking(controllers)
+    snapshot = system.snapshot()
+    assert all(view.task_count == 0 for view in snapshot.devices.values())
+    assert all(view.utilization == 0.0 for view in snapshot.devices.values())
+
+
+def check_fleet_round_trip(seed: int) -> None:
+    """Fleet registry and resource state describe the same devices, always."""
+    rng = random.Random(seed)
+    case_base = paper_case_base()
+    fleet = DeviceFleet.build(
+        case_base,
+        hardware_devices=rng.randint(1, 3),
+        software_devices=rng.randint(0, 2),
+    )
+    implementation = case_base.get_implementation(1, 1)
+    for _ in range(rng.randint(0, 6)):
+        case_base.replace_implementation(1, implementation)
+        fleet.sync(rng.uniform(0.0, 1_000.0))
+    snapshot = fleet.snapshot()
+    assert set(snapshot["workers"]) == {worker.name for worker in fleet.workers}
+    assert set(snapshot["workers"]) == set(snapshot["system"].devices)
+    assert set(snapshot["workers"]) == {
+        controller.name for controller in fleet.resource_state.controllers()
+    }
+    for worker in fleet.workers:
+        view = snapshot["workers"][worker.name]
+        assert view["kind"] == worker.kind
+        assert view["image_revision"] == case_base.revision
+        previous = 0.0
+        previous = _check_reconfiguration_monotone(worker.controller, previous)
+        assert previous >= 0.0
+    _check_resource_state_round_trip(fleet.resource_state)
+
+
+if HAVE_HYPOTHESIS:
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_reconfiguration_interleavings_uphold_invariants(seed):
+        check_interleaving(seed)
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_fleet_state_round_trips_through_resource_state(seed):
+        check_fleet_round_trip(seed)
+
+else:  # pragma: no cover - exercised only without hypothesis
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_reconfiguration_interleavings_uphold_invariants(seed):
+        check_interleaving(seed)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_fleet_state_round_trips_through_resource_state(seed):
+        check_fleet_round_trip(seed)

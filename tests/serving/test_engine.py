@@ -202,6 +202,21 @@ class TestApplicationApiPlumbing:
         assert report.metrics["served"] == len(trace)
         assert report.config.shard_count == 2
 
+    def test_cluster_engine_shares_the_managers_stack(self):
+        scenario = build_scenario()
+        engine = scenario.application_api.cluster_engine(
+            devices=2, software_devices=1, n_best=2
+        )
+        assert engine.case_base is scenario.manager.case_base
+        assert engine.fleet.case_base is scenario.manager.case_base
+        assert engine.admission.feasibility is scenario.manager.feasibility
+        assert engine.fleet.repository is scenario.manager.repository
+        assert len(engine.fleet) == 3
+        trace = trace_from_workloads(duration_us=500_000.0, seed=5)
+        report = engine.serve(trace)
+        assert report.metrics["served"] == len(trace)
+        assert report.metrics["cluster"]["devices"] == 3
+
     def test_with_config_builds_a_sibling_engine(self):
         engine = ServingEngine(paper_case_base())
         sibling = engine.with_config(max_batch=1, shard_count=2)

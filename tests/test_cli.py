@@ -294,3 +294,119 @@ class TestServeTrace:
     def test_invalid_serving_config_is_a_clean_error(self, capsys):
         assert main(["serve-trace", "--random", "2", "--n-best", "0"]) == 2
         assert "serve-trace: n_best" in capsys.readouterr().err
+
+
+def _tampered_single_device_engine():
+    """A ServingEngine subclass that corrupts the unsharded reference replay.
+
+    The compare modes re-serve the trace through a single-device (shard
+    count 1) reference engine; tampering with that replay's rankings forces
+    a bit-identity failure without touching the primary replay, so the
+    tests can assert the non-zero exit code and the diff summary.
+    """
+    from repro.serving import ServingEngine
+
+    class TamperedServingEngine(ServingEngine):
+        def serve(self, trace):
+            report = ServingEngine.serve(self, trace)
+            if self.config.shard_count == 1:
+                for record in report.served:
+                    if record.result is not None and len(record.result.ranked) > 1:
+                        record.result.ranked.reverse()
+                        break
+            return report
+
+    return TamperedServingEngine
+
+
+class TestServeTraceCompareExitCode:
+    def test_compare_mismatch_exits_nonzero_with_diff_summary(
+        self, monkeypatch, capsys
+    ):
+        import repro.serving
+
+        monkeypatch.setattr(
+            repro.serving, "ServingEngine", _tampered_single_device_engine()
+        )
+        # The sharded replay (--shards 4) is untouched; the tampered
+        # unsharded reference must trip the compare gate.
+        assert main(["serve-trace", "--shards", "4", "--engine", "compare",
+                     "--random", "24", "--seed", "3", "--n-best", "5"]) == 1
+        captured = capsys.readouterr()
+        assert "bit-identity FAILED" in captured.err
+        assert "request" in captured.err  # the per-request diff summary
+        assert "sharded=" in captured.err and "unsharded=" in captured.err
+
+
+class TestServeCluster:
+    def test_default_fleet_replay_reports_workers(self, capsys):
+        assert main(["serve-cluster", "--duration-ms", "500", "--seed", "7"]) == 0
+        output = capsys.readouterr().out
+        assert "cluster replay" in output
+        assert "fleet utilisation" in output
+        assert "fpga0" in output and "cpu0" in output
+        assert "image syncs:" in output
+        assert "modelled fleet makespan" in output
+
+    def test_compare_mode_proves_bit_identity(self, capsys):
+        assert main(["serve-cluster", "--devices", "4", "--engine", "compare",
+                     "--random", "48", "--seed", "3",
+                     "--mean-interarrival-us", "50"]) == 0
+        output = capsys.readouterr().out
+        assert "cluster (5 devices) vs single-device rankings bit-identical" in output
+        assert "48/48" in output
+
+    def test_compare_mismatch_exits_nonzero_with_diff_summary(
+        self, monkeypatch, capsys
+    ):
+        import repro.serving
+
+        monkeypatch.setattr(
+            repro.serving, "ServingEngine", _tampered_single_device_engine()
+        )
+        assert main(["serve-cluster", "--devices", "2", "--engine", "compare",
+                     "--random", "24", "--seed", "3", "--n-best", "5"]) == 1
+        captured = capsys.readouterr()
+        assert "bit-identity FAILED" in captured.err
+        assert "cluster=" in captured.err and "single-device=" in captured.err
+
+    def test_learn_compare_replays_from_identical_snapshots(self, capsys):
+        assert main(["serve-cluster", "--devices", "2", "--engine", "compare",
+                     "--random", "24", "--seed", "5", "--learn",
+                     "--mean-interarrival-us", "400"]) == 0
+        output = capsys.readouterr().out
+        assert "learning:" in output
+        assert "bit-identical" in output
+
+    def test_fleet_failover_workload_applies_outages(self, capsys):
+        assert main(["serve-cluster", "--workload", "fleet-failover",
+                     "--duration-ms", "400", "--devices", "1",
+                     "--deadline-us", "5000", "--seed", "9"]) == 0
+        output = capsys.readouterr().out
+        # During the lone device's outage the router degrades to software.
+        assert "sw=" in output
+        served_software = int(output.split("sw=")[1].split(")")[0])
+        assert served_software > 0
+
+    def test_reconfig_us_flag_and_json_report(self, tmp_path, capsys):
+        import json
+
+        report_path = tmp_path / "cluster.json"
+        assert main(["serve-cluster", "--random", "16", "--seed", "2",
+                     "--learn", "--reconfig-us", "75",
+                     "--mean-interarrival-us", "500",
+                     "--json", str(report_path)]) == 0
+        payload = json.loads(report_path.read_text())
+        cluster = payload["metrics"]["cluster"]
+        assert cluster["devices"] == 3
+        assert set(cluster["workers"]) == {"fpga0", "fpga1", "cpu0"}
+        served_workers = [
+            entry.get("worker") for entry in payload["requests"]
+            if entry["status"].startswith("served")
+        ]
+        assert served_workers and all(served_workers)
+
+    def test_invalid_fleet_is_a_clean_error(self, capsys):
+        assert main(["serve-cluster", "--random", "4", "--devices", "0",
+                     "--software-workers", "0"]) == 2
+        assert "serve-cluster" in capsys.readouterr().err
