@@ -1,6 +1,11 @@
-"""Application-API and HW-Layer API facades (paper Fig. 1)."""
+"""Application-API and HW-Layer API facades (paper Fig. 1).
 
+:mod:`repro.api.schemas` additionally holds the versioned JSON wire schemas
+shared by request files, CLI ``--json`` reports and the serving daemon.
+"""
+
+from . import schemas
 from .application_api import ApplicationAPI, FunctionHandle
 from .hw_layer_api import HwLayerAPI, TransferRecord
 
-__all__ = ["ApplicationAPI", "FunctionHandle", "HwLayerAPI", "TransferRecord"]
+__all__ = ["ApplicationAPI", "FunctionHandle", "HwLayerAPI", "TransferRecord", "schemas"]

@@ -250,7 +250,27 @@ class ApplicationAPI:
 
     # -- serving ----------------------------------------------------------------------
 
-    def serving_engine(self, **config_overrides):
+    def _legacy_serving_spec(self, config_overrides: Dict[str, object], **axes):
+        """Build a spec from deprecated keyword-soup overrides (shim path)."""
+        import warnings
+
+        from ..serving.spec import ServingSpec
+
+        warnings.warn(
+            "serving_engine(**overrides) / cluster_engine(devices=...) keyword "
+            "construction is deprecated; pass a repro.serving.ServingSpec "
+            "instead (e.g. serving_engine(ServingSpec(shards=4, learn=True))). "
+            "The keyword shim will be removed in the next release.",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        hardware_config = config_overrides.pop("hardware_config", None)
+        explicit_cycle = "cycle_engine" in config_overrides
+        spec = ServingSpec.from_engine_kwargs(**config_overrides, **axes)
+        cycle_engine = spec.cycle_engine if explicit_cycle else self.manager.cycle_engine
+        return spec, hardware_config, cycle_engine
+
+    def serving_engine(self, spec=None, **config_overrides):
         """A :class:`~repro.serving.ServingEngine` over the manager's case base.
 
         This is the streaming complement of :meth:`call_functions`: instead of
@@ -258,30 +278,62 @@ class ApplicationAPI:
         request traces through the micro-batching scheduler, cycle-exact
         admission control and sharded retrieval -- sharing the manager's case
         base and its :class:`~repro.allocation.feasibility.FeasibilityChecker`
-        (so infeasibility rejections agree with allocation decisions).  Keyword
-        arguments override :class:`~repro.serving.ServingConfig` fields, e.g.
-        ``api.serving_engine(shard_count=4, deadline_us=500.0)``; passing
-        ``learn=True`` enables online CBR learning -- served outcomes are fed
-        back through the revise/retain cycle between micro-batches, mutating
-        the manager's case base mid-stream while the delta-propagation
-        subsystem keeps every retrieval cache patched incrementally.
-        """
-        from ..serving import ServingConfig, ServingEngine
+        (so infeasibility rejections agree with allocation decisions).
 
-        if "hardware_config" not in config_overrides and self.manager.hardware_config:
-            config_overrides["hardware_config"] = self.manager.hardware_config
-        config_overrides.setdefault("cycle_engine", self.manager.cycle_engine)
-        return ServingEngine(
+        Pass a :class:`~repro.serving.ServingSpec` describing the engine,
+        e.g. ``api.serving_engine(ServingSpec(shards=4, deadline_us=500.0))``;
+        ``ServingSpec(learn=True)`` enables online CBR learning -- served
+        outcomes are fed back through the revise/retain cycle between
+        micro-batches, mutating the manager's case base mid-stream while the
+        delta-propagation subsystem keeps every retrieval cache patched
+        incrementally.  A spec whose ``cycle_engine`` is ``"auto"`` inherits
+        the manager's choice; the manager's hardware configuration always
+        applies (it is a live object, not a spec axis).  A spec with
+        ``cluster=True`` builds a fleet-routed engine, making this the single
+        construction entry point.
+
+        .. deprecated::
+            Keyword overrides (``api.serving_engine(shard_count=4)``) still
+            work for one release via a shim that builds the equivalent spec
+            and emits a :class:`DeprecationWarning`.
+        """
+        from ..serving.spec import ServingSpec
+
+        if spec is not None:
+            if config_overrides:
+                raise RequestError(
+                    "pass either a ServingSpec or legacy keyword overrides, not both"
+                )
+            if not isinstance(spec, ServingSpec):
+                raise RequestError(
+                    f"serving_engine expects a ServingSpec, got {type(spec).__name__}"
+                )
+            hardware_config = None
+            cycle_engine = (
+                spec.cycle_engine
+                if spec.cycle_engine != "auto"
+                else self.manager.cycle_engine
+            )
+        else:
+            spec, hardware_config, cycle_engine = self._legacy_serving_spec(
+                config_overrides
+            )
+        if hardware_config is None and self.manager.hardware_config:
+            hardware_config = self.manager.hardware_config
+        return spec.build_engine(
             self.manager.case_base,
-            config=ServingConfig(**config_overrides),
             feasibility=self.manager.feasibility,
+            hardware_config=hardware_config,
+            cycle_engine=cycle_engine,
+            repository=self.manager.repository,
         )
 
     def cluster_engine(
         self,
+        spec=None,
         *,
-        devices: int = 2,
-        software_devices: int = 1,
+        devices: Optional[int] = None,
+        software_devices: Optional[int] = None,
         fleet=None,
         reconfig_us: Optional[float] = None,
         **config_overrides,
@@ -291,40 +343,63 @@ class ApplicationAPI:
         The cluster-scale complement of :meth:`serving_engine`: traces are
         replayed through the same micro-batching, screening and sharded
         retrieval, but admission routes each request across a
-        :class:`~repro.platform.DeviceFleet` of ``devices`` FPGA-hosted
-        hardware retrieval units plus ``software_devices`` processor-hosted
-        software units (pass an assembled ``fleet`` to override the
-        topology).  The fleet shares the manager's case base, hardware
-        configuration and feasibility checker, so routing decisions,
-        service times and infeasibility rejections agree with the
-        single-node engine; online learning (``learn=True``) propagates
-        delta windows to every device's cached image between micro-batches,
-        with the modelled reconfiguration streams (``reconfig_us``
-        overrides the bandwidth-derived latency) making devices briefly
-        unavailable.
-        """
-        from ..platform.fleet import DeviceFleet
-        from ..serving import ClusterServingEngine, ServingConfig
+        :class:`~repro.platform.DeviceFleet` of ``spec.devices`` FPGA-hosted
+        hardware retrieval units plus ``spec.software_workers``
+        processor-hosted software units (pass an assembled ``fleet`` to
+        override the topology -- a live object, so it stays a keyword even in
+        spec-first calls).  The fleet shares the manager's case base,
+        hardware configuration and feasibility checker, so routing
+        decisions, service times and infeasibility rejections agree with the
+        single-node engine; online learning (``ServingSpec(learn=True)``)
+        propagates delta windows to every device's cached image between
+        micro-batches, with the modelled reconfiguration streams
+        (``spec.reconfig_us`` overrides the bandwidth-derived latency)
+        making devices briefly unavailable.  A spec with ``cluster=False``
+        is coerced to ``cluster=True`` here.
 
-        if "hardware_config" not in config_overrides and self.manager.hardware_config:
-            config_overrides["hardware_config"] = self.manager.hardware_config
-        config_overrides.setdefault("cycle_engine", self.manager.cycle_engine)
-        config = ServingConfig(**config_overrides)
-        if fleet is None:
-            fleet = DeviceFleet.build(
-                self.manager.case_base,
-                hardware_devices=devices,
-                software_devices=software_devices,
-                hardware_config=config.hardware_config,
-                clock_mhz=config.clock_mhz,
-                reconfig_us=reconfig_us,
-                repository=self.manager.repository,
+        .. deprecated::
+            Keyword construction (``api.cluster_engine(devices=4,
+            learn=True)``) still works for one release via a shim that
+            builds the equivalent spec and emits a
+            :class:`DeprecationWarning`.
+        """
+        from ..serving.spec import ServingSpec
+
+        if spec is not None:
+            if config_overrides or devices is not None or software_devices is not None \
+                    or reconfig_us is not None:
+                raise RequestError(
+                    "pass either a ServingSpec or legacy keyword overrides, not both"
+                )
+            if not isinstance(spec, ServingSpec):
+                raise RequestError(
+                    f"cluster_engine expects a ServingSpec, got {type(spec).__name__}"
+                )
+            if not spec.cluster:
+                spec = spec.replace(cluster=True)
+            hardware_config = None
+            cycle_engine = (
+                spec.cycle_engine
+                if spec.cycle_engine != "auto"
+                else self.manager.cycle_engine
             )
-        return ClusterServingEngine(
+        else:
+            spec, hardware_config, cycle_engine = self._legacy_serving_spec(
+                config_overrides,
+                cluster=True,
+                devices=2 if devices is None else devices,
+                software_workers=1 if software_devices is None else software_devices,
+                reconfig_us=reconfig_us,
+            )
+        if hardware_config is None and self.manager.hardware_config:
+            hardware_config = self.manager.hardware_config
+        return spec.build_engine(
             self.manager.case_base,
-            fleet,
-            config=config,
             feasibility=self.manager.feasibility,
+            fleet=fleet,
+            hardware_config=hardware_config,
+            cycle_engine=cycle_engine,
+            repository=self.manager.repository,
         )
 
     # -- introspection ----------------------------------------------------------------

@@ -1,0 +1,412 @@
+"""Versioned JSON wire schemas shared by files, the CLI and the HTTP daemon.
+
+Before this module existed, three code paths each owned a JSON dialect of the
+same objects: the requests-file loader in :mod:`repro.tools.requests_io`, the
+``--json`` report writers in :mod:`repro.cli` and the serving layer's
+``to_dict`` methods.  The serving daemon (:mod:`repro.serving.daemon`) would
+have added a fourth.  This module is now the single source of truth: the
+*file* format and the *HTTP* format are the same schema, version-stamped so
+readers can reject payloads they do not understand.
+
+Every top-level document carries two envelope keys:
+
+* ``"kind"`` -- what the document is (``"requests"``, ``"serving-report"``,
+  ``"serving-capture"``, ``"serving-metrics"``, ``"serving-spec"``,
+  ``"error"``);
+* ``"schema_version"`` -- the wire-schema revision (:data:`SCHEMA_VERSION`).
+
+``from_wire`` helpers accept both the enveloped form and (for backwards
+compatibility with pre-daemon files) the bare legacy shapes; ``to_wire``
+helpers always emit the enveloped form.  Similarity doubles survive the round
+trip bit-exactly: ``json`` serialises floats with ``repr``, whose shortest
+round-tripping representation restores the identical IEEE-754 value -- the
+property the capture/replay differential test relies on.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.exceptions import ReproError
+from ..core.request import FunctionRequest, RequestAttribute
+
+#: Current wire-schema revision.  Bump when a document shape changes
+#: incompatibly; readers reject unknown versions instead of misparsing.
+SCHEMA_VERSION = 1
+
+
+class SchemaError(ReproError):
+    """A wire payload does not match the schema (shape or version)."""
+
+
+# ---------------------------------------------------------------------------
+# Envelope
+# ---------------------------------------------------------------------------
+
+def attach_envelope(kind: str, payload: Dict[str, object]) -> Dict[str, object]:
+    """Stamp a document with its ``kind`` and ``schema_version``."""
+    document: Dict[str, object] = {"kind": kind, "schema_version": SCHEMA_VERSION}
+    document.update(payload)
+    return document
+
+
+def check_envelope(
+    document: Mapping, *, kind: Optional[str] = None, required: bool = True
+) -> None:
+    """Validate a document's envelope.
+
+    ``required=False`` tolerates missing envelope keys (legacy payloads) but
+    still rejects a *present* version or kind that does not match.
+    """
+    if not isinstance(document, Mapping):
+        raise SchemaError(f"expected a JSON object, got {type(document).__name__}")
+    version = document.get("schema_version")
+    if version is None:
+        if required:
+            raise SchemaError("document is missing 'schema_version'")
+    elif version != SCHEMA_VERSION:
+        raise SchemaError(
+            f"unsupported schema_version {version!r} (this build reads "
+            f"version {SCHEMA_VERSION})"
+        )
+    found = document.get("kind")
+    if kind is not None and found is not None and found != kind:
+        raise SchemaError(f"expected a {kind!r} document, got kind {found!r}")
+    if kind is not None and found is None and required:
+        raise SchemaError(f"document is missing 'kind' (expected {kind!r})")
+
+
+# ---------------------------------------------------------------------------
+# Function requests (constraints + weights)
+# ---------------------------------------------------------------------------
+
+def request_to_wire(request: FunctionRequest) -> Dict[str, object]:
+    """The canonical request shape (also what ``request_to_json`` emits)."""
+    return {
+        "type_id": request.type_id,
+        "requester": request.requester,
+        "attributes": [
+            {"attribute_id": a.attribute_id, "value": a.value, "weight": a.weight}
+            for a in request.sorted_attributes()
+        ],
+    }
+
+
+def request_from_wire(
+    payload: Mapping, *, requester: str = "wire"
+) -> FunctionRequest:
+    """Build a request from the canonical shape or the constraints shorthand.
+
+    Canonical: ``{"type_id", "attributes": [{"attribute_id", "value",
+    "weight"}]}`` (weights taken as-is, not renormalised).  Shorthand:
+    ``{"type_id", "constraints"}`` where ``constraints`` is a mapping of
+    attribute ID to value or a list of ``[id, value]`` / ``[id, value,
+    weight]`` entries.
+    """
+    if not isinstance(payload, Mapping):
+        raise SchemaError(
+            f"malformed request entry {payload!r}: expected an object"
+        )
+    if "attributes" in payload:
+        try:
+            return FunctionRequest(
+                int(payload["type_id"]),
+                [
+                    RequestAttribute(
+                        int(a["attribute_id"]), a["value"], float(a["weight"])
+                    )
+                    for a in payload.get("attributes", [])
+                ],
+                requester=str(payload.get("requester", requester)),
+                normalize_weights=False,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SchemaError(f"malformed request entry {payload!r}: {exc}") from exc
+    try:
+        type_id = int(payload["type_id"])
+        constraints = payload["constraints"]
+        if isinstance(constraints, Mapping):
+            constraints = [
+                (int(attribute_id), value)
+                for attribute_id, value in constraints.items()
+            ]
+        return FunctionRequest(
+            type_id,
+            constraints,
+            requester=str(payload.get("requester", requester)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SchemaError(f"malformed request entry {payload!r}: {exc}") from exc
+
+
+def requests_to_wire(requests: Sequence[FunctionRequest]) -> Dict[str, object]:
+    """A versioned requests document (the ``--requests`` file format)."""
+    return attach_envelope(
+        "requests", {"requests": [request_to_wire(request) for request in requests]}
+    )
+
+
+def requests_from_wire(
+    payload: object, *, requester: str = "wire"
+) -> List[FunctionRequest]:
+    """Read a requests document: enveloped form or the legacy bare list."""
+    if isinstance(payload, Mapping):
+        check_envelope(payload, kind="requests")
+        entries = payload.get("requests")
+        if not isinstance(entries, list):
+            raise SchemaError("a requests document needs a 'requests' list")
+    elif isinstance(payload, list):
+        entries = payload
+    else:
+        raise SchemaError(
+            "a requests document must be a JSON list or a versioned "
+            "{'kind': 'requests'} object"
+        )
+    return [request_from_wire(entry, requester=requester) for entry in entries]
+
+
+# ---------------------------------------------------------------------------
+# Timed traces (the capture/replay interchange format)
+# ---------------------------------------------------------------------------
+
+def timed_request_to_wire(entry) -> Dict[str, object]:
+    """One trace entry: the request plus its arrival stamp and deadline."""
+    record: Dict[str, object] = {
+        "arrival_us": entry.arrival_us,
+        "request": request_to_wire(entry.request),
+    }
+    if entry.deadline_us is not None:
+        record["deadline_us"] = entry.deadline_us
+    if entry.note:
+        record["note"] = entry.note
+    return record
+
+
+def timed_request_from_wire(payload: Mapping, *, requester: str = "wire"):
+    """Rebuild one trace entry (deferred import avoids a serving cycle)."""
+    from ..serving.loadgen import TimedRequest
+
+    if not isinstance(payload, Mapping) or "request" not in payload:
+        raise SchemaError(
+            f"malformed trace entry {payload!r}: expected an object with a "
+            f"'request' field"
+        )
+    try:
+        arrival_us = float(payload["arrival_us"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SchemaError(f"malformed trace entry {payload!r}: {exc}") from exc
+    deadline = payload.get("deadline_us")
+    return TimedRequest(
+        arrival_us=arrival_us,
+        request=request_from_wire(payload["request"], requester=requester),
+        deadline_us=float(deadline) if deadline is not None else None,
+        note=str(payload.get("note", "")),
+    )
+
+
+def trace_to_wire(trace: Sequence) -> List[Dict[str, object]]:
+    """The bare trace array (embedded in capture documents)."""
+    return [timed_request_to_wire(entry) for entry in trace]
+
+
+def trace_from_wire(payload: Sequence, *, requester: str = "wire") -> List:
+    """Rebuild a trace array."""
+    if not isinstance(payload, list):
+        raise SchemaError("a trace must be a JSON list of timed requests")
+    return [timed_request_from_wire(entry, requester=requester) for entry in payload]
+
+
+# ---------------------------------------------------------------------------
+# Served-request records, metrics and reports
+# ---------------------------------------------------------------------------
+
+def served_request_to_wire(record) -> Dict[str, object]:
+    """One per-request serving outcome (the PR 3 record shape, unchanged)."""
+    return record.to_dict()
+
+
+def metrics_to_wire(
+    metrics: Mapping[str, object], **extra_sections: object
+) -> Dict[str, object]:
+    """A versioned metrics document (the ``GET /metrics`` response body)."""
+    payload: Dict[str, object] = {"metrics": dict(metrics)}
+    payload.update(extra_sections)
+    return attach_envelope("serving-metrics", payload)
+
+
+def report_to_wire(report) -> Dict[str, object]:
+    """A versioned serving report (the CLI ``--json`` document).
+
+    ``report`` is a :class:`~repro.serving.engine.ServingReport`; the legacy
+    ``{"config", "metrics", "requests"}`` body is preserved under the new
+    envelope so existing consumers keep working.
+    """
+    return attach_envelope("serving-report", report.to_dict())
+
+
+def error_to_wire(error: str, reason: str, **details: object) -> Dict[str, object]:
+    """A structured error body (every daemon 4xx/503 uses this shape)."""
+    payload: Dict[str, object] = {"error": error, "reason": reason}
+    if details:
+        payload["details"] = details
+    return attach_envelope("error", payload)
+
+
+# ---------------------------------------------------------------------------
+# Case-base mutations (the POST /learn ingestion format)
+# ---------------------------------------------------------------------------
+
+#: Mutation operations accepted by :func:`apply_mutation_events`.
+MUTATION_OPS = (
+    "add_type",
+    "add_implementation",
+    "replace_implementation",
+    "remove_implementation",
+    "remove_type",
+)
+
+
+def implementation_from_wire(payload: Mapping):
+    """Build an :class:`~repro.core.case_base.Implementation` from wire form.
+
+    The shape mirrors one entry of ``CaseBase.to_dict()``'s implementation
+    list: ``{"implementation_id", "target", "attributes", ["name"],
+    ["deployment"]}``.
+    """
+    from ..core.case_base import DeploymentInfo, ExecutionTarget, Implementation
+
+    if not isinstance(payload, Mapping):
+        raise SchemaError(
+            f"malformed implementation {payload!r}: expected an object"
+        )
+    try:
+        deployment = payload.get("deployment") or {}
+        return Implementation(
+            implementation_id=int(payload["implementation_id"]),
+            target=ExecutionTarget(payload.get("target", "gpp")),
+            name=str(payload.get("name", "")),
+            attributes={
+                int(attribute_id): value
+                for attribute_id, value in (payload.get("attributes") or {}).items()
+            },
+            deployment=DeploymentInfo(
+                configuration_size_bytes=int(
+                    deployment.get("configuration_size_bytes", 0)
+                ),
+                area_slices=int(deployment.get("area_slices", 0)),
+                power_mw=float(deployment.get("power_mw", 0.0)),
+                load_fraction=float(deployment.get("load_fraction", 0.0)),
+                setup_time_us=float(deployment.get("setup_time_us", 0.0)),
+            ),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SchemaError(f"malformed implementation {payload!r}: {exc}") from exc
+
+
+def validate_mutation_events(events: Sequence[Mapping]) -> List[tuple]:
+    """Stage a list of wire mutation events, raising on any malformed one.
+
+    Returns the staged ``(op, type_id, operand)`` tuples without touching any
+    case base -- the daemon validates ``POST /learn`` bodies at ingestion time
+    even when application is deferred to the next micro-batch boundary.
+    """
+    if not isinstance(events, Sequence) or isinstance(events, (str, bytes)):
+        raise SchemaError("mutation events must be a JSON list")
+    staged: List[tuple] = []
+    for event in events:
+        if not isinstance(event, Mapping):
+            raise SchemaError(f"malformed mutation event {event!r}: expected an object")
+        op = event.get("op")
+        if op not in MUTATION_OPS:
+            raise SchemaError(
+                f"unknown mutation op {op!r}; known ops: {', '.join(MUTATION_OPS)}"
+            )
+        try:
+            type_id = int(event["type_id"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SchemaError(f"mutation event {event!r} needs a 'type_id'") from exc
+        if op in ("add_implementation", "replace_implementation"):
+            staged.append(
+                (op, type_id, implementation_from_wire(event.get("implementation")))
+            )
+        elif op == "remove_implementation":
+            try:
+                staged.append((op, type_id, int(event["implementation_id"])))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise SchemaError(
+                    f"mutation event {event!r} needs an 'implementation_id'"
+                ) from exc
+        elif op == "add_type":
+            staged.append((op, type_id, str(event.get("name", ""))))
+        else:  # remove_type
+            staged.append((op, type_id, None))
+    return staged
+
+
+def apply_mutation_events(case_base, events: Sequence[Mapping]) -> int:
+    """Apply a list of wire mutation events to a case base; returns the count.
+
+    Each event is ``{"op": <one of MUTATION_OPS>, "type_id": ..., ...}``;
+    implementation-carrying ops embed the implementation in wire form.  Events
+    are validated *before* any is applied (all-or-nothing with respect to
+    malformed input), then applied in order -- every mutation lands in the
+    case base's delta log, so the PR 4 propagation machinery patches all
+    derived caches incrementally.
+    """
+    staged = validate_mutation_events(events)
+    for op, type_id, operand in staged:
+        if op == "add_type":
+            case_base.add_type(type_id, name=operand)
+        elif op == "add_implementation":
+            case_base.add_implementation(type_id, operand)
+        elif op == "replace_implementation":
+            case_base.replace_implementation(type_id, operand)
+        elif op == "remove_implementation":
+            case_base.remove_implementation(type_id, operand)
+        else:
+            case_base.remove_type(type_id)
+    return len(staged)
+
+
+# ---------------------------------------------------------------------------
+# JSON text round trips
+# ---------------------------------------------------------------------------
+
+def dumps(document: Mapping[str, object], *, indent: Optional[int] = 2) -> str:
+    """Serialise a wire document to JSON text (sorted keys, stable diffs)."""
+    return json.dumps(document, indent=indent, sort_keys=True)
+
+
+def loads(text: str) -> object:
+    """Parse JSON text, normalising parse failures onto :class:`SchemaError`."""
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SchemaError(f"invalid JSON: {exc}") from exc
+
+
+__all__ = [
+    "MUTATION_OPS",
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "apply_mutation_events",
+    "attach_envelope",
+    "check_envelope",
+    "dumps",
+    "error_to_wire",
+    "implementation_from_wire",
+    "loads",
+    "metrics_to_wire",
+    "report_to_wire",
+    "request_from_wire",
+    "request_to_wire",
+    "requests_from_wire",
+    "requests_to_wire",
+    "served_request_to_wire",
+    "timed_request_from_wire",
+    "timed_request_to_wire",
+    "trace_from_wire",
+    "trace_to_wire",
+    "validate_mutation_events",
+]

@@ -30,6 +30,12 @@ Provides the day-to-day developer workflows as sub-commands:
   compare`` checks cluster rankings are bit-identical to single-device
   serving, and the ``fleet-failover`` workload brackets a staggered device
   outage;
+* ``repro-qos serve`` -- run the network-facing serving daemon: an asyncio
+  HTTP/JSON service exposing ``POST /retrieve`` (single and batch),
+  ``POST /learn`` (streaming case-base deltas), ``GET /metrics`` and
+  ``GET /healthz`` over the same micro-batching pipeline the replay commands
+  use; ``--capture`` records a replayable trace whose offline re-serving
+  (``serve-trace --capture``) must be bit-identical;
 * ``repro-qos estimate`` -- print the Table 2-style resource estimate for a
   retrieval-unit configuration;
 * ``repro-qos export`` -- export CB-MEM/Req-MEM images as ``.memh`` / C headers;
@@ -210,10 +216,11 @@ def cmd_retrieve_batch(args: argparse.Namespace) -> int:
         print(f"{backend:10s}: {timings[backend] * 1e3:8.2f} ms "
               f"({timings[backend] / len(requests) * 1e6:7.1f} us/request)")
     if args.backend == "compare":
-        mismatches = sum(
-            1
-            for naive_result, vector_result in zip(outputs["naive"], outputs["vectorized"])
-            if naive_result.ids() != vector_result.ids()
+        mismatches = _report_compare_mismatches(
+            "retrieve-batch", "naive", "vectorized",
+            [result.ids() for result in outputs["naive"]],
+            [result.ids() for result in outputs["vectorized"]],
+            format_value=_format_compare_value, unit="rankings",
         )
         speedup = timings["naive"] / timings["vectorized"] if timings["vectorized"] else float("inf")
         print(f"backends agree on {len(requests) - mismatches}/{len(requests)} rankings; "
@@ -223,17 +230,16 @@ def cmd_retrieve_batch(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cosim_results_match(model: str, stepwise, vectorized) -> bool:
-    """Exact equality of two cycle-model results (the vectorized guarantee)."""
-    if (
-        stepwise.best_id != vectorized.best_id
-        or stepwise.best_similarity_raw != vectorized.best_similarity_raw
-        or stepwise.statistics != vectorized.statistics
-    ):
-        return False
-    if model == "hardware":
-        return stepwise.ranked == vectorized.ranked
-    return stepwise.counters.counts == vectorized.counters.counts
+def _cosim_comparable(model: str, result) -> tuple:
+    """The exact-equality surface of one cycle-model result.
+
+    Two results are bit- and cycle-identical (the vectorized engine's
+    guarantee) exactly when these tuples compare equal: best case, raw
+    similarity, cycle statistics, plus the full ranking (hardware) or the
+    instruction-count breakdown (software).
+    """
+    extra = result.ranked if model == "hardware" else result.counters.counts
+    return (result.best_id, result.best_similarity_raw, result.statistics, extra)
 
 
 def cmd_cosim_batch(args: argparse.Namespace) -> int:
@@ -309,12 +315,13 @@ def cmd_cosim_batch(args: argparse.Namespace) -> int:
     if args.engine == "compare":
         exit_code = 0
         for model in units:
-            mismatches = sum(
-                1
-                for stepwise, vectorized in zip(
-                    outputs[(model, "stepwise")], outputs[(model, "vectorized")]
-                )
-                if not _cosim_results_match(model, stepwise, vectorized)
+            mismatches = _report_compare_mismatches(
+                "cosim-batch", "stepwise", "vectorized",
+                [_cosim_comparable(model, result)
+                 for result in outputs[(model, "stepwise")]],
+                [_cosim_comparable(model, result)
+                 for result in outputs[(model, "vectorized")]],
+                format_value=_format_compare_value, unit=f"{model} results",
             )
             stepwise_time = timings[(model, "stepwise")]
             vectorized_time = timings[(model, "vectorized")]
@@ -330,38 +337,18 @@ def cmd_cosim_batch(args: argparse.Namespace) -> int:
     return 0
 
 
-def _serve_trace_inputs(args: argparse.Namespace, command: str = "serve-trace"):
-    """Resolve the (case base, trace) pair of one serve-* invocation."""
-    from .apps import build_case_base
-    from .serving import synthetic_trace, trace_from_requests, trace_from_workloads
+def _serve_spec_inputs(args: argparse.Namespace, *, cluster: bool = False):
+    """``(spec, case base, trace)`` of one serve-* invocation.
 
-    if args.requests or args.random > 0:
-        case_base = load_case_base(args.case_base) if args.case_base else paper_case_base()
-        if args.requests:
-            requests = load_requests_json(args.requests)
-            trace = trace_from_requests(
-                requests, interarrival_us=args.mean_interarrival_us
-            )
-        else:
-            trace = synthetic_trace(
-                case_base,
-                args.random,
-                mean_interarrival_us=args.mean_interarrival_us,
-                seed=args.seed,
-            )
-        return case_base, trace
-    if args.case_base:
-        raise ReproError(
-            f"{command} with --case-base needs --requests FILE or --random N "
-            "(workload traces use the built-in platform case base)"
-        )
-    case_base = build_case_base()
-    trace = trace_from_workloads(
-        args.workload or None,
-        duration_us=args.duration_ms * 1000.0,
-        seed=args.seed,
-    )
-    return case_base, trace
+    All three serve front-ends parse into the same
+    :class:`~repro.serving.ServingSpec`, so the CLI surface cannot drift
+    from the Python or HTTP surfaces.
+    """
+    from .serving import ServingSpec
+
+    spec = ServingSpec.from_args(args, cluster=cluster)
+    case_base, trace = spec.resolve_inputs()
+    return spec, case_base, trace
 
 
 def _format_ranking(ranking) -> str:
@@ -376,23 +363,33 @@ def _format_ranking(ranking) -> str:
     return f"[{shown}{suffix}]"
 
 
-def _report_ranking_mismatches(
+def _format_compare_value(value) -> str:
+    """Generic compact rendering for compare-mode diff summaries."""
+    text = repr(value)
+    return text if len(text) <= 120 else text[:117] + "..."
+
+
+def _report_compare_mismatches(
     command: str,
     first_label: str,
     second_label: str,
     first,
     second,
     *,
+    format_value=_format_ranking,
     limit: int = 5,
     population: Optional[int] = None,
+    unit: str = "requests",
 ) -> int:
-    """Print a diff summary of two per-request ranking lists to stderr.
+    """Print a diff summary of two per-request comparison lists to stderr.
 
-    Returns the mismatch count (0 = bit-identical); the compare modes exit
-    non-zero when it is positive, so CI catches equivalence regressions
-    instead of scrolling past a printed count.  ``population`` overrides the
-    denominator when the comparison covers only a subset of the lists (the
-    cluster compare's commonly-served requests).
+    The one compare-reporting path of every ``--engine compare`` mode
+    (retrieve-batch, cosim-batch, serve-trace, serve-cluster) and the capture
+    replay check.  Returns the mismatch count (0 = bit-identical); the
+    compare modes exit non-zero when it is positive, so CI catches
+    equivalence regressions instead of scrolling past a printed count.
+    ``population`` overrides the denominator when the comparison covers only
+    a subset of the lists (the cluster compare's commonly-served requests).
     """
     mismatched = [
         index for index, (a, b) in enumerate(zip(first, second)) if a != b
@@ -402,36 +399,16 @@ def _report_ranking_mismatches(
     total = population if population is not None else len(first)
     print(
         f"{command}: bit-identity FAILED for {len(mismatched)}/{total} "
-        f"requests; first {min(limit, len(mismatched))} difference(s):",
+        f"{unit}; first {min(limit, len(mismatched))} difference(s):",
         file=sys.stderr,
     )
     for index in mismatched[:limit]:
         print(
-            f"  request {index}: {first_label}={_format_ranking(first[index])} "
-            f"{second_label}={_format_ranking(second[index])}",
+            f"  request {index}: {first_label}={format_value(first[index])} "
+            f"{second_label}={format_value(second[index])}",
             file=sys.stderr,
         )
     return len(mismatched)
-
-
-def _serving_config_from_args(args: argparse.Namespace):
-    """Build the :class:`ServingConfig` shared by the serve-* subcommands."""
-    from .serving import ServingConfig
-
-    return ServingConfig(
-        max_batch=args.max_batch,
-        max_wait_us=args.max_wait_us,
-        shard_count=args.shards,
-        backend="naive" if args.engine == "naive" else "vectorized",
-        cycle_engine=args.cycle_engine,
-        clock_mhz=args.clock_mhz,
-        deadline_us=args.deadline_us,
-        n_best=args.n_best,
-        learn=args.learn,
-        learning_rate=args.learning_rate,
-        novelty_threshold=args.novelty_threshold,
-        learn_capacity=args.learn_capacity,
-    )
 
 
 def _print_replay_summary(report, trace, args, *, title: str, workers: bool = False) -> None:
@@ -481,9 +458,11 @@ def _print_replay_summary(report, trace, args, *, title: str, workers: bool = Fa
 
 def _write_json_report(report, args) -> None:
     """Write (or print) the full JSON serving report when ``--json`` is given."""
+    from .api import schemas
+
     if not args.json:
         return
-    payload = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+    payload = schemas.dumps(schemas.report_to_wire(report))
     if args.json == "-":
         print(payload)
     else:
@@ -492,12 +471,58 @@ def _write_json_report(report, args) -> None:
         print(f"report written to {args.json}")
 
 
-def cmd_serve_trace(args: argparse.Namespace) -> int:
-    """Replay a request trace through the micro-batching serving layer."""
-    from .serving import ServingEngine
+def _replay_capture_file(path: str, command: str = "serve-trace") -> int:
+    """Offline-replay a daemon capture file and check response bit-identity.
+
+    The differential half of the serving daemon's soak story: ``repro serve
+    --capture cap.json`` records what the live asyncio service actually did;
+    this re-serves the captured trace through the offline scheduler and
+    demands byte-for-byte identical responses (rankings, similarity doubles,
+    admission decisions).
+    """
+    from .api import schemas
+    from .serving import replay_capture
 
     try:
-        case_base, trace = _serve_trace_inputs(args)
+        with open(path, "r", encoding="utf-8") as stream:
+            document = schemas.loads(stream.read())
+        if not isinstance(document, dict):
+            raise schemas.SchemaError("a capture document must be a JSON object")
+        report = replay_capture(document)
+    except OSError as error:
+        print(f"{command}: cannot read capture file {path}: {error}", file=sys.stderr)
+        return 2
+    except (schemas.SchemaError, ReproError) as error:
+        print(f"{command}: {error}", file=sys.stderr)
+        return 2
+
+    recorded = document.get("responses", [])
+    # Normalise the live records through a JSON round-trip so the comparison
+    # sees exactly what a reader of the capture file sees (tuples become
+    # lists; float reprs survive the round-trip bit-exactly).
+    replayed = [
+        json.loads(json.dumps(record.to_dict())) for record in report.served
+    ]
+    mismatches = _report_compare_mismatches(
+        command, "recorded", "replayed", recorded, replayed,
+        format_value=_format_compare_value, unit="responses",
+    )
+    if len(recorded) != len(replayed):
+        print(f"{command}: capture has {len(recorded)} responses but replay "
+              f"produced {len(replayed)}", file=sys.stderr)
+        mismatches += abs(len(recorded) - len(replayed))
+    print(f"capture replay bit-identical for "
+          f"{len(recorded) - min(mismatches, len(recorded))}/{len(recorded)} responses")
+    return 1 if mismatches else 0
+
+
+def cmd_serve_trace(args: argparse.Namespace) -> int:
+    """Replay a request trace through the micro-batching serving layer."""
+    if args.capture:
+        return _replay_capture_file(args.capture)
+
+    try:
+        spec, case_base, trace = _serve_spec_inputs(args)
     except ReproError as error:
         print(f"serve-trace: {error}", file=sys.stderr)
         return 2
@@ -507,36 +532,32 @@ def cmd_serve_trace(args: argparse.Namespace) -> int:
         return 2
 
     try:
-        config = _serving_config_from_args(args)
         # Learning mutates the case base mid-stream; the compare mode must
         # replay sharded and unsharded against identical starting snapshots.
         served_case_base = (
-            case_base.copy() if args.learn and args.engine == "compare" else case_base
+            case_base.copy() if spec.learn and args.engine == "compare" else case_base
         )
-        report = ServingEngine(served_case_base, config=config).serve(trace)
+        report = spec.build_engine(served_case_base).serve(trace)
     except ReproError as error:
         print(f"serve-trace: {error}", file=sys.stderr)
         return 2
 
     _print_replay_summary(
         report, trace, args,
-        title=f"trace replay ({len(trace)} requests, shards={args.shards}, "
-              f"max_batch={args.max_batch})",
+        title=f"trace replay ({len(trace)} requests, shards={spec.shards}, "
+              f"max_batch={spec.max_batch})",
     )
 
     exit_code = 0
     if args.engine == "compare":
-        from dataclasses import replace
-
-        unsharded = ServingEngine(
-            case_base.copy() if args.learn else case_base,
-            config=replace(config, shard_count=1),
+        unsharded = spec.replace(shards=1).build_engine(
+            case_base.copy() if spec.learn else case_base
         ).serve(trace)
-        mismatches = _report_ranking_mismatches(
+        mismatches = _report_compare_mismatches(
             "serve-trace", "sharded", "unsharded",
             report.rankings(), unsharded.rankings(),
         )
-        print(f"sharded ({args.shards}) vs unsharded rankings bit-identical for "
+        print(f"sharded ({spec.shards}) vs unsharded rankings bit-identical for "
               f"{len(trace) - mismatches}/{len(trace)} requests")
         if mismatches:
             exit_code = 1
@@ -547,11 +568,9 @@ def cmd_serve_trace(args: argparse.Namespace) -> int:
 def cmd_serve_cluster(args: argparse.Namespace) -> int:
     """Replay a request trace across a multi-device fleet."""
     from .apps import apply_failover_outages
-    from .platform import DeviceFleet
-    from .serving import ClusterServingEngine, ServingEngine
 
     try:
-        case_base, trace = _serve_trace_inputs(args, command="serve-cluster")
+        spec, case_base, trace = _serve_spec_inputs(args, cluster=True)
     except ReproError as error:
         print(f"serve-cluster: {error}", file=sys.stderr)
         return 2
@@ -561,28 +580,20 @@ def cmd_serve_cluster(args: argparse.Namespace) -> int:
         return 2
 
     try:
-        config = _serving_config_from_args(args)
         # Learning mutates the case base mid-stream; the compare mode must
         # replay the cluster and the single-device reference against
         # identical starting snapshots.
         served_case_base = (
-            case_base.copy() if args.learn and args.engine == "compare" else case_base
+            case_base.copy() if spec.learn and args.engine == "compare" else case_base
         )
-        fleet = DeviceFleet.build(
-            served_case_base,
-            hardware_devices=args.devices,
-            software_devices=args.software_workers,
-            clock_mhz=args.clock_mhz,
-            reconfig_us=args.reconfig_us,
-        )
-        workload_trace = not (args.requests or args.random > 0)
-        if workload_trace and "fleet-failover" in (args.workload or []):
+        fleet = spec.build_fleet(served_case_base)
+        if spec.uses_workload_trace and "fleet-failover" in spec.workloads:
             # The failover workload's burst phase brackets a staggered
             # outage of every hardware device (see repro.apps.fleet_failover).
             # Only meaningful when the trace is actually workload-derived:
             # --requests/--random traces ignore --workload entirely.
-            apply_failover_outages(fleet, args.duration_ms * 1000.0)
-        report = ClusterServingEngine(served_case_base, fleet, config=config).serve(trace)
+            apply_failover_outages(fleet, spec.duration_ms * 1000.0)
+        report = spec.build_engine(served_case_base, fleet=fleet).serve(trace)
     except ReproError as error:
         print(f"serve-cluster: {error}", file=sys.stderr)
         return 2
@@ -590,7 +601,7 @@ def cmd_serve_cluster(args: argparse.Namespace) -> int:
     _print_replay_summary(
         report, trace, args,
         title=f"cluster replay ({len(trace)} requests, devices={len(fleet)}, "
-              f"shards={args.shards}, max_batch={args.max_batch})",
+              f"shards={spec.shards}, max_batch={spec.max_batch})",
         workers=True,
     )
     cluster = report.metrics["cluster"]
@@ -615,11 +626,8 @@ def cmd_serve_cluster(args: argparse.Namespace) -> int:
 
     exit_code = 0
     if args.engine == "compare":
-        from dataclasses import replace
-
-        single = ServingEngine(
-            case_base.copy() if args.learn else case_base,
-            config=replace(config, shard_count=1),
+        single = spec.replace(cluster=False, shards=1).build_engine(
+            case_base.copy() if spec.learn else case_base
         ).serve(trace)
         cluster_rankings = report.rankings()
         single_rankings = single.rankings()
@@ -631,7 +639,7 @@ def cmd_serve_cluster(args: argparse.Namespace) -> int:
             for cluster_entry, single_entry in zip(cluster_rankings, single_rankings)
         ]
         common = sum(both)
-        mismatches = _report_ranking_mismatches(
+        mismatches = _report_compare_mismatches(
             "serve-cluster", "cluster", "single-device",
             [entry if served else None
              for entry, served in zip(cluster_rankings, both)],
@@ -710,55 +718,43 @@ def cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
-def _add_serve_arguments(sub: argparse.ArgumentParser, *, engine_help: str) -> None:
-    """Trace-source and serving tunables shared by serve-trace/serve-cluster."""
-    sub.add_argument("--workload", action="append", default=[],
-                     help="application workload to replay (repeatable; default: the "
-                          "four example applications; 'heavy-traffic' adds the "
-                          "synthetic high-rate mix, 'fleet-failover' the phased "
-                          "burst bracketing a staggered device outage)")
-    sub.add_argument("--duration-ms", type=float, default=2000.0,
-                     help="simulated duration of the workload trace (default 2000)")
-    sub.add_argument("--case-base", help="case-base JSON for --requests/--random "
-                     "traces (defaults to the paper example)")
-    sub.add_argument("--requests", help="JSON requests file replayed at a fixed rate")
-    sub.add_argument("--random", type=int, default=0, metavar="N",
-                     help="replay N random case-base-matched requests instead")
-    sub.add_argument("--mean-interarrival-us", type=float, default=1000.0,
-                     help="mean request inter-arrival time for --random (Poisson) "
-                          "and --requests (fixed) traces (default 1000)")
-    sub.add_argument("--seed", type=int, default=2004)
-    sub.add_argument("--shards", type=int, default=1,
-                     help="number of case-base worker shards (default 1)")
-    sub.add_argument("--max-batch", type=int, default=32,
-                     help="micro-batch size bound (1 = one-at-a-time serving)")
-    sub.add_argument("--max-wait-us", type=float, default=500.0,
-                     help="longest a batch may wait for company (default 500)")
-    sub.add_argument("--deadline-us", type=float, default=None,
-                     help="per-request completion deadline enforced by admission "
-                          "control (default: no deadline)")
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the network-facing serving daemon (``repro serve``)."""
+    from .serving import ServingSpec, run_daemon
+
+    try:
+        spec = ServingSpec.from_args(args)
+    except ReproError as error:
+        print(f"serve: {error}", file=sys.stderr)
+        return 2
+
+    def announce(host: str, port: int) -> None:
+        engine = "cluster" if spec.cluster else "single-node"
+        print(f"serving on http://{host}:{port} ({engine} engine; Ctrl-C stops)",
+              flush=True)
+
+    try:
+        run_daemon(
+            spec,
+            host=args.host,
+            port=args.port,
+            capture_path=args.capture,
+            max_request_batch=args.max_request_batch,
+            announce=announce,
+        )
+    except ReproError as error:
+        print(f"serve: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"serve: cannot bind {args.host}:{args.port}: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _add_replay_arguments(sub: argparse.ArgumentParser, *, engine_help: str) -> None:
+    """The replay-only options (on top of the ServingSpec argument groups)."""
     sub.add_argument("--engine", choices=["vectorized", "naive", "compare"],
                      default="vectorized", help=engine_help)
-    sub.add_argument("--cycle-engine", choices=["auto", "stepwise", "vectorized"],
-                     default="auto",
-                     help="cycle engine behind the admission controller's exact "
-                          "service-time model")
-    sub.add_argument("--clock-mhz", type=float, default=66.0)
-    sub.add_argument("--n-best", type=int, default=3,
-                     help="ranking depth delivered per request (default 3)")
-    sub.add_argument("--learn", action="store_true",
-                     help="online CBR learning: feed served outcomes back "
-                          "through revise + retain between micro-batches "
-                          "(the case base evolves mid-stream; incremental "
-                          "delta propagation keeps all caches patched)")
-    sub.add_argument("--learning-rate", type=float, default=0.5,
-                     help="revise-step exponential smoothing factor (default 0.5)")
-    sub.add_argument("--novelty-threshold", type=float, default=0.9,
-                     help="retain a new case when the best stored similarity "
-                          "falls below this (default 0.9)")
-    sub.add_argument("--learn-capacity", type=int, default=16,
-                     help="per-type implementation capacity for retained "
-                          "cases (default 16)")
     sub.add_argument("--show", type=int, default=10,
                      help="number of result rows to print (default 10)")
     sub.add_argument("--json", metavar="PATH",
@@ -846,17 +842,26 @@ def build_parser() -> argparse.ArgumentParser:
                      help="number of result rows to print (default 10)")
     sub.set_defaults(handler=cmd_cosim_batch)
 
+    from .serving.spec import ServingSpec
+
     sub = subparsers.add_parser(
         "serve-trace",
         help="replay a request trace through the micro-batching serving layer",
     )
-    _add_serve_arguments(
+    ServingSpec.add_trace_arguments(sub)
+    ServingSpec.add_serving_arguments(sub)
+    _add_replay_arguments(
         sub,
         engine_help="retrieval backend of the shard workers; 'compare' "
                     "re-serves the trace unsharded and checks the rankings "
                     "are bit-identical (non-zero exit + diff summary on "
                     "mismatch)",
     )
+    sub.add_argument("--capture", metavar="PATH",
+                     help="instead of generating a trace, offline-replay a "
+                          "daemon capture file (see 'repro-qos serve "
+                          "--capture') and verify the responses are "
+                          "bit-identical (non-zero exit on divergence)")
     sub.set_defaults(handler=cmd_serve_trace)
 
     sub = subparsers.add_parser(
@@ -864,17 +869,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay a request trace across a multi-device fleet with "
              "reconfiguration-aware routing",
     )
-    sub.add_argument("--devices", type=int, default=2,
-                     help="FPGA devices each hosting one hardware retrieval "
-                          "unit (default 2)")
-    sub.add_argument("--software-workers", type=int, default=1,
-                     help="processors each running the software retrieval "
-                          "routine (default 1)")
-    sub.add_argument("--reconfig-us", type=float, default=None,
-                     help="fixed per-sync image reconfiguration latency "
-                          "(default: derived from the streamed bytes through "
-                          "each device's configuration-port bandwidth)")
-    _add_serve_arguments(
+    ServingSpec.add_trace_arguments(sub)
+    ServingSpec.add_cluster_arguments(sub)
+    ServingSpec.add_serving_arguments(sub)
+    _add_replay_arguments(
         sub,
         engine_help="retrieval backend of the shard workers; 'compare' "
                     "re-serves the trace on a single device and checks the "
@@ -882,6 +880,33 @@ def build_parser() -> argparse.ArgumentParser:
                     "(non-zero exit + diff summary on mismatch)",
     )
     sub.set_defaults(handler=cmd_serve_cluster)
+
+    sub = subparsers.add_parser(
+        "serve",
+        help="run the network-facing serving daemon (HTTP/JSON over asyncio)",
+    )
+    ServingSpec.add_serving_arguments(sub)
+    ServingSpec.add_cluster_arguments(sub)
+    sub.add_argument("--cluster", action="store_true",
+                     help="front a multi-device ClusterServingEngine instead "
+                          "of the single-node engine (see --devices / "
+                          "--software-workers / --reconfig-us)")
+    sub.add_argument("--engine", choices=["vectorized", "naive"],
+                     default="vectorized",
+                     help="retrieval backend of the shard workers")
+    sub.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default 127.0.0.1)")
+    sub.add_argument("--port", type=int, default=8734,
+                     help="TCP port (default 8734; 0 picks an ephemeral port)")
+    sub.add_argument("--capture", metavar="PATH",
+                     help="on shutdown, write the serving-capture document "
+                          "(spec, trace, responses, learn events) to PATH "
+                          "for offline bit-identity replay via 'repro-qos "
+                          "serve-trace --capture PATH'")
+    sub.add_argument("--max-request-batch", type=int, default=256,
+                     help="largest accepted POST /retrieve batch (413 above; "
+                          "default 256)")
+    sub.set_defaults(handler=cmd_serve)
 
     sub = subparsers.add_parser("estimate", help="Table 2-style resource estimate")
     sub.add_argument("--n-best", type=int, default=1)

@@ -20,19 +20,27 @@ engines (PR 2):
 * :mod:`repro.serving.cluster` -- :class:`ClusterServingEngine` and
   :class:`ClusterRouter`, routing micro-batches across a
   :class:`~repro.platform.DeviceFleet` of reconfigurable devices with the
-  two-server admission model generalised to N workers.
+  two-server admission model generalised to N workers;
+* :mod:`repro.serving.spec` -- :class:`ServingSpec`, the one declarative
+  schema every engine-construction surface (Python API, CLI, HTTP daemon)
+  builds from;
+* :mod:`repro.serving.daemon` -- :class:`ServingDaemon`, the ``repro serve``
+  asyncio HTTP/JSON service, plus the capture/replay differential helpers.
 """
 
 from .admission import AdmissionController, AdmissionDecision, AdmissionVerdict
 from .cluster import ClusterDecision, ClusterRouter, ClusterServingEngine
+from .daemon import DaemonThread, ServingDaemon, replay_capture, run_daemon
 from .engine import (
     OnlineLearner,
     ServedRequest,
     ServingConfig,
     ServingEngine,
     ServingReport,
+    ServingSession,
     ServingStatus,
 )
+from .spec import ServingSpec
 from .loadgen import (
     TimedRequest,
     WORKLOAD_FACTORIES,
@@ -52,21 +60,27 @@ __all__ = [
     "ClusterDecision",
     "ClusterRouter",
     "ClusterServingEngine",
+    "DaemonThread",
     "MetricsCollector",
     "MicroBatchScheduler",
     "OnlineLearner",
     "ScheduledBatch",
     "ServedRequest",
     "ServingConfig",
+    "ServingDaemon",
     "ServingEngine",
     "ServingReport",
+    "ServingSession",
+    "ServingSpec",
     "ServingStatus",
     "ShardedRetriever",
     "TimedRequest",
     "WORKLOAD_FACTORIES",
     "build_shards",
     "percentile",
+    "replay_capture",
     "resolve_workloads",
+    "run_daemon",
     "synthetic_trace",
     "trace_from_requests",
     "trace_from_workloads",

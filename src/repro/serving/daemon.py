@@ -1,0 +1,736 @@
+"""Network-facing serving daemon: ``repro serve`` (asyncio HTTP/JSON).
+
+This module promotes the offline trace-replay engine into a long-running
+service (ROADMAP item 3) while keeping the repo's standing guarantee --
+**bit-identical differential replay** -- across the network boundary:
+
+* Requests arriving over HTTP are stamped with a monotonic microsecond
+  arrival clock *inside the single-threaded asyncio loop* and coalesced by
+  :class:`_MicroBatcher`, which implements exactly the
+  :class:`~repro.serving.scheduler.MicroBatchScheduler` closing rule on live
+  arrivals (flush-on-submit when a stamp passes ``open + max_wait_us``,
+  strict-inequality timer flushes, size-full flushes at the last arrival).
+  Replaying the captured stamps through the offline scheduler therefore
+  reproduces the *same batch boundaries*, hence the same admission/routing
+  occupancy evolution, the same rankings and the same learning mutations.
+* Each flushed batch runs through the same
+  :class:`~repro.serving.engine.ServingSession` per-batch pipeline the
+  offline replay uses -- there is no second serving implementation to drift.
+* ``GET /capture`` (and ``--capture PATH`` at shutdown) exports a
+  ``serving-capture`` document: the spec, a pre-serving case-base snapshot,
+  the stamped trace, every response and every ``/learn`` mutation batch with
+  its application position.  :func:`replay_capture` (also behind
+  ``repro serve-trace --capture``) re-serves it offline and must produce
+  bit-identical records -- the soak test's contract.
+
+Endpoints (all JSON, wire shapes from :mod:`repro.api.schemas`):
+
+* ``POST /retrieve`` -- one request object, or ``{"requests": [...]}`` for a
+  batch.  Wall-clock deadlines (``deadline_ms``/``deadline_us``) are mapped
+  into the admission controller's microsecond budget, where the *exact*
+  cycle model prices the retrieval; overload triggers the paper's
+  admit-to-hardware / degrade-to-software / reject ladder instead of
+  unbounded queueing.
+* ``POST /learn`` -- streaming case-base mutation events (PR 4 delta
+  ingestion).  Applied at the next micro-batch boundary so replay stays
+  deterministic; while mutations are queued against a cluster fleet the
+  daemon answers ``/retrieve`` with 503 (reconfiguration in progress).
+* ``GET /metrics`` -- the session's live metrics snapshot (latency
+  percentiles, rejection rates, learning counters) plus daemon counters.
+* ``GET /healthz`` / ``GET /capture`` -- liveness and the capture document.
+
+The HTTP layer is a deliberately small stdlib ``asyncio.start_server``
+HTTP/1.1 implementation (keep-alive, ``Content-Length`` bodies): the
+container policy bans third-party servers (``aiohttp``), and the daemon's
+needs -- five JSON routes on a trusted test network -- do not justify one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import signal
+import threading
+import time
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..api import schemas
+from ..core.case_base import CaseBase
+from ..core.exceptions import ReproError
+from .engine import ServedRequest, ServingReport, ServingSession
+from .loadgen import TimedRequest
+from .scheduler import ScheduledBatch
+from .spec import ServingSpec
+
+#: HTTP reason phrases for the status codes the daemon emits.
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Serving outcome -> HTTP status for single-request ``POST /retrieve``.
+_STATUS_CODES = {
+    "served_hardware": 200,
+    "served_software": 200,
+    "failed": 400,
+    "rejected_infeasible": 409,
+    "rejected_deadline": 503,
+}
+
+
+def _record_status_code(record: ServedRequest) -> int:
+    return _STATUS_CODES.get(record.status.value, 200)
+
+
+class _MicroBatcher:
+    """The live-arrival twin of :class:`MicroBatchScheduler`.
+
+    Stamping and enqueueing happen in one synchronous step on the event
+    loop, so stamps are non-decreasing and batch membership is decided
+    exactly like the offline scheduler decides it from a recorded trace:
+
+    * a submit whose stamp exceeds ``open_us + max_wait_us`` first closes
+      the pending batch at ``open_us + max_wait_us`` (the offline
+      "oldest request timed out before this arrival" rule);
+    * a batch reaching ``max_batch`` closes at the triggering stamp;
+    * the wait timer closes at ``open_us + max_wait_us`` only when the
+      clock has *strictly* passed it (rescheduling otherwise), so every
+      later stamp is strictly greater than the recorded close and offline
+      replay closes the batch at the same boundary;
+    * a final drain (shutdown) closes at ``open_us + max_wait_us``, the
+      offline end-of-trace rule.
+    """
+
+    def __init__(self, daemon: "ServingDaemon") -> None:
+        self.daemon = daemon
+        self.pending: List[Tuple[int, TimedRequest, asyncio.Future]] = []
+        self.open_us = 0.0
+        self._timer: Optional[asyncio.TimerHandle] = None
+
+    def submit(
+        self, request, deadline_us: Optional[float], note: str
+    ) -> asyncio.Future:
+        """Stamp one request, enqueue it and return its outcome future."""
+        daemon = self.daemon
+        stamp = daemon._stamp_us()
+        if self.pending and stamp > self.open_us + daemon.max_wait_us:
+            self._flush(self.open_us + daemon.max_wait_us)
+        entry = TimedRequest(
+            arrival_us=stamp, request=request, deadline_us=deadline_us, note=note
+        )
+        index = len(daemon.trace)
+        daemon.trace.append(entry)
+        future = daemon._loop.create_future()
+        if not self.pending:
+            self.open_us = stamp
+            self._arm_timer()
+        self.pending.append((index, entry, future))
+        if len(self.pending) >= daemon.max_batch:
+            self._flush(stamp)
+        return future
+
+    def drain(self) -> None:
+        """Close the pending batch at the end-of-trace boundary (shutdown)."""
+        if self.pending:
+            self._flush(self.open_us + self.daemon.max_wait_us)
+
+    # -- internals -------------------------------------------------------------------
+
+    def _arm_timer(self) -> None:
+        deadline_us = self.open_us + self.daemon.max_wait_us
+        delay = (deadline_us - self.daemon._now_us()) / 1e6
+        # A hair past the boundary: the timer must observe now > deadline.
+        self._timer = self.daemon._loop.call_later(
+            max(delay, 0.0) + 100e-6, self._timer_fired
+        )
+
+    def _timer_fired(self) -> None:
+        self._timer = None
+        if not self.pending:
+            return
+        deadline_us = self.open_us + self.daemon.max_wait_us
+        if self.daemon._now_us() > deadline_us:
+            self._flush(deadline_us)
+        else:
+            self._timer = self.daemon._loop.call_later(100e-6, self._timer_fired)
+
+    def _flush(self, close_us: float) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        pending, self.pending = self.pending, []
+        batch = ScheduledBatch(
+            index=self.daemon._next_batch_index(),
+            entries=[(index, entry) for index, entry, _ in pending],
+            open_us=self.open_us,
+            close_us=close_us,
+        )
+        futures = {index: future for index, _, future in pending}
+        for record in self.daemon._process_batch(batch):
+            future = futures.get(record.index)
+            if future is not None and not future.done():
+                future.set_result(record)
+
+
+class ServingDaemon:
+    """The serving engine behind live HTTP sockets.
+
+    Parameters
+    ----------
+    spec:
+        The :class:`~repro.serving.spec.ServingSpec` describing the engine
+        (single-node or cluster, backend, shards, deadlines, learning).  The
+        spec's trace-source axis is ignored -- the network *is* the trace.
+    capture:
+        Keep the capture document (trace, responses, learn events) in
+        memory; required for ``GET /capture`` and ``--capture PATH``.
+    max_request_batch:
+        Largest ``POST /retrieve`` batch accepted (413 beyond).
+    feasibility:
+        Optional allocation-layer feasibility checker, as for
+        :class:`~repro.serving.engine.ServingEngine`.  Replay builds engines
+        without one, so captures meant for offline replay should too.
+    """
+
+    def __init__(
+        self,
+        spec: ServingSpec,
+        *,
+        capture: bool = True,
+        max_request_batch: int = 256,
+        feasibility=None,
+    ) -> None:
+        if max_request_batch < 1:
+            raise ReproError(
+                f"max_request_batch must be at least 1, got {max_request_batch}"
+            )
+        self.spec = spec
+        self.case_base = spec.resolve_case_base()
+        #: Pre-serving structural snapshot; the capture embeds it so replay
+        #: rebuilds the *exact* case base even after online learning or
+        #: ``/learn`` ingestion mutated the live one.
+        self._case_base_snapshot = self.case_base.to_dict() if capture else None
+        self.engine = spec.build_engine(self.case_base, feasibility=feasibility)
+        self.is_cluster = getattr(self.engine, "fleet", None) is not None
+        self.session: ServingSession = self.engine.session()
+        self.max_batch = self.engine.config.max_batch
+        self.max_wait_us = self.engine.config.max_wait_us
+        self.max_request_batch = max_request_batch
+        self.capture_enabled = capture
+        self.trace: List[TimedRequest] = []
+        self.responses: Dict[int, ServedRequest] = {}
+        self.learn_events: List[Dict[str, object]] = []
+        self._queued_mutations: List[List[Mapping]] = []
+        self._learn_applied = 0
+        self._batch_count = 0
+        self._t0 = time.monotonic()
+        self._last_stamp_us = 0.0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.batcher = _MicroBatcher(self)
+        self.address: Optional[Tuple[str, int]] = None
+
+    # -- clock & batch plumbing --------------------------------------------------------
+
+    def _now_us(self) -> float:
+        return (time.monotonic() - self._t0) * 1e6
+
+    def _stamp_us(self) -> float:
+        """A non-decreasing arrival stamp (the trace's virtual clock)."""
+        stamp = max(self._now_us(), self._last_stamp_us)
+        self._last_stamp_us = stamp
+        return stamp
+
+    def _next_batch_index(self) -> int:
+        index = self._batch_count
+        self._batch_count += 1
+        return index
+
+    def _process_batch(self, batch: ScheduledBatch) -> List[ServedRequest]:
+        records = self.session.process_batch(batch)
+        if self.capture_enabled:
+            for record in records:
+                self.responses[record.index] = record
+        # A flush is the deterministic boundary deferred /learn mutations
+        # land on: every already-processed batch held only smaller trace
+        # indices, every later batch only larger ones, so offline replay can
+        # re-apply each mutation batch at the recorded position.
+        while self._queued_mutations:
+            self._apply_mutations(self._queued_mutations.pop(0))
+        return records
+
+    def _apply_mutations(self, events: Sequence[Mapping]) -> Dict[str, object]:
+        position = len(self.trace)
+        if self.capture_enabled:
+            self.learn_events.append(
+                {"position": position, "events": [dict(event) for event in events]}
+            )
+        try:
+            applied = schemas.apply_mutation_events(self.case_base, events)
+        except ReproError as exc:
+            # Shape errors were rejected at ingestion; this is a semantic
+            # failure (e.g. replacing an implementation learning already
+            # evicted).  Partial application is deterministic -- replay hits
+            # the identical state and failure -- so the capture keeps the
+            # event batch.
+            return {"applied": 0, "error": str(exc)}
+        self._learn_applied += applied
+        return {
+            "applied": applied,
+            "revision": self.case_base.revision,
+            "implementations": self.case_base.count_implementations(),
+        }
+
+    @property
+    def reconfiguring(self) -> bool:
+        """Whether a queued ``/learn`` batch is awaiting fleet propagation."""
+        return self.is_cluster and bool(self._queued_mutations)
+
+    # -- capture ------------------------------------------------------------------------
+
+    def capture_document(self) -> Dict[str, object]:
+        """The ``serving-capture`` document replayed by :func:`replay_capture`."""
+        if not self.capture_enabled:
+            raise ReproError("capture is disabled on this daemon")
+        return attach_capture(
+            spec=self.spec,
+            case_base_snapshot=self._case_base_snapshot,
+            trace=self.trace,
+            responses=[self.responses[index] for index in sorted(self.responses)],
+            learn_events=self.learn_events,
+        )
+
+    # -- HTTP handlers ------------------------------------------------------------------
+
+    async def _handle_retrieve(self, payload: object) -> Tuple[int, Dict[str, object]]:
+        if self.reconfiguring:
+            return 503, schemas.error_to_wire(
+                "reconfiguring",
+                "case-base mutations are queued for fleet propagation; "
+                "retry after the pending micro-batch flushes",
+                queued_mutation_batches=len(self._queued_mutations),
+            )
+        if not isinstance(payload, Mapping):
+            return 400, schemas.error_to_wire(
+                "bad-request", "the /retrieve body must be a JSON object"
+            )
+        batch_mode = "requests" in payload
+        if batch_mode:
+            entries = payload["requests"]
+            if not isinstance(entries, list):
+                return 400, schemas.error_to_wire(
+                    "bad-request", "'requests' must be a JSON list"
+                )
+            if not entries:
+                return 400, schemas.error_to_wire(
+                    "bad-request", "'requests' must not be empty"
+                )
+            if len(entries) > self.max_request_batch:
+                return 413, schemas.error_to_wire(
+                    "batch-too-large",
+                    f"{len(entries)} requests exceed the per-call limit of "
+                    f"{self.max_request_batch}",
+                    limit=self.max_request_batch,
+                )
+            default_deadline = _wire_deadline_us(payload)
+        else:
+            entries = [payload]
+            default_deadline = None
+        # Parse everything up front: a malformed member rejects the whole
+        # call before anything is stamped into the trace.
+        parsed = []
+        for entry in entries:
+            request = schemas.request_from_wire(entry, requester="http")
+            deadline_us = _wire_deadline_us(entry)
+            if deadline_us is None:
+                deadline_us = default_deadline
+            parsed.append((request, deadline_us, str(entry.get("note", ""))))
+        # Submit without awaiting in between: one HTTP call's requests are
+        # contiguous in the trace, in body order.
+        futures = [
+            self.batcher.submit(request, deadline_us, note)
+            for request, deadline_us, note in parsed
+        ]
+        records = await asyncio.gather(*futures)
+        if batch_mode:
+            return 200, schemas.attach_envelope(
+                "served-batch",
+                {"results": [schemas.served_request_to_wire(r) for r in records]},
+            )
+        record = records[0]
+        return _record_status_code(record), schemas.attach_envelope(
+            "served-request", schemas.served_request_to_wire(record)
+        )
+
+    async def _handle_learn(self, payload: object) -> Tuple[int, Dict[str, object]]:
+        if not isinstance(payload, Mapping) or "events" not in payload:
+            return 400, schemas.error_to_wire(
+                "bad-request", "the /learn body must be {'events': [...]}"
+            )
+        schemas.check_envelope(payload, kind="learning-delta", required=False)
+        events = payload["events"]
+        schemas.validate_mutation_events(events)
+        if self.batcher.pending:
+            # Deterministic replay needs mutations at batch boundaries;
+            # defer until the open batch flushes (at most max_wait_us away).
+            self._queued_mutations.append(list(events))
+            return 202, schemas.attach_envelope(
+                "learning-queued",
+                {"queued_events": len(events), "reconfiguring": self.is_cluster},
+            )
+        outcome = self._apply_mutations(events)
+        if "error" in outcome:
+            return 409, schemas.error_to_wire(
+                "mutation-failed", str(outcome["error"])
+            )
+        return 200, schemas.attach_envelope("learning-applied", dict(outcome))
+
+    def _handle_metrics(self) -> Tuple[int, Dict[str, object]]:
+        return 200, schemas.metrics_to_wire(
+            self.session.metrics_snapshot(),
+            daemon={
+                "requests": len(self.trace),
+                "batches": self._batch_count,
+                "pending": len(self.batcher.pending),
+                "learn_batches": len(self.learn_events),
+                "learn_events_applied": self._learn_applied,
+                "queued_mutation_batches": len(self._queued_mutations),
+                "reconfiguring": self.reconfiguring,
+                "engine": "cluster" if self.is_cluster else "single",
+            },
+        )
+
+    def _handle_healthz(self) -> Tuple[int, Dict[str, object]]:
+        return 200, schemas.attach_envelope(
+            "health",
+            {
+                "status": "ok",
+                "engine": "cluster" if self.is_cluster else "single",
+                "requests": len(self.trace),
+            },
+        )
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, object]]:
+        routes = {
+            "/healthz": ("GET", None),
+            "/metrics": ("GET", None),
+            "/capture": ("GET", None),
+            "/retrieve": ("POST", self._handle_retrieve),
+            "/learn": ("POST", self._handle_learn),
+        }
+        route = routes.get(path)
+        if route is None:
+            return 404, schemas.error_to_wire("not-found", f"no route for {path}")
+        expected_method, handler = route
+        if method != expected_method:
+            return 405, schemas.error_to_wire(
+                "method-not-allowed", f"{path} expects {expected_method}"
+            )
+        try:
+            if handler is None:
+                if path == "/healthz":
+                    return self._handle_healthz()
+                if path == "/metrics":
+                    return self._handle_metrics()
+                return 200, self.capture_document()
+            payload = schemas.loads(body.decode("utf-8", errors="replace"))
+            return await handler(payload)
+        except schemas.SchemaError as exc:
+            return 400, schemas.error_to_wire("bad-request", str(exc))
+        except ReproError as exc:
+            return 400, schemas.error_to_wire("bad-request", str(exc))
+        except Exception as exc:  # pragma: no cover - last-resort guard
+            return 500, schemas.error_to_wire(
+                "internal-error", f"{type(exc).__name__}: {exc}"
+            )
+
+    # -- HTTP/1.1 plumbing --------------------------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line or request_line in (b"\r\n", b"\n"):
+                    break
+                parts = request_line.decode("latin-1").strip().split()
+                if len(parts) != 3:
+                    self._write_response(
+                        writer, 400,
+                        schemas.error_to_wire("bad-request", "malformed request line"),
+                        keep_alive=False,
+                    )
+                    break
+                method, target, _version = parts
+                headers: Dict[str, str] = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode("latin-1").partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                try:
+                    length = int(headers.get("content-length", "0") or "0")
+                except ValueError:
+                    length = -1
+                if length < 0 or length > 16 * 1024 * 1024:
+                    self._write_response(
+                        writer, 400,
+                        schemas.error_to_wire("bad-request", "bad Content-Length"),
+                        keep_alive=False,
+                    )
+                    break
+                body = await reader.readexactly(length) if length else b""
+                path = target.split("?", 1)[0]
+                status, document = await self._dispatch(method, path, body)
+                keep_alive = headers.get("connection", "").lower() != "close"
+                self._write_response(writer, status, document, keep_alive=keep_alive)
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass
+        except asyncio.CancelledError:
+            # Event-loop teardown cancels live keep-alive connections; end
+            # the handler quietly instead of tracebacking through the
+            # streams callback.
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    @staticmethod
+    def _write_response(
+        writer: asyncio.StreamWriter,
+        status: int,
+        document: Dict[str, object],
+        *,
+        keep_alive: bool,
+    ) -> None:
+        body = json.dumps(document, sort_keys=True).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
+        """Bind and start accepting connections; returns ``(host, port)``."""
+        self._loop = asyncio.get_running_loop()
+        self._t0 = time.monotonic()
+        self._server = await asyncio.start_server(self._serve_connection, host, port)
+        sockname = self._server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        return self.address
+
+    async def stop(self, *, capture_path: Optional[str] = None) -> None:
+        """Stop accepting, drain the pending batch, optionally write capture."""
+        if self._server is not None:
+            self._server.close()
+            with contextlib.suppress(Exception):
+                await self._server.wait_closed()
+        self.batcher.drain()
+        while self._queued_mutations:
+            self._apply_mutations(self._queued_mutations.pop(0))
+        if capture_path and self.capture_enabled:
+            with open(capture_path, "w", encoding="utf-8") as stream:
+                stream.write(schemas.dumps(self.capture_document()))
+
+    def finish(self) -> ServingReport:
+        """Close the serving session and return its final report."""
+        self.batcher.drain()
+        return self.session.finish()
+
+
+def attach_capture(
+    *,
+    spec: ServingSpec,
+    case_base_snapshot,
+    trace: Sequence[TimedRequest],
+    responses: Sequence[ServedRequest],
+    learn_events: Sequence[Mapping],
+) -> Dict[str, object]:
+    """Assemble a versioned ``serving-capture`` document."""
+    return schemas.attach_envelope(
+        "serving-capture",
+        {
+            "spec": spec.to_wire(),
+            "case_base": case_base_snapshot,
+            "trace": schemas.trace_to_wire(trace),
+            "responses": [schemas.served_request_to_wire(r) for r in responses],
+            "learn_events": [dict(event) for event in learn_events],
+        },
+    )
+
+
+def replay_capture(document: Mapping) -> ServingReport:
+    """Re-serve a capture offline; the differential twin of the live daemon.
+
+    Rebuilds the case base from the capture's pre-serving snapshot,
+    constructs the engine from the embedded spec, replays the stamped trace
+    through the offline scheduler and re-applies every ``/learn`` mutation
+    batch at its recorded position.  The returned report's records must be
+    bit-identical to the daemon's captured responses (rankings, similarity
+    doubles, admission decisions) -- the capture/replay soak gate.
+    """
+    schemas.check_envelope(document, kind="serving-capture")
+    for key in ("spec", "case_base", "trace"):
+        if key not in document:
+            raise schemas.SchemaError(f"capture document is missing {key!r}")
+    spec = ServingSpec.from_wire(document["spec"])
+    try:
+        case_base = CaseBase.from_dict(document["case_base"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise schemas.SchemaError(f"malformed capture case base: {exc}") from exc
+    trace = schemas.trace_from_wire(document["trace"], requester="http")
+    engine = spec.build_engine(case_base)
+    session = engine.session()
+    mutations = sorted(
+        (dict(event) for event in document.get("learn_events", [])),
+        key=lambda event: int(event.get("position", 0)),
+    )
+    for batch in engine.scheduler.batches(trace):
+        first_index = batch.entries[0][0]
+        while mutations and int(mutations[0].get("position", 0)) <= first_index:
+            with contextlib.suppress(ReproError):
+                schemas.apply_mutation_events(
+                    case_base, mutations.pop(0).get("events", [])
+                )
+        session.process_batch(batch)
+    while mutations:
+        with contextlib.suppress(ReproError):
+            schemas.apply_mutation_events(case_base, mutations.pop(0).get("events", []))
+    return session.finish()
+
+
+def run_daemon(
+    spec: ServingSpec,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8734,
+    capture_path: Optional[str] = None,
+    max_request_batch: int = 256,
+    announce=None,
+) -> None:
+    """Blocking entry point behind ``repro serve`` (SIGINT/SIGTERM to stop)."""
+
+    async def _main() -> None:
+        daemon = ServingDaemon(spec, max_request_batch=max_request_batch)
+        bound_host, bound_port = await daemon.start(host, port)
+        if announce is not None:
+            announce(bound_host, bound_port)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError, ValueError):
+                loop.add_signal_handler(signum, stop.set)
+        await stop.wait()
+        await daemon.stop(capture_path=capture_path)
+
+    asyncio.run(_main())
+
+
+class DaemonThread:
+    """A daemon on a background thread with its own event loop (test helper).
+
+    .. code-block:: python
+
+        with DaemonThread(spec) as handle:
+            requests.post(f"http://{handle.host}:{handle.port}/retrieve", ...)
+
+    The context manager waits for the socket to bind before returning and
+    performs an orderly drain (flushing the pending micro-batch exactly like
+    the offline end-of-trace rule) on exit.
+    """
+
+    def __init__(
+        self,
+        spec: ServingSpec,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        capture_path: Optional[str] = None,
+        max_request_batch: int = 256,
+    ) -> None:
+        self.spec = spec
+        self.host = host
+        self.port = port
+        self.capture_path = capture_path
+        self.max_request_batch = max_request_batch
+        self.daemon: Optional[ServingDaemon] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+
+    def __enter__(self) -> "DaemonThread":
+        self._thread = threading.Thread(target=self._thread_main, daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout=30.0):
+            raise ReproError("serving daemon failed to start within 30 s")
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # surface startup failures to __enter__
+            self._startup_error = exc
+            self._started.set()
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self.daemon = ServingDaemon(
+            self.spec, max_request_batch=self.max_request_batch
+        )
+        self.host, self.port = await self.daemon.start(self.host, self.port)
+        self._started.set()
+        await self._stop.wait()
+        await self.daemon.stop(capture_path=self.capture_path)
+
+
+def _wire_deadline_us(payload: Mapping) -> Optional[float]:
+    """The microsecond deadline budget of one wire entry.
+
+    ``deadline_us`` wins over ``deadline_ms`` (a wall-clock millisecond
+    deadline mapped onto the cycle model's microsecond budget).
+    """
+    if not isinstance(payload, Mapping):
+        return None
+    if payload.get("deadline_us") is not None:
+        try:
+            return float(payload["deadline_us"])
+        except (TypeError, ValueError) as exc:
+            raise schemas.SchemaError(f"bad deadline_us: {payload['deadline_us']!r}") from exc
+    if payload.get("deadline_ms") is not None:
+        try:
+            return float(payload["deadline_ms"]) * 1000.0
+        except (TypeError, ValueError) as exc:
+            raise schemas.SchemaError(f"bad deadline_ms: {payload['deadline_ms']!r}") from exc
+    return None

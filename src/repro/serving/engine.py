@@ -251,6 +251,184 @@ class OnlineLearner:
             self.retained_count += 1
 
 
+class ServingSession:
+    """One serving run over an engine, fed batch by batch.
+
+    The offline :meth:`ServingEngine.serve` replay and the network daemon
+    (:mod:`repro.serving.daemon`) drive the *same* per-batch pipeline through
+    this object -- screen, admission-assess (with occupancy state carried
+    across batches), sharded retrieval, feasibility audit, learning feedback,
+    metrics observation.  That shared path is what makes the daemon's
+    responses bit-identical to an offline replay of its captured trace: there
+    is no second implementation to drift.
+
+    Feed :class:`~repro.serving.scheduler.ScheduledBatch` objects to
+    :meth:`process_batch` (batch indices and trace indices must be globally
+    increasing, as the scheduler produces them); read
+    :meth:`metrics_snapshot` at any point (non-mutating -- safe mid-run, even
+    over a cluster fleet); call :meth:`finish` once for the final
+    :class:`ServingReport`.
+    """
+
+    def __init__(self, engine: "ServingEngine") -> None:
+        self.engine = engine
+        self.metrics = MetricsCollector()
+        #: Outcome records keyed by trace index (sorted into a report later).
+        self.records: Dict[int, ServedRequest] = {}
+        self._admission_state = engine._admission_state()
+        learner = engine.learner
+        self._learn_baseline = (
+            {
+                "revised": learner.revised_count,
+                "retained": learner.retained_count,
+                "implementations": engine.case_base.count_implementations(),
+                "revision": engine.case_base.revision,
+            }
+            if learner is not None
+            else None
+        )
+        self._start = time.perf_counter()
+
+    def process_batch(self, batch) -> List[ServedRequest]:
+        """Serve one scheduled micro-batch; returns its records in trace order."""
+        engine = self.engine
+        self.metrics.observe_batch(len(batch))
+        produced: Dict[int, ServedRequest] = {}
+        dispatchable: List[Tuple[int, TimedRequest]] = []
+        for trace_index, entry in batch.entries:
+            failure = engine._screen(entry.request)
+            if failure is not None:
+                produced[trace_index] = ServedRequest(
+                    index=trace_index,
+                    arrival_us=entry.arrival_us,
+                    batch_index=batch.index,
+                    status=ServingStatus.FAILED,
+                    wait_us=max(0.0, batch.close_us - entry.arrival_us),
+                    reason=failure,
+                )
+            else:
+                dispatchable.append((trace_index, entry))
+        if dispatchable:
+            decisions = engine._assess_batch(
+                self._admission_state,
+                [entry for _, entry in dispatchable],
+                batch.close_us,
+            )
+            admitted: List[Tuple[int, TimedRequest, AdmissionDecision]] = []
+            for (trace_index, entry), decision in zip(dispatchable, decisions):
+                if decision.verdict.admitted:
+                    admitted.append((trace_index, entry, decision))
+                else:
+                    produced[trace_index] = ServedRequest(
+                        index=trace_index,
+                        arrival_us=entry.arrival_us,
+                        batch_index=batch.index,
+                        status=ServingStatus.REJECTED_DEADLINE,
+                        wait_us=decision.wait_us,
+                        queue_us=decision.queue_us,
+                        service_us=decision.service_us,
+                        cycles=decision.cycles,
+                        reason=decision.reason,
+                    )
+            if admitted:
+                results = engine.retriever.retrieve_batch(
+                    [entry.request for _, entry, _ in admitted],
+                    n=engine.config.n_best,
+                    threshold=engine.config.threshold,
+                )
+                for (trace_index, entry, decision), result in zip(admitted, results):
+                    infeasible = engine.admission.feasibility_failure(result)
+                    if infeasible is not None:
+                        status = ServingStatus.REJECTED_INFEASIBLE
+                        worker = ""
+                        latency_us: Optional[float] = None
+                        reason = infeasible
+                    else:
+                        status, worker = engine._served_status(decision)
+                        latency_us = decision.latency_us
+                        reason = decision.reason
+                    produced[trace_index] = ServedRequest(
+                        index=trace_index,
+                        arrival_us=entry.arrival_us,
+                        batch_index=batch.index,
+                        status=status,
+                        wait_us=decision.wait_us,
+                        queue_us=decision.queue_us,
+                        service_us=decision.service_us,
+                        latency_us=latency_us,
+                        cycles=decision.cycles,
+                        result=result,
+                        reason=reason,
+                        worker=worker,
+                    )
+                if engine.learner is not None:
+                    # Feed outcomes back between micro-batches, in trace
+                    # order: the next batch is served by the evolved case
+                    # base, with the delta subsystem patching every cache
+                    # incrementally.
+                    for (trace_index, entry, _), result in zip(admitted, results):
+                        record = produced[trace_index]
+                        if record.status.served:
+                            engine.learner.observe(entry.request, result)
+        batch_records = [produced[index] for index in sorted(produced)]
+        for record in batch_records:
+            self.records[record.index] = record
+            self.metrics.observe_request(
+                record.status.value,
+                latency_us=record.latency_us,
+                hardware_cycles=(
+                    record.cycles
+                    if record.status is ServingStatus.SERVED_HARDWARE
+                    else 0
+                ),
+                software_cycles=(
+                    record.cycles
+                    if record.status is ServingStatus.SERVED_SOFTWARE
+                    else 0
+                ),
+            )
+        return batch_records
+
+    def _learning_section(self) -> Optional[Dict[str, object]]:
+        if self._learn_baseline is None:
+            return None
+        engine, baseline = self.engine, self._learn_baseline
+        return {
+            "revised": engine.learner.revised_count - baseline["revised"],
+            "retained": engine.learner.retained_count - baseline["retained"],
+            "implementations_before": baseline["implementations"],
+            "implementations_after": engine.case_base.count_implementations(),
+            "revisions": engine.case_base.revision - baseline["revision"],
+        }
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """A mid-run metrics report (``GET /metrics``).
+
+        Deliberately skips :meth:`ServingEngine._extend_metrics`: the cluster
+        engine's extension *drains* the fleet (a mutating sync), which must
+        only happen when the session finishes.
+        """
+        self.metrics.wall_seconds = time.perf_counter() - self._start
+        report = self.metrics.report()
+        learning = self._learning_section()
+        if learning is not None:
+            report["learning"] = learning
+        return report
+
+    def finish(self) -> ServingReport:
+        """Close the session and assemble the final report."""
+        self.metrics.wall_seconds = time.perf_counter() - self._start
+        metrics_report = self.metrics.report()
+        self.engine._extend_metrics(metrics_report)
+        learning = self._learning_section()
+        if learning is not None:
+            metrics_report["learning"] = learning
+        served_records = [self.records[index] for index in sorted(self.records)]
+        return ServingReport(
+            config=self.engine.config, served=served_records, metrics=metrics_report
+        )
+
+
 class ServingEngine:
     """QoS-aware micro-batching front-end over one case base.
 
@@ -520,130 +698,16 @@ class ServingEngine:
 
     # -- replay --------------------------------------------------------------------
 
+    def session(self) -> ServingSession:
+        """Start an incremental serving session (the daemon's entry point)."""
+        return ServingSession(self)
+
     def serve(self, trace: Sequence[TimedRequest]) -> ServingReport:
         """Replay one trace through the full serving pipeline."""
-        trace = list(trace)
-        records: List[Optional[ServedRequest]] = [None] * len(trace)
-        metrics = MetricsCollector()
-        learn_stats = (
-            {
-                "revised": self.learner.revised_count,
-                "retained": self.learner.retained_count,
-                "implementations": self.case_base.count_implementations(),
-                "revision": self.case_base.revision,
-            }
-            if self.learner is not None
-            else None
-        )
-        admission_state = self._admission_state()
-        start = time.perf_counter()
-        for batch in self.scheduler.batches(trace):
-            metrics.observe_batch(len(batch))
-            dispatchable: List[Tuple[int, TimedRequest]] = []
-            for trace_index, entry in batch.entries:
-                failure = self._screen(entry.request)
-                if failure is not None:
-                    records[trace_index] = ServedRequest(
-                        index=trace_index,
-                        arrival_us=entry.arrival_us,
-                        batch_index=batch.index,
-                        status=ServingStatus.FAILED,
-                        wait_us=max(0.0, batch.close_us - entry.arrival_us),
-                        reason=failure,
-                    )
-                else:
-                    dispatchable.append((trace_index, entry))
-            if not dispatchable:
-                continue
-            decisions = self._assess_batch(
-                admission_state, [entry for _, entry in dispatchable], batch.close_us
-            )
-            admitted: List[Tuple[int, TimedRequest, AdmissionDecision]] = []
-            for (trace_index, entry), decision in zip(dispatchable, decisions):
-                if decision.verdict.admitted:
-                    admitted.append((trace_index, entry, decision))
-                else:
-                    records[trace_index] = ServedRequest(
-                        index=trace_index,
-                        arrival_us=entry.arrival_us,
-                        batch_index=batch.index,
-                        status=ServingStatus.REJECTED_DEADLINE,
-                        wait_us=decision.wait_us,
-                        queue_us=decision.queue_us,
-                        service_us=decision.service_us,
-                        cycles=decision.cycles,
-                        reason=decision.reason,
-                    )
-            if not admitted:
-                continue
-            results = self.retriever.retrieve_batch(
-                [entry.request for _, entry, _ in admitted],
-                n=self.config.n_best,
-                threshold=self.config.threshold,
-            )
-            for (trace_index, entry, decision), result in zip(admitted, results):
-                infeasible = self.admission.feasibility_failure(result)
-                if infeasible is not None:
-                    status = ServingStatus.REJECTED_INFEASIBLE
-                    worker = ""
-                    latency_us: Optional[float] = None
-                    reason = infeasible
-                else:
-                    status, worker = self._served_status(decision)
-                    latency_us = decision.latency_us
-                    reason = decision.reason
-                records[trace_index] = ServedRequest(
-                    index=trace_index,
-                    arrival_us=entry.arrival_us,
-                    batch_index=batch.index,
-                    status=status,
-                    wait_us=decision.wait_us,
-                    queue_us=decision.queue_us,
-                    service_us=decision.service_us,
-                    latency_us=latency_us,
-                    cycles=decision.cycles,
-                    result=result,
-                    reason=reason,
-                    worker=worker,
-                )
-            if self.learner is not None:
-                # Feed outcomes back between micro-batches, in trace order:
-                # the next batch is served by the evolved case base, with the
-                # delta subsystem patching every cache incrementally.
-                for (trace_index, entry, _), result in zip(admitted, results):
-                    record = records[trace_index]
-                    if record is not None and record.status.served:
-                        self.learner.observe(entry.request, result)
-        metrics.wall_seconds = time.perf_counter() - start
-        served_records = [record for record in records if record is not None]
-        for record in served_records:
-            metrics.observe_request(
-                record.status.value,
-                latency_us=record.latency_us,
-                hardware_cycles=(
-                    record.cycles
-                    if record.status is ServingStatus.SERVED_HARDWARE
-                    else 0
-                ),
-                software_cycles=(
-                    record.cycles
-                    if record.status is ServingStatus.SERVED_SOFTWARE
-                    else 0
-                ),
-            )
-        metrics_report = metrics.report()
-        self._extend_metrics(metrics_report)
-        if learn_stats is not None:
-            metrics_report["learning"] = {
-                "revised": self.learner.revised_count - learn_stats["revised"],
-                "retained": self.learner.retained_count - learn_stats["retained"],
-                "implementations_before": learn_stats["implementations"],
-                "implementations_after": self.case_base.count_implementations(),
-                "revisions": self.case_base.revision - learn_stats["revision"],
-            }
-        return ServingReport(
-            config=self.config, served=served_records, metrics=metrics_report
-        )
+        session = ServingSession(self)
+        for batch in self.scheduler.batches(list(trace)):
+            session.process_batch(batch)
+        return session.finish()
 
     def serve_requests(
         self,

@@ -5,62 +5,49 @@ pieces of tooling (the ``retrieve-batch`` / ``cosim-batch`` subcommands, the
 serving layer's trace-replay load generator and tests all need them), so they
 live here alongside the other case-base tooling.
 
-* :func:`load_requests_json` -- read a requests JSON file (canonical
-  :func:`repro.tools.export.request_to_json` shape or the
-  ``{"type_id", "constraints"}`` shorthand);
+* :func:`load_requests_json` -- read a requests JSON file through the shared
+  wire schema (:mod:`repro.api.schemas`): the versioned ``{"kind":
+  "requests"}`` document, the legacy bare list, the canonical
+  :func:`repro.tools.export.request_to_json` entry shape and the
+  ``{"type_id", "constraints"}`` shorthand are all accepted -- the file
+  format and the daemon's HTTP format are the same schema;
 * :func:`random_requests` -- synthesise requests whose constraints track a
   case base's contents (the pattern of the paper's Matlab request generator).
 """
 
 from __future__ import annotations
 
-import json
 import random
 from typing import List
 
+from ..api import schemas
 from ..core.case_base import CaseBase
 from ..core.exceptions import ReproError
 from ..core.request import FunctionRequest
-from .export import request_from_dict
 
 
 def load_requests_json(path: str, *, requester: str = "cli-batch") -> List[FunctionRequest]:
-    """Read a requests JSON file: a list of request objects.
+    """Read a requests JSON file (any shape the wire schema accepts).
 
     Each entry is either the canonical :func:`repro.tools.request_to_json`
     shape (``{"type_id", "attributes": [{"attribute_id", "value", "weight"}]}``)
     or the shorthand ``{"type_id", "constraints"}`` where ``constraints`` is a
     mapping of attribute ID to value or a list of ``[id, value]`` /
-    ``[id, value, weight]`` entries.
+    ``[id, value, weight]`` entries; the list may be bare (legacy files) or
+    wrapped in a versioned ``{"kind": "requests"}`` envelope
+    (:func:`repro.api.schemas.requests_to_wire`).
     """
     try:
         with open(path, "r", encoding="utf-8") as stream:
-            payload = json.load(stream)
+            text = stream.read()
     except OSError as exc:
         raise ReproError(f"cannot read requests file {path}: {exc}") from exc
-    except json.JSONDecodeError as exc:
+    try:
+        return schemas.requests_from_wire(
+            schemas.loads(text), requester=requester
+        )
+    except schemas.SchemaError as exc:
         raise ReproError(f"invalid requests JSON in {path}: {exc}") from exc
-    if not isinstance(payload, list):
-        raise ReproError(f"requests file {path} must contain a JSON list")
-    requests = []
-    for entry in payload:
-        if not isinstance(entry, dict):
-            raise ReproError(f"malformed request entry {entry!r}: expected an object")
-        if "attributes" in entry:
-            requests.append(request_from_dict(entry))
-            continue
-        try:
-            type_id = int(entry["type_id"])
-            constraints = entry["constraints"]
-            if isinstance(constraints, dict):
-                constraints = [
-                    (int(attribute_id), value)
-                    for attribute_id, value in constraints.items()
-                ]
-            requests.append(FunctionRequest(type_id, constraints, requester=requester))
-        except (KeyError, TypeError, ValueError) as exc:
-            raise ReproError(f"malformed request entry {entry!r}: {exc}") from exc
-    return requests
 
 
 def random_requests(

@@ -1,0 +1,194 @@
+"""Daemon soak: heavy traffic over real sockets, bit-identical offline replay.
+
+The tentpole's acceptance gate.  Several keep-alive HTTP client threads
+drive the heavy-traffic workload's request mix through a live ``repro
+serve`` daemon (single-engine and cluster modes, with and without
+``/learn`` delta ingestion), the daemon's capture is fetched, and the
+offline :func:`repro.serving.replay_capture` re-serving must reproduce
+every response **bit-identically** -- same rankings, same similarity
+doubles, same admission decisions -- while the responses the clients saw
+on the wire match the capture entry for entry.
+"""
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.api import schemas
+from repro.serving import DaemonThread, ServingSpec, replay_capture, trace_from_workloads
+
+#: Envelope keys added on top of the wire record in single-request responses.
+ENVELOPE_KEYS = {"kind", "schema_version"}
+
+
+def _workload_request_wires(count):
+    """The first ``count`` heavy-traffic requests in wire form."""
+    trace = trace_from_workloads(
+        ("heavy-traffic",), duration_us=200_000.0, seed=2004
+    )
+    wires = [schemas.request_to_wire(entry.request) for entry in trace]
+    assert len(wires) >= count, "heavy-traffic trace too short for the soak"
+    return wires[:count]
+
+
+LEARN_EVENTS = [
+    {
+        "op": "add_implementation",
+        "type_id": 1,
+        "implementation": {
+            "implementation_id": 7000 + offset,
+            "target": "gpp",
+            "name": f"soak-learned-{offset}",
+            "attributes": {"1": 16, "3": 1, "4": 40},
+        },
+    }
+    for offset in range(3)
+]
+
+
+class _SoakClient(threading.Thread):
+    """One keep-alive connection replaying a slice of the request mix."""
+
+    def __init__(self, host, port, wires, *, batch_every=4):
+        super().__init__()
+        self.host, self.port = host, port
+        self.wires = wires
+        self.batch_every = batch_every
+        self.responses = []  # (wire record as the client saw it)
+        self.error = None
+
+    def run(self):
+        try:
+            connection = http.client.HTTPConnection(self.host, self.port, timeout=60)
+            cursor = 0
+            while cursor < len(self.wires):
+                if self.batch_every and (cursor // self.batch_every) % 2 == 1:
+                    chunk = self.wires[cursor:cursor + self.batch_every]
+                    status, body = self._post(
+                        connection, "/retrieve", {"requests": chunk}
+                    )
+                    if status == 503 and body.get("error") == "reconfiguring":
+                        time.sleep(0.002)
+                        continue
+                    assert status == 200, body
+                    self.responses.extend(body["results"])
+                    cursor += len(chunk)
+                else:
+                    status, body = self._post(
+                        connection, "/retrieve", self.wires[cursor]
+                    )
+                    if status == 503 and body.get("error") == "reconfiguring":
+                        time.sleep(0.002)
+                        continue
+                    assert "index" in body, body
+                    self.responses.append(
+                        {k: v for k, v in body.items() if k not in ENVELOPE_KEYS}
+                    )
+                    cursor += 1
+            connection.close()
+        except BaseException as exc:  # surfaced by the main thread
+            self.error = exc
+
+    @staticmethod
+    def _post(connection, path, payload):
+        connection.request(
+            "POST", path, body=json.dumps(payload),
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+
+def _learn_poster(host, port, stop_event, outcomes):
+    connection = http.client.HTTPConnection(host, port, timeout=60)
+    for event in LEARN_EVENTS:
+        if stop_event.is_set():
+            break
+        status, body = _SoakClient._post(
+            connection, "/learn", {"events": [event]}
+        )
+        outcomes.append((status, body))
+        time.sleep(0.01)
+    connection.close()
+
+
+def _fetch_capture(host, port):
+    connection = http.client.HTTPConnection(host, port, timeout=60)
+    connection.request("GET", "/capture")
+    response = connection.getresponse()
+    document = json.loads(response.read().decode("utf-8"))
+    connection.close()
+    assert response.status == 200
+    return document
+
+
+@pytest.mark.parametrize("cluster", [False, True], ids=["single", "cluster"])
+@pytest.mark.parametrize("learn", [False, True], ids=["plain", "learn"])
+def test_soak_capture_replays_bit_identically(cluster, learn):
+    spec = ServingSpec(
+        workloads=("heavy-traffic",),
+        cluster=cluster,
+        devices=2,
+        software_workers=1,
+        max_batch=8,
+        max_wait_us=2_000.0,
+        n_best=3,
+        learn=learn,
+        novelty_threshold=0.99,
+    )
+    wires = _workload_request_wires(48)
+    with DaemonThread(spec) as handle:
+        clients = [
+            _SoakClient(handle.host, handle.port, wires[i::3]) for i in range(3)
+        ]
+        stop_event = threading.Event()
+        learn_outcomes = []
+        poster = None
+        if learn:
+            poster = threading.Thread(
+                target=_learn_poster,
+                args=(handle.host, handle.port, stop_event, learn_outcomes),
+            )
+            poster.start()
+        for client in clients:
+            client.start()
+        for client in clients:
+            client.join(timeout=120)
+        stop_event.set()
+        if poster is not None:
+            poster.join(timeout=60)
+        for client in clients:
+            assert client.error is None, client.error
+            assert not client.is_alive(), "soak client hung"
+        capture = _fetch_capture(handle.host, handle.port)
+
+    assert capture["kind"] == "serving-capture"
+    responses = capture["responses"]
+    assert len(responses) == len(wires)
+
+    # 1. What the clients saw on the wire IS the capture, entry for entry.
+    seen = {}
+    for client in clients:
+        for record in client.responses:
+            seen[record["index"]] = record
+    assert len(seen) == len(responses)
+    for record in responses:
+        assert seen[record["index"]] == record
+
+    # 2. Offline replay of the capture is bit-identical to the live daemon:
+    #    rankings, similarity doubles and admission decisions all match.
+    report = replay_capture(capture)
+    replayed = [
+        json.loads(json.dumps(record.to_dict())) for record in report.served
+    ]
+    assert replayed == responses
+
+    if learn:
+        # The /learn stream was accepted (applied now or queued to a batch
+        # boundary) and recorded into the capture for replay.
+        assert learn_outcomes, "no /learn call completed"
+        assert {status for status, _ in learn_outcomes} <= {200, 202}
+        assert capture["learn_events"]

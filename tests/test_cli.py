@@ -410,3 +410,93 @@ class TestServeCluster:
         assert main(["serve-cluster", "--random", "4", "--devices", "0",
                      "--software-workers", "0"]) == 2
         assert "serve-cluster" in capsys.readouterr().err
+
+
+class TestServeSubcommand:
+    def test_parser_wires_the_daemon_handler(self):
+        from repro.cli import cmd_serve
+        from repro.serving import ServingSpec
+
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--cluster", "--devices", "3",
+             "--max-batch", "16", "--capture", "cap.json"]
+        )
+        assert args.handler is cmd_serve
+        spec = ServingSpec.from_args(args)
+        assert spec.cluster and spec.devices == 3 and spec.max_batch == 16
+        assert args.capture == "cap.json"
+
+    def test_invalid_spec_is_a_clean_error(self, capsys):
+        assert main(["serve", "--n-best", "0"]) == 2
+        assert "serve: n_best" in capsys.readouterr().err
+
+
+class TestCaptureReplay:
+    @staticmethod
+    def _record_capture(tmp_path, learn_events=()):
+        import json
+
+        from repro.serving import DaemonThread, ServingSpec
+
+        path = tmp_path / "capture.json"
+        spec = ServingSpec(random=1, max_batch=4, max_wait_us=10_000.0)
+        with DaemonThread(spec, capture_path=str(path)) as handle:
+            import http.client
+
+            connection = http.client.HTTPConnection(
+                handle.host, handle.port, timeout=30
+            )
+            wire = {"type_id": 1, "constraints": {"1": 16, "3": 1, "4": 40}}
+            for payload in [wire, {"requests": [wire, wire]}, wire]:
+                connection.request("POST", "/retrieve", body=json.dumps(payload))
+                assert connection.getresponse().read()
+            for events in learn_events:
+                connection.request("POST", "/learn",
+                                   body=json.dumps({"events": events}))
+                assert connection.getresponse().read()
+            connection.close()
+        return path
+
+    def test_capture_replay_is_bit_identical(self, tmp_path, capsys):
+        path = self._record_capture(tmp_path)
+        assert main(["serve-trace", "--capture", str(path)]) == 0
+        assert "capture replay bit-identical for 4/4 responses" in (
+            capsys.readouterr().out
+        )
+
+    def test_capture_replay_with_learn_events(self, tmp_path, capsys):
+        event = {"op": "add_implementation", "type_id": 1,
+                 "implementation": {"implementation_id": 9100, "target": "gpp",
+                                    "attributes": {"1": 16, "3": 1, "4": 40}}}
+        path = self._record_capture(tmp_path, learn_events=[[event]])
+        assert main(["serve-trace", "--capture", str(path)]) == 0
+        assert "bit-identical" in capsys.readouterr().out
+
+    def test_tampered_capture_fails_the_gate(self, tmp_path, capsys):
+        import json
+
+        path = self._record_capture(tmp_path)
+        document = json.loads(path.read_text())
+        document["responses"][0]["ranking"][0]["similarity"] += 1e-9
+        path.write_text(json.dumps(document))
+        assert main(["serve-trace", "--capture", str(path)]) == 1
+        captured = capsys.readouterr()
+        assert "bit-identity FAILED" in captured.err
+        assert "recorded=" in captured.err and "replayed=" in captured.err
+
+    def test_missing_capture_file_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["serve-trace", "--capture", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read capture file" in capsys.readouterr().err
+
+
+class TestJsonReportEnvelope:
+    def test_report_documents_are_versioned(self, tmp_path):
+        import json
+
+        report_path = tmp_path / "report.json"
+        assert main(["serve-trace", "--random", "8", "--seed", "2",
+                     "--json", str(report_path)]) == 0
+        payload = json.loads(report_path.read_text())
+        assert payload["kind"] == "serving-report"
+        assert payload["schema_version"] >= 1
+        assert payload["metrics"]["requests"] == 8
