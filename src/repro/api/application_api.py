@@ -250,27 +250,7 @@ class ApplicationAPI:
 
     # -- serving ----------------------------------------------------------------------
 
-    def _legacy_serving_spec(self, config_overrides: Dict[str, object], **axes):
-        """Build a spec from deprecated keyword-soup overrides (shim path)."""
-        import warnings
-
-        from ..serving.spec import ServingSpec
-
-        warnings.warn(
-            "serving_engine(**overrides) / cluster_engine(devices=...) keyword "
-            "construction is deprecated; pass a repro.serving.ServingSpec "
-            "instead (e.g. serving_engine(ServingSpec(shards=4, learn=True))). "
-            "The keyword shim will be removed in the next release.",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        hardware_config = config_overrides.pop("hardware_config", None)
-        explicit_cycle = "cycle_engine" in config_overrides
-        spec = ServingSpec.from_engine_kwargs(**config_overrides, **axes)
-        cycle_engine = spec.cycle_engine if explicit_cycle else self.manager.cycle_engine
-        return spec, hardware_config, cycle_engine
-
-    def serving_engine(self, spec=None, **config_overrides):
+    def serving_engine(self, spec=None):
         """A :class:`~repro.serving.ServingEngine` over the manager's case base.
 
         This is the streaming complement of :meth:`call_functions`: instead of
@@ -292,34 +272,27 @@ class ApplicationAPI:
         ``cluster=True`` builds a fleet-routed engine, making this the single
         construction entry point.
 
-        .. deprecated::
-            Keyword overrides (``api.serving_engine(shard_count=4)``) still
-            work for one release via a shim that builds the equivalent spec
-            and emits a :class:`DeprecationWarning`.
+        The PR 6 keyword-override shim (``serving_engine(shard_count=4)``)
+        has been removed; a spec is now the only construction form.
         """
         from ..serving.spec import ServingSpec
 
-        if spec is not None:
-            if config_overrides:
-                raise RequestError(
-                    "pass either a ServingSpec or legacy keyword overrides, not both"
-                )
-            if not isinstance(spec, ServingSpec):
-                raise RequestError(
-                    f"serving_engine expects a ServingSpec, got {type(spec).__name__}"
-                )
-            hardware_config = None
-            cycle_engine = (
-                spec.cycle_engine
-                if spec.cycle_engine != "auto"
-                else self.manager.cycle_engine
+        if spec is None:
+            raise RequestError(
+                "serving_engine requires a ServingSpec (the legacy keyword-"
+                "override form was removed); e.g. "
+                "api.serving_engine(ServingSpec(shards=4, learn=True))"
             )
-        else:
-            spec, hardware_config, cycle_engine = self._legacy_serving_spec(
-                config_overrides
+        if not isinstance(spec, ServingSpec):
+            raise RequestError(
+                f"serving_engine expects a ServingSpec, got {type(spec).__name__}"
             )
-        if hardware_config is None and self.manager.hardware_config:
-            hardware_config = self.manager.hardware_config
+        cycle_engine = (
+            spec.cycle_engine
+            if spec.cycle_engine != "auto"
+            else self.manager.cycle_engine
+        )
+        hardware_config = self.manager.hardware_config or None
         return spec.build_engine(
             self.manager.case_base,
             feasibility=self.manager.feasibility,
@@ -328,16 +301,7 @@ class ApplicationAPI:
             repository=self.manager.repository,
         )
 
-    def cluster_engine(
-        self,
-        spec=None,
-        *,
-        devices: Optional[int] = None,
-        software_devices: Optional[int] = None,
-        fleet=None,
-        reconfig_us: Optional[float] = None,
-        **config_overrides,
-    ):
+    def cluster_engine(self, spec=None, *, fleet=None):
         """A :class:`~repro.serving.ClusterServingEngine` over a device fleet.
 
         The cluster-scale complement of :meth:`serving_engine`: traces are
@@ -357,42 +321,29 @@ class ApplicationAPI:
         making devices briefly unavailable.  A spec with ``cluster=False``
         is coerced to ``cluster=True`` here.
 
-        .. deprecated::
-            Keyword construction (``api.cluster_engine(devices=4,
-            learn=True)``) still works for one release via a shim that
-            builds the equivalent spec and emits a
-            :class:`DeprecationWarning`.
+        The PR 6 keyword-override shim (``cluster_engine(devices=4)``) has
+        been removed; a spec is now the only construction form.
         """
         from ..serving.spec import ServingSpec
 
-        if spec is not None:
-            if config_overrides or devices is not None or software_devices is not None \
-                    or reconfig_us is not None:
-                raise RequestError(
-                    "pass either a ServingSpec or legacy keyword overrides, not both"
-                )
-            if not isinstance(spec, ServingSpec):
-                raise RequestError(
-                    f"cluster_engine expects a ServingSpec, got {type(spec).__name__}"
-                )
-            if not spec.cluster:
-                spec = spec.replace(cluster=True)
-            hardware_config = None
-            cycle_engine = (
-                spec.cycle_engine
-                if spec.cycle_engine != "auto"
-                else self.manager.cycle_engine
+        if spec is None:
+            raise RequestError(
+                "cluster_engine requires a ServingSpec (the legacy keyword-"
+                "override form was removed); e.g. "
+                "api.cluster_engine(ServingSpec(devices=4, learn=True))"
             )
-        else:
-            spec, hardware_config, cycle_engine = self._legacy_serving_spec(
-                config_overrides,
-                cluster=True,
-                devices=2 if devices is None else devices,
-                software_workers=1 if software_devices is None else software_devices,
-                reconfig_us=reconfig_us,
+        if not isinstance(spec, ServingSpec):
+            raise RequestError(
+                f"cluster_engine expects a ServingSpec, got {type(spec).__name__}"
             )
-        if hardware_config is None and self.manager.hardware_config:
-            hardware_config = self.manager.hardware_config
+        if not spec.cluster:
+            spec = spec.replace(cluster=True)
+        cycle_engine = (
+            spec.cycle_engine
+            if spec.cycle_engine != "auto"
+            else self.manager.cycle_engine
+        )
+        hardware_config = self.manager.hardware_config or None
         return spec.build_engine(
             self.manager.case_base,
             feasibility=self.manager.feasibility,

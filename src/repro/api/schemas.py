@@ -267,6 +267,28 @@ MUTATION_OPS = (
 )
 
 
+def implementation_to_wire(implementation) -> Dict[str, object]:
+    """Serialise an :class:`~repro.core.case_base.Implementation` to wire form.
+
+    The inverse of :func:`implementation_from_wire`, mirroring one entry of
+    ``CaseBase.to_dict()``'s implementation list -- the shape the journal
+    uses to restate delta-log records as replayable mutation events.
+    """
+    return {
+        "implementation_id": implementation.implementation_id,
+        "target": implementation.target.value,
+        "name": implementation.name,
+        "attributes": dict(implementation.attributes),
+        "deployment": {
+            "configuration_size_bytes": implementation.deployment.configuration_size_bytes,
+            "area_slices": implementation.deployment.area_slices,
+            "power_mw": implementation.deployment.power_mw,
+            "load_fraction": implementation.deployment.load_fraction,
+            "setup_time_us": implementation.deployment.setup_time_us,
+        },
+    }
+
+
 def implementation_from_wire(payload: Mapping):
     """Build an :class:`~repro.core.case_base.Implementation` from wire form.
 
@@ -369,6 +391,72 @@ def apply_mutation_events(case_base, events: Sequence[Mapping]) -> int:
     return len(staged)
 
 
+def delta_to_wire_events(delta) -> List[Dict[str, object]]:
+    """Restate one :class:`~repro.core.deltas.CaseBaseDelta` as mutation events.
+
+    The journal taps the delta log at record time and durably stores each
+    delta in this wire form, so a snapshot plus the journalled windows can
+    rebuild the case base even after the bounded in-memory ``DeltaLog`` has
+    truncated.  ``ADD_TYPE`` expands to the type plus one event per member
+    implementation (the live delta references the populated type object).
+    ``BOUNDS_CHANGED`` has no wire mutation form -- bounds are constructor
+    state, not a :data:`MUTATION_OPS` operation -- so it raises
+    :class:`SchemaError`; journal writers record it as a non-replayable
+    marker and force a fresh snapshot instead.
+    """
+    from ..core.deltas import DeltaKind
+
+    kind = delta.kind
+    if kind is DeltaKind.ADD_TYPE:
+        events: List[Dict[str, object]] = [
+            {
+                "op": "add_type",
+                "type_id": delta.type_id,
+                "name": delta.function_type.name if delta.function_type else "",
+            }
+        ]
+        if delta.function_type is not None:
+            events.extend(
+                {
+                    "op": "add_implementation",
+                    "type_id": delta.type_id,
+                    "implementation": implementation_to_wire(implementation),
+                }
+                for implementation in delta.function_type.sorted_implementations()
+            )
+        return events
+    if kind is DeltaKind.REMOVE_TYPE:
+        return [{"op": "remove_type", "type_id": delta.type_id}]
+    if kind is DeltaKind.ADD_IMPLEMENTATION:
+        return [
+            {
+                "op": "add_implementation",
+                "type_id": delta.type_id,
+                "implementation": implementation_to_wire(delta.implementation),
+            }
+        ]
+    if kind is DeltaKind.REPLACE_IMPLEMENTATION:
+        return [
+            {
+                "op": "replace_implementation",
+                "type_id": delta.type_id,
+                "implementation": implementation_to_wire(delta.implementation),
+            }
+        ]
+    if kind is DeltaKind.REMOVE_IMPLEMENTATION:
+        return [
+            {
+                "op": "remove_implementation",
+                "type_id": delta.type_id,
+                "implementation_id": delta.implementation_id,
+            }
+        ]
+    raise SchemaError(
+        f"delta kind {kind.value!r} has no wire mutation form; "
+        "journal a fresh snapshot instead"
+    )
+
+
 # ---------------------------------------------------------------------------
 # JSON text round trips
 # ---------------------------------------------------------------------------
@@ -393,9 +481,11 @@ __all__ = [
     "apply_mutation_events",
     "attach_envelope",
     "check_envelope",
+    "delta_to_wire_events",
     "dumps",
     "error_to_wire",
     "implementation_from_wire",
+    "implementation_to_wire",
     "loads",
     "metrics_to_wire",
     "report_to_wire",

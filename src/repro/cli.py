@@ -740,6 +740,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             port=args.port,
             capture_path=args.capture,
             max_request_batch=args.max_request_batch,
+            journal_dir=args.journal,
+            snapshot_interval=args.snapshot_interval,
             announce=announce,
         )
     except ReproError as error:
@@ -906,6 +908,15 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--max-request-batch", type=int, default=256,
                      help="largest accepted POST /retrieve batch (413 above; "
                           "default 256)")
+    sub.add_argument("--journal", metavar="DIR",
+                     help="durable delta journal directory: every flushed "
+                          "batch and /learn mutation is fsync-committed "
+                          "before its response is released, and a restarted "
+                          "daemon recovers the directory (snapshot load + "
+                          "tail replay) to serve bit-identically")
+    sub.add_argument("--snapshot-interval", type=int, default=64,
+                     help="journal commit groups between compacted snapshots "
+                          "(default 64)")
     sub.set_defaults(handler=cmd_serve)
 
     sub = subparsers.add_parser("estimate", help="Table 2-style resource estimate")

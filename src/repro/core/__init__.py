@@ -79,6 +79,7 @@ from .exceptions import (
     SoftwareModelError,
     UnknownFunctionTypeError,
 )
+from .journal import DeltaJournal, JournalError, JournalState, recover_case_base
 from .learning import (
     CaseRetainer,
     CaseReviser,
@@ -134,6 +135,7 @@ __all__ = [
     "CaseRetainer",
     "CaseReviser",
     "CycleReport",
+    "DeltaJournal",
     "DeltaKind",
     "DeltaLog",
     "DeltaSummary",
@@ -151,6 +153,8 @@ __all__ = [
     "FunctionType",
     "HardwareModelError",
     "Implementation",
+    "JournalError",
+    "JournalState",
     "LocalSimilarity",
     "LocalSimilarityValue",
     "MahalanobisSimilarity",
@@ -194,5 +198,6 @@ __all__ = [
     "paper_example",
     "paper_request",
     "paper_schema",
+    "recover_case_base",
     "verify_amalgamation_properties",
 ]

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from .attributes import BoundsTable
@@ -191,6 +191,11 @@ class DeltaLog:
         #: of one case base typically ask for the same window, so the fold
         #: runs once per revision step instead of once per subscriber.
         self._summary_cache: Optional[Tuple[int, int, "DeltaSummary"]] = None
+        #: Synchronous observers invoked with every recorded delta.  Unlike
+        #: :meth:`since` polling, a tap sees every delta exactly once even
+        #: when the bounded window truncates between polls -- the durability
+        #: journal relies on that to never lose a mutation.
+        self._taps: List[Callable[[CaseBaseDelta], None]] = []
 
     def __len__(self) -> int:
         return len(self._deltas)
@@ -207,6 +212,25 @@ class DeltaLog:
             overflow = len(self._deltas) - self.capacity
             self._base_revision = self._deltas[overflow - 1].revision
             del self._deltas[:overflow]
+        for tap in self._taps:
+            tap(delta)
+
+    def attach_tap(self, tap: Callable[[CaseBaseDelta], None]) -> None:
+        """Register a synchronous observer called once per recorded delta.
+
+        Taps are delivery guarantees, not views: they fire before the
+        caller's mutation returns and are unaffected by window truncation.
+        Taps are deliberately *not* carried over by ``CaseBase.copy()``
+        (which builds a fresh log), so snapshots never journal twice.
+        """
+        self._taps.append(tap)
+
+    def detach_tap(self, tap: Callable[[CaseBaseDelta], None]) -> None:
+        """Remove a previously attached tap (no-op when absent)."""
+        try:
+            self._taps.remove(tap)
+        except ValueError:
+            pass
 
     def since(self, revision: int) -> Optional[Tuple[CaseBaseDelta, ...]]:
         """The deltas applied after ``revision``, or ``None`` when truncated."""

@@ -1,0 +1,289 @@
+"""Durable delta journal: crash recovery for the serving daemon.
+
+The journal makes PR 6's capture/replay property load-bearing for
+durability.  A journal directory holds exactly one *generation* at a time:
+
+* ``snapshot-<g>.json`` -- an enveloped ``journal-snapshot`` document
+  (case base, engine state, serving spec, absolute trace/batch frame),
+  written atomically (temp file + fsync + rename);
+* ``journal-<g>.jsonl`` -- an append-only line-per-record log of
+  everything that happened *after* the snapshot: served-trace entries
+  (``journal-trace``), learn-event batches (``journal-learn``),
+  delta-log windows (``journal-deltas``) and fsync group markers
+  (``journal-commit``).
+
+Records are buffered in memory and written + fsynced as one group per
+:meth:`DeltaJournal.commit`, each group terminated by a commit marker.
+Readers ignore everything after the last marker, so a crash mid-write can
+only drop records whose responses were never released to clients (the
+daemon commits *before* resolving response futures).  Compaction writes a
+new-generation snapshot and deletes the old files; recovery loads the
+newest parsable snapshot plus its committed journal tail.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional
+
+from .exceptions import ReproError
+
+__all__ = ["DeltaJournal", "JournalError", "JournalState", "recover_case_base"]
+
+#: Record kinds a journal line may carry.
+JOURNAL_RECORD_KINDS = (
+    "journal-trace",
+    "journal-learn",
+    "journal-deltas",
+    "journal-commit",
+)
+
+
+class JournalError(ReproError):
+    """The journal is unreadable, inconsistent or does not match the spec."""
+
+
+@dataclasses.dataclass
+class JournalState:
+    """What :meth:`DeltaJournal.load` found on disk.
+
+    ``generation`` is ``-1`` when the directory holds no snapshot yet;
+    ``records`` contains only *committed* records (commit markers removed,
+    any torn tail dropped).
+    """
+
+    generation: int = -1
+    snapshot: Optional[Dict[str, object]] = None
+    records: List[Dict[str, object]] = dataclasses.field(default_factory=list)
+
+
+class DeltaJournal:
+    """Writer for one journal directory (single-writer, fsync-batched)."""
+
+    SNAPSHOT_PREFIX = "snapshot-"
+    JOURNAL_PREFIX = "journal-"
+
+    def __init__(self, directory) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.generation = -1
+        self._stream = None
+        self._pending: List[Dict[str, object]] = []
+        self._records_since_snapshot = 0
+
+    # -- writing -----------------------------------------------------------------------
+
+    def begin(self, generation: int, snapshot_document: Mapping[str, object]) -> None:
+        """Start a new generation: durable snapshot, fresh journal, old files gone.
+
+        The snapshot lands via temp-file + fsync + atomic rename, so a crash
+        during compaction leaves either the old generation or the new one
+        fully intact -- never a half-written snapshot.  Previous-generation
+        files are deleted only after the new snapshot is durable.
+        """
+        if generation <= self.generation:
+            raise JournalError(
+                f"journal generations must advance ({generation} <= {self.generation})"
+            )
+        snapshot_path = self.directory / f"{self.SNAPSHOT_PREFIX}{generation}.json"
+        temp_path = snapshot_path.with_suffix(".json.tmp")
+        with open(temp_path, "w", encoding="utf-8") as stream:
+            json.dump(snapshot_document, stream, sort_keys=True)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(temp_path, snapshot_path)
+        self._fsync_directory()
+        if self._stream is not None:
+            self._stream.close()
+        self._stream = open(
+            self.directory / f"{self.JOURNAL_PREFIX}{generation}.jsonl",
+            "w",
+            encoding="utf-8",
+        )
+        self.generation = generation
+        self._pending = []
+        self._records_since_snapshot = 0
+        self._delete_other_generations(keep=generation)
+
+    def append(self, record: Mapping[str, object]) -> None:
+        """Buffer one record for the next :meth:`commit` (not yet durable)."""
+        if self._stream is None:
+            raise JournalError("journal has no open generation; call begin() first")
+        self._pending.append(dict(record))
+
+    def commit(self, **marker_fields: object) -> int:
+        """Write buffered records plus a commit marker, fsync once, return count.
+
+        The single fsync covers the whole group: either every record in it
+        (and its marker) is durable, or a reader treats the group as never
+        written.  Safe to call with an empty buffer -- the marker then just
+        records progress metadata (batch counter, stamps).
+        """
+        if self._stream is None:
+            raise JournalError("journal has no open generation; call begin() first")
+        committed = len(self._pending)
+        lines = [
+            json.dumps(record, sort_keys=True, separators=(",", ":"))
+            for record in self._pending
+        ]
+        marker = {"kind": "journal-commit", "records": committed}
+        marker.update(marker_fields)
+        lines.append(json.dumps(marker, sort_keys=True, separators=(",", ":")))
+        self._stream.write("\n".join(lines) + "\n")
+        self._stream.flush()
+        os.fsync(self._stream.fileno())
+        self._pending = []
+        self._records_since_snapshot += committed
+        return committed
+
+    @property
+    def records_since_snapshot(self) -> int:
+        """Committed records written since the current generation's snapshot."""
+        return self._records_since_snapshot
+
+    def close(self) -> None:
+        """Close the journal stream (pending, uncommitted records are dropped)."""
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    def _fsync_directory(self) -> None:
+        # Durability of the rename itself; best-effort where the platform
+        # does not support opening directories.
+        try:
+            fd = os.open(self.directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-dependent
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
+        finally:
+            os.close(fd)
+
+    def _delete_other_generations(self, *, keep: int) -> None:
+        for path in self.directory.iterdir():
+            name = path.name
+            if name in (
+                f"{self.SNAPSHOT_PREFIX}{keep}.json",
+                f"{self.JOURNAL_PREFIX}{keep}.jsonl",
+            ):
+                continue
+            if name.startswith((self.SNAPSHOT_PREFIX, self.JOURNAL_PREFIX)):
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - racing cleanup is benign
+                    pass
+
+    # -- reading -----------------------------------------------------------------------
+
+    @classmethod
+    def load(cls, directory) -> JournalState:
+        """Read the newest durable generation from ``directory``.
+
+        Tolerates exactly the states a crash can produce: a missing journal
+        file (crash right after compaction), a torn final line (crash
+        mid-write) and records after the last commit marker (crash between
+        write and fsync).  Anything else -- garbage mid-file, an unknown
+        record kind, no parsable snapshot despite snapshot files existing --
+        raises :class:`JournalError`, because silently dropping committed
+        records could serve wrong answers.
+        """
+        directory = Path(directory)
+        if not directory.is_dir():
+            return JournalState()
+        generations = []
+        for path in directory.iterdir():
+            name = path.name
+            if name.startswith(cls.SNAPSHOT_PREFIX) and name.endswith(".json"):
+                stem = name[len(cls.SNAPSHOT_PREFIX):-len(".json")]
+                if stem.isdigit():
+                    generations.append(int(stem))
+        if not generations:
+            return JournalState()
+        generation = max(generations)
+        snapshot_path = directory / f"{cls.SNAPSHOT_PREFIX}{generation}.json"
+        try:
+            with open(snapshot_path, "r", encoding="utf-8") as stream:
+                snapshot = json.load(stream)
+        except (OSError, ValueError) as exc:
+            raise JournalError(
+                f"journal snapshot {snapshot_path} is unreadable: {exc}"
+            ) from exc
+        if not isinstance(snapshot, dict) or snapshot.get("kind") != "journal-snapshot":
+            raise JournalError(
+                f"{snapshot_path} is not a journal-snapshot document"
+            )
+        records = cls._read_records(directory / f"{cls.JOURNAL_PREFIX}{generation}.jsonl")
+        return JournalState(generation=generation, snapshot=snapshot, records=records)
+
+    @staticmethod
+    def _read_records(path: Path) -> List[Dict[str, object]]:
+        if not path.exists():
+            return []
+        with open(path, "r", encoding="utf-8") as stream:
+            lines = stream.read().splitlines()
+        parsed: List[Dict[str, object]] = []
+        for position, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                if position == len(lines) - 1:
+                    break  # torn tail from a crash mid-write
+                raise JournalError(
+                    f"journal {path} is corrupt at line {position + 1}: {exc}"
+                ) from exc
+            if not isinstance(record, dict):
+                raise JournalError(
+                    f"journal {path} line {position + 1} is not an object"
+                )
+            if record.get("kind") not in JOURNAL_RECORD_KINDS:
+                raise JournalError(
+                    f"journal {path} line {position + 1} has unknown kind "
+                    f"{record.get('kind')!r}"
+                )
+            parsed.append(record)
+        committed: List[Dict[str, object]] = []
+        group: List[Dict[str, object]] = []
+        for record in parsed:
+            if record["kind"] == "journal-commit":
+                committed.extend(group)
+                group = []
+            else:
+                group.append(record)
+        # `group` now holds records written but never covered by a commit
+        # marker; their responses were never released, so they are dropped.
+        return committed
+
+
+def recover_case_base(state: JournalState):
+    """Rebuild the case base from a journal state without a serving engine.
+
+    The daemon's full recovery replays the *trace* through the real engine
+    (regenerating learned mutations bit-identically); this helper is the
+    engine-free path used by tooling and by the truncation tests: snapshot
+    plus the journalled ``journal-deltas`` windows, which outlive the
+    bounded in-memory :class:`~repro.core.deltas.DeltaLog`.
+    """
+    from ..api import schemas
+    from .case_base import CaseBase
+
+    if state.snapshot is None:
+        raise JournalError("cannot recover a case base: journal has no snapshot")
+    case_base = CaseBase.from_dict(state.snapshot["case_base"])
+    case_base.delta_log.rebase(case_base.revision)
+    for record in state.records:
+        if record.get("kind") != "journal-deltas":
+            continue
+        if record.get("replayable", True) is False:
+            raise JournalError(
+                "journal window contains a non-replayable delta (bounds change) "
+                "without a subsequent snapshot; the journal is incomplete"
+            )
+        schemas.apply_mutation_events(case_base, record.get("events", []))
+    return case_base

@@ -62,6 +62,13 @@ class WorkerSyncEvent:
     bytes_streamed: int
     #: ``True`` when only the touched types' share of the image was streamed.
     incremental: bool
+    #: Stream attempts consumed (> 1 when fault-injected attempts were
+    #: retried under the fleet's :class:`~repro.resilience.RetryPolicy`).
+    attempts: int = 1
+    #: ``"applied"`` when the image landed; ``"failed"`` when every attempt
+    #: hit an injected stream fault -- the worker's image stays stale and
+    #: the router quarantines it until a later sync (the probe) succeeds.
+    status: str = "applied"
 
     @property
     def end_us(self) -> float:
@@ -234,6 +241,11 @@ class DeviceFleet:
             (worker.controller for worker in workers),
             power_budget_mw=power_budget_mw,
         )
+        #: Optional fault-injection harness + retry policy (PR 7); installed
+        #: via :meth:`apply_faults`, ``None`` keeps :meth:`sync` on the exact
+        #: single-attempt path previous releases modelled.
+        self.fault_injector = None
+        self.retry_policy = None
 
     # -- construction -----------------------------------------------------------------
 
@@ -404,18 +416,15 @@ class DeviceFleet:
             if worker.kind == HARDWARE:
                 words, incremental = self._stream_words(worker)
                 streamed_bytes = words_to_bytes(words)
-                reconfiguration = worker.controller.reconfiguration
-                port_event = reconfiguration.schedule(
-                    0, streamed_bytes, now_us, duration_us=self.reconfig_us
+                event = self._stream_image(
+                    worker, revision, streamed_bytes, incremental, now_us
                 )
-                event = WorkerSyncEvent(
-                    worker=worker.name,
-                    revision=revision,
-                    start_us=port_event.start_us,
-                    duration_us=port_event.duration_us,
-                    bytes_streamed=streamed_bytes,
-                    incremental=incremental,
-                )
+                if event.status != "applied":
+                    # The image never landed: leave the worker's revision
+                    # stale so the next sync (the router's probe) retries.
+                    worker.sync_events.append(event)
+                    events.append(event)
+                    continue
             else:
                 event = WorkerSyncEvent(
                     worker=worker.name,
@@ -429,6 +438,120 @@ class DeviceFleet:
             worker.sync_events.append(event)
             events.append(event)
         return events
+
+    def _stream_image(
+        self,
+        worker: RetrievalWorker,
+        revision: int,
+        streamed_bytes: int,
+        incremental: bool,
+        now_us: float,
+    ) -> WorkerSyncEvent:
+        """Stream one image to one hardware worker, retrying injected faults.
+
+        Without a fault injector this is exactly one port transfer (the
+        pre-PR 7 behaviour, bit-for-bit).  With one, each attempt started
+        inside a stream-fault window fails -- a truncated attempt occupies
+        the port for ``factor`` of the modelled duration, a corrupted one
+        for all of it -- and the retry policy schedules the next attempt in
+        virtual time with seeded backoff jitter.  The reported sync event
+        spans first start to last end and sums the streamed bytes, so the
+        metrics' ``bytes_streamed`` measures traffic, not useful payload.
+        """
+        from ..resilience.retry import derive_rng
+
+        reconfiguration = worker.controller.reconfiguration
+        injector = self.fault_injector
+        if injector is None:
+            port_event = reconfiguration.schedule(
+                0, streamed_bytes, now_us, duration_us=self.reconfig_us
+            )
+            return WorkerSyncEvent(
+                worker=worker.name,
+                revision=revision,
+                start_us=port_event.start_us,
+                duration_us=port_event.duration_us,
+                bytes_streamed=streamed_bytes,
+                incremental=incremental,
+            )
+        policy = self.retry_policy
+        rng = derive_rng(injector.plan.seed, "stream", worker.name, revision)
+        attempt_at = now_us
+        attempt = 0
+        first_start: Optional[float] = None
+        total_bytes = 0
+        while True:
+            fault = injector.stream_fault(worker.name, attempt_at)
+            if fault is None:
+                port_event = reconfiguration.schedule(
+                    0, streamed_bytes, attempt_at, duration_us=self.reconfig_us
+                )
+                if first_start is None:
+                    first_start = port_event.start_us
+                return WorkerSyncEvent(
+                    worker=worker.name,
+                    revision=revision,
+                    start_us=first_start,
+                    duration_us=port_event.end_us - first_start,
+                    bytes_streamed=total_bytes + streamed_bytes,
+                    incremental=incremental,
+                    attempts=attempt + 1,
+                )
+            full_duration = (
+                self.reconfig_us
+                if self.reconfig_us is not None
+                else reconfiguration.reconfiguration_time_us(streamed_bytes)
+            )
+            if fault.kind == "stream_truncate":
+                fraction = min(1.0, fault.factor)
+                duration = full_duration * fraction
+                streamed = int(streamed_bytes * fraction)
+                status = "failed-truncated"
+            else:
+                duration = full_duration
+                streamed = streamed_bytes
+                status = "failed-corrupted"
+            port_event = reconfiguration.schedule(
+                0, streamed, attempt_at, duration_us=duration, status=status
+            )
+            if first_start is None:
+                first_start = port_event.start_us
+            total_bytes += streamed
+            retry_at = (
+                policy.next_attempt_us(attempt, port_event.end_us, rng=rng)
+                if policy is not None
+                else None
+            )
+            if retry_at is None:
+                return WorkerSyncEvent(
+                    worker=worker.name,
+                    revision=revision,
+                    start_us=first_start,
+                    duration_us=port_event.end_us - first_start,
+                    bytes_streamed=total_bytes,
+                    incremental=incremental,
+                    attempts=attempt + 1,
+                    status="failed",
+                )
+            attempt += 1
+            attempt_at = retry_at
+
+    def apply_faults(self, injector, retry_policy) -> None:
+        """Install the fault-injection harness on this fleet (idempotent).
+
+        Crash/hang windows become modelled worker outages (they survive
+        :meth:`reset_timing`, like scripted outages do); stream faults are
+        evaluated per attempt inside :meth:`sync`.
+        """
+        if getattr(self, "_faults_applied", False):
+            self.fault_injector = injector
+            self.retry_policy = retry_policy
+            return
+        self.fault_injector = injector
+        self.retry_policy = retry_policy
+        if injector is not None:
+            injector.apply_to_fleet(self)
+        self._faults_applied = True
 
     def reset_timing(self) -> None:
         """Clear modelled port occupancy and sync logs (between replays).

@@ -21,13 +21,17 @@ DEFAULT_ICAP_BANDWIDTH_MB_S = 50.0
 
 @dataclass(frozen=True)
 class ReconfigurationEvent:
-    """One completed reconfiguration."""
+    """One completed (or failed) configuration-port occupancy."""
 
     device_name: str
     handle: int
     bitstream_bytes: int
     start_us: float
     duration_us: float
+    #: ``"applied"`` for a successful transfer; fault-injected attempts are
+    #: recorded as ``"failed-truncated"`` / ``"failed-corrupted"`` -- they
+    #: still occupy the serial port for the modelled duration.
+    status: str = "applied"
 
     @property
     def end_us(self) -> float:
@@ -76,6 +80,7 @@ class ReconfigurationController:
         now_us: float,
         *,
         duration_us: Optional[float] = None,
+        status: str = "applied",
     ) -> ReconfigurationEvent:
         """Schedule one reconfiguration at ``now_us``; returns the completed event.
 
@@ -83,7 +88,9 @@ class ReconfigurationController:
         one, so the event's start time may be later than ``now_us``.  An
         explicit ``duration_us`` overrides the bandwidth-derived transfer
         time (the fleet model's fixed ``--reconfig-us`` knob); the byte count
-        is still validated and recorded.
+        is still validated and recorded.  A non-``"applied"`` ``status``
+        records a fault-injected attempt: the port is occupied all the same,
+        but the caller knows the image did not land.
         """
         if duration_us is not None and duration_us < 0:
             raise PlatformError(f"duration_us must be non-negative, got {duration_us}")
@@ -100,10 +107,22 @@ class ReconfigurationController:
             bitstream_bytes=bitstream_bytes,
             start_us=start,
             duration_us=duration,
+            status=status,
         )
         self._busy_until_us = event.end_us
         self.events.append(event)
         return event
+
+    def restore_occupancy(self, busy_until_us: float) -> None:
+        """Restore the port's busy-until timestamp (journal crash recovery).
+
+        Only the occupancy affects future scheduling decisions, so it is the
+        only piece of controller state a journal snapshot carries; the event
+        log is reporting-only and restarts empty in the new incarnation.
+        """
+        if busy_until_us < 0:
+            raise PlatformError("restored port occupancy must be non-negative")
+        self._busy_until_us = float(busy_until_us)
 
     def total_reconfiguration_time_us(self) -> float:
         """Accumulated reconfiguration time across all events."""

@@ -1,0 +1,27 @@
+"""Fault tolerance for the serving stack (PR 7's resilience layer).
+
+The package models *failure* with the same discipline the rest of the repo
+models *time*: every fault is a pure function of virtual time and seeded
+counters, so a chaos run is exactly as replayable as a healthy one.
+
+* :mod:`repro.resilience.retry` -- :class:`RetryPolicy`, the single capped
+  exponential-backoff/jitter policy shared by fleet delta sync,
+  reconfiguration streaming and the daemon's ``/learn`` path;
+* :mod:`repro.resilience.faults` -- :class:`FaultPlan` /
+  :class:`FaultSpec` / :class:`FaultInjector`, the seeded fault-injection
+  harness that is spec-versioned through
+  :class:`~repro.serving.ServingSpec`.
+"""
+
+from .faults import FAULT_KINDS, HANG_END_US, FaultInjector, FaultPlan, FaultSpec
+from .retry import RetryPolicy, derive_rng
+
+__all__ = [
+    "FAULT_KINDS",
+    "HANG_END_US",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "derive_rng",
+]

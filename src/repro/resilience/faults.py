@@ -1,0 +1,254 @@
+"""Seeded, replayable fault injection for the serving stack.
+
+A :class:`FaultPlan` is a declarative list of :class:`FaultSpec` entries
+versioned through :class:`~repro.serving.ServingSpec` (so a capture of a
+chaos run embeds the exact faults it ran under, and replay rebuilds the
+identical failure schedule).  The :class:`FaultInjector` evaluates the
+plan; every predicate is a **pure function of virtual time and explicit
+counters** -- no stateful randomness -- which is what makes a chaos run
+bit-replayable and crash-recoverable.
+
+Fault classes (``FaultSpec.kind``):
+
+========================  =====================================================
+``worker_crash``          worker unavailable for ``[at_us, at_us+duration_us)``
+``worker_hang``           worker unavailable from ``at_us`` onwards (permanent)
+``slow_device``           worker service time scaled by ``factor`` in-window
+``stream_truncate``       image stream attempt aborts part-way (``factor`` of
+                          the modelled transfer occupies the port) in-window
+``stream_corrupt``        image stream attempt completes but fails verification
+                          (full transfer occupies the port) in-window
+``conn_drop``             every ``every``-th daemon connection is dropped
+``conn_stall``            every ``every``-th daemon connection stalls for
+                          ``duration_us`` before being served
+``learn_transient``       the first ``every`` application attempts of each
+                          ``/learn`` batch fail transiently
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.exceptions import ReproError
+
+__all__ = ["FAULT_KINDS", "FaultInjector", "FaultPlan", "FaultSpec", "HANG_END_US"]
+
+#: Recognised fault classes.
+FAULT_KINDS: Tuple[str, ...] = (
+    "worker_crash",
+    "worker_hang",
+    "slow_device",
+    "stream_truncate",
+    "stream_corrupt",
+    "conn_drop",
+    "conn_stall",
+    "learn_transient",
+)
+
+#: Virtual-time sentinel for "never ends" (hangs); far beyond any modelled run.
+HANG_END_US = 1e15
+
+_WORKER_DOWN_KINDS = ("worker_crash", "worker_hang")
+_STREAM_KINDS = ("stream_truncate", "stream_corrupt")
+_CONNECTION_KINDS = ("conn_drop", "conn_stall")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """One declarative fault.
+
+    ``target`` names a fleet worker (``"fpga0"``) or ``"*"`` for all;
+    connection and learn faults ignore it.  A ``duration_us`` of zero
+    means "open-ended" for windowed kinds.  ``every`` drives the modular
+    cadence of connection faults and the per-batch failure count of
+    ``learn_transient``; ``factor`` is the slow-device multiplier or the
+    truncated fraction of a stream transfer.
+    """
+
+    kind: str
+    target: str = "*"
+    at_us: float = 0.0
+    duration_us: float = 0.0
+    every: int = 0
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ReproError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.at_us < 0 or self.duration_us < 0:
+            raise ReproError("fault windows need non-negative at_us/duration_us")
+        if self.every < 0:
+            raise ReproError("fault cadence 'every' must be non-negative")
+        if self.factor <= 0:
+            raise ReproError("fault factor must be positive")
+        if self.kind in _CONNECTION_KINDS and self.every < 1:
+            raise ReproError(f"{self.kind} faults need every >= 1")
+
+    @property
+    def end_us(self) -> float:
+        """Exclusive end of the fault window in virtual time."""
+
+        if self.kind == "worker_hang" or self.duration_us <= 0:
+            return HANG_END_US
+        return self.at_us + self.duration_us
+
+    def active(self, now_us: float) -> bool:
+        """Whether the window covers virtual instant ``now_us``."""
+
+        return self.at_us <= now_us < self.end_us
+
+    def matches(self, target: str) -> bool:
+        return self.target == "*" or self.target == target
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "target": self.target,
+            "at_us": self.at_us,
+            "duration_us": self.duration_us,
+            "every": self.every,
+            "factor": self.factor,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "FaultSpec":
+        if not isinstance(payload, Mapping) or "kind" not in payload:
+            raise ReproError("a fault spec payload needs at least a 'kind'")
+        known = {field.name for field in dataclasses.fields(cls)}
+        kwargs = {key: payload[key] for key in payload if key in known}
+        return cls(**kwargs)
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """A seeded schedule of faults, carried on the serving spec wire format."""
+
+    seed: int = 0
+    faults: Tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.seed, int):
+            raise ReproError("fault plan seed must be an integer")
+        faults = tuple(
+            fault if isinstance(fault, FaultSpec) else FaultSpec.from_payload(fault)
+            for fault in self.faults
+        )
+        object.__setattr__(self, "faults", faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "faults": [fault.to_payload() for fault in self.faults],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "FaultPlan":
+        if not isinstance(payload, Mapping):
+            raise ReproError("fault plan payload must be a mapping")
+        faults: Sequence[object] = payload.get("faults", ())  # type: ignore[assignment]
+        return cls(
+            seed=int(payload.get("seed", 0)),  # type: ignore[arg-type]
+            faults=tuple(FaultSpec.from_payload(f) for f in faults),  # type: ignore[arg-type]
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        """Read a plan from a JSON file (the CLI's ``--fault-plan FILE``)."""
+
+        try:
+            with open(path, "r", encoding="utf-8") as stream:
+                payload = json.load(stream)
+        except (OSError, ValueError) as exc:
+            raise ReproError(f"cannot read fault plan from {path}: {exc}") from exc
+        return cls.from_payload(payload)
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` against virtual time.
+
+    The only mutable state is the connection counter, which lives at the
+    daemon socket layer (outside the modelled virtual-time world) and is
+    deliberately *not* part of engine state: connection faults perturb the
+    transport, never the answers.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        if not isinstance(plan, FaultPlan):
+            raise ReproError("FaultInjector needs a FaultPlan")
+        self.plan = plan
+        self._connections_seen = 0
+
+    # -- worker faults (virtual time) --------------------------------------------------
+
+    def worker_outages(self, worker: str) -> List[Tuple[float, float]]:
+        """Unavailability windows injected on ``worker`` (crashes and hangs)."""
+
+        return [
+            (fault.at_us, fault.end_us)
+            for fault in self.plan.faults
+            if fault.kind in _WORKER_DOWN_KINDS and fault.matches(worker)
+        ]
+
+    def worker_down(self, worker: str, now_us: float) -> bool:
+        """Whether a crash/hang fault covers ``worker`` at ``now_us``."""
+
+        return any(
+            fault.active(now_us)
+            for fault in self.plan.faults
+            if fault.kind in _WORKER_DOWN_KINDS and fault.matches(worker)
+        )
+
+    def service_factor(self, worker: str, now_us: float) -> float:
+        """Combined slow-device multiplier on ``worker`` at ``now_us``."""
+
+        factor = 1.0
+        for fault in self.plan.faults:
+            if fault.kind == "slow_device" and fault.matches(worker):
+                if fault.active(now_us):
+                    factor *= fault.factor
+        return factor
+
+    def stream_fault(self, worker: str, now_us: float) -> Optional[FaultSpec]:
+        """The stream fault hitting an image transfer started at ``now_us``."""
+
+        for fault in self.plan.faults:
+            if fault.kind in _STREAM_KINDS and fault.matches(worker):
+                if fault.active(now_us):
+                    return fault
+        return None
+
+    def apply_to_fleet(self, fleet) -> None:
+        """Install crash/hang windows as modelled outages on fleet workers."""
+
+        for worker in fleet.workers:
+            for start_us, end_us in self.worker_outages(worker.name):
+                worker.add_outage(start_us, end_us)
+
+    # -- daemon-layer faults (wall clock, counter cadence) -----------------------------
+
+    def connection_fault(self) -> Optional[FaultSpec]:
+        """The fault (if any) hitting the next accepted daemon connection."""
+
+        self._connections_seen += 1
+        for fault in self.plan.faults:
+            if fault.kind in _CONNECTION_KINDS and fault.every:
+                if self._connections_seen % fault.every == 0:
+                    return fault
+        return None
+
+    def learn_failures(self) -> int:
+        """Injected transient failures per ``/learn`` application attempt."""
+
+        return max(
+            (fault.every for fault in self.plan.faults
+             if fault.kind == "learn_transient"),
+            default=0,
+        )

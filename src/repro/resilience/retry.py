@@ -1,0 +1,99 @@
+"""The fleet-wide retry/timeout/backoff policy.
+
+One :class:`RetryPolicy` governs every retried operation in the serving
+stack -- fleet delta sync, reconfiguration streaming and the daemon's
+``/learn`` application path -- so chaos behaviour is tuned in exactly one
+place.  Two properties matter more than the usual knobs:
+
+* **Determinism.**  Jitter never draws from a shared, stateful RNG (its
+  state could not be restored across a crash-recovery replay).  Instead
+  :func:`derive_rng` derives a fresh ``random.Random`` from a string key,
+  so the jitter for (seed, operation, attempt) is a pure function of that
+  tuple -- identical in a live run, a capture replay and a journal
+  recovery.
+* **Deadline awareness.**  :meth:`RetryPolicy.next_attempt_us` refuses to
+  schedule an attempt past the request's admission deadline, so retries
+  can never spend budget the admission controller already promised away.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Optional
+
+from ..core.exceptions import ReproError
+
+__all__ = ["RetryPolicy", "derive_rng"]
+
+
+def derive_rng(seed: int, *key_parts: object) -> random.Random:
+    """A stateless, reproducible RNG for one logical operation.
+
+    Seeding ``random.Random`` with a string hashes it through SHA-512,
+    which is stable across processes and interpreter versions (unlike
+    ``hash()``), so the same ``(seed, *key_parts)`` tuple always yields
+    the same stream -- the property crash recovery depends on.
+    """
+
+    return random.Random("|".join(str(part) for part in (seed, *key_parts)))
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with bounded, seeded jitter.
+
+    ``delay_us(attempt)`` grows as ``base_delay_us * multiplier**attempt``
+    up to ``max_delay_us``; with a jitter fraction ``j`` the delay is
+    scaled by a factor drawn uniformly from ``[1 - j, 1 + j]``.
+    """
+
+    max_attempts: int = 3
+    base_delay_us: float = 200.0
+    multiplier: float = 2.0
+    max_delay_us: float = 20_000.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ReproError("retry policy needs max_attempts >= 1")
+        if self.base_delay_us < 0:
+            raise ReproError("retry policy base_delay_us must be non-negative")
+        if self.multiplier < 1.0:
+            raise ReproError("retry policy multiplier must be >= 1")
+        if self.max_delay_us < self.base_delay_us:
+            raise ReproError("retry policy max_delay_us must be >= base_delay_us")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ReproError("retry policy jitter must lie in [0, 1)")
+
+    def delay_us(self, attempt: int, *, rng: Optional[random.Random] = None) -> float:
+        """Backoff before retry number ``attempt`` (0-based), in microseconds."""
+
+        if attempt < 0:
+            raise ReproError("retry attempt numbers are 0-based and non-negative")
+        raw = min(self.base_delay_us * self.multiplier**attempt, self.max_delay_us)
+        if rng is not None and self.jitter:
+            raw *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return raw
+
+    def next_attempt_us(
+        self,
+        attempt: int,
+        finished_us: float,
+        *,
+        rng: Optional[random.Random] = None,
+        deadline_us: Optional[float] = None,
+    ) -> Optional[float]:
+        """Virtual-time start of the next attempt, or ``None`` if out of budget.
+
+        ``None`` means the retry would either exceed ``max_attempts`` or
+        start after ``deadline_us`` -- the caller must fail explicitly
+        instead of retrying.
+        """
+
+        if attempt + 1 >= self.max_attempts:
+            return None
+        start_us = finished_us + self.delay_us(attempt, rng=rng)
+        if deadline_us is not None and start_us > deadline_us:
+            return None
+        return start_us

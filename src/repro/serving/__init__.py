@@ -25,11 +25,18 @@ engines (PR 2):
   schema every engine-construction surface (Python API, CLI, HTTP daemon)
   builds from;
 * :mod:`repro.serving.daemon` -- :class:`ServingDaemon`, the ``repro serve``
-  asyncio HTTP/JSON service, plus the capture/replay differential helpers.
+  asyncio HTTP/JSON service, plus the capture/replay differential helpers;
+  with ``--journal`` it keeps a durable, crash-recoverable delta journal
+  (:mod:`repro.core.journal`) and recovers bit-identically on restart;
+* :mod:`repro.resilience` (re-exported here) -- seeded fault injection
+  (:class:`FaultPlan` / :class:`FaultInjector`) and the shared
+  :class:`RetryPolicy`; the cluster router tracks per-worker health and adds
+  the ``requeue`` admission rung under injected faults.
 """
 
+from ..resilience import FaultInjector, FaultPlan, FaultSpec, RetryPolicy
 from .admission import AdmissionController, AdmissionDecision, AdmissionVerdict
-from .cluster import ClusterDecision, ClusterRouter, ClusterServingEngine
+from .cluster import ClusterDecision, ClusterRouter, ClusterServingEngine, WorkerHealth
 from .daemon import DaemonThread, ServingDaemon, replay_capture, run_daemon
 from .engine import (
     OnlineLearner,
@@ -61,9 +68,13 @@ __all__ = [
     "ClusterRouter",
     "ClusterServingEngine",
     "DaemonThread",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
     "MetricsCollector",
     "MicroBatchScheduler",
     "OnlineLearner",
+    "RetryPolicy",
     "ScheduledBatch",
     "ServedRequest",
     "ServingConfig",
@@ -75,6 +86,7 @@ __all__ = [
     "ServingStatus",
     "ShardedRetriever",
     "TimedRequest",
+    "WorkerHealth",
     "WORKLOAD_FACTORIES",
     "build_shards",
     "percentile",

@@ -47,11 +47,19 @@ class AdmissionVerdict(enum.Enum):
     ADMIT_HARDWARE = "admit_hardware"
     DEGRADE_SOFTWARE = "degrade_software"
     REJECT_DEADLINE = "reject_deadline"
+    #: Transient-fault rung of the ladder (PR 7): every candidate worker is
+    #: quarantined right now, but the deadline still affords a later batch,
+    #: so the session carries the request into the next dispatch instead of
+    #: rejecting it.
+    REQUEUE = "requeue"
 
     @property
     def admitted(self) -> bool:
-        """Whether the request proceeds to retrieval dispatch."""
-        return self is not AdmissionVerdict.REJECT_DEADLINE
+        """Whether the request proceeds to retrieval dispatch *this batch*."""
+        return self in (
+            AdmissionVerdict.ADMIT_HARDWARE,
+            AdmissionVerdict.DEGRADE_SOFTWARE,
+        )
 
 
 @dataclass(frozen=True)

@@ -35,12 +35,13 @@ answering retrieval traffic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..allocation.feasibility import FeasibilityChecker
 from ..core.case_base import CaseBase
 from ..core.exceptions import ReproError
 from ..platform.fleet import HARDWARE, DeviceFleet, RetrievalWorker, WorkerSyncEvent
+from ..resilience import FaultInjector, RetryPolicy
 from .admission import AdmissionController, AdmissionDecision, AdmissionVerdict
 from .engine import ServingConfig, ServingEngine, ServingStatus
 from .loadgen import TimedRequest
@@ -52,6 +53,75 @@ class ClusterDecision(AdmissionDecision):
 
     worker: str = ""
     worker_kind: str = ""
+
+
+#: Worker health states (PR 7's graceful-degradation ladder).
+HEALTHY = "healthy"
+SUSPECT = "suspect"
+QUARANTINED = "quarantined"
+
+
+class WorkerHealth:
+    """Per-worker health tracking driven by fault observations.
+
+    The lifecycle is ``healthy -> suspect -> quarantined -> (probe) ->
+    healthy``: the first failure observation marks a worker *suspect* (still
+    routed, being watched), ``quarantine_after`` cumulative failures
+    quarantine it (routed around entirely), and after ``probe_interval_us``
+    of virtual time one dispatch may probe it -- a successful observation
+    re-admits the worker, a failed one re-arms the quarantine window.  All
+    observations are pure functions of virtual time (injected fault windows,
+    failed sync events), so health evolution is identical in live serving,
+    capture replay and journal recovery.
+    """
+
+    def __init__(
+        self,
+        names: Sequence[str],
+        *,
+        quarantine_after: int = 2,
+        probe_interval_us: float = 5_000.0,
+    ) -> None:
+        if quarantine_after < 1:
+            raise ReproError("quarantine_after must be at least 1")
+        if probe_interval_us < 0:
+            raise ReproError("probe_interval_us must be non-negative")
+        self.quarantine_after = quarantine_after
+        self.probe_interval_us = probe_interval_us
+        self.reset(names)
+
+    def reset(self, names: Sequence[str]) -> None:
+        """Every worker healthy, failure counters cleared."""
+        self.states: Dict[str, str] = {name: HEALTHY for name in names}
+        self.failures: Dict[str, int] = {name: 0 for name in names}
+        self.release_at_us: Dict[str, float] = {name: 0.0 for name in names}
+
+    def observe_failure(self, name: str, now_us: float) -> None:
+        """Record one fault observation (down window, failed image stream)."""
+        self.failures[name] += 1
+        if self.failures[name] >= self.quarantine_after:
+            self.states[name] = QUARANTINED
+            self.release_at_us[name] = now_us + self.probe_interval_us
+        else:
+            self.states[name] = SUSPECT
+
+    def observe_recovery(self, name: str, now_us: float) -> None:
+        """Record a healthy observation; re-admits after a due probe."""
+        if self.states[name] == QUARANTINED and now_us < self.release_at_us[name]:
+            return  # still serving out the quarantine window; no probe yet
+        self.states[name] = HEALTHY
+        self.failures[name] = 0
+
+    def routable(self, name: str, now_us: float) -> bool:
+        """Whether the router may assign work to ``name`` at ``now_us``."""
+        return self.states[name] != QUARANTINED or now_us >= self.release_at_us[name]
+
+    def counts(self) -> Dict[str, int]:
+        """``{state: worker count}`` for the metrics report."""
+        tally = {HEALTHY: 0, SUSPECT: 0, QUARANTINED: 0}
+        for state in self.states.values():
+            tally[state] += 1
+        return tally
 
 
 class ClusterRouter:
@@ -70,9 +140,25 @@ class ClusterRouter:
     <repro.platform.fleet.RetrievalWorker.available_from>`).
     """
 
-    def __init__(self, fleet: DeviceFleet, admission: AdmissionController) -> None:
+    def __init__(
+        self,
+        fleet: DeviceFleet,
+        admission: AdmissionController,
+        *,
+        fault_injector: Optional[FaultInjector] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
         self.fleet = fleet
         self.admission = admission
+        self.fault_injector = fault_injector
+        self.retry_policy = retry_policy
+        #: Health tracking only exists under fault injection: the healthy
+        #: fleet keeps its exact pre-PR 7 routing arithmetic.
+        self.health: Optional[WorkerHealth] = (
+            WorkerHealth([worker.name for worker in fleet.workers])
+            if fault_injector is not None
+            else None
+        )
         self._free_at_us: Dict[str, float] = {}
         self.assigned_counts: Dict[str, int] = {}
         self.busy_us: Dict[str, float] = {}
@@ -85,6 +171,36 @@ class ClusterRouter:
         self.busy_us = {worker.name: 0.0 for worker in self.fleet.workers}
         self.first_dispatch_us: Optional[float] = None
         self.last_completion_us = 0.0
+        self.requeue_count = 0
+        if self.health is not None:
+            self.health.reset([worker.name for worker in self.fleet.workers])
+
+    # -- health observation ------------------------------------------------------------
+
+    def _observe_health(self, now_us: float) -> None:
+        """Fold the injector's fault windows into the health tracker."""
+        assert self.health is not None and self.fault_injector is not None
+        for worker in self.fleet.workers:
+            if self.fault_injector.worker_down(worker.name, now_us):
+                self.health.observe_failure(worker.name, now_us)
+            else:
+                self.health.observe_recovery(worker.name, now_us)
+
+    def record_sync_failure(self, worker: str, now_us: float) -> None:
+        """Count an exhausted image-stream retry against the worker's health."""
+        if self.health is not None:
+            self.health.observe_failure(worker, now_us)
+
+    def _routable(
+        self, workers: Sequence[RetrievalWorker], now_us: float
+    ) -> List[RetrievalWorker]:
+        """The tier minus quarantined workers (probes re-admit them)."""
+        if self.health is None:
+            return list(workers)
+        return [
+            worker for worker in workers
+            if self.health.routable(worker.name, now_us)
+        ]
 
     def makespan_us(self) -> float:
         """Modelled span from the first dispatch to the last completion.
@@ -114,6 +230,10 @@ class ClusterRouter:
         best_finish = float("inf")
         for worker in workers:
             service = cycles / worker.clock_mhz
+            if self.fault_injector is not None:
+                # Slow-device faults stretch the modelled service time --
+                # a capacity effect only; rankings are unaffected.
+                service *= self.fault_injector.service_factor(worker.name, close_us)
             # Passing the service time keeps work from overlapping an outage:
             # a job that would still be running when the device goes down is
             # started after the window instead.
@@ -173,8 +293,12 @@ class ClusterRouter:
         if not entries:
             return []
         requests = [entry.request for entry in entries]
-        hardware_workers = self.fleet.hardware_workers
-        software_workers = self.fleet.software_workers
+        all_hardware = self.fleet.hardware_workers
+        all_software = self.fleet.software_workers
+        if self.health is not None:
+            self._observe_health(close_us)
+        hardware_workers = self._routable(all_hardware, close_us)
+        software_workers = self._routable(all_software, close_us)
         hardware_times = (
             self.admission.hardware_times_us(requests) if hardware_workers else None
         )
@@ -187,9 +311,21 @@ class ClusterRouter:
         )
         #: Software is the fallback tier behind hardware, or the primary
         #: tier of a software-only fleet (no degrade gating applies then).
+        #: The degrade gate looks at the *configured* fleet, not the
+        #: quarantine-filtered one: ``degrade_to_software=False`` must stay
+        #: honoured even while every hardware worker is quarantined.
         software_allowed = bool(software_workers) and (
-            degrade_to_software or not hardware_workers
+            degrade_to_software or not all_hardware
         )
+        #: A tier that exists but is entirely quarantined blocks requests the
+        #: healthy fleet would have served -- the ``REQUEUE`` rung below.
+        hardware_blocked = bool(all_hardware) and not hardware_workers
+        software_blocked = (
+            bool(all_software)
+            and (degrade_to_software or not all_hardware)
+            and not software_workers
+        )
+        quarantine_blocked = hardware_blocked or software_blocked
         decisions: List[ClusterDecision] = []
         for index, entry in enumerate(entries):
             wait_us = max(0.0, close_us - entry.arrival_us)
@@ -225,15 +361,62 @@ class ClusterRouter:
                         degrade_reason,
                     ))
                     continue
+            #: The transient-fault rung: every candidate the healthy fleet
+            #: would have tried is quarantined, and the deadline still
+            #: affords a later batch -- carry the request forward instead of
+            #: rejecting it.  The session bounds the carry by the retry
+            #: policy's attempt budget.
+            if (
+                quarantine_blocked
+                and self.retry_policy is not None
+                and (
+                    deadline is None
+                    or wait_us + self.retry_policy.base_delay_us <= deadline
+                )
+            ):
+                self.requeue_count += 1
+                decisions.append(ClusterDecision(
+                    verdict=AdmissionVerdict.REQUEUE,
+                    wait_us=wait_us,
+                    queue_us=0.0,
+                    service_us=0.0,
+                    cycles=0,
+                    deadline_us=deadline,
+                    reason=(
+                        "every routable worker is quarantined; "
+                        "requeued for a later dispatch"
+                    ),
+                ))
+                continue
             #: Rejection diagnostics mirror the two-server gate: the primary
-            #: tier's best candidate at assessment time.
-            if hardware_workers:
+            #: tier's best candidate at assessment time (falling back to the
+            #: unfiltered tier when quarantine emptied it).
+            diag_hardware = hardware_workers or all_hardware
+            if diag_hardware:
+                if hardware_times is None:
+                    hardware_times = self.admission.hardware_times_us(requests)
                 diag_cycles = hardware_times[index][0]
-                diag = self._best_candidate(hardware_workers, diag_cycles, close_us)
+                diag = self._best_candidate(diag_hardware, diag_cycles, close_us)
             else:
+                if software_times is None:
+                    software_times = self.admission.software_times_us(requests)
                 diag_cycles = software_times[index][0]
-                diag = self._best_candidate(software_workers, diag_cycles, close_us)
+                diag = self._best_candidate(
+                    software_workers or all_software, diag_cycles, close_us
+                )
             _, start_us, service_us = diag
+            if deadline is not None:
+                reject_reason = (
+                    f"deadline budget of {deadline:.1f} us cannot be met "
+                    f"(waited {wait_us:.1f} us)"
+                )
+                if quarantine_blocked:
+                    reject_reason += " with the remaining healthy workers"
+            else:
+                reject_reason = (
+                    "every fleet worker is quarantined and no retry "
+                    "budget is configured"
+                )
             decisions.append(ClusterDecision(
                 verdict=AdmissionVerdict.REJECT_DEADLINE,
                 wait_us=wait_us,
@@ -241,10 +424,7 @@ class ClusterRouter:
                 service_us=service_us,
                 cycles=diag_cycles,
                 deadline_us=deadline,
-                reason=(
-                    f"deadline budget of {deadline:.1f} us cannot be met "
-                    f"(waited {wait_us:.1f} us)"
-                ),
+                reason=reject_reason,
             ))
         return decisions
 
@@ -269,6 +449,14 @@ class ClusterServingEngine(ServingEngine):
         The device fleet answering the traffic.
     config / feasibility:
         As for :class:`ServingEngine`.
+    fault_injector:
+        Optional seeded :class:`~repro.resilience.FaultInjector`; enables
+        worker health tracking, quarantine routing and the ``requeue``
+        admission rung.
+    retry_policy:
+        Backoff budget for image-stream retries and request requeues
+        (defaults to :class:`~repro.resilience.RetryPolicy` when a fault
+        injector is present).
     """
 
     def __init__(
@@ -278,6 +466,8 @@ class ClusterServingEngine(ServingEngine):
         *,
         config: Optional[ServingConfig] = None,
         feasibility: Optional[FeasibilityChecker] = None,
+        fault_injector: Optional[FaultInjector] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if fleet.case_base is not case_base:
             raise ReproError(
@@ -286,7 +476,18 @@ class ClusterServingEngine(ServingEngine):
             )
         super().__init__(case_base, config=config, feasibility=feasibility)
         self.fleet = fleet
-        self.router = ClusterRouter(fleet, self.admission)
+        self.fault_injector = fault_injector
+        if retry_policy is None and fault_injector is not None:
+            retry_policy = RetryPolicy()
+        self.retry_policy = retry_policy
+        if fault_injector is not None:
+            fleet.apply_faults(fault_injector, retry_policy)
+        self.router = ClusterRouter(
+            fleet,
+            self.admission,
+            fault_injector=fault_injector,
+            retry_policy=retry_policy,
+        )
         self._replay_sync_events: List[WorkerSyncEvent] = []
 
     # -- admission hooks ---------------------------------------------------------------
@@ -305,7 +506,13 @@ class ClusterServingEngine(ServingEngine):
         close_us: float,
     ) -> List[AdmissionDecision]:
         """Sync device images, then route the batch across the fleet."""
-        self._replay_sync_events.extend(self.fleet.sync(close_us))
+        sync_events = self.fleet.sync(close_us)
+        for event in sync_events:
+            if event.status != "applied":
+                # An exhausted image-stream retry budget counts against the
+                # worker's health; its stale revision is retried next sync.
+                self.router.record_sync_failure(event.worker, close_us)
+        self._replay_sync_events.extend(sync_events)
         return self.router.route_batch(
             entries,
             close_us,
@@ -319,6 +526,95 @@ class ClusterServingEngine(ServingEngine):
         status, _ = super()._served_status(decision)
         worker = decision.worker if isinstance(decision, ClusterDecision) else ""
         return status, worker
+
+    # -- journal snapshot hooks --------------------------------------------------------
+
+    def _snapshot_ready(self) -> bool:
+        """Quiescent only once every device image tracks the case base.
+
+        Restoring a snapshot resets each worker's image revision to the
+        recovered case base's revision (the fleet is rebuilt over it), so a
+        snapshot taken with stale images would silently skip the pending
+        delta streams on recovery.  Gating compaction on image currency
+        keeps the restore exact.
+        """
+        return all(
+            worker.image_revision == self.case_base.revision
+            for worker in self.fleet.workers
+        )
+
+    def _state_snapshot(self, state: Dict[str, float]) -> Dict[str, object]:
+        router = self.router
+        snapshot: Dict[str, object] = {
+            "admission": dict(state),
+            "router": {
+                "free_at_us": dict(router._free_at_us),
+                "assigned_counts": dict(router.assigned_counts),
+                "busy_us": dict(router.busy_us),
+                "first_dispatch_us": router.first_dispatch_us,
+                "last_completion_us": router.last_completion_us,
+                "requeue_count": router.requeue_count,
+            },
+            "ports": {
+                worker.name: worker.controller.reconfiguration.busy_until_us()
+                for worker in self.fleet.workers
+                if worker.controller.reconfiguration is not None
+            },
+        }
+        if router.health is not None:
+            snapshot["health"] = {
+                "states": dict(router.health.states),
+                "failures": dict(router.health.failures),
+                "release_at_us": dict(router.health.release_at_us),
+            }
+        return snapshot
+
+    def _restore_state(
+        self, state: Dict[str, float], snapshot: Mapping[str, object]
+    ) -> None:
+        super()._restore_state(state, snapshot)
+        router_state = snapshot.get("router")
+        if not isinstance(router_state, Mapping):
+            raise ReproError("cluster snapshot is missing its router section")
+        router = self.router
+        try:
+            router._free_at_us = {
+                str(name): float(value)
+                for name, value in dict(router_state["free_at_us"]).items()
+            }
+            router.assigned_counts = {
+                str(name): int(value)
+                for name, value in dict(router_state["assigned_counts"]).items()
+            }
+            router.busy_us = {
+                str(name): float(value)
+                for name, value in dict(router_state["busy_us"]).items()
+            }
+            first = router_state["first_dispatch_us"]
+            router.first_dispatch_us = None if first is None else float(first)
+            router.last_completion_us = float(router_state["last_completion_us"])
+            router.requeue_count = int(router_state.get("requeue_count", 0))
+            ports = dict(snapshot.get("ports", {}))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReproError(f"malformed cluster snapshot state: {exc}") from exc
+        for worker in self.fleet.workers:
+            reconfiguration = worker.controller.reconfiguration
+            if reconfiguration is not None and worker.name in ports:
+                reconfiguration.restore_occupancy(float(ports[worker.name]))
+        health_state = snapshot.get("health")
+        if router.health is not None and isinstance(health_state, Mapping):
+            router.health.states = {
+                str(name): str(value)
+                for name, value in dict(health_state["states"]).items()
+            }
+            router.health.failures = {
+                str(name): int(value)
+                for name, value in dict(health_state["failures"]).items()
+            }
+            router.health.release_at_us = {
+                str(name): float(value)
+                for name, value in dict(health_state["release_at_us"]).items()
+            }
 
     def _extend_metrics(self, metrics_report: Dict[str, object]) -> None:
         """Add the per-worker fleet section to the replay metrics."""
@@ -377,3 +673,17 @@ class ClusterServingEngine(ServingEngine):
                 else None
             ),
         }
+        if self.fault_injector is not None and self.router.health is not None:
+            cluster_report = metrics_report["cluster"]
+            assert isinstance(cluster_report, dict)
+            cluster_report["resilience"] = {
+                "health": self.router.health.counts(),
+                "worker_states": dict(self.router.health.states),
+                "requeues": self.router.requeue_count,
+                "sync_retries": sum(
+                    max(0, event.attempts - 1) for event in sync_events
+                ),
+                "failed_syncs": sum(
+                    1 for event in sync_events if event.status != "applied"
+                ),
+            }

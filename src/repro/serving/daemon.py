@@ -37,7 +37,18 @@ Endpoints (all JSON, wire shapes from :mod:`repro.api.schemas`):
   daemon answers ``/retrieve`` with 503 (reconfiguration in progress).
 * ``GET /metrics`` -- the session's live metrics snapshot (latency
   percentiles, rejection rates, learning counters) plus daemon counters.
-* ``GET /healthz`` / ``GET /capture`` -- liveness and the capture document.
+* ``GET /healthz`` / ``GET /readyz`` / ``GET /capture`` -- liveness (always
+  200 once the socket is bound), readiness (503 ``{"status": "starting"}``
+  while journal recovery replays) and the capture document.
+
+**Durability (PR 7).**  With ``--journal DIR`` every flushed micro-batch and
+every applied ``/learn`` mutation batch is appended to an fsync-batched
+append-only journal (:class:`~repro.core.journal.DeltaJournal`) *before* any
+response future resolves, so a SIGKILL can only lose requests whose clients
+never saw a reply.  On restart the daemon loads the newest compacted
+snapshot, replays the committed journal tail through the same per-batch
+pipeline (absolute trace/batch indices, restored server-occupancy state) and
+then serves bit-identically to an uninterrupted daemon.
 
 The HTTP layer is a deliberately small stdlib ``asyncio.start_server``
 HTTP/1.1 implementation (keep-alive, ``Content-Length`` bodies): the
@@ -58,6 +69,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from ..api import schemas
 from ..core.case_base import CaseBase
 from ..core.exceptions import ReproError
+from ..core.journal import DeltaJournal, JournalError
+from ..resilience import FaultInjector, RetryPolicy
 from .engine import ServedRequest, ServingReport, ServingSession
 from .loadgen import TimedRequest
 from .scheduler import ScheduledBatch
@@ -126,7 +139,10 @@ class _MicroBatcher:
         entry = TimedRequest(
             arrival_us=stamp, request=request, deadline_us=deadline_us, note=note
         )
-        index = len(daemon.trace)
+        # Absolute frame: indices continue the killed incarnation's numbering
+        # after journal recovery, so response index/batch fields stay
+        # bit-identical to what an uninterrupted daemon would have served.
+        index = daemon._index_base + len(daemon.trace)
         daemon.trace.append(entry)
         future = daemon._loop.create_future()
         if not self.pending:
@@ -173,11 +189,12 @@ class _MicroBatcher:
             open_us=self.open_us,
             close_us=close_us,
         )
-        futures = {index: future for index, _, future in pending}
-        for record in self.daemon._process_batch(batch):
-            future = futures.get(record.index)
-            if future is not None and not future.done():
-                future.set_result(record)
+        # Futures are registered daemon-wide, not per flush: a ``requeue``
+        # verdict carries a request into a *later* batch, whose records
+        # resolve the original future then.
+        for index, _, future in pending:
+            self.daemon._futures[index] = future
+        self.daemon._process_batch(batch)
 
 
 class ServingDaemon:
@@ -198,6 +215,12 @@ class ServingDaemon:
         Optional allocation-layer feasibility checker, as for
         :class:`~repro.serving.engine.ServingEngine`.  Replay builds engines
         without one, so captures meant for offline replay should too.
+    journal_dir:
+        Directory of the durable delta journal (``repro serve --journal``).
+        ``None`` disables durability; an existing journal is recovered on
+        :meth:`start` (the daemon is not ready until recovery finishes).
+    snapshot_interval:
+        Commit groups between compacted snapshots (journal truncation).
     """
 
     def __init__(
@@ -207,12 +230,19 @@ class ServingDaemon:
         capture: bool = True,
         max_request_batch: int = 256,
         feasibility=None,
+        journal_dir: Optional[str] = None,
+        snapshot_interval: int = 64,
     ) -> None:
         if max_request_batch < 1:
             raise ReproError(
                 f"max_request_batch must be at least 1, got {max_request_batch}"
             )
+        if snapshot_interval < 1:
+            raise ReproError(
+                f"snapshot_interval must be at least 1, got {snapshot_interval}"
+            )
         self.spec = spec
+        self._feasibility = feasibility
         self.case_base = spec.resolve_case_base()
         #: Pre-serving structural snapshot; the capture embeds it so replay
         #: rebuilds the *exact* case base even after online learning or
@@ -237,6 +267,35 @@ class ServingDaemon:
         self._server: Optional[asyncio.AbstractServer] = None
         self.batcher = _MicroBatcher(self)
         self.address: Optional[Tuple[str, int]] = None
+        #: Outstanding response futures keyed by absolute trace index (see
+        #: :meth:`_MicroBatcher._flush`).
+        self._futures: Dict[int, asyncio.Future] = {}
+        # -- durability (PR 7) ---------------------------------------------------
+        self._journal_dir = journal_dir
+        self._snapshot_interval = snapshot_interval
+        self.journal: Optional[DeltaJournal] = None
+        #: Absolute index of this incarnation's first trace entry / first
+        #: live batch (0 unless recovered from a journal snapshot).
+        self._index_base = 0
+        self._capture_base_batch = 0
+        self._recovered_engine_state: Optional[Mapping] = None
+        self._delta_buffer: List[object] = []
+        self.ready = journal_dir is None
+        self._ready_event = threading.Event()
+        if self.ready:
+            self._ready_event.set()
+        self.recovery_error: Optional[BaseException] = None
+        self._recovery_future: Optional[asyncio.Future] = None
+        # -- fault injection (connection / learn faults live at this layer;
+        #    worker and stream faults live in the cluster engine) ----------------
+        self._fault_injector = (
+            FaultInjector(spec.fault_plan)
+            if spec.fault_plan is not None and len(spec.fault_plan)
+            else None
+        )
+        self._retry_policy = RetryPolicy()
+        self._learn_retries = 0
+        self._dropped_connections = 0
 
     # -- clock & batch plumbing --------------------------------------------------------
 
@@ -259,20 +318,55 @@ class ServingDaemon:
         if self.capture_enabled:
             for record in records:
                 self.responses[record.index] = record
+        if self.journal is not None:
+            entries = [entry for _, entry in batch.entries]
+            self.journal.append({
+                "kind": "journal-trace",
+                "batch": {
+                    "index": batch.index,
+                    "open_us": batch.open_us,
+                    "close_us": batch.close_us,
+                    "entries": [
+                        [index, wire] for (index, _), wire in zip(
+                            batch.entries, schemas.trace_to_wire(entries)
+                        )
+                    ],
+                },
+            })
         # A flush is the deterministic boundary deferred /learn mutations
         # land on: every already-processed batch held only smaller trace
         # indices, every later batch only larger ones, so offline replay can
         # re-apply each mutation batch at the recorded position.
         while self._queued_mutations:
             self._apply_mutations(self._queued_mutations.pop(0))
+        # Commit *before* resolving any response future: a reply a client can
+        # observe is a reply a restarted daemon will reproduce.  Uncommitted
+        # journal tails are dropped by the reader -- those requests never got
+        # an answer, so dropping them loses no observable state.
+        if self.journal is not None:
+            self._journal_sync(batch=batch.index)
+            self._maybe_compact()
+        for record in records:
+            future = self._futures.pop(record.index, None)
+            if future is not None and not future.done():
+                future.set_result(record)
         return records
 
     def _apply_mutations(self, events: Sequence[Mapping]) -> Dict[str, object]:
-        position = len(self.trace)
+        position = self._index_base + len(self.trace)
         if self.capture_enabled:
             self.learn_events.append(
                 {"position": position, "events": [dict(event) for event in events]}
             )
+        if self.journal is not None:
+            # Journaled before application: partial application on a semantic
+            # failure is deterministic, so replay reproduces the identical
+            # case-base state either way.
+            self.journal.append({
+                "kind": "journal-learn",
+                "position": position,
+                "events": [dict(event) for event in events],
+            })
         try:
             applied = schemas.apply_mutation_events(self.case_base, events)
         except ReproError as exc:
@@ -294,6 +388,189 @@ class ServingDaemon:
         """Whether a queued ``/learn`` batch is awaiting fleet propagation."""
         return self.is_cluster and bool(self._queued_mutations)
 
+    # -- durable journal ----------------------------------------------------------------
+
+    def _record_delta(self, delta) -> None:
+        """Delta-log tap: buffer every case-base delta for the next commit."""
+        self._delta_buffer.append(delta)
+
+    def _journal_sync(self, **marker: object) -> None:
+        """Flush the buffered delta stream and fsync one commit group."""
+        assert self.journal is not None
+        deltas, self._delta_buffer = self._delta_buffer, []
+        events: List[Dict[str, object]] = []
+        replayable = True
+        for delta in deltas:
+            try:
+                events.extend(schemas.delta_to_wire_events(delta))
+            except schemas.SchemaError:
+                # e.g. a bounds change: not expressible as wire mutations;
+                # engine-free recovery must start from a newer snapshot.
+                replayable = False
+        self.journal.append({
+            "kind": "journal-deltas",
+            "revision": self.case_base.revision,
+            "implementations": self.case_base.count_implementations(),
+            "replayable": replayable,
+            "events": events,
+        })
+        self.journal.commit(last_stamp_us=self._last_stamp_us, **marker)
+
+    def _snapshot_document(self) -> Dict[str, object]:
+        """The compacted ``journal-snapshot`` document (full recovery state)."""
+        return schemas.attach_envelope("journal-snapshot", {
+            "base_index": self._index_base + len(self.trace),
+            "base_batch": self._batch_count,
+            "last_stamp_us": self._last_stamp_us,
+            "revision": self.case_base.revision,
+            "implementations": self.case_base.count_implementations(),
+            "engine_state": self.session.state_snapshot(),
+            "case_base": self.case_base.to_dict(),
+            "spec": self.spec.to_wire(),
+        })
+
+    def _maybe_compact(self) -> None:
+        """Rotate to a fresh snapshot generation once the journal is long
+        enough *and* the serving state is quiescent (no open batch, no queued
+        mutations, no requeued requests, every device image current)."""
+        assert self.journal is not None
+        if self.journal.records_since_snapshot < self._snapshot_interval:
+            return
+        if self.batcher.pending or self._queued_mutations or self._delta_buffer:
+            return
+        if not self.session.quiescent():
+            return
+        self.journal.begin(self.journal.generation + 1, self._snapshot_document())
+
+    def _open_journal(self) -> None:
+        """Recover the journal directory and begin a fresh generation.
+
+        Runs on an executor thread while the event loop already answers
+        ``/healthz``; every serving route is gated on :attr:`ready` until
+        this finishes, so no request observes half-recovered state.
+        """
+        state = DeltaJournal.load(self._journal_dir)
+        if state.snapshot is not None:
+            self._restore_from_snapshot(state)
+        journal = DeltaJournal(self._journal_dir)
+        # A crash between tail replay and this snapshot cannot lose data:
+        # ``begin`` writes the new snapshot (which embeds the replayed tail)
+        # atomically before deleting the previous generation's files.
+        journal.begin(state.generation + 1, self._snapshot_document())
+        self.journal = journal
+        self.case_base.delta_log.attach_tap(self._record_delta)
+        # Continue the killed incarnation's virtual clock so timer flushes
+        # and new arrival stamps stay monotonic with the recovered trace.
+        self._t0 = time.monotonic() - self._last_stamp_us / 1e6
+
+    def _restore_from_snapshot(self, state) -> None:
+        """Rebuild engine + session from a snapshot and replay the tail."""
+        snapshot = state.snapshot
+        try:
+            spec = ServingSpec.from_wire(snapshot["spec"])
+        except (KeyError, schemas.SchemaError) as exc:
+            raise JournalError(f"unreadable journal snapshot spec: {exc}") from exc
+        if spec != self.spec:
+            raise JournalError(
+                "the journal was written under a different serving spec; "
+                "pass the original spec or point --journal at a fresh directory"
+            )
+        try:
+            case_base = CaseBase.from_dict(snapshot["case_base"])
+            base_index = int(snapshot["base_index"])
+            base_batch = int(snapshot["base_batch"])
+            last_stamp_us = float(snapshot["last_stamp_us"])
+            snapshot_revision = int(snapshot["revision"])
+            engine_state = snapshot["engine_state"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise JournalError(f"malformed journal snapshot: {exc}") from exc
+        # ``from_dict`` re-numbers revisions from zero; re-anchor the delta
+        # log so the fleet's incremental-sync windows stay consistent.
+        case_base.delta_log.rebase(case_base.revision)
+        base_revision = case_base.revision
+        self.case_base = case_base
+        self._case_base_snapshot = snapshot["case_base"] if self.capture_enabled else None
+        self._recovered_engine_state = (
+            engine_state if isinstance(engine_state, Mapping) else None
+        )
+        self.engine = self.spec.build_engine(case_base, feasibility=self._feasibility)
+        self.is_cluster = getattr(self.engine, "fleet", None) is not None
+        self.session = self.engine.session()
+        if isinstance(engine_state, Mapping):
+            self.session.restore_state(engine_state)
+        self._index_base = base_index
+        self._batch_count = base_batch
+        self._capture_base_batch = base_batch
+        self._last_stamp_us = last_stamp_us
+        self.trace = []
+        self.responses = {}
+        self.learn_events = []
+        self._learn_applied = 0
+        # Replay the committed tail through the identical per-batch pipeline.
+        # Requests in uncommitted (torn) groups were never answered, so
+        # dropping them loses nothing a client observed.
+        last_deltas: Optional[Mapping] = None
+        for record in state.records:
+            kind = record["kind"]
+            if kind == "journal-trace":
+                try:
+                    batch_doc = record["batch"]
+                    indices = [int(index) for index, _ in batch_doc["entries"]]
+                    entries = schemas.trace_from_wire(
+                        [wire for _, wire in batch_doc["entries"]],
+                        requester="http",
+                    )
+                    batch = ScheduledBatch(
+                        index=int(batch_doc["index"]),
+                        entries=list(zip(indices, entries)),
+                        open_us=float(batch_doc["open_us"]),
+                        close_us=float(batch_doc["close_us"]),
+                    )
+                except (KeyError, TypeError, ValueError, schemas.SchemaError) as exc:
+                    raise JournalError(f"malformed journal-trace record: {exc}") from exc
+                self.trace.extend(entries)
+                for served in self.session.process_batch(batch):
+                    if self.capture_enabled:
+                        self.responses[served.index] = served
+                self._batch_count = max(self._batch_count, batch.index + 1)
+                self._last_stamp_us = max(self._last_stamp_us, batch.close_us)
+            elif kind == "journal-learn":
+                events = list(record.get("events", []))
+                position = int(record.get("position", 0))
+                if self.capture_enabled:
+                    self.learn_events.append(
+                        {"position": position, "events": [dict(e) for e in events]}
+                    )
+                try:
+                    self._learn_applied += schemas.apply_mutation_events(
+                        self.case_base, events
+                    )
+                except ReproError:
+                    # The live daemon answered 409 and kept the (partially
+                    # applied, deterministic) state; replay matches it.
+                    pass
+            elif kind == "journal-deltas":
+                last_deltas = record
+        if last_deltas is not None:
+            advance = int(last_deltas["revision"]) - snapshot_revision
+            if (
+                advance != self.case_base.revision - base_revision
+                or int(last_deltas["implementations"])
+                != self.case_base.count_implementations()
+            ):
+                raise JournalError(
+                    "journal tail does not reconcile with the recovered case "
+                    "base (revision advance or implementation count mismatch)"
+                )
+
+    def _recovery_finished(self, future) -> None:
+        exc = future.exception()
+        if exc is not None:
+            self.recovery_error = exc
+        else:
+            self.ready = True
+        self._ready_event.set()
+
     # -- capture ------------------------------------------------------------------------
 
     def capture_document(self) -> Dict[str, object]:
@@ -306,6 +583,9 @@ class ServingDaemon:
             trace=self.trace,
             responses=[self.responses[index] for index in sorted(self.responses)],
             learn_events=self.learn_events,
+            base_index=self._index_base,
+            base_batch=self._capture_base_batch,
+            engine_state=self._recovered_engine_state,
         )
 
     # -- HTTP handlers ------------------------------------------------------------------
@@ -378,6 +658,23 @@ class ServingDaemon:
         schemas.check_envelope(payload, kind="learning-delta", required=False)
         events = payload["events"]
         schemas.validate_mutation_events(events)
+        if self._fault_injector is not None:
+            # Modelled transient ingestion faults (no wall-clock sleeps):
+            # the retry loop either succeeds within the policy's attempt
+            # budget -- counted, nothing else observable -- or exhausts it
+            # and fails *explicitly* before anything is journaled or
+            # captured, so replay never re-applies a rejected batch.
+            failures = self._fault_injector.learn_failures()
+            if failures:
+                if failures >= self._retry_policy.max_attempts:
+                    return 409, schemas.error_to_wire(
+                        "learn-unavailable",
+                        f"injected ingestion fault persisted across "
+                        f"{self._retry_policy.max_attempts} attempts; the "
+                        f"mutation batch was not applied",
+                        attempts=self._retry_policy.max_attempts,
+                    )
+                self._learn_retries += failures
         if self.batcher.pending:
             # Deterministic replay needs mutations at batch boundaries;
             # defer until the open batch flushes (at most max_wait_us away).
@@ -387,6 +684,11 @@ class ServingDaemon:
                 {"queued_events": len(events), "reconfiguring": self.is_cluster},
             )
         outcome = self._apply_mutations(events)
+        # Commit the idle-path application (semantic failures included:
+        # their partial application is state replay must reproduce) before
+        # the client can observe the outcome.
+        if self.journal is not None:
+            self._journal_sync(learn=True)
         if "error" in outcome:
             return 409, schemas.error_to_wire(
                 "mutation-failed", str(outcome["error"])
@@ -394,35 +696,58 @@ class ServingDaemon:
         return 200, schemas.attach_envelope("learning-applied", dict(outcome))
 
     def _handle_metrics(self) -> Tuple[int, Dict[str, object]]:
+        daemon_section = {
+            "requests": len(self.trace),
+            "batches": self._batch_count,
+            "pending": len(self.batcher.pending),
+            "learn_batches": len(self.learn_events),
+            "learn_events_applied": self._learn_applied,
+            "queued_mutation_batches": len(self._queued_mutations),
+            "reconfiguring": self.reconfiguring,
+            "engine": "cluster" if self.is_cluster else "single",
+        }
+        if self.journal is not None:
+            daemon_section["journal"] = {
+                "generation": self.journal.generation,
+                "records_since_snapshot": self.journal.records_since_snapshot,
+                "base_index": self._index_base,
+            }
+        if self._fault_injector is not None:
+            daemon_section["resilience"] = {
+                "learn_retries": self._learn_retries,
+                "dropped_connections": self._dropped_connections,
+            }
         return 200, schemas.metrics_to_wire(
-            self.session.metrics_snapshot(),
-            daemon={
-                "requests": len(self.trace),
-                "batches": self._batch_count,
-                "pending": len(self.batcher.pending),
-                "learn_batches": len(self.learn_events),
-                "learn_events_applied": self._learn_applied,
-                "queued_mutation_batches": len(self._queued_mutations),
-                "reconfiguring": self.reconfiguring,
-                "engine": "cluster" if self.is_cluster else "single",
-            },
+            self.session.metrics_snapshot(), daemon=daemon_section
         )
 
     def _handle_healthz(self) -> Tuple[int, Dict[str, object]]:
+        """Liveness: 200 from the moment the socket is bound."""
         return 200, schemas.attach_envelope(
             "health",
             {
-                "status": "ok",
+                "status": "ok" if self.ready else "starting",
                 "engine": "cluster" if self.is_cluster else "single",
                 "requests": len(self.trace),
             },
         )
+
+    def _handle_readyz(self) -> Tuple[int, Dict[str, object]]:
+        """Readiness: 503 until journal recovery finished (500 if it failed)."""
+        if self.recovery_error is not None:
+            return 500, schemas.error_to_wire(
+                "recovery-failed", str(self.recovery_error)
+            )
+        if not self.ready:
+            return 503, schemas.attach_envelope("health", {"status": "starting"})
+        return 200, schemas.attach_envelope("health", {"status": "ready"})
 
     async def _dispatch(
         self, method: str, path: str, body: bytes
     ) -> Tuple[int, Dict[str, object]]:
         routes = {
             "/healthz": ("GET", None),
+            "/readyz": ("GET", None),
             "/metrics": ("GET", None),
             "/capture": ("GET", None),
             "/retrieve": ("POST", self._handle_retrieve),
@@ -436,10 +761,21 @@ class ServingDaemon:
             return 405, schemas.error_to_wire(
                 "method-not-allowed", f"{path} expects {expected_method}"
             )
+        if path not in ("/healthz", "/readyz") and not self.ready:
+            if self.recovery_error is not None:
+                return 503, schemas.error_to_wire(
+                    "recovery-failed", str(self.recovery_error)
+                )
+            return 503, schemas.error_to_wire(
+                "starting",
+                "journal recovery in progress; poll /readyz",
+            )
         try:
             if handler is None:
                 if path == "/healthz":
                     return self._handle_healthz()
+                if path == "/readyz":
+                    return self._handle_readyz()
                 if path == "/metrics":
                     return self._handle_metrics()
                 return 200, self.capture_document()
@@ -459,6 +795,20 @@ class ServingDaemon:
     async def _serve_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        if self._fault_injector is not None:
+            fault = self._fault_injector.connection_fault()
+            if fault is not None:
+                if fault.kind == "conn_drop":
+                    # The injected network fault the client's retry loop must
+                    # absorb: close without a byte of response.
+                    self._dropped_connections += 1
+                    writer.close()
+                    with contextlib.suppress(Exception):
+                        await writer.wait_closed()
+                    return
+                # conn_stall: delay the accept path, then serve normally
+                # (bounded so the harness never hangs a test run).
+                await asyncio.sleep(min(fault.duration_us, 200_000.0) / 1e6)
         try:
             while True:
                 request_line = await reader.readline()
@@ -532,12 +882,23 @@ class ServingDaemon:
     # -- lifecycle ----------------------------------------------------------------------
 
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
-        """Bind and start accepting connections; returns ``(host, port)``."""
+        """Bind and start accepting connections; returns ``(host, port)``.
+
+        With a journal directory, recovery (snapshot load + tail replay)
+        runs on an executor thread after the bind: ``/healthz`` answers
+        immediately while ``/readyz`` and the serving routes gate on the
+        recovery finishing.
+        """
         self._loop = asyncio.get_running_loop()
         self._t0 = time.monotonic()
         self._server = await asyncio.start_server(self._serve_connection, host, port)
         sockname = self._server.sockets[0].getsockname()
         self.address = (sockname[0], sockname[1])
+        if self._journal_dir is not None and self.journal is None:
+            self._recovery_future = self._loop.run_in_executor(
+                None, self._open_journal
+            )
+            self._recovery_future.add_done_callback(self._recovery_finished)
         return self.address
 
     async def stop(self, *, capture_path: Optional[str] = None) -> None:
@@ -546,9 +907,24 @@ class ServingDaemon:
             self._server.close()
             with contextlib.suppress(Exception):
                 await self._server.wait_closed()
+        if self._recovery_future is not None and not self._recovery_future.done():
+            with contextlib.suppress(BaseException):
+                await self._recovery_future
         self.batcher.drain()
         while self._queued_mutations:
             self._apply_mutations(self._queued_mutations.pop(0))
+        # Requests still requeued at shutdown terminalise as explicit
+        # deadline rejections -- their waiting clients get a real reply.
+        for record in self.session.drain_requeued():
+            if self.capture_enabled:
+                self.responses[record.index] = record
+            future = self._futures.pop(record.index, None)
+            if future is not None and not future.done():
+                future.set_result(record)
+        if self.journal is not None:
+            self._journal_sync(shutdown=True)
+            self.case_base.delta_log.detach_tap(self._record_delta)
+            self.journal.close()
         if capture_path and self.capture_enabled:
             with open(capture_path, "w", encoding="utf-8") as stream:
                 stream.write(schemas.dumps(self.capture_document()))
@@ -566,18 +942,34 @@ def attach_capture(
     trace: Sequence[TimedRequest],
     responses: Sequence[ServedRequest],
     learn_events: Sequence[Mapping],
+    base_index: int = 0,
+    base_batch: int = 0,
+    engine_state: Optional[Mapping] = None,
 ) -> Dict[str, object]:
-    """Assemble a versioned ``serving-capture`` document."""
-    return schemas.attach_envelope(
-        "serving-capture",
-        {
-            "spec": spec.to_wire(),
-            "case_base": case_base_snapshot,
-            "trace": schemas.trace_to_wire(trace),
-            "responses": [schemas.served_request_to_wire(r) for r in responses],
-            "learn_events": [dict(event) for event in learn_events],
-        },
-    )
+    """Assemble a versioned ``serving-capture`` document.
+
+    A journal-recovered daemon's capture starts at its snapshot point:
+    ``base_index`` / ``base_batch`` shift the replayed trace and batch
+    indices into the original daemon's absolute frame, and ``engine_state``
+    carries the snapshot's server-occupancy state so replay prices the first
+    post-snapshot batches against the same backlog.  The three keys are
+    omitted for ordinary (fresh-start) captures, keeping their documents
+    byte-identical with earlier releases.
+    """
+    payload: Dict[str, object] = {
+        "spec": spec.to_wire(),
+        "case_base": case_base_snapshot,
+        "trace": schemas.trace_to_wire(trace),
+        "responses": [schemas.served_request_to_wire(r) for r in responses],
+        "learn_events": [dict(event) for event in learn_events],
+    }
+    if base_index or base_batch or engine_state is not None:
+        payload["base_index"] = int(base_index)
+        payload["base_batch"] = int(base_batch)
+        payload["engine_state"] = (
+            dict(engine_state) if engine_state is not None else None
+        )
+    return schemas.attach_envelope("serving-capture", payload)
 
 
 def replay_capture(document: Mapping) -> ServingReport:
@@ -602,11 +994,27 @@ def replay_capture(document: Mapping) -> ServingReport:
     trace = schemas.trace_from_wire(document["trace"], requester="http")
     engine = spec.build_engine(case_base)
     session = engine.session()
+    base_index = int(document.get("base_index", 0) or 0)
+    base_batch = int(document.get("base_batch", 0) or 0)
+    engine_state = document.get("engine_state")
+    if isinstance(engine_state, Mapping):
+        session.restore_state(engine_state)
     mutations = sorted(
         (dict(event) for event in document.get("learn_events", [])),
         key=lambda event: int(event.get("position", 0)),
     )
     for batch in engine.scheduler.batches(trace):
+        if base_index or base_batch:
+            # Journal-recovered captures live in the original daemon's
+            # absolute index frame (see ``attach_capture``).
+            batch = ScheduledBatch(
+                index=batch.index + base_batch,
+                entries=[
+                    (index + base_index, entry) for index, entry in batch.entries
+                ],
+                open_us=batch.open_us,
+                close_us=batch.close_us,
+            )
         first_index = batch.entries[0][0]
         while mutations and int(mutations[0].get("position", 0)) <= first_index:
             with contextlib.suppress(ReproError):
@@ -627,15 +1035,25 @@ def run_daemon(
     port: int = 8734,
     capture_path: Optional[str] = None,
     max_request_batch: int = 256,
+    journal_dir: Optional[str] = None,
+    snapshot_interval: int = 64,
     announce=None,
 ) -> None:
     """Blocking entry point behind ``repro serve`` (SIGINT/SIGTERM to stop)."""
 
     async def _main() -> None:
-        daemon = ServingDaemon(spec, max_request_batch=max_request_batch)
+        daemon = ServingDaemon(
+            spec,
+            max_request_batch=max_request_batch,
+            journal_dir=journal_dir,
+            snapshot_interval=snapshot_interval,
+        )
         bound_host, bound_port = await daemon.start(host, port)
         if announce is not None:
             announce(bound_host, bound_port)
+        if daemon._recovery_future is not None:
+            # Surface recovery failures instead of serving 503s forever.
+            await daemon._recovery_future
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGINT, signal.SIGTERM):
@@ -668,12 +1086,24 @@ class DaemonThread:
         port: int = 0,
         capture_path: Optional[str] = None,
         max_request_batch: int = 256,
+        journal_dir: Optional[str] = None,
+        snapshot_interval: int = 64,
+        wait_ready: bool = True,
+        hard_stop: bool = False,
     ) -> None:
         self.spec = spec
         self.host = host
         self.port = port
         self.capture_path = capture_path
         self.max_request_batch = max_request_batch
+        self.journal_dir = journal_dir
+        self.snapshot_interval = snapshot_interval
+        #: Block ``__enter__`` until journal recovery finished (and re-raise
+        #: its error); set False to poke ``/readyz`` mid-recovery.
+        self.wait_ready = wait_ready
+        #: Exit by dropping the socket without draining or committing -- the
+        #: in-process stand-in for ``kill -9`` in crash-recovery tests.
+        self.hard_stop = hard_stop
         self.daemon: Optional[ServingDaemon] = None
         self._thread: Optional[threading.Thread] = None
         self._started = threading.Event()
@@ -688,6 +1118,16 @@ class DaemonThread:
             raise ReproError("serving daemon failed to start within 30 s")
         if self._startup_error is not None:
             raise self._startup_error
+        if self.wait_ready and self.daemon is not None:
+            if not self.daemon._ready_event.wait(timeout=60.0):
+                self.__exit__(None, None, None)
+                raise ReproError("journal recovery did not finish within 60 s")
+            if self.daemon.recovery_error is not None:
+                # __exit__ never runs when __enter__ raises; stop the thread
+                # here so a failed-recovery test leaves nothing behind.
+                error = self.daemon.recovery_error
+                self.__exit__(None, None, None)
+                raise error
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -707,12 +1147,25 @@ class DaemonThread:
         self._loop = asyncio.get_running_loop()
         self._stop = asyncio.Event()
         self.daemon = ServingDaemon(
-            self.spec, max_request_batch=self.max_request_batch
+            self.spec,
+            max_request_batch=self.max_request_batch,
+            journal_dir=self.journal_dir,
+            snapshot_interval=self.snapshot_interval,
         )
         self.host, self.port = await self.daemon.start(self.host, self.port)
         self._started.set()
         await self._stop.wait()
-        await self.daemon.stop(capture_path=self.capture_path)
+        if self.hard_stop:
+            # Crash simulation: close the socket and vanish.  Nothing drains,
+            # nothing commits -- exactly the state a SIGKILL leaves behind
+            # (committed journal groups durable, the torn tail dropped).
+            if self.daemon._server is not None:
+                self.daemon._server.close()
+            if self.daemon._recovery_future is not None:
+                with contextlib.suppress(BaseException):
+                    await self.daemon._recovery_future
+        else:
+            await self.daemon.stop(capture_path=self.capture_path)
 
 
 def _wire_deadline_us(payload: Mapping) -> Optional[float]:

@@ -25,7 +25,7 @@ from __future__ import annotations
 import enum
 import time
 from dataclasses import asdict, dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..allocation.feasibility import FeasibilityChecker
 from ..core.caching import RevisionTrackedCache
@@ -287,6 +287,11 @@ class ServingSession:
             if learner is not None
             else None
         )
+        #: Requests carried into the next batch by the ``REQUEUE`` verdict:
+        #: ``(trace_index, entry, attempts, last_batch_index, last_close_us)``.
+        self._requeued: List[Tuple[int, TimedRequest, int, int, float]] = []
+        policy = getattr(engine, "retry_policy", None)
+        self._requeue_limit = policy.max_attempts if policy is not None else 1
         self._start = time.perf_counter()
 
     def process_batch(self, batch) -> List[ServedRequest]:
@@ -294,7 +299,15 @@ class ServingSession:
         engine = self.engine
         self.metrics.observe_batch(len(batch))
         produced: Dict[int, ServedRequest] = {}
-        dispatchable: List[Tuple[int, TimedRequest]] = []
+        # Requeued carry-overs re-enter the dispatch ahead of this batch's
+        # arrivals (they are older); they were already screened when first
+        # dispatched, so they skip straight to admission.
+        carried = self._requeued
+        self._requeued = []
+        requeue_attempts = {index: attempts for index, _, attempts, _, _ in carried}
+        dispatchable: List[Tuple[int, TimedRequest]] = [
+            (trace_index, entry) for trace_index, entry, _, _, _ in carried
+        ]
         for trace_index, entry in batch.entries:
             failure = engine._screen(entry.request)
             if failure is not None:
@@ -318,6 +331,27 @@ class ServingSession:
             for (trace_index, entry), decision in zip(dispatchable, decisions):
                 if decision.verdict.admitted:
                     admitted.append((trace_index, entry, decision))
+                elif decision.verdict is AdmissionVerdict.REQUEUE:
+                    attempts = requeue_attempts.get(trace_index, 0) + 1
+                    if attempts >= self._requeue_limit:
+                        produced[trace_index] = ServedRequest(
+                            index=trace_index,
+                            arrival_us=entry.arrival_us,
+                            batch_index=batch.index,
+                            status=ServingStatus.REJECTED_DEADLINE,
+                            wait_us=decision.wait_us,
+                            queue_us=decision.queue_us,
+                            service_us=decision.service_us,
+                            cycles=decision.cycles,
+                            reason=(
+                                f"{decision.reason} (requeue budget of "
+                                f"{self._requeue_limit} attempts exhausted)"
+                            ),
+                        )
+                    else:
+                        self._requeued.append(
+                            (trace_index, entry, attempts, batch.index, batch.close_us)
+                        )
                 else:
                     produced[trace_index] = ServedRequest(
                         index=trace_index,
@@ -415,8 +449,54 @@ class ServingSession:
             report["learning"] = learning
         return report
 
+    def drain_requeued(self) -> List[ServedRequest]:
+        """Terminalise requests still requeued when the session ends.
+
+        A requeued request that never found a recovered worker cannot stay
+        in limbo: it becomes an explicit deadline rejection, recorded (and
+        counted in the metrics) exactly the same way in a live daemon drain
+        and in an offline replay, so captures stay bit-identical.
+        """
+        drained: List[ServedRequest] = []
+        for trace_index, entry, attempts, batch_index, close_us in self._requeued:
+            record = ServedRequest(
+                index=trace_index,
+                arrival_us=entry.arrival_us,
+                batch_index=batch_index,
+                status=ServingStatus.REJECTED_DEADLINE,
+                wait_us=max(0.0, close_us - entry.arrival_us),
+                reason=(
+                    f"requeued {attempts} time(s); the session ended before a "
+                    "quarantined worker recovered"
+                ),
+            )
+            self.records[trace_index] = record
+            self.metrics.observe_request(record.status.value, latency_us=None)
+            drained.append(record)
+        self._requeued = []
+        return drained
+
+    def state_snapshot(self) -> Dict[str, object]:
+        """Restorable server-occupancy state (the journal's ``engine_state``)."""
+        return self.engine._state_snapshot(self._admission_state)
+
+    def restore_state(self, snapshot: Mapping[str, object]) -> None:
+        """Adopt a :meth:`state_snapshot` taken by a previous incarnation."""
+        self.engine._restore_state(self._admission_state, snapshot)
+
+    def quiescent(self) -> bool:
+        """Whether the session can be snapshotted without losing state.
+
+        True when no requests are requeued and the engine reports its own
+        state fully consistent (for a cluster: every worker's image is at
+        the current case-base revision, so a recovered fleet's incremental
+        versus full sync decisions match the uninterrupted run's).
+        """
+        return not self._requeued and self.engine._snapshot_ready()
+
     def finish(self) -> ServingReport:
         """Close the session and assemble the final report."""
+        self.drain_requeued()
         self.metrics.wall_seconds = time.perf_counter() - self._start
         metrics_report = self.metrics.report()
         self.engine._extend_metrics(metrics_report)
@@ -493,6 +573,9 @@ class ServingEngine:
         )
         #: Optional online-learning adapter (revise + retain between batches).
         self.learner = OnlineLearner(case_base, self.config) if self.config.learn else None
+        #: Retry/backoff policy (PR 7); the base engine never requeues, so it
+        #: stays ``None`` unless a fault-aware subclass installs one.
+        self.retry_policy = None
 
     # -- request screening ---------------------------------------------------------
 
@@ -692,6 +775,29 @@ class ServingEngine:
         if decision.verdict is AdmissionVerdict.DEGRADE_SOFTWARE:
             return ServingStatus.SERVED_SOFTWARE, ""
         return ServingStatus.SERVED_HARDWARE, ""
+
+    def _state_snapshot(self, state: Dict[str, float]) -> Dict[str, object]:
+        """Serialisable occupancy state for the durability journal.
+
+        The base engine's whole cross-batch state is the two-server free-at
+        dict; the cluster engine overrides this pair of hooks to also carry
+        router bookkeeping and reconfiguration-port occupancy.
+        """
+        return {"admission": dict(state)}
+
+    def _restore_state(
+        self, state: Dict[str, float], snapshot: Mapping[str, object]
+    ) -> None:
+        """Adopt a :meth:`_state_snapshot` into a fresh session's state."""
+        admission = snapshot.get("admission", {})
+        if not isinstance(admission, Mapping):
+            raise ReproError("journal engine_state has a malformed admission section")
+        state.clear()
+        state.update({str(key): float(value) for key, value in admission.items()})
+
+    def _snapshot_ready(self) -> bool:
+        """Whether a journal snapshot taken now loses no engine state."""
+        return True
 
     def _extend_metrics(self, metrics_report: Dict[str, object]) -> None:
         """Hook for subclasses to add sections to the metrics report."""

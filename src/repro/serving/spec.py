@@ -33,13 +33,10 @@ from typing import Dict, List, Mapping, Optional, Tuple
 from ..api import schemas
 from ..core.case_base import CaseBase
 from ..core.exceptions import ReproError
+from ..resilience import FaultPlan
 
 #: Spec fields whose ``ServingConfig`` counterpart is named differently.
 _CONFIG_FIELD_MAP = {"shards": "shard_count"}
-
-#: Legacy ``ServingConfig``-style keyword names accepted by the deprecation
-#: shims, mapped onto spec field names.
-_LEGACY_KWARG_MAP = {"shard_count": "shards"}
 
 
 @dataclass(frozen=True)
@@ -82,8 +79,22 @@ class ServingSpec:
     learning_rate: float = 0.5
     novelty_threshold: float = 0.9
     learn_capacity: int = 16
+    # -- resilience axis (PR 7) -----------------------------------------------------
+    #: Seeded fault-injection plan (``None`` = no faults).  A spec axis so a
+    #: chaos run's capture replays -- and a crashed daemon recovers -- under
+    #: the exact fault schedule that served it.
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
+        if isinstance(self.fault_plan, Mapping):
+            object.__setattr__(
+                self, "fault_plan", FaultPlan.from_payload(self.fault_plan)
+            )
+        if self.fault_plan is not None and not isinstance(self.fault_plan, FaultPlan):
+            raise ReproError(
+                f"fault_plan must be a FaultPlan or its payload mapping, "
+                f"got {type(self.fault_plan).__name__}"
+            )
         if self.backend not in ("vectorized", "naive"):
             raise ReproError(
                 f"unknown backend {self.backend!r}; expected 'vectorized' or 'naive'"
@@ -141,27 +152,6 @@ class ServingSpec:
             novelty_threshold=self.novelty_threshold,
             learn_capacity=self.learn_capacity,
         )
-
-    @classmethod
-    def from_engine_kwargs(cls, **kwargs: object) -> "ServingSpec":
-        """Build a spec from legacy ``ServingConfig``-style keyword overrides.
-
-        The deprecation shims in :class:`~repro.api.ApplicationAPI` route the
-        old ``serving_engine(shard_count=4, learn=True)`` call style through
-        here; unknown keywords fail loudly, exactly like the old
-        ``ServingConfig(**overrides)`` construction did.
-        """
-        mapped: Dict[str, object] = {}
-        valid = {field.name for field in dataclasses.fields(cls)}
-        for name, value in kwargs.items():
-            target = _LEGACY_KWARG_MAP.get(name, name)
-            if target not in valid:
-                raise ReproError(
-                    f"unknown serving option {name!r} (spec fields: "
-                    f"{', '.join(sorted(valid))})"
-                )
-            mapped[target] = value
-        return cls(**mapped)
 
     # -- construction: case base, trace, fleet, engine -------------------------------
 
@@ -267,8 +257,17 @@ class ServingSpec:
                 hardware_config=config.hardware_config,
                 repository=repository,
             )
+        fault_injector = None
+        if self.fault_plan is not None and len(self.fault_plan):
+            from ..resilience import FaultInjector
+
+            fault_injector = FaultInjector(self.fault_plan)
         return ClusterServingEngine(
-            case_base, fleet, config=config, feasibility=feasibility
+            case_base,
+            fleet,
+            config=config,
+            feasibility=feasibility,
+            fault_injector=fault_injector,
         )
 
     # -- CLI surface -----------------------------------------------------------------
@@ -326,6 +325,10 @@ class ServingSpec:
         sub.add_argument("--learn-capacity", type=int, default=16,
                          help="per-type implementation capacity for retained "
                               "cases (default 16)")
+        sub.add_argument("--fault-plan", metavar="FILE", default=None,
+                         help="JSON fault-injection plan (seeded worker / "
+                              "stream / connection faults) applied to the "
+                              "run -- see repro.resilience.FaultPlan")
 
     @staticmethod
     def add_cluster_arguments(sub: argparse.ArgumentParser) -> None:
@@ -389,6 +392,11 @@ class ServingSpec:
                 args, "novelty_threshold", defaults.novelty_threshold
             ),
             learn_capacity=getattr(args, "learn_capacity", defaults.learn_capacity),
+            fault_plan=(
+                FaultPlan.load(args.fault_plan)
+                if getattr(args, "fault_plan", None)
+                else None
+            ),
         )
 
     # -- wire surface ----------------------------------------------------------------
@@ -397,6 +405,9 @@ class ServingSpec:
         """The versioned wire form (embedded in captures, ``GET /capture``)."""
         payload = dataclasses.asdict(self)
         payload["workloads"] = list(self.workloads)
+        payload["fault_plan"] = (
+            self.fault_plan.to_payload() if self.fault_plan is not None else None
+        )
         return schemas.attach_envelope("serving-spec", payload)
 
     @classmethod

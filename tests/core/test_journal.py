@@ -1,0 +1,266 @@
+"""Durable delta journal: fsync groups, compaction, crash-shaped file states.
+
+The journal's contract is narrow but strict: a reader sees exactly the
+records covered by a commit marker (never a torn or uncommitted tail),
+one generation exists at a time, and a snapshot plus the journalled delta
+windows rebuilds the case base even after the bounded in-memory
+``DeltaLog`` has truncated.
+"""
+
+import json
+
+import pytest
+
+from repro.api import schemas
+from repro.core import CaseBase, ReproError
+from repro.core.deltas import DeltaLog
+from repro.core.journal import (
+    DeltaJournal,
+    JournalError,
+    JournalState,
+    recover_case_base,
+)
+from repro.tools import CaseBaseGenerator, GeneratorSpec
+
+
+@pytest.fixture
+def generator():
+    return CaseBaseGenerator(
+        GeneratorSpec(
+            type_count=4,
+            implementations_per_type=5,
+            attributes_per_implementation=6,
+            attribute_type_count=8,
+        ),
+        seed=21,
+    )
+
+
+def _snapshot_document(case_base: CaseBase) -> dict:
+    return schemas.attach_envelope(
+        "journal-snapshot",
+        {
+            "case_base": case_base.to_dict(),
+            "revision": case_base.revision,
+            "implementations": case_base.count_implementations(),
+        },
+    )
+
+
+def _journal_path(journal: DeltaJournal):
+    return journal.directory / f"journal-{journal.generation}.jsonl"
+
+
+class TestWriteReadRoundTrip:
+    def test_committed_groups_round_trip(self, tmp_path, generator):
+        journal = DeltaJournal(tmp_path)
+        journal.begin(0, _snapshot_document(generator.case_base()))
+        journal.append({"kind": "journal-learn", "position": 0, "events": []})
+        journal.append({"kind": "journal-trace", "batch": {"index": 0}})
+        assert journal.commit(batch=0) == 2
+        journal.append({"kind": "journal-learn", "position": 1, "events": []})
+        assert journal.commit() == 1
+        journal.close()
+
+        state = DeltaJournal.load(tmp_path)
+        assert state.generation == 0
+        assert state.snapshot["kind"] == "journal-snapshot"
+        assert [record["kind"] for record in state.records] == [
+            "journal-learn", "journal-trace", "journal-learn",
+        ]
+        assert journal.records_since_snapshot == 3
+
+    def test_empty_directory_loads_as_no_generation(self, tmp_path):
+        assert DeltaJournal.load(tmp_path) == JournalState()
+        assert DeltaJournal.load(tmp_path / "missing") == JournalState()
+
+    def test_append_before_begin_is_an_error(self, tmp_path):
+        journal = DeltaJournal(tmp_path)
+        with pytest.raises(JournalError, match="begin"):
+            journal.append({"kind": "journal-learn"})
+        with pytest.raises(JournalError, match="begin"):
+            journal.commit()
+
+    def test_generations_must_advance(self, tmp_path, generator):
+        snapshot = _snapshot_document(generator.case_base())
+        journal = DeltaJournal(tmp_path)
+        journal.begin(2, snapshot)
+        with pytest.raises(JournalError, match="advance"):
+            journal.begin(2, snapshot)
+        with pytest.raises(JournalError, match="advance"):
+            journal.begin(1, snapshot)
+
+
+class TestCrashShapedStates:
+    """Exactly the on-disk states a crash can produce are tolerated."""
+
+    def _journal_with_one_group(self, tmp_path, generator):
+        journal = DeltaJournal(tmp_path)
+        journal.begin(0, _snapshot_document(generator.case_base()))
+        journal.append({"kind": "journal-trace", "batch": {"index": 0}})
+        journal.commit(batch=0)
+        return journal
+
+    def test_uncommitted_records_are_dropped(self, tmp_path, generator):
+        journal = self._journal_with_one_group(tmp_path, generator)
+        # Crash between write and fsync: records on disk but no marker.
+        with open(_journal_path(journal), "a", encoding="utf-8") as stream:
+            stream.write(json.dumps({"kind": "journal-learn", "position": 9}) + "\n")
+        journal.close()
+        state = DeltaJournal.load(tmp_path)
+        assert [record["kind"] for record in state.records] == ["journal-trace"]
+
+    def test_torn_final_line_is_dropped(self, tmp_path, generator):
+        journal = self._journal_with_one_group(tmp_path, generator)
+        with open(_journal_path(journal), "a", encoding="utf-8") as stream:
+            stream.write('{"kind": "journal-le')  # crash mid-write
+        journal.close()
+        state = DeltaJournal.load(tmp_path)
+        assert [record["kind"] for record in state.records] == ["journal-trace"]
+
+    def test_missing_journal_file_after_compaction(self, tmp_path, generator):
+        journal = self._journal_with_one_group(tmp_path, generator)
+        journal.close()
+        _journal_path(journal).unlink()
+        state = DeltaJournal.load(tmp_path)
+        assert state.generation == 0
+        assert state.records == []
+
+    def test_garbage_mid_file_raises(self, tmp_path, generator):
+        journal = self._journal_with_one_group(tmp_path, generator)
+        path = _journal_path(journal)
+        with open(path, "a", encoding="utf-8") as stream:
+            stream.write("not json at all\n")
+            stream.write(json.dumps({"kind": "journal-commit", "records": 0}) + "\n")
+        journal.close()
+        with pytest.raises(JournalError, match="corrupt"):
+            DeltaJournal.load(tmp_path)
+
+    def test_unknown_record_kind_raises(self, tmp_path, generator):
+        journal = self._journal_with_one_group(tmp_path, generator)
+        path = _journal_path(journal)
+        with open(path, "a", encoding="utf-8") as stream:
+            stream.write(json.dumps({"kind": "journal-mystery"}) + "\n")
+            stream.write(json.dumps({"kind": "journal-commit", "records": 1}) + "\n")
+        journal.close()
+        with pytest.raises(JournalError, match="unknown kind"):
+            DeltaJournal.load(tmp_path)
+
+    def test_unparsable_snapshot_raises(self, tmp_path):
+        (tmp_path / "snapshot-0.json").write_text("{broken", encoding="utf-8")
+        with pytest.raises(JournalError, match="unreadable"):
+            DeltaJournal.load(tmp_path)
+
+    def test_wrong_document_kind_raises(self, tmp_path):
+        (tmp_path / "snapshot-0.json").write_text(
+            json.dumps({"kind": "serving-capture"}), encoding="utf-8"
+        )
+        with pytest.raises(JournalError, match="journal-snapshot"):
+            DeltaJournal.load(tmp_path)
+
+
+class TestCompaction:
+    def test_begin_rotates_generations_atomically(self, tmp_path, generator):
+        case_base = generator.case_base()
+        journal = DeltaJournal(tmp_path)
+        journal.begin(0, _snapshot_document(case_base))
+        journal.append({"kind": "journal-trace", "batch": {"index": 0}})
+        journal.commit()
+        assert journal.records_since_snapshot == 1
+
+        journal.begin(1, _snapshot_document(case_base))
+        journal.close()
+        names = sorted(path.name for path in tmp_path.iterdir())
+        assert names == ["journal-1.jsonl", "snapshot-1.json"]
+        state = DeltaJournal.load(tmp_path)
+        assert state.generation == 1
+        assert state.records == []
+        assert journal.records_since_snapshot == 0
+
+    def test_newest_generation_wins_when_both_survive(self, tmp_path, generator):
+        # Simulate a crash between writing snapshot-1 and deleting gen 0.
+        snapshot = _snapshot_document(generator.case_base())
+        for generation in (0, 1):
+            path = tmp_path / f"snapshot-{generation}.json"
+            path.write_text(
+                json.dumps(dict(snapshot, generation=generation)), encoding="utf-8"
+            )
+        state = DeltaJournal.load(tmp_path)
+        assert state.generation == 1
+        assert state.snapshot["generation"] == 1
+
+
+class TestRecoverCaseBase:
+    def test_journal_outlives_the_delta_log(self, tmp_path, generator):
+        """Snapshot + journalled windows rebuild past in-memory truncation."""
+        case_base = generator.case_base()
+        case_base.delta_log = DeltaLog(capacity=2)
+        case_base.delta_log.rebase(case_base.revision)
+
+        journal = DeltaJournal(tmp_path)
+        journal.begin(0, _snapshot_document(case_base))
+        taps = []
+        case_base.delta_log.attach_tap(taps.append)
+        type_id = case_base.type_ids()[0]
+        implementation = case_base.implementations(type_id)[0]
+        for _ in range(6):  # 3x the log capacity: the in-memory window truncates
+            case_base.replace_implementation(type_id, implementation)
+        case_base.remove_implementation(
+            type_id, case_base.implementations(type_id)[1].implementation_id
+        )
+        case_base.delta_log.detach_tap(taps.append)
+        assert case_base.delta_log.since(0) is None  # truncated for live readers
+        for delta in taps:
+            journal.append({
+                "kind": "journal-deltas",
+                "revision": delta.revision,
+                "replayable": True,
+                "events": schemas.delta_to_wire_events(delta),
+            })
+        journal.commit()
+        journal.close()
+
+        recovered = recover_case_base(DeltaJournal.load(tmp_path))
+        assert recovered.to_dict() == case_base.to_dict()
+        assert recovered.count_implementations() == case_base.count_implementations()
+
+    def test_no_snapshot_is_an_error(self):
+        with pytest.raises(JournalError, match="no snapshot"):
+            recover_case_base(JournalState())
+
+    def test_non_replayable_window_is_an_error(self, tmp_path, generator):
+        journal = DeltaJournal(tmp_path)
+        journal.begin(0, _snapshot_document(generator.case_base()))
+        journal.append({
+            "kind": "journal-deltas",
+            "revision": 1,
+            "replayable": False,
+            "events": [],
+        })
+        journal.commit()
+        journal.close()
+        with pytest.raises(JournalError, match="non-replayable"):
+            recover_case_base(DeltaJournal.load(tmp_path))
+
+
+class TestDeltaWireForms:
+    def test_every_mutation_kind_round_trips_through_events(self, generator):
+        source = generator.case_base()
+        target = CaseBase.from_dict(source.to_dict())
+        taps = []
+        source.delta_log.attach_tap(taps.append)
+        type_id = source.type_ids()[0]
+        victim = source.implementations(type_id)[1]
+        source.replace_implementation(type_id, source.implementations(type_id)[0])
+        source.remove_implementation(type_id, victim.implementation_id)
+        source.remove_type(source.type_ids()[-1])
+        for delta in taps:
+            schemas.apply_mutation_events(target, schemas.delta_to_wire_events(delta))
+        assert target.to_dict() == source.to_dict()
+
+    def test_bounds_changes_have_no_wire_form(self, generator):
+        from repro.core.deltas import CaseBaseDelta, DeltaKind
+
+        delta = CaseBaseDelta(revision=1, kind=DeltaKind.BOUNDS_CHANGED)
+        with pytest.raises(ReproError, match="no wire mutation form"):
+            schemas.delta_to_wire_events(delta)

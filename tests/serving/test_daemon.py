@@ -278,3 +278,114 @@ class TestCapture:
             json.loads(json.dumps(record.to_dict())) for record in report.served
         ]
         assert replayed == capture["responses"]
+
+
+class TestDrain:
+    """The SIGTERM path: in-flight micro-batches flush, the journal syncs a
+    final commit group, the capture closes -- and the drained capture replays
+    bit-identically."""
+
+    def test_stop_with_inflight_batch_flushes_journals_and_captures(
+        self, tmp_path
+    ):
+        import asyncio
+
+        from repro.api import schemas
+        from repro.serving.daemon import ServingDaemon
+
+        spec = ServingSpec(random=1, max_batch=64, max_wait_us=500_000.0, n_best=3)
+        journal_dir = tmp_path / "journal"
+        capture_path = tmp_path / "capture.json"
+        request = schemas.request_from_wire(PAPER_WIRE, requester="http")
+
+        async def scenario():
+            daemon = ServingDaemon(spec, journal_dir=str(journal_dir))
+            await daemon.start()
+            while not daemon.ready:  # recovery of the empty directory
+                await asyncio.sleep(0.001)
+            # Three requests stamped into one still-open micro-batch (the
+            # huge max_wait keeps it in flight), plus a /learn deferred to
+            # the batch boundary.
+            futures = [
+                daemon.batcher.submit(request, None, "") for _ in range(3)
+            ]
+            status, body = await daemon._handle_learn({"events": [LEARN_EVENT]})
+            assert status == 202 and body["kind"] == "learning-queued"
+            assert len(daemon.batcher.pending) == 3
+            assert not any(future.done() for future in futures)
+            await daemon.stop(capture_path=str(capture_path))
+            # The drain flushed the batch and resolved every waiting client.
+            assert all(future.done() for future in futures)
+            assert not daemon.batcher.pending
+            assert not daemon._queued_mutations
+            return [future.result() for future in futures], daemon
+
+        records, daemon = asyncio.run(scenario())
+        assert all(record.status.served for record in records)
+
+        # The journal's final commit group carries the shutdown marker, so a
+        # later restart knows the previous incarnation drained cleanly.
+        journal_lines = [
+            json.loads(line)
+            for line in (journal_dir / "journal-0.jsonl")
+            .read_text(encoding="utf-8")
+            .splitlines()
+            if line.strip()
+        ]
+        assert journal_lines[-1]["kind"] == "journal-commit"
+        assert journal_lines[-1]["shutdown"] is True
+        assert any(
+            line["kind"] == "journal-trace" for line in journal_lines
+        )
+        assert any(line["kind"] == "journal-learn" for line in journal_lines)
+
+        # The drained capture replays bit-identically, learn batch included.
+        capture = json.loads(capture_path.read_text(encoding="utf-8"))
+        assert capture["kind"] == "serving-capture"
+        assert len(capture["responses"]) == 3
+        assert capture["learn_events"]
+        report = replay_capture(capture)
+        replayed = [
+            json.loads(json.dumps(record.to_dict())) for record in report.served
+        ]
+        assert replayed == capture["responses"]
+
+    def test_thread_exit_drains_like_sigterm(self, tmp_path):
+        """The DaemonThread context exit takes the same graceful path."""
+        import threading
+
+        capture_path = tmp_path / "capture.json"
+        spec = ServingSpec(random=1, max_batch=64, max_wait_us=400_000.0, n_best=3)
+        results = {}
+        with DaemonThread(spec, capture_path=str(capture_path)) as handle:
+            client = Client(handle.host, handle.port)
+            blocked = Client(handle.host, handle.port)
+
+            def pending_retrieve():
+                try:
+                    results["blocked"] = blocked.call(
+                        "POST", "/retrieve", PAPER_WIRE
+                    )
+                except Exception as exc:  # noqa: BLE001 - surfaced below
+                    results["error"] = exc
+
+            thread = threading.Thread(target=pending_retrieve)
+            thread.start()
+            deadline = time.time() + 10
+            while time.time() < deadline:
+                _, metrics = client.call("GET", "/metrics")
+                if metrics["daemon"]["pending"] >= 1:
+                    break
+                time.sleep(0.005)
+            assert metrics["daemon"]["pending"] >= 1
+            client.close()
+        # The context exit drained the in-flight batch and wrote the capture.
+        thread.join(timeout=30)
+        blocked.close()
+        capture = json.loads(capture_path.read_text(encoding="utf-8"))
+        assert len(capture["responses"]) == 1
+        report = replay_capture(capture)
+        replayed = [
+            json.loads(json.dumps(record.to_dict())) for record in report.served
+        ]
+        assert replayed == capture["responses"]

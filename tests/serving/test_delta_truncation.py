@@ -178,3 +178,50 @@ class TestTruncationMidTrace:
         report = engine.serve(trace)
         assert engine._screen_tracker.rebuild_count == rebuilds + 1
         assert report.metrics["served"] == len(trace)
+
+
+class TestJournalOutlivesTheLog:
+    def test_journalled_windows_recover_past_in_memory_truncation(
+        self, generator, tmp_path
+    ):
+        """The durable journal is the unbounded twin of the bounded DeltaLog.
+
+        A learning serving run mutates far more revisions than a capacity-1
+        log retains; the in-memory window truncates (``since()`` goes None)
+        but the journal tap recorded every delta in wire form, so the
+        engine-free ``recover_case_base`` path rebuilds the final case base
+        exactly."""
+        from repro.api import schemas
+        from repro.core.journal import DeltaJournal, recover_case_base
+
+        case_base = generator.case_base()
+        _shrink_log(case_base, capacity=1)
+        journal = DeltaJournal(tmp_path)
+        journal.begin(0, schemas.attach_envelope("journal-snapshot", {
+            "case_base": case_base.to_dict(),
+            "revision": case_base.revision,
+        }))
+        taps = []
+        case_base.delta_log.attach_tap(taps.append)
+
+        trace = synthetic_trace(case_base, 40, mean_interarrival_us=400.0, seed=5)
+        config = ServingConfig(max_batch=4, shard_count=2, learn=True)
+        report = ServingEngine(case_base, config=config).serve(trace)
+        assert report.metrics["learning"]["revisions"] > 1
+
+        case_base.delta_log.detach_tap(taps.append)
+        assert len(taps) > 1  # far more deltas than the log retained
+        assert case_base.delta_log.since(case_base.revision - len(taps)) is None
+        for delta in taps:
+            journal.append({
+                "kind": "journal-deltas",
+                "revision": delta.revision,
+                "replayable": True,
+                "events": schemas.delta_to_wire_events(delta),
+            })
+        journal.commit()
+        journal.close()
+
+        recovered = recover_case_base(DeltaJournal.load(tmp_path))
+        assert recovered.to_dict() == case_base.to_dict()
+        assert recovered.count_implementations() == case_base.count_implementations()

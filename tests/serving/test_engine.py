@@ -10,6 +10,7 @@ from repro.core import FunctionRequest, ReproError, paper_case_base
 from repro.serving import (
     ServingConfig,
     ServingEngine,
+    ServingSpec,
     ServingStatus,
     synthetic_trace,
     trace_from_requests,
@@ -194,7 +195,7 @@ class TestRobustness:
 class TestApplicationApiPlumbing:
     def test_serving_engine_shares_the_managers_case_base_and_feasibility(self):
         scenario = build_scenario()
-        engine = scenario.application_api.serving_engine(shard_count=2, n_best=2)
+        engine = scenario.application_api.serving_engine(ServingSpec(shards=2, n_best=2))
         assert engine.case_base is scenario.manager.case_base
         assert engine.admission.feasibility is scenario.manager.feasibility
         trace = trace_from_workloads(duration_us=500_000.0, seed=5)
@@ -205,7 +206,7 @@ class TestApplicationApiPlumbing:
     def test_cluster_engine_shares_the_managers_stack(self):
         scenario = build_scenario()
         engine = scenario.application_api.cluster_engine(
-            devices=2, software_devices=1, n_best=2
+            ServingSpec(devices=2, software_workers=1, n_best=2)
         )
         assert engine.case_base is scenario.manager.case_base
         assert engine.fleet.case_base is scenario.manager.case_base

@@ -14,6 +14,7 @@ from repro.serving import (
     OnlineLearner,
     ServingConfig,
     ServingEngine,
+    ServingSpec,
     synthetic_trace,
     trace_from_requests,
 )
@@ -108,12 +109,12 @@ def test_config_validation():
 
 
 def test_learning_through_application_api():
-    """``ApplicationAPI.serving_engine(learn=True)`` shares the manager's base."""
+    """``ApplicationAPI.serving_engine(ServingSpec(learn=True))`` shares the manager's base."""
     from repro.apps import build_scenario
 
     scenario = build_scenario()
     api = scenario.application_api
-    engine = api.serving_engine(learn=True, max_batch=8, novelty_threshold=0.99)
+    engine = api.serving_engine(ServingSpec(learn=True, max_batch=8, novelty_threshold=0.99))
     assert engine.learner is not None
     case_base = scenario.manager.case_base
     before = case_base.count_implementations()

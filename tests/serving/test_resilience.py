@@ -1,0 +1,211 @@
+"""Fault-injection and retry/backoff units (PR 7 resilience layer).
+
+Everything here is deterministic by construction: fault predicates are
+pure functions of virtual time and explicit counters, and retry jitter is
+derived from a string-seeded RNG, so a chaos run replays bit-identically.
+"""
+
+import pytest
+
+from repro.core import ReproError
+from repro.platform import DeviceFleet
+from repro.resilience import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    HANG_END_US,
+    RetryPolicy,
+    derive_rng,
+)
+from repro.tools import CaseBaseGenerator, GeneratorSpec
+
+
+@pytest.fixture
+def case_base():
+    return CaseBaseGenerator(
+        GeneratorSpec(
+            type_count=4,
+            implementations_per_type=5,
+            attributes_per_implementation=6,
+            attribute_type_count=8,
+        ),
+        seed=17,
+    ).case_base()
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(base_delay_us=100.0, multiplier=2.0,
+                             max_delay_us=350.0, jitter=0.0)
+        assert policy.delay_us(0) == 100.0
+        assert policy.delay_us(1) == 200.0
+        assert policy.delay_us(2) == 350.0  # capped
+        assert policy.delay_us(9) == 350.0
+
+    def test_jitter_is_bounded_and_reproducible(self):
+        policy = RetryPolicy(base_delay_us=1000.0, jitter=0.25)
+        delays = [
+            policy.delay_us(0, rng=derive_rng(7, "sync", "fpga0", attempt))
+            for attempt in range(32)
+        ]
+        assert all(750.0 <= delay <= 1250.0 for delay in delays)
+        replayed = [
+            policy.delay_us(0, rng=derive_rng(7, "sync", "fpga0", attempt))
+            for attempt in range(32)
+        ]
+        assert delays == replayed
+        assert len(set(delays)) > 1  # the jitter actually jitters
+
+    def test_derive_rng_is_a_pure_function_of_its_key(self):
+        assert derive_rng(3, "a", 1).random() == derive_rng(3, "a", 1).random()
+        assert derive_rng(3, "a", 1).random() != derive_rng(3, "a", 2).random()
+        assert derive_rng(3, "a").random() != derive_rng(4, "a").random()
+
+    def test_next_attempt_respects_budget_and_deadline(self):
+        policy = RetryPolicy(max_attempts=3, base_delay_us=100.0, jitter=0.0)
+        assert policy.next_attempt_us(0, 1000.0) == 1100.0
+        assert policy.next_attempt_us(1, 1100.0) == 1300.0
+        assert policy.next_attempt_us(2, 1300.0) is None  # attempts exhausted
+        assert policy.next_attempt_us(0, 1000.0, deadline_us=1050.0) is None
+
+    def test_validation(self):
+        with pytest.raises(ReproError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ReproError, match="multiplier"):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ReproError, match="jitter"):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ReproError, match="max_delay_us"):
+            RetryPolicy(base_delay_us=500.0, max_delay_us=100.0)
+
+
+class TestFaultSpec:
+    def test_windows(self):
+        crash = FaultSpec(kind="worker_crash", target="fpga0",
+                          at_us=100.0, duration_us=50.0)
+        assert not crash.active(99.9)
+        assert crash.active(100.0)
+        assert crash.active(149.9)
+        assert not crash.active(150.0)
+        assert crash.matches("fpga0") and not crash.matches("fpga1")
+        assert FaultSpec(kind="slow_device", target="*").matches("anything")
+
+    def test_hangs_and_open_windows_never_end(self):
+        assert FaultSpec(kind="worker_hang", at_us=5.0).end_us == HANG_END_US
+        assert FaultSpec(kind="worker_crash", at_us=5.0).end_us == HANG_END_US
+        assert FaultSpec(
+            kind="worker_hang", at_us=5.0, duration_us=10.0
+        ).end_us == HANG_END_US  # a hang ignores duration
+
+    def test_validation(self):
+        with pytest.raises(ReproError, match="unknown fault kind"):
+            FaultSpec(kind="gremlins")
+        with pytest.raises(ReproError, match="non-negative"):
+            FaultSpec(kind="worker_crash", at_us=-1.0)
+        with pytest.raises(ReproError, match="factor"):
+            FaultSpec(kind="slow_device", factor=0.0)
+        with pytest.raises(ReproError, match="every >= 1"):
+            FaultSpec(kind="conn_drop")
+
+    def test_payload_round_trip(self):
+        spec = FaultSpec(kind="stream_corrupt", target="fpga1",
+                         at_us=10.0, duration_us=20.0, factor=0.5)
+        assert FaultSpec.from_payload(spec.to_payload()) == spec
+        with pytest.raises(ReproError, match="kind"):
+            FaultSpec.from_payload({"target": "fpga0"})
+
+
+class TestFaultPlan:
+    def test_payload_round_trip_and_len(self):
+        plan = FaultPlan(seed=5, faults=(
+            FaultSpec(kind="worker_crash", target="fpga0", at_us=1.0,
+                      duration_us=2.0),
+            FaultSpec(kind="conn_stall", every=3, duration_us=100.0),
+        ))
+        assert len(plan) == 2
+        assert FaultPlan.from_payload(plan.to_payload()) == plan
+        assert len(FaultPlan()) == 0
+
+    def test_plan_coerces_payload_faults(self):
+        plan = FaultPlan(seed=1, faults=(
+            {"kind": "learn_transient", "every": 2},
+        ))
+        assert isinstance(plan.faults[0], FaultSpec)
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        plan = FaultPlan(seed=9, faults=(FaultSpec(kind="worker_hang", at_us=3.0),))
+        path.write_text(__import__("json").dumps(plan.to_payload()), encoding="utf-8")
+        assert FaultPlan.load(str(path)) == plan
+        with pytest.raises(ReproError, match="cannot read"):
+            FaultPlan.load(str(tmp_path / "missing.json"))
+
+    def test_every_kind_is_constructible(self):
+        for kind in FAULT_KINDS:
+            every = 1 if kind in ("conn_drop", "conn_stall") else 0
+            FaultSpec(kind=kind, every=every)
+
+
+class TestFaultInjector:
+    def _injector(self, *faults):
+        return FaultInjector(FaultPlan(seed=3, faults=tuple(faults)))
+
+    def test_worker_down_is_a_pure_time_predicate(self):
+        injector = self._injector(
+            FaultSpec(kind="worker_crash", target="fpga0", at_us=100.0,
+                      duration_us=50.0),
+            FaultSpec(kind="worker_hang", target="fpga1", at_us=200.0),
+        )
+        assert not injector.worker_down("fpga0", 99.0)
+        assert injector.worker_down("fpga0", 120.0)
+        assert not injector.worker_down("fpga0", 150.0)
+        assert injector.worker_down("fpga1", 1e9)  # hangs never recover
+        assert not injector.worker_down("soft0", 120.0)
+        assert injector.worker_outages("fpga0") == [(100.0, 150.0)]
+
+    def test_service_factor_compounds_in_window(self):
+        injector = self._injector(
+            FaultSpec(kind="slow_device", target="fpga0", at_us=0.0,
+                      duration_us=100.0, factor=2.0),
+            FaultSpec(kind="slow_device", target="*", at_us=0.0,
+                      duration_us=100.0, factor=1.5),
+        )
+        assert injector.service_factor("fpga0", 50.0) == 3.0
+        assert injector.service_factor("fpga1", 50.0) == 1.5
+        assert injector.service_factor("fpga0", 150.0) == 1.0
+
+    def test_stream_fault_selection(self):
+        truncate = FaultSpec(kind="stream_truncate", target="fpga0",
+                             at_us=0.0, duration_us=10.0, factor=0.5)
+        injector = self._injector(truncate)
+        assert injector.stream_fault("fpga0", 5.0) is truncate
+        assert injector.stream_fault("fpga0", 15.0) is None
+        assert injector.stream_fault("fpga1", 5.0) is None
+
+    def test_connection_cadence(self):
+        injector = self._injector(FaultSpec(kind="conn_drop", every=3))
+        hits = [injector.connection_fault() is not None for _ in range(9)]
+        assert hits == [False, False, True] * 3
+
+    def test_learn_failures(self):
+        assert self._injector().learn_failures() == 0
+        assert self._injector(
+            FaultSpec(kind="learn_transient", every=2),
+            FaultSpec(kind="learn_transient", every=1),
+        ).learn_failures() == 2
+
+    def test_apply_to_fleet_installs_outages(self, case_base):
+        fleet = DeviceFleet.build(case_base, hardware_devices=2,
+                                  software_devices=0)
+        injector = self._injector(
+            FaultSpec(kind="worker_crash", target=fleet.workers[0].name,
+                      at_us=50.0, duration_us=25.0),
+        )
+        injector.apply_to_fleet(fleet)
+        assert (50.0, 75.0) in fleet.workers[0].outages()
+        assert (50.0, 75.0) not in fleet.workers[1].outages()
+
+    def test_injector_requires_a_plan(self):
+        with pytest.raises(ReproError, match="FaultPlan"):
+            FaultInjector({"seed": 0})

@@ -1,8 +1,8 @@
 """ServingSpec: the one schema behind every engine-construction surface.
 
 Covers the PR's API-redesign contract: CLI argument parsing, the Python
-construction path, the versioned wire round-trip and the ``ApplicationAPI``
-deprecation shims all agree on what a serving setup *is*.
+construction path, the versioned wire round-trip and the spec-only
+``ApplicationAPI`` surface all agree on what a serving setup *is*.
 """
 
 import argparse
@@ -11,7 +11,14 @@ import pytest
 
 from repro.apps import build_scenario
 from repro.core import ReproError
-from repro.serving import ClusterServingEngine, ServingEngine, ServingSpec
+from repro.core.exceptions import RequestError
+from repro.serving import (
+    ClusterServingEngine,
+    FaultPlan,
+    FaultSpec,
+    ServingEngine,
+    ServingSpec,
+)
 
 
 def _parse(argv, *, trace=True, cluster_args=False, replay=True):
@@ -108,13 +115,18 @@ class TestConstruction:
         report = spec.build_engine(case_base).serve(trace)
         assert report.metrics["requests"] == 6
 
-    def test_from_engine_kwargs_accepts_legacy_names(self):
-        spec = ServingSpec.from_engine_kwargs(shard_count=4, learn=True)
-        assert spec.shards == 4 and spec.learn
+    def test_fault_plan_accepts_payload_mappings(self):
+        spec = ServingSpec(fault_plan={"seed": 3, "faults": [
+            {"kind": "worker_crash", "target": "hw0", "at_us": 100.0,
+             "duration_us": 50.0},
+        ]})
+        assert isinstance(spec.fault_plan, FaultPlan)
+        assert spec.fault_plan.seed == 3
+        assert spec.fault_plan.faults[0].kind == "worker_crash"
 
-    def test_from_engine_kwargs_rejects_unknown_options(self):
-        with pytest.raises(ReproError, match="unknown serving option"):
-            ServingSpec.from_engine_kwargs(shard_ct=4)
+    def test_fault_plan_rejects_non_plans(self):
+        with pytest.raises(ReproError, match="fault_plan"):
+            ServingSpec(fault_plan="chaos")
 
 
 class TestWire:
@@ -128,6 +140,19 @@ class TestWire:
         document = ServingSpec().to_wire()
         assert document["kind"] == "serving-spec"
         assert document["schema_version"] >= 1
+
+    def test_fault_plan_rides_the_wire(self):
+        plan = FaultPlan(seed=11, faults=(
+            FaultSpec(kind="worker_hang", target="hw1", at_us=200.0,
+                      duration_us=400.0),
+            FaultSpec(kind="conn_drop", every=5),
+        ))
+        spec = ServingSpec(cluster=True, fault_plan=plan)
+        restored = ServingSpec.from_wire(spec.to_wire())
+        assert restored == spec
+        assert restored.fault_plan == plan
+        # The axis stays optional: absent plans round-trip as None.
+        assert ServingSpec.from_wire(ServingSpec().to_wire()).fault_plan is None
 
 
 class TestApplicationApiShims:
@@ -147,21 +172,21 @@ class TestApplicationApiShims:
         assert len(engine.fleet) == 3
         assert engine.fleet.repository is scenario.manager.repository
 
-    def test_legacy_kwargs_warn_but_still_build_the_same_engine(self):
+    def test_missing_spec_is_rejected(self):
         scenario = build_scenario()
-        with pytest.warns(DeprecationWarning, match="ServingSpec"):
-            legacy = scenario.application_api.serving_engine(shard_count=2, n_best=2)
-        modern = scenario.application_api.serving_engine(ServingSpec(shards=2, n_best=2))
-        assert legacy.config == modern.config
+        with pytest.raises(RequestError, match="requires a ServingSpec"):
+            scenario.application_api.serving_engine()
+        with pytest.raises(RequestError, match="requires a ServingSpec"):
+            scenario.application_api.cluster_engine()
 
-    def test_legacy_cluster_kwargs_warn(self):
+    def test_legacy_kwargs_are_gone(self):
+        """The PR 6 keyword-override shim was removed outright in PR 7."""
         scenario = build_scenario()
-        with pytest.warns(DeprecationWarning, match="ServingSpec"):
-            engine = scenario.application_api.cluster_engine(devices=2, n_best=2)
-        assert isinstance(engine, ClusterServingEngine)
-        assert engine.config.n_best == 2
+        with pytest.raises(TypeError):
+            scenario.application_api.serving_engine(shard_count=2, n_best=2)
+        assert not hasattr(ServingSpec, "from_engine_kwargs")
 
-    def test_spec_and_kwargs_together_are_rejected(self):
+    def test_non_spec_arguments_are_rejected(self):
         scenario = build_scenario()
-        with pytest.raises(Exception, match="not both"):
-            scenario.application_api.serving_engine(ServingSpec(), shard_count=2)
+        with pytest.raises(RequestError, match="ServingSpec"):
+            scenario.application_api.serving_engine({"shards": 2})
