@@ -391,6 +391,8 @@ def _report_compare_mismatches(
     ``population`` overrides the denominator when the comparison covers only
     a subset of the lists (the cluster compare's commonly-served requests).
     """
+    from .observability import trace_id_for
+
     mismatched = [
         index for index, (a, b) in enumerate(zip(first, second)) if a != b
     ]
@@ -402,9 +404,12 @@ def _report_compare_mismatches(
         f"{unit}; first {min(limit, len(mismatched))} difference(s):",
         file=sys.stderr,
     )
+    # The trace id makes a diverging request greppable straight out of the
+    # daemon's GET /traces/recent listing (or a `repro trace` rendering).
     for index in mismatched[:limit]:
         print(
-            f"  request {index}: {first_label}={format_value(first[index])} "
+            f"  request {index} (trace {trace_id_for(index)}): "
+            f"{first_label}={format_value(first[index])} "
             f"{second_label}={format_value(second[index])}",
             file=sys.stderr,
         )
@@ -720,7 +725,17 @@ def cmd_scenario(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the network-facing serving daemon (``repro serve``)."""
+    import logging
+
     from .serving import ServingSpec, run_daemon
+
+    # Structured single-line key=value logs (bind, spec hash, recovery
+    # summary, drain) on stderr; --log-level warning silences them.
+    logging.basicConfig(
+        stream=sys.stderr,
+        level=getattr(logging, args.log_level.upper()),
+        format="%(message)s",
+    )
 
     try:
         spec = ServingSpec.from_args(args)
@@ -750,6 +765,141 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except OSError as error:
         print(f"serve: cannot bind {args.host}:{args.port}: {error}", file=sys.stderr)
         return 2
+    return 0
+
+
+def _journal_trace_engine(directory: str, *, ring_floor: int = 0):
+    """Replay a journal directory's committed tail and return the engine.
+
+    The lean offline twin of the daemon's recovery path: newest snapshot,
+    engine rebuilt under a tracing-forced spec, committed ``journal-trace``
+    batches and ``journal-learn`` events re-applied in order.  The returned
+    engine's observability store then holds one span tree per recovered
+    request -- what ``repro trace --journal`` renders.
+    """
+    from .api import schemas
+    from .core.case_base import CaseBase
+    from .core.journal import DeltaJournal
+    from .observability import DEFAULT_TRACE_RING, ObservabilityConfig
+    from .serving import ServingSpec
+    from .serving.scheduler import ScheduledBatch
+
+    state = DeltaJournal.load(directory)
+    if state.snapshot is None:
+        raise ReproError(f"no journal snapshot found in {directory}")
+    snapshot = state.snapshot
+    spec = ServingSpec.from_wire(snapshot["spec"])
+    trace_records = [r for r in state.records if r.get("kind") == "journal-trace"]
+    requests = sum(len(r["batch"]["entries"]) for r in trace_records)
+    ring = max(DEFAULT_TRACE_RING, ring_floor, requests + len(trace_records) + 16)
+    spec = spec.replace(observability=ObservabilityConfig(
+        enabled=True, trace_sample_rate=1.0, trace_ring=ring,
+    ))
+    case_base = CaseBase.from_dict(snapshot["case_base"])
+    case_base.delta_log.rebase(case_base.revision)
+    engine = spec.build_engine(case_base)
+    session = engine.session()
+    engine_state = snapshot.get("engine_state")
+    if isinstance(engine_state, dict):
+        session.restore_state(engine_state)
+    for record in state.records:
+        kind = record.get("kind")
+        if kind == "journal-trace":
+            batch_doc = record["batch"]
+            indices = [int(index) for index, _ in batch_doc["entries"]]
+            entries = schemas.trace_from_wire(
+                [wire for _, wire in batch_doc["entries"]], requester="http"
+            )
+            session.process_batch(ScheduledBatch(
+                index=int(batch_doc["index"]),
+                entries=list(zip(indices, entries)),
+                open_us=float(batch_doc["open_us"]),
+                close_us=float(batch_doc["close_us"]),
+            ))
+        elif kind == "journal-learn":
+            import contextlib
+
+            with contextlib.suppress(ReproError):
+                schemas.apply_mutation_events(
+                    case_base, record.get("events", [])
+                )
+    return engine
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Render span trees from a capture or journal (``repro trace``)."""
+    from .api import schemas
+    from .observability import (
+        DEFAULT_TRACE_RING,
+        ObservabilityConfig,
+        render_trace,
+        render_traces,
+        trace_id_for,
+    )
+    from .serving import replay_capture
+
+    if bool(args.capture) == bool(args.journal):
+        print("trace needs exactly one of --capture FILE or --journal DIR",
+              file=sys.stderr)
+        return 2
+    try:
+        if args.capture:
+            with open(args.capture, "r", encoding="utf-8") as stream:
+                document = schemas.loads(stream.read())
+            if not isinstance(document, dict):
+                raise schemas.SchemaError(
+                    "a capture document must be a JSON object"
+                )
+            requests = len(document.get("trace", []))
+            config = ObservabilityConfig(
+                enabled=True,
+                trace_sample_rate=1.0,
+                trace_ring=max(DEFAULT_TRACE_RING, 2 * requests + 16),
+            )
+            _, engine = replay_capture(
+                document, observability=config, with_engine=True
+            )
+        else:
+            engine = _journal_trace_engine(args.journal)
+    except OSError as error:
+        print(f"trace: cannot read {args.capture or args.journal}: {error}",
+              file=sys.stderr)
+        return 2
+    except (schemas.SchemaError, ReproError) as error:
+        print(f"trace: {error}", file=sys.stderr)
+        return 2
+
+    store = engine.observability.store
+    if args.request is not None:
+        lookup = args.request.strip()
+        if lookup.isdigit():
+            lookup = trace_id_for(int(lookup))
+        trace = store.get(lookup)
+        if trace is None:
+            print(f"trace: no trace {lookup!r} in the replay "
+                  f"({len(store)} stored)", file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps(trace.to_dict(), sort_keys=True, indent=2))
+        else:
+            print(render_trace(trace))
+        return 0
+    traces = [
+        trace for trace in store.all()
+        if args.batches or trace.trace_id.startswith("req-")
+    ]
+    if args.limit > 0:
+        traces = traces[-args.limit:]
+    if not traces:
+        print("trace: the replay produced no traces", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps([trace.to_dict() for trace in traces],
+                         sort_keys=True, indent=2))
+    else:
+        print(render_traces(traces))
+        print(f"\n{len(traces)} trace(s) shown ({len(store)} stored; "
+              f"--request ID for one tree, --batches for batch pipelines)")
     return 0
 
 
@@ -917,7 +1067,37 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--snapshot-interval", type=int, default=64,
                      help="journal commit groups between compacted snapshots "
                           "(default 64)")
+    sub.add_argument("--log-level", choices=["debug", "info", "warning", "error"],
+                     default="info",
+                     help="threshold for the structured key=value stderr log "
+                          "lines (bind, spec hash, recovery, drain; "
+                          "default info)")
     sub.set_defaults(handler=cmd_serve)
+
+    sub = subparsers.add_parser(
+        "trace",
+        help="render end-to-end span trees from a serving capture or journal",
+    )
+    sub.add_argument("--capture", metavar="FILE",
+                     help="replay a serving-capture document (repro-qos serve "
+                          "--capture) with tracing forced on and render its "
+                          "span trees")
+    sub.add_argument("--journal", metavar="DIR",
+                     help="replay a journal directory's committed tail "
+                          "instead of a capture file")
+    sub.add_argument("--request", metavar="ID",
+                     help="render one trace only (req-NNNNNNNN id or a bare "
+                          "request index)")
+    sub.add_argument("--limit", type=int, default=10,
+                     help="most recent traces rendered in listing mode "
+                          "(default 10; 0 = all)")
+    sub.add_argument("--batches", action="store_true",
+                     help="include per-batch pipeline traces (shard fan-out, "
+                          "merge, routing, sync) alongside request traces")
+    sub.add_argument("--json", action="store_true",
+                     help="print trace documents as JSON instead of the "
+                          "rendered tree")
+    sub.set_defaults(handler=cmd_trace)
 
     sub = subparsers.add_parser("estimate", help="Table 2-style resource estimate")
     sub.add_argument("--n-best", type=int, default=1)

@@ -73,6 +73,9 @@ class DeltaJournal:
         self._stream = None
         self._pending: List[Dict[str, object]] = []
         self._records_since_snapshot = 0
+        #: Optional ``listener(committed_record_count)`` invoked after each
+        #: durable :meth:`commit` (observability hook; never affects bytes).
+        self.listener = None
 
     # -- writing -----------------------------------------------------------------------
 
@@ -137,6 +140,8 @@ class DeltaJournal:
         os.fsync(self._stream.fileno())
         self._pending = []
         self._records_since_snapshot += committed
+        if self.listener is not None:
+            self.listener(committed)
         return committed
 
     @property

@@ -1,0 +1,63 @@
+"""End-to-end observability for the serving stack (tracing + live metrics).
+
+Three pieces, all stdlib-only and all *observational* -- nothing here feeds
+back into scheduling, admission, routing or journaling, which is what keeps
+instrumented runs bit-identical to uninstrumented ones:
+
+* :mod:`repro.observability.tracing` -- :class:`Span`/:class:`Trace` trees
+  stamped in virtual time (deterministic, replay-identical) with optional
+  wall-clock annotations excluded from identity, ring-buffered in a
+  :class:`TraceStore`;
+* :mod:`repro.observability.registry` -- labelled counter/gauge/histogram
+  families in a :class:`MetricsRegistry`, rendered in the Prometheus text
+  exposition format by the daemon's ``GET /metrics``
+  (:mod:`repro.observability.catalog` declares every series once);
+* :class:`Observability` (:mod:`repro.observability.facade`) -- the
+  per-engine hub bundling one registry and one trace ring, configured by
+  the :class:`ObservabilityConfig` axis on
+  :class:`~repro.serving.spec.ServingSpec`.
+"""
+
+from . import catalog
+from .config import DEFAULT_TRACE_RING, ObservabilityConfig
+from .facade import Observability
+from .registry import (
+    BATCH_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS_US,
+    MetricFamily,
+    MetricsRegistry,
+)
+from .render import render_trace, render_traces
+from .tracing import (
+    Span,
+    Trace,
+    TraceStore,
+    batch_trace_id,
+    sampled,
+    trace_id_for,
+)
+
+__all__ = [
+    "BATCH_SIZE_BUCKETS",
+    "Counter",
+    "DEFAULT_TRACE_RING",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS_US",
+    "MetricFamily",
+    "MetricsRegistry",
+    "Observability",
+    "ObservabilityConfig",
+    "Span",
+    "Trace",
+    "TraceStore",
+    "batch_trace_id",
+    "catalog",
+    "render_trace",
+    "render_traces",
+    "sampled",
+    "trace_id_for",
+]

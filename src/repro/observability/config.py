@@ -1,0 +1,50 @@
+"""The ``ServingSpec.observability`` axis.
+
+A plain frozen dataclass so ``dataclasses.asdict`` serialises it straight
+into the spec's wire payload, and old captures (written before the axis
+existed) simply rebuild with the defaults through ``ServingSpec.from_wire``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Mapping
+
+from ..core.exceptions import ReproError
+
+__all__ = ["ObservabilityConfig", "DEFAULT_TRACE_RING"]
+
+#: Default capacity of the completed-trace ring buffer.
+DEFAULT_TRACE_RING = 256
+
+
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """Knobs for the tracer and the live metrics registry.
+
+    ``enabled`` gates *all* instrumentation; ``trace_sample_rate`` gates
+    only the tracer (the registry is cheap enough to stay on whenever
+    ``enabled`` is).  Sampling is deterministic per request index, so the
+    same rate admits the same requests on every run.
+    """
+
+    enabled: bool = True
+    trace_sample_rate: float = 1.0
+    trace_ring: int = DEFAULT_TRACE_RING
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= float(self.trace_sample_rate) <= 1.0:
+            raise ReproError(
+                f"trace_sample_rate must be in [0, 1], "
+                f"got {self.trace_sample_rate!r}"
+            )
+        if int(self.trace_ring) < 1:
+            raise ReproError(
+                f"trace_ring must be >= 1, got {self.trace_ring!r}"
+            )
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "ObservabilityConfig":
+        """Build from a wire mapping, ignoring unknown (newer) keys."""
+        known = {entry.name for entry in fields(cls)}
+        return cls(**{k: v for k, v in dict(payload).items() if k in known})

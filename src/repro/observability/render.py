@@ -1,0 +1,46 @@
+"""Plain-text span-tree rendering for ``repro trace`` and debugging."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from .tracing import Span, Trace
+
+__all__ = ["render_trace", "render_traces"]
+
+
+def _format_attrs(span: Span) -> str:
+    parts = [
+        f"{key}={value}" for key, value in sorted(span.attributes.items())
+    ]
+    parts.extend(
+        f"~{key}={value}" for key, value in sorted(span.annotations.items())
+    )
+    return ("  " + " ".join(parts)) if parts else ""
+
+
+def _render_span(trace: Trace, span: Span, depth: int, lines: List[str]) -> None:
+    indent = "  " * depth
+    lines.append(
+        f"{indent}{span.name:<18} [{span.start_us:>12.1f} .. "
+        f"{span.end_us:>12.1f}] {span.duration_us:>10.1f} us"
+        f"{_format_attrs(span)}"
+    )
+    for child in trace.children_of(span):
+        _render_span(trace, child, depth + 1, lines)
+
+
+def render_trace(trace: Trace) -> str:
+    """One trace as an indented span tree, annotations marked with ``~``."""
+    lines = [f"trace {trace.trace_id}  spans={len(trace.spans)}"]
+    for root in trace.children_of(None):
+        _render_span(trace, root, 1, lines)
+    return "\n".join(lines)
+
+
+def render_traces(traces: Iterable[Trace], *, limit: Optional[int] = None) -> str:
+    """Render several traces separated by blank lines (newest last)."""
+    picked = list(traces)
+    if limit is not None and limit >= 0:
+        picked = picked[-limit:]
+    return "\n\n".join(render_trace(trace) for trace in picked)

@@ -31,9 +31,15 @@ engines (PR 2):
 * :mod:`repro.resilience` (re-exported here) -- seeded fault injection
   (:class:`FaultPlan` / :class:`FaultInjector`) and the shared
   :class:`RetryPolicy`; the cluster router tracks per-worker health and adds
-  the ``requeue`` admission rung under injected faults.
+  the ``requeue`` admission rung under injected faults;
+* :mod:`repro.observability` (re-exported here) -- the span tracer, live
+  metrics registry and trace ring behind ``GET /metrics`` (Prometheus text),
+  ``GET /trace/<id>`` and ``repro trace``; configured per spec through the
+  :class:`~repro.observability.ObservabilityConfig` axis and guaranteed
+  never to change a served byte.
 """
 
+from ..observability import Observability, ObservabilityConfig
 from ..resilience import FaultInjector, FaultPlan, FaultSpec, RetryPolicy
 from .admission import AdmissionController, AdmissionDecision, AdmissionVerdict
 from .cluster import ClusterDecision, ClusterRouter, ClusterServingEngine, WorkerHealth
@@ -56,7 +62,7 @@ from .loadgen import (
     trace_from_requests,
     trace_from_workloads,
 )
-from .metrics import MetricsCollector, percentile
+from .metrics import MetricsCollector, percentile, percentiles
 from .scheduler import MicroBatchScheduler, ScheduledBatch
 from .shards import ShardedRetriever, build_shards
 
@@ -73,6 +79,8 @@ __all__ = [
     "FaultSpec",
     "MetricsCollector",
     "MicroBatchScheduler",
+    "Observability",
+    "ObservabilityConfig",
     "OnlineLearner",
     "RetryPolicy",
     "ScheduledBatch",
@@ -90,6 +98,7 @@ __all__ = [
     "WORKLOAD_FACTORIES",
     "build_shards",
     "percentile",
+    "percentiles",
     "replay_capture",
     "resolve_workloads",
     "run_daemon",

@@ -40,6 +40,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from ..allocation.feasibility import FeasibilityChecker
 from ..core.case_base import CaseBase
 from ..core.exceptions import ReproError
+from ..observability import catalog
 from ..platform.fleet import HARDWARE, DeviceFleet, RetrievalWorker, WorkerSyncEvent
 from ..resilience import FaultInjector, RetryPolicy
 from .admission import AdmissionController, AdmissionDecision, AdmissionVerdict
@@ -162,6 +163,9 @@ class ClusterRouter:
         self._free_at_us: Dict[str, float] = {}
         self.assigned_counts: Dict[str, int] = {}
         self.busy_us: Dict[str, float] = {}
+        #: Optional :class:`~repro.observability.Observability` hub installed
+        #: by the owning engine (health gauge, requeue counters, tier spans).
+        self.observability = None
         self.reset()
 
     def reset(self) -> None:
@@ -172,6 +176,9 @@ class ClusterRouter:
         self.first_dispatch_us: Optional[float] = None
         self.last_completion_us = 0.0
         self.requeue_count = 0
+        #: Health states last published to the metrics gauge (transition
+        #: detection; observation only, never consulted for routing).
+        self._published_states: Dict[str, str] = {}
         if self.health is not None:
             self.health.reset([worker.name for worker in self.fleet.workers])
 
@@ -190,6 +197,34 @@ class ClusterRouter:
         """Count an exhausted image-stream retry against the worker's health."""
         if self.health is not None:
             self.health.observe_failure(worker, now_us)
+            self._publish_health()
+
+    def _publish_health(self) -> None:
+        """Mirror health-state transitions into the gauge and span stream."""
+        observability = self.observability
+        if observability is None or self.health is None:
+            return
+        for name, state in self.health.states.items():
+            previous = self._published_states.get(name)
+            if previous == state:
+                continue
+            self._published_states[name] = state
+            if observability.metrics_enabled:
+                registry = observability.registry
+                catalog.worker_health(registry).labels(worker=name).set(
+                    catalog.HEALTH_LEVELS.get(state, 0.0)
+                )
+                if previous is not None:
+                    catalog.health_transitions(registry).labels(
+                        worker=name, to=state
+                    ).inc()
+            if previous is not None:
+                observability.batch_span(
+                    "health-transition",
+                    worker=name,
+                    from_state=previous,
+                    to_state=state,
+                )
 
     def _routable(
         self, workers: Sequence[RetrievalWorker], now_us: float
@@ -297,6 +332,7 @@ class ClusterRouter:
         all_software = self.fleet.software_workers
         if self.health is not None:
             self._observe_health(close_us)
+            self._publish_health()
         hardware_workers = self._routable(all_hardware, close_us)
         software_workers = self._routable(all_software, close_us)
         hardware_times = (
@@ -375,6 +411,12 @@ class ClusterRouter:
                 )
             ):
                 self.requeue_count += 1
+                if self.observability is not None:
+                    if self.observability.metrics_enabled:
+                        catalog.requeues_total(self.observability.registry).inc()
+                    self.observability.batch_span(
+                        "requeue", wait_us=wait_us, deadline_us=deadline
+                    )
                 decisions.append(ClusterDecision(
                     verdict=AdmissionVerdict.REQUEUE,
                     wait_us=wait_us,
@@ -426,6 +468,28 @@ class ClusterRouter:
                 deadline_us=deadline,
                 reason=reject_reason,
             ))
+        if self.observability is not None:
+            tallies = {
+                AdmissionVerdict.ADMIT_HARDWARE: 0,
+                AdmissionVerdict.DEGRADE_SOFTWARE: 0,
+                AdmissionVerdict.REQUEUE: 0,
+                AdmissionVerdict.REJECT_DEADLINE: 0,
+            }
+            for decision in decisions:
+                tallies[decision.verdict] += 1
+            self.observability.batch_span(
+                "route",
+                requests=len(decisions),
+                hardware=tallies[AdmissionVerdict.ADMIT_HARDWARE],
+                software=tallies[AdmissionVerdict.DEGRADE_SOFTWARE],
+                requeued=tallies[AdmissionVerdict.REQUEUE],
+                rejected=tallies[AdmissionVerdict.REJECT_DEADLINE],
+                quarantined=(
+                    self.health.counts()[QUARANTINED]
+                    if self.health is not None
+                    else 0
+                ),
+            )
         return decisions
 
 
@@ -488,6 +552,7 @@ class ClusterServingEngine(ServingEngine):
             fault_injector=fault_injector,
             retry_policy=retry_policy,
         )
+        self.router.observability = self.observability
         self._replay_sync_events: List[WorkerSyncEvent] = []
 
     # -- admission hooks ---------------------------------------------------------------
@@ -496,6 +561,9 @@ class ClusterServingEngine(ServingEngine):
         """Reset fleet timing and router occupancy for a fresh replay."""
         self.fleet.reset_timing()
         self.router.reset()
+        self._register_worker_gauges(
+            [worker.name for worker in self.fleet.workers]
+        )
         self._replay_sync_events = []
         return {}
 
@@ -512,6 +580,7 @@ class ClusterServingEngine(ServingEngine):
                 # An exhausted image-stream retry budget counts against the
                 # worker's health; its stale revision is retried next sync.
                 self.router.record_sync_failure(event.worker, close_us)
+        self._observe_sync_events(sync_events)
         self._replay_sync_events.extend(sync_events)
         return self.router.route_batch(
             entries,
@@ -519,6 +588,38 @@ class ClusterServingEngine(ServingEngine):
             default_deadline_us=self.config.deadline_us,
             degrade_to_software=self.config.degrade_to_software,
         )
+
+    def _observe_sync_events(
+        self, sync_events: Sequence[WorkerSyncEvent]
+    ) -> None:
+        """Count and span the fleet's delta-sync stream events."""
+        observability = self.observability
+        if not sync_events:
+            return
+        if observability.metrics_enabled:
+            registry = observability.registry
+            totals = catalog.fleet_sync_total(registry)
+            for event in sync_events:
+                totals.labels(
+                    mode="incremental" if event.incremental else "full",
+                    status=event.status,
+                ).inc()
+                catalog.fleet_sync_bytes(registry).inc(event.bytes_streamed)
+                if event.attempts > 1:
+                    catalog.fleet_sync_retries(registry).inc(event.attempts - 1)
+        if observability.trace_enabled:
+            for event in sync_events:
+                observability.batch_span(
+                    "sync",
+                    start_us=event.start_us,
+                    end_us=event.start_us + event.duration_us,
+                    worker=event.worker,
+                    mode="incremental" if event.incremental else "full",
+                    status=event.status,
+                    bytes=event.bytes_streamed,
+                    revision=event.revision,
+                    attempts=event.attempts,
+                )
 
     def _served_status(
         self, decision: AdmissionDecision
@@ -621,9 +722,9 @@ class ClusterServingEngine(ServingEngine):
         # Drain: the last micro-batch's learning window has no next dispatch
         # to sync at, so propagate it now -- the replay leaves every device's
         # image consistent with the evolved case base.
-        self._replay_sync_events.extend(
-            self.fleet.sync(self.router.last_completion_us)
-        )
+        drained_events = self.fleet.sync(self.router.last_completion_us)
+        self._observe_sync_events(drained_events)
+        self._replay_sync_events.extend(drained_events)
         makespan_us = self.router.makespan_us()
         sync_events = self._replay_sync_events
         hardware_syncs = [

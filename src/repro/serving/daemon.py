@@ -61,20 +61,28 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import logging
 import signal
 import threading
 import time
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+import urllib.parse
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..api import schemas
 from ..core.case_base import CaseBase
 from ..core.exceptions import ReproError
 from ..core.journal import DeltaJournal, JournalError
+from ..observability import ObservabilityConfig, catalog, trace_id_for
 from ..resilience import FaultInjector, RetryPolicy
 from .engine import ServedRequest, ServingReport, ServingSession
 from .loadgen import TimedRequest
 from .scheduler import ScheduledBatch
 from .spec import ServingSpec
+
+_LOG = logging.getLogger("repro.serve")
+
+#: Content type of the Prometheus text exposition (``GET /metrics``).
+_PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 #: HTTP reason phrases for the status codes the daemon emits.
 _REASONS = {
@@ -296,6 +304,47 @@ class ServingDaemon:
         self._retry_policy = RetryPolicy()
         self._learn_retries = 0
         self._dropped_connections = 0
+        # -- observability (PR 8) ------------------------------------------------
+        #: Journal recovery summary for structured logs / operators.
+        self._recovery_summary: Optional[Dict[str, object]] = None
+        self._register_daemon_metrics()
+
+    # -- observability ------------------------------------------------------------------
+
+    @property
+    def observability(self):
+        """The engine's observability hub (re-resolved after recovery rebuilds)."""
+        return self.engine.observability
+
+    def _register_daemon_metrics(self) -> None:
+        """Materialise the daemon-level metric families on the engine registry.
+
+        Called at construction and again after journal recovery replaces the
+        engine (and with it the registry), so the Prometheus exposition always
+        carries the full daemon series set even before first use.
+        """
+        obs = self.engine.observability
+        if not obs.metrics_enabled:
+            return
+        registry = obs.registry
+        catalog.http_requests(registry)
+        catalog.daemon_ready(registry)
+        catalog.daemon_pending(registry)
+        catalog.daemon_reconfiguring(registry)
+        # Unlabelled counters scrape as an explicit 0 from the first request,
+        # so dashboards can tell "never happened" from "not exported".
+        catalog.journal_commits(registry).child()
+        catalog.journal_records(registry).child()
+        catalog.learn_retries(registry).child()
+
+    def _journal_committed(self, records: int) -> None:
+        """Journal commit listener: fold each durable group into the registry."""
+        obs = self.engine.observability
+        if not obs.metrics_enabled:
+            return
+        catalog.journal_commits(obs.registry).inc()
+        if records:
+            catalog.journal_records(obs.registry).inc(records)
 
     # -- clock & batch plumbing --------------------------------------------------------
 
@@ -457,7 +506,17 @@ class ServingDaemon:
         # ``begin`` writes the new snapshot (which embeds the replayed tail)
         # atomically before deleting the previous generation's files.
         journal.begin(state.generation + 1, self._snapshot_document())
+        journal.listener = self._journal_committed
         self.journal = journal
+        if self._recovery_summary is None:
+            self._recovery_summary = {
+                "generation": state.generation + 1,
+                "replayed_batches": 0,
+                "replayed_requests": 0,
+                "base_index": self._index_base,
+            }
+        else:
+            self._recovery_summary["generation"] = state.generation + 1
         self.case_base.delta_log.attach_tap(self._record_delta)
         # Continue the killed incarnation's virtual clock so timer flushes
         # and new arrival stamps stay monotonic with the recovered trace.
@@ -495,6 +554,7 @@ class ServingDaemon:
         )
         self.engine = self.spec.build_engine(case_base, feasibility=self._feasibility)
         self.is_cluster = getattr(self.engine, "fleet", None) is not None
+        self._register_daemon_metrics()
         self.session = self.engine.session()
         if isinstance(engine_state, Mapping):
             self.session.restore_state(engine_state)
@@ -510,6 +570,7 @@ class ServingDaemon:
         # Requests in uncommitted (torn) groups were never answered, so
         # dropping them loses nothing a client observed.
         last_deltas: Optional[Mapping] = None
+        replayed_batches = 0
         for record in state.records:
             kind = record["kind"]
             if kind == "journal-trace":
@@ -534,6 +595,7 @@ class ServingDaemon:
                         self.responses[served.index] = served
                 self._batch_count = max(self._batch_count, batch.index + 1)
                 self._last_stamp_us = max(self._last_stamp_us, batch.close_us)
+                replayed_batches += 1
             elif kind == "journal-learn":
                 events = list(record.get("events", []))
                 position = int(record.get("position", 0))
@@ -562,13 +624,29 @@ class ServingDaemon:
                     "journal tail does not reconcile with the recovered case "
                     "base (revision advance or implementation count mismatch)"
                 )
+        self._recovery_summary = {
+            "generation": state.generation,
+            "replayed_batches": replayed_batches,
+            "replayed_requests": len(self.trace),
+            "base_index": base_index,
+        }
 
     def _recovery_finished(self, future) -> None:
         exc = future.exception()
         if exc is not None:
             self.recovery_error = exc
+            _LOG.error("event=serve.recovery_failed error=%r", str(exc))
         else:
             self.ready = True
+            summary = self._recovery_summary or {}
+            _LOG.info(
+                "event=serve.recovered generation=%s replayed_batches=%s "
+                "replayed_requests=%s base_index=%s",
+                summary.get("generation", 0),
+                summary.get("replayed_batches", 0),
+                summary.get("replayed_requests", 0),
+                summary.get("base_index", 0),
+            )
         self._ready_event.set()
 
     # -- capture ------------------------------------------------------------------------
@@ -635,11 +713,21 @@ class ServingDaemon:
             parsed.append((request, deadline_us, str(entry.get("note", ""))))
         # Submit without awaiting in between: one HTTP call's requests are
         # contiguous in the trace, in body order.
+        ingress_wall = time.perf_counter()
         futures = [
             self.batcher.submit(request, deadline_us, note)
             for request, deadline_us, note in parsed
         ]
         records = await asyncio.gather(*futures)
+        obs = self.engine.observability
+        if obs.trace_enabled:
+            # Wall-clock ingress->egress annotation only: never part of span
+            # identity, never part of any capture byte.
+            wall_us = (time.perf_counter() - ingress_wall) * 1e6
+            for record in records:
+                obs.annotate_trace(
+                    trace_id_for(record.index), http_wall_us=round(wall_us, 1)
+                )
         if batch_mode:
             return 200, schemas.attach_envelope(
                 "served-batch",
@@ -675,6 +763,10 @@ class ServingDaemon:
                         attempts=self._retry_policy.max_attempts,
                     )
                 self._learn_retries += failures
+                if self.engine.observability.metrics_enabled:
+                    catalog.learn_retries(
+                        self.engine.observability.registry
+                    ).inc(failures)
         if self.batcher.pending:
             # Deterministic replay needs mutations at batch boundaries;
             # defer until the open batch flushes (at most max_wait_us away).
@@ -695,7 +787,17 @@ class ServingDaemon:
             )
         return 200, schemas.attach_envelope("learning-applied", dict(outcome))
 
-    def _handle_metrics(self) -> Tuple[int, Dict[str, object]]:
+    def _handle_metrics(self, query: str = "") -> Tuple[int, Union[str, Dict[str, object]]]:
+        """``GET /metrics``: Prometheus text by default, ``?format=json`` legacy.
+
+        Deliberately *not* gated on readiness: a scrape during journal
+        recovery answers with ``repro_daemon_ready 0`` (and ``"ready": false``
+        in the JSON form) instead of a 503, so dashboards see the recovery
+        window instead of a gap.
+        """
+        params = dict(urllib.parse.parse_qsl(query))
+        if params.get("format", "prometheus") != "json":
+            return 200, self._exposition()
         daemon_section = {
             "requests": len(self.trace),
             "batches": self._batch_count,
@@ -705,6 +807,7 @@ class ServingDaemon:
             "queued_mutation_batches": len(self._queued_mutations),
             "reconfiguring": self.reconfiguring,
             "engine": "cluster" if self.is_cluster else "single",
+            "ready": self.ready,
         }
         if self.journal is not None:
             daemon_section["journal"] = {
@@ -720,6 +823,52 @@ class ServingDaemon:
         return 200, schemas.metrics_to_wire(
             self.session.metrics_snapshot(), daemon=daemon_section
         )
+
+    def _exposition(self) -> str:
+        """Prometheus text exposition with scrape-time daemon gauges."""
+        obs = self.engine.observability
+        registry = obs.registry
+        if obs.metrics_enabled:
+            catalog.daemon_ready(registry).set(1.0 if self.ready else 0.0)
+            catalog.daemon_pending(registry).set(float(len(self.batcher.pending)))
+            catalog.daemon_reconfiguring(registry).set(
+                1.0 if self.reconfiguring else 0.0
+            )
+        return registry.exposition()
+
+    def _handle_trace(self, trace_id: str) -> Tuple[int, Dict[str, object]]:
+        """``GET /trace/<id>``: one stored trace as a span tree."""
+        store = self.engine.observability.store
+        lookup = trace_id.strip()
+        if lookup.isdigit():
+            lookup = trace_id_for(int(lookup))
+        trace = store.get(lookup)
+        if trace is None:
+            return 404, schemas.error_to_wire(
+                "trace-not-found",
+                f"no trace {lookup!r} in the ring (capacity "
+                f"{self.engine.observability.config.trace_ring}); recent ids "
+                f"are listed by GET /traces/recent",
+            )
+        return 200, schemas.attach_envelope("trace", trace.to_dict())
+
+    def _handle_traces_recent(self, query: str) -> Tuple[int, Dict[str, object]]:
+        """``GET /traces/recent``: newest-first trace summaries from the ring."""
+        params = dict(urllib.parse.parse_qsl(query))
+        try:
+            limit = int(params.get("limit", "20"))
+        except ValueError:
+            return 400, schemas.error_to_wire(
+                "bad-request", f"bad limit: {params.get('limit')!r}"
+            )
+        obs = self.engine.observability
+        traces = obs.store.recent(limit=max(limit, 0))
+        return 200, schemas.attach_envelope("trace-list", {
+            "traces": [trace.summary() for trace in traces],
+            "stored": len(obs.store),
+            "ring": obs.config.trace_ring,
+            "sample_rate": obs.config.trace_sample_rate,
+        })
 
     def _handle_healthz(self) -> Tuple[int, Dict[str, object]]:
         """Liveness: 200 from the moment the socket is bound."""
@@ -743,17 +892,25 @@ class ServingDaemon:
         return 200, schemas.attach_envelope("health", {"status": "ready"})
 
     async def _dispatch(
-        self, method: str, path: str, body: bytes
-    ) -> Tuple[int, Dict[str, object]]:
+        self, method: str, path: str, body: bytes, query: str = ""
+    ) -> Tuple[int, Union[str, Dict[str, object]]]:
         routes = {
             "/healthz": ("GET", None),
             "/readyz": ("GET", None),
             "/metrics": ("GET", None),
+            "/traces/recent": ("GET", None),
             "/capture": ("GET", None),
             "/retrieve": ("POST", self._handle_retrieve),
             "/learn": ("POST", self._handle_learn),
         }
-        route = routes.get(path)
+        if path.startswith("/trace/"):
+            if method != "GET":
+                return 405, schemas.error_to_wire(
+                    "method-not-allowed", f"{path} expects GET"
+                )
+            route = (method, None)
+        else:
+            route = routes.get(path)
         if route is None:
             return 404, schemas.error_to_wire("not-found", f"no route for {path}")
         expected_method, handler = route
@@ -761,7 +918,9 @@ class ServingDaemon:
             return 405, schemas.error_to_wire(
                 "method-not-allowed", f"{path} expects {expected_method}"
             )
-        if path not in ("/healthz", "/readyz") and not self.ready:
+        # /metrics joins the liveness routes outside the ready gate so
+        # scrapes keep landing *during* journal recovery (gauge ready=0).
+        if path not in ("/healthz", "/readyz", "/metrics") and not self.ready:
             if self.recovery_error is not None:
                 return 503, schemas.error_to_wire(
                     "recovery-failed", str(self.recovery_error)
@@ -777,7 +936,11 @@ class ServingDaemon:
                 if path == "/readyz":
                     return self._handle_readyz()
                 if path == "/metrics":
-                    return self._handle_metrics()
+                    return self._handle_metrics(query)
+                if path == "/traces/recent":
+                    return self._handle_traces_recent(query)
+                if path.startswith("/trace/"):
+                    return self._handle_trace(path[len("/trace/"):])
                 return 200, self.capture_document()
             payload = schemas.loads(body.decode("utf-8", errors="replace"))
             return await handler(payload)
@@ -842,8 +1005,9 @@ class ServingDaemon:
                     )
                     break
                 body = await reader.readexactly(length) if length else b""
-                path = target.split("?", 1)[0]
-                status, document = await self._dispatch(method, path, body)
+                path, _, query = target.partition("?")
+                status, document = await self._dispatch(method, path, body, query)
+                self._count_http(path, status)
                 keep_alive = headers.get("connection", "").lower() != "close"
                 self._write_response(writer, status, document, keep_alive=keep_alive)
                 await writer.drain()
@@ -861,18 +1025,37 @@ class ServingDaemon:
             with contextlib.suppress(Exception):
                 await writer.wait_closed()
 
+    def _count_http(self, path: str, status: int) -> None:
+        """Fold one handled HTTP exchange into the registry (bounded labels)."""
+        obs = self.engine.observability
+        if not obs.metrics_enabled:
+            return
+        route = path if path in (
+            "/healthz", "/readyz", "/metrics", "/capture",
+            "/retrieve", "/learn", "/traces/recent",
+        ) else ("/trace" if path.startswith("/trace/") else "other")
+        catalog.http_requests(obs.registry).labels(
+            route=route, code=str(status)
+        ).inc()
+
     @staticmethod
     def _write_response(
         writer: asyncio.StreamWriter,
         status: int,
-        document: Dict[str, object],
+        document: Union[str, Dict[str, object]],
         *,
         keep_alive: bool,
     ) -> None:
-        body = json.dumps(document, sort_keys=True).encode("utf-8")
+        if isinstance(document, str):
+            # Plain-text body (the Prometheus exposition).
+            body = document.encode("utf-8")
+            content_type = _PROMETHEUS_CONTENT_TYPE
+        else:
+            body = json.dumps(document, sort_keys=True).encode("utf-8")
+            content_type = "application/json"
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             f"\r\n"
@@ -894,6 +1077,14 @@ class ServingDaemon:
         self._server = await asyncio.start_server(self._serve_connection, host, port)
         sockname = self._server.sockets[0].getsockname()
         self.address = (sockname[0], sockname[1])
+        _LOG.info(
+            "event=serve.start bind=%s:%s engine=%s spec_hash=%s journal=%s",
+            self.address[0],
+            self.address[1],
+            "cluster" if self.is_cluster else "single",
+            self.spec.spec_hash(),
+            self._journal_dir or "none",
+        )
         if self._journal_dir is not None and self.journal is None:
             self._recovery_future = self._loop.run_in_executor(
                 None, self._open_journal
@@ -928,6 +1119,12 @@ class ServingDaemon:
         if capture_path and self.capture_enabled:
             with open(capture_path, "w", encoding="utf-8") as stream:
                 stream.write(schemas.dumps(self.capture_document()))
+        _LOG.info(
+            "event=serve.drain requests=%s batches=%s learn_batches=%s",
+            len(self.trace),
+            self._batch_count,
+            len(self.learn_events),
+        )
 
     def finish(self) -> ServingReport:
         """Close the serving session and return its final report."""
@@ -972,7 +1169,12 @@ def attach_capture(
     return schemas.attach_envelope("serving-capture", payload)
 
 
-def replay_capture(document: Mapping) -> ServingReport:
+def replay_capture(
+    document: Mapping,
+    *,
+    observability: Optional[ObservabilityConfig] = None,
+    with_engine: bool = False,
+):
     """Re-serve a capture offline; the differential twin of the live daemon.
 
     Rebuilds the case base from the capture's pre-serving snapshot,
@@ -981,12 +1183,19 @@ def replay_capture(document: Mapping) -> ServingReport:
     batch at its recorded position.  The returned report's records must be
     bit-identical to the daemon's captured responses (rankings, similarity
     doubles, admission decisions) -- the capture/replay soak gate.
+
+    ``observability`` overrides the capture spec's observability axis (the
+    one knob that cannot change a replayed byte); ``with_engine=True``
+    returns ``(report, engine)`` so callers (``repro trace``) can read the
+    engine's trace ring after the replay.
     """
     schemas.check_envelope(document, kind="serving-capture")
     for key in ("spec", "case_base", "trace"):
         if key not in document:
             raise schemas.SchemaError(f"capture document is missing {key!r}")
     spec = ServingSpec.from_wire(document["spec"])
+    if observability is not None:
+        spec = spec.replace(observability=observability)
     try:
         case_base = CaseBase.from_dict(document["case_base"])
     except (KeyError, TypeError, ValueError) as exc:
@@ -1025,7 +1234,10 @@ def replay_capture(document: Mapping) -> ServingReport:
     while mutations:
         with contextlib.suppress(ReproError):
             schemas.apply_mutation_events(case_base, mutations.pop(0).get("events", []))
-    return session.finish()
+    report = session.finish()
+    if with_engine:
+        return report, engine
+    return report
 
 
 def run_daemon(

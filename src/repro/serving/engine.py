@@ -36,6 +36,7 @@ from ..core.learning import CaseRetainer, CaseReviser, CBRCycle, CycleReport, Ou
 from ..core.request import FunctionRequest
 from ..core.retrieval import RetrievalEngine, RetrievalResult
 from ..hardware.retrieval_unit import HardwareConfig
+from ..observability import Observability, ObservabilityConfig, catalog
 from .admission import AdmissionController, AdmissionDecision, AdmissionVerdict
 from .loadgen import TimedRequest, trace_from_requests
 from .metrics import MetricsCollector
@@ -83,8 +84,19 @@ class ServingConfig:
     learning_rate: float = 0.5
     novelty_threshold: float = 0.9
     learn_capacity: int = 16
+    #: Tracing + live-metrics instrumentation (purely observational: it
+    #: never changes a ranking, a capture byte or a journal byte).
+    observability: ObservabilityConfig = ObservabilityConfig()
 
     def __post_init__(self) -> None:
+        if isinstance(self.observability, Mapping):
+            object.__setattr__(
+                self,
+                "observability",
+                ObservabilityConfig.from_payload(self.observability),
+            )
+        elif self.observability is None:
+            object.__setattr__(self, "observability", ObservabilityConfig())
         if self.n_best < 1:
             raise ReproError(f"n_best must be at least 1, got {self.n_best}")
         if self.deadline_us is not None and self.deadline_us < 0:
@@ -272,7 +284,14 @@ class ServingSession:
 
     def __init__(self, engine: "ServingEngine") -> None:
         self.engine = engine
-        self.metrics = MetricsCollector()
+        self.observability = engine.observability
+        self.metrics = MetricsCollector(
+            registry=(
+                self.observability.registry
+                if self.observability.metrics_enabled
+                else None
+            )
+        )
         #: Outcome records keyed by trace index (sorted into a report later).
         self.records: Dict[int, ServedRequest] = {}
         self._admission_state = engine._admission_state()
@@ -297,6 +316,10 @@ class ServingSession:
     def process_batch(self, batch) -> List[ServedRequest]:
         """Serve one scheduled micro-batch; returns its records in trace order."""
         engine = self.engine
+        observability = self.observability
+        observability.begin_batch(
+            batch.index, batch.open_us, batch.close_us, size=len(batch)
+        )
         self.metrics.observe_batch(len(batch))
         produced: Dict[int, ServedRequest] = {}
         # Requeued carry-overs re-enter the dispatch ahead of this batch's
@@ -405,6 +428,7 @@ class ServingSession:
                         if record.status.served:
                             engine.learner.observe(entry.request, result)
         batch_records = [produced[index] for index in sorted(produced)]
+        observability.end_batch()
         for record in batch_records:
             self.records[record.index] = record
             self.metrics.observe_request(
@@ -420,7 +444,11 @@ class ServingSession:
                     if record.status is ServingStatus.SERVED_SOFTWARE
                     else 0
                 ),
+                wait_us=record.wait_us,
+                queue_us=record.queue_us,
+                service_us=record.service_us,
             )
+            observability.record_request(record)
         return batch_records
 
     def _learning_section(self) -> Optional[Dict[str, object]]:
@@ -471,7 +499,10 @@ class ServingSession:
                 ),
             )
             self.records[trace_index] = record
-            self.metrics.observe_request(record.status.value, latency_us=None)
+            self.metrics.observe_request(
+                record.status.value, latency_us=None, wait_us=record.wait_us
+            )
+            self.observability.record_request(record)
             drained.append(record)
         self._requeued = []
         return drained
@@ -534,6 +565,9 @@ class ServingEngine:
     ) -> None:
         self.case_base = case_base
         self.config = config if config is not None else ServingConfig()
+        #: The per-engine tracing + metrics hub; purely observational, so
+        #: enabling it cannot perturb rankings, captures or journal bytes.
+        self.observability = Observability(self.config.observability)
         self.scheduler = MicroBatchScheduler(
             max_batch=self.config.max_batch, max_wait_us=self.config.max_wait_us
         )
@@ -542,6 +576,7 @@ class ServingEngine:
             shard_count=self.config.shard_count,
             backend=self.config.backend,
         )
+        self.retriever.observability = self.observability
         # The modelled unit must be the one that would deliver the configured
         # ranking depth, or the "exact" service times describe a different
         # design point; widen n_best like the allocation manager does.
@@ -725,7 +760,16 @@ class ServingEngine:
         :class:`~repro.serving.cluster.ClusterServingEngine` overrides this
         pair of hooks to route across a whole device fleet instead.
         """
+        self._register_worker_gauges(("hardware", "software"))
         return {"hardware_free_at_us": 0.0, "software_free_at_us": 0.0}
+
+    def _register_worker_gauges(self, names: Sequence[str]) -> None:
+        """Materialise the health gauge for every server the engine models."""
+        if not self.observability.metrics_enabled:
+            return
+        gauge = catalog.worker_health(self.observability.registry)
+        for name in names:
+            gauge.labels(worker=name)
 
     def _assess_batch(
         self,

@@ -25,6 +25,7 @@ sum over shards (all other counters match the unsharded totals).
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Sequence
 
 from ..core.attributes import BoundsTable
@@ -42,6 +43,7 @@ from ..core.retrieval import (
     RetrievalResult,
     RetrievalStatistics,
 )
+from ..observability import catalog
 
 
 def build_shards(case_base: CaseBase, shard_count: int) -> List[CaseBase]:
@@ -105,6 +107,10 @@ class ShardedRetriever:
         self.case_base = case_base
         self.shard_count = int(shard_count)
         self.backend = backend
+        #: Optional :class:`~repro.observability.Observability` hub installed
+        #: by the owning engine; fan-out/merge spans and shard counters are
+        #: emitted through it when present.
+        self.observability = None
         self._engines: List[RetrievalEngine] = []
         self._shards: List[CaseBase] = []
         self._bounds_snapshot: Optional[BoundsTable] = None
@@ -271,13 +277,15 @@ class ShardedRetriever:
         """
         engines = self._ensure_current()
         requests = list(requests)
+        observability = self.observability
         if len(engines) == 1:
+            self._count_shard(0, len(requests))
             return engines[0].retrieve_batch(requests, n=n, threshold=threshold)
         for request in requests:
             self._screen(request)
         #: Per-request pools of (shard ranking, shard statistics).
         pools: List[List[RetrievalResult]] = [[] for _ in requests]
-        for engine in engines:
+        for shard_index, engine in enumerate(engines):
             member_indices = [
                 index
                 for index, request in enumerate(requests)
@@ -285,6 +293,7 @@ class ShardedRetriever:
             ]
             if not member_indices:
                 continue
+            started = time.perf_counter()
             shard_results = engine.retrieve_batch(
                 [requests[index] for index in member_indices],
                 n=n,
@@ -292,10 +301,42 @@ class ShardedRetriever:
             )
             for index, result in zip(member_indices, shard_results):
                 pools[index].append(result)
-        return [
+            self._count_shard(shard_index, len(member_indices))
+            if observability is not None:
+                observability.batch_span(
+                    f"shard-{shard_index}",
+                    shard=shard_index,
+                    requests=len(member_indices),
+                    annotations={
+                        "wall_us": (time.perf_counter() - started) * 1e6
+                    },
+                )
+        started = time.perf_counter()
+        merged = [
             self._merge(request, pool, n=n, threshold=threshold)
             for request, pool in zip(requests, pools)
         ]
+        if observability is not None:
+            merge_wall_us = (time.perf_counter() - started) * 1e6
+            observability.batch_span(
+                "merge",
+                requests=len(requests),
+                candidates=sum(len(pool) for pool in pools),
+                annotations={"wall_us": merge_wall_us},
+            )
+            if observability.metrics_enabled:
+                catalog.stage_latency(observability.registry).labels(
+                    stage="merge"
+                ).observe(merge_wall_us)
+        return merged
+
+    def _count_shard(self, shard_index: int, count: int) -> None:
+        """Count retrieval sub-requests landing on one shard."""
+        observability = self.observability
+        if count and observability is not None and observability.metrics_enabled:
+            catalog.shard_requests(observability.registry).labels(
+                shard=shard_index
+            ).inc(count)
 
     @staticmethod
     def _merge(

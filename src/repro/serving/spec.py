@@ -33,6 +33,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 from ..api import schemas
 from ..core.case_base import CaseBase
 from ..core.exceptions import ReproError
+from ..observability import DEFAULT_TRACE_RING, ObservabilityConfig
 from ..resilience import FaultPlan
 
 #: Spec fields whose ``ServingConfig`` counterpart is named differently.
@@ -84,8 +85,25 @@ class ServingSpec:
     #: chaos run's capture replays -- and a crashed daemon recovers -- under
     #: the exact fault schedule that served it.
     fault_plan: Optional[FaultPlan] = None
+    # -- observability axis (PR 8) --------------------------------------------------
+    #: Tracing / metrics knobs.  Purely observational: no setting here may
+    #: change a ranking, capture byte or journal byte (gated differentially).
+    observability: ObservabilityConfig = ObservabilityConfig()
 
     def __post_init__(self) -> None:
+        if isinstance(self.observability, Mapping):
+            object.__setattr__(
+                self,
+                "observability",
+                ObservabilityConfig.from_payload(self.observability),
+            )
+        if self.observability is None:
+            object.__setattr__(self, "observability", ObservabilityConfig())
+        if not isinstance(self.observability, ObservabilityConfig):
+            raise ReproError(
+                f"observability must be an ObservabilityConfig or its payload "
+                f"mapping, got {type(self.observability).__name__}"
+            )
         if isinstance(self.fault_plan, Mapping):
             object.__setattr__(
                 self, "fault_plan", FaultPlan.from_payload(self.fault_plan)
@@ -151,6 +169,7 @@ class ServingSpec:
             learning_rate=self.learning_rate,
             novelty_threshold=self.novelty_threshold,
             learn_capacity=self.learn_capacity,
+            observability=self.observability,
         )
 
     # -- construction: case base, trace, fleet, engine -------------------------------
@@ -329,6 +348,16 @@ class ServingSpec:
                          help="JSON fault-injection plan (seeded worker / "
                               "stream / connection faults) applied to the "
                               "run -- see repro.resilience.FaultPlan")
+        sub.add_argument("--trace-sample-rate", type=float, default=1.0,
+                         help="fraction of requests traced end-to-end, chosen "
+                              "deterministically per request index (default 1.0)")
+        sub.add_argument("--trace-ring", type=int, default=DEFAULT_TRACE_RING,
+                         help="completed traces kept in the in-memory ring "
+                              f"buffer (default {DEFAULT_TRACE_RING})")
+        sub.add_argument("--no-observability", action="store_true",
+                         help="disable the metrics registry and tracer entirely "
+                              "(observability is purely observational; results "
+                              "are bit-identical either way)")
 
     @staticmethod
     def add_cluster_arguments(sub: argparse.ArgumentParser) -> None:
@@ -397,6 +426,11 @@ class ServingSpec:
                 if getattr(args, "fault_plan", None)
                 else None
             ),
+            observability=ObservabilityConfig(
+                enabled=not getattr(args, "no_observability", False),
+                trace_sample_rate=getattr(args, "trace_sample_rate", 1.0),
+                trace_ring=getattr(args, "trace_ring", DEFAULT_TRACE_RING),
+            ),
         )
 
     # -- wire surface ----------------------------------------------------------------
@@ -408,7 +442,21 @@ class ServingSpec:
         payload["fault_plan"] = (
             self.fault_plan.to_payload() if self.fault_plan is not None else None
         )
+        payload["observability"] = dataclasses.asdict(self.observability)
         return schemas.attach_envelope("serving-spec", payload)
+
+    def spec_hash(self) -> str:
+        """A short stable digest of the wire form (structured-log friendly)."""
+        import hashlib
+        import json
+
+        payload = {
+            key: value
+            for key, value in self.to_wire().items()
+            if key not in ("kind", "schema_version")
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
 
     @classmethod
     def from_wire(cls, payload: Mapping) -> "ServingSpec":

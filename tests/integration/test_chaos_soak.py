@@ -179,7 +179,7 @@ class TestDaemonConnectionChaos:
             metrics = None
             for attempt in range(5):
                 try:
-                    metrics_connection.request("GET", "/metrics")
+                    metrics_connection.request("GET", "/metrics?format=json")
                     response = metrics_connection.getresponse()
                     metrics = json.loads(response.read().decode("utf-8"))
                     break
@@ -244,7 +244,7 @@ class TestDaemonConnectionChaos:
             response = connection.getresponse()
             body = json.loads(response.read().decode("utf-8"))
             assert response.status == 200 and body["applied"] == 1
-            connection.request("GET", "/metrics")
+            connection.request("GET", "/metrics?format=json")
             metrics = json.loads(
                 connection.getresponse().read().decode("utf-8")
             )

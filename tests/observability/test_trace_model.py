@@ -1,0 +1,144 @@
+"""Span/trace model: virtual-time identity, sampling, the bounded ring."""
+
+import pytest
+
+from repro.core.exceptions import ReproError
+from repro.observability import (
+    ObservabilityConfig,
+    Span,
+    Trace,
+    TraceStore,
+    batch_trace_id,
+    sampled,
+    trace_id_for,
+)
+
+
+class TestIds:
+    def test_trace_ids_are_deterministic(self):
+        assert trace_id_for(0) == "req-00000000"
+        assert trace_id_for(42) == "req-00000042"
+        assert batch_trace_id(7) == "batch-00000007"
+
+
+class TestSampling:
+    def test_rate_bounds(self):
+        assert all(sampled(i, 1.0) for i in range(100))
+        assert not any(sampled(i, 0.0) for i in range(100))
+
+    def test_deterministic_across_calls(self):
+        first = [sampled(i, 0.5) for i in range(1000)]
+        second = [sampled(i, 0.5) for i in range(1000)]
+        assert first == second
+
+    def test_rate_roughly_respected(self):
+        hits = sum(sampled(i, 0.25) for i in range(4000))
+        assert 800 < hits < 1200
+
+    def test_monotone_in_rate(self):
+        # A request admitted at a low rate stays admitted at any higher rate.
+        for index in range(200):
+            if sampled(index, 0.2):
+                assert sampled(index, 0.8)
+
+
+class TestTrace:
+    def test_span_tree_and_children(self):
+        trace = Trace("req-00000000")
+        root = trace.span("request", start_us=0.0, end_us=10.0, index=0)
+        trace.span("late", start_us=5.0, end_us=9.0, parent=root)
+        trace.span("early", start_us=1.0, end_us=4.0, parent=root)
+        assert trace.root is root
+        names = [span.name for span in trace.children_of(root)]
+        assert names == ["early", "late"]  # sorted by start_us
+
+    def test_point_span_and_none_attributes_dropped(self):
+        trace = Trace("t")
+        span = trace.span("admission", start_us=3.0, verdict="admit", gone=None)
+        assert span.start_us == span.end_us == 3.0
+        assert span.attributes == {"verdict": "admit"}
+
+    def test_annotations_excluded_from_identity(self):
+        first = Trace("t")
+        first.span("request", start_us=0.0, end_us=1.0, index=0)
+        second = Trace("t")
+        second.span("request", start_us=0.0, end_us=1.0, index=0)
+        second.annotate(http_wall_us=123.4)
+        assert first.identity() == second.identity()
+        assert second.root.annotations == {"http_wall_us": 123.4}
+
+    def test_attributes_part_of_identity(self):
+        first = Trace("t")
+        first.span("request", start_us=0.0, end_us=1.0, index=0)
+        second = Trace("t")
+        second.span("request", start_us=0.0, end_us=1.0, index=1)
+        assert first.identity() != second.identity()
+
+    def test_dict_round_trip(self):
+        trace = Trace("req-00000009")
+        root = trace.span("request", start_us=0.0, end_us=2.0, status="ok")
+        trace.span("queue", start_us=0.0, end_us=1.0, parent=root,
+                   annotations={"wall_us": 5.0})
+        rebuilt = Trace.from_dict(trace.to_dict())
+        assert rebuilt.identity() == trace.identity()
+        assert rebuilt.spans[1].annotations == {"wall_us": 5.0}
+
+    def test_summary_carries_root_fields(self):
+        trace = Trace("req-00000001")
+        trace.span("request", start_us=10.0, end_us=30.0, status="served_hardware")
+        summary = trace.summary()
+        assert summary["trace_id"] == "req-00000001"
+        assert summary["name"] == "request"
+        assert summary["duration_us"] == 20.0
+        assert summary["status"] == "served_hardware"
+
+
+class TestTraceStore:
+    def test_ring_evicts_oldest(self):
+        store = TraceStore(capacity=2)
+        for index in range(3):
+            store.add(Trace(trace_id_for(index)))
+        assert len(store) == 2
+        assert store.get("req-00000000") is None
+        assert store.get("req-00000002") is not None
+
+    def test_recent_is_newest_first(self):
+        store = TraceStore(capacity=8)
+        for index in range(4):
+            store.add(Trace(trace_id_for(index)))
+        ids = [trace.trace_id for trace in store.recent(limit=2)]
+        assert ids == ["req-00000003", "req-00000002"]
+
+    def test_annotate_by_id(self):
+        store = TraceStore()
+        trace = Trace("t")
+        trace.span("request", start_us=0.0, end_us=1.0)
+        store.add(trace)
+        assert store.annotate("t", wall_us=9.0)
+        assert trace.root.annotations == {"wall_us": 9.0}
+        assert not store.annotate("missing", wall_us=1.0)
+
+    def test_capacity_validated(self):
+        with pytest.raises(ReproError):
+            TraceStore(capacity=0)
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = ObservabilityConfig()
+        assert config.enabled
+        assert config.trace_sample_rate == 1.0
+        assert config.trace_ring == 256
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ObservabilityConfig(trace_sample_rate=1.5)
+        with pytest.raises(ReproError):
+            ObservabilityConfig(trace_ring=0)
+
+    def test_from_payload_filters_unknown_keys(self):
+        config = ObservabilityConfig.from_payload(
+            {"enabled": False, "trace_sample_rate": 0.5, "future_knob": 1}
+        )
+        assert not config.enabled
+        assert config.trace_sample_rate == 0.5

@@ -103,7 +103,7 @@ class TestRoutes:
     def test_metrics_scrape(self, daemon):
         _, client = daemon
         client.call("POST", "/retrieve", PAPER_WIRE)
-        status, body = client.call("GET", "/metrics")
+        status, body = client.call("GET", "/metrics?format=json")
         assert status == 200
         assert body["kind"] == "serving-metrics"
         assert body["metrics"]["requests"] >= 1
@@ -233,7 +233,7 @@ class TestReconfiguration:
             # Wait until the request is stamped into the open micro-batch.
             deadline = time.time() + 10
             while time.time() < deadline:
-                _, metrics = client.call("GET", "/metrics")
+                _, metrics = client.call("GET", "/metrics?format=json")
                 if metrics["daemon"]["pending"] >= 1:
                     break
                 time.sleep(0.005)
@@ -255,7 +255,7 @@ class TestReconfiguration:
             assert results["blocked"][0] == 200
             deadline = time.time() + 10
             while time.time() < deadline:
-                _, metrics = client.call("GET", "/metrics")
+                _, metrics = client.call("GET", "/metrics?format=json")
                 if not metrics["daemon"]["reconfiguring"]:
                     break
                 time.sleep(0.01)
@@ -373,7 +373,7 @@ class TestDrain:
             thread.start()
             deadline = time.time() + 10
             while time.time() < deadline:
-                _, metrics = client.call("GET", "/metrics")
+                _, metrics = client.call("GET", "/metrics?format=json")
                 if metrics["daemon"]["pending"] >= 1:
                     break
                 time.sleep(0.005)

@@ -68,7 +68,7 @@ class TestFreshJournal:
             assert status == 200 and body["status"] == "ok"
             status, _ = client.call("POST", "/retrieve", PAPER_WIRE)
             assert status == 200
-            status, metrics = client.call("GET", "/metrics")
+            status, metrics = client.call("GET", "/metrics?format=json")
             journal = metrics["daemon"]["journal"]
             assert journal["generation"] == 0
             assert journal["records_since_snapshot"] >= 1
@@ -112,7 +112,7 @@ class TestCrashRecovery:
             new_record = _strip(body)
             status, capture = client.call("GET", "/capture")
             assert status == 200
-            status, metrics = client.call("GET", "/metrics")
+            status, metrics = client.call("GET", "/metrics?format=json")
             assert metrics["daemon"]["journal"]["generation"] == 1
             client.close()
 
@@ -162,7 +162,7 @@ class TestCompaction:
             for _ in range(4):
                 status, _ = client.call("POST", "/retrieve", PAPER_WIRE)
                 assert status == 200
-            status, metrics = client.call("GET", "/metrics")
+            status, metrics = client.call("GET", "/metrics?format=json")
             generation = metrics["daemon"]["journal"]["generation"]
             assert generation >= 1
             client.close()
