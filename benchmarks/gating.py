@@ -1,0 +1,47 @@
+"""Shared helpers of the gated benchmark suites.
+
+Every ``test_bench_*`` module had grown its own copy of the same two idioms;
+they live here exactly once now:
+
+* :func:`record_baseline` -- merge one measurement into the committed
+  ``BENCH_*.json`` baseline, but only when the matching environment variable
+  names a path (CI's bench-smoke lane refreshes the artifacts; local runs
+  stay read-only by default);
+* :func:`best_of` -- best-of-N wall-clock timing, the noise-robust
+  measurement the speedup gates compare.
+"""
+
+import json
+import os
+import time
+
+
+def record_baseline(env_var, key, payload):
+    """Merge one measurement into the JSON baseline when recording is enabled.
+
+    ``env_var`` names the environment variable holding the baseline path
+    (e.g. ``BENCH_SERVING_JSON``); when unset the call is a no-op, so plain
+    test runs never touch the committed artifacts.
+    """
+    path = os.environ.get(env_var)
+    if not path:
+        return
+    data = {}
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as stream:
+            data = json.load(stream)
+    data[key] = payload
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(data, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+
+
+def best_of(runs, function):
+    """``(best wall seconds, last result)`` over ``runs`` calls of ``function``."""
+    best = float("inf")
+    result = None
+    for _ in range(runs):
+        start = time.perf_counter()
+        result = function()
+        best = min(best, time.perf_counter() - start)
+    return best, result

@@ -12,8 +12,8 @@ base with a 100-request batch the vectorized batch path is at least 5x faster
 than the naive per-implementation loop, while returning identical rankings.
 """
 
-import time
 
+import gating
 import pytest
 
 from repro.core import RetrievalEngine
@@ -46,13 +46,8 @@ def batch_setup():
 
 
 def _best_of(runs, function):
-    best = float("inf")
-    result = None
-    for _ in range(runs):
-        start = time.perf_counter()
-        result = function()
-        best = min(best, time.perf_counter() - start)
-    return best, result
+    """Best-of-N wall-clock timing (see gating.py)."""
+    return gating.best_of(runs, function)
 
 
 def test_batch_vectorized_speedup_over_naive_loop(benchmark, batch_setup):

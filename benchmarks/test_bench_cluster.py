@@ -21,9 +21,9 @@ baseline -- ``BENCH_cluster.json`` in the repository root seeds the perf
 trajectory and is refreshed by the CI bench-smoke job's artifact.
 """
 
-import json
-import os
 import random
+
+import gating
 
 from repro.core import FunctionRequest
 from repro.platform import DeviceFleet
@@ -83,18 +83,8 @@ def _cluster_engine(case_base, devices, **overrides):
 
 
 def _record_baseline(key, payload):
-    """Merge one measurement into the JSON baseline when recording is enabled."""
-    path = os.environ.get("BENCH_CLUSTER_JSON")
-    if not path:
-        return
-    data = {}
-    if os.path.exists(path):
-        with open(path, "r", encoding="utf-8") as stream:
-            data = json.load(stream)
-    data[key] = payload
-    with open(path, "w", encoding="utf-8") as stream:
-        json.dump(data, stream, indent=2, sort_keys=True)
-        stream.write("\n")
+    """Merge one measurement into the BENCH_CLUSTER_JSON baseline (see gating.py)."""
+    gating.record_baseline("BENCH_CLUSTER_JSON", key, payload)
 
 
 def test_fleet_throughput_gate(benchmark, table3_case_base, table3_generator):

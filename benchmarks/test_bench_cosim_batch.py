@@ -13,9 +13,9 @@ numbers (speedups, wall times, modelled cycles) as a JSON baseline --
 refreshed by the CI bench-smoke job's artifact.
 """
 
-import json
-import os
 import time
+
+import gating
 
 from repro.hardware import HardwareConfig, HardwareRetrievalUnit
 from repro.software import SoftwareRetrievalUnit
@@ -49,18 +49,8 @@ def _timed_batch(unit, requests, engine):
 
 
 def _record_baseline(key, payload):
-    """Merge one measurement into the JSON baseline when recording is enabled."""
-    path = os.environ.get("BENCH_COSIM_JSON")
-    if not path:
-        return
-    data = {}
-    if os.path.exists(path):
-        with open(path, "r", encoding="utf-8") as stream:
-            data = json.load(stream)
-    data[key] = payload
-    with open(path, "w", encoding="utf-8") as stream:
-        json.dump(data, stream, indent=2, sort_keys=True)
-        stream.write("\n")
+    """Merge one measurement into the BENCH_COSIM_JSON baseline (see gating.py)."""
+    gating.record_baseline("BENCH_COSIM_JSON", key, payload)
 
 
 def _gate(unit, requests, key, *, assert_identical):

@@ -28,10 +28,10 @@ baseline -- ``BENCH_deltas.json`` in the repository root seeds the perf
 trajectory and is refreshed by the CI bench-smoke job's artifact.
 """
 
-import json
-import os
 import random
 import time
+
+import gating
 
 from repro.core import ExecutionTarget, Implementation
 from repro.hardware import HardwareRetrievalUnit
@@ -122,18 +122,8 @@ def _best_pass(generator, retained, probes, *, full_rebuild, rounds=ROUNDS):
 
 
 def _record_baseline(key, payload):
-    """Merge one measurement into the JSON baseline when recording is enabled."""
-    path = os.environ.get("BENCH_DELTAS_JSON")
-    if not path:
-        return
-    data = {}
-    if os.path.exists(path):
-        with open(path, "r", encoding="utf-8") as stream:
-            data = json.load(stream)
-    data[key] = payload
-    with open(path, "w", encoding="utf-8") as stream:
-        json.dump(data, stream, indent=2, sort_keys=True)
-        stream.write("\n")
+    """Merge one measurement into the BENCH_DELTAS_JSON baseline (see gating.py)."""
+    gating.record_baseline("BENCH_DELTAS_JSON", key, payload)
 
 
 def test_incremental_retain_speedup_gate(benchmark, table3_generator):

@@ -19,9 +19,9 @@ baseline -- ``BENCH_serving.json`` in the repository root seeds the perf
 trajectory and is refreshed by the CI bench-smoke job's artifact.
 """
 
-import json
-import os
 import random
+
+import gating
 
 from repro.core import FunctionRequest
 from repro.serving import ServingConfig, ServingEngine, trace_from_requests
@@ -88,18 +88,8 @@ def _best_wall_seconds(engine, trace, rounds=3):
 
 
 def _record_baseline(key, payload):
-    """Merge one measurement into the JSON baseline when recording is enabled."""
-    path = os.environ.get("BENCH_SERVING_JSON")
-    if not path:
-        return
-    data = {}
-    if os.path.exists(path):
-        with open(path, "r", encoding="utf-8") as stream:
-            data = json.load(stream)
-    data[key] = payload
-    with open(path, "w", encoding="utf-8") as stream:
-        json.dump(data, stream, indent=2, sort_keys=True)
-        stream.write("\n")
+    """Merge one measurement into the BENCH_SERVING_JSON baseline (see gating.py)."""
+    gating.record_baseline("BENCH_SERVING_JSON", key, payload)
 
 
 def test_micro_batch_speedup_gate(benchmark, table3_case_base, table3_generator):

@@ -542,7 +542,8 @@ def cmd_serve_trace(args: argparse.Namespace) -> int:
         served_case_base = (
             case_base.copy() if spec.learn and args.engine == "compare" else case_base
         )
-        report = spec.build_engine(served_case_base).serve(trace)
+        with spec.build_engine(served_case_base) as engine:
+            report = engine.serve(trace)
     except ReproError as error:
         print(f"serve-trace: {error}", file=sys.stderr)
         return 2
@@ -555,7 +556,9 @@ def cmd_serve_trace(args: argparse.Namespace) -> int:
 
     exit_code = 0
     if args.engine == "compare":
-        unsharded = spec.replace(shards=1).build_engine(
+        # The reference replay is the inline single-shard golden path, even
+        # when the primary ran with --workers process execution.
+        unsharded = spec.replace(shards=1, execution="inline", workers=0).build_engine(
             case_base.copy() if spec.learn else case_base
         ).serve(trace)
         mismatches = _report_compare_mismatches(
@@ -598,7 +601,8 @@ def cmd_serve_cluster(args: argparse.Namespace) -> int:
             # Only meaningful when the trace is actually workload-derived:
             # --requests/--random traces ignore --workload entirely.
             apply_failover_outages(fleet, spec.duration_ms * 1000.0)
-        report = spec.build_engine(served_case_base, fleet=fleet).serve(trace)
+        with spec.build_engine(served_case_base, fleet=fleet) as engine:
+            report = engine.serve(trace)
     except ReproError as error:
         print(f"serve-cluster: {error}", file=sys.stderr)
         return 2
@@ -631,7 +635,10 @@ def cmd_serve_cluster(args: argparse.Namespace) -> int:
 
     exit_code = 0
     if args.engine == "compare":
-        single = spec.replace(cluster=False, shards=1).build_engine(
+        # Inline single-device golden reference, even under --workers.
+        single = spec.replace(
+            cluster=False, shards=1, execution="inline", workers=0
+        ).build_engine(
             case_base.copy() if spec.learn else case_base
         ).serve(trace)
         cluster_rankings = report.rankings()

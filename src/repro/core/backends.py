@@ -277,6 +277,37 @@ class _TypeMatrices:
                 self.present[row, column] = True
         self._refresh_column_stats()
 
+    @classmethod
+    def from_arrays(
+        cls,
+        implementations: List[Implementation],
+        columns: Dict[int, int],
+        impl_ids: np.ndarray,
+        values: np.ndarray,
+        present: np.ndarray,
+    ) -> "_TypeMatrices":
+        """Build from pre-encoded arrays (the shared-memory construction path).
+
+        The arrays may be zero-copy views over a
+        :class:`multiprocessing.shared_memory.SharedMemory` buffer exported by
+        another process: nothing is copied here, only the derived column
+        statistics are recomputed.  Row ``i`` must describe
+        ``implementations[i]`` with rows ascending by implementation ID --
+        exactly what :meth:`__init__` would have produced from the same
+        variant list.  Shape-changing delta events later migrate the arrays
+        to private memory naturally (``np.concatenate`` allocates fresh
+        arrays); in-place row rewrites patch the shared buffer, which the
+        single-writer worker protocol makes safe.
+        """
+        matrices = cls.__new__(cls)
+        matrices.implementations = list(implementations)
+        matrices.impl_ids = impl_ids
+        matrices.columns = dict(columns)
+        matrices.values = values
+        matrices.present = present
+        matrices._refresh_column_stats()
+        return matrices
+
     def _refresh_column_stats(self) -> None:
         """Per-column absence summaries, hoisted off the retrieval hot path.
 
@@ -435,6 +466,21 @@ class VectorizedBackend(RetrievalBackend):
                     self._cache.pop(type_id, None)
                     break
         return True
+
+    def adopt_matrices(self, cache: Dict[int, _TypeMatrices]) -> None:
+        """Seed the per-type matrix cache wholesale (the shared-memory path).
+
+        A worker process that received pre-built matrices (e.g. zero-copy
+        views over a shared-memory export, see
+        :meth:`_TypeMatrices.from_arrays`) installs them here instead of
+        re-encoding every implementation row.  The tracker is marked current
+        so the first ``ensure_current`` does not wipe the seeded state with a
+        full rebuild; later case-base mutations still patch it incrementally
+        through the normal delta window machinery.
+        """
+        self._cache = dict(cache)
+        self._reciprocals.clear()
+        self.tracker.mark_current()
 
     @property
     def tracker(self) -> RevisionTrackedCache:

@@ -1,0 +1,32 @@
+"""True multi-core execution: process-pool shard runner + multiprocess fleet.
+
+Every earlier "parallel" layer -- N-way shards, the device fleet, the
+cluster router -- models parallel hardware in *virtual* time inside one
+Python process.  This package adds the real execution tier:
+
+* :class:`~repro.parallel.runner.ParallelShardedRetriever` -- the shard
+  partition fanned out to worker OS processes, with per-type attribute
+  matrices exported once per case-base revision through
+  ``multiprocessing.shared_memory`` (:mod:`repro.parallel.shm`) and delta
+  windows shipped as shard-level ops over task queues
+  (:mod:`repro.parallel.worker`);
+* :class:`~repro.parallel.fleet_proc.FleetWorkerPool` -- each
+  :class:`~repro.platform.fleet.DeviceFleet` worker as an OS process
+  consuming micro-batches and delta sync windows from queues.
+
+Both are selected through the serving ``execution="process"`` / ``workers``
+axes (:class:`~repro.serving.ServingSpec`, ``--workers`` on the CLI) and are
+bit-identical to inline execution -- rankings, similarity doubles,
+statistics and admission cycle counts -- by construction and by the
+differential/property suites.
+"""
+
+from .fleet_proc import FleetWorkerPool
+from .runner import ParallelShardedRetriever, ShardWorkerPool, default_start_method
+
+__all__ = [
+    "FleetWorkerPool",
+    "ParallelShardedRetriever",
+    "ShardWorkerPool",
+    "default_start_method",
+]

@@ -1,0 +1,223 @@
+"""Multiprocess fleet mode: each ``DeviceFleet`` worker as an OS process.
+
+In ``execution="process"`` cluster serving, every
+:class:`~repro.platform.fleet.RetrievalWorker` gets a companion OS process
+consuming two message streams from its FIFO task queue:
+
+* **delta sync windows** -- the parent computes the window (streamed bytes,
+  incremental flag) from its delta log, and the child runs the modelled
+  image stream, including fault-injected retry/backoff schedules, against
+  the child-owned :class:`~repro.platform.reconfiguration.ReconfigurationController`.
+  The reply carries the :class:`~repro.platform.fleet.WorkerSyncEvent` plus
+  the port's new busy-until timestamp, which the parent adopts via
+  ``restore_occupancy`` -- the same single-scalar mirror the journal
+  crash-recovery path uses -- so routing decisions (``available_from``)
+  stay bit-identical to inline execution;
+* **micro-batches** -- routed assignments are shipped fire-and-forget so the
+  per-worker consumption counters accumulate in the worker's own process.
+
+Stream-fault draws are stateless per ``(seed, worker, revision)``
+(:func:`~repro.resilience.retry.derive_rng`), so moving the computation into
+a child cannot perturb any other worker's schedule.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+import traceback
+from typing import Dict, Optional, Tuple
+
+from ..core.exceptions import ReproError
+
+#: Seconds the parent waits on a fleet-worker reply before declaring it hung.
+REPLY_TIMEOUT_S = 60.0
+
+
+def fleet_worker_main(
+    name: str,
+    reconfiguration,
+    reconfig_us: Optional[float],
+    fault_injector,
+    retry_policy,
+    task_queue,
+    result_queue,
+) -> None:
+    """Entry point of one fleet-worker process (top-level for spawn)."""
+    from ..platform.fleet import stream_image_event
+
+    batches = 0
+    while True:
+        message = task_queue.get()
+        kind = message[0]
+        try:
+            if kind == "stream":
+                _, revision, streamed_bytes, incremental, now_us = message
+                event = stream_image_event(
+                    name,
+                    reconfiguration,
+                    revision,
+                    streamed_bytes,
+                    incremental,
+                    now_us,
+                    reconfig_us=reconfig_us,
+                    fault_injector=fault_injector,
+                    retry_policy=retry_policy,
+                )
+                result_queue.put(
+                    (name, "synced", (event, reconfiguration.busy_until_us()))
+                )
+            elif kind == "batch":
+                batches += int(message[1])
+            elif kind == "reset":
+                if reconfiguration is not None:
+                    reconfiguration.reset()
+            elif kind == "restore":
+                if reconfiguration is not None:
+                    reconfiguration.restore_occupancy(message[1])
+            elif kind == "stop":
+                result_queue.put((name, "stopped", batches))
+                return
+            else:  # pragma: no cover - protocol bug
+                raise ValueError(f"unknown fleet worker message {kind!r}")
+        except BaseException:
+            try:
+                result_queue.put((name, "error", traceback.format_exc()))
+            finally:
+                if kind == "stop":
+                    return
+
+
+class FleetWorkerPool:
+    """One OS process per fleet worker, fed sync windows and micro-batches."""
+
+    def __init__(self, fleet, *, start_method: Optional[str] = None) -> None:
+        from .runner import default_start_method
+
+        self._ctx = multiprocessing.get_context(start_method or default_start_method())
+        self.result_queue = self._ctx.Queue()
+        self.task_queues: Dict[str, object] = {}
+        self.processes: Dict[str, object] = {}
+        for worker in fleet.workers:
+            task_queue = self._ctx.Queue()
+            process = self._ctx.Process(
+                target=fleet_worker_main,
+                args=(
+                    worker.name,
+                    worker.controller.reconfiguration,
+                    fleet.reconfig_us,
+                    fleet.fault_injector,
+                    fleet.retry_policy,
+                    task_queue,
+                    self.result_queue,
+                ),
+                name=f"repro-fleet-worker-{worker.name}",
+                daemon=True,
+            )
+            process.start()
+            self.task_queues[worker.name] = task_queue
+            self.processes[worker.name] = process
+        self._closed = False
+
+    @property
+    def live_workers(self) -> int:
+        return sum(1 for process in self.processes.values() if process.is_alive())
+
+    def _send(self, name: str, message: tuple) -> None:
+        if self._closed:
+            raise ReproError("fleet worker pool is closed")
+        self.task_queues[name].put(message)
+
+    def _expect(self, name: str, kind: str, *, timeout: float = REPLY_TIMEOUT_S):
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ReproError(
+                    f"timed out waiting for fleet worker {name!r} {kind!r} reply"
+                )
+            try:
+                reply_name, reply_kind, payload = self.result_queue.get(
+                    timeout=min(remaining, 1.0)
+                )
+            except queue_module.Empty:
+                process = self.processes.get(name)
+                if process is not None and not process.is_alive():
+                    raise ReproError(
+                        f"fleet worker {name!r} died while the parent awaited "
+                        f"a {kind!r} reply"
+                    )
+                continue
+            if reply_kind == "error":
+                raise ReproError(f"fleet worker {reply_name!r} failed:\n{payload}")
+            if reply_name == name and reply_kind == kind:
+                return payload
+
+    # -- the consumed streams ------------------------------------------------------
+
+    def stream_image(
+        self,
+        name: str,
+        revision: int,
+        streamed_bytes: int,
+        incremental: bool,
+        now_us: float,
+    ) -> Tuple[object, float]:
+        """Run one modelled image stream in the worker's process.
+
+        Returns ``(sync event, port busy-until)``; the caller mirrors the
+        occupancy back onto its parent-side controller.
+        """
+        self._send(name, ("stream", revision, streamed_bytes, incremental, now_us))
+        return self._expect(name, "synced")
+
+    def record_batch(self, name: str, count: int = 1) -> None:
+        """Ship one routed micro-batch assignment (fire-and-forget)."""
+        self._send(name, ("batch", count))
+
+    def reset(self) -> None:
+        """Mirror :meth:`DeviceFleet.reset_timing` into every process."""
+        for name in self.task_queues:
+            self._send(name, ("reset",))
+
+    def restore_occupancy(self, name: str, busy_until_us: float) -> None:
+        """Mirror a journal-recovery occupancy restore into one process."""
+        self._send(name, ("restore", float(busy_until_us)))
+
+    def close(self, *, timeout: float = 10.0) -> None:
+        """Stop every fleet-worker process and tear the queues down."""
+        if self._closed:
+            return
+        self._closed = True
+        stopping = []
+        for name, process in self.processes.items():
+            if process.is_alive():
+                try:
+                    self.task_queues[name].put(("stop",))
+                    stopping.append(name)
+                except Exception:  # pragma: no cover - queue already broken
+                    pass
+        deadline = time.monotonic() + timeout
+        pending = set(stopping)
+        while pending and time.monotonic() < deadline:
+            try:
+                reply_name, reply_kind, _payload = self.result_queue.get(timeout=0.5)
+            except queue_module.Empty:
+                pending = {
+                    name for name in pending if self.processes[name].is_alive()
+                }
+                continue
+            if reply_kind == "stopped":
+                pending.discard(reply_name)
+        for process in self.processes.values():
+            process.join(timeout=timeout)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+                process.join(timeout=timeout)
+        for task_queue in [*self.task_queues.values(), self.result_queue]:
+            try:
+                task_queue.close()
+                task_queue.cancel_join_thread()
+            except Exception:  # pragma: no cover - queue already broken
+                pass

@@ -1,0 +1,557 @@
+"""Process-pool shard runner: true multi-core execution of sharded retrieval.
+
+:class:`ParallelShardedRetriever` is interface-compatible with the inline
+:class:`~repro.serving.shards.ShardedRetriever` (``retrieve_batch`` /
+``invalidate`` / ``observability``) but fans the per-shard work out to
+``workers`` OS processes, so wall-clock throughput scales with cores instead
+of being bounded by one interpreter running NumPy.
+
+Topology and protocol:
+
+* shard ``i`` (round-robin partition, identical to ``build_shards``) is owned
+  by worker ``i % workers``; workers beyond the shard count idle harmlessly;
+* the parent keeps a partition *mirror* -- the same shard case bases the
+  inline runner would hold, minus the engines -- to route requests, compute
+  delta ownership and rebuild exports;
+* per case-base revision rebuild, the parent pickles each worker's shard
+  case bases once and exports every per-type attribute matrix into one
+  shared-memory segment; workers attach zero-copy NumPy views and seed their
+  vectorized backends (see :mod:`repro.parallel.shm`);
+* a delta window (online learning, mid-trace mutations) is translated into
+  shard-level ops shipped over the owning worker's FIFO task queue -- the
+  same op stream patches the parent mirror, so both sides stay equivalent in
+  O(touched) without re-pickling the case base;
+* ``retrieve_batch`` is a synchronous scatter/gather: sub-batches go out to
+  every owning worker at once, per-shard rankings come back in compact wire
+  form, and the parent merges them with the inline runner's
+  ``(-similarity, implementation_id)`` key -- bit-identical by construction,
+  because each worker runs literally the inline per-shard engine code on
+  identical shard contents.
+
+Lifecycle: :meth:`close` (or the context-manager protocol) stops the pool
+and unlinks the shared-memory segment; an ``atexit`` backstop covers owners
+that forget.  A closed runner transparently respawns on next use.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import queue as queue_module
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.backends import _check_n, _check_threshold
+from ..core.caching import RevisionTrackedCache
+from ..core.case_base import CaseBase
+from ..core.deltas import (
+    DeltaSummary,
+    NetImplementationEvent,
+    deltas_preserve_derived_bounds,
+)
+from ..core.exceptions import RetrievalError
+from ..core.request import FunctionRequest
+from ..core.retrieval import (
+    RetrievalResult,
+    RetrievalStatistics,
+    ScoredImplementation,
+)
+from ..observability import catalog
+from ..serving.shards import ShardedRetriever, build_shards
+from . import shm as shm_helpers
+from .worker import apply_ops, shard_worker_main
+
+#: Seconds the parent waits on a worker reply before declaring the pool hung.
+REPLY_TIMEOUT_S = float(os.environ.get("REPRO_PARALLEL_TIMEOUT_S", "120"))
+
+
+def default_start_method() -> str:
+    """``fork`` where available (fast spawn, shared import state), else spawn."""
+    override = os.environ.get("REPRO_PARALLEL_START_METHOD")
+    if override:
+        return override
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+class ShardWorkerPool:
+    """A fixed set of shard worker processes with FIFO task queues."""
+
+    def __init__(self, count: int, *, start_method: Optional[str] = None) -> None:
+        if count < 1:
+            raise RetrievalError(f"worker count must be at least 1, got {count}")
+        self.count = int(count)
+        self._ctx = multiprocessing.get_context(start_method or default_start_method())
+        self.result_queue = self._ctx.Queue()
+        self.task_queues = [self._ctx.Queue() for _ in range(self.count)]
+        self.processes = [
+            self._ctx.Process(
+                target=shard_worker_main,
+                args=(index, self.task_queues[index], self.result_queue),
+                name=f"repro-shard-worker-{index}",
+                daemon=True,
+            )
+            for index in range(self.count)
+        ]
+        for process in self.processes:
+            process.start()
+        self._closed = False
+
+    @property
+    def live_workers(self) -> int:
+        return sum(1 for process in self.processes if process.is_alive())
+
+    def task_queue_depth(self) -> int:
+        """Best-effort total backlog across the task queues."""
+        depth = 0
+        for task_queue in self.task_queues:
+            try:
+                depth += task_queue.qsize()
+            except NotImplementedError:  # pragma: no cover - macOS qsize
+                return 0
+        return depth
+
+    def send(self, worker_index: int, message: tuple) -> None:
+        if self._closed:
+            raise RetrievalError("worker pool is closed")
+        self.task_queues[worker_index].put(message)
+
+    def broadcast(self, message: tuple) -> None:
+        for worker_index in range(self.count):
+            self.send(worker_index, message)
+
+    def collect(
+        self,
+        worker_indices,
+        kind: str,
+        *,
+        timeout: float = REPLY_TIMEOUT_S,
+    ) -> Dict[int, object]:
+        """Gather one ``kind`` reply from each listed worker (any order)."""
+        pending = set(worker_indices)
+        replies: Dict[int, object] = {}
+        deadline = time.monotonic() + timeout
+        while pending:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise RetrievalError(
+                    f"timed out waiting for {sorted(pending)} worker "
+                    f"{kind!r} replies after {timeout:.0f}s"
+                )
+            try:
+                worker_index, reply_kind, payload = self.result_queue.get(
+                    timeout=min(remaining, 1.0)
+                )
+            except queue_module.Empty:
+                dead = [
+                    index
+                    for index in pending
+                    if not self.processes[index].is_alive()
+                ]
+                if dead:
+                    raise RetrievalError(
+                        f"shard worker(s) {dead} died while the parent awaited "
+                        f"{kind!r} replies"
+                    )
+                continue
+            if reply_kind == "error":
+                raise RetrievalError(
+                    f"shard worker {worker_index} failed:\n{payload}"
+                )
+            if reply_kind != kind:  # stale ack from a superseded exchange
+                continue
+            if worker_index in pending:
+                pending.discard(worker_index)
+                replies[worker_index] = payload
+        return replies
+
+    def close(self, *, timeout: float = 10.0) -> None:
+        """Stop every worker, join, and tear the queues down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        stopping = []
+        for worker_index, process in enumerate(self.processes):
+            if process.is_alive():
+                try:
+                    self.task_queues[worker_index].put(("stop",))
+                    stopping.append(worker_index)
+                except Exception:  # pragma: no cover - queue already broken
+                    pass
+        if stopping:
+            try:
+                self.collect(stopping, "stopped", timeout=timeout)
+            except RetrievalError:  # pragma: no cover - hung worker
+                pass
+        for process in self.processes:
+            process.join(timeout=timeout)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+                process.join(timeout=timeout)
+        for task_queue in [*self.task_queues, self.result_queue]:
+            try:
+                task_queue.close()
+                task_queue.cancel_join_thread()
+            except Exception:  # pragma: no cover - queue already broken
+                pass
+
+
+class ParallelShardedRetriever:
+    """Batch retrieval over shard worker *processes* (multi-core execution).
+
+    Drop-in for :class:`~repro.serving.shards.ShardedRetriever` where the
+    serving engine only needs ``retrieve_batch`` / ``invalidate`` /
+    ``observability``; rankings, similarity doubles, statistics and
+    per-request semantics are bit-identical to the inline runner (gated by
+    the differential and property suites).
+    """
+
+    def __init__(
+        self,
+        case_base: CaseBase,
+        *,
+        shard_count: int = 1,
+        workers: int = 1,
+        backend: str = "vectorized",
+        start_method: Optional[str] = None,
+    ) -> None:
+        if backend not in ("naive", "reference", "vectorized"):
+            raise RetrievalError(
+                f"unknown shard backend {backend!r}; "
+                f"expected 'naive', 'reference' or 'vectorized'"
+            )
+        if shard_count < 1:
+            raise RetrievalError(f"shard_count must be at least 1, got {shard_count}")
+        if workers < 1:
+            raise RetrievalError(f"workers must be at least 1, got {workers}")
+        self.case_base = case_base
+        self.shard_count = int(shard_count)
+        self.workers = int(workers)
+        self.backend = backend
+        self.start_method = start_method
+        #: Optional :class:`~repro.observability.Observability` hub installed
+        #: by the owning engine (same contract as the inline runner).
+        self.observability = None
+        self._mirror: List[CaseBase] = []
+        self._bounds_snapshot = None
+        self._pool: Optional[ShardWorkerPool] = None
+        self._segment = None
+        self._tracker = RevisionTrackedCache(
+            case_base, rebuild=self._rebuild, apply=self._apply_deltas
+        )
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def __enter__(self) -> "ParallelShardedRetriever":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Stop the worker pool and release the shared-memory segment.
+
+        Idempotent; a closed runner respawns transparently on next use, so
+        the context-manager form composes with engine reuse.
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+            atexit.unregister(self.close)
+        shm_helpers.unlink_segment(self._segment)
+        self._segment = None
+        self._tracker.invalidate()
+        self._set_pool_gauges()
+
+    def invalidate(self) -> None:
+        """Force a full partition rebuild + worker reload on next use."""
+        self._tracker.invalidate()
+
+    def _ensure_pool(self) -> ShardWorkerPool:
+        if self._pool is None:
+            self._pool = ShardWorkerPool(
+                self.workers, start_method=self.start_method
+            )
+            atexit.register(self.close)
+            self._set_pool_gauges()
+        return self._pool
+
+    # -- partition + worker state --------------------------------------------------
+
+    def _worker_of(self, shard_index: int) -> int:
+        return shard_index % self.workers
+
+    def _rebuild(self) -> None:
+        """Full rebuild: re-partition, re-export matrices, reload every worker."""
+        pool = self._ensure_pool()
+        self._mirror = build_shards(self.case_base, self.shard_count)
+        self._bounds_snapshot = self._mirror[0].bounds
+        per_worker: Dict[int, Dict[int, CaseBase]] = {
+            worker_index: {} for worker_index in range(self.workers)
+        }
+        for shard_index, shard in enumerate(self._mirror):
+            per_worker[self._worker_of(shard_index)][shard_index] = shard
+        segment, layout = (
+            shm_helpers.export_shard_matrices(dict(enumerate(self._mirror)))
+            if self.backend == "vectorized"
+            else (None, None)
+        )
+        segment_name = segment.name if segment is not None else None
+        for worker_index in range(self.workers):
+            pool.send(
+                worker_index,
+                ("load", self.backend, per_worker[worker_index], segment_name, layout),
+            )
+        pool.collect(range(self.workers), "loaded")
+        # The workers hold their zero-copy views now; retire the previous
+        # revision's segment and keep (only) the new one for teardown.
+        shm_helpers.unlink_segment(self._segment)
+        self._segment = segment
+        self._set_pool_gauges()
+
+    def _apply_deltas(self, summary: DeltaSummary) -> bool:
+        """Translate one delta window into shard ops and ship them.
+
+        The identical op stream patches the parent mirror and the owning
+        workers' case-base copies (whose delta logs then drive the backends'
+        incremental matrix patching), so incremental updates cost O(touched)
+        on every side.  Bounds instability falls back to the full
+        rebuild-and-reload, exactly like the inline runner.
+        """
+        ops = self._delta_ops(summary)
+        if ops is None:
+            return False
+        if not ops:
+            return True
+        apply_ops(dict(enumerate(self._mirror)), ops)
+        per_worker: Dict[int, List[tuple]] = {}
+        for op in ops:
+            per_worker.setdefault(self._worker_of(op[1]), []).append(op)
+        pool = self._ensure_pool()
+        for worker_index, worker_ops in sorted(per_worker.items()):
+            pool.send(worker_index, ("events", worker_ops))
+        return True
+
+    def _delta_ops(self, summary: DeltaSummary) -> Optional[List[tuple]]:
+        if summary.bounds_changed:
+            return None
+        if not self.case_base.has_explicit_bounds and not deltas_preserve_derived_bounds(
+            summary.deltas, self._bounds_snapshot
+        ):
+            return None
+        ops: List[tuple] = []
+        for type_id in sorted(summary.reset_types):
+            ops.extend(self._repartition_ops(type_id))
+        for type_id, events in sorted(summary.impl_events.items()):
+            forwarded = self._forward_ops(type_id, events)
+            ops.extend(forwarded if forwarded is not None else self._repartition_ops(type_id))
+        return ops
+
+    def _repartition_ops(self, type_id: int) -> List[tuple]:
+        """Ops reassigning one type's variants round-robin (the reset path)."""
+        if type_id in self.case_base:
+            function_type = self.case_base.get_type(type_id)
+            members = function_type.sorted_implementations()
+            name = function_type.name
+        else:
+            members, name = [], ""
+        ops: List[tuple] = []
+        for shard_index, shard in enumerate(self._mirror):
+            assigned = members[shard_index :: self.shard_count]
+            if assigned or type_id in shard:
+                ops.append(("reset_type", shard_index, type_id, name, assigned))
+        return ops
+
+    def _forward_ops(self, type_id: int, events) -> Optional[List[tuple]]:
+        """Fine-grained ops for membership-stable windows (learning traffic).
+
+        The routing rules are :meth:`ShardedRetriever._forward_events`
+        verbatim: replacements stay put, tail-ID additions extend one shard,
+        anything else (removals, mid-list insertions) returns ``None`` for
+        the per-type reset.
+        """
+        if type_id not in self.case_base:
+            return None
+        function_type = self.case_base.get_type(type_id)
+        member_ids = sorted(function_type.implementations)
+        added = sorted(
+            event.implementation_id
+            for event in events.values()
+            if event.kind == NetImplementationEvent.ADDED
+        )
+        if any(
+            event.kind == NetImplementationEvent.REMOVED for event in events.values()
+        ):
+            return None
+        if added and member_ids[-len(added):] != added:
+            return None
+        replaced_ids = {
+            event.implementation_id
+            for event in events.values()
+            if event.kind == NetImplementationEvent.REPLACED
+        }
+        owners: Dict[int, int] = {}
+        for position, implementation_id in enumerate(member_ids):
+            if implementation_id in replaced_ids or implementation_id in added:
+                owners[implementation_id] = position % self.shard_count
+        ops: List[tuple] = []
+        for event in sorted(events.values(), key=lambda e: e.implementation_id):
+            shard_index = owners[event.implementation_id]
+            if event.kind == NetImplementationEvent.ADDED:
+                ops.append(
+                    ("add_impl", shard_index, type_id, function_type.name, event.implementation)
+                )
+            else:  # REPLACED
+                shard = self._mirror[shard_index]
+                if (
+                    type_id not in shard
+                    or event.implementation_id not in shard.get_type(type_id)
+                ):
+                    return None  # inconsistent partition; rebuild the type
+                ops.append(("replace_impl", shard_index, type_id, event.implementation))
+        return ops
+
+    # -- retrieval -----------------------------------------------------------------
+
+    def retrieve_batch(
+        self,
+        requests: Sequence[FunctionRequest],
+        *,
+        n: Optional[int] = None,
+        threshold: Optional[float] = None,
+    ) -> List[RetrievalResult]:
+        """Scatter a request batch across the worker pool and merge rankings.
+
+        Per-request semantics match :meth:`ShardedRetriever.retrieve_batch`
+        exactly, including the screening errors for types no shard holds.
+        """
+        self._tracker.ensure_current()
+        requests = list(requests)
+        if n is not None:
+            _check_n(int(n))
+        if threshold is not None:
+            _check_threshold(float(threshold))
+        for request in requests:
+            # Same screen (and error text) as the inline runner.
+            ShardedRetriever._screen(self, request)
+        if not requests:
+            return []
+        per_worker: Dict[int, List[Tuple[int, List[int]]]] = {}
+        for shard_index, shard in enumerate(self._mirror):
+            positions = [
+                index
+                for index, request in enumerate(requests)
+                if request.type_id in shard
+            ]
+            if positions:
+                per_worker.setdefault(self._worker_of(shard_index), []).append(
+                    (shard_index, positions)
+                )
+        pool = self._ensure_pool()
+        observability = self.observability
+        dispatched: Dict[int, Tuple[List[Tuple[int, List[int]]], List[int]]] = {}
+        started = time.perf_counter()
+        for worker_index, assignments in sorted(per_worker.items()):
+            needed = sorted({p for _, positions in assignments for p in positions})
+            remap = {position: local for local, position in enumerate(needed)}
+            local_assignments = [
+                (shard_index, [remap[p] for p in positions])
+                for shard_index, positions in assignments
+            ]
+            pool.send(
+                worker_index,
+                (
+                    "retrieve",
+                    local_assignments,
+                    [requests[p] for p in needed],
+                    n,
+                    threshold,
+                ),
+            )
+            dispatched[worker_index] = (assignments, needed)
+            self._count_worker(worker_index, assignments)
+        self._set_pool_gauges()
+        replies = pool.collect(dispatched, "results") if dispatched else {}
+        #: Per-request, per-shard results; merged in shard order like inline.
+        pools: List[Dict[int, RetrievalResult]] = [{} for _ in requests]
+        for worker_index, (assignments, _needed) in dispatched.items():
+            for (shard_index, positions), (_shard, wire_results) in zip(
+                assignments, replies[worker_index]
+            ):
+                for position, wire in zip(positions, wire_results):
+                    pools[position][shard_index] = self._inflate(
+                        requests[position], wire, threshold
+                    )
+        merged = [
+            ShardedRetriever._merge(
+                request,
+                [pool[shard_index] for shard_index in sorted(pool)],
+                n=n,
+                threshold=threshold,
+            )
+            for request, pool in zip(requests, pools)
+        ]
+        if observability is not None:
+            observability.batch_span(
+                "parallel-gather",
+                requests=len(requests),
+                workers=len(dispatched),
+                annotations={"wall_us": (time.perf_counter() - started) * 1e6},
+            )
+        return merged
+
+    def _inflate(
+        self,
+        request: FunctionRequest,
+        wire,
+        threshold: Optional[float],
+    ) -> RetrievalResult:
+        """Rebuild one shard's wire-form result with the parent's objects."""
+        statistics_tuple, entries = wire
+        function_type = self.case_base.get_type(request.type_id)
+        ranked = [
+            ScoredImplementation(
+                request.type_id,
+                function_type.get(implementation_id),
+                similarity,
+                local_similarities,
+            )
+            for implementation_id, similarity, local_similarities in entries
+        ]
+        return RetrievalResult(
+            request.type_id,
+            ranked,
+            RetrievalStatistics(*statistics_tuple),
+            threshold=threshold,
+        )
+
+    # -- observability -------------------------------------------------------------
+
+    def _count_worker(self, worker_index: int, assignments) -> None:
+        observability = self.observability
+        if observability is None or not observability.metrics_enabled:
+            return
+        registry = observability.registry
+        catalog.worker_pool_batches(registry).labels(worker=worker_index).inc()
+        for shard_index, positions in assignments:
+            catalog.shard_requests(registry).labels(shard=shard_index).inc(
+                len(positions)
+            )
+
+    def _set_pool_gauges(self) -> None:
+        observability = self.observability
+        if observability is None or not observability.metrics_enabled:
+            return
+        registry = observability.registry
+        pool = self._pool
+        catalog.worker_pool_workers(registry).set(
+            pool.live_workers if pool is not None else 0
+        )
+        catalog.worker_pool_queue_depth(registry).set(
+            pool.task_queue_depth() if pool is not None else 0
+        )
+        segment = self._segment
+        catalog.worker_pool_shm_bytes(registry).set(
+            segment.size if segment is not None else 0
+        )

@@ -1,0 +1,183 @@
+"""Shared-memory export/attach of per-type attribute matrices.
+
+The parallel shard runner ships each worker's slice of the case base twice:
+the :class:`~repro.core.case_base.CaseBase` objects travel pickled over the
+task queue (workers need the ``Implementation`` objects for learning deltas
+and result semantics), while the *numeric* payload -- the per-type attribute
+matrices the vectorized backend would otherwise re-encode row by row in every
+worker -- travels once through a :class:`multiprocessing.shared_memory`
+segment.  The parent encodes each type's ``impl_ids``/``values``/``present``
+arrays straight into the segment; workers attach and build zero-copy NumPy
+views via :meth:`~repro.core.backends._TypeMatrices.from_arrays`, so the
+expensive O(implementations x attributes) encode happens exactly once per
+case-base revision regardless of worker count.
+
+Lifecycle discipline (the no-leaked-shm invariant the suite asserts):
+
+* the parent creates segments, keeps the handles, and is the only side that
+  ever calls ``unlink`` (on rebuild, on close, and through an ``atexit``
+  backstop);
+* workers attach with :func:`attach_segment`, which immediately unregisters
+  the attachment from the process-local ``resource_tracker`` (Python < 3.13
+  has no ``track=False``), so a clean worker exit never reports a phantom
+  leak while the parent's deterministic ``unlink`` keeps /dev/shm clean;
+* on Linux, unlinking while mappings exist is safe -- the memory lives until
+  the last ``close`` -- so parent and workers never need to handshake over
+  segment teardown.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..core.backends import _TypeMatrices
+from ..core.case_base import CaseBase
+
+#: Segment offsets are rounded up to this many bytes so every exported array
+#: view starts aligned for its dtype.
+_ALIGN = 64
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+def export_shard_matrices(
+    shards: Mapping[int, CaseBase],
+) -> Tuple[Optional[shared_memory.SharedMemory], Dict[str, object]]:
+    """Encode every shard's per-type matrices into one shared-memory segment.
+
+    Returns ``(segment, layout)``; the layout is a plain picklable
+    description a worker feeds to :func:`matrices_from_layout` after
+    attaching the segment by name.  ``segment`` is ``None`` when the shards
+    hold no types at all (the layout then describes an empty export).
+    """
+    entries: List[Dict[str, object]] = []
+    offset = 0
+    staged: List[Tuple[Dict[str, object], _TypeMatrices]] = []
+    for shard_index in sorted(shards):
+        shard = shards[shard_index]
+        for function_type in shard.sorted_types():
+            matrices = _TypeMatrices(function_type.sorted_implementations())
+            entry: Dict[str, object] = {
+                "shard": shard_index,
+                "type_id": function_type.type_id,
+                "rows": int(matrices.values.shape[0]),
+                "columns": dict(matrices.columns),
+            }
+            offsets: Dict[str, int] = {}
+            for name in ("impl_ids", "values", "present"):
+                offset = _aligned(offset)
+                offsets[name] = offset
+                offset += getattr(matrices, name).nbytes
+            entry["offsets"] = offsets
+            entries.append(entry)
+            staged.append((entry, matrices))
+    layout: Dict[str, object] = {"entries": entries, "bytes": offset}
+    if offset == 0:
+        return None, layout
+    segment = shared_memory.SharedMemory(create=True, size=offset)
+    for entry, matrices in staged:
+        for name, view in _entry_views(segment, entry):
+            view[...] = getattr(matrices, name)
+    return segment, layout
+
+
+def _entry_views(segment: shared_memory.SharedMemory, entry: Mapping[str, object]):
+    """The ``(name, array view)`` pairs of one layout entry, zero-copy."""
+    rows = entry["rows"]
+    width = len(entry["columns"])
+    offsets = entry["offsets"]
+    shapes = {
+        "impl_ids": ((rows,), np.int64),
+        "values": ((rows, width), np.float64),
+        "present": ((rows, width), np.bool_),
+    }
+    for name, (shape, dtype) in shapes.items():
+        yield name, np.ndarray(
+            shape, dtype=dtype, buffer=segment.buf, offset=offsets[name]
+        )
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment without adopting cleanup responsibility.
+
+    Python 3.13 grew ``track=False`` for exactly this; on earlier versions
+    the attach-time registration is suppressed outright, so a worker exit
+    never warns about (or worse, unlinks) a segment the parent still owns.
+    Suppressing beats registering-then-unregistering: all workers share one
+    tracker process, and a second worker's unregister for an already-removed
+    name makes the tracker log a spurious ``KeyError``.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:
+        pass
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+
+
+def matrices_from_layout(
+    segment: shared_memory.SharedMemory,
+    layout: Mapping[str, object],
+    shards: Mapping[int, CaseBase],
+) -> Dict[int, Dict[int, _TypeMatrices]]:
+    """Rebuild every shard's per-type matrix cache as views over ``segment``.
+
+    ``shards`` must be the worker's own case-base copies of the same
+    revision the parent exported: the implementation lists (ID-ascending,
+    via ``sorted_implementations``) pair with the exported rows one-to-one.
+    """
+    caches: Dict[int, Dict[int, _TypeMatrices]] = {}
+    for entry in layout["entries"]:
+        shard_index = entry["shard"]
+        shard = shards.get(shard_index)
+        if shard is None or entry["type_id"] not in shard:
+            continue
+        implementations = shard.get_type(entry["type_id"]).sorted_implementations()
+        if len(implementations) != entry["rows"]:
+            continue  # shard drifted from the export; let the backend rebuild
+        views = dict(_entry_views(segment, entry))
+        caches.setdefault(shard_index, {})[entry["type_id"]] = _TypeMatrices.from_arrays(
+            implementations,
+            entry["columns"],
+            views["impl_ids"],
+            views["values"],
+            views["present"],
+        )
+    return caches
+
+
+def unlink_segment(segment: Optional[shared_memory.SharedMemory]) -> None:
+    """Release and unlink one owned segment, tolerating repeat calls."""
+    if segment is None:
+        return
+    try:
+        segment.close()
+    except BufferError:  # pragma: no cover - live views; freed at process exit
+        pass
+    except Exception:
+        pass
+    try:
+        segment.unlink()
+    except Exception:
+        pass
+
+
+def close_segment(segment: Optional[shared_memory.SharedMemory]) -> None:
+    """Release one attached (non-owned) segment, tolerating repeat calls."""
+    if segment is None:
+        return
+    try:
+        segment.close()
+    except BufferError:  # pragma: no cover - live views; freed at process exit
+        pass
+    except Exception:
+        pass

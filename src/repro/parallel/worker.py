@@ -1,0 +1,209 @@
+"""Shard worker process: the consume loop behind the parallel shard runner.
+
+Each worker owns a subset of the round-robin shards (shard ``i`` belongs to
+worker ``i % workers``) as real :class:`~repro.core.case_base.CaseBase`
+copies with real :class:`~repro.core.retrieval.RetrievalEngine` instances
+over them -- literally the same code the inline
+:class:`~repro.serving.shards.ShardedRetriever` runs, which is what makes
+the parallel path bit-identical by construction.  The protocol over the
+per-worker FIFO task queue:
+
+``("load", backend, shards, segment_name, layout)``
+    (Re)install the worker's shard case bases; when a shared-memory export
+    accompanies them, seed each engine's vectorized backend with zero-copy
+    matrix views instead of re-encoding.  Acked with ``("loaded", ...)``.
+``("events", ops)``
+    One delta window translated to shard-level mutation ops (see
+    :func:`apply_ops`).  Applied to the worker-local case bases, whose own
+    delta logs then drive the backends' incremental O(touched) patching.
+    Fire-and-forget; FIFO ordering guarantees patch-before-compute.
+``("retrieve", assignments, requests, n, threshold)``
+    Evaluate sub-batches against the named shards and reply with compact
+    wire-form rankings (``("results", ...)``).
+``("stop",)``
+    Release engines and shared-memory attachments, ack ``("stopped", ...)``
+    and exit the loop.
+
+Errors inside any message surface as ``("error", traceback)`` replies; the
+parent raises them on its next collect.
+"""
+
+from __future__ import annotations
+
+import gc
+import traceback
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.backends import VectorizedBackend
+from ..core.case_base import CaseBase
+from ..core.retrieval import RetrievalEngine
+from . import shm as shm_helpers
+
+#: Wire form of one ranked entry: ``(implementation_id, similarity,
+#: local_similarities)``.  Similarities are the worker engine's IEEE-754
+#: doubles verbatim; the parent re-binds its own Implementation objects.
+WireEntry = Tuple[int, float, tuple]
+#: Wire form of one retrieval result: ``(statistics 7-tuple, entries)``.
+WireResult = Tuple[Tuple[int, ...], List[WireEntry]]
+
+
+def apply_ops(shards: Dict[int, CaseBase], ops: Sequence[tuple]) -> None:
+    """Apply one delta window's shard-level mutation ops.
+
+    The same interpreter runs in the parent (against its partition mirror)
+    and in the workers (against their case-base copies), so both sides stay
+    byte-equivalent without re-pickling anything but the touched
+    implementations.  Op kinds:
+
+    * ``("reset_type", shard, type_id, name, implementations)`` -- drop and
+      (when non-empty) bulk-rebuild one type, the ``build_shards`` idiom: a
+      single ADD_TYPE delta resets the type wholesale in the shard engine's
+      backend.
+    * ``("add_impl", shard, type_id, name, implementation)`` /
+      ``("replace_impl", shard, type_id, implementation)`` /
+      ``("remove_impl", shard, type_id, implementation_id)`` -- the
+      fine-grained forwarded events (online learning traffic), patching the
+      owning shard in O(1) mutations.
+    """
+    for op in ops:
+        kind = op[0]
+        if kind == "reset_type":
+            _, shard_index, type_id, name, implementations = op
+            shard = shards[shard_index]
+            if type_id in shard:
+                shard.remove_type(type_id)
+            if implementations:
+                shard_type = shard.add_type(type_id, name=name)
+                for implementation in implementations:
+                    shard_type.add(implementation)
+        elif kind == "add_impl":
+            _, shard_index, type_id, name, implementation = op
+            shard = shards[shard_index]
+            if type_id not in shard:
+                shard.add_type(type_id, name=name)
+            shard.add_implementation(type_id, implementation)
+        elif kind == "replace_impl":
+            _, shard_index, type_id, implementation = op
+            shards[shard_index].replace_implementation(type_id, implementation)
+        elif kind == "remove_impl":
+            _, shard_index, type_id, implementation_id = op
+            shards[shard_index].remove_implementation(type_id, implementation_id)
+        else:  # pragma: no cover - protocol bug, not reachable from the runner
+            raise ValueError(f"unknown shard op {kind!r}")
+
+
+class _WorkerState:
+    """One worker process's shards, engines and shared-memory attachment."""
+
+    def __init__(self) -> None:
+        self.shards: Dict[int, CaseBase] = {}
+        self.engines: Dict[int, RetrievalEngine] = {}
+        self.segment = None
+        self.batches = 0
+
+    def release(self) -> None:
+        """Drop engines/matrices, then the shared-memory attachment."""
+        self.engines = {}
+        self.shards = {}
+        if self.segment is not None:
+            # Matrix views over the buffer must be collectable before the
+            # memoryview can release; a cycle-collect makes that determinate.
+            gc.collect()
+            shm_helpers.close_segment(self.segment)
+            self.segment = None
+
+    def load(
+        self,
+        backend: str,
+        shards: Dict[int, CaseBase],
+        segment_name: Optional[str],
+        layout: Optional[dict],
+    ) -> None:
+        self.release()
+        self.shards = shards
+        self.engines = {
+            shard_index: RetrievalEngine(shard, backend=backend)
+            for shard_index, shard in shards.items()
+        }
+        if segment_name is None:
+            return
+        self.segment = shm_helpers.attach_segment(segment_name)
+        caches = shm_helpers.matrices_from_layout(self.segment, layout, shards)
+        for shard_index, cache in caches.items():
+            engine_backend = self.engines[shard_index].backend
+            if isinstance(engine_backend, VectorizedBackend):
+                engine_backend.adopt_matrices(cache)
+
+    def retrieve(
+        self,
+        assignments: Sequence[Tuple[int, Sequence[int]]],
+        requests: Sequence,
+        n: Optional[int],
+        threshold: Optional[float],
+    ) -> List[Tuple[int, List[WireResult]]]:
+        payload: List[Tuple[int, List[WireResult]]] = []
+        for shard_index, positions in assignments:
+            engine = self.engines[shard_index]
+            results = engine.retrieve_batch(
+                [requests[position] for position in positions],
+                n=n,
+                threshold=threshold,
+            )
+            payload.append(
+                (
+                    shard_index,
+                    [
+                        (
+                            (
+                                result.statistics.implementations_visited,
+                                result.statistics.attributes_requested,
+                                result.statistics.attribute_lookups,
+                                result.statistics.attribute_compares,
+                                result.statistics.missing_attributes,
+                                result.statistics.multiplications,
+                                result.statistics.best_updates,
+                            ),
+                            [
+                                (
+                                    entry.implementation_id,
+                                    entry.similarity,
+                                    tuple(entry.local_similarities),
+                                )
+                                for entry in result.ranked
+                            ],
+                        )
+                        for result in results
+                    ],
+                )
+            )
+        self.batches += 1
+        return payload
+
+
+def shard_worker_main(worker_index: int, task_queue, result_queue) -> None:
+    """Entry point of one shard worker process (top-level for spawn)."""
+    state = _WorkerState()
+    while True:
+        message = task_queue.get()
+        kind = message[0]
+        try:
+            if kind == "load":
+                state.load(*message[1:])
+                result_queue.put((worker_index, "loaded", state.batches))
+            elif kind == "events":
+                apply_ops(state.shards, message[1])
+            elif kind == "retrieve":
+                payload = state.retrieve(*message[1:])
+                result_queue.put((worker_index, "results", payload))
+            elif kind == "stop":
+                state.release()
+                result_queue.put((worker_index, "stopped", state.batches))
+                return
+            else:  # pragma: no cover - protocol bug
+                raise ValueError(f"unknown worker message {kind!r}")
+        except BaseException:
+            try:
+                result_queue.put((worker_index, "error", traceback.format_exc()))
+            finally:
+                if kind == "stop":
+                    return

@@ -69,6 +69,12 @@ class ServingConfig:
     #: Case-base partitioning (see :class:`~repro.serving.shards.ShardedRetriever`).
     shard_count: int = 1
     backend: str = "vectorized"
+    #: Execution tier: ``"inline"`` evaluates shards in-process (the golden
+    #: reference path); ``"process"`` fans them out to ``workers`` OS
+    #: processes (see :class:`~repro.parallel.ParallelShardedRetriever`),
+    #: bit-identical to inline by the differential suite.
+    execution: str = "inline"
+    workers: int = 0
     #: Admission / service-time modelling (see
     #: :class:`~repro.serving.admission.AdmissionController`).
     cycle_engine: str = "auto"
@@ -112,6 +118,18 @@ class ServingConfig:
         if self.learn_capacity < 1:
             raise ReproError(
                 f"learn_capacity must be at least 1, got {self.learn_capacity}"
+            )
+        if self.execution not in ("inline", "process"):
+            raise ReproError(
+                f"execution must be 'inline' or 'process', got {self.execution!r}"
+            )
+        if self.execution == "process" and self.workers < 1:
+            raise ReproError(
+                f"process execution needs at least one worker, got {self.workers}"
+            )
+        if self.execution == "inline" and self.workers != 0:
+            raise ReproError(
+                f"inline execution takes no worker processes, got workers={self.workers}"
             )
 
     def to_dict(self) -> Dict[str, object]:
@@ -571,11 +589,22 @@ class ServingEngine:
         self.scheduler = MicroBatchScheduler(
             max_batch=self.config.max_batch, max_wait_us=self.config.max_wait_us
         )
-        self.retriever = ShardedRetriever(
-            case_base,
-            shard_count=self.config.shard_count,
-            backend=self.config.backend,
-        )
+        if self.config.execution == "process":
+            # Imported here: repro.parallel builds on the serving shard layer.
+            from ..parallel import ParallelShardedRetriever
+
+            self.retriever = ParallelShardedRetriever(
+                case_base,
+                shard_count=self.config.shard_count,
+                workers=self.config.workers,
+                backend=self.config.backend,
+            )
+        else:
+            self.retriever = ShardedRetriever(
+                case_base,
+                shard_count=self.config.shard_count,
+                backend=self.config.backend,
+            )
         self.retriever.observability = self.observability
         # The modelled unit must be the one that would deliver the configured
         # ranking depth, or the "exact" service times describe a different
@@ -880,3 +909,22 @@ class ServingEngine:
             config=replace(self.config, **overrides),
             feasibility=self.admission.feasibility,
         )
+
+    def close(self) -> None:
+        """Release execution resources (idempotent).
+
+        Inline engines hold nothing to release; ``execution="process"``
+        engines stop their worker pool and unlink the shared-memory export
+        here.  The engine stays usable afterwards -- the parallel retriever
+        respawns transparently on the next batch -- so ``close`` is a drain
+        point, not a poison pill.
+        """
+        close = getattr(self.retriever, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "ServingEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -67,6 +67,11 @@ class ServingSpec:
     # -- serving axes (mirrors :class:`~repro.serving.ServingConfig`) ---------------
     backend: str = "vectorized"
     shards: int = 1
+    #: Execution tier: ``"inline"`` evaluates shards in-process; ``"process"``
+    #: fans them out to ``workers`` OS processes (true multi-core execution,
+    #: bit-identical to inline -- see :mod:`repro.parallel`).
+    execution: str = "inline"
+    workers: int = 0
     max_batch: int = 32
     max_wait_us: float = 500.0
     deadline_us: Optional[float] = None
@@ -158,6 +163,8 @@ class ServingSpec:
             max_wait_us=self.max_wait_us,
             shard_count=self.shards,
             backend=self.backend,
+            execution=self.execution,
+            workers=self.workers,
             cycle_engine=cycle_engine if cycle_engine is not None else self.cycle_engine,
             clock_mhz=self.clock_mhz,
             deadline_us=self.deadline_us,
@@ -317,6 +324,14 @@ class ServingSpec:
         sub.add_argument("--seed", type=int, default=2004)
         sub.add_argument("--shards", type=int, default=1,
                          help="number of case-base worker shards (default 1)")
+        sub.add_argument("--workers", type=int, default=0,
+                         help="worker OS processes executing the shards "
+                              "(true multi-core; 0 = inline single-process "
+                              "execution, bit-identical either way)")
+        sub.add_argument("--execution", choices=["auto", "inline", "process"],
+                         default="auto",
+                         help="execution tier; 'auto' picks 'process' when "
+                              "--workers is set and 'inline' otherwise")
         sub.add_argument("--max-batch", type=int, default=32,
                          help="micro-batch size bound (1 = one-at-a-time serving)")
         sub.add_argument("--max-wait-us", type=float, default=500.0,
@@ -391,6 +406,10 @@ class ServingSpec:
         backend = "naive" if engine == "naive" else "vectorized"
         if cluster is None:
             cluster = bool(getattr(args, "cluster", False))
+        workers = int(getattr(args, "workers", defaults.workers) or 0)
+        execution = getattr(args, "execution", "auto")
+        if execution == "auto":
+            execution = "process" if workers > 0 else "inline"
         return cls(
             workloads=tuple(getattr(args, "workload", None) or ()),
             duration_ms=getattr(args, "duration_ms", defaults.duration_ms),
@@ -409,6 +428,8 @@ class ServingSpec:
             reconfig_us=getattr(args, "reconfig_us", None),
             backend=backend,
             shards=getattr(args, "shards", defaults.shards),
+            execution=execution,
+            workers=workers,
             max_batch=getattr(args, "max_batch", defaults.max_batch),
             max_wait_us=getattr(args, "max_wait_us", defaults.max_wait_us),
             deadline_us=getattr(args, "deadline_us", None),

@@ -1,0 +1,330 @@
+"""Differential suite: process-pool execution is bit-identical to inline.
+
+The single-process inline path is the golden reference; every axis of the
+parallel runner -- backend x shard count x worker count, cold and under
+mutation streams, standalone and through the serving/cluster engines -- must
+reproduce its rankings, similarity doubles, retrieval statistics and
+admission cycle counts exactly.  Wall-clock fields are the only sanctioned
+difference.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.core import (
+    BoundsTable,
+    CaseBase,
+    ExecutionTarget,
+    FunctionRequest,
+    Implementation,
+)
+from repro.core.exceptions import RetrievalError, UnknownFunctionTypeError
+from repro.parallel import ParallelShardedRetriever
+from repro.serving import ServingConfig, ServingEngine, ShardedRetriever
+from repro.serving.cluster import ClusterServingEngine
+from repro.serving.loadgen import trace_from_requests
+from repro.platform.fleet import DeviceFleet
+from repro.resilience import FaultInjector, FaultPlan, FaultSpec
+from repro.tools import CaseBaseGenerator, GeneratorSpec
+
+ATTRIBUTE_POOL = list(range(1, 7))
+VALUE_RANGE = (0, 200)
+
+
+def _generator(seed: int = 7) -> CaseBaseGenerator:
+    return CaseBaseGenerator(
+        GeneratorSpec(
+            type_count=4,
+            implementations_per_type=6,
+            attributes_per_implementation=6,
+            attribute_type_count=8,
+            value_range=(0, 500),
+        ),
+        seed=seed,
+    )
+
+
+def _view(results):
+    return [
+        (
+            [
+                (entry.implementation_id, entry.similarity,
+                 tuple(entry.local_similarities))
+                for entry in result.ranked
+            ],
+            vars(result.statistics),
+        )
+        for result in results
+    ]
+
+
+def _scrubbed_report(report):
+    """Report dict minus the sanctioned differences (config + wall clock)."""
+    payload = report.to_dict()
+    payload.pop("config")
+    metrics = dict(payload["metrics"])
+    metrics.pop("wall_seconds")
+    metrics.pop("throughput_rps")
+    payload["metrics"] = metrics
+    return payload
+
+
+@pytest.mark.parametrize("backend", ["vectorized", "naive"])
+@pytest.mark.parametrize("shard_count", [1, 3])
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_retrieve_batch_bit_identity(backend, shard_count, workers):
+    generator = _generator()
+    case_base = generator.case_base()
+    requests = [generator.request(salt=index) for index in range(8)]
+    inline = ShardedRetriever(case_base, shard_count=shard_count, backend=backend)
+    with ParallelShardedRetriever(
+        case_base, shard_count=shard_count, workers=workers, backend=backend
+    ) as parallel:
+        for kwargs in ({}, {"n": 4}, {"n": 1}, {"threshold": 0.5}):
+            assert _view(
+                parallel.retrieve_batch(requests, **kwargs)
+            ) == _view(inline.retrieve_batch(requests, **kwargs))
+
+
+def test_screening_errors_match_inline():
+    generator = _generator()
+    case_base = generator.case_base()
+    empty_type_id = max(case_base.type_ids()) + 1
+    case_base.add_type(empty_type_id, name="empty")
+    probe = FunctionRequest(empty_type_id, [(1, 10, 1.0)])
+    unknown = FunctionRequest(9999, [(1, 10, 1.0)])
+    inline = ShardedRetriever(case_base, shard_count=2)
+    with ParallelShardedRetriever(case_base, shard_count=2, workers=2) as parallel:
+        for runner in (inline, parallel):
+            with pytest.raises(UnknownFunctionTypeError):
+                runner.retrieve_batch([unknown])
+        with pytest.raises(RetrievalError) as inline_error:
+            inline.retrieve_batch([probe])
+        with pytest.raises(RetrievalError) as parallel_error:
+            parallel.retrieve_batch([probe])
+        assert str(parallel_error.value) == str(inline_error.value)
+
+
+def _mutation_case_base(rng: random.Random, explicit_bounds: bool) -> CaseBase:
+    bounds = BoundsTable()
+    for attribute_id in ATTRIBUTE_POOL:
+        bounds.define(attribute_id, *VALUE_RANGE)
+    case_base = CaseBase(bounds=bounds if explicit_bounds else None)
+    for type_id in (1, 2, 3):
+        function_type = case_base.add_type(type_id, name=f"type-{type_id}")
+        for implementation_id in range(1, rng.randint(3, 6)):
+            function_type.add(
+                Implementation(
+                    implementation_id,
+                    ExecutionTarget.GPP,
+                    {
+                        attribute_id: rng.randint(*VALUE_RANGE)
+                        for attribute_id in rng.sample(ATTRIBUTE_POOL, 4)
+                    },
+                )
+            )
+    return case_base
+
+
+def _mutate(case_base: CaseBase, rng: random.Random, step: int) -> None:
+    choice = rng.random()
+    type_id = rng.choice(case_base.type_ids())
+    implementations = case_base.implementations(type_id)
+    if choice < 0.35:  # retain-style append (the forwardable tail add)
+        next_id = (
+            max(i.implementation_id for i in implementations) + 1
+            if implementations
+            else 1
+        )
+        case_base.add_implementation(
+            type_id,
+            Implementation(
+                next_id,
+                ExecutionTarget.FPGA if step % 2 else ExecutionTarget.GPP,
+                {
+                    attribute_id: rng.randint(*VALUE_RANGE)
+                    for attribute_id in rng.sample(ATTRIBUTE_POOL, 3)
+                },
+            ),
+        )
+    elif choice < 0.6:  # revise-style replacement (forwardable in place)
+        implementation = rng.choice(implementations)
+        case_base.replace_implementation(
+            type_id,
+            implementation.with_attributes(
+                {rng.choice(ATTRIBUTE_POOL): rng.randint(*VALUE_RANGE)}
+            ),
+        )
+    elif choice < 0.8:  # removal (forces the per-type repartition reset)
+        if len(implementations) > 1:
+            case_base.remove_implementation(
+                type_id, rng.choice(implementations).implementation_id
+            )
+    elif choice < 0.9:  # mid-list insertion (another reset trigger)
+        taken = {i.implementation_id for i in implementations}
+        free = [i for i in range(1, 60) if i not in taken]
+        case_base.add_implementation(
+            type_id,
+            Implementation(
+                rng.choice(free),
+                ExecutionTarget.DSP,
+                {a: rng.randint(*VALUE_RANGE) for a in rng.sample(ATTRIBUTE_POOL, 3)},
+            ),
+        )
+    else:  # type-level churn
+        new_type_id = 10 + step
+        if new_type_id not in case_base:
+            grown = case_base.add_type(new_type_id, name=f"grown-{step}")
+            grown.add(
+                Implementation(
+                    1,
+                    ExecutionTarget.GPP,
+                    {a: rng.randint(*VALUE_RANGE) for a in rng.sample(ATTRIBUTE_POOL, 3)},
+                )
+            )
+
+
+def _probes(case_base: CaseBase, rng: random.Random):
+    return [
+        FunctionRequest(
+            type_id,
+            [
+                (a, rng.randint(*VALUE_RANGE), 1.0 + (a % 3))
+                for a in sorted(rng.sample(ATTRIBUTE_POOL, 3))
+            ],
+            requester="parallel-differential",
+        )
+        for type_id in case_base.type_ids()
+    ]
+
+
+@pytest.mark.parametrize("explicit_bounds", [True, False])
+@pytest.mark.parametrize("seed", [3, 11])
+def test_mutation_stream_bit_identity(explicit_bounds, seed):
+    """Live parallel runner vs live + fresh inline under a mutation stream."""
+    rng = random.Random(seed)
+    case_base = _mutation_case_base(rng, explicit_bounds)
+    live_inline = ShardedRetriever(case_base, shard_count=3)
+    with ParallelShardedRetriever(case_base, shard_count=3, workers=2) as parallel:
+
+        def checkpoint():
+            probes = _probes(case_base, rng)
+            fresh = ShardedRetriever(case_base, shard_count=3)
+            expected = _view(fresh.retrieve_batch(probes, n=4))
+            assert _view(live_inline.retrieve_batch(probes, n=4)) == expected
+            assert _view(parallel.retrieve_batch(probes, n=4)) == expected
+
+        checkpoint()
+        for step in range(10):
+            _mutate(case_base, rng, step)
+            if step % 2 == 1:
+                checkpoint()
+        checkpoint()
+        if explicit_bounds:
+            # The incremental delta-shipping path must actually have engaged
+            # (no vacuous pass through silent full rebuild-and-reloads).
+            assert parallel._tracker.incremental_count > 0
+
+
+@pytest.mark.parametrize("learn", [False, True])
+def test_serving_engine_execution_axis(learn):
+    generator = _generator(seed=11)
+    requests = [generator.request(salt=index) for index in range(24)]
+
+    def run(execution, workers):
+        case_base = generator.case_base()
+        config = ServingConfig(
+            shard_count=3, execution=execution, workers=workers,
+            learn=learn, max_batch=6,
+        )
+        with ServingEngine(case_base, config=config) as engine:
+            report = engine.serve(
+                trace_from_requests(requests, interarrival_us=50.0)
+            )
+            return (
+                _scrubbed_report(report),
+                report.rankings(),
+                [record.to_dict() for record in report.served],
+            )
+
+    assert run("inline", 0) == run("process", 2)
+
+
+@pytest.mark.parametrize("faults", [False, True])
+def test_cluster_execution_axis(faults):
+    """Multiprocess fleet mode: modelled cluster replay is bit-identical.
+
+    Covers sync events (incremental + full image streams), fault-injected
+    retry schedules, router occupancy and per-worker utilisation -- the
+    child processes own the port controllers, the parent mirrors only the
+    busy-until scalars.
+    """
+    generator = _generator(seed=13)
+    requests = [generator.request(salt=index) for index in range(20)]
+
+    def run(execution, workers):
+        case_base = generator.case_base()
+        fleet = DeviceFleet.build(case_base, hardware_devices=2, software_devices=1)
+        injector = None
+        if faults:
+            names = [worker.name for worker in fleet.workers]
+            injector = FaultInjector(FaultPlan(seed=3, faults=(
+                FaultSpec(kind="stream_truncate", target=names[0],
+                          at_us=0.0, duration_us=600.0, factor=0.5),
+                FaultSpec(kind="stream_corrupt", target=names[1],
+                          at_us=100.0, duration_us=300.0),
+            )))
+        config = ServingConfig(
+            shard_count=2, execution=execution, workers=workers,
+            learn=True, max_batch=5,
+        )
+        engine = ClusterServingEngine(
+            case_base, fleet, config=config, fault_injector=injector
+        )
+        try:
+            report = engine.serve(
+                trace_from_requests(requests, interarrival_us=40.0)
+            )
+            return (
+                _scrubbed_report(report),
+                report.rankings(),
+                [record.to_dict() for record in report.served],
+            )
+        finally:
+            engine.close()
+
+    assert run("inline", 0) == run("process", 2)
+
+
+def test_online_learning_evolves_identically():
+    """The learned case base itself (not just the replies) stays identical."""
+    generator = _generator(seed=17)
+    requests = [generator.request(salt=index) for index in range(30)]
+
+    def run(execution, workers):
+        case_base = generator.case_base()
+        config = ServingConfig(
+            shard_count=2, execution=execution, workers=workers,
+            learn=True, novelty_threshold=0.99, max_batch=4,
+        )
+        with ServingEngine(case_base, config=config) as engine:
+            engine.serve(trace_from_requests(requests, interarrival_us=30.0))
+        return {
+            function_type.type_id: [
+                (impl.implementation_id, dict(impl.attributes))
+                for impl in function_type.sorted_implementations()
+            ]
+            for function_type in case_base.sorted_types()
+        }
+
+    baseline = {
+        function_type.type_id: len(function_type)
+        for function_type in generator.case_base().sorted_types()
+    }
+    inline_state = run("inline", 0)
+    process_state = run("process", 3)
+    assert process_state == inline_state
+    # The property must not pass vacuously: learning actually retained cases.
+    assert {t: len(v) for t, v in inline_state.items()} != baseline

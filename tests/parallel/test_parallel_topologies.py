@@ -1,0 +1,156 @@
+"""Degenerate topologies and lifecycle hygiene of the process-pool runner.
+
+Every corner of the (shards, workers, implementations) lattice must match
+inline bit-identically and shut down cleanly: one worker, more workers than
+shards, more shards than implementations, empty batches and empty traces.
+Lifecycle: ``close`` is idempotent, reaps every worker process, unlinks the
+shared-memory segment from ``/dev/shm``, and a closed runner respawns
+transparently on next use.
+"""
+
+import os
+
+import pytest
+
+from repro.parallel import ParallelShardedRetriever, ShardWorkerPool
+from repro.serving import ServingConfig, ServingEngine, ShardedRetriever
+from repro.tools import CaseBaseGenerator, GeneratorSpec
+
+
+def _generator(**overrides):
+    spec = dict(
+        type_count=3,
+        implementations_per_type=4,
+        attributes_per_implementation=5,
+        attribute_type_count=7,
+        value_range=(0, 300),
+    )
+    spec.update(overrides)
+    return CaseBaseGenerator(GeneratorSpec(**spec), seed=23)
+
+
+def _view(results):
+    return [
+        (
+            [(e.implementation_id, e.similarity) for e in r.ranked],
+            vars(r.statistics),
+        )
+        for r in results
+    ]
+
+
+@pytest.mark.parametrize(
+    "shard_count,workers",
+    [
+        (1, 1),        # single shard, single worker
+        (1, 4),        # workers idle beyond the one shard
+        (3, 8),        # more workers than shards
+        (16, 2),       # more shards than any type's implementation count
+    ],
+)
+def test_degenerate_topologies_match_inline(shard_count, workers):
+    generator = _generator()
+    case_base = generator.case_base()
+    requests = [generator.request(salt=index) for index in range(6)]
+    inline = ShardedRetriever(case_base, shard_count=shard_count)
+    with ParallelShardedRetriever(
+        case_base, shard_count=shard_count, workers=workers
+    ) as parallel:
+        assert _view(parallel.retrieve_batch(requests, n=3)) == _view(
+            inline.retrieve_batch(requests, n=3)
+        )
+
+
+def test_empty_batch_and_empty_trace():
+    generator = _generator()
+    case_base = generator.case_base()
+    with ParallelShardedRetriever(case_base, shard_count=2, workers=2) as parallel:
+        assert parallel.retrieve_batch([]) == []
+    config = ServingConfig(shard_count=2, execution="process", workers=2)
+    with ServingEngine(generator.case_base(), config=config) as engine:
+        report = engine.serve([])
+        assert report.metrics["requests"] == 0
+
+
+def test_close_is_idempotent_and_reaps_workers():
+    generator = _generator()
+    case_base = generator.case_base()
+    parallel = ParallelShardedRetriever(case_base, shard_count=2, workers=2)
+    requests = [generator.request(salt=index) for index in range(3)]
+    parallel.retrieve_batch(requests, n=2)
+    pool = parallel._pool
+    segment_name = parallel._segment.name if parallel._segment is not None else None
+    assert pool is not None and pool.live_workers == 2
+    parallel.close()
+    parallel.close()  # idempotent
+    assert pool.live_workers == 0
+    assert parallel._pool is None and parallel._segment is None
+    if segment_name is not None and os.path.isdir("/dev/shm"):
+        assert not os.path.exists(os.path.join("/dev/shm", segment_name.lstrip("/")))
+
+
+def test_closed_runner_respawns_transparently():
+    generator = _generator()
+    case_base = generator.case_base()
+    requests = [generator.request(salt=index) for index in range(3)]
+    inline = ShardedRetriever(case_base, shard_count=2)
+    parallel = ParallelShardedRetriever(case_base, shard_count=2, workers=2)
+    try:
+        before = _view(parallel.retrieve_batch(requests, n=2))
+        parallel.close()
+        after = _view(parallel.retrieve_batch(requests, n=2))
+        assert before == after == _view(inline.retrieve_batch(requests, n=2))
+    finally:
+        parallel.close()
+
+
+def test_pool_rejects_use_after_close():
+    pool = ShardWorkerPool(1)
+    pool.close()
+    with pytest.raises(Exception):
+        pool.send(0, ("retrieve", [], [], None, None))
+
+
+def test_naive_backend_ships_no_shared_memory():
+    generator = _generator()
+    case_base = generator.case_base()
+    requests = [generator.request(salt=index) for index in range(3)]
+    with ParallelShardedRetriever(
+        case_base, shard_count=2, workers=2, backend="naive"
+    ) as parallel:
+        parallel.retrieve_batch(requests, n=2)
+        assert parallel._segment is None
+
+
+def test_shared_memory_retired_on_rebuild():
+    """A full invalidation swaps segments; the old one leaves /dev/shm."""
+    generator = _generator()
+    case_base = generator.case_base()
+    requests = [generator.request(salt=index) for index in range(3)]
+    with ParallelShardedRetriever(case_base, shard_count=2, workers=2) as parallel:
+        parallel.retrieve_batch(requests, n=2)
+        first = parallel._segment.name
+        parallel.invalidate()
+        parallel.retrieve_batch(requests, n=2)
+        second = parallel._segment.name
+        assert first != second
+        if os.path.isdir("/dev/shm"):
+            assert not os.path.exists(os.path.join("/dev/shm", first.lstrip("/")))
+            assert os.path.exists(os.path.join("/dev/shm", second.lstrip("/")))
+
+
+def test_worker_pool_metrics_exported():
+    """The observability catalog carries the worker-pool series."""
+    from repro.observability import Observability, ObservabilityConfig
+
+    generator = _generator()
+    case_base = generator.case_base()
+    requests = [generator.request(salt=index) for index in range(4)]
+    observability = Observability(ObservabilityConfig(enabled=True))
+    with ParallelShardedRetriever(case_base, shard_count=2, workers=2) as parallel:
+        parallel.observability = observability
+        parallel.retrieve_batch(requests, n=2)
+        rendered = observability.registry.exposition()
+        assert "repro_worker_pool_workers 2" in rendered
+        assert "repro_worker_pool_shm_bytes" in rendered
+        assert "repro_worker_pool_batches_total" in rendered

@@ -1,0 +1,193 @@
+"""Property-based test: process-pool execution is bit-identical, always.
+
+A seeded mutation stream (retain-style appends, revisions, removals,
+mid-list insertions, type growth) drives one case base while a live
+:class:`~repro.parallel.ParallelShardedRetriever` absorbs the delta windows
+over its worker processes and fresh inline retrievers rebuild from scratch
+at every checkpoint.  Rankings, similarity doubles and retrieval statistics
+must agree exactly; with explicit bounds the incremental delta-shipping
+path must additionally have engaged (no vacuous pass through silent full
+rebuild-and-reloads).
+
+Uses hypothesis when available and degrades to a seeded parametrized sweep
+otherwise, following the pattern of the other property suites.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    BoundsTable,
+    CaseBase,
+    ExecutionTarget,
+    FunctionRequest,
+    Implementation,
+)
+from repro.parallel import ParallelShardedRetriever
+from repro.serving import ShardedRetriever
+
+try:
+    from hypothesis import HealthCheck, given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - exercised only without hypothesis
+    HAVE_HYPOTHESIS = False
+
+
+ATTRIBUTE_POOL = list(range(1, 7))
+VALUE_RANGE = (0, 200)
+SHARD_COUNT = 3
+WORKERS = 2
+
+
+def _build_case_base(rng: random.Random, explicit_bounds: bool) -> CaseBase:
+    bounds = BoundsTable()
+    for attribute_id in ATTRIBUTE_POOL:
+        bounds.define(attribute_id, *VALUE_RANGE)
+    case_base = CaseBase(bounds=bounds if explicit_bounds else None)
+    for type_id in (1, 2, 3):
+        function_type = case_base.add_type(type_id, name=f"type-{type_id}")
+        for implementation_id in range(1, rng.randint(3, 5)):
+            function_type.add(
+                Implementation(
+                    implementation_id,
+                    ExecutionTarget.GPP,
+                    {
+                        attribute_id: rng.randint(*VALUE_RANGE)
+                        for attribute_id in rng.sample(ATTRIBUTE_POOL, 4)
+                    },
+                )
+            )
+    return case_base
+
+
+def _mutate(case_base: CaseBase, rng: random.Random, step: int) -> None:
+    choice = rng.random()
+    type_id = rng.choice(case_base.type_ids())
+    implementations = case_base.implementations(type_id)
+    if choice < 0.35:
+        next_id = (
+            max(i.implementation_id for i in implementations) + 1
+            if implementations
+            else 1
+        )
+        case_base.add_implementation(
+            type_id,
+            Implementation(
+                next_id,
+                ExecutionTarget.FPGA if step % 2 else ExecutionTarget.GPP,
+                {
+                    attribute_id: rng.randint(*VALUE_RANGE)
+                    for attribute_id in rng.sample(ATTRIBUTE_POOL, 3)
+                },
+            ),
+        )
+    elif choice < 0.6:
+        implementation = rng.choice(implementations)
+        case_base.replace_implementation(
+            type_id,
+            implementation.with_attributes(
+                {rng.choice(ATTRIBUTE_POOL): rng.randint(*VALUE_RANGE)}
+            ),
+        )
+    elif choice < 0.8:
+        if len(implementations) > 1:
+            case_base.remove_implementation(
+                type_id, rng.choice(implementations).implementation_id
+            )
+    elif choice < 0.9:
+        taken = {i.implementation_id for i in implementations}
+        free = [i for i in range(1, 60) if i not in taken]
+        case_base.add_implementation(
+            type_id,
+            Implementation(
+                rng.choice(free),
+                ExecutionTarget.DSP,
+                {a: rng.randint(*VALUE_RANGE) for a in rng.sample(ATTRIBUTE_POOL, 3)},
+            ),
+        )
+    else:
+        new_type_id = 10 + step
+        if new_type_id not in case_base:
+            grown = case_base.add_type(new_type_id, name=f"grown-{step}")
+            grown.add(
+                Implementation(
+                    1,
+                    ExecutionTarget.GPP,
+                    {a: rng.randint(*VALUE_RANGE) for a in rng.sample(ATTRIBUTE_POOL, 3)},
+                )
+            )
+
+
+def _probes(case_base: CaseBase, rng: random.Random):
+    return [
+        FunctionRequest(
+            type_id,
+            [
+                (a, rng.randint(*VALUE_RANGE), 1.0 + (a % 3))
+                for a in sorted(rng.sample(ATTRIBUTE_POOL, 3))
+            ],
+            requester="property-parallel",
+        )
+        for type_id in case_base.type_ids()
+    ]
+
+
+def _view(results):
+    return [
+        (
+            [
+                (entry.implementation_id, entry.similarity,
+                 tuple(entry.local_similarities))
+                for entry in result.ranked
+            ],
+            vars(result.statistics),
+        )
+        for result in results
+    ]
+
+
+def check_parallel_equals_inline(seed: int, explicit_bounds: bool) -> None:
+    rng = random.Random(seed)
+    case_base = _build_case_base(rng, explicit_bounds)
+    with ParallelShardedRetriever(
+        case_base, shard_count=SHARD_COUNT, workers=WORKERS
+    ) as parallel:
+
+        def checkpoint() -> None:
+            probes = _probes(case_base, rng)
+            fresh = ShardedRetriever(case_base, shard_count=SHARD_COUNT)
+            assert _view(parallel.retrieve_batch(probes, n=4)) == _view(
+                fresh.retrieve_batch(probes, n=4)
+            )
+
+        checkpoint()
+        steps = rng.randint(3, 8)
+        for step in range(steps):
+            _mutate(case_base, rng, step)
+            if step == steps - 1 or rng.random() < 0.4:
+                checkpoint()
+        checkpoint()
+        if explicit_bounds:
+            assert parallel._tracker.incremental_count > 0
+
+
+if HAVE_HYPOTHESIS:
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(min_value=0, max_value=10_000), explicit=st.booleans())
+    def test_parallel_vs_inline_bit_identity(seed, explicit):
+        check_parallel_equals_inline(seed, explicit)
+
+else:  # pragma: no cover - exercised only without hypothesis
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("explicit", [True, False])
+    def test_parallel_vs_inline_bit_identity(seed, explicit):
+        check_parallel_equals_inline(seed, explicit)
