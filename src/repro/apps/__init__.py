@@ -8,6 +8,7 @@ from .fleet_failover import (
     default_outage_plan,
 )
 from .heavy_traffic import HeavyTrafficWorkload
+from .hugecb import HugeCaseBaseWorkload
 from .mp3_player import Mp3PlayerWorkload
 from .schema import (
     ATTR_BITRATE_KBPS,
@@ -63,6 +64,7 @@ __all__ = [
     "CruiseControlWorkload",
     "FleetFailoverWorkload",
     "HeavyTrafficWorkload",
+    "HugeCaseBaseWorkload",
     "Mp3PlayerWorkload",
     "Scenario",
     "ScenarioEvent",

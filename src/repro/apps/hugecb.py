@@ -1,0 +1,181 @@
+"""Huge-case-base workload (the ISSUE 10 "million implementations" driver).
+
+The Fig.-1 applications contribute a few dozen implementation variants; this
+workload bolts a bulk-synthesized implementation library onto the platform
+case base -- :class:`~repro.tools.CaseBaseGenerator` types with thousands of
+implementations each, streamed in via
+:meth:`~repro.tools.CaseBaseGenerator.iter_implementations` -- and issues
+Poisson request traffic against those types.  It exists to exercise the
+out-of-core serving stack at scale: the two-stage bounds pre-filter
+(``--prefilter bounds``) only engages on types with at least
+:attr:`~repro.core.backends.VectorizedBackend.PREFILTER_MIN_ROWS`
+implementations, and the persistent memmap images only pay off when
+re-encoding the case base is expensive.
+
+The synthetic types and attributes live in reserved ID ranges
+(:attr:`HugeCaseBaseWorkload.TYPE_ID_BASE`,
+:attr:`HugeCaseBaseWorkload.ATTRIBUTE_ID_BASE`) so they can never collide
+with the platform schema of :mod:`repro.apps.schema`.  Because the workload
+*extends* the case base's schema in :meth:`HugeCaseBaseWorkload.contribute`,
+its constraint names only resolve through that extended schema -- build
+traces with :meth:`repro.serving.ServingSpec.build_trace` (which passes the
+served case base's schema through) or call
+:func:`repro.serving.trace_from_workloads` with ``schema=case_base.schema``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import List
+
+from ..allocation.negotiation import ApplicationPolicy
+from ..core.case_base import CaseBase
+from ..core.exceptions import ReproError
+from ..tools.casebase_gen import CaseBaseGenerator, GeneratorSpec
+from .workloads import ApplicationWorkload, WorkloadRequest
+
+
+class HugeCaseBaseWorkload(ApplicationWorkload):
+    """Bulk-synthesized implementation library plus matching request traffic.
+
+    Parameters
+    ----------
+    implementations:
+        Total implementation count contributed to the case base, split evenly
+        over ``types`` function types.  The default of 100 000 puts every
+        type above the vectorized backend's pre-filter engagement threshold.
+    types:
+        Number of synthetic function types (IDs ``TYPE_ID_BASE + 1 ..``).
+    attributes:
+        Synthetic QoS attributes per implementation (IDs
+        ``ATTRIBUTE_ID_BASE + 1 ..``); every implementation carries all of
+        them, which keeps the per-type attribute matrices dense.
+    seed:
+        Generator seed; the contributed library and the request trace are
+        deterministic functions of it.
+    mean_interarrival_us:
+        Mean of the exponential request inter-arrival distribution.
+    """
+
+    name = "huge-casebase"
+
+    #: Synthetic type IDs start above this base (platform types are 1..8).
+    TYPE_ID_BASE = 1000
+    #: Synthetic attribute IDs start above this base (platform uses 1..10).
+    ATTRIBUTE_ID_BASE = 100
+
+    #: Constraints per generated request (a partial query, like real traffic).
+    CONSTRAINTS_PER_REQUEST = 3
+
+    def __init__(
+        self,
+        implementations: int = 100_000,
+        types: int = 8,
+        attributes: int = 10,
+        seed: int = 77,
+        mean_interarrival_us: float = 5_000.0,
+    ) -> None:
+        if implementations <= 0 or types <= 0:
+            raise ReproError("implementation and type counts must be positive")
+        if implementations % types:
+            raise ReproError(
+                f"{implementations} implementations do not split evenly over "
+                f"{types} types"
+            )
+        per_type = implementations // types
+        if per_type > 0xFFFF:
+            raise ReproError(
+                f"{per_type} implementations per type exceed the 16-bit "
+                f"implementation-ID range"
+            )
+        if self.TYPE_ID_BASE + types > 0xFFFF:
+            raise ReproError(
+                f"{types} types exceed the 16-bit type-ID range above "
+                f"base {self.TYPE_ID_BASE}"
+            )
+        if mean_interarrival_us <= 0:
+            raise ReproError("mean_interarrival_us must be positive")
+        self.seed = seed
+        self.mean_interarrival_us = mean_interarrival_us
+        self.spec = GeneratorSpec(
+            type_count=types,
+            implementations_per_type=per_type,
+            attributes_per_implementation=attributes,
+            attribute_type_count=attributes,
+        )
+
+    def policy(self) -> ApplicationPolicy:
+        """Bulk lookups take what they get; retries are the client's problem."""
+        return ApplicationPolicy(
+            minimum_similarity=0.2,
+            accept_preemption=True,
+            max_relaxations=0,
+        )
+
+    def contribute(self, case_base: CaseBase) -> None:
+        """Stream the synthetic library into the platform case base.
+
+        Extends ``case_base.schema`` (and its explicit bounds table, when
+        present) with the reserved-range synthetic attributes, then adds the
+        generated types one implementation at a time -- the whole library is
+        never materialised as a second :class:`CaseBase`.
+        """
+        low, high = self.spec.value_range
+        for attribute_id in range(1, self.spec.attribute_type_count + 1):
+            shifted = self.ATTRIBUTE_ID_BASE + attribute_id
+            if shifted not in case_base.schema:
+                case_base.schema.define(
+                    shifted,
+                    self._attribute_name(attribute_id),
+                    description="bulk synthetic QoS attribute",
+                )
+            if case_base.has_explicit_bounds and shifted not in case_base.bounds:
+                case_base.bounds.define(shifted, low, high)
+        generator = CaseBaseGenerator(self.spec, seed=self.seed)
+        function_type = None
+        for type_id, _type_name, implementation in generator.iter_implementations():
+            shifted_type = self.TYPE_ID_BASE + type_id
+            if function_type is None or function_type.type_id != shifted_type:
+                function_type = case_base.add_type(
+                    shifted_type, name=f"bulk-function-{type_id}"
+                )
+            function_type.add(dataclasses.replace(
+                implementation,
+                attributes={
+                    self.ATTRIBUTE_ID_BASE + attribute_id: value
+                    for attribute_id, value in implementation.attributes.items()
+                },
+            ))
+
+    def requests(self, rng: random.Random, duration_us: float) -> List[WorkloadRequest]:
+        low, high = self.spec.value_range
+        count = min(self.CONSTRAINTS_PER_REQUEST, self.spec.attribute_type_count)
+        requests: List[WorkloadRequest] = []
+        time = rng.expovariate(1.0 / self.mean_interarrival_us)
+        while time < duration_us:
+            attribute_ids = sorted(
+                rng.sample(range(1, self.spec.attribute_type_count + 1), count)
+            )
+            constraints = {
+                self._attribute_name(attribute_id): rng.randint(low, high)
+                for attribute_id in attribute_ids
+            }
+            weights = {
+                name: rng.choice([1.0, 1.0, 2.0]) for name in constraints
+            }
+            requests.append(WorkloadRequest(
+                issue_time_us=time,
+                type_id=self.TYPE_ID_BASE + rng.randint(1, self.spec.type_count),
+                constraints=constraints,
+                weights=weights,
+                hold_time_us=20_000.0,
+                note="bulk lookup",
+            ))
+            time += rng.expovariate(1.0 / self.mean_interarrival_us)
+        return requests
+
+    @classmethod
+    def _attribute_name(cls, attribute_id: int) -> str:
+        """Schema name of the ``attribute_id``-th synthetic attribute."""
+        return f"synthetic_attribute_{attribute_id}"

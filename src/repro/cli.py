@@ -6,6 +6,10 @@ Provides the day-to-day developer workflows as sub-commands:
   software executions) and print the comparison;
 * ``repro-qos generate`` -- generate a random case base (the paper's Matlab
   tooling) and write it to JSON;
+* ``repro-qos ingest`` -- bulk-ingest a CSV/JSONL/parquet implementation dump
+  into a case base through columnar, 16-bit-validated batches; ``--synthesize``
+  writes a seeded 10^5..10^6-row dump first, and ``--image-dir`` persists the
+  memmap image store for O(1) reopen;
 * ``repro-qos retrieve`` -- run a retrieval against a case-base JSON file with
   constraints given on the command line;
 * ``repro-qos retrieve-batch`` -- run a whole batch of retrievals (from a
@@ -140,6 +144,51 @@ def cmd_generate(args: argparse.Namespace) -> int:
     path = save_case_base(generator.case_base(), args.output)
     print(f"wrote case base with {spec.type_count} types x {spec.implementations_per_type} "
           f"implementations to {path}")
+    return 0
+
+
+def cmd_ingest(args: argparse.Namespace) -> int:
+    """Bulk-ingest an implementation dump (or synthesize one first)."""
+    from .memmap import ImageStore
+    from .tools import ingest_dump, synthesize_dump
+
+    if args.synthesize:
+        if args.synthesize % args.types:
+            print(f"error: --synthesize {args.synthesize} is not divisible by "
+                  f"--types {args.types}", file=sys.stderr)
+            return 2
+        per_type = args.synthesize // args.types
+        if per_type > 0xFFFF:
+            print(f"error: {per_type} implementations per type exceeds the "
+                  f"16-bit ID space; raise --types", file=sys.stderr)
+            return 2
+        spec = GeneratorSpec(
+            type_count=args.types,
+            implementations_per_type=per_type,
+            attributes_per_implementation=args.attributes,
+            attribute_type_count=max(args.attributes, args.attribute_types),
+            missing_probability=args.missing_probability,
+        )
+        started = time.perf_counter()
+        rows = synthesize_dump(args.dump, spec, seed=args.seed, fmt=args.format)
+        print(f"synthesized {rows} implementation rows "
+              f"({spec.type_count} types x {spec.implementations_per_type}) "
+              f"to {args.dump} in {time.perf_counter() - started:.2f}s")
+        if not (args.out or args.image_dir):
+            return 0
+    case_base, report = ingest_dump(
+        args.dump, fmt=args.format, batch_rows=args.batch_rows
+    )
+    print(report.summary())
+    if args.out:
+        path = save_case_base(case_base, args.out)
+        print(f"wrote case-base JSON to {path}")
+    if args.image_dir:
+        started = time.perf_counter()
+        ImageStore(args.image_dir).save(case_base)
+        print(f"persisted memmap image store to {args.image_dir} "
+              f"in {time.perf_counter() - started:.2f}s "
+              f"(reopens O(1) while the case base is unchanged)")
     return 0
 
 
@@ -941,6 +990,35 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--attribute-types", type=int, default=10)
     sub.add_argument("--seed", type=int, default=0)
     sub.set_defaults(handler=cmd_generate)
+
+    sub = subparsers.add_parser(
+        "ingest",
+        help="bulk-ingest a CSV/JSONL/parquet implementation dump "
+             "(columnar batches, 16-bit validation)",
+    )
+    sub.add_argument("dump", help="dump file to ingest (or to write with --synthesize)")
+    sub.add_argument("--format", choices=["auto", "csv", "jsonl", "parquet"],
+                     default="auto",
+                     help="dump format (default: inferred from the suffix; "
+                          "parquet needs the optional 'ingest' extra)")
+    sub.add_argument("--batch-rows", type=int, default=65536,
+                     help="rows per columnar batch (default 65536)")
+    sub.add_argument("--out", help="also write the ingested case base as JSON")
+    sub.add_argument("--image-dir", metavar="DIR",
+                     help="also persist the memmap image store (see repro.memmap."
+                          "ImageStore) for O(1) reopen on later starts")
+    sub.add_argument("--synthesize", type=int, default=0, metavar="N",
+                     help="first synthesize a seeded dump with N implementations "
+                          "to DUMP (then ingest it only when --out/--image-dir "
+                          "is also given)")
+    sub.add_argument("--seed", type=int, default=0)
+    sub.add_argument("--types", type=int, default=16,
+                     help="function types for --synthesize (default 16)")
+    sub.add_argument("--attributes", type=int, default=10)
+    sub.add_argument("--attribute-types", type=int, default=10)
+    sub.add_argument("--missing-probability", type=float, default=0.0,
+                     help="per-attribute absence probability for --synthesize")
+    sub.set_defaults(handler=cmd_ingest)
 
     sub = subparsers.add_parser("retrieve", help="run one retrieval")
     sub.add_argument("--case-base", help="case-base JSON (defaults to the paper example)")

@@ -246,10 +246,15 @@ class _TypeMatrices:
         "column_all_absent",
         "column_absent_rows",
         "kernels",
+        "block_stats",
     )
 
     #: Signature-kernel cache entries kept per type (cleared wholesale beyond).
     KERNEL_CACHE_CAPACITY = 128
+
+    #: Rows per pre-filter block: the bounds screen summarises (and prunes)
+    #: the matrices in runs of this many consecutive rows.
+    BLOCK_ROWS = 1024
 
     def __init__(self, implementations: List[Implementation]) -> None:
         self.implementations = implementations
@@ -326,6 +331,44 @@ class _TypeMatrices:
         #: Per-signature gathered kernels (see ``_signature_kernel``); any
         #: content change drops them with the rest of the derived state.
         self.kernels: Dict[Tuple[int, ...], Tuple] = {}
+        #: Per-block column summaries for the bounds pre-filter, computed
+        #: lazily (they share the kernels' drop-on-content-change lifecycle).
+        self.block_stats: Optional[Tuple] = None
+
+    def block_summaries(self) -> Tuple:
+        """Per-block per-column summaries backing the bounds pre-filter.
+
+        Returns ``(starts, block_min, block_max, any_present, any_absent)``:
+        block ``b`` covers rows ``starts[b] .. starts[b] + BLOCK_ROWS`` and
+        the ``(B, C)`` arrays give, per block and column, the min/max over
+        *present* cells (``+inf``/``-inf`` when none are) and whether the
+        block holds any present / any absent cell in that column.
+        """
+        if self.block_stats is None:
+            row_count, column_count = self.values.shape
+            starts = np.arange(0, max(row_count, 1), self.BLOCK_ROWS, dtype=np.intp)
+            if row_count == 0:
+                shape = (len(starts), column_count)
+                self.block_stats = (
+                    starts,
+                    np.zeros(shape, dtype=np.float64),
+                    np.zeros(shape, dtype=np.float64),
+                    np.zeros(shape, dtype=bool),
+                    np.zeros(shape, dtype=bool),
+                )
+            else:
+                masked_min = np.where(self.present, self.values, np.inf)
+                masked_max = np.where(self.present, self.values, -np.inf)
+                block_min = np.minimum.reduceat(masked_min, starts, axis=0)
+                block_max = np.maximum.reduceat(masked_max, starts, axis=0)
+                present_counts = np.add.reduceat(
+                    self.present.astype(np.int64), starts, axis=0
+                )
+                lengths = np.diff(np.append(starts, row_count))
+                any_present = present_counts > 0
+                any_absent = present_counts < lengths[:, None]
+                self.block_stats = (starts, block_min, block_max, any_present, any_absent)
+        return self.block_stats
 
     # -- incremental row patching (delta application) ----------------------------
 
@@ -414,11 +457,21 @@ class VectorizedBackend(RetrievalBackend):
 
     name = "vectorized"
 
+    #: Smallest implementation count worth screening: below a few blocks the
+    #: bound computation costs more than the full evaluation it would save,
+    #: so the pre-filter transparently falls through to the plain kernel.
+    PREFILTER_MIN_ROWS = 4096
+
     def __init__(self) -> None:
         super().__init__()
         self._cache: Dict[int, _TypeMatrices] = {}
         self._reciprocals: Dict[int, float] = {}
         self._tracker: Optional[RevisionTrackedCache] = None
+        #: Pre-filter effectiveness counters (plain ints; the serving layer
+        #: folds them into its metrics registry).
+        self.prefilter_requests = 0
+        self.prefilter_rows_total = 0
+        self.prefilter_rows_pruned = 0
 
     # -- compatibility -----------------------------------------------------------
 
@@ -626,6 +679,233 @@ class VectorizedBackend(RetrievalBackend):
         compared_count = implementation_count * len(attribute_ids) - missing_count
         return accumulator, missing_count, compared_count
 
+    # -- the bounds pre-filter (two-stage exact retrieval) -------------------------
+    #
+    # The screen computes, per block of ``_TypeMatrices.BLOCK_ROWS`` rows, a
+    # rigorous IEEE-754 upper bound on every row's global similarity, using
+    # the *same* operation sequence as the exact kernel (interval distance ->
+    # ``d * (1/(1+dmax))`` -> ``1 - x`` -> clamp -> missing-similarity ->
+    # weight -> ascending-attribute-ID fold).  Correctly-rounded double ops
+    # are monotone, so each step preserves "bound >= every cell", and blocks
+    # whose bound falls strictly below the acceptance cut can be skipped
+    # without evaluating a single row.  Surviving rows then run through the
+    # ordinary kernel arithmetic -- per-row the identical op sequence on the
+    # identical operands -- which is what makes the pruned path bit-identical
+    # (rankings, similarity doubles, statistics) to the full scan; strict
+    # ``bound < cut`` pruning keeps ties (broken by ascending implementation
+    # ID) intact.  Statistics stay exact because the vectorized path books
+    # them analytically from the full matrix shape, not from evaluated rows.
+
+    def _prefilter_active(self) -> bool:
+        """Whether the engine asked for the bounds screen."""
+        engine = self.engine
+        return engine is not None and getattr(engine, "prefilter", "off") == "bounds"
+
+    def _block_upper_bounds(
+        self,
+        matrices: _TypeMatrices,
+        attribute_ids: Tuple[int, ...],
+        values: Tuple[float, ...],
+        weights: Tuple[float, ...],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(starts, bounds)``: a per-block upper bound on the row similarities.
+
+        Weights are guaranteed non-negative (``RequestAttribute`` rejects
+        negative weights), so multiplying a per-cell upper bound by the
+        weight keeps it an upper bound.
+        """
+        local = self.engine.local_similarity
+        starts, block_min, block_max, any_present, any_absent = matrices.block_summaries()
+        upper = np.zeros(len(starts), dtype=np.float64)
+        for column_index, attribute_id in enumerate(attribute_ids):
+            weight = weights[column_index]
+            column = matrices.columns.get(attribute_id)
+            if column is None or matrices.column_all_absent[column]:
+                # Every cell takes the missing-similarity placeholder exactly.
+                upper += local.missing_similarity * weight
+                continue
+            value = values[column_index]
+            # Min distance from the request value to the block's [min, max]
+            # interval: 0 inside, else the gap -- computed with the same
+            # subtractions the kernel's |v - value_i| resolves to at the
+            # interval endpoints, so rounding keeps the bound rigorous.
+            distance = np.maximum(block_min[:, column] - value, value - block_max[:, column])
+            np.maximum(distance, 0.0, out=distance)
+            column_upper = 1.0 - distance * self._reciprocal(attribute_id)
+            if local.clamp:
+                np.maximum(column_upper, 0.0, out=column_upper)
+                np.minimum(column_upper, 1.0, out=column_upper)
+            # Blocks with no present cell in this column contribute only
+            # missing-similarity placeholders; the interval bound is vacuous.
+            column_upper[~any_present[:, column]] = -np.inf
+            absent = any_absent[:, column]
+            if absent.any():
+                np.maximum(
+                    column_upper, local.missing_similarity, out=column_upper, where=absent
+                )
+            upper += column_upper * weight
+        return starts, upper
+
+    def _similarity_rows_subset(
+        self,
+        matrices: _TypeMatrices,
+        attribute_ids: Tuple[int, ...],
+        request_values: np.ndarray,
+        weight_rows: np.ndarray,
+        rows: np.ndarray,
+    ) -> np.ndarray:
+        """Exact similarities for a row subset: :meth:`_similarity_rows`
+        restricted to ``rows`` -- per row the identical operation sequence on
+        the identical operands, hence bit-identical to the full evaluation."""
+        local = self.engine.local_similarity
+        sub_values, reciprocals, absent_rows_index, absent_columns_index, _ = (
+            self._signature_kernel(matrices, attribute_ids)
+        )
+        similarities = np.abs(request_values[:, None, :] - sub_values[rows][None, :, :])
+        similarities *= reciprocals
+        np.subtract(1.0, similarities, out=similarities)
+        if local.clamp:
+            np.maximum(similarities, 0.0, out=similarities)
+            np.minimum(similarities, 1.0, out=similarities)
+        if absent_rows_index is not None:
+            # Re-map the kernel's full-matrix absent-cell pairs onto the subset.
+            positions = np.full(len(matrices.implementations), -1, dtype=np.intp)
+            positions[rows] = np.arange(len(rows), dtype=np.intp)
+            subset_rows = positions[absent_rows_index]
+            keep = subset_rows >= 0
+            if keep.any():
+                similarities[:, subset_rows[keep], absent_columns_index[keep]] = (
+                    local.missing_similarity
+                )
+        similarities *= weight_rows[:, None, :]
+        accumulator = np.zeros((request_values.shape[0], len(rows)), dtype=np.float64)
+        for column_index in range(len(attribute_ids)):
+            accumulator += similarities[:, :, column_index]
+        return accumulator
+
+    def _retrieve_pruned(
+        self,
+        request: FunctionRequest,
+        matrices: _TypeMatrices,
+        attribute_ids: Tuple[int, ...],
+        values: Tuple[float, ...],
+        weights: Tuple[float, ...],
+        statistics: "RetrievalStatistics",
+        *,
+        n: Optional[int],
+        threshold: Optional[float],
+        record_threshold: Optional[float],
+    ) -> "RetrievalResult":
+        """Two-stage ranked retrieval: screen blocks, evaluate survivors exactly.
+
+        ``n``/``threshold`` must already be validated; best-mode retrieval
+        (``n is None and threshold is None``) never reaches this path because
+        its ``best_updates`` counter is defined over the full scan order.
+        """
+        RetrievalResult, _, _ = _result_types()
+        implementation_count = len(matrices.implementations)
+        _, _, _, _, missing_count = self._signature_kernel(matrices, attribute_ids)
+        compared = implementation_count * len(attribute_ids) - missing_count
+        self._account(statistics, matrices, attribute_ids, missing_count, compared)
+        request_values = np.array([values], dtype=np.float64)
+        weight_rows = np.array([weights], dtype=np.float64)
+        starts, upper = self._block_upper_bounds(matrices, attribute_ids, values, weights)
+        block = matrices.BLOCK_ROWS
+
+        def block_rows(index: int) -> np.ndarray:
+            start = int(starts[index])
+            return np.arange(
+                start, min(start + block, implementation_count), dtype=np.intp
+            )
+
+        # Stage 1: threshold screening -- a block bounded strictly below the
+        # threshold cannot contribute a row reaching it.
+        kept = (
+            np.flatnonzero(upper >= threshold)
+            if threshold is not None
+            else np.arange(len(starts), dtype=np.intp)
+        )
+        rows_parts: List[np.ndarray] = []
+        sims_parts: List[np.ndarray] = []
+        if n is not None and len(kept):
+            # Stage 2 (n-best): evaluate blocks in descending-bound order
+            # until >= n rows are scored; the n-th best qualifying exact
+            # similarity then prunes every remaining block bounded strictly
+            # below it (the final n-th best can only be higher).
+            order = kept[np.argsort(-upper[kept], kind="stable")]
+            covered = 0
+            seed_count = 0
+            for block_index in order:
+                covered += len(block_rows(int(block_index)))
+                seed_count += 1
+                if covered >= n:
+                    break
+            seed_rows = np.concatenate(
+                [block_rows(int(index)) for index in order[:seed_count]]
+            )
+            seed_sims = self._similarity_rows_subset(
+                matrices, attribute_ids, request_values, weight_rows, seed_rows
+            )[0]
+            rows_parts.append(seed_rows)
+            sims_parts.append(seed_sims)
+            qualifying = (
+                seed_sims if threshold is None else seed_sims[seed_sims >= threshold]
+            )
+            rest = order[seed_count:]
+            if len(qualifying) >= n:
+                cut = -np.partition(-qualifying, n - 1)[n - 1]
+                rest = rest[upper[rest] >= cut]
+            if len(rest):
+                rest_rows = np.concatenate(
+                    [block_rows(int(index)) for index in np.sort(rest)]
+                )
+                rows_parts.append(rest_rows)
+                sims_parts.append(
+                    self._similarity_rows_subset(
+                        matrices, attribute_ids, request_values, weight_rows, rest_rows
+                    )[0]
+                )
+        elif len(kept):
+            survivor_rows = np.concatenate([block_rows(int(index)) for index in kept])
+            rows_parts.append(survivor_rows)
+            sims_parts.append(
+                self._similarity_rows_subset(
+                    matrices, attribute_ids, request_values, weight_rows, survivor_rows
+                )[0]
+            )
+        if rows_parts:
+            rows = np.concatenate(rows_parts)
+            similarities = np.concatenate(sims_parts)
+            ascending = np.argsort(rows, kind="stable")
+            rows = rows[ascending]
+            similarities = similarities[ascending]
+        else:
+            rows = np.zeros(0, dtype=np.intp)
+            similarities = np.zeros(0, dtype=np.float64)
+        self.prefilter_requests += 1
+        self.prefilter_rows_total += implementation_count
+        self.prefilter_rows_pruned += implementation_count - len(rows)
+        # Rank the survivors: rows ascend by implementation ID, so a stable
+        # descending-similarity sort reproduces the full path's lexsort ties.
+        order = np.argsort(-similarities, kind="stable")
+        if threshold is not None:
+            order = order[similarities[order] >= threshold]
+        if n is not None:
+            order = order[:n]
+        _, _, ScoredImplementation = _result_types()
+        ranked = [
+            ScoredImplementation(
+                type_id=request.type_id,
+                implementation=matrices.implementations[int(rows[int(index)])],
+                similarity=float(similarities[int(index)]),
+            )
+            for index in order
+        ]
+        statistics.best_updates += len(ranked)
+        return RetrievalResult(
+            request.type_id, ranked, statistics, threshold=record_threshold
+        )
+
     def _evaluate_one(
         self, request: FunctionRequest, statistics: "RetrievalStatistics"
     ) -> Tuple[_TypeMatrices, np.ndarray]:
@@ -751,6 +1031,14 @@ class VectorizedBackend(RetrievalBackend):
         _, RetrievalStatistics, _ = _result_types()
         _check_n(n)
         statistics = RetrievalStatistics()
+        if self._prefilter_active():
+            matrices = self._validate(request)
+            if len(matrices.implementations) >= self.PREFILTER_MIN_ROWS:
+                attribute_ids, values, weights = request.kernel_inputs()
+                return self._retrieve_pruned(
+                    request, matrices, attribute_ids, values, weights, statistics,
+                    n=n, threshold=None, record_threshold=None,
+                )
         matrices, similarities = self._evaluate_one(request, statistics)
         return self._ranked_result(
             request, matrices, similarities, statistics,
@@ -763,6 +1051,14 @@ class VectorizedBackend(RetrievalBackend):
         _, RetrievalStatistics, _ = _result_types()
         _check_threshold(threshold)
         statistics = RetrievalStatistics()
+        if self._prefilter_active():
+            matrices = self._validate(request)
+            if len(matrices.implementations) >= self.PREFILTER_MIN_ROWS:
+                attribute_ids, values, weights = request.kernel_inputs()
+                return self._retrieve_pruned(
+                    request, matrices, attribute_ids, values, weights, statistics,
+                    n=None, threshold=threshold, record_threshold=threshold,
+                )
         matrices, similarities = self._evaluate_one(request, statistics)
         return self._ranked_result(
             request, matrices, similarities, statistics,
@@ -780,6 +1076,22 @@ class VectorizedBackend(RetrievalBackend):
         if n is None and threshold is None:
             return self.retrieve_best(request)
         statistics = RetrievalStatistics()
+        if self._prefilter_active():
+            matrices = self._validate(request)
+            if len(matrices.implementations) >= self.PREFILTER_MIN_ROWS:
+                attribute_ids, values, weights = request.kernel_inputs()
+                # Surface kernel-level scoring errors (e.g. a bounds-table
+                # gap) before the mode-argument checks, mirroring the
+                # unpruned path's evaluate-then-validate order.
+                self._signature_kernel(matrices, attribute_ids)
+                if threshold is not None:
+                    _check_threshold(threshold)
+                if n is not None:
+                    _check_n(n)
+                return self._retrieve_pruned(
+                    request, matrices, attribute_ids, values, weights, statistics,
+                    n=n, threshold=threshold, record_threshold=threshold,
+                )
         matrices, similarities = self._evaluate_one(request, statistics)
         # Validation order mirrors the naive combined entry point (arguments
         # are checked only after scoring).
@@ -836,8 +1148,22 @@ class VectorizedBackend(RetrievalBackend):
             key = (request.type_id, kernel_inputs_by_request[index][0])
             groups.setdefault(key, []).append(index)
         results: List[Optional["RetrievalResult"]] = [None] * len(requests)
+        prefilter = self._prefilter_active() and not (n is None and threshold is None)
         for (type_id, attribute_ids), member_indices in groups.items():
             matrices = matrices_by_request[member_indices[0]]
+            if prefilter and len(matrices.implementations) >= self.PREFILTER_MIN_ROWS:
+                # Huge types: per-request block pruning beats the grouped
+                # full-matrix broadcast.  Statistics stay the group-constant
+                # full-scan counters, booked inside the pruned path.
+                for index in member_indices:
+                    request = requests[index]
+                    statistics = RetrievalStatistics()
+                    _, values, weights = kernel_inputs_by_request[index]
+                    results[index] = self._retrieve_pruned(
+                        request, matrices, attribute_ids, values, weights, statistics,
+                        n=n, threshold=threshold, record_threshold=threshold,
+                    )
+                continue
             request_values = np.array(
                 [kernel_inputs_by_request[index][1] for index in member_indices],
                 dtype=np.float64,

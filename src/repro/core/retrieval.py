@@ -139,7 +139,18 @@ class RetrievalEngine:
         similarity configuration cannot be vectorized (custom amalgamation,
         metric or local-similarity subclass); check :attr:`backend_name` for
         the effective choice.
+    prefilter:
+        Two-stage retrieval screen: ``"off"`` (default) evaluates every
+        implementation, ``"bounds"`` lets the vectorized backend prune whole
+        row blocks through a rigorous per-block similarity upper bound before
+        the exact kernel re-ranks the survivors.  The pruned path is proven
+        bit-identical (rankings, similarity doubles, statistics) to the full
+        scan; it transparently falls through for best-mode retrieval, small
+        types, and backends without a screen (the naive loop).
     """
+
+    #: Valid ``prefilter`` axis values.
+    PREFILTERS = ("off", "bounds")
 
     def __init__(
         self,
@@ -149,6 +160,7 @@ class RetrievalEngine:
         amalgamation: Optional[AmalgamationFunction] = None,
         local_similarity: Optional[LocalSimilarity] = None,
         backend: Union[str, "RetrievalBackend", None] = None,
+        prefilter: Optional[str] = None,
     ) -> None:
         self.case_base = case_base
         self.bounds = bounds if bounds is not None else case_base.bounds
@@ -158,6 +170,12 @@ class RetrievalEngine:
             if local_similarity is not None
             else LocalSimilarity(self.bounds)
         )
+        prefilter = prefilter if prefilter is not None else "off"
+        if prefilter not in self.PREFILTERS:
+            raise RetrievalError(
+                f"unknown prefilter {prefilter!r}; known: {list(self.PREFILTERS)}"
+            )
+        self.prefilter = prefilter
         from .backends import resolve_backend
 
         self.backend = resolve_backend(backend, self)

@@ -26,6 +26,9 @@ __all__ = [
     "modelled_cycles",
     "traces_sampled",
     "shard_requests",
+    "prefilter_requests",
+    "prefilter_rows",
+    "image_reopens",
     "worker_health",
     "health_transitions",
     "requeues_total",
@@ -115,6 +118,32 @@ def shard_requests(registry: MetricsRegistry) -> MetricFamily:
         "repro_shard_requests_total",
         "Retrieval sub-requests fanned out per case-base shard.",
         ("shard",),
+    )
+
+
+def prefilter_requests(registry: MetricsRegistry) -> MetricFamily:
+    return registry.counter(
+        "repro_prefilter_requests_total",
+        "Retrievals screened by the two-stage bounds pre-filter.",
+    )
+
+
+def prefilter_rows(registry: MetricsRegistry) -> MetricFamily:
+    return registry.counter(
+        "repro_prefilter_rows_total",
+        "Implementation rows seen by the bounds pre-filter, by outcome "
+        "(pruned = skipped without exact evaluation).",
+        ("outcome",),
+    )
+
+
+def image_reopens(registry: MetricsRegistry) -> MetricFamily:
+    return registry.counter(
+        "repro_image_reopens_total",
+        "Persistent case-base image open attempts by outcome "
+        "(hit = O(1) memmap reopen, miss = no image, stale = fingerprint "
+        "mismatch forcing a re-encode).",
+        ("outcome",),
     )
 
 

@@ -62,8 +62,16 @@ from ..serving.shards import ShardedRetriever, build_shards
 from . import shm as shm_helpers
 from .worker import apply_ops, shard_worker_main
 
-#: Seconds the parent waits on a worker reply before declaring the pool hung.
-REPLY_TIMEOUT_S = float(os.environ.get("REPRO_PARALLEL_TIMEOUT_S", "120"))
+#: Default seconds the parent waits on a worker reply before declaring the
+#: pool hung.  ``REPRO_PARALLEL_TIMEOUT_S`` overrides it, resolved at pool
+#: construction time (not import time) so setting the variable after
+#: ``repro.parallel`` is imported still takes effect.
+REPLY_TIMEOUT_S = 120.0
+
+
+def reply_timeout_s() -> float:
+    """The reply timeout currently in force (env override re-read each call)."""
+    return float(os.environ.get("REPRO_PARALLEL_TIMEOUT_S", REPLY_TIMEOUT_S))
 
 
 def default_start_method() -> str:
@@ -96,6 +104,7 @@ class ShardWorkerPool:
         ]
         for process in self.processes:
             process.start()
+        self.reply_timeout_s = reply_timeout_s()
         self._closed = False
 
     @property
@@ -126,9 +135,15 @@ class ShardWorkerPool:
         worker_indices,
         kind: str,
         *,
-        timeout: float = REPLY_TIMEOUT_S,
+        timeout: Optional[float] = None,
     ) -> Dict[int, object]:
-        """Gather one ``kind`` reply from each listed worker (any order)."""
+        """Gather one ``kind`` reply from each listed worker (any order).
+
+        ``timeout`` defaults to the pool's construction-time resolution of
+        ``REPRO_PARALLEL_TIMEOUT_S``.
+        """
+        if timeout is None:
+            timeout = self.reply_timeout_s
         pending = set(worker_indices)
         replies: Dict[int, object] = {}
         deadline = time.monotonic() + timeout
@@ -215,6 +230,7 @@ class ParallelShardedRetriever:
         workers: int = 1,
         backend: str = "vectorized",
         start_method: Optional[str] = None,
+        prefilter: str = "off",
     ) -> None:
         if backend not in ("naive", "reference", "vectorized"):
             raise RetrievalError(
@@ -225,11 +241,22 @@ class ParallelShardedRetriever:
             raise RetrievalError(f"shard_count must be at least 1, got {shard_count}")
         if workers < 1:
             raise RetrievalError(f"workers must be at least 1, got {workers}")
+        from ..core.retrieval import RetrievalEngine
+
+        if prefilter not in RetrievalEngine.PREFILTERS:
+            raise RetrievalError(
+                f"unknown prefilter {prefilter!r}; "
+                f"known: {list(RetrievalEngine.PREFILTERS)}"
+            )
         self.case_base = case_base
         self.shard_count = int(shard_count)
         self.workers = int(workers)
         self.backend = backend
         self.start_method = start_method
+        #: Pre-filter axis shipped to the workers' shard engines with every
+        #: load; the pruned path runs inside the worker processes (their
+        #: per-backend counters stay process-local).
+        self.prefilter = prefilter
         #: Optional :class:`~repro.observability.Observability` hub installed
         #: by the owning engine (same contract as the inline runner).
         self.observability = None
@@ -301,7 +328,14 @@ class ParallelShardedRetriever:
         for worker_index in range(self.workers):
             pool.send(
                 worker_index,
-                ("load", self.backend, per_worker[worker_index], segment_name, layout),
+                (
+                    "load",
+                    self.backend,
+                    per_worker[worker_index],
+                    segment_name,
+                    layout,
+                    self.prefilter,
+                ),
             )
         pool.collect(range(self.workers), "loaded")
         # The workers hold their zero-copy views now; retire the previous

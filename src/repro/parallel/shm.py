@@ -28,6 +28,7 @@ Lifecycle discipline (the no-leaked-shm invariant the suite asserts):
 
 from __future__ import annotations
 
+import logging
 from multiprocessing import resource_tracker, shared_memory
 from typing import Dict, List, Mapping, Optional, Tuple
 
@@ -35,6 +36,8 @@ import numpy as np
 
 from ..core.backends import _TypeMatrices
 from ..core.case_base import CaseBase
+
+_LOG = logging.getLogger("repro.parallel.shm")
 
 #: Segment offsets are rounded up to this many bytes so every exported array
 #: view starts aligned for its dtype.
@@ -156,28 +159,49 @@ def matrices_from_layout(
 
 
 def unlink_segment(segment: Optional[shared_memory.SharedMemory]) -> None:
-    """Release and unlink one owned segment, tolerating repeat calls."""
+    """Release and unlink one owned segment, tolerating repeat calls.
+
+    Cleanup failures never propagate (teardown paths must stay unexceptional)
+    but they are no longer invisible: each one emits a structured ``key=value``
+    warning so a leaked ``/dev/shm`` segment can be traced to its cause.
+    """
     if segment is None:
         return
     try:
         segment.close()
     except BufferError:  # pragma: no cover - live views; freed at process exit
         pass
-    except Exception:
-        pass
+    except Exception as exc:  # pragma: no cover - platform-specific close races
+        _LOG.warning(
+            "event=shm.close_failed op=unlink segment=%s error=%r",
+            segment.name,
+            str(exc),
+        )
     try:
         segment.unlink()
-    except Exception:
+    except FileNotFoundError:  # repeat call: the segment is already gone
         pass
+    except Exception as exc:
+        _LOG.warning(
+            "event=shm.unlink_failed segment=%s error=%r", segment.name, str(exc)
+        )
 
 
 def close_segment(segment: Optional[shared_memory.SharedMemory]) -> None:
-    """Release one attached (non-owned) segment, tolerating repeat calls."""
+    """Release one attached (non-owned) segment, tolerating repeat calls.
+
+    Like :func:`unlink_segment`, failures are swallowed but logged as
+    structured ``key=value`` warnings.
+    """
     if segment is None:
         return
     try:
         segment.close()
     except BufferError:  # pragma: no cover - live views; freed at process exit
         pass
-    except Exception:
-        pass
+    except Exception as exc:  # pragma: no cover - platform-specific close races
+        _LOG.warning(
+            "event=shm.close_failed op=close segment=%s error=%r",
+            segment.name,
+            str(exc),
+        )

@@ -8,10 +8,11 @@ over them -- literally the same code the inline
 the parallel path bit-identical by construction.  The protocol over the
 per-worker FIFO task queue:
 
-``("load", backend, shards, segment_name, layout)``
+``("load", backend, shards, segment_name, layout, prefilter)``
     (Re)install the worker's shard case bases; when a shared-memory export
     accompanies them, seed each engine's vectorized backend with zero-copy
-    matrix views instead of re-encoding.  Acked with ``("loaded", ...)``.
+    matrix views instead of re-encoding.  ``prefilter`` selects the shard
+    engines' two-stage bounds screen.  Acked with ``("loaded", ...)``.
 ``("events", ops)``
     One delta window translated to shard-level mutation ops (see
     :func:`apply_ops`).  Applied to the worker-local case bases, whose own
@@ -118,11 +119,12 @@ class _WorkerState:
         shards: Dict[int, CaseBase],
         segment_name: Optional[str],
         layout: Optional[dict],
+        prefilter: str = "off",
     ) -> None:
         self.release()
         self.shards = shards
         self.engines = {
-            shard_index: RetrievalEngine(shard, backend=backend)
+            shard_index: RetrievalEngine(shard, backend=backend, prefilter=prefilter)
             for shard_index, shard in shards.items()
         }
         if segment_name is None:

@@ -33,7 +33,7 @@ from typing import List, Optional, Sequence
 
 from ..allocation.feasibility import FeasibilityChecker
 from ..core.case_base import CaseBase
-from ..core.exceptions import ReproError
+from ..core.exceptions import EncodingError, ReproError
 from ..core.retrieval import RetrievalResult
 from ..hardware.retrieval_unit import HardwareConfig, HardwareRetrievalUnit
 from ..software.isa import CostModel, microblaze_cost_model
@@ -148,23 +148,56 @@ class AdmissionController:
         # stays the paper's equal-clock comparison.  An explicit
         # software_cost_model overrides, clock included.
         self.clock_mhz = config.clock_mhz
-        self.hardware_unit = HardwareRetrievalUnit(case_base, config=config)
+        #: ``None`` when the case base cannot be encoded into the modelled
+        #: CB-MEM at all (the implementation tree overflows the hardware's
+        #: 16-bit word addressing -- out-of-core scale).  The platform then
+        #: has no hardware server and the software path serves everything.
+        self.hardware_unit: Optional[HardwareRetrievalUnit] = None
+        self.hardware_unavailable_reason: Optional[str] = None
+        try:
+            self.hardware_unit = HardwareRetrievalUnit(case_base, config=config)
+        except EncodingError as error:
+            self.hardware_unavailable_reason = (
+                f"case base does not fit the hardware retrieval unit ({error})"
+            )
         self._software_cost_model = (
             software_cost_model
             if software_cost_model is not None
             else microblaze_cost_model(config.clock_mhz)
         )
         self._software_unit: Optional[SoftwareRetrievalUnit] = None
+        self.software_unavailable_reason: Optional[str] = None
 
     # -- the modelled servers ------------------------------------------------------
 
     def _software(self) -> SoftwareRetrievalUnit:
         """The lazily built software-path model (only needed on hw misses)."""
         if self._software_unit is None:
-            self._software_unit = SoftwareRetrievalUnit(
-                self.case_base, cost_model=self._software_cost_model
-            )
+            if self.software_unavailable_reason is not None:
+                raise ReproError(self.software_unavailable_reason)
+            try:
+                self._software_unit = SoftwareRetrievalUnit(
+                    self.case_base, cost_model=self._software_cost_model
+                )
+            except EncodingError as error:
+                # The soft-core model walks the same CB-MEM word image as the
+                # hardware; past 16-bit addressing neither server exists.
+                self.software_unavailable_reason = (
+                    f"case base does not fit the software model's CB-MEM ({error})"
+                )
+                raise ReproError(self.software_unavailable_reason) from error
         return self._software_unit
+
+    def _software_times_or_none(
+        self, requests: Sequence
+    ) -> Optional[List[tuple]]:
+        """Software timings, or ``None`` when the model cannot encode."""
+        try:
+            return self.software_times_us(requests)
+        except ReproError:
+            if self.software_unavailable_reason is None:
+                raise
+            return None
 
     def hardware_times_us(self, requests: Sequence) -> List[tuple]:
         """Exact ``(cycles, service_us)`` per request on the hardware unit.
@@ -175,6 +208,8 @@ class AdmissionController:
         admission needs service times, not rankings, and the vectorized
         engine derives the counts without assembling result objects.
         """
+        if self.hardware_unit is None:
+            raise ReproError(self.hardware_unavailable_reason or "no hardware unit")
         clock_mhz = self.hardware_unit.config.clock_mhz
         return [
             (cycles, cycles / clock_mhz)
@@ -222,7 +257,11 @@ class AdmissionController:
         entries = list(entries)
         if not entries:
             return []
-        hardware = self.hardware_times_us([entry.request for entry in entries])
+        hardware = (
+            None
+            if self.hardware_unit is None
+            else self.hardware_times_us([entry.request for entry in entries])
+        )
         deadlines = [
             entry.deadline_us if entry.deadline_us is not None else default_deadline_us
             for entry in entries
@@ -231,31 +270,42 @@ class AdmissionController:
         #: all-admitted batch never pays for the software model at all, while
         #: a miss still amortises one vectorized sweep over the whole batch.
         software: Optional[List[tuple]] = None
+        software_probed = False
         decisions: List[AdmissionDecision] = []
         hardware_busy_us = hardware_backlog_us
         software_busy_us = software_backlog_us
         for index, entry in enumerate(entries):
             wait_us = max(0.0, close_us - entry.arrival_us)
             deadline = deadlines[index]
-            hw_cycles, hw_service_us = hardware[index]
-            if deadline is None or wait_us + hardware_busy_us + hw_service_us <= deadline:
-                decisions.append(AdmissionDecision(
-                    verdict=AdmissionVerdict.ADMIT_HARDWARE,
-                    wait_us=wait_us,
-                    queue_us=hardware_busy_us,
-                    service_us=hw_service_us,
-                    cycles=hw_cycles,
-                    deadline_us=deadline,
-                ))
-                hardware_busy_us += hw_service_us
-                continue
-            if self.degrade_to_software and software is None:
-                software = self.software_times_us(
+            if hardware is not None:
+                hw_cycles, hw_service_us = hardware[index]
+                if (
+                    deadline is None
+                    or wait_us + hardware_busy_us + hw_service_us <= deadline
+                ):
+                    decisions.append(AdmissionDecision(
+                        verdict=AdmissionVerdict.ADMIT_HARDWARE,
+                        wait_us=wait_us,
+                        queue_us=hardware_busy_us,
+                        service_us=hw_service_us,
+                        cycles=hw_cycles,
+                        deadline_us=deadline,
+                    ))
+                    hardware_busy_us += hw_service_us
+                    continue
+            # With no hardware server at all, software is the *primary* path,
+            # not a degradation -- it serves regardless of degrade_to_software.
+            if (self.degrade_to_software or hardware is None) and not software_probed:
+                software_probed = True
+                software = self._software_times_or_none(
                     [entry.request for entry in entries]
                 )
             if software is not None:
                 sw_cycles, sw_service_us = software[index]
-                if wait_us + software_busy_us + sw_service_us <= deadline:
+                if (
+                    deadline is None
+                    or wait_us + software_busy_us + sw_service_us <= deadline
+                ):
                     decisions.append(AdmissionDecision(
                         verdict=AdmissionVerdict.DEGRADE_SOFTWARE,
                         wait_us=wait_us,
@@ -263,16 +313,45 @@ class AdmissionController:
                         service_us=sw_service_us,
                         cycles=sw_cycles,
                         deadline_us=deadline,
-                        reason="hardware queue misses the deadline; software path fits",
+                        reason=(
+                            self.hardware_unavailable_reason
+                            if hardware is None
+                            else "hardware queue misses the deadline; "
+                                 "software path fits"
+                        ),
                     ))
                     software_busy_us += sw_service_us
                     continue
+            if hardware is None and software is None:
+                # Out-of-core scale: neither modelled server can encode the
+                # case base, so the host engine serves *unpriced* -- the gate
+                # checks only the observable wait against the deadline.
+                if deadline is None or wait_us <= deadline:
+                    decisions.append(AdmissionDecision(
+                        verdict=AdmissionVerdict.DEGRADE_SOFTWARE,
+                        wait_us=wait_us,
+                        queue_us=0.0,
+                        service_us=0.0,
+                        cycles=0,
+                        deadline_us=deadline,
+                        reason=self.hardware_unavailable_reason
+                        or self.software_unavailable_reason,
+                    ))
+                    continue
+                reject_cycles, reject_service_us = 0, 0.0
+                reject_queue_us = 0.0
+            elif hardware is not None:
+                reject_cycles, reject_service_us = hardware[index]
+                reject_queue_us = hardware_busy_us
+            else:
+                reject_cycles, reject_service_us = software[index]
+                reject_queue_us = software_busy_us
             decisions.append(AdmissionDecision(
                 verdict=AdmissionVerdict.REJECT_DEADLINE,
                 wait_us=wait_us,
-                queue_us=hardware_busy_us,
-                service_us=hw_service_us,
-                cycles=hw_cycles,
+                queue_us=reject_queue_us,
+                service_us=reject_service_us,
+                cycles=reject_cycles,
                 deadline_us=deadline,
                 reason=(
                     f"deadline budget of {deadline:.1f} us cannot be met "

@@ -69,6 +69,11 @@ class ServingConfig:
     #: Case-base partitioning (see :class:`~repro.serving.shards.ShardedRetriever`).
     shard_count: int = 1
     backend: str = "vectorized"
+    #: Two-stage retrieval screen (``"off"`` or ``"bounds"``): the vectorized
+    #: backend prunes implementation blocks through a rigorous similarity
+    #: upper bound before the exact kernel re-ranks the survivors; proven
+    #: bit-identical to the full scan, with transparent fall-through.
+    prefilter: str = "off"
     #: Execution tier: ``"inline"`` evaluates shards in-process (the golden
     #: reference path); ``"process"`` fans them out to ``workers`` OS
     #: processes (see :class:`~repro.parallel.ParallelShardedRetriever`),
@@ -122,6 +127,10 @@ class ServingConfig:
         if self.execution not in ("inline", "process"):
             raise ReproError(
                 f"execution must be 'inline' or 'process', got {self.execution!r}"
+            )
+        if self.prefilter not in ("off", "bounds"):
+            raise ReproError(
+                f"prefilter must be 'off' or 'bounds', got {self.prefilter!r}"
             )
         if self.execution == "process" and self.workers < 1:
             raise ReproError(
@@ -598,12 +607,14 @@ class ServingEngine:
                 shard_count=self.config.shard_count,
                 workers=self.config.workers,
                 backend=self.config.backend,
+                prefilter=self.config.prefilter,
             )
         else:
             self.retriever = ShardedRetriever(
                 case_base,
                 shard_count=self.config.shard_count,
                 backend=self.config.backend,
+                prefilter=self.config.prefilter,
             )
         self.retriever.observability = self.observability
         # The modelled unit must be the one that would deliver the configured
@@ -772,8 +783,16 @@ class ServingEngine:
             # The memory-map encoder is the authoritative validator for value
             # and weight encodability (non-integer values, 16-bit overflow);
             # its request cache is keyed by signature, so admission reuses
-            # this encoding instead of paying twice.
-            self.admission.hardware_unit.encoded_request_words(request)
+            # this encoding instead of paying twice.  On out-of-core case
+            # bases the hardware unit does not exist, but requests still
+            # honor the same word model -- encode them directly.
+            unit = self.admission.hardware_unit
+            if unit is not None:
+                unit.encoded_request_words(request)
+            else:
+                from ..memmap.request_list import encode_request
+
+                encode_request(request)
         except ReproError as error:
             return str(error)
         return None

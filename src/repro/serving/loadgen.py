@@ -26,6 +26,7 @@ from ..apps.automotive_ecu import AutomotiveEcuWorkload
 from ..apps.cruise_control import CruiseControlWorkload
 from ..apps.fleet_failover import FleetFailoverWorkload
 from ..apps.heavy_traffic import HeavyTrafficWorkload
+from ..apps.hugecb import HugeCaseBaseWorkload
 from ..apps.mp3_player import Mp3PlayerWorkload
 from ..apps.schema import platform_schema
 from ..apps.video import VideoPlayerWorkload
@@ -45,6 +46,7 @@ WORKLOAD_FACTORIES = {
     CruiseControlWorkload.name: CruiseControlWorkload,
     HeavyTrafficWorkload.name: HeavyTrafficWorkload,
     FleetFailoverWorkload.name: FleetFailoverWorkload,
+    HugeCaseBaseWorkload.name: HugeCaseBaseWorkload,
 }
 
 
@@ -72,7 +74,8 @@ def resolve_workloads(
 ) -> List[ApplicationWorkload]:
     """Turn workload names (or instances) into instances; ``None`` = all four apps."""
     if workloads is None:
-        synthetic = (HeavyTrafficWorkload.name, FleetFailoverWorkload.name)
+        synthetic = (HeavyTrafficWorkload.name, FleetFailoverWorkload.name,
+                     HugeCaseBaseWorkload.name)
         return [factory() for name, factory in WORKLOAD_FACTORIES.items()
                 if name not in synthetic]
     resolved: List[ApplicationWorkload] = []

@@ -25,12 +25,17 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..observability import MetricsRegistry, catalog
 
 
-def _nearest_rank(ordered: Sequence[float], fraction: float) -> float:
-    """Nearest-rank pick from an already-sorted non-empty sample."""
+def _check_fraction(fraction: float) -> None:
+    """Reject fractions outside [0, 1] regardless of the sample's shape."""
     if not 0.0 <= fraction <= 1.0:
         raise ValueError(
             f"percentile fraction must lie within [0, 1], got {fraction}"
         )
+
+
+def _nearest_rank(ordered: Sequence[float], fraction: float) -> float:
+    """Nearest-rank pick from an already-sorted non-empty sample."""
+    _check_fraction(fraction)
     rank = max(1, math.ceil(len(ordered) * fraction))
     return ordered[rank - 1]
 
@@ -39,13 +44,12 @@ def percentile(values: List[float], fraction: float) -> Optional[float]:
     """Nearest-rank percentile of an unsorted sample (``None`` when empty).
 
     ``rank = max(1, ceil(n * fraction))``: interpolation-free, so the value
-    reported is always one actually observed.
+    reported is always one actually observed.  The fraction is validated
+    before the sample is inspected, so a bad fraction raises identically
+    for empty and non-empty samples.
     """
+    _check_fraction(fraction)
     if not values:
-        if not 0.0 <= fraction <= 1.0:
-            raise ValueError(
-                f"percentile fraction must lie within [0, 1], got {fraction}"
-            )
         return None
     return _nearest_rank(sorted(values), fraction)
 
@@ -57,14 +61,12 @@ def percentiles(
 
     Sorts the sample once and picks each requested rank, instead of one
     sort per fraction.  Returns ``None`` entries for an empty sample.
+    Every fraction is validated up front, empty sample or not.
     """
     wanted = tuple(fractions)
+    for fraction in wanted:
+        _check_fraction(fraction)
     if not values:
-        for fraction in wanted:
-            if not 0.0 <= fraction <= 1.0:
-                raise ValueError(
-                    f"percentile fraction must lie within [0, 1], got {fraction}"
-                )
         return tuple(None for _ in wanted)
     ordered = sorted(values)
     return tuple(_nearest_rank(ordered, fraction) for fraction in wanted)

@@ -96,6 +96,7 @@ class ShardedRetriever:
         *,
         shard_count: int = 1,
         backend: str = "vectorized",
+        prefilter: str = "off",
     ) -> None:
         if backend not in ("naive", "reference", "vectorized"):
             raise RetrievalError(
@@ -104,9 +105,15 @@ class ShardedRetriever:
             )
         if shard_count < 1:
             raise RetrievalError(f"shard_count must be at least 1, got {shard_count}")
+        if prefilter not in RetrievalEngine.PREFILTERS:
+            raise RetrievalError(
+                f"unknown prefilter {prefilter!r}; "
+                f"known: {list(RetrievalEngine.PREFILTERS)}"
+            )
         self.case_base = case_base
         self.shard_count = int(shard_count)
         self.backend = backend
+        self.prefilter = prefilter
         #: Optional :class:`~repro.observability.Observability` hub installed
         #: by the owning engine; fan-out/merge spans and shard counters are
         #: emitted through it when present.
@@ -128,12 +135,17 @@ class ShardedRetriever:
         """Full rebuild: re-partition everything and recreate the engines."""
         if self.shard_count == 1:
             self._shards = []
-            self._engines = [RetrievalEngine(self.case_base, backend=self.backend)]
+            self._engines = [
+                RetrievalEngine(
+                    self.case_base, backend=self.backend, prefilter=self.prefilter
+                )
+            ]
             self._bounds_snapshot = self._engines[0].bounds
         else:
             self._shards = build_shards(self.case_base, self.shard_count)
             self._engines = [
-                RetrievalEngine(shard, backend=self.backend) for shard in self._shards
+                RetrievalEngine(shard, backend=self.backend, prefilter=self.prefilter)
+                for shard in self._shards
             ]
             self._bounds_snapshot = self._shards[0].bounds
 
@@ -280,7 +292,9 @@ class ShardedRetriever:
         observability = self.observability
         if len(engines) == 1:
             self._count_shard(0, len(requests))
-            return engines[0].retrieve_batch(requests, n=n, threshold=threshold)
+            results = engines[0].retrieve_batch(requests, n=n, threshold=threshold)
+            self._count_prefilter()
+            return results
         for request in requests:
             self._screen(request)
         #: Per-request pools of (shard ranking, shard statistics).
@@ -328,7 +342,53 @@ class ShardedRetriever:
                 catalog.stage_latency(observability.registry).labels(
                     stage="merge"
                 ).observe(merge_wall_us)
+        self._count_prefilter()
         return merged
+
+    @property
+    def prefilter_stats(self) -> dict:
+        """Aggregated pre-filter counters over the shard engines' backends.
+
+        ``{"requests", "rows_total", "rows_pruned"}`` -- all zero when the
+        prefilter axis is off or the screen always fell through.
+        """
+        totals = {"requests": 0, "rows_total": 0, "rows_pruned": 0}
+        for engine in self._engines:
+            backend = engine.backend
+            totals["requests"] += getattr(backend, "prefilter_requests", 0)
+            totals["rows_total"] += getattr(backend, "prefilter_rows_total", 0)
+            totals["rows_pruned"] += getattr(backend, "prefilter_rows_pruned", 0)
+        return totals
+
+    def _count_prefilter(self) -> None:
+        """Fold the backends' pre-filter counter deltas into the registry."""
+        observability = self.observability
+        if (
+            self.prefilter == "off"
+            or observability is None
+            or not observability.metrics_enabled
+        ):
+            return
+        totals = self.prefilter_stats
+        emitted = getattr(self, "_prefilter_emitted", None)
+        if emitted is None or totals["requests"] < emitted["requests"]:
+            # First emission, or a shard rebuild reset the backend counters.
+            emitted = {"requests": 0, "rows_total": 0, "rows_pruned": 0}
+        registry = observability.registry
+        delta_requests = totals["requests"] - emitted["requests"]
+        if delta_requests:
+            catalog.prefilter_requests(registry).inc(delta_requests)
+        delta_pruned = totals["rows_pruned"] - emitted["rows_pruned"]
+        if delta_pruned:
+            catalog.prefilter_rows(registry).labels(outcome="pruned").inc(delta_pruned)
+        delta_evaluated = (totals["rows_total"] - totals["rows_pruned"]) - (
+            emitted["rows_total"] - emitted["rows_pruned"]
+        )
+        if delta_evaluated:
+            catalog.prefilter_rows(registry).labels(outcome="evaluated").inc(
+                delta_evaluated
+            )
+        self._prefilter_emitted = totals
 
     def _count_shard(self, shard_index: int, count: int) -> None:
         """Count retrieval sub-requests landing on one shard."""

@@ -66,6 +66,9 @@ class ServingSpec:
     reconfig_us: Optional[float] = None
     # -- serving axes (mirrors :class:`~repro.serving.ServingConfig`) ---------------
     backend: str = "vectorized"
+    #: Two-stage retrieval screen (``"off"`` or ``"bounds"``); bit-identical
+    #: to the full scan by construction, so it is a pure performance axis.
+    prefilter: str = "off"
     shards: int = 1
     #: Execution tier: ``"inline"`` evaluates shards in-process; ``"process"``
     #: fans them out to ``workers`` OS processes (true multi-core execution,
@@ -163,6 +166,7 @@ class ServingSpec:
             max_wait_us=self.max_wait_us,
             shard_count=self.shards,
             backend=self.backend,
+            prefilter=self.prefilter,
             execution=self.execution,
             workers=self.workers,
             cycle_engine=cycle_engine if cycle_engine is not None else self.cycle_engine,
@@ -185,8 +189,10 @@ class ServingSpec:
         """Construct the case base this spec serves (deterministically).
 
         A ``case_base`` path wins; otherwise workload-trace specs get the
-        platform case base the example applications request against, and
-        request-file/random specs get the paper example.
+        platform case base the example applications request against --
+        extended by the contributions of any extra named workloads (e.g.
+        ``huge-casebase`` bolts its bulk-synthesized implementation library
+        on) -- and request-file/random specs get the paper example.
         """
         from ..core import paper_case_base
         from ..tools import load_case_base
@@ -194,9 +200,18 @@ class ServingSpec:
         if self.case_base:
             return load_case_base(self.case_base)
         if self.uses_workload_trace:
-            from ..apps import build_case_base
+            from ..apps import build_case_base, default_workloads
+            from .loadgen import resolve_workloads
 
-            return build_case_base()
+            workloads = default_workloads()
+            if self.workloads:
+                base_names = {workload.name for workload in workloads}
+                workloads += [
+                    workload
+                    for workload in resolve_workloads(tuple(self.workloads))
+                    if workload.name not in base_names
+                ]
+            return build_case_base(workloads)
         return paper_case_base()
 
     def build_trace(self, case_base: CaseBase) -> List:
@@ -220,6 +235,10 @@ class ServingSpec:
             tuple(self.workloads) or None,
             duration_us=self.duration_ms * 1000.0,
             seed=self.seed,
+            # Resolve constraint names through the *served* schema: workloads
+            # that extend the case base (huge-casebase) define their
+            # attributes there, not in the static platform schema.
+            schema=case_base.schema,
         )
 
     def resolve_inputs(self) -> Tuple[CaseBase, List]:
@@ -305,7 +324,9 @@ class ServingSpec:
                          help="application workload to replay (repeatable; default: "
                               "the four example applications; 'heavy-traffic' adds "
                               "the synthetic high-rate mix, 'fleet-failover' the "
-                              "phased burst bracketing a staggered device outage)")
+                              "phased burst bracketing a staggered device outage, "
+                              "'huge-casebase' a bulk-synthesized 100k-implementation "
+                              "library plus traffic against it)")
         sub.add_argument("--duration-ms", type=float, default=2000.0,
                          help="simulated duration of the workload trace (default 2000)")
         sub.add_argument("--requests", help="JSON requests file replayed at a fixed rate")
@@ -324,6 +345,11 @@ class ServingSpec:
         sub.add_argument("--seed", type=int, default=2004)
         sub.add_argument("--shards", type=int, default=1,
                          help="number of case-base worker shards (default 1)")
+        sub.add_argument("--prefilter", choices=["off", "bounds"], default="off",
+                         help="two-stage exact retrieval: screen implementation "
+                              "blocks with a similarity upper bound before exact "
+                              "re-ranking (bit-identical results; pays off on "
+                              "huge case bases)")
         sub.add_argument("--workers", type=int, default=0,
                          help="worker OS processes executing the shards "
                               "(true multi-core; 0 = inline single-process "
@@ -427,6 +453,7 @@ class ServingSpec:
             ),
             reconfig_us=getattr(args, "reconfig_us", None),
             backend=backend,
+            prefilter=getattr(args, "prefilter", defaults.prefilter),
             shards=getattr(args, "shards", defaults.shards),
             execution=execution,
             workers=workers,

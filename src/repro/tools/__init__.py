@@ -1,6 +1,14 @@
 """Case-base generation, export and tracing tools (the paper's Matlab tooling, in Python)."""
 
 from .casebase_gen import CaseBaseGenerator, GeneratorSpec, table3_spec
+from .ingest import (
+    DEFAULT_BATCH_ROWS,
+    DumpSchema,
+    IngestReport,
+    detect_format,
+    ingest_dump,
+    synthesize_dump,
+)
 from .export import (
     bounds_from_json,
     bounds_to_json,
@@ -21,13 +29,18 @@ from .tracing import format_trace, state_summary
 
 __all__ = [
     "CaseBaseGenerator",
+    "DEFAULT_BATCH_ROWS",
+    "DumpSchema",
     "GeneratorSpec",
+    "IngestReport",
     "bounds_from_json",
     "bounds_to_json",
     "case_base_from_json",
     "case_base_to_json",
+    "detect_format",
     "export_memory_images",
     "format_trace",
+    "ingest_dump",
     "load_case_base",
     "load_requests_json",
     "random_requests",
@@ -36,6 +49,7 @@ __all__ = [
     "request_to_json",
     "save_case_base",
     "state_summary",
+    "synthesize_dump",
     "table3_spec",
     "words_from_memh",
     "words_to_c_header",

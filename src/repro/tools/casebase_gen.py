@@ -79,46 +79,71 @@ class CaseBaseGenerator:
             table.define(attribute_id, low, high)
         return table
 
+    def _implementation(
+        self, rng: random.Random, type_index: int, implementation_index: int
+    ) -> Implementation:
+        """Draw one implementation; the RNG consumption order is frozen.
+
+        Both :meth:`case_base` and the streaming :meth:`iter_implementations`
+        funnel through here, so a dump synthesised row by row is value-for-
+        value the case base an in-memory build would have produced from the
+        same seed.
+        """
+        spec = self.spec
+        low, high = spec.value_range
+        targets = [ExecutionTarget.FPGA, ExecutionTarget.DSP, ExecutionTarget.GPP]
+        attribute_ids = sorted(
+            rng.sample(
+                range(1, spec.attribute_type_count + 1),
+                spec.attributes_per_implementation,
+            )
+        )
+        attributes = {}
+        for attribute_id in attribute_ids:
+            if rng.random() < spec.missing_probability:
+                continue
+            attributes[attribute_id] = rng.randint(low, high)
+        target = targets[implementation_index % len(targets)]
+        return Implementation(
+            implementation_id=implementation_index + 1,
+            target=target,
+            name=f"impl-{type_index + 1}-{implementation_index + 1}",
+            attributes=attributes,
+            deployment=DeploymentInfo(
+                configuration_size_bytes=rng.randint(2_000, 200_000),
+                area_slices=rng.randint(200, 2500) if target is ExecutionTarget.FPGA else 0,
+                power_mw=float(rng.randint(50, 700)),
+                load_fraction=0.0 if target is ExecutionTarget.FPGA
+                else round(rng.uniform(0.1, 0.6), 2),
+                setup_time_us=float(rng.randint(50, 3000)),
+            ),
+        )
+
+    def iter_implementations(self):
+        """Stream ``(type_id, type_name, implementation)`` in generation order.
+
+        One implementation exists at a time, which is what lets the ingestion
+        tooling synthesise 10^5..10^6-row dumps without materialising the
+        whole :class:`CaseBase`; consuming the full stream draws exactly the
+        random sequence :meth:`case_base` would.
+        """
+        rng = self._rng(1)
+        for type_index in range(self.spec.type_count):
+            for implementation_index in range(self.spec.implementations_per_type):
+                yield (
+                    type_index + 1,
+                    f"function-{type_index + 1}",
+                    self._implementation(rng, type_index, implementation_index),
+                )
+
     def case_base(self) -> CaseBase:
         """Generate one case base according to the spec."""
-        spec = self.spec
-        rng = self._rng(1)
-        low, high = spec.value_range
         case_base = CaseBase(schema=self.schema(), bounds=self.bounds())
-        targets = [ExecutionTarget.FPGA, ExecutionTarget.DSP, ExecutionTarget.GPP]
-        for type_index in range(spec.type_count):
-            function_type = case_base.add_type(
-                type_index + 1, name=f"function-{type_index + 1}"
-            )
-            for implementation_index in range(spec.implementations_per_type):
-                attribute_ids = sorted(
-                    rng.sample(
-                        range(1, spec.attribute_type_count + 1),
-                        spec.attributes_per_implementation,
-                    )
-                )
-                attributes = {}
-                for attribute_id in attribute_ids:
-                    if rng.random() < spec.missing_probability:
-                        continue
-                    attributes[attribute_id] = rng.randint(low, high)
-                target = targets[implementation_index % len(targets)]
-                function_type.add(
-                    Implementation(
-                        implementation_id=implementation_index + 1,
-                        target=target,
-                        name=f"impl-{type_index + 1}-{implementation_index + 1}",
-                        attributes=attributes,
-                        deployment=DeploymentInfo(
-                            configuration_size_bytes=rng.randint(2_000, 200_000),
-                            area_slices=rng.randint(200, 2500) if target is ExecutionTarget.FPGA else 0,
-                            power_mw=float(rng.randint(50, 700)),
-                            load_fraction=0.0 if target is ExecutionTarget.FPGA
-                            else round(rng.uniform(0.1, 0.6), 2),
-                            setup_time_us=float(rng.randint(50, 3000)),
-                        ),
-                    )
-                )
+        function_type = None
+        for type_id, type_name, implementation in self.iter_implementations():
+            if function_type is None or function_type.type_id != type_id:
+                function_type = case_base.add_type(type_id, name=type_name)
+            function_type.add(implementation)
         return case_base
 
     def request(

@@ -1,0 +1,548 @@
+"""Columnar bulk ingestion of implementation dumps (CSV / JSONL / parquet).
+
+Million-implementation case bases do not arrive as hand-written JSON; they
+arrive as flat dumps -- one row per implementation variant -- exported from
+design databases.  This module streams such dumps into a
+:class:`~repro.core.case_base.CaseBase` in bounded memory:
+
+* rows are read in batches (``batch_rows`` at a time) and transposed into
+  columnar NumPy arrays, so parsing and validation run as vectorized
+  reductions rather than per-cell Python;
+* every ID and attribute value is range-checked against the 16-bit word
+  encoding *before* anything touches the case base, and a violation names
+  the offending row and column in a :class:`~repro.core.exceptions.
+  ReproError` instead of surfacing as a cast traceback thousands of rows
+  later;
+* the dump schema is inferred from the header: ``type_id`` and
+  ``implementation_id`` are required, ``type_name`` / ``name`` / ``target``
+  are optional metadata, and every ``attr_<id>`` column carries one QoS
+  attribute (empty / null cells mean *absent*, exercising the retrieval
+  algorithm's missing-attribute path).
+
+CSV and JSONL read with the standard library only; parquet is gated behind
+an optional :mod:`pyarrow` import (the ``ingest`` extra) and degrades to a
+clear error, never an ``ImportError`` traceback.  The reverse direction --
+:func:`synthesize_dump` -- streams a seeded
+:class:`~repro.tools.casebase_gen.CaseBaseGenerator` row by row into a dump
+file, producing 10^5..10^6-implementation fixtures whose ingested form is
+value-for-value the case base the generator would have built in memory.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.attributes import BoundsTable
+from ..core.case_base import CaseBase, ExecutionTarget, Implementation
+from ..core.exceptions import ReproError
+from .casebase_gen import CaseBaseGenerator, GeneratorSpec
+
+#: Largest value one 16-bit word encodes (IDs additionally exclude 0).
+_WORD_MAX = 0xFFFF
+
+#: Rows per columnar batch by default (a few MB of parsed columns).
+DEFAULT_BATCH_ROWS = 65536
+
+_ID_COLUMNS = ("type_id", "implementation_id")
+_META_COLUMNS = ("type_name", "name", "target")
+_ATTRIBUTE_PREFIX = "attr_"
+
+_TARGETS = {target.value: target for target in ExecutionTarget}
+
+
+@dataclass(frozen=True)
+class DumpSchema:
+    """The inferred column layout of one dump."""
+
+    #: Attribute IDs carried by ``attr_<id>`` columns, ascending.
+    attribute_ids: Tuple[int, ...]
+    #: Which optional metadata columns the dump provides.
+    has_type_name: bool
+    has_name: bool
+    has_target: bool
+
+    @classmethod
+    def from_columns(cls, columns: Sequence[str], source: str) -> "DumpSchema":
+        """Infer the schema from header / key names; unknown columns reject."""
+        attribute_ids: List[int] = []
+        seen = set()
+        for column in columns:
+            if column in seen:
+                raise ReproError(f"{source}: duplicate column {column!r}")
+            seen.add(column)
+            if column in _ID_COLUMNS or column in _META_COLUMNS:
+                continue
+            if column.startswith(_ATTRIBUTE_PREFIX):
+                suffix = column[len(_ATTRIBUTE_PREFIX):]
+                if not suffix.isdigit() or not 1 <= int(suffix) <= _WORD_MAX:
+                    raise ReproError(
+                        f"{source}: unknown attribute type column {column!r}; "
+                        f"attribute columns are named attr_<id> with an ID in "
+                        f"[1, {_WORD_MAX}]"
+                    )
+                attribute_ids.append(int(suffix))
+                continue
+            raise ReproError(
+                f"{source}: unknown column {column!r}; expected "
+                f"{', '.join(_ID_COLUMNS + _META_COLUMNS)} or attr_<id>"
+            )
+        for required in _ID_COLUMNS:
+            if required not in seen:
+                raise ReproError(f"{source}: required column {required!r} is missing")
+        return cls(
+            attribute_ids=tuple(sorted(attribute_ids)),
+            has_type_name="type_name" in seen,
+            has_name="name" in seen,
+            has_target="target" in seen,
+        )
+
+
+@dataclass
+class IngestReport:
+    """What one ingestion run did (printed by ``repro-qos ingest``)."""
+
+    source: str
+    rows: int = 0
+    batches: int = 0
+    types: int = 0
+    implementations: int = 0
+    attribute_cells: int = 0
+    absent_cells: int = 0
+    elapsed_s: float = 0.0
+
+    def summary(self) -> str:
+        return (
+            f"ingested {self.rows} rows into {self.types} types / "
+            f"{self.implementations} implementations "
+            f"({self.attribute_cells} attribute cells, {self.absent_cells} absent) "
+            f"in {self.batches} batches, {self.elapsed_s:.2f}s"
+        )
+
+
+@dataclass
+class _Batch:
+    """One columnar batch: parsed arrays plus its global row offset."""
+
+    offset: int  # 1-based data-row number of the first row
+    type_ids: np.ndarray  # int64
+    implementation_ids: np.ndarray  # int64
+    type_names: Optional[List[str]]
+    names: Optional[List[str]]
+    targets: Optional[List[str]]
+    values: np.ndarray  # float64, shape (rows, len(schema.attribute_ids))
+    present: np.ndarray  # bool, same shape
+
+
+def detect_format(path, fmt: str = "auto") -> str:
+    """Resolve ``auto`` from the file suffix; validate explicit formats."""
+    if fmt != "auto":
+        if fmt not in ("csv", "jsonl", "parquet"):
+            raise ReproError(
+                f"unknown dump format {fmt!r}; expected csv, jsonl, parquet or auto"
+            )
+        return fmt
+    suffix = Path(path).suffix.lower()
+    by_suffix = {
+        ".csv": "csv",
+        ".jsonl": "jsonl",
+        ".ndjson": "jsonl",
+        ".parquet": "parquet",
+        ".pq": "parquet",
+    }
+    resolved = by_suffix.get(suffix)
+    if resolved is None:
+        raise ReproError(
+            f"cannot infer dump format from suffix {suffix!r} of {path}; "
+            f"pass --format csv|jsonl|parquet"
+        )
+    return resolved
+
+
+def _require_pyarrow():
+    try:
+        import pyarrow.parquet  # noqa: F401
+        import pyarrow
+
+        return pyarrow
+    except ImportError as exc:
+        raise ReproError(
+            "parquet dumps need pyarrow, which is not installed; install the "
+            "'ingest' extra (pip install 'repro-qos[ingest]') or convert the "
+            "dump to CSV/JSONL"
+        ) from exc
+
+
+# -- columnar parsing ------------------------------------------------------------------
+
+
+def _column_error(
+    source: str, offset: int, row_index: int, column: str, value, reason: str
+) -> ReproError:
+    return ReproError(
+        f"{source}: row {offset + row_index}, column {column!r}: "
+        f"{value!r} {reason}"
+    )
+
+
+def _parse_id_column(
+    cells: List[object], column: str, source: str, offset: int
+) -> np.ndarray:
+    try:
+        floats = np.asarray(cells, dtype=object).astype(np.float64)
+    except (ValueError, TypeError):
+        for row_index, cell in enumerate(cells):
+            try:
+                float(str(cell))
+            except (ValueError, TypeError):
+                raise _column_error(
+                    source, offset, row_index, column, cell, "is not an integer"
+                ) from None
+        raise  # pragma: no cover - per-cell probe above always finds the culprit
+    with np.errstate(invalid="ignore"):
+        bad = ~np.isfinite(floats)
+        bad |= floats != np.floor(floats)
+        bad |= (floats < 1) | (floats > _WORD_MAX)
+    offenders = np.flatnonzero(bad)
+    if len(offenders):
+        row_index = int(offenders[0])
+        raise _column_error(
+            source, offset, row_index, column, cells[row_index],
+            f"is not an integer in the 16-bit ID range [1, {_WORD_MAX}]",
+        )
+    return floats.astype(np.int64)
+
+def _validate_values(batch_values: np.ndarray, batch_present: np.ndarray,
+                     cells_by_column: List[List[object]],
+                     schema: DumpSchema, source: str, offset: int) -> None:
+    """Vectorized 16-bit range/integrality check over one parsed batch."""
+    masked = np.where(batch_present, batch_values, 0.0)
+    bad = ~np.isfinite(masked)
+    bad |= masked != np.floor(masked)
+    bad |= (masked < 0) | (masked > _WORD_MAX)
+    bad &= batch_present
+    if not bad.any():
+        return
+    row_index, column_index = np.argwhere(bad)[0]
+    column = f"{_ATTRIBUTE_PREFIX}{schema.attribute_ids[int(column_index)]}"
+    raise _column_error(
+        source, offset, int(row_index), column,
+        cells_by_column[int(column_index)][int(row_index)],
+        f"is not an integer in the 16-bit value range [0, {_WORD_MAX}]",
+    )
+
+
+def _columnar(
+    rows: List[Dict[str, object]], schema: DumpSchema, source: str, offset: int
+) -> _Batch:
+    """Transpose one batch of row dicts into validated columnar arrays."""
+    type_ids = _parse_id_column(
+        [row.get("type_id") for row in rows], "type_id", source, offset
+    )
+    implementation_ids = _parse_id_column(
+        [row.get("implementation_id") for row in rows],
+        "implementation_id", source, offset,
+    )
+    width = len(schema.attribute_ids)
+    cells_by_column: List[List[object]] = []
+    values = np.zeros((len(rows), width), dtype=np.float64)
+    present = np.zeros((len(rows), width), dtype=bool)
+    for column_index, attribute_id in enumerate(schema.attribute_ids):
+        column = f"{_ATTRIBUTE_PREFIX}{attribute_id}"
+        cells = [row.get(column) for row in rows]
+        cells_by_column.append(cells)
+        mask = np.array(
+            [cell is not None and cell != "" for cell in cells], dtype=bool
+        )
+        filled = np.array(
+            [cell if keep else 0 for cell, keep in zip(cells, mask)], dtype=object
+        )
+        try:
+            values[:, column_index] = filled.astype(np.float64)
+        except (ValueError, TypeError):
+            for row_index, (cell, keep) in enumerate(zip(cells, mask)):
+                if not keep:
+                    continue
+                try:
+                    float(str(cell))
+                except ValueError:
+                    raise _column_error(
+                        source, offset, row_index, column, cell, "is not numeric"
+                    ) from None
+            raise  # pragma: no cover - per-cell probe above always finds the culprit
+        present[:, column_index] = mask
+    _validate_values(values, present, cells_by_column, schema, source, offset)
+    return _Batch(
+        offset=offset,
+        type_ids=type_ids,
+        implementation_ids=implementation_ids,
+        type_names=[str(row.get("type_name") or "") for row in rows]
+        if schema.has_type_name else None,
+        names=[str(row.get("name") or "") for row in rows] if schema.has_name else None,
+        targets=[str(row.get("target") or "") for row in rows]
+        if schema.has_target else None,
+        values=values,
+        present=present,
+    )
+
+
+# -- readers ---------------------------------------------------------------------------
+
+
+def _iter_csv(path, batch_rows: int) -> Iterator[Tuple[DumpSchema, List[Dict[str, object]]]]:
+    source = str(path)
+    with open(path, "r", encoding="utf-8", newline="") as stream:
+        reader = csv.reader(stream)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ReproError(f"{source}: dump has no header row") from None
+        schema = DumpSchema.from_columns(header, source)
+        batch: List[Dict[str, object]] = []
+        for row_number, cells in enumerate(reader, start=1):
+            if len(cells) != len(header):
+                raise ReproError(
+                    f"{source}: row {row_number} has {len(cells)} cells, "
+                    f"header has {len(header)}"
+                )
+            batch.append(dict(zip(header, cells)))
+            if len(batch) >= batch_rows:
+                yield schema, batch
+                batch = []
+        if batch:
+            yield schema, batch
+
+
+def _iter_jsonl(path, batch_rows: int) -> Iterator[Tuple[DumpSchema, List[Dict[str, object]]]]:
+    """JSONL batches; the schema is inferred per batch (records may omit
+    absent attributes, so the column set is the union over the batch)."""
+    source = str(path)
+    batch: List[Dict[str, object]] = []
+
+    def flush(records: List[Dict[str, object]]):
+        columns = sorted({column for record in records for column in record})
+        return DumpSchema.from_columns(columns, source), records
+
+    with open(path, "r", encoding="utf-8") as stream:
+        for line_number, line in enumerate(stream, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                raise ReproError(
+                    f"{source}: line {line_number} is not valid JSON"
+                ) from None
+            if not isinstance(record, dict):
+                raise ReproError(
+                    f"{source}: line {line_number} is not a JSON object"
+                )
+            batch.append(record)
+            if len(batch) >= batch_rows:
+                yield flush(batch)
+                batch = []
+    if batch:
+        yield flush(batch)
+
+
+def _iter_parquet(path, batch_rows: int) -> Iterator[Tuple[DumpSchema, List[Dict[str, object]]]]:
+    pyarrow = _require_pyarrow()
+    source = str(path)
+    parquet_file = pyarrow.parquet.ParquetFile(path)
+    schema = DumpSchema.from_columns(parquet_file.schema_arrow.names, source)
+    for record_batch in parquet_file.iter_batches(batch_size=batch_rows):
+        yield schema, record_batch.to_pylist()
+
+
+_READERS = {"csv": _iter_csv, "jsonl": _iter_jsonl, "parquet": _iter_parquet}
+
+
+# -- ingestion -------------------------------------------------------------------------
+
+
+def _target_for(cell: Optional[str], source: str, offset: int, row_index: int) -> ExecutionTarget:
+    if not cell:
+        return ExecutionTarget.GPP
+    target = _TARGETS.get(str(cell).strip().lower())
+    if target is None:
+        raise _column_error(
+            source, offset, row_index, "target", cell,
+            f"is not one of {sorted(_TARGETS)}",
+        )
+    return target
+
+
+def ingest_dump(
+    path,
+    *,
+    fmt: str = "auto",
+    batch_rows: int = DEFAULT_BATCH_ROWS,
+    bounds: Optional[BoundsTable] = None,
+) -> Tuple[CaseBase, IngestReport]:
+    """Stream one dump file into a fresh :class:`CaseBase`.
+
+    Rows may arrive in any order; each lands in its function type's
+    partition.  Raises :class:`ReproError` for structural problems (unknown
+    columns, non-16-bit values, empty dump), always naming the offending
+    row and column.
+    """
+    if batch_rows < 1:
+        raise ReproError(f"batch_rows must be positive, got {batch_rows}")
+    source = str(path)
+    reader = _READERS[detect_format(path, fmt)]
+    case_base = CaseBase(bounds=bounds)
+    report = IngestReport(source=source)
+    started = time.perf_counter()
+    offset = 1
+    try:
+        for schema, rows in reader(path, batch_rows):
+            batch = _columnar(rows, schema, source, offset)
+            _apply_batch(case_base, schema, batch, report, source)
+            report.rows += len(rows)
+            report.batches += 1
+            offset += len(rows)
+    except FileNotFoundError:
+        raise ReproError(f"dump file {source} does not exist") from None
+    if report.rows == 0:
+        raise ReproError(f"{source}: dump contains no implementation rows")
+    report.types = len(case_base)
+    report.implementations = sum(
+        len(function_type.implementations) for function_type in case_base.sorted_types()
+    )
+    report.elapsed_s = time.perf_counter() - started
+    return case_base, report
+
+
+def _apply_batch(
+    case_base: CaseBase,
+    schema: DumpSchema,
+    batch: _Batch,
+    report: IngestReport,
+    source: str,
+) -> None:
+    attribute_ids = schema.attribute_ids
+    present = batch.present
+    values = batch.values
+    report.attribute_cells += int(present.sum())
+    report.absent_cells += int(present.size - present.sum())
+    for row_index in range(len(batch.type_ids)):
+        type_id = int(batch.type_ids[row_index])
+        if type_id not in case_base:
+            case_base.add_type(
+                type_id,
+                name=batch.type_names[row_index] if batch.type_names else "",
+            )
+        function_type = case_base.get_type(type_id)
+        columns = np.flatnonzero(present[row_index])
+        attributes = {
+            attribute_ids[int(column)]: int(values[row_index, int(column)])
+            for column in columns
+        }
+        implementation = Implementation(
+            implementation_id=int(batch.implementation_ids[row_index]),
+            target=_target_for(
+                batch.targets[row_index] if batch.targets else None,
+                source, batch.offset, row_index,
+            ),
+            attributes=attributes,
+            name=batch.names[row_index] if batch.names else "",
+        )
+        if implementation.implementation_id in function_type.implementations:
+            raise ReproError(
+                f"{source}: row {batch.offset + row_index}: duplicate "
+                f"implementation {implementation.implementation_id} for type "
+                f"{type_id}"
+            )
+        function_type.add(implementation)
+
+
+# -- synthesis -------------------------------------------------------------------------
+
+
+def synthesize_dump(
+    path,
+    spec: Optional[GeneratorSpec] = None,
+    seed: int = 0,
+    *,
+    fmt: str = "auto",
+) -> int:
+    """Stream a seeded synthetic dump to ``path``; returns the row count.
+
+    One implementation exists at a time (see
+    :meth:`CaseBaseGenerator.iter_implementations`), so dump size is bounded
+    by disk, not memory -- and ingesting the dump reproduces, value for
+    value, the case base ``CaseBaseGenerator(spec, seed).case_base()`` would
+    build directly.
+    """
+    resolved = detect_format(path, fmt)
+    generator = CaseBaseGenerator(spec, seed=seed)
+    columns = ["type_id", "implementation_id", "type_name", "name", "target"] + [
+        f"{_ATTRIBUTE_PREFIX}{attribute_id}"
+        for attribute_id in range(1, generator.spec.attribute_type_count + 1)
+    ]
+    rows = 0
+    if resolved == "parquet":
+        return _synthesize_parquet(path, generator, columns)
+    with open(path, "w", encoding="utf-8", newline="") as stream:
+        writer = csv.writer(stream) if resolved == "csv" else None
+        if writer is not None:
+            writer.writerow(columns)
+        for type_id, type_name, implementation in generator.iter_implementations():
+            record = {
+                "type_id": type_id,
+                "implementation_id": implementation.implementation_id,
+                "type_name": type_name,
+                "name": implementation.name,
+                "target": implementation.target.value,
+            }
+            for attribute_id, value in implementation.attributes.items():
+                record[f"{_ATTRIBUTE_PREFIX}{attribute_id}"] = value
+            if writer is not None:
+                writer.writerow([record.get(column, "") for column in columns])
+            else:
+                stream.write(json.dumps(record, sort_keys=True) + "\n")
+            rows += 1
+    return rows
+
+
+def _synthesize_parquet(path, generator: CaseBaseGenerator, columns: List[str]) -> int:
+    pyarrow = _require_pyarrow()
+    # An explicit arrow schema keeps every batch's types identical even when
+    # some batch has an all-absent (all-null) attribute column.
+    arrow_schema = pyarrow.schema(
+        [
+            (column, pyarrow.string())
+            if column in ("type_name", "name", "target")
+            else (column, pyarrow.int64())
+            for column in columns
+        ]
+    )
+    records = []
+    rows = 0
+    batches = []
+    for type_id, type_name, implementation in generator.iter_implementations():
+        record = {column: None for column in columns}
+        record.update(
+            type_id=type_id,
+            implementation_id=implementation.implementation_id,
+            type_name=type_name,
+            name=implementation.name,
+            target=implementation.target.value,
+        )
+        for attribute_id, value in implementation.attributes.items():
+            record[f"{_ATTRIBUTE_PREFIX}{attribute_id}"] = value
+        records.append(record)
+        rows += 1
+        if len(records) >= DEFAULT_BATCH_ROWS:
+            batches.append(pyarrow.RecordBatch.from_pylist(records, schema=arrow_schema))
+            records = []
+    if records:
+        batches.append(pyarrow.RecordBatch.from_pylist(records, schema=arrow_schema))
+    pyarrow.parquet.write_table(pyarrow.Table.from_batches(batches, schema=arrow_schema), path)
+    return rows

@@ -1,0 +1,204 @@
+"""Persistent image store: round-trip fidelity, staleness, and counters.
+
+The contract under test (ISSUE 10 tentpole): a saved store reopens O(1) into
+*bit-identical* serving state -- word-for-word CB-MEM images and retrieval
+results indistinguishable from a fresh encode -- and anything that could
+make the on-disk artefacts lie (mutations, tampered files, other case
+bases, layout bumps) must surface as ``stale``/``miss``, never as wrong
+results.
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import RetrievalEngine
+from repro.core.case_base import ExecutionTarget, Implementation
+from repro.core.exceptions import EncodingError
+from repro.memmap import CaseBaseImage, ImageStore, structure_fingerprint
+from repro.memmap.store import LAYOUT_VERSION, MANIFEST_NAME
+from repro.observability import MetricsRegistry, catalog
+from repro.tools import CaseBaseGenerator, GeneratorSpec
+
+SMALL_SPEC = GeneratorSpec(
+    type_count=4,
+    implementations_per_type=12,
+    attributes_per_implementation=6,
+    attribute_type_count=8,
+    missing_probability=0.1,
+)
+
+#: Deep enough that the CB-MEM tree overflows 16-bit word addressing.
+OVERFLOW_SPEC = GeneratorSpec(
+    type_count=4,
+    implementations_per_type=800,
+    attributes_per_implementation=10,
+    attribute_type_count=10,
+)
+
+
+@pytest.fixture()
+def small_case_base():
+    return CaseBaseGenerator(SMALL_SPEC, seed=9).case_base()
+
+
+def _slim_view(result):
+    return [(entry.implementation_id, entry.similarity) for entry in result.ranked]
+
+
+class TestRoundTrip:
+    def test_reopened_words_match_a_fresh_encode(self, small_case_base, tmp_path):
+        store = ImageStore(tmp_path)
+        store.save(small_case_base)
+        reopened = store.open(small_case_base)
+        assert reopened is not None
+        assert reopened.revision == small_case_base.revision
+        fresh = CaseBaseImage(small_case_base)
+        assert np.array_equal(
+            np.asarray(reopened.image.tree.words),
+            np.asarray(fresh.tree.words),
+        )
+        assert np.array_equal(
+            np.asarray(reopened.image.supplemental.words),
+            np.asarray(fresh.supplemental.words),
+        )
+        assert reopened.image.tree.address_map == fresh.tree.address_map
+        assert reopened.image.supplemental.reciprocals == fresh.supplemental.reciprocals
+
+    def test_adopted_matrices_serve_bit_identically(self, small_case_base, tmp_path):
+        generator = CaseBaseGenerator(SMALL_SPEC, seed=9)
+        store = ImageStore(tmp_path)
+        store.save(small_case_base)
+        reopened = store.open(small_case_base)
+        fresh = RetrievalEngine(small_case_base, backend="vectorized")
+        adopted = RetrievalEngine(small_case_base, backend="vectorized")
+        assert reopened.install(adopted) is True
+        for salt in range(6):
+            request = generator.request(salt=salt, attribute_count=4)
+            expected = fresh.retrieve_n_best(request, 5)
+            observed = adopted.retrieve_n_best(request, 5)
+            assert _slim_view(observed) == _slim_view(expected)
+            assert observed.statistics == expected.statistics
+
+    def test_install_declines_naive_backends(self, small_case_base, tmp_path):
+        store = ImageStore(tmp_path)
+        store.save(small_case_base)
+        reopened = store.open(small_case_base)
+        naive = RetrievalEngine(small_case_base, backend="naive")
+        assert reopened.install(naive) is False
+
+    def test_save_is_idempotent_and_cleans_stale_generations(
+        self, small_case_base, tmp_path
+    ):
+        store = ImageStore(tmp_path)
+        store.save(small_case_base)
+        first_files = set(path.name for path in tmp_path.iterdir())
+        small_case_base.add_implementation(
+            1,
+            Implementation(
+                implementation_id=999,
+                target=ExecutionTarget.GPP,
+                attributes={1: 5},
+            ),
+        )
+        store.save(small_case_base)
+        second_files = set(path.name for path in tmp_path.iterdir())
+        # Old-revision array files are gone once the new manifest is durable.
+        assert not (second_files - {MANIFEST_NAME}) & (first_files - {MANIFEST_NAME})
+        assert store.open(small_case_base) is not None
+
+
+class TestStaleness:
+    def test_empty_directory_is_a_miss(self, small_case_base, tmp_path):
+        assert ImageStore(tmp_path).open(small_case_base) is None
+
+    def test_mutation_turns_the_store_stale(self, small_case_base, tmp_path):
+        store = ImageStore(tmp_path)
+        store.save(small_case_base)
+        implementation = small_case_base.get_type(1).sorted_implementations()[0]
+        small_case_base.remove_implementation(1, implementation.implementation_id)
+        assert store.open(small_case_base) is None
+
+    def test_a_different_case_base_is_stale_even_at_equal_revision(
+        self, small_case_base, tmp_path
+    ):
+        """Two freshly loaded dumps both sit at revision 0; the structural
+        fingerprint must tell them apart."""
+        other_spec = dataclasses.replace(SMALL_SPEC, implementations_per_type=13)
+        other = CaseBaseGenerator(other_spec, seed=9).case_base()
+        assert other.revision == small_case_base.revision
+        assert structure_fingerprint(other) != structure_fingerprint(small_case_base)
+        store = ImageStore(tmp_path)
+        store.save(small_case_base)
+        assert store.open(other) is None
+
+    def test_truncated_array_file_is_stale(self, small_case_base, tmp_path):
+        store = ImageStore(tmp_path)
+        manifest = store.save(small_case_base)
+        victim = tmp_path / manifest["types"][0]["files"]["values"]["file"]
+        victim.write_bytes(victim.read_bytes()[:-8])
+        assert store.open(small_case_base) is None
+
+    def test_layout_version_bump_is_stale(self, small_case_base, tmp_path):
+        store = ImageStore(tmp_path)
+        store.save(small_case_base)
+        manifest_path = tmp_path / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["layout"] == LAYOUT_VERSION
+        manifest["layout"] = LAYOUT_VERSION + 1
+        manifest_path.write_text(json.dumps(manifest))
+        assert store.open(small_case_base) is None
+
+    def test_open_or_build_recovers_and_then_hits(self, small_case_base, tmp_path):
+        registry = MetricsRegistry()
+        store = ImageStore(tmp_path, registry=registry)
+        reopened, outcome = store.open_or_build(small_case_base)
+        assert outcome == "miss" and reopened is not None
+        reopened, outcome = store.open_or_build(small_case_base)
+        assert outcome == "hit" and reopened is not None
+        counts = catalog.image_reopens(registry).values()
+        assert counts[("miss",)] == 1.0
+        assert counts[("hit",)] == 1.0
+
+    def test_reopen_counter_labels_every_outcome(self, small_case_base, tmp_path):
+        registry = MetricsRegistry()
+        store = ImageStore(tmp_path, registry=registry)
+        store.open(small_case_base)  # miss
+        store.save(small_case_base)
+        store.open(small_case_base)  # hit
+        implementation = small_case_base.get_type(2).sorted_implementations()[0]
+        small_case_base.remove_implementation(2, implementation.implementation_id)
+        store.open(small_case_base)  # stale
+        counts = catalog.image_reopens(registry).values()
+        assert counts == {("miss",): 1.0, ("hit",): 1.0, ("stale",): 1.0}
+
+
+class TestWordImagePolicy:
+    def test_never_skips_words_but_keeps_matrices(self, small_case_base, tmp_path):
+        store = ImageStore(tmp_path)
+        store.save(small_case_base, include_words="never")
+        reopened = store.open(small_case_base)
+        assert reopened is not None
+        assert reopened.image is None
+        assert set(reopened.matrices) == {
+            function_type.type_id
+            for function_type in small_case_base.sorted_types()
+        }
+
+    def test_auto_drops_words_on_16_bit_overflow(self, tmp_path):
+        huge = CaseBaseGenerator(OVERFLOW_SPEC, seed=4).case_base()
+        with pytest.raises(EncodingError):
+            CaseBaseImage(huge)
+        store = ImageStore(tmp_path)
+        manifest = store.save(huge)  # include_words="auto"
+        assert manifest["tree"] is None
+        reopened = store.open(huge)
+        assert reopened is not None and reopened.image is None
+        assert len(reopened.matrices) == OVERFLOW_SPEC.type_count
+
+    def test_always_propagates_the_overflow(self, tmp_path):
+        huge = CaseBaseGenerator(OVERFLOW_SPEC, seed=4).case_base()
+        with pytest.raises(EncodingError):
+            ImageStore(tmp_path).save(huge, include_words="always")

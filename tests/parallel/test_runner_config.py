@@ -1,0 +1,57 @@
+"""Environment-knob resolution of the parallel runner (ISSUE 10 satellite).
+
+``REPRO_PARALLEL_TIMEOUT_S`` is resolved when a pool is *constructed*, not
+when :mod:`repro.parallel` is imported -- test harnesses and operators set
+it after import all the time, and a baked-in import-time snapshot silently
+ignored them.
+"""
+
+import pytest
+
+from repro.core.exceptions import RetrievalError
+from repro.parallel.runner import (
+    REPLY_TIMEOUT_S,
+    ShardWorkerPool,
+    default_start_method,
+    reply_timeout_s,
+)
+
+
+class TestReplyTimeoutResolution:
+    def test_default_without_override(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL_TIMEOUT_S", raising=False)
+        assert reply_timeout_s() == REPLY_TIMEOUT_S
+
+    def test_env_override_is_reread_each_call(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_TIMEOUT_S", "7.5")
+        assert reply_timeout_s() == 7.5
+        monkeypatch.setenv("REPRO_PARALLEL_TIMEOUT_S", "2")
+        assert reply_timeout_s() == 2.0
+
+    def test_pool_snapshots_timeout_at_construction(self, monkeypatch):
+        """The pool binds the value once, at construction -- later env churn
+        must not change the deadline of an in-flight collect."""
+        monkeypatch.setenv("REPRO_PARALLEL_TIMEOUT_S", "11.0")
+        pool = ShardWorkerPool(1)
+        try:
+            monkeypatch.setenv("REPRO_PARALLEL_TIMEOUT_S", "99.0")
+            assert pool.reply_timeout_s == 11.0
+        finally:
+            pool.close()
+
+    def test_worker_count_validation(self):
+        with pytest.raises(RetrievalError, match="worker count"):
+            ShardWorkerPool(0)
+
+
+class TestStartMethodResolution:
+    def test_env_override_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_START_METHOD", "spawn")
+        assert default_start_method() == "spawn"
+
+    def test_default_prefers_fork_when_available(self, monkeypatch):
+        import multiprocessing
+
+        monkeypatch.delenv("REPRO_PARALLEL_START_METHOD", raising=False)
+        expected = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        assert default_start_method() == expected

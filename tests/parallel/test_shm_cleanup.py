@@ -1,0 +1,67 @@
+"""Shared-memory cleanup paths: silent on expected races, loud on real leaks.
+
+Teardown must never raise (ISSUE 10 satellite), but a cleanup failure that
+would leak a ``/dev/shm`` segment now emits a structured ``key=value``
+warning naming the segment and the cause, instead of disappearing into a
+bare ``except``.
+"""
+
+import logging
+
+from repro.parallel.shm import close_segment, unlink_segment
+
+
+class _FailingSegment:
+    """Duck-typed stand-in whose cleanup calls fail like a platform race."""
+
+    name = "repro-test-segment"
+
+    def __init__(self, close_error=None, unlink_error=None):
+        self._close_error = close_error
+        self._unlink_error = unlink_error
+
+    def close(self):
+        if self._close_error is not None:
+            raise self._close_error
+
+    def unlink(self):
+        if self._unlink_error is not None:
+            raise self._unlink_error
+
+
+class TestUnlinkSegment:
+    def test_none_is_a_no_op(self):
+        unlink_segment(None)
+
+    def test_repeat_unlink_stays_silent(self, caplog):
+        """FileNotFoundError is the expected idempotent-cleanup race."""
+        with caplog.at_level(logging.WARNING, logger="repro.parallel.shm"):
+            unlink_segment(_FailingSegment(unlink_error=FileNotFoundError()))
+        assert not caplog.records
+
+    def test_real_unlink_failure_is_logged_not_raised(self, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.parallel.shm"):
+            unlink_segment(
+                _FailingSegment(unlink_error=PermissionError("denied"))
+            )
+        messages = [record.getMessage() for record in caplog.records]
+        assert any(
+            "event=shm.unlink_failed" in message
+            and "segment=repro-test-segment" in message
+            and "denied" in message
+            for message in messages
+        )
+
+
+class TestCloseSegment:
+    def test_none_is_a_no_op(self):
+        close_segment(None)
+
+    def test_close_failure_is_logged_not_raised(self, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.parallel.shm"):
+            close_segment(_FailingSegment(close_error=OSError("bad fd")))
+        messages = [record.getMessage() for record in caplog.records]
+        assert any(
+            "event=shm.close_failed" in message and "op=close" in message
+            for message in messages
+        )

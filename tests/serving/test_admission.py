@@ -151,3 +151,62 @@ class TestValidation:
         (sw_cycles, sw_us), = controller.software_times_us([request])
         assert hw_us == hw_cycles / 33.0
         assert sw_us == sw_cycles / 33.0
+
+
+class TestOutOfCoreAdmission:
+    """Case bases past 16-bit CB-MEM addressing: no modelled server exists.
+
+    The host engine serves them *unpriced* -- admission reports why, checks
+    only the observable wait against the deadline, and never crashes the
+    serving stack (ISSUE 10 regression: ``serve-trace --workload
+    huge-casebase`` used to die in the hardware unit's image encoder).
+    """
+
+    @pytest.fixture(scope="class")
+    def huge(self):
+        from repro.tools import GeneratorSpec
+
+        spec = GeneratorSpec(
+            type_count=4,
+            implementations_per_type=800,
+            attributes_per_implementation=10,
+            attribute_type_count=10,
+        )
+        case_base = CaseBaseGenerator(spec, seed=6).case_base()
+        return case_base, synthetic_trace(
+            case_base, 12, mean_interarrival_us=5.0, seed=2
+        )
+
+    def test_hardware_unit_reports_unavailable(self, huge):
+        case_base, trace = huge
+        controller = AdmissionController(case_base)
+        assert controller.hardware_unit is None
+        assert "does not fit" in controller.hardware_unavailable_reason
+        with pytest.raises(ReproError, match="does not fit"):
+            controller.hardware_times_us([trace[0].request])
+
+    def test_unpriced_serving_admits_within_the_wait_budget(self, huge):
+        case_base, trace = huge
+        controller = AdmissionController(case_base)
+        decisions = controller.assess_batch(
+            trace, close_us=trace[-1].arrival_us, default_deadline_us=1e9
+        )
+        assert len(decisions) == len(trace)
+        for decision in decisions:
+            assert decision.verdict is AdmissionVerdict.DEGRADE_SOFTWARE
+            assert decision.cycles == 0 and decision.service_us == 0.0
+            assert "does not fit" in decision.reason
+        # the software model was probed exactly once and remembered why
+        assert "does not fit" in controller.software_unavailable_reason
+
+    def test_blown_wait_still_rejects(self, huge):
+        case_base, trace = huge
+        controller = AdmissionController(case_base)
+        close_us = trace[-1].arrival_us + 100.0  # every entry has waited
+        decisions = controller.assess_batch(
+            trace, close_us=close_us, default_deadline_us=50.0
+        )
+        assert all(
+            decision.verdict is AdmissionVerdict.REJECT_DEADLINE
+            for decision in decisions
+        )

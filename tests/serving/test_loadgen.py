@@ -58,7 +58,7 @@ class TestWorkloadTraces:
         assert resolved[1].name == "heavy-traffic"
         assert set(WORKLOAD_FACTORIES) == {
             "mp3-player", "video-player", "automotive-ecu", "cruise-control",
-            "heavy-traffic", "fleet-failover",
+            "heavy-traffic", "fleet-failover", "huge-casebase",
         }
         with pytest.raises(ReproError, match="unknown workload"):
             resolve_workloads(["quake-server"])

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.serving import MetricsCollector, percentile
+from repro.serving import MetricsCollector, percentile, percentiles
 
 
 class TestPercentile:
@@ -24,6 +24,33 @@ class TestPercentile:
         assert percentile([], 0.5) is None
         with pytest.raises(ValueError):
             percentile([1.0], 1.5)
+
+    def test_bad_fraction_raises_identically_for_empty_samples(self):
+        """Regression: validation happens before the sample emptiness check.
+
+        A bad fraction used to slip through silently on empty samples
+        (returning ``None``); now the fraction-range check is hoisted ahead
+        of the sample inspection, so callers learn about the bug regardless
+        of traffic volume.
+        """
+        for bad in (-0.1, 1.5, float("nan")):
+            with pytest.raises(ValueError):
+                percentile([], bad)
+            with pytest.raises(ValueError):
+                percentile([1.0, 2.0], bad)
+            with pytest.raises(ValueError):
+                percentiles([], (0.5, bad))
+            with pytest.raises(ValueError):
+                percentiles([1.0, 2.0], (0.5, bad))
+
+    def test_percentiles_matches_single_calls(self):
+        values = [float(v) for v in range(1, 101)]
+        assert percentiles(values, (0.5, 0.95, 0.99)) == (
+            percentile(values, 0.5),
+            percentile(values, 0.95),
+            percentile(values, 0.99),
+        )
+        assert percentiles([], (0.5, 0.9)) == (None, None)
 
 
 class TestCollector:

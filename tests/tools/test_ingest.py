@@ -1,0 +1,201 @@
+"""Bulk ingestion: dump round-trips, row/column error reporting, edge specs.
+
+The ingest path (ISSUE 10 tentpole) promises that ``synthesize_dump`` ->
+``ingest_dump`` reproduces, value for value, the case base the generator
+would build in memory -- across formats and batch boundaries -- and that
+every malformed cell is rejected with its row *and* column named.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.case_base import ExecutionTarget
+from repro.core.exceptions import ReproError
+from repro.tools import CaseBaseGenerator, GeneratorSpec
+from repro.tools.ingest import detect_format, ingest_dump, synthesize_dump
+
+SPEC = GeneratorSpec(
+    type_count=3,
+    implementations_per_type=7,
+    attributes_per_implementation=4,
+    attribute_type_count=6,
+    missing_probability=0.2,
+)
+
+
+def _snapshot(case_base):
+    """Everything ingest must reproduce: structure, metadata, every cell."""
+    return {
+        function_type.type_id: (
+            function_type.name,
+            {
+                implementation.implementation_id: (
+                    implementation.name,
+                    implementation.target,
+                    dict(implementation.attributes),
+                )
+                for implementation in function_type.sorted_implementations()
+            },
+        )
+        for function_type in case_base.sorted_types()
+    }
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("suffix", ["csv", "jsonl"])
+    def test_synthesized_dump_reproduces_the_generator(self, tmp_path, suffix):
+        dump = tmp_path / f"dump.{suffix}"
+        rows = synthesize_dump(dump, SPEC, seed=11)
+        assert rows == SPEC.type_count * SPEC.implementations_per_type
+        ingested, report = ingest_dump(dump)
+        expected = CaseBaseGenerator(SPEC, seed=11).case_base()
+        assert _snapshot(ingested) == _snapshot(expected)
+        assert report.rows == rows
+        assert report.implementations == rows
+        assert report.types == SPEC.type_count
+        assert report.absent_cells > 0  # missing_probability exercised
+
+    def test_batch_boundaries_do_not_change_the_result(self, tmp_path):
+        dump = tmp_path / "dump.csv"
+        synthesize_dump(dump, SPEC, seed=11)
+        one_batch, _ = ingest_dump(dump, batch_rows=10_000)
+        tiny_batches, report = ingest_dump(dump, batch_rows=3)
+        assert _snapshot(tiny_batches) == _snapshot(one_batch)
+        assert report.batches == 7  # ceil(21 / 3)
+
+    def test_streaming_generator_matches_case_base(self):
+        generator = CaseBaseGenerator(SPEC, seed=5)
+        streamed = {}
+        for type_id, type_name, implementation in generator.iter_implementations():
+            streamed.setdefault(type_id, (type_name, {}))[1][
+                implementation.implementation_id
+            ] = (
+                implementation.name,
+                implementation.target,
+                dict(implementation.attributes),
+            )
+        assert streamed == _snapshot(generator.case_base())
+
+
+class TestErrorReporting:
+    def _write_csv(self, tmp_path, rows):
+        dump = tmp_path / "dump.csv"
+        header = "type_id,implementation_id,target,attr_1\n"
+        dump.write_text(header + "".join(rows))
+        return dump
+
+    def test_empty_dump_is_rejected(self, tmp_path):
+        dump = self._write_csv(tmp_path, [])
+        with pytest.raises(ReproError, match="no implementation rows"):
+            ingest_dump(dump)
+
+    def test_missing_file_is_a_repro_error(self, tmp_path):
+        with pytest.raises(ReproError, match="does not exist"):
+            ingest_dump(tmp_path / "nope.csv")
+
+    def test_bad_id_names_row_and_column(self, tmp_path):
+        dump = self._write_csv(
+            tmp_path, ["1,1,gpp,5\n", "1,seven,gpp,5\n"]
+        )
+        with pytest.raises(ReproError, match=r"row 2, column 'implementation_id'"):
+            ingest_dump(dump)
+
+    def test_zero_id_is_out_of_the_16_bit_id_range(self, tmp_path):
+        dump = self._write_csv(tmp_path, ["0,1,gpp,5\n"])
+        with pytest.raises(ReproError, match=r"column 'type_id'.*\[1, 65535\]"):
+            ingest_dump(dump)
+
+    def test_bad_value_names_row_and_column(self, tmp_path):
+        dump = self._write_csv(
+            tmp_path, ["1,1,gpp,5\n", "1,2,gpp,5\n", "1,3,gpp,70000\n"]
+        )
+        with pytest.raises(ReproError, match=r"row 3, column 'attr_1'.*\[0, 65535\]"):
+            ingest_dump(dump)
+
+    def test_fractional_value_names_row_and_column(self, tmp_path):
+        dump = self._write_csv(tmp_path, ["1,1,gpp,2.5\n"])
+        with pytest.raises(ReproError, match=r"row 1, column 'attr_1'"):
+            ingest_dump(dump)
+
+    def test_duplicate_implementation_is_rejected(self, tmp_path):
+        dump = self._write_csv(tmp_path, ["1,1,gpp,5\n", "1,1,gpp,6\n"])
+        with pytest.raises(ReproError, match=r"row 2: duplicate implementation 1"):
+            ingest_dump(dump)
+
+    def test_unknown_target_names_row(self, tmp_path):
+        dump = self._write_csv(tmp_path, ["1,1,warp-drive,5\n"])
+        with pytest.raises(ReproError, match=r"row 1, column 'target'"):
+            ingest_dump(dump)
+
+    def test_batch_rows_must_be_positive(self, tmp_path):
+        dump = self._write_csv(tmp_path, ["1,1,gpp,5\n"])
+        with pytest.raises(ReproError, match="batch_rows"):
+            ingest_dump(dump, batch_rows=0)
+
+    def test_rows_without_targets_default_sensibly(self, tmp_path):
+        dump = tmp_path / "dump.csv"
+        dump.write_text("type_id,implementation_id,attr_1\n1,1,5\n")
+        case_base, _ = ingest_dump(dump)
+        implementation = case_base.get_implementation(1, 1)
+        assert implementation.target is ExecutionTarget.GPP
+        assert implementation.attributes == {1: 5}
+
+
+class TestFormatDetection:
+    def test_suffix_resolution(self, tmp_path):
+        assert detect_format(tmp_path / "a.csv") == "csv"
+        assert detect_format(tmp_path / "a.jsonl") == "jsonl"
+        assert detect_format(tmp_path / "a.ndjson") == "jsonl"
+        assert detect_format(tmp_path / "a.parquet") == "parquet"
+        assert detect_format(tmp_path / "a.pq") == "parquet"
+
+    def test_explicit_format_wins_over_suffix(self, tmp_path):
+        assert detect_format(tmp_path / "a.csv", fmt="jsonl") == "jsonl"
+
+    def test_unknown_suffix_suggests_the_flag(self, tmp_path):
+        with pytest.raises(ReproError, match="--format"):
+            detect_format(tmp_path / "dump.xlsx")
+
+    def test_unknown_explicit_format_is_rejected(self, tmp_path):
+        with pytest.raises(ReproError, match="unknown dump format"):
+            detect_format(tmp_path / "a.csv", fmt="excel")
+
+    def test_parquet_without_pyarrow_points_at_the_extra(self, tmp_path):
+        try:
+            import pyarrow  # noqa: F401
+        except ImportError:
+            with pytest.raises(ReproError, match="'ingest' extra"):
+                synthesize_dump(tmp_path / "dump.parquet", SPEC, seed=1)
+        else:
+            pytest.skip("pyarrow installed; the gating branch is exercised elsewhere")
+
+
+class TestGeneratorSpecEdges:
+    def test_dimensions_must_be_positive(self):
+        with pytest.raises(ReproError, match="positive"):
+            GeneratorSpec(type_count=0)
+
+    def test_attribute_budget_cannot_exceed_attribute_types(self):
+        with pytest.raises(ReproError, match="cannot exceed"):
+            GeneratorSpec(attributes_per_implementation=11, attribute_type_count=10)
+
+    def test_missing_probability_boundaries(self):
+        assert GeneratorSpec(missing_probability=0.0).missing_probability == 0.0
+        with pytest.raises(ReproError, match="missing probability"):
+            GeneratorSpec(missing_probability=1.0)
+        with pytest.raises(ReproError, match="missing probability"):
+            GeneratorSpec(missing_probability=-0.01)
+
+    def test_value_range_must_be_increasing_16_bit(self):
+        for bad in ((5, 5), (7, 3), (-1, 10), (0, 0x10000)):
+            with pytest.raises(ReproError, match="value range"):
+                GeneratorSpec(value_range=bad)
+        spec = GeneratorSpec(value_range=(0, 0xFFFF))
+        assert spec.value_range == (0, 0xFFFF)
+
+    def test_specs_are_immutable_value_objects(self):
+        spec = GeneratorSpec()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.type_count = 5
+        assert dataclasses.replace(spec, type_count=5).type_count == 5
